@@ -1,0 +1,48 @@
+//! Criterion bench for the intensional-world algebra (§3.3.1: aggregate()
+//! is one pass; GAP creation is linear in tags; set operations are
+//! merge-joins over sorted tag lists).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use gea_bench::workloads::populate_workload;
+use gea_core::gap::diff;
+use gea_core::setops::{gap_intersect, gap_minus, gap_union};
+use gea_core::sumy::aggregate;
+use gea_core::topgap::{top_gaps, TopGapOrder};
+use gea_sage::library::LibraryId;
+
+fn bench_algebra(c: &mut Criterion) {
+    let mut agg_group = c.benchmark_group("aggregate");
+    for n_tags in [5_000usize, 10_000, 20_000] {
+        let w = populate_workload(n_tags, 50, 5, 0.75, 3);
+        agg_group.bench_with_input(BenchmarkId::from_parameter(n_tags), &n_tags, |b, _| {
+            b.iter(|| black_box(aggregate("s", &w.table.matrix)))
+        });
+    }
+    agg_group.finish();
+
+    // diff() and the set ops at 20k tags.
+    let w = populate_workload(20_000, 50, 5, 0.75, 3);
+    let first_half: Vec<LibraryId> = (0..25).map(LibraryId).collect();
+    let second_half: Vec<LibraryId> = (25..50).map(LibraryId).collect();
+    let s1 = aggregate("s1", &w.table.with_libraries("a", &first_half).matrix);
+    let s2 = aggregate("s2", &w.table.with_libraries("b", &second_half).matrix);
+    let g1 = diff("g1", &s1, &s2);
+    let g2 = diff("g2", &s2, &s1);
+
+    let mut group = c.benchmark_group("gap_ops_20k_tags");
+    group.bench_function("diff", |b| b.iter(|| black_box(diff("g", &s1, &s2))));
+    group.bench_function("intersect", |b| {
+        b.iter(|| black_box(gap_intersect("i", &g1, &g2)))
+    });
+    group.bench_function("union", |b| b.iter(|| black_box(gap_union("u", &g1, &g2))));
+    group.bench_function("minus", |b| b.iter(|| black_box(gap_minus("m", &g1, &g2))));
+    group.bench_function("top_gap_100", |b| {
+        b.iter(|| black_box(top_gaps(&g1, 100, TopGapOrder::LargestMagnitude)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_algebra);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! Criterion bench comparing the runtime of the clustering algorithms on
+//! the same expression data (quality comparison lives in
+//! `repro --exp baselines`).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use gea_cluster::{
+    agglomerate, kmeans, mine_greedy, som, FascicleParams, KMeansParams, Linkage,
+    Metric, SomParams, ToleranceVector,
+};
+use gea_core::mine::MatrixView;
+use gea_core::EnumTable;
+use gea_sage::clean::{clean, CleaningConfig};
+use gea_sage::generate::{generate, GeneratorConfig};
+
+fn bench_clustering(c: &mut Criterion) {
+    let (corpus, _) = generate(&GeneratorConfig::demo(42));
+    let (matrix, _) = clean(&corpus, &CleaningConfig::default());
+    let table = EnumTable::new("SAGE", matrix);
+    let view = MatrixView::new(&table);
+    let tol = ToleranceVector::from_width_fraction(&view, 0.10);
+    let k = table.n_tags() / 2;
+
+    let mut group = c.benchmark_group("clustering_21libs");
+    group.sample_size(10);
+    group.bench_function("fascicles", |b| {
+        let params = FascicleParams {
+            min_compact_attrs: k,
+            min_records: 3,
+            batch_size: 6,
+        };
+        b.iter(|| black_box(mine_greedy(&view, &tol, &params)))
+    });
+    group.bench_function("kmeans_k3", |b| {
+        let params = KMeansParams {
+            k: 3,
+            max_iters: 100,
+            seed: 42,
+        };
+        b.iter(|| black_box(kmeans(&view, &params)))
+    });
+    group.bench_function("hierarchical_correlation", |b| {
+        b.iter(|| black_box(agglomerate(&view, Metric::Correlation, Linkage::Average)))
+    });
+    group.bench_function("som_1x3", |b| {
+        let params = SomParams {
+            rows: 1,
+            cols: 3,
+            epochs: 30,
+            learning_rate: 0.5,
+            seed: 42,
+        };
+        b.iter(|| black_box(som(&view, &params)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_clustering);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! Criterion bench for the rotated physical layout (§4.6.1): tag-wise
+//! aggregation walks contiguous memory in the rotated (tag-major) layout
+//! but strides in the naive (library-major) layout. This is the ablation
+//! justifying Figure 4.30's design.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use gea_bench::workloads::populate_workload;
+use gea_sage::library::LibraryId;
+use gea_sage::tag::TagId;
+
+fn bench_layout(c: &mut Criterion) {
+    let w = populate_workload(30_000, 100, 5, 0.75, 5);
+    let matrix = &w.table.matrix;
+
+    let mut group = c.benchmark_group("layout");
+    // Rotated layout: per-tag sum over contiguous rows.
+    group.bench_function("tag_sums_rotated_contiguous", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for t in 0..matrix.n_tags() {
+                let row = matrix.tag_row(TagId(t as u32));
+                acc += row.iter().sum::<f64>();
+            }
+            black_box(acc)
+        })
+    });
+    // The same totals computed the "conceptual" way: per-library strided
+    // access (what a naive libraries-as-rows layout would pay for tag-wise
+    // work).
+    group.bench_function("tag_sums_strided_conceptual", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for l in 0..matrix.n_libraries() {
+                let lib = LibraryId(l as u32);
+                for t in 0..matrix.n_tags() {
+                    acc += matrix.value(TagId(t as u32), lib);
+                }
+            }
+            black_box(acc)
+        })
+    });
+    // Library-column materialization, the rotated layout's slow direction.
+    group.bench_function("library_column_gather", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for l in 0..matrix.n_libraries() {
+                acc += matrix.library_column(LibraryId(l as u32)).iter().sum::<f64>();
+            }
+            black_box(acc)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_layout);
+criterion_main!(benches);

@@ -1,0 +1,88 @@
+//! Criterion bench for fascicle mining (§3.3.1 complexity claims): scaling
+//! in records and attributes, and the batch-size ablation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use gea_cluster::dataset::Dataset;
+use gea_cluster::{mine_greedy, FascicleParams, ToleranceVector};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Records clustered into groups of 4 with per-attribute agreement.
+fn clustered_dataset(n_records: usize, n_attrs: usize, seed: u64) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n_groups = n_records.div_ceil(4);
+    let centers: Vec<Vec<f64>> = (0..n_groups)
+        .map(|_| (0..n_attrs).map(|_| rng.gen_range(0.0..100.0)).collect())
+        .collect();
+    let rows: Vec<Vec<f64>> = (0..n_records)
+        .map(|r| {
+            centers[r / 4]
+                .iter()
+                .map(|c| c + rng.gen_range(-1.0..1.0))
+                .collect()
+        })
+        .collect();
+    Dataset::from_records(&rows)
+}
+
+fn bench_mine(c: &mut Criterion) {
+    // Scaling in attributes at fixed record count (linear per §3.3.1).
+    let mut attrs_group = c.benchmark_group("mine_attrs_scaling");
+    attrs_group.sample_size(20);
+    for n_attrs in [500usize, 1_000, 2_000] {
+        let data = clustered_dataset(24, n_attrs, 7);
+        let tol = ToleranceVector::from_width_fraction(&data, 0.10);
+        let params = FascicleParams {
+            min_compact_attrs: n_attrs / 2,
+            min_records: 3,
+            batch_size: 6,
+        };
+        attrs_group.bench_with_input(
+            BenchmarkId::from_parameter(n_attrs),
+            &n_attrs,
+            |b, _| b.iter(|| black_box(mine_greedy(&data, &tol, &params))),
+        );
+    }
+    attrs_group.finish();
+
+    // Scaling in records at fixed attribute count.
+    let mut records_group = c.benchmark_group("mine_records_scaling");
+    records_group.sample_size(10);
+    for n_records in [12usize, 24, 36] {
+        let data = clustered_dataset(n_records, 1_000, 7);
+        let tol = ToleranceVector::from_width_fraction(&data, 0.10);
+        let params = FascicleParams {
+            min_compact_attrs: 500,
+            min_records: 3,
+            batch_size: 6,
+        };
+        records_group.bench_with_input(
+            BenchmarkId::from_parameter(n_records),
+            &n_records,
+            |b, _| b.iter(|| black_box(mine_greedy(&data, &tol, &params))),
+        );
+    }
+    records_group.finish();
+
+    // Batch-size ablation (the thesis GUI's "chunk" parameter).
+    let data = clustered_dataset(24, 1_000, 7);
+    let tol = ToleranceVector::from_width_fraction(&data, 0.10);
+    let mut batch_group = c.benchmark_group("mine_batch_size");
+    batch_group.sample_size(20);
+    for batch in [2usize, 6, 12, 24] {
+        let params = FascicleParams {
+            min_compact_attrs: 500,
+            min_records: 3,
+            batch_size: batch,
+        };
+        batch_group.bench_with_input(BenchmarkId::from_parameter(batch), &batch, |b, _| {
+            b.iter(|| black_box(mine_greedy(&data, &tol, &params)))
+        });
+    }
+    batch_group.finish();
+}
+
+criterion_group!(benches, bench_mine);
+criterion_main!(benches);

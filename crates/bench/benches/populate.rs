@@ -1,0 +1,47 @@
+//! Criterion bench for the Table 3.2 experiment: populate() evaluation
+//! strategies at varying index-hit counts, plus the rotated-layout
+//! sequential baseline. Smaller than the `repro` run so `cargo bench`
+//! stays minutes, not hours; shapes match the full-size experiment.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use gea_bench::populate_experiment::experiment_sumy;
+use gea_bench::workloads::populate_workload;
+use gea_core::populate::{
+    populate_columnar, populate_indexed, populate_scan, PopulateIndex,
+};
+
+fn bench_populate(c: &mut Criterion) {
+    let workload = populate_workload(10_000, 100, 5, 0.75, 2002);
+    let table = &workload.table;
+    let sumy = experiment_sumy(table, &workload.members, 4_000, 2002);
+
+    let mut group = c.benchmark_group("populate");
+    group.bench_function("scan_library_at_a_time", |b| {
+        b.iter(|| black_box(populate_scan(&sumy, table)))
+    });
+    group.bench_function("scan_columnar_rotated", |b| {
+        b.iter(|| black_box(populate_columnar(&sumy, table)))
+    });
+    for w in [1usize, 2, 4, 8] {
+        let tags: Vec<_> = sumy.tags().take(w).collect();
+        let index = PopulateIndex::build_on(table, &tags);
+        group.bench_with_input(BenchmarkId::new("indexed", w), &w, |b, _| {
+            b.iter(|| black_box(populate_indexed(&sumy, table, &index)))
+        });
+    }
+    group.finish();
+
+    // Index construction cost: entropy-ranked choice over the whole table.
+    let mut build = c.benchmark_group("populate_index_build");
+    for m in [8usize, 32] {
+        build.bench_with_input(BenchmarkId::new("top_entropy", m), &m, |b, &m| {
+            b.iter(|| black_box(PopulateIndex::build_top_entropy(table, m, 16)))
+        });
+    }
+    build.finish();
+}
+
+criterion_group!(benches, bench_populate);
+criterion_main!(benches);

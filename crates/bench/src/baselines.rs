@@ -1,0 +1,243 @@
+//! Baseline comparison: Fascicles vs the clustering algorithms the thesis
+//! surveys (k-means, hierarchical average-linkage with correlation
+//! distance, SOM), scored on how well each recovers the planted structure
+//! of a generated corpus.
+
+use gea_cluster::dataset::{AttrSource, Dataset};
+use gea_cluster::eval::{n_clusters, purity, rand_index};
+use gea_cluster::{
+    agglomerate, kmeans, mine_greedy, som, FascicleParams, KMeansParams, Linkage,
+    Metric, SomParams, ToleranceVector,
+};
+use gea_core::mine::MatrixView;
+use gea_core::EnumTable;
+use gea_sage::{NeoplasticState, TissueType};
+
+/// One algorithm's score at recovering cancer/normal structure.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BaselineRow {
+    /// Algorithm name.
+    pub algorithm: String,
+    /// Cluster purity against the cancer/normal labels.
+    pub purity: f64,
+    /// Rand index against the same labels.
+    pub rand_index: f64,
+    /// Number of clusters produced.
+    pub clusters: usize,
+    /// Libraries covered (fascicles may leave records unassigned).
+    pub covered: usize,
+}
+
+/// Cancer/normal labels of an ENUM table's libraries.
+pub fn neoplastic_labels(table: &EnumTable) -> Vec<usize> {
+    table
+        .libraries()
+        .iter()
+        .map(|m| match m.state {
+            NeoplasticState::Cancerous => 0,
+            NeoplasticState::Normal => 1,
+        })
+        .collect()
+}
+
+/// Tissue-type labels of an ENUM table's libraries (densely renumbered).
+/// Ng et al. 2001 found that "most of the clusters consist of just one
+/// tissue type" — tissue recovery is the crispest planted signal.
+pub fn tissue_labels(table: &EnumTable) -> Vec<usize> {
+    let mut tissues: Vec<TissueType> = Vec::new();
+    table
+        .libraries()
+        .iter()
+        .map(|m| {
+            if let Some(i) = tissues.iter().position(|t| *t == m.tissue) {
+                i
+            } else {
+                tissues.push(m.tissue.clone());
+                tissues.len() - 1
+            }
+        })
+        .collect()
+}
+
+/// Score every algorithm on one tissue data set with known labels.
+///
+/// `fascicle_k_fraction` is the compact-attribute threshold as a fraction
+/// of the tag count; the sweep mirrors what a GEA user does.
+pub fn compare_baselines(
+    table: &EnumTable,
+    labels: &[usize],
+    fascicle_k_fractions: &[f64],
+    seed: u64,
+) -> Vec<BaselineRow> {
+    let view = MatrixView::new(table);
+    let n = table.n_libraries();
+    // Distance-based baselines cluster on log-transformed levels, as the
+    // expression-analysis literature the thesis surveys does (Eisen et al.
+    // work on log ratios); raw levels let a handful of very abundant tags
+    // dominate Euclidean and correlation structure.
+    let log_view = Dataset::from_records(
+        &(0..n)
+            .map(|r| {
+                view.record_vector(r)
+                    .into_iter()
+                    .map(|v| (1.0 + v).ln())
+                    .collect::<Vec<f64>>()
+            })
+            .collect::<Vec<_>>(),
+    );
+    let k_classes = {
+        let mut distinct = labels.to_vec();
+        distinct.sort_unstable();
+        distinct.dedup();
+        distinct.len()
+    };
+    let mut rows = Vec::new();
+
+    // Fascicles: libraries in a mined fascicle share its cluster id;
+    // unassigned libraries each form a singleton (they are "unclustered").
+    let tol = ToleranceVector::from_width_fraction(&view, 0.10);
+    let mut best: Option<BaselineRow> = None;
+    for &frac in fascicle_k_fractions {
+        let params = FascicleParams {
+            min_compact_attrs: ((table.n_tags() as f64) * frac) as usize,
+            min_records: 2,
+            batch_size: 6,
+        };
+        let fascicles = mine_greedy(&view, &tol, &params);
+        let mut assignment = vec![usize::MAX; n];
+        let mut covered = 0;
+        for (c, f) in fascicles.iter().enumerate() {
+            for &r in &f.records {
+                if assignment[r] == usize::MAX {
+                    assignment[r] = c;
+                    covered += 1;
+                }
+            }
+        }
+        let mut next = fascicles.len();
+        for a in assignment.iter_mut() {
+            if *a == usize::MAX {
+                *a = next;
+                next += 1;
+            }
+        }
+        let row = BaselineRow {
+            algorithm: format!("fascicles(k={:.0}%)", frac * 100.0),
+            purity: purity(&assignment, labels),
+            rand_index: rand_index(&assignment, labels),
+            clusters: n_clusters(&assignment),
+            covered,
+        };
+        let better = best
+            .as_ref()
+            .map(|b| row.rand_index > b.rand_index)
+            .unwrap_or(true);
+        if better && covered > 0 {
+            best = Some(row);
+        }
+    }
+    if let Some(b) = best {
+        rows.push(b);
+    }
+
+    // k-means with k = number of true classes.
+    let km = kmeans(
+        &log_view,
+        &KMeansParams {
+            k: k_classes,
+            max_iters: 100,
+            seed,
+        },
+    );
+    rows.push(BaselineRow {
+        algorithm: "k-means".to_string(),
+        purity: purity(&km.assignments, labels),
+        rand_index: rand_index(&km.assignments, labels),
+        clusters: n_clusters(&km.assignments),
+        covered: n,
+    });
+
+    // Hierarchical average-linkage, correlation distance, cut at k.
+    let dendrogram = agglomerate(&log_view, Metric::Correlation, Linkage::Average);
+    let hc = dendrogram.cut(k_classes);
+    rows.push(BaselineRow {
+        algorithm: "hierarchical(avg, 1-r)".to_string(),
+        purity: purity(&hc, labels),
+        rand_index: rand_index(&hc, labels),
+        clusters: n_clusters(&hc),
+        covered: n,
+    });
+
+    // SOM on a 1×k grid (the Golub et al. setup).
+    let s = som(
+        &log_view,
+        &SomParams {
+            rows: 1,
+            cols: k_classes,
+            epochs: 60,
+            learning_rate: 0.5,
+            seed,
+        },
+    );
+    let sc = s.clusters();
+    rows.push(BaselineRow {
+        algorithm: "som(1xk)".to_string(),
+        purity: purity(&sc, labels),
+        rand_index: rand_index(&sc, labels),
+        clusters: n_clusters(&sc),
+        covered: n,
+    });
+
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gea_sage::clean::{clean, CleaningConfig};
+    use gea_sage::generate::{generate, GeneratorConfig};
+    use gea_sage::TissueType;
+
+    #[test]
+    fn tissue_structure_is_recovered() {
+        // Ng et al. 2001's observation: clusters align with tissue type.
+        let (corpus, _) = generate(&GeneratorConfig::demo(42));
+        let (matrix, _) = clean(&corpus, &CleaningConfig::default());
+        let base = EnumTable::new("SAGE", matrix);
+        let labels = tissue_labels(&base);
+        let rows = compare_baselines(&base, &labels, &[0.5, 0.4, 0.3], 42);
+        assert!(rows.len() >= 4, "expected all four algorithms: {rows:?}");
+        // Tissue separation is crisp: the distance-based algorithms should
+        // recover it near-perfectly.
+        assert!(
+            rows.iter().any(|r| r.rand_index > 0.9),
+            "no algorithm recovered tissue structure: {rows:?}"
+        );
+        assert!(
+            rows.iter().filter(|r| r.purity >= 0.9).count() >= 2,
+            "tissue purity too low: {rows:?}"
+        );
+    }
+
+    #[test]
+    fn neoplastic_split_is_harder_but_above_chance() {
+        // Within one tissue, cancer/normal separation is confounded by the
+        // scattered outside-fascicle cancer libraries — purity stays high
+        // even when the two-way split is imperfect.
+        let (corpus, _) = generate(&GeneratorConfig::demo(42));
+        let (matrix, _) = clean(&corpus, &CleaningConfig::default());
+        let base = EnumTable::new("SAGE", matrix);
+        let brain = base.select_tissue("Ebrain", &TissueType::Brain);
+        let labels = neoplastic_labels(&brain);
+        let rows = compare_baselines(&brain, &labels, &[0.6, 0.5, 0.4], 42);
+        for row in &rows {
+            assert!(
+                row.purity >= 0.5,
+                "{} purity {:.2} below chance",
+                row.algorithm,
+                row.purity
+            );
+        }
+        assert!(rows.iter().any(|r| r.purity >= 0.8), "{rows:?}");
+    }
+}

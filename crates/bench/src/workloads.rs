@@ -1,0 +1,111 @@
+//! Shared synthetic workloads for the experiments.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use gea_core::EnumTable;
+use gea_sage::corpus::library_meta;
+use gea_sage::library::{NeoplasticState, TissueSource};
+use gea_sage::tag::{Tag, TagUniverse};
+use gea_sage::{ExpressionMatrix, TissueType};
+
+/// A populate() workload shaped like the thesis's test case: `n_tags` total
+/// tags over `n_libs` libraries, with `n_members` libraries forming a tight
+/// cluster whose per-tag ranges are narrower than the population spread.
+pub struct PopulateWorkload {
+    /// The ENUM table being populated.
+    pub table: EnumTable,
+    /// The clustered member libraries (the populate answer, by
+    /// construction).
+    pub members: Vec<usize>,
+}
+
+/// Build a populate workload.
+///
+/// Every tag's population values are uniform on `[0, 1]`; the member
+/// libraries instead draw from a window of width `member_width` at a
+/// random per-tag center, so one member-range condition retains a random
+/// library with probability ≈ `member_width × (k−1)/(k+1)` — tuned near
+/// 0.5 at the default width, matching the selectivity Table 3.2's savings
+/// imply.
+pub fn populate_workload(
+    n_tags: usize,
+    n_libs: usize,
+    n_members: usize,
+    member_width: f64,
+    seed: u64,
+) -> PopulateWorkload {
+    assert!(n_members <= n_libs);
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Distinct tags: stride through the code space.
+    let universe = TagUniverse::from_tags(
+        (0..n_tags as u32).map(|i| Tag::from_code(i * (gea_sage::tag::TAG_SPACE / n_tags as u32)).unwrap()),
+    );
+    assert_eq!(universe.len(), n_tags, "tag stride produced collisions");
+    let libs = (0..n_libs)
+        .map(|i| {
+            library_meta(
+                &format!("L{i:03}"),
+                TissueType::Brain,
+                if i < n_members {
+                    NeoplasticState::Cancerous
+                } else {
+                    NeoplasticState::Normal
+                },
+                TissueSource::BulkTissue,
+            )
+        })
+        .collect();
+    let mut rows = Vec::with_capacity(n_tags);
+    for _ in 0..n_tags {
+        let center: f64 = rng.gen_range(member_width / 2.0..1.0 - member_width / 2.0);
+        let mut row = Vec::with_capacity(n_libs);
+        for l in 0..n_libs {
+            let v = if l < n_members {
+                rng.gen_range(center - member_width / 2.0..center + member_width / 2.0)
+            } else {
+                rng.gen_range(0.0..1.0)
+            };
+            row.push(v);
+        }
+        rows.push(row);
+    }
+    let matrix = ExpressionMatrix::from_rows(universe, libs, rows);
+    PopulateWorkload {
+        table: EnumTable::new("populate_workload", matrix),
+        members: (0..n_members).collect(),
+    }
+}
+
+/// A generated, cleaned demo-scale session corpus shared by the case-study
+/// experiments.
+pub fn demo_matrix(seed: u64) -> (gea_sage::SageCorpus, gea_sage::GroundTruth) {
+    gea_sage::generate(&gea_sage::GeneratorConfig::demo(seed))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gea_core::populate::populate_scan;
+    use gea_core::sumy::aggregate;
+    use gea_sage::library::LibraryId;
+
+    #[test]
+    fn workload_members_are_the_populate_answer() {
+        let w = populate_workload(500, 40, 5, 0.7, 1);
+        let ids: Vec<LibraryId> = w.members.iter().map(|&m| LibraryId(m as u32)).collect();
+        let sub = w.table.with_libraries("members", &ids);
+        let sumy = aggregate("def", &sub.matrix);
+        let (hits, _) = populate_scan(&sumy, &w.table);
+        // All members qualify; with 500 conjunctive conditions, non-members
+        // are (essentially surely) excluded.
+        assert_eq!(hits, ids);
+    }
+
+    #[test]
+    fn workload_is_deterministic() {
+        let a = populate_workload(100, 10, 3, 0.7, 9);
+        let b = populate_workload(100, 10, 3, 0.7, 9);
+        assert_eq!(a.table.matrix, b.table.matrix);
+    }
+}

@@ -1,0 +1,90 @@
+//! Distance functions for the baseline clusterers.
+//!
+//! The thesis's survey (§2.3) names the distances the field used: Euclidean
+//! distance for k-means-style methods, and the Pearson correlation
+//! coefficient (as a similarity, used by Eisen et al. and Ng et al.) for
+//! hierarchical clustering of expression profiles.
+
+/// Euclidean distance between two equal-length vectors.
+pub fn euclidean(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x - y) * (x - y))
+        .sum::<f64>()
+        .sqrt()
+}
+
+/// Pearson correlation coefficient of two equal-length vectors; 0 when
+/// either vector is constant (no linear relationship measurable).
+pub fn pearson(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    let n = a.len() as f64;
+    if a.is_empty() {
+        return 0.0;
+    }
+    let mean_a = a.iter().sum::<f64>() / n;
+    let mean_b = b.iter().sum::<f64>() / n;
+    let mut cov = 0.0;
+    let mut var_a = 0.0;
+    let mut var_b = 0.0;
+    for (x, y) in a.iter().zip(b) {
+        let dx = x - mean_a;
+        let dy = y - mean_b;
+        cov += dx * dy;
+        var_a += dx * dx;
+        var_b += dy * dy;
+    }
+    if var_a == 0.0 || var_b == 0.0 {
+        return 0.0;
+    }
+    cov / (var_a.sqrt() * var_b.sqrt())
+}
+
+/// Correlation distance `1 − r`, in `[0, 2]`: 0 for perfectly co-expressed
+/// profiles, 2 for perfectly anti-correlated ones.
+pub fn correlation_distance(a: &[f64], b: &[f64]) -> f64 {
+    1.0 - pearson(a, b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn euclidean_basics() {
+        assert_eq!(euclidean(&[0.0, 0.0], &[3.0, 4.0]), 5.0);
+        assert_eq!(euclidean(&[1.0], &[1.0]), 0.0);
+    }
+
+    #[test]
+    fn pearson_of_identical_profiles_is_one() {
+        let a = [1.0, 2.0, 3.0, 4.0];
+        assert!((pearson(&a, &a) - 1.0).abs() < 1e-12);
+        // Scaling and shifting preserve correlation.
+        let b: Vec<f64> = a.iter().map(|x| 10.0 * x + 5.0).collect();
+        assert!((pearson(&a, &b) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pearson_of_anticorrelated_is_minus_one() {
+        let a = [1.0, 2.0, 3.0];
+        let b = [3.0, 2.0, 1.0];
+        assert!((pearson(&a, &b) + 1.0).abs() < 1e-12);
+        assert!((correlation_distance(&a, &b) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn constant_vector_has_zero_correlation() {
+        assert_eq!(pearson(&[5.0, 5.0, 5.0], &[1.0, 2.0, 3.0]), 0.0);
+        assert_eq!(correlation_distance(&[5.0, 5.0], &[5.0, 5.0]), 1.0);
+    }
+
+    #[test]
+    fn pearson_is_symmetric_and_bounded() {
+        let a = [1.0, 5.0, 2.0, 8.0, 3.0];
+        let b = [2.0, 4.0, 4.0, 9.0, 1.0];
+        assert!((pearson(&a, &b) - pearson(&b, &a)).abs() < 1e-12);
+        assert!(pearson(&a, &b).abs() <= 1.0 + 1e-12);
+    }
+}

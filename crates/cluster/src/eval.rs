@@ -1,0 +1,103 @@
+//! Clustering evaluation against known labels.
+//!
+//! The generator plants ground truth (tissue type, neoplastic state,
+//! fascicle membership); these metrics score how well each algorithm
+//! recovers it. Used by the baseline-comparison bench (`repro --exp
+//! baselines`).
+
+use std::collections::HashMap;
+
+/// Cluster purity: each cluster votes for its majority label; purity is the
+/// fraction of records covered by their cluster's majority. 1.0 means every
+/// cluster is label-homogeneous (the thesis's "pure fascicle" generalized).
+pub fn purity(assignments: &[usize], labels: &[usize]) -> f64 {
+    assert_eq!(assignments.len(), labels.len());
+    if assignments.is_empty() {
+        return 1.0;
+    }
+    let mut per_cluster: HashMap<usize, HashMap<usize, usize>> = HashMap::new();
+    for (&c, &l) in assignments.iter().zip(labels) {
+        *per_cluster.entry(c).or_default().entry(l).or_insert(0) += 1;
+    }
+    let majority_sum: usize = per_cluster
+        .values()
+        .map(|counts| counts.values().copied().max().unwrap_or(0))
+        .sum();
+    majority_sum as f64 / assignments.len() as f64
+}
+
+/// Rand index: fraction of record pairs on which the clustering and the
+/// labeling agree (both together or both apart). 1.0 is perfect agreement.
+pub fn rand_index(assignments: &[usize], labels: &[usize]) -> f64 {
+    assert_eq!(assignments.len(), labels.len());
+    let n = assignments.len();
+    if n < 2 {
+        return 1.0;
+    }
+    let mut agree = 0usize;
+    let mut total = 0usize;
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let same_cluster = assignments[i] == assignments[j];
+            let same_label = labels[i] == labels[j];
+            if same_cluster == same_label {
+                agree += 1;
+            }
+            total += 1;
+        }
+    }
+    agree as f64 / total as f64
+}
+
+/// Number of distinct clusters used.
+pub fn n_clusters(assignments: &[usize]) -> usize {
+    let mut seen: Vec<usize> = assignments.to_vec();
+    seen.sort_unstable();
+    seen.dedup();
+    seen.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_clustering_scores_one() {
+        let labels = [0, 0, 1, 1, 2];
+        assert_eq!(purity(&labels, &labels), 1.0);
+        assert_eq!(rand_index(&labels, &labels), 1.0);
+    }
+
+    #[test]
+    fn label_permutation_does_not_matter() {
+        let assignments = [5, 5, 9, 9];
+        let labels = [1, 1, 0, 0];
+        assert_eq!(purity(&assignments, &labels), 1.0);
+        assert_eq!(rand_index(&assignments, &labels), 1.0);
+    }
+
+    #[test]
+    fn mixed_cluster_lowers_purity() {
+        let assignments = [0, 0, 0, 0];
+        let labels = [0, 0, 1, 1];
+        assert_eq!(purity(&assignments, &labels), 0.5);
+        // Rand: pairs same-cluster: all 6; same-label: (0,1) and (2,3) → 2
+        // agreements out of 6.
+        assert!((rand_index(&assignments, &labels) - 2.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn singleton_clusters_have_perfect_purity_but_poor_rand() {
+        let assignments = [0, 1, 2, 3];
+        let labels = [0, 0, 0, 0];
+        assert_eq!(purity(&assignments, &labels), 1.0);
+        assert_eq!(rand_index(&assignments, &labels), 0.0);
+        assert_eq!(n_clusters(&assignments), 4);
+    }
+
+    #[test]
+    fn empty_and_trivial_inputs() {
+        assert_eq!(purity(&[], &[]), 1.0);
+        assert_eq!(rand_index(&[0], &[7]), 1.0);
+    }
+}

@@ -1,0 +1,279 @@
+//! Hierarchical agglomerative clustering — the baseline of Eisen et al.
+//! (§2.3.2): "the hierarchical pairwise average-linkage cluster algorithm is
+//! applied, and the standard correlation coefficient is used for the
+//! distance measurement."
+//!
+//! Bottom-up merging under a chosen linkage; the full merge history (the
+//! dendrogram) is retained and can be cut into any number of flat clusters.
+
+use crate::dataset::AttrSource;
+use crate::distance::{correlation_distance, euclidean};
+
+/// Inter-cluster linkage rules.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Linkage {
+    /// Minimum pairwise distance.
+    Single,
+    /// Maximum pairwise distance.
+    Complete,
+    /// Unweighted average of pairwise distances (UPGMA) — the Eisen et al.
+    /// choice.
+    Average,
+}
+
+/// Record-to-record metrics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Metric {
+    /// Euclidean distance.
+    Euclidean,
+    /// `1 − Pearson correlation` — the expression-profile metric.
+    Correlation,
+}
+
+/// One merge step: clusters `a` and `b` (node ids) joined at `height`.
+///
+/// Node ids follow scipy convention: leaves are `0..n`; the merge at step
+/// `s` creates node `n + s`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Merge {
+    /// First child node id.
+    pub a: usize,
+    /// Second child node id.
+    pub b: usize,
+    /// Linkage distance at which the merge happened.
+    pub height: f64,
+    /// Number of leaves under the new node.
+    pub size: usize,
+}
+
+/// A full agglomerative clustering: `n − 1` merges over `n` leaves.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Dendrogram {
+    /// Number of leaf records.
+    pub n_leaves: usize,
+    /// Merges in the order performed; heights are non-decreasing for
+    /// average/complete linkage on a metric space.
+    pub merges: Vec<Merge>,
+}
+
+impl Dendrogram {
+    /// Cut into exactly `k` flat clusters (1 ≤ k ≤ n) by undoing the last
+    /// `k − 1` merges. Returns a cluster index per leaf, labeled 0..k in
+    /// order of first appearance.
+    pub fn cut(&self, k: usize) -> Vec<usize> {
+        let n = self.n_leaves;
+        assert!(k >= 1 && k <= n, "k = {k} out of range for {n} leaves");
+        // Union-find over the first n - k merges.
+        let mut parent: Vec<usize> = (0..2 * n - 1).collect();
+        fn find(parent: &mut [usize], x: usize) -> usize {
+            let mut root = x;
+            while parent[root] != root {
+                root = parent[root];
+            }
+            let mut cur = x;
+            while parent[cur] != root {
+                let next = parent[cur];
+                parent[cur] = root;
+                cur = next;
+            }
+            root
+        }
+        for (s, merge) in self.merges.iter().take(n - k).enumerate() {
+            let node = n + s;
+            let ra = find(&mut parent, merge.a);
+            let rb = find(&mut parent, merge.b);
+            parent[ra] = node;
+            parent[rb] = node;
+        }
+        let mut labels = vec![usize::MAX; n];
+        let mut next = 0;
+        let mut map: std::collections::HashMap<usize, usize> =
+            std::collections::HashMap::new();
+        for (leaf, slot) in labels.iter_mut().enumerate() {
+            let root = find(&mut parent, leaf);
+            let label = *map.entry(root).or_insert_with(|| {
+                let l = next;
+                next += 1;
+                l
+            });
+            *slot = label;
+        }
+        labels
+    }
+}
+
+/// Agglomerate the records of `data` under the given metric and linkage.
+pub fn agglomerate<D: AttrSource>(data: &D, metric: Metric, linkage: Linkage) -> Dendrogram {
+    let n = data.n_records();
+    assert!(n >= 1, "need at least one record");
+    let records: Vec<Vec<f64>> = (0..n).map(|r| data.record_vector(r)).collect();
+    let dist = |a: &[f64], b: &[f64]| match metric {
+        Metric::Euclidean => euclidean(a, b),
+        Metric::Correlation => correlation_distance(a, b),
+    };
+
+    // Active clusters: node id, member leaves.
+    struct Active {
+        node: usize,
+        members: Vec<usize>,
+    }
+    let mut active: Vec<Active> = (0..n)
+        .map(|r| Active {
+            node: r,
+            members: vec![r],
+        })
+        .collect();
+
+    // Leaf-level distance matrix (condensed, row-major upper triangle).
+    let leaf_dist: Vec<Vec<f64>> = (0..n)
+        .map(|i| (0..n).map(|j| dist(&records[i], &records[j])).collect())
+        .collect();
+
+    let linkage_dist = |a: &Active, b: &Active| -> f64 {
+        let mut acc: f64 = match linkage {
+            Linkage::Single => f64::INFINITY,
+            Linkage::Complete => f64::NEG_INFINITY,
+            Linkage::Average => 0.0,
+        };
+        for &i in &a.members {
+            for &j in &b.members {
+                let d = leaf_dist[i][j];
+                match linkage {
+                    Linkage::Single => acc = acc.min(d),
+                    Linkage::Complete => acc = acc.max(d),
+                    Linkage::Average => acc += d,
+                }
+            }
+        }
+        if linkage == Linkage::Average {
+            acc / (a.members.len() * b.members.len()) as f64
+        } else {
+            acc
+        }
+    };
+
+    let mut merges = Vec::with_capacity(n.saturating_sub(1));
+    let mut next_node = n;
+    while active.len() > 1 {
+        let mut best = (0usize, 1usize, f64::INFINITY);
+        for i in 0..active.len() {
+            for j in (i + 1)..active.len() {
+                let d = linkage_dist(&active[i], &active[j]);
+                if d < best.2 {
+                    best = (i, j, d);
+                }
+            }
+        }
+        let (i, j, height) = best;
+        let b = active.swap_remove(j);
+        let a = std::mem::replace(
+            &mut active[i],
+            Active {
+                node: next_node,
+                members: Vec::new(),
+            },
+        );
+        let mut members = a.members;
+        members.extend(b.members);
+        let size = members.len();
+        merges.push(Merge {
+            a: a.node,
+            b: b.node,
+            height,
+            size,
+        });
+        active[i].members = members;
+        next_node += 1;
+    }
+    Dendrogram {
+        n_leaves: n,
+        merges,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::Dataset;
+
+    fn blobs() -> Dataset {
+        Dataset::from_records(&[
+            vec![0.0, 0.0],
+            vec![0.5, 0.0],
+            vec![0.0, 0.5],
+            vec![20.0, 20.0],
+            vec![20.5, 20.0],
+        ])
+    }
+
+    #[test]
+    fn cut_recovers_blobs() {
+        let dend = agglomerate(&blobs(), Metric::Euclidean, Linkage::Average);
+        assert_eq!(dend.merges.len(), 4);
+        let labels = dend.cut(2);
+        assert_eq!(labels[0], labels[1]);
+        assert_eq!(labels[0], labels[2]);
+        assert_eq!(labels[3], labels[4]);
+        assert_ne!(labels[0], labels[3]);
+    }
+
+    #[test]
+    fn cut_extremes() {
+        let dend = agglomerate(&blobs(), Metric::Euclidean, Linkage::Average);
+        let one = dend.cut(1);
+        assert!(one.iter().all(|&l| l == 0));
+        let all = dend.cut(5);
+        let mut sorted = all.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 5);
+    }
+
+    #[test]
+    fn average_linkage_heights_are_monotone() {
+        let dend = agglomerate(&blobs(), Metric::Euclidean, Linkage::Average);
+        for pair in dend.merges.windows(2) {
+            assert!(pair[1].height >= pair[0].height - 1e-12);
+        }
+    }
+
+    #[test]
+    fn correlation_metric_groups_coexpressed_profiles() {
+        // Profiles 0 and 1 are scaled copies (r = 1); profile 2 is
+        // anti-correlated.
+        let d = Dataset::from_records(&[
+            vec![1.0, 2.0, 3.0, 4.0],
+            vec![10.0, 20.0, 30.0, 40.0],
+            vec![4.0, 3.0, 2.0, 1.0],
+        ]);
+        let dend = agglomerate(&d, Metric::Correlation, Linkage::Average);
+        let labels = dend.cut(2);
+        assert_eq!(labels[0], labels[1]);
+        assert_ne!(labels[0], labels[2]);
+        assert!(dend.merges[0].height < 1e-9);
+    }
+
+    #[test]
+    fn linkages_differ_on_chains() {
+        // A chain: single linkage merges everything early; complete resists.
+        let d = Dataset::from_records(&[
+            vec![0.0],
+            vec![1.0],
+            vec![2.0],
+            vec![3.0],
+        ]);
+        let single = agglomerate(&d, Metric::Euclidean, Linkage::Single);
+        let complete = agglomerate(&d, Metric::Euclidean, Linkage::Complete);
+        let last_single = single.merges.last().unwrap().height;
+        let last_complete = complete.merges.last().unwrap().height;
+        assert!(last_single <= last_complete);
+        assert_eq!(last_single, 1.0);
+        assert_eq!(last_complete, 3.0);
+    }
+
+    #[test]
+    fn merge_sizes_track_leaves() {
+        let dend = agglomerate(&blobs(), Metric::Euclidean, Linkage::Average);
+        assert_eq!(dend.merges.last().unwrap().size, 5);
+    }
+}

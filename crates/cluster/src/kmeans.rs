@@ -1,0 +1,192 @@
+//! k-means clustering — one of the baselines the thesis surveys (§2.3.1:
+//! "self-organizing map and k-means clustering methods employ a 'top-down'
+//! approach, in which the user pre-defines the number of clusters").
+//!
+//! Lloyd's algorithm with k-means++ seeding, deterministic under the given
+//! seed.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::dataset::AttrSource;
+use crate::distance::euclidean;
+
+/// k-means configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KMeansParams {
+    /// Number of clusters.
+    pub k: usize,
+    /// Maximum Lloyd iterations.
+    pub max_iters: usize,
+    /// RNG seed for k-means++ initialization.
+    pub seed: u64,
+}
+
+impl Default for KMeansParams {
+    fn default() -> KMeansParams {
+        KMeansParams {
+            k: 2,
+            max_iters: 100,
+            seed: 0,
+        }
+    }
+}
+
+/// A k-means result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KMeansResult {
+    /// Cluster index (0..k) per record.
+    pub assignments: Vec<usize>,
+    /// Final centroids, `k` rows of `n_attrs` values.
+    pub centroids: Vec<Vec<f64>>,
+    /// Sum of squared distances of records to their centroids.
+    pub inertia: f64,
+    /// Lloyd iterations performed.
+    pub iterations: usize,
+}
+
+/// Run k-means over the records of `data`.
+///
+/// Panics when `k` is zero or exceeds the record count.
+pub fn kmeans<D: AttrSource>(data: &D, params: &KMeansParams) -> KMeansResult {
+    let n = data.n_records();
+    let k = params.k;
+    assert!(k > 0 && k <= n, "k = {k} out of range for {n} records");
+    let records: Vec<Vec<f64>> = (0..n).map(|r| data.record_vector(r)).collect();
+    let mut rng = StdRng::seed_from_u64(params.seed);
+
+    // k-means++ seeding.
+    let mut centroids: Vec<Vec<f64>> = Vec::with_capacity(k);
+    centroids.push(records[rng.gen_range(0..n)].clone());
+    while centroids.len() < k {
+        let d2: Vec<f64> = records
+            .iter()
+            .map(|r| {
+                centroids
+                    .iter()
+                    .map(|c| euclidean(r, c))
+                    .fold(f64::INFINITY, f64::min)
+                    .powi(2)
+            })
+            .collect();
+        let total: f64 = d2.iter().sum();
+        let next = if total <= 0.0 {
+            rng.gen_range(0..n)
+        } else {
+            let mut target = rng.gen_range(0.0..total);
+            let mut chosen = n - 1;
+            for (i, &w) in d2.iter().enumerate() {
+                if target < w {
+                    chosen = i;
+                    break;
+                }
+                target -= w;
+            }
+            chosen
+        };
+        centroids.push(records[next].clone());
+    }
+
+    let mut assignments = vec![0usize; n];
+    let mut iterations = 0;
+    for _ in 0..params.max_iters {
+        iterations += 1;
+        // Assignment step.
+        let mut changed = false;
+        for (r, record) in records.iter().enumerate() {
+            let nearest = centroids
+                .iter()
+                .enumerate()
+                .min_by(|(_, a), (_, b)| {
+                    euclidean(record, a).total_cmp(&euclidean(record, b))
+                })
+                .map(|(i, _)| i)
+                .expect("k > 0");
+            if assignments[r] != nearest {
+                assignments[r] = nearest;
+                changed = true;
+            }
+        }
+        // Update step.
+        let n_attrs = data.n_attrs();
+        let mut sums = vec![vec![0.0; n_attrs]; k];
+        let mut counts = vec![0usize; k];
+        for (r, record) in records.iter().enumerate() {
+            counts[assignments[r]] += 1;
+            for (s, v) in sums[assignments[r]].iter_mut().zip(record) {
+                *s += v;
+            }
+        }
+        for (c, (sum, count)) in sums.into_iter().zip(&counts).enumerate() {
+            if *count > 0 {
+                centroids[c] = sum.into_iter().map(|s| s / *count as f64).collect();
+            }
+            // Empty clusters keep their previous centroid.
+        }
+        if !changed && iterations > 1 {
+            break;
+        }
+    }
+
+    let inertia = records
+        .iter()
+        .zip(&assignments)
+        .map(|(r, &c)| euclidean(r, &centroids[c]).powi(2))
+        .sum();
+    KMeansResult {
+        assignments,
+        centroids,
+        inertia,
+        iterations,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::Dataset;
+
+    fn two_blobs() -> Dataset {
+        Dataset::from_records(&[
+            vec![0.0, 0.1],
+            vec![0.2, 0.0],
+            vec![0.1, 0.2],
+            vec![10.0, 10.1],
+            vec![10.2, 9.9],
+            vec![9.9, 10.0],
+        ])
+    }
+
+    #[test]
+    fn separates_two_blobs() {
+        let result = kmeans(&two_blobs(), &KMeansParams { k: 2, max_iters: 50, seed: 1 });
+        let a = result.assignments[0];
+        assert!(result.assignments[..3].iter().all(|&c| c == a));
+        let b = result.assignments[3];
+        assert_ne!(a, b);
+        assert!(result.assignments[3..].iter().all(|&c| c == b));
+        assert!(result.inertia < 1.0);
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let p = KMeansParams { k: 2, max_iters: 50, seed: 42 };
+        let r1 = kmeans(&two_blobs(), &p);
+        let r2 = kmeans(&two_blobs(), &p);
+        assert_eq!(r1.assignments, r2.assignments);
+        assert_eq!(r1.inertia, r2.inertia);
+    }
+
+    #[test]
+    fn k_equals_n_gives_zero_inertia() {
+        let d = two_blobs();
+        let result = kmeans(&d, &KMeansParams { k: 6, max_iters: 50, seed: 3 });
+        assert!(result.inertia < 1e-18);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_k_larger_than_n() {
+        kmeans(&two_blobs(), &KMeansParams { k: 7, max_iters: 10, seed: 0 });
+    }
+}

@@ -1,0 +1,38 @@
+//! # gea-cluster — clustering algorithms for gene expression analysis
+//!
+//! The GEA toolkit's built-in miner is the **Fascicles** algorithm
+//! (Jagadish, Madar, Ng — VLDB 1999), chosen because it scales to tens of
+//! thousands of dimensions and directly yields compact-tag signatures
+//! (thesis §2.5). This crate implements it along with the baseline
+//! algorithms the thesis surveys — k-means, hierarchical average-linkage
+//! with correlation distance (Eisen et al.), and a self-organizing map
+//! (Golub et al.) — plus evaluation metrics for comparing them on planted
+//! ground truth.
+//!
+//! * [`dataset`] — the records × attributes abstraction;
+//! * [`tolerance`] — compactness tolerance vectors (the miner's metadata);
+//! * [`fascicle`] — greedy batched miner and exact small-input miner;
+//! * [`distance`] — Euclidean and Pearson-correlation distances;
+//! * [`mod@kmeans`] / [`hierarchical`] / [`mod@som`] — baselines;
+//! * [`eval`] — purity and Rand index against known labels;
+//! * [`compression`] — the VLDB'99 semantic-compression use of fascicles.
+
+#![warn(missing_docs)]
+
+pub mod compression;
+pub mod dataset;
+pub mod distance;
+pub mod eval;
+pub mod fascicle;
+pub mod hierarchical;
+pub mod kmeans;
+pub mod som;
+pub mod tolerance;
+
+pub use compression::{compress, CompressionSummary};
+pub use dataset::{AttrSource, Dataset};
+pub use fascicle::{mine_exact, mine_greedy, Fascicle, FascicleParams};
+pub use hierarchical::{agglomerate, Dendrogram, Linkage, Metric};
+pub use kmeans::{kmeans, KMeansParams, KMeansResult};
+pub use som::{som, SomParams, SomResult};
+pub use tolerance::ToleranceVector;

@@ -1,0 +1,219 @@
+//! Self-organizing map — the Golub et al. baseline (§2.3.2: "the SOM is
+//! particularly well suited to identifying a small number of prominent
+//! classes in a small data set").
+//!
+//! A rectangular grid of prototype vectors trained online with a Gaussian
+//! neighborhood and exponentially decaying learning rate; records are then
+//! assigned to their best-matching unit, each occupied unit forming one
+//! cluster.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::dataset::AttrSource;
+use crate::distance::euclidean;
+
+/// SOM configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SomParams {
+    /// Grid rows.
+    pub rows: usize,
+    /// Grid columns. The thesis's Golub reference used small grids such as
+    /// 1×2 for two-class separation.
+    pub cols: usize,
+    /// Training epochs (full passes over the records).
+    pub epochs: usize,
+    /// Initial learning rate, decayed exponentially to ~1% of itself.
+    pub learning_rate: f64,
+    /// RNG seed for prototype initialization and record order shuffling.
+    pub seed: u64,
+}
+
+impl Default for SomParams {
+    fn default() -> SomParams {
+        SomParams {
+            rows: 1,
+            cols: 2,
+            epochs: 60,
+            learning_rate: 0.5,
+            seed: 0,
+        }
+    }
+}
+
+/// A trained SOM.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SomResult {
+    /// Best-matching unit (grid cell index, row-major) per record.
+    pub assignments: Vec<usize>,
+    /// Prototype vectors, one per grid cell (row-major).
+    pub prototypes: Vec<Vec<f64>>,
+    /// Grid shape `(rows, cols)`.
+    pub shape: (usize, usize),
+}
+
+impl SomResult {
+    /// Re-label assignments densely 0..k over *occupied* units, in order of
+    /// first appearance — a flat clustering.
+    pub fn clusters(&self) -> Vec<usize> {
+        let mut map = std::collections::HashMap::new();
+        let mut next = 0usize;
+        self.assignments
+            .iter()
+            .map(|&bmu| {
+                *map.entry(bmu).or_insert_with(|| {
+                    let l = next;
+                    next += 1;
+                    l
+                })
+            })
+            .collect()
+    }
+}
+
+fn grid_distance2(shape: (usize, usize), a: usize, b: usize) -> f64 {
+    let (ra, ca) = (a / shape.1, a % shape.1);
+    let (rb, cb) = (b / shape.1, b % shape.1);
+    let dr = ra as f64 - rb as f64;
+    let dc = ca as f64 - cb as f64;
+    dr * dr + dc * dc
+}
+
+/// Train a SOM over the records of `data`.
+pub fn som<D: AttrSource>(data: &D, params: &SomParams) -> SomResult {
+    let n = data.n_records();
+    let units = params.rows * params.cols;
+    assert!(units > 0, "grid must be non-empty");
+    assert!(n > 0, "need at least one record");
+    let records: Vec<Vec<f64>> = (0..n).map(|r| data.record_vector(r)).collect();
+    let mut rng = StdRng::seed_from_u64(params.seed);
+
+    // Initialize prototypes as perturbed copies of random records.
+    let mut prototypes: Vec<Vec<f64>> = (0..units)
+        .map(|_| {
+            let base = &records[rng.gen_range(0..n)];
+            base.iter()
+                .map(|v| v + rng.gen_range(-0.01..0.01) * (v.abs() + 1.0))
+                .collect()
+        })
+        .collect();
+
+    let shape = (params.rows, params.cols);
+    let initial_radius = (params.rows.max(params.cols) as f64 / 2.0).max(1.0);
+    let total_steps = (params.epochs * n).max(1) as f64;
+    let mut step = 0f64;
+    let mut order: Vec<usize> = (0..n).collect();
+    for _ in 0..params.epochs {
+        // Shuffle record order each epoch.
+        for i in (1..order.len()).rev() {
+            order.swap(i, rng.gen_range(0..=i));
+        }
+        for &r in &order {
+            let t = step / total_steps;
+            let lr = params.learning_rate * (0.01f64).powf(t);
+            let radius = initial_radius * (0.1f64 / initial_radius).powf(t).max(1e-3);
+            let record = &records[r];
+            let bmu = prototypes
+                .iter()
+                .enumerate()
+                .min_by(|(_, a), (_, b)| {
+                    euclidean(record, a).total_cmp(&euclidean(record, b))
+                })
+                .map(|(i, _)| i)
+                .expect("non-empty grid");
+            for (u, proto) in prototypes.iter_mut().enumerate() {
+                let g2 = grid_distance2(shape, bmu, u);
+                let influence = (-g2 / (2.0 * radius * radius)).exp();
+                if influence < 1e-4 {
+                    continue;
+                }
+                for (p, v) in proto.iter_mut().zip(record) {
+                    *p += lr * influence * (v - *p);
+                }
+            }
+            step += 1.0;
+        }
+    }
+
+    let assignments = records
+        .iter()
+        .map(|record| {
+            prototypes
+                .iter()
+                .enumerate()
+                .min_by(|(_, a), (_, b)| {
+                    euclidean(record, a).total_cmp(&euclidean(record, b))
+                })
+                .map(|(i, _)| i)
+                .expect("non-empty grid")
+        })
+        .collect();
+    SomResult {
+        assignments,
+        prototypes,
+        shape,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::Dataset;
+
+    fn two_blobs() -> Dataset {
+        Dataset::from_records(&[
+            vec![0.0, 0.0],
+            vec![0.3, 0.2],
+            vec![0.1, 0.4],
+            vec![9.9, 10.0],
+            vec![10.1, 9.8],
+            vec![10.0, 10.3],
+        ])
+    }
+
+    #[test]
+    fn one_by_two_grid_separates_two_classes() {
+        // The Golub-style setup: a 1×2 SOM splitting the data in two.
+        let result = som(&two_blobs(), &SomParams::default());
+        let clusters = result.clusters();
+        assert_eq!(clusters[0], clusters[1]);
+        assert_eq!(clusters[0], clusters[2]);
+        assert_eq!(clusters[3], clusters[4]);
+        assert_eq!(clusters[3], clusters[5]);
+        assert_ne!(clusters[0], clusters[3]);
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let p = SomParams { seed: 9, ..SomParams::default() };
+        let r1 = som(&two_blobs(), &p);
+        let r2 = som(&two_blobs(), &p);
+        assert_eq!(r1.assignments, r2.assignments);
+    }
+
+    #[test]
+    fn prototypes_land_near_blob_centers() {
+        let result = som(&two_blobs(), &SomParams::default());
+        // One prototype near (0.13, 0.2), the other near (10, 10).
+        let near_origin = result
+            .prototypes
+            .iter()
+            .any(|p| euclidean(p, &[0.13, 0.2]) < 1.0);
+        let near_ten = result
+            .prototypes
+            .iter()
+            .any(|p| euclidean(p, &[10.0, 10.0]) < 1.0);
+        assert!(near_origin && near_ten, "prototypes: {:?}", result.prototypes);
+    }
+
+    #[test]
+    fn cluster_labels_are_dense() {
+        let result = som(&two_blobs(), &SomParams { rows: 3, cols: 3, ..SomParams::default() });
+        let clusters = result.clusters();
+        let max = *clusters.iter().max().unwrap();
+        let mut seen: Vec<usize> = clusters.clone();
+        seen.sort_unstable();
+        seen.dedup();
+        assert_eq!(seen, (0..=max).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,112 @@
+//! Compactness tolerance vectors — the fascicle miner's "metadata".
+//!
+//! The Fascicles algorithm takes a *tolerance vector* `t`: one value per
+//! attribute, bounding how much the attribute may vary within a fascicle
+//! for it to count as compact (§2.5.1). The thesis's GUI generates this
+//! metadata as a percentage of each attribute's width: "The compact
+//! tolerance can be 5, 10, 20 or other percentage of the range of the
+//! attribute" (Figure 4.5).
+
+use crate::dataset::AttrSource;
+
+/// A per-attribute compactness tolerance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ToleranceVector {
+    tolerances: Vec<f64>,
+}
+
+impl ToleranceVector {
+    /// Use explicit per-attribute tolerances.
+    pub fn from_values(tolerances: Vec<f64>) -> ToleranceVector {
+        ToleranceVector { tolerances }
+    }
+
+    /// The thesis's metadata generator: tolerance = `fraction` × attribute
+    /// width, computed over the whole dataset. For example, "if the width
+    /// of the value of tag AAAAAAAAAA is 200, five percent of the width is
+    /// selected as the compact tolerance, which is equal to 10."
+    pub fn from_width_fraction<D: AttrSource>(data: &D, fraction: f64) -> ToleranceVector {
+        assert!(fraction >= 0.0, "tolerance fraction must be non-negative");
+        let tolerances = (0..data.n_attrs())
+            .map(|a| {
+                let vals = data.attr_values(a);
+                let lo = vals.iter().cloned().fold(f64::INFINITY, f64::min);
+                let hi = vals.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+                if hi > lo {
+                    (hi - lo) * fraction
+                } else {
+                    0.0
+                }
+            })
+            .collect();
+        ToleranceVector { tolerances }
+    }
+
+    /// One tolerance per attribute.
+    pub fn len(&self) -> usize {
+        self.tolerances.len()
+    }
+
+    /// Whether there are no attributes.
+    pub fn is_empty(&self) -> bool {
+        self.tolerances.is_empty()
+    }
+
+    /// The tolerance for attribute `attr`.
+    pub fn get(&self, attr: usize) -> f64 {
+        self.tolerances[attr]
+    }
+
+    /// All tolerances in attribute order.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.tolerances
+    }
+
+    /// Whether a value spread (`hi - lo`) is compact for `attr`. The spread
+    /// must be within the tolerance *inclusive*: the thesis's example calls
+    /// tag G with range [1, 4] compact "if the specified tolerance for tag
+    /// G is at least 3".
+    pub fn is_compact(&self, attr: usize, lo: f64, hi: f64) -> bool {
+        hi - lo <= self.tolerances[attr]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::Dataset;
+
+    #[test]
+    fn width_fraction_matches_thesis_example() {
+        // Attribute 0 has width 200; 5% → tolerance 10.
+        let d = Dataset::from_records(&[vec![0.0], vec![200.0], vec![50.0]]);
+        let t = ToleranceVector::from_width_fraction(&d, 0.05);
+        assert_eq!(t.get(0), 10.0);
+    }
+
+    #[test]
+    fn constant_attribute_has_zero_tolerance() {
+        let d = Dataset::from_records(&[vec![7.0], vec![7.0]]);
+        let t = ToleranceVector::from_width_fraction(&d, 0.1);
+        assert_eq!(t.get(0), 0.0);
+        // A constant attribute is still compact (spread 0 ≤ tolerance 0).
+        assert!(t.is_compact(0, 7.0, 7.0));
+    }
+
+    #[test]
+    fn compactness_is_inclusive() {
+        // Thesis §2.5.1: range [1, 4] with tolerance 3 is compact.
+        let t = ToleranceVector::from_values(vec![3.0]);
+        assert!(t.is_compact(0, 1.0, 4.0));
+        assert!(!t.is_compact(0, 1.0, 4.5));
+    }
+
+    #[test]
+    fn explicit_values() {
+        // The Table 2.2 example's tolerances.
+        let t = ToleranceVector::from_values(vec![120.0, 3.0, 47.0, 60.0, 20.0]);
+        assert_eq!(t.len(), 5);
+        assert!(t.is_compact(0, 1800.0, 1910.0));
+        assert!(!t.is_compact(1, 0.0, 25.0));
+    }
+}

@@ -1,0 +1,259 @@
+//! Authentication and administration (thesis Appendix III).
+//!
+//! GEA supports multi-user access with two privilege levels: *system
+//! administrators* (full access, may manage accounts) and *system users*.
+//! Login verifies the user name, password **and** requested access level;
+//! the error-checking dialog of Figure 4.27 deliberately hints only at the
+//! password and type, not the user name. This registry is a faithful
+//! functional reproduction of the appendix, not security-grade software —
+//! passwords are salted-hashed with a non-cryptographic hash, sufficient
+//! for the thesis's demo semantics.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+
+/// Access privilege levels (Figure AIII.1's radio buttons).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessLevel {
+    /// Full access, including account management and configuration.
+    Administrator,
+    /// Analysis operations only.
+    User,
+}
+
+impl fmt::Display for AccessLevel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            AccessLevel::Administrator => "administrator",
+            AccessLevel::User => "user",
+        })
+    }
+}
+
+/// Account-management errors, worded like the thesis's dialog boxes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AdminError {
+    /// Figure 4.27: "Login failed! Please check your PASSWORD and TYPE".
+    LoginFailed,
+    /// The acting user lacks administrator privileges.
+    NotAuthorized,
+    /// Account already exists.
+    DuplicateUser(String),
+    /// No such account.
+    UnknownUser(String),
+}
+
+impl fmt::Display for AdminError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AdminError::LoginFailed => {
+                f.write_str("Login failed! Please check your PASSWORD and TYPE")
+            }
+            AdminError::NotAuthorized => {
+                f.write_str("operation requires administrator privileges")
+            }
+            AdminError::DuplicateUser(u) => write!(f, "user {u:?} already exists"),
+            AdminError::UnknownUser(u) => write!(f, "no such user {u:?}"),
+        }
+    }
+}
+
+impl std::error::Error for AdminError {}
+
+#[derive(Debug, Clone)]
+struct Account {
+    password_hash: u64,
+    level: AccessLevel,
+}
+
+fn hash_password(user: &str, password: &str) -> u64 {
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    user.hash(&mut h); // user name as salt
+    password.hash(&mut h);
+    h.finish()
+}
+
+/// A session token proving a successful login.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LoginSession {
+    /// Logged-in user name.
+    pub user: String,
+    /// Granted level.
+    pub level: AccessLevel,
+}
+
+/// The user registry.
+#[derive(Debug, Clone)]
+pub struct UserRegistry {
+    accounts: BTreeMap<String, Account>,
+}
+
+impl UserRegistry {
+    /// A registry with one bootstrap administrator account.
+    pub fn with_admin(user: &str, password: &str) -> UserRegistry {
+        let mut accounts = BTreeMap::new();
+        accounts.insert(
+            user.to_string(),
+            Account {
+                password_hash: hash_password(user, password),
+                level: AccessLevel::Administrator,
+            },
+        );
+        UserRegistry { accounts }
+    }
+
+    /// Log in with explicit name, password and requested level; all three
+    /// must match the account.
+    pub fn login(
+        &self,
+        user: &str,
+        password: &str,
+        level: AccessLevel,
+    ) -> Result<LoginSession, AdminError> {
+        match self.accounts.get(user) {
+            Some(acct)
+                if acct.password_hash == hash_password(user, password)
+                    && acct.level == level =>
+            {
+                Ok(LoginSession {
+                    user: user.to_string(),
+                    level,
+                })
+            }
+            _ => Err(AdminError::LoginFailed),
+        }
+    }
+
+    fn require_admin(session: &LoginSession) -> Result<(), AdminError> {
+        if session.level == AccessLevel::Administrator {
+            Ok(())
+        } else {
+            Err(AdminError::NotAuthorized)
+        }
+    }
+
+    /// Add a new account (Figure AIII.9). Administrator only.
+    pub fn add_user(
+        &mut self,
+        acting: &LoginSession,
+        user: &str,
+        password: &str,
+        level: AccessLevel,
+    ) -> Result<(), AdminError> {
+        UserRegistry::require_admin(acting)?;
+        if self.accounts.contains_key(user) {
+            return Err(AdminError::DuplicateUser(user.to_string()));
+        }
+        self.accounts.insert(
+            user.to_string(),
+            Account {
+                password_hash: hash_password(user, password),
+                level,
+            },
+        );
+        Ok(())
+    }
+
+    /// Delete an account (Figure AIII.10). Administrator only.
+    pub fn delete_user(&mut self, acting: &LoginSession, user: &str) -> Result<(), AdminError> {
+        UserRegistry::require_admin(acting)?;
+        self.accounts
+            .remove(user)
+            .map(|_| ())
+            .ok_or_else(|| AdminError::UnknownUser(user.to_string()))
+    }
+
+    /// Modify password and/or level (Figure AIII.11). Administrator only.
+    pub fn modify_user(
+        &mut self,
+        acting: &LoginSession,
+        user: &str,
+        new_password: Option<&str>,
+        new_level: Option<AccessLevel>,
+    ) -> Result<(), AdminError> {
+        UserRegistry::require_admin(acting)?;
+        let acct = self
+            .accounts
+            .get_mut(user)
+            .ok_or_else(|| AdminError::UnknownUser(user.to_string()))?;
+        if let Some(pw) = new_password {
+            acct.password_hash = hash_password(user, pw);
+        }
+        if let Some(level) = new_level {
+            acct.level = level;
+        }
+        Ok(())
+    }
+
+    /// All account names, sorted.
+    pub fn users(&self) -> Vec<&str> {
+        self.accounts.keys().map(|s| s.as_str()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn registry() -> (UserRegistry, LoginSession) {
+        let reg = UserRegistry::with_admin("root", "secret");
+        let session = reg
+            .login("root", "secret", AccessLevel::Administrator)
+            .unwrap();
+        (reg, session)
+    }
+
+    #[test]
+    fn login_requires_all_three_fields() {
+        let (reg, _) = registry();
+        assert!(reg.login("root", "wrong", AccessLevel::Administrator).is_err());
+        assert!(reg.login("root", "secret", AccessLevel::User).is_err());
+        assert!(reg.login("ghost", "secret", AccessLevel::Administrator).is_err());
+        assert!(reg.login("root", "secret", AccessLevel::Administrator).is_ok());
+    }
+
+    #[test]
+    fn login_failure_message_matches_figure_4_27() {
+        let (reg, _) = registry();
+        let err = reg.login("root", "bad", AccessLevel::Administrator).unwrap_err();
+        assert_eq!(
+            err.to_string(),
+            "Login failed! Please check your PASSWORD and TYPE"
+        );
+    }
+
+    #[test]
+    fn admin_manages_accounts() {
+        let (mut reg, admin) = registry();
+        reg.add_user(&admin, "jessica", "pw", AccessLevel::User).unwrap();
+        assert_eq!(reg.users(), vec!["jessica", "root"]);
+        assert!(reg.login("jessica", "pw", AccessLevel::User).is_ok());
+        // The confirmation-check flow: adding again is an error.
+        assert_eq!(
+            reg.add_user(&admin, "jessica", "pw2", AccessLevel::User),
+            Err(AdminError::DuplicateUser("jessica".to_string()))
+        );
+        // Promote and re-login at the new level (Figure AIII.11's example).
+        reg.modify_user(&admin, "jessica", None, Some(AccessLevel::Administrator))
+            .unwrap();
+        assert!(reg.login("jessica", "pw", AccessLevel::Administrator).is_ok());
+        reg.delete_user(&admin, "jessica").unwrap();
+        assert_eq!(
+            reg.delete_user(&admin, "jessica"),
+            Err(AdminError::UnknownUser("jessica".to_string()))
+        );
+    }
+
+    #[test]
+    fn plain_users_cannot_administer() {
+        let (mut reg, admin) = registry();
+        reg.add_user(&admin, "cfu", "pw", AccessLevel::User).unwrap();
+        let user = reg.login("cfu", "pw", AccessLevel::User).unwrap();
+        assert_eq!(
+            reg.add_user(&user, "other", "x", AccessLevel::User),
+            Err(AdminError::NotAuthorized)
+        );
+        assert_eq!(reg.delete_user(&user, "root"), Err(AdminError::NotAuthorized));
+    }
+}

@@ -1,0 +1,354 @@
+//! GAP comparison — the thirteen analysis queries of Case 3 (§4.3.3).
+//!
+//! After combining two GAP tables (GAPa, GAPb) with union, intersection or
+//! difference, "the GEA provides thirteen queries for further analysis of
+//! the result". Each GAP table was computed as `diff(SUMYa, SUMYb)`;
+//! *higher expression in SUMYa* therefore means a positive gap, and *lower*
+//! a negative gap. Queries 6–13 contrast the two tables and so "only apply
+//! to Union and Intersection, but not Difference".
+
+use crate::gap::{GapRow, GapTable};
+use crate::setops::{gap_intersect, gap_minus, gap_union};
+
+/// How two GAP tables are combined before querying (Figure 4.13's radio
+/// buttons).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CompareOp {
+    /// Tags of either table.
+    Union,
+    /// Tags common to both tables.
+    Intersect,
+    /// Tags of the first table only.
+    Difference,
+}
+
+/// The thirteen queries, numbered as the thesis lists them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CompareQuery {
+    /// 1. Tags always higher in SUMYa in both GAP tables (both gaps
+    ///    positive).
+    HigherInAInBoth,
+    /// 2. Tags always lower in SUMYa in both GAP tables (both negative).
+    LowerInAInBoth,
+    /// 3. Tags always higher in SUMYb in both GAP tables (≡ query 2 by
+    ///    antisymmetry, listed separately in the thesis's menu).
+    HigherInBInBoth,
+    /// 4. Tags always lower in SUMYb in both GAP tables (≡ query 1).
+    LowerInBInBoth,
+    /// 5. All tags with non-NULL gap values in both GAP tables.
+    NonNullInBoth,
+    /// 6. Higher in SUMYa of GAPa, but not in SUMYa of GAPb.
+    HigherInAOfFirstOnly,
+    /// 7. Lower in SUMYa of GAPa, but not in SUMYa of GAPb.
+    LowerInAOfFirstOnly,
+    /// 8. Higher in SUMYb of GAPa, but not in SUMYb of GAPb.
+    HigherInBOfFirstOnly,
+    /// 9. Lower in SUMYb of GAPa, but not in SUMYb of GAPb.
+    LowerInBOfFirstOnly,
+    /// 10. Higher in SUMYa of GAPb, but not in SUMYa of GAPa.
+    HigherInAOfSecondOnly,
+    /// 11. Lower in SUMYa of GAPb, but not in SUMYa of GAPa.
+    LowerInAOfSecondOnly,
+    /// 12. Higher in SUMYb of GAPb, but not in SUMYb of GAPa.
+    HigherInBOfSecondOnly,
+    /// 13. Lower in SUMYb of GAPb, but not in SUMYb of GAPa.
+    LowerInBOfSecondOnly,
+}
+
+impl CompareQuery {
+    /// All thirteen queries in menu order.
+    pub const ALL: [CompareQuery; 13] = [
+        CompareQuery::HigherInAInBoth,
+        CompareQuery::LowerInAInBoth,
+        CompareQuery::HigherInBInBoth,
+        CompareQuery::LowerInBInBoth,
+        CompareQuery::NonNullInBoth,
+        CompareQuery::HigherInAOfFirstOnly,
+        CompareQuery::LowerInAOfFirstOnly,
+        CompareQuery::HigherInBOfFirstOnly,
+        CompareQuery::LowerInBOfFirstOnly,
+        CompareQuery::HigherInAOfSecondOnly,
+        CompareQuery::LowerInAOfSecondOnly,
+        CompareQuery::HigherInBOfSecondOnly,
+        CompareQuery::LowerInBOfSecondOnly,
+    ];
+
+    /// The thesis's menu wording.
+    pub fn description(self) -> &'static str {
+        match self {
+            CompareQuery::HigherInAInBoth => {
+                "Tags always have higher expression values in SUMYa in both GAP tables"
+            }
+            CompareQuery::LowerInAInBoth => {
+                "Tags always have lower expression values in SUMYa in both GAP tables"
+            }
+            CompareQuery::HigherInBInBoth => {
+                "Tags always have higher expression values in SUMYb in both GAP tables"
+            }
+            CompareQuery::LowerInBInBoth => {
+                "Tags always have lower expression values in SUMYb in both GAP tables"
+            }
+            CompareQuery::NonNullInBoth => {
+                "All tags have non-null gap values in both GAP tables"
+            }
+            CompareQuery::HigherInAOfFirstOnly => {
+                "Tags have higher expression in SUMYa of GAPa, not in SUMYa of GAPb"
+            }
+            CompareQuery::LowerInAOfFirstOnly => {
+                "Tags have lower expression in SUMYa of GAPa, not in SUMYa of GAPb"
+            }
+            CompareQuery::HigherInBOfFirstOnly => {
+                "Tags have higher expression in SUMYb of GAPa, not in SUMYb of GAPb"
+            }
+            CompareQuery::LowerInBOfFirstOnly => {
+                "Tags have lower expression in SUMYb of GAPa, not in SUMYb of GAPb"
+            }
+            CompareQuery::HigherInAOfSecondOnly => {
+                "Tags have higher expression in SUMYa of GAPb, not in SUMYa of GAPa"
+            }
+            CompareQuery::LowerInAOfSecondOnly => {
+                "Tags have lower expression in SUMYa of GAPb, not in SUMYa of GAPa"
+            }
+            CompareQuery::HigherInBOfSecondOnly => {
+                "Tags have higher expression in SUMYb of GAPb, not in SUMYb of GAPa"
+            }
+            CompareQuery::LowerInBOfSecondOnly => {
+                "Tags have lower expression in SUMYb of GAPb, not in SUMYb of GAPa"
+            }
+        }
+    }
+
+    /// Whether the query is meaningful after `op` — queries 6–13 need both
+    /// tables' gap columns, which Difference does not carry.
+    pub fn applies_to(self, op: CompareOp) -> bool {
+        match self {
+            CompareQuery::HigherInAInBoth
+            | CompareQuery::LowerInAInBoth
+            | CompareQuery::HigherInBInBoth
+            | CompareQuery::LowerInBInBoth
+            | CompareQuery::NonNullInBoth => true,
+            _ => op != CompareOp::Difference,
+        }
+    }
+
+    fn matches(self, row: &GapRow) -> bool {
+        // In combined tables, column 0 is GAPa's gap and column 1 GAPb's.
+        // Difference results carry only GAPa's column.
+        let ga = row.gaps.first().copied().flatten();
+        let gb = row.gaps.get(1).copied().flatten();
+        let pos = |g: Option<f64>| matches!(g, Some(v) if v > 0.0);
+        let neg = |g: Option<f64>| matches!(g, Some(v) if v < 0.0);
+        match self {
+            CompareQuery::HigherInAInBoth | CompareQuery::LowerInBInBoth => {
+                pos(ga) && (row.gaps.len() < 2 || pos(gb))
+            }
+            CompareQuery::LowerInAInBoth | CompareQuery::HigherInBInBoth => {
+                neg(ga) && (row.gaps.len() < 2 || neg(gb))
+            }
+            CompareQuery::NonNullInBoth => row.gaps.iter().all(|g| g.is_some()),
+            CompareQuery::HigherInAOfFirstOnly | CompareQuery::LowerInBOfFirstOnly => {
+                pos(ga) && !pos(gb)
+            }
+            CompareQuery::LowerInAOfFirstOnly | CompareQuery::HigherInBOfFirstOnly => {
+                neg(ga) && !neg(gb)
+            }
+            CompareQuery::HigherInAOfSecondOnly | CompareQuery::LowerInBOfSecondOnly => {
+                pos(gb) && !pos(ga)
+            }
+            CompareQuery::LowerInAOfSecondOnly | CompareQuery::HigherInBOfSecondOnly => {
+                neg(gb) && !neg(ga)
+            }
+        }
+    }
+}
+
+/// Combine two GAP tables and answer one of the thirteen queries — the
+/// Compare GAP button of Figure 4.13.
+///
+/// Returns `None` when `query` does not apply to `op` (the thesis's GUI
+/// hides those menu entries).
+pub fn compare_gaps(
+    name: &str,
+    first: &GapTable,
+    second: &GapTable,
+    op: CompareOp,
+    query: CompareQuery,
+) -> Option<GapTable> {
+    if !query.applies_to(op) {
+        return None;
+    }
+    let combined = match op {
+        CompareOp::Union => gap_union(name, first, second),
+        CompareOp::Intersect => gap_intersect(name, first, second),
+        CompareOp::Difference => gap_minus(name, first, second),
+    };
+    Some(combined.select(name, |r| query.matches(r)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gap::GapRow;
+
+    fn gap_table(name: &str, rows: &[(&str, Option<f64>)]) -> GapTable {
+        GapTable::new(
+            name,
+            vec!["Gap".to_string()],
+            rows.iter()
+                .enumerate()
+                .map(|(i, (tag, gap))| GapRow {
+                    tag: tag.parse().unwrap(),
+                    tag_no: i as u32,
+                    gaps: vec![*gap],
+                })
+                .collect(),
+        )
+    }
+
+    fn brain_and_breast() -> (GapTable, GapTable) {
+        // Four shared tags covering all sign combinations, plus one private
+        // tag each.
+        let brain = gap_table(
+            "brain_gap",
+            &[
+                ("AAAAAAAAAA", Some(-5.0)),  // lower in cancer, both
+                ("CCCCCCCCCC", Some(4.0)),   // higher in cancer, both
+                ("GGGGGGGGGG", Some(-2.0)),  // lower in brain only
+                ("TTTTTTTTTT", None),        // null in brain
+                ("ACACACACAC", Some(1.0)),   // brain-only tag
+            ],
+        );
+        let breast = gap_table(
+            "breast_gap",
+            &[
+                ("AAAAAAAAAA", Some(-9.0)),
+                ("CCCCCCCCCC", Some(7.0)),
+                ("GGGGGGGGGG", Some(3.0)),
+                ("TTTTTTTTTT", Some(2.0)),
+                ("GTGTGTGTGT", Some(-1.0)), // breast-only tag
+            ],
+        );
+        (brain, breast)
+    }
+
+    #[test]
+    fn case_3_lower_in_cancer_across_tissues() {
+        // The thesis's Case 3: intersect the brain and breast GAP tables
+        // and run query 2 — tags always lower in the cancerous SUMY.
+        let (brain, breast) = brain_and_breast();
+        let result = compare_gaps(
+            "brainBreastIntersect1",
+            &brain,
+            &breast,
+            CompareOp::Intersect,
+            CompareQuery::LowerInAInBoth,
+        )
+        .unwrap();
+        assert_eq!(result.len(), 1);
+        assert_eq!(result.rows()[0].tag.to_string(), "AAAAAAAAAA");
+    }
+
+    #[test]
+    fn query_1_higher_in_both() {
+        let (brain, breast) = brain_and_breast();
+        let result = compare_gaps(
+            "q1",
+            &brain,
+            &breast,
+            CompareOp::Intersect,
+            CompareQuery::HigherInAInBoth,
+        )
+        .unwrap();
+        assert_eq!(result.len(), 1);
+        assert_eq!(result.rows()[0].tag.to_string(), "CCCCCCCCCC");
+    }
+
+    #[test]
+    fn queries_2_and_3_agree_by_antisymmetry() {
+        let (brain, breast) = brain_and_breast();
+        let q2 = compare_gaps("q2", &brain, &breast, CompareOp::Intersect, CompareQuery::LowerInAInBoth).unwrap();
+        let q3 = compare_gaps("q3", &brain, &breast, CompareOp::Intersect, CompareQuery::HigherInBInBoth).unwrap();
+        assert_eq!(q2.project_tags(), q3.project_tags());
+    }
+
+    #[test]
+    fn query_5_non_null_in_both() {
+        let (brain, breast) = brain_and_breast();
+        let result = compare_gaps(
+            "q5",
+            &brain,
+            &breast,
+            CompareOp::Intersect,
+            CompareQuery::NonNullInBoth,
+        )
+        .unwrap();
+        // TTTTTTTTTT is NULL in brain → excluded; 3 shared non-null tags.
+        assert_eq!(result.len(), 3);
+    }
+
+    #[test]
+    fn case_4_difference_finds_tissue_unique_tags() {
+        // Case 4: tags with a (negative) gap unique to brain — Difference
+        // keeps brain-only tags; then query 2 on the single remaining
+        // column.
+        let (brain, breast) = brain_and_breast();
+        let unique = compare_gaps(
+            "brainBreastDiff1",
+            &brain,
+            &breast,
+            CompareOp::Difference,
+            CompareQuery::LowerInAInBoth,
+        )
+        .unwrap();
+        // Brain-only tag with negative gap: none (ACACACACAC is +1).
+        assert!(unique.is_empty());
+        let unique_pos = compare_gaps(
+            "d2",
+            &brain,
+            &breast,
+            CompareOp::Difference,
+            CompareQuery::HigherInAInBoth,
+        )
+        .unwrap();
+        assert_eq!(unique_pos.len(), 1);
+        assert_eq!(unique_pos.rows()[0].tag.to_string(), "ACACACACAC");
+    }
+
+    #[test]
+    fn contrast_queries_6_to_13() {
+        let (brain, breast) = brain_and_breast();
+        // Query 7: lower in SUMYa of GAPa but not of GAPb →
+        // GGGGGGGGGG (−2 in brain, +3 in breast).
+        let q7 = compare_gaps("q7", &brain, &breast, CompareOp::Intersect, CompareQuery::LowerInAOfFirstOnly).unwrap();
+        assert_eq!(q7.project_tags().len(), 1);
+        assert_eq!(q7.rows()[0].tag.to_string(), "GGGGGGGGGG");
+        // Query 10: higher in SUMYa of GAPb but not of GAPa →
+        // GGGGGGGGGG again (+3 in breast, −2 in brain), and TTTTTTTTTT
+        // (+2 in breast, NULL in brain) under Union.
+        let q10 = compare_gaps("q10", &brain, &breast, CompareOp::Union, CompareQuery::HigherInAOfSecondOnly).unwrap();
+        let tags: Vec<String> = q10.rows().iter().map(|r| r.tag.to_string()).collect();
+        assert!(tags.contains(&"GGGGGGGGGG".to_string()));
+        assert!(tags.contains(&"TTTTTTTTTT".to_string()));
+    }
+
+    #[test]
+    fn contrast_queries_do_not_apply_to_difference() {
+        let (brain, breast) = brain_and_breast();
+        for q in &CompareQuery::ALL[5..] {
+            assert!(
+                compare_gaps("x", &brain, &breast, CompareOp::Difference, *q).is_none(),
+                "{q:?} should not apply to Difference"
+            );
+        }
+        for q in &CompareQuery::ALL[..5] {
+            assert!(compare_gaps("x", &brain, &breast, CompareOp::Difference, *q).is_some());
+        }
+    }
+
+    #[test]
+    fn all_queries_have_descriptions() {
+        for q in CompareQuery::ALL {
+            assert!(!q.description().is_empty());
+        }
+    }
+}

@@ -1,0 +1,408 @@
+//! Allen's interval algebra (thesis §4.4.1, Table 4.1).
+//!
+//! SUMY tables carry a `[min, max]` range per tag; GEA supports "the
+//! well-known range arithmetic proposed by Allen" so users can select tags
+//! whose ranges stand in a chosen relationship to a query interval (e.g.
+//! *overlaps [10, 700]*, Figures 4.16/4.17).
+//!
+//! The 13 basic relations partition all pairs of *proper* intervals
+//! (`lo < hi`): exactly one holds for any pair, and each relation's inverse
+//! relates the swapped pair. Point intervals (`lo == hi`) are accepted by
+//! [`Interval`] but break the partition property (e.g. a point at another
+//! interval's start both *meets* and *starts* it); [`Interval::relation`]
+//! resolves such ties with a fixed precedence and documents itself as doing
+//! so.
+
+use std::fmt;
+
+/// A closed numeric interval `[lo, hi]` with `lo ≤ hi`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Interval {
+    lo: f64,
+    hi: f64,
+}
+
+/// Error for inverted interval bounds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct InvalidInterval {
+    /// Attempted lower bound.
+    pub lo: f64,
+    /// Attempted upper bound.
+    pub hi: f64,
+}
+
+impl fmt::Display for InvalidInterval {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid interval [{}, {}]: lo > hi", self.lo, self.hi)
+    }
+}
+
+impl std::error::Error for InvalidInterval {}
+
+impl Interval {
+    /// Construct, requiring `lo ≤ hi` and finite bounds.
+    pub fn new(lo: f64, hi: f64) -> Result<Interval, InvalidInterval> {
+        if lo <= hi && lo.is_finite() && hi.is_finite() {
+            Ok(Interval { lo, hi })
+        } else {
+            Err(InvalidInterval { lo, hi })
+        }
+    }
+
+    /// Construct from unordered bounds.
+    pub fn spanning(a: f64, b: f64) -> Interval {
+        Interval {
+            lo: a.min(b),
+            hi: a.max(b),
+        }
+    }
+
+    /// Lower bound.
+    pub fn lo(self) -> f64 {
+        self.lo
+    }
+
+    /// Upper bound.
+    pub fn hi(self) -> f64 {
+        self.hi
+    }
+
+    /// Whether the interval is a single point (`lo == hi`).
+    pub fn is_point(self) -> bool {
+        self.lo == self.hi
+    }
+
+    /// The unique Allen relation from `self` to `other` for proper
+    /// intervals. For point intervals ties are broken by the order the
+    /// relations are tested: equals, before, after, meets, met-by,
+    /// overlaps, overlapped-by, during, includes, starts, started-by,
+    /// finishes, finished-by.
+    pub fn relation(self, other: Interval) -> AllenRelation {
+        use AllenRelation::*;
+        for rel in AllenRelation::ALL {
+            if match rel {
+                Equals => self.lo == other.lo && self.hi == other.hi,
+                Before => self.hi < other.lo,
+                After => self.lo > other.hi,
+                Meets => self.hi == other.lo,
+                MetBy => self.lo == other.hi,
+                Overlaps => self.lo < other.lo && other.lo < self.hi && self.hi < other.hi,
+                OverlappedBy => {
+                    other.lo < self.lo && self.lo < other.hi && other.hi < self.hi
+                }
+                During => self.lo > other.lo && self.hi < other.hi,
+                Includes => self.lo < other.lo && self.hi > other.hi,
+                Starts => self.lo == other.lo && self.hi < other.hi,
+                StartedBy => self.lo == other.lo && self.hi > other.hi,
+                Finishes => self.hi == other.hi && self.lo > other.lo,
+                FinishedBy => self.hi == other.hi && self.lo < other.lo,
+            } {
+                return rel;
+            }
+        }
+        unreachable!("the 13 relations cover all interval pairs")
+    }
+
+    /// Whether `self rel other` holds — the Figure 4.16 search predicate.
+    pub fn satisfies(self, rel: AllenRelation, other: Interval) -> bool {
+        self.relation(other) == rel
+    }
+
+    /// Whether the intervals share at least one point — the *overlap* test
+    /// of the gap-value definition (§3.2.2), which is broader than Allen's
+    /// strict `overlaps` (it includes meets, during, equals, ...).
+    pub fn intersects(self, other: Interval) -> bool {
+        self.lo <= other.hi && other.lo <= self.hi
+    }
+
+    /// The intersection interval, if any.
+    pub fn intersection(self, other: Interval) -> Option<Interval> {
+        let lo = self.lo.max(other.lo);
+        let hi = self.hi.min(other.hi);
+        (lo <= hi).then_some(Interval { lo, hi })
+    }
+
+    /// The smallest interval containing both.
+    pub fn hull(self, other: Interval) -> Interval {
+        Interval {
+            lo: self.lo.min(other.lo),
+            hi: self.hi.max(other.hi),
+        }
+    }
+
+    /// Interval width (`hi − lo`).
+    pub fn width(self) -> f64 {
+        self.hi - self.lo
+    }
+}
+
+impl fmt::Display for Interval {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}, {}]", self.lo, self.hi)
+    }
+}
+
+/// The 13 basic relations of Table 4.1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AllenRelation {
+    /// `A before B` (symbol `b`): A ends strictly before B starts.
+    Before,
+    /// `B after A` (`bi`): inverse of before.
+    After,
+    /// `A meets B` (`m`): A ends exactly where B starts.
+    Meets,
+    /// `B met-by A` (`mi`): inverse of meets.
+    MetBy,
+    /// `A overlaps B` (`o`): A starts first, they share an interior span,
+    /// B ends last.
+    Overlaps,
+    /// `B overlapped-by A` (`oi`): inverse of overlaps.
+    OverlappedBy,
+    /// `A during B` (`d`): A strictly inside B.
+    During,
+    /// `B includes A` (`di`): inverse of during.
+    Includes,
+    /// `A starts B` (`s`): same start, A ends first.
+    Starts,
+    /// `B started-by A` (`si`): inverse of starts.
+    StartedBy,
+    /// `A finishes B` (`f`): same end, A starts later.
+    Finishes,
+    /// `B finished-by A` (`fi`): inverse of finishes.
+    FinishedBy,
+    /// `A equals B` (`e`).
+    Equals,
+}
+
+impl AllenRelation {
+    /// All 13 relations, in the tie-breaking precedence order of
+    /// [`Interval::relation`].
+    pub const ALL: [AllenRelation; 13] = [
+        AllenRelation::Equals,
+        AllenRelation::Before,
+        AllenRelation::After,
+        AllenRelation::Meets,
+        AllenRelation::MetBy,
+        AllenRelation::Overlaps,
+        AllenRelation::OverlappedBy,
+        AllenRelation::During,
+        AllenRelation::Includes,
+        AllenRelation::Starts,
+        AllenRelation::StartedBy,
+        AllenRelation::Finishes,
+        AllenRelation::FinishedBy,
+    ];
+
+    /// Table 4.1's symbol.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            AllenRelation::Before => "b",
+            AllenRelation::After => "bi",
+            AllenRelation::Meets => "m",
+            AllenRelation::MetBy => "mi",
+            AllenRelation::Overlaps => "o",
+            AllenRelation::OverlappedBy => "oi",
+            AllenRelation::During => "d",
+            AllenRelation::Includes => "di",
+            AllenRelation::Starts => "s",
+            AllenRelation::StartedBy => "si",
+            AllenRelation::Finishes => "f",
+            AllenRelation::FinishedBy => "fi",
+            AllenRelation::Equals => "e",
+        }
+    }
+
+    /// Table 4.1's English reading.
+    pub fn meaning(self) -> &'static str {
+        match self {
+            AllenRelation::Before => "A before B",
+            AllenRelation::After => "B after A",
+            AllenRelation::Meets => "A meets B",
+            AllenRelation::MetBy => "B met-by A",
+            AllenRelation::Overlaps => "A overlaps B",
+            AllenRelation::OverlappedBy => "B overlapped-by A",
+            AllenRelation::During => "A during B",
+            AllenRelation::Includes => "B includes A",
+            AllenRelation::Starts => "A starts B",
+            AllenRelation::StartedBy => "B started-by A",
+            AllenRelation::Finishes => "A finishes B",
+            AllenRelation::FinishedBy => "B finished-by A",
+            AllenRelation::Equals => "A equals B",
+        }
+    }
+
+    /// The inverse relation: `a rel b ⟺ b rel.inverse() a`.
+    pub fn inverse(self) -> AllenRelation {
+        match self {
+            AllenRelation::Before => AllenRelation::After,
+            AllenRelation::After => AllenRelation::Before,
+            AllenRelation::Meets => AllenRelation::MetBy,
+            AllenRelation::MetBy => AllenRelation::Meets,
+            AllenRelation::Overlaps => AllenRelation::OverlappedBy,
+            AllenRelation::OverlappedBy => AllenRelation::Overlaps,
+            AllenRelation::During => AllenRelation::Includes,
+            AllenRelation::Includes => AllenRelation::During,
+            AllenRelation::Starts => AllenRelation::StartedBy,
+            AllenRelation::StartedBy => AllenRelation::Starts,
+            AllenRelation::Finishes => AllenRelation::FinishedBy,
+            AllenRelation::FinishedBy => AllenRelation::Finishes,
+            AllenRelation::Equals => AllenRelation::Equals,
+        }
+    }
+
+    /// Parse a relation by symbol or name (case-insensitive).
+    pub fn parse(s: &str) -> Option<AllenRelation> {
+        let lower = s.to_ascii_lowercase();
+        AllenRelation::ALL.into_iter().find(|r| {
+            r.symbol() == lower
+                || r.meaning().to_ascii_lowercase().contains(&lower) && lower.len() > 2
+        })
+    }
+}
+
+impl fmt::Display for AllenRelation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.meaning())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn iv(lo: f64, hi: f64) -> Interval {
+        Interval::new(lo, hi).unwrap()
+    }
+
+    #[test]
+    fn all_thirteen_relations_are_producible() {
+        let b = iv(10.0, 20.0);
+        let cases = [
+            (iv(1.0, 5.0), AllenRelation::Before),
+            (iv(25.0, 30.0), AllenRelation::After),
+            (iv(5.0, 10.0), AllenRelation::Meets),
+            (iv(20.0, 25.0), AllenRelation::MetBy),
+            (iv(5.0, 15.0), AllenRelation::Overlaps),
+            (iv(15.0, 25.0), AllenRelation::OverlappedBy),
+            (iv(12.0, 18.0), AllenRelation::During),
+            (iv(5.0, 25.0), AllenRelation::Includes),
+            (iv(10.0, 15.0), AllenRelation::Starts),
+            (iv(10.0, 25.0), AllenRelation::StartedBy),
+            (iv(15.0, 20.0), AllenRelation::Finishes),
+            (iv(5.0, 20.0), AllenRelation::FinishedBy),
+            (iv(10.0, 20.0), AllenRelation::Equals),
+        ];
+        for (a, expected) in cases {
+            assert_eq!(a.relation(b), expected, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn inverse_pairs_are_consistent() {
+        let a = iv(5.0, 15.0);
+        let b = iv(10.0, 20.0);
+        assert_eq!(a.relation(b).inverse(), b.relation(a));
+        for rel in AllenRelation::ALL {
+            assert_eq!(rel.inverse().inverse(), rel);
+        }
+    }
+
+    #[test]
+    fn proper_intervals_satisfy_exactly_one_relation() {
+        // Deterministic sweep over endpoint configurations.
+        let points = [0.0, 1.0, 2.0, 3.0];
+        for &alo in &points {
+            for &ahi in &points {
+                for &blo in &points {
+                    for &bhi in &points {
+                        if alo >= ahi || blo >= bhi {
+                            continue;
+                        }
+                        let a = iv(alo, ahi);
+                        let b = iv(blo, bhi);
+                        let rel = a.relation(b);
+                        // Independent, definitional re-statement of each
+                        // relation; for proper intervals exactly one must
+                        // hold and it must be the computed one.
+                        let definitional = |r: AllenRelation| -> bool {
+                            use AllenRelation::*;
+                            match r {
+                                Before => ahi < blo,
+                                After => alo > bhi,
+                                Meets => ahi == blo,
+                                MetBy => alo == bhi,
+                                Overlaps => alo < blo && blo < ahi && ahi < bhi,
+                                OverlappedBy => blo < alo && alo < bhi && bhi < ahi,
+                                During => alo > blo && ahi < bhi,
+                                Includes => alo < blo && ahi > bhi,
+                                Starts => alo == blo && ahi < bhi,
+                                StartedBy => alo == blo && ahi > bhi,
+                                Finishes => ahi == bhi && alo > blo,
+                                FinishedBy => ahi == bhi && alo < blo,
+                                Equals => alo == blo && ahi == bhi,
+                            }
+                        };
+                        let holding: Vec<AllenRelation> = AllenRelation::ALL
+                            .into_iter()
+                            .filter(|&r| definitional(r))
+                            .collect();
+                        assert_eq!(holding, vec![rel], "{a} vs {b}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn intersects_is_broader_than_allen_overlaps() {
+        let a = iv(0.0, 10.0);
+        let b = iv(10.0, 20.0);
+        // Meets: shares exactly one point.
+        assert_eq!(a.relation(b), AllenRelation::Meets);
+        assert!(a.intersects(b));
+        assert!(!a.satisfies(AllenRelation::Overlaps, b));
+        // The thesis's Figure 4.16 example: does [20, 616] overlap [10, 700]?
+        let tag_range = iv(20.0, 616.0);
+        let query = iv(10.0, 700.0);
+        assert!(tag_range.intersects(query));
+        assert_eq!(tag_range.relation(query), AllenRelation::During);
+    }
+
+    #[test]
+    fn intersection_and_hull() {
+        let a = iv(0.0, 10.0);
+        let b = iv(5.0, 20.0);
+        assert_eq!(a.intersection(b), Some(iv(5.0, 10.0)));
+        assert_eq!(a.hull(b), iv(0.0, 20.0));
+        let c = iv(30.0, 40.0);
+        assert_eq!(a.intersection(c), None);
+    }
+
+    #[test]
+    fn invalid_bounds_rejected() {
+        assert!(Interval::new(5.0, 1.0).is_err());
+        assert!(Interval::new(f64::NAN, 1.0).is_err());
+        assert_eq!(Interval::spanning(5.0, 1.0), iv(1.0, 5.0));
+    }
+
+    #[test]
+    fn symbols_match_table_4_1() {
+        assert_eq!(AllenRelation::Before.symbol(), "b");
+        assert_eq!(AllenRelation::After.symbol(), "bi");
+        assert_eq!(AllenRelation::Overlaps.symbol(), "o");
+        assert_eq!(AllenRelation::Equals.symbol(), "e");
+        assert_eq!(AllenRelation::parse("o"), Some(AllenRelation::Overlaps));
+        assert_eq!(AllenRelation::parse("overlaps"), Some(AllenRelation::Overlaps));
+        assert_eq!(AllenRelation::parse("zzz"), None);
+    }
+
+    #[test]
+    fn point_interval_ties_resolve_deterministically() {
+        let point = iv(10.0, 10.0);
+        let b = iv(10.0, 20.0);
+        // Both `meets` and `starts` hold definitionally; precedence picks
+        // `meets` (earlier in ALL).
+        assert_eq!(point.relation(b), AllenRelation::Meets);
+        assert!(point.is_point());
+    }
+}

@@ -1,0 +1,68 @@
+//! # gea-core — the Gene Expression Analyzer
+//!
+//! GEA models multi-step cluster analysis of gene expression data with a
+//! two-world algebraic framework (a specialization of the 3W model of
+//! Johnson, Lakshmanan & Ng):
+//!
+//! * the **extensional world** — [`enum_table::EnumTable`]: explicit
+//!   enumerations of libraries × tags, manipulated with relational algebra
+//!   (via `gea-relstore`);
+//! * the **intensional world** — [`sumy::SumyTable`] (cluster definitions:
+//!   per-tag range / mean / std-dev) and [`gap::GapTable`] (per-tag
+//!   differences between two SUMY tables).
+//!
+//! Operators move between and within the worlds: [`mine::mine`] (fascicle
+//! production), [`mod@populate`] (definition → enumeration, with
+//! entropy-indexed evaluation), [`sumy::aggregate`] (enumeration →
+//! definition), [`gap::diff`], the [`setops`] (minus/intersect/union at the
+//! tag level), selection with Allen [`interval`] relations, and
+//! [`topgap`] extraction. [`compare`] implements the thirteen GAP-analysis
+//! queries; [`lineage`] tracks the operation history; [`search`] provides
+//! the general database searches; [`session::GeaSession`] strings it all
+//! together as the thesis's macro operations.
+//!
+//! ```
+//! use gea_core::session::GeaSession;
+//! use gea_sage::clean::CleaningConfig;
+//! use gea_sage::generate::{generate, GeneratorConfig};
+//! use gea_sage::TissueType;
+//!
+//! let (corpus, _truth) = generate(&GeneratorConfig::demo(7));
+//! let mut session = GeaSession::open(corpus, &CleaningConfig::default()).unwrap();
+//! session.create_tissue_dataset("Ebrain", &TissueType::Brain).unwrap();
+//! assert!(session.enum_table("Ebrain").unwrap().n_libraries() > 0);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod admin;
+pub mod compare;
+pub mod enum_table;
+pub mod gap;
+pub mod interval;
+pub mod interval_algebra;
+pub mod lineage;
+pub mod mine;
+pub mod persist;
+pub mod populate;
+pub mod relational;
+pub mod search;
+pub mod session;
+pub mod setops;
+pub mod sumy;
+pub mod topgap;
+pub mod xprofiler;
+
+pub use compare::{CompareOp, CompareQuery};
+pub use enum_table::EnumTable;
+pub use gap::{diff, GapTable};
+pub use interval::{AllenRelation, Interval};
+pub use interval_algebra::{compose_basic, ConstraintChain, RelationSet};
+pub use lineage::{Lineage, NodeKind};
+pub use mine::{mine, MinedCluster, Miner};
+pub use persist::{load_results, save_results};
+pub use populate::{populate, populate_columnar, populate_indexed, populate_scan, PopulateIndex};
+pub use session::{ControlGroups, GeaError, GeaSession};
+pub use sumy::{aggregate, aggregate_with_extras, ExtraAggregate, SumyTable};
+pub use topgap::{top_gaps, TopGapOrder};
+pub use xprofiler::{compare_pools, XProfilerResult, XProfilerRow};

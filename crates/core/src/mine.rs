@@ -1,0 +1,301 @@
+//! The mine() operator (thesis §3.2.1): from the extensional world to the
+//! intensional world.
+//!
+//! `SUMY = mine(ENUM, fascicle)` runs the Fascicles algorithm over an ENUM
+//! table and represents each found fascicle intensionally as a SUMY table
+//! over its compact tags. "In the general case, the mining operation can be
+//! something other than fascicle production" — the [`Miner`] enum also
+//! exposes the baseline clusterers, which yield SUMY definitions for their
+//! flat clusters.
+
+use gea_cluster::dataset::AttrSource;
+use gea_cluster::{
+    agglomerate, kmeans, mine_greedy, FascicleParams, KMeansParams, Linkage, Metric,
+    ToleranceVector,
+};
+use gea_sage::library::LibraryId;
+use gea_sage::tag::TagId;
+
+use crate::enum_table::EnumTable;
+use crate::sumy::{aggregate_tags, SumyTable};
+
+/// Adapter presenting an ENUM table's matrix as a clustering input:
+/// libraries are the records, tags the attributes.
+pub struct MatrixView<'a>(&'a EnumTable);
+
+impl<'a> MatrixView<'a> {
+    /// Wrap an ENUM table.
+    pub fn new(table: &'a EnumTable) -> MatrixView<'a> {
+        MatrixView(table)
+    }
+}
+
+impl AttrSource for MatrixView<'_> {
+    fn n_records(&self) -> usize {
+        self.0.n_libraries()
+    }
+
+    fn n_attrs(&self) -> usize {
+        self.0.n_tags()
+    }
+
+    fn attr_values(&self, attr: usize) -> &[f64] {
+        self.0.matrix.tag_row(TagId(attr as u32))
+    }
+}
+
+/// The metadata generator of Figure 4.5: a tolerance vector from a
+/// width percentage over the ENUM table's tags.
+pub fn generate_metadata(table: &EnumTable, width_fraction: f64) -> ToleranceVector {
+    ToleranceVector::from_width_fraction(&MatrixView::new(table), width_fraction)
+}
+
+/// Number of tags that are *constant* across every library of the table
+/// (typically tags never expressed in this tissue). Constant tags are
+/// compact in any record subset, so they set a floor on fascicle
+/// compactness: a meaningful `k` must exceed this count — which is why the
+/// thesis mines brain at `k = 25,000–35,000` out of ~60,000 tags.
+pub fn constant_tag_count(table: &EnumTable) -> usize {
+    (0..table.n_tags())
+        .filter(|&a| {
+            let vals = table.matrix.tag_row(TagId(a as u32));
+            vals.windows(2).all(|w| w[0] == w[1])
+        })
+        .count()
+}
+
+/// One mined cluster, in both identities: its member libraries
+/// (extensional) and its SUMY definition over the compact tags
+/// (intensional).
+#[derive(Debug, Clone)]
+pub struct MinedCluster {
+    /// Name assigned to the cluster (e.g. `brain35k_1`).
+    pub name: String,
+    /// Member libraries, as ids within the mined ENUM table.
+    pub libraries: Vec<LibraryId>,
+    /// Compact tags, as ids within the mined ENUM table.
+    pub compact_tags: Vec<TagId>,
+    /// The intensional definition: aggregates over the compact tags,
+    /// computed from the member libraries.
+    pub sumy: SumyTable,
+}
+
+/// Mining algorithms available behind mine().
+#[derive(Debug, Clone)]
+pub enum Miner {
+    /// The Fascicles algorithm with the given parameters (the thesis's
+    /// default and focus).
+    Fascicles(FascicleParams),
+    /// k-means over libraries; every tag is reported as a "compact" tag of
+    /// each cluster (the baseline has no compactness notion).
+    KMeans(KMeansParams),
+    /// Hierarchical average-linkage with correlation distance, cut into
+    /// `k` clusters (the Eisen et al. baseline).
+    Hierarchical {
+        /// Number of flat clusters to cut the dendrogram into.
+        k: usize,
+    },
+}
+
+/// Run mine() over an ENUM table. `tolerance` is required for
+/// [`Miner::Fascicles`] and ignored otherwise. Returned clusters are named
+/// `{base_name}_{i}` with `i` starting at 1, as in the thesis's
+/// `brain35k_1 … brain35k_4`.
+pub fn mine(
+    table: &EnumTable,
+    base_name: &str,
+    miner: &Miner,
+    tolerance: Option<&ToleranceVector>,
+) -> Vec<MinedCluster> {
+    let view = MatrixView::new(table);
+    let groups: Vec<(Vec<usize>, Vec<usize>)> = match miner {
+        Miner::Fascicles(params) => {
+            let tol = tolerance.expect("Fascicles mining needs a tolerance vector");
+            mine_greedy(&view, tol, params)
+                .into_iter()
+                .map(|f| (f.records, f.compact_attrs))
+                .collect()
+        }
+        Miner::KMeans(params) => {
+            let result = kmeans(&view, params);
+            let all_tags: Vec<usize> = (0..table.n_tags()).collect();
+            (0..params.k)
+                .map(|c| {
+                    let members: Vec<usize> = result
+                        .assignments
+                        .iter()
+                        .enumerate()
+                        .filter(|&(_, &a)| a == c)
+                        .map(|(r, _)| r)
+                        .collect();
+                    (members, all_tags.clone())
+                })
+                .filter(|(members, _)| !members.is_empty())
+                .collect()
+        }
+        Miner::Hierarchical { k } => {
+            let dendrogram = agglomerate(&view, Metric::Correlation, Linkage::Average);
+            let labels = dendrogram.cut(*k);
+            let all_tags: Vec<usize> = (0..table.n_tags()).collect();
+            (0..*k)
+                .map(|c| {
+                    let members: Vec<usize> = labels
+                        .iter()
+                        .enumerate()
+                        .filter(|&(_, &l)| l == c)
+                        .map(|(r, _)| r)
+                        .collect();
+                    (members, all_tags.clone())
+                })
+                .filter(|(members, _)| !members.is_empty())
+                .collect()
+        }
+    };
+
+    groups
+        .into_iter()
+        .enumerate()
+        .map(|(i, (records, attrs))| {
+            let name = format!("{base_name}_{}", i + 1);
+            let libraries: Vec<LibraryId> =
+                records.iter().map(|&r| LibraryId(r as u32)).collect();
+            let compact_tags: Vec<TagId> =
+                attrs.iter().map(|&a| TagId(a as u32)).collect();
+            let members = table.matrix.select_libraries(&libraries);
+            let sumy = aggregate_tags(&name, &members, &compact_tags);
+            MinedCluster {
+                name,
+                libraries,
+                compact_tags,
+                sumy,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gea_sage::corpus::library_meta;
+    use gea_sage::library::{NeoplasticState, TissueSource, TissueType};
+    use gea_sage::tag::TagUniverse;
+    use gea_sage::ExpressionMatrix;
+
+    /// Six libraries: 0–2 agree tightly on both tags (a plantable
+    /// fascicle), 3–5 scattered.
+    fn table() -> EnumTable {
+        let universe = TagUniverse::from_tags(
+            ["AAAAAAAAAA", "CCCCCCCCCC"].iter().map(|s| s.parse().unwrap()),
+        );
+        let libs = (0..6)
+            .map(|i| {
+                library_meta(
+                    &format!("L{i}"),
+                    TissueType::Brain,
+                    if i < 3 {
+                        NeoplasticState::Cancerous
+                    } else {
+                        NeoplasticState::Normal
+                    },
+                    TissueSource::BulkTissue,
+                )
+            })
+            .collect();
+        EnumTable::new(
+            "E",
+            ExpressionMatrix::from_rows(
+                universe,
+                libs,
+                vec![
+                    vec![100.0, 102.0, 101.0, 10.0, 250.0, 400.0],
+                    vec![50.0, 50.5, 49.5, 200.0, 90.0, 5.0],
+                ],
+            ),
+        )
+    }
+
+    #[test]
+    fn constant_tag_counting() {
+        let table = table();
+        // Neither demo tag is constant across the six libraries.
+        assert_eq!(constant_tag_count(&table), 0);
+        // Restrict to a single library: every tag is trivially constant.
+        let solo = table.with_libraries("solo", &[LibraryId(0)]);
+        assert_eq!(constant_tag_count(&solo), 2);
+    }
+
+    #[test]
+    fn fascicle_mining_finds_the_tight_group() {
+        let table = table();
+        let tol = generate_metadata(&table, 0.05);
+        let clusters = mine(
+            &table,
+            "brain2k",
+            &Miner::Fascicles(FascicleParams {
+                min_compact_attrs: 2,
+                min_records: 3,
+                batch_size: 6,
+            }),
+            Some(&tol),
+        );
+        assert_eq!(clusters.len(), 1);
+        let c = &clusters[0];
+        assert_eq!(c.name, "brain2k_1");
+        assert_eq!(c.libraries, vec![LibraryId(0), LibraryId(1), LibraryId(2)]);
+        assert_eq!(c.compact_tags.len(), 2);
+        // The SUMY definition covers exactly the compact tags with the
+        // member-library aggregates.
+        assert_eq!(c.sumy.len(), 2);
+        let a = c.sumy.row_for("AAAAAAAAAA".parse().unwrap()).unwrap();
+        assert_eq!(a.average, 101.0);
+        assert_eq!(a.range.lo(), 100.0);
+        assert_eq!(a.range.hi(), 102.0);
+    }
+
+    #[test]
+    fn kmeans_mining_partitions_libraries() {
+        let table = table();
+        let clusters = mine(
+            &table,
+            "km",
+            &Miner::KMeans(KMeansParams {
+                k: 2,
+                max_iters: 50,
+                seed: 1,
+            }),
+            None,
+        );
+        assert_eq!(clusters.len(), 2);
+        let total: usize = clusters.iter().map(|c| c.libraries.len()).sum();
+        assert_eq!(total, 6);
+    }
+
+    #[test]
+    fn hierarchical_mining_cuts_to_k() {
+        let table = table();
+        let clusters = mine(&table, "hc", &Miner::Hierarchical { k: 3 }, None);
+        assert_eq!(clusters.len(), 3);
+        let total: usize = clusters.iter().map(|c| c.libraries.len()).sum();
+        assert_eq!(total, 6);
+    }
+
+    #[test]
+    fn mined_sumy_populates_back_to_members() {
+        // The mine → populate closure of Figure 3.1.
+        let table = table();
+        let tol = generate_metadata(&table, 0.05);
+        let clusters = mine(
+            &table,
+            "f",
+            &Miner::Fascicles(FascicleParams {
+                min_compact_attrs: 2,
+                min_records: 3,
+                batch_size: 6,
+            }),
+            Some(&tol),
+        );
+        let c = &clusters[0];
+        let (libs, _) = crate::populate::populate_scan(&c.sumy, &table);
+        assert_eq!(libs, c.libraries);
+    }
+}

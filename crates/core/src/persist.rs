@@ -1,0 +1,458 @@
+//! Persisting analysis results across sessions.
+//!
+//! The thesis keeps every intermediate table in DB2, so an analyst can come
+//! back days later, browse the lineage (Figure 4.18) and continue. Our
+//! equivalent: [`save_results`] writes a session's materialized relational
+//! tables (as CSV with schema sidecars) and the lineage DAG to a directory;
+//! [`load_results`] reads them back into a [`Database`] + [`Lineage`] pair.
+//! Dematerialized tables (contents-only deletes) round-trip as empty tables
+//! whose lineage metadata still describes how to regenerate them.
+
+use std::fs;
+use std::io::Write;
+use std::path::Path;
+
+use gea_relstore::csv::{export_csv, import_csv};
+use gea_relstore::schema::Schema;
+use gea_relstore::value::DataType;
+use gea_relstore::Database;
+
+use crate::lineage::{Lineage, LineageNode, NodeId, NodeKind};
+use crate::session::GeaSession;
+
+/// Errors raised by persistence.
+#[derive(Debug)]
+pub enum PersistError {
+    /// Filesystem failure.
+    Io(std::io::Error),
+    /// A file's contents did not parse.
+    Malformed(String),
+}
+
+impl From<std::io::Error> for PersistError {
+    fn from(e: std::io::Error) -> PersistError {
+        PersistError::Io(e)
+    }
+}
+
+impl std::fmt::Display for PersistError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PersistError::Io(e) => write!(f, "i/o error: {e}"),
+            PersistError::Malformed(m) => write!(f, "malformed session data: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for PersistError {}
+
+fn malformed(detail: impl Into<String>) -> PersistError {
+    PersistError::Malformed(detail.into())
+}
+
+fn kind_token(kind: NodeKind) -> &'static str {
+    match kind {
+        NodeKind::Enum => "enum",
+        NodeKind::Fascicle => "fascicle",
+        NodeKind::Sumy => "sumy",
+        NodeKind::Gap => "gap",
+        NodeKind::TopGap => "topgap",
+        NodeKind::Compare => "compare",
+    }
+}
+
+fn parse_kind(token: &str) -> Result<NodeKind, PersistError> {
+    Ok(match token {
+        "enum" => NodeKind::Enum,
+        "fascicle" => NodeKind::Fascicle,
+        "sumy" => NodeKind::Sumy,
+        "gap" => NodeKind::Gap,
+        "topgap" => NodeKind::TopGap,
+        "compare" => NodeKind::Compare,
+        other => return Err(malformed(format!("unknown node kind {other:?}"))),
+    })
+}
+
+fn dtype_token(d: DataType) -> &'static str {
+    match d {
+        DataType::Int => "INT",
+        DataType::Float => "FLOAT",
+        DataType::Text => "TEXT",
+        DataType::Bool => "BOOL",
+    }
+}
+
+fn parse_dtype(token: &str) -> Result<DataType, PersistError> {
+    Ok(match token {
+        "INT" => DataType::Int,
+        "FLOAT" => DataType::Float,
+        "TEXT" => DataType::Text,
+        "BOOL" => DataType::Bool,
+        other => return Err(malformed(format!("unknown type {other:?}"))),
+    })
+}
+
+/// Percent-encode a table name into a safe file stem.
+fn encode_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len());
+    for c in name.chars() {
+        if c.is_ascii_alphanumeric() || c == '_' || c == '-' {
+            out.push(c);
+        } else {
+            out.push('%');
+            out.push_str(&format!("{:04x}", c as u32));
+        }
+    }
+    out
+}
+
+fn decode_name(stem: &str) -> Result<String, PersistError> {
+    let mut out = String::new();
+    let mut chars = stem.chars();
+    while let Some(c) = chars.next() {
+        if c == '%' {
+            let hex: String = chars.by_ref().take(4).collect();
+            let code = u32::from_str_radix(&hex, 16)
+                .map_err(|e| malformed(format!("bad escape {hex:?}: {e}")))?;
+            out.push(
+                char::from_u32(code).ok_or_else(|| malformed("bad escape code"))?,
+            );
+        } else {
+            out.push(c);
+        }
+    }
+    Ok(out)
+}
+
+/// Save the session's materialized tables and lineage into `dir`.
+pub fn save_results(session: &GeaSession, dir: &Path) -> Result<(), PersistError> {
+    save_database_and_lineage(session.database(), session.lineage(), dir)
+}
+
+/// Save an explicit database + lineage pair.
+pub fn save_database_and_lineage(
+    db: &Database,
+    lineage: &Lineage,
+    dir: &Path,
+) -> Result<(), PersistError> {
+    fs::create_dir_all(dir)?;
+    // Tables: CSV + schema sidecar.
+    for name in db.names() {
+        let table = db.get(name).expect("listed name exists");
+        let stem = encode_name(name);
+        let mut schema_file = fs::File::create(dir.join(format!("{stem}.schema")))?;
+        for col in table.schema().columns() {
+            writeln!(schema_file, "{}\t{}", col.name, dtype_token(col.dtype))?;
+        }
+        let mut csv_file = fs::File::create(dir.join(format!("{stem}.csv")))?;
+        export_csv(table, &mut csv_file)?;
+    }
+    // Lineage.
+    let mut out = fs::File::create(dir.join("lineage.txt"))?;
+    for node in lineage.iter() {
+        writeln!(out, "node\t{}", node.id.0)?;
+        writeln!(out, "name\t{}", encode_name(&node.name))?;
+        writeln!(out, "kind\t{}", kind_token(node.kind))?;
+        writeln!(out, "op\t{}", node.operation)?;
+        for (k, v) in &node.params {
+            writeln!(out, "param\t{k}\t{v}")?;
+        }
+        if !node.comment.is_empty() {
+            writeln!(out, "comment\t{}", node.comment.replace('\n', " "))?;
+        }
+        let parents: Vec<String> =
+            node.parents.iter().map(|p| p.0.to_string()).collect();
+        writeln!(out, "parents\t{}", parents.join(","))?;
+        writeln!(out, "materialized\t{}", node.materialized as u8)?;
+        writeln!(out, "end")?;
+    }
+    Ok(())
+}
+
+/// A reloaded session snapshot: the relational tables and the operation
+/// history. (The in-memory analysis structures are regenerable from these
+/// via the lineage metadata, which is the thesis's own recovery story for
+/// contents-only deletes.)
+#[derive(Debug)]
+pub struct LoadedResults {
+    /// The reloaded tables.
+    pub database: Database,
+    /// The reloaded operation history.
+    pub lineage: Lineage,
+}
+
+/// Load a directory written by [`save_results`].
+pub fn load_results(dir: &Path) -> Result<LoadedResults, PersistError> {
+    let mut database = Database::new();
+    for entry in fs::read_dir(dir)? {
+        let path = entry?.path();
+        if path.extension().and_then(|e| e.to_str()) != Some("schema") {
+            continue;
+        }
+        let stem = path
+            .file_stem()
+            .and_then(|s| s.to_str())
+            .ok_or_else(|| malformed("non-utf8 file name"))?;
+        let name = decode_name(stem)?;
+        let schema_text = fs::read_to_string(&path)?;
+        let mut cols = Vec::new();
+        for line in schema_text.lines() {
+            let mut parts = line.split('\t');
+            let col = parts
+                .next()
+                .ok_or_else(|| malformed("empty schema line"))?;
+            let dtype = parse_dtype(
+                parts
+                    .next()
+                    .ok_or_else(|| malformed(format!("schema line {line:?} missing type")))?,
+            )?;
+            cols.push((col.to_string(), dtype));
+        }
+        let pairs: Vec<(&str, DataType)> =
+            cols.iter().map(|(n, t)| (n.as_str(), *t)).collect();
+        let schema = Schema::from_pairs(&pairs)
+            .map_err(|e| malformed(format!("bad schema for {name:?}: {e}")))?;
+        let csv_path = dir.join(format!("{stem}.csv"));
+        let mut file = fs::File::open(&csv_path)?;
+        let table = import_csv(schema, &mut file)
+            .map_err(|e| malformed(format!("bad csv for {name:?}: {e}")))?;
+        database.create_or_replace(&name, table);
+    }
+
+    // Lineage: replay records in id order so parent references resolve.
+    let lineage_path = dir.join("lineage.txt");
+    let mut lineage = Lineage::new();
+    if lineage_path.exists() {
+        let text = fs::read_to_string(&lineage_path)?;
+        let mut pending: Vec<ParsedNode> = Vec::new();
+        let mut current: Option<ParsedNode> = None;
+        for line in text.lines() {
+            let mut parts = line.splitn(3, '\t');
+            let tag = parts.next().unwrap_or("");
+            match tag {
+                "node" => {
+                    let id: u32 = parts
+                        .next()
+                        .ok_or_else(|| malformed("node line missing id"))?
+                        .parse()
+                        .map_err(|e| malformed(format!("bad node id: {e}")))?;
+                    current = Some(ParsedNode {
+                        id,
+                        ..ParsedNode::default()
+                    });
+                }
+                "name" => {
+                    let cur = current.as_mut().ok_or_else(|| malformed("name outside node"))?;
+                    cur.name = decode_name(parts.next().unwrap_or(""))?;
+                }
+                "kind" => {
+                    let cur = current.as_mut().ok_or_else(|| malformed("kind outside node"))?;
+                    cur.kind = Some(parse_kind(parts.next().unwrap_or(""))?);
+                }
+                "op" => {
+                    let cur = current.as_mut().ok_or_else(|| malformed("op outside node"))?;
+                    cur.operation = parts.next().unwrap_or("").to_string();
+                }
+                "param" => {
+                    let cur =
+                        current.as_mut().ok_or_else(|| malformed("param outside node"))?;
+                    let k = parts.next().unwrap_or("").to_string();
+                    let v = parts.next().unwrap_or("").to_string();
+                    cur.params.push((k, v));
+                }
+                "comment" => {
+                    let cur =
+                        current.as_mut().ok_or_else(|| malformed("comment outside node"))?;
+                    cur.comment = parts.next().unwrap_or("").to_string();
+                }
+                "parents" => {
+                    let cur =
+                        current.as_mut().ok_or_else(|| malformed("parents outside node"))?;
+                    let list = parts.next().unwrap_or("");
+                    if !list.is_empty() {
+                        for p in list.split(',') {
+                            cur.parents.push(
+                                p.parse()
+                                    .map_err(|e| malformed(format!("bad parent id: {e}")))?,
+                            );
+                        }
+                    }
+                }
+                "materialized" => {
+                    let cur = current
+                        .as_mut()
+                        .ok_or_else(|| malformed("materialized outside node"))?;
+                    cur.materialized = parts.next() == Some("1");
+                }
+                "end" => {
+                    pending.push(
+                        current.take().ok_or_else(|| malformed("end outside node"))?,
+                    );
+                }
+                "" => {}
+                other => return Err(malformed(format!("unknown record tag {other:?}"))),
+            }
+        }
+        pending.sort_by_key(|n| n.id);
+        // Replay; saved ids are dense-by-construction in a fresh tracker,
+        // but deletes can leave gaps — map old ids to new.
+        let mut id_map: std::collections::BTreeMap<u32, NodeId> = Default::default();
+        for node in pending {
+            let kind = node.kind.ok_or_else(|| malformed("node missing kind"))?;
+            let parents: Vec<NodeId> = node
+                .parents
+                .iter()
+                .filter_map(|p| id_map.get(p).copied())
+                .collect();
+            let new_id = lineage
+                .record(&node.name, kind, &node.operation, node.params, &parents)
+                .map_err(|e| malformed(format!("replay failed: {e}")))?;
+            if !node.comment.is_empty() {
+                let _ = lineage.set_comment(new_id, &node.comment);
+            }
+            if !node.materialized {
+                let _ = lineage.delete_contents(new_id);
+            }
+            id_map.insert(node.id, new_id);
+        }
+    }
+    Ok(LoadedResults { database, lineage })
+}
+
+#[derive(Debug, Default)]
+struct ParsedNode {
+    id: u32,
+    name: String,
+    kind: Option<NodeKind>,
+    operation: String,
+    params: Vec<(String, String)>,
+    comment: String,
+    parents: Vec<u32>,
+    materialized: bool,
+}
+
+/// Render one reloaded node the way Figure 4.18's detail panel does.
+pub fn describe_node(node: &LineageNode) -> String {
+    let mut out = format!(
+        "Operation Name: {}\nOperation Type: {}\n",
+        node.name, node.operation
+    );
+    for (k, v) in &node.params {
+        out.push_str(&format!("{k}: {v}\n"));
+    }
+    if !node.comment.is_empty() {
+        out.push_str(&format!("User Comment: {}\n", node.comment));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gea_cluster::FascicleParams;
+    use gea_sage::clean::CleaningConfig;
+    use gea_sage::generate::{generate, GeneratorConfig};
+    use gea_sage::TissueType;
+
+    /// Mine with a k sweep until fascicles appear.
+    fn mine_with_sweep(session: &mut GeaSession, base: &str) -> Vec<String> {
+        let n_tags = session.enum_table("Ebrain").unwrap().n_tags();
+        for pct in [60usize, 55, 50, 45, 40] {
+            let names = session
+                .calculate_fascicles(
+                    "Ebrain",
+                    &format!("{base}{pct}"),
+                    0.10,
+                    &FascicleParams {
+                        min_compact_attrs: n_tags * pct / 100,
+                        min_records: 3,
+                        batch_size: 6,
+                    },
+                )
+                .unwrap();
+            if !names.is_empty() {
+                return names;
+            }
+        }
+        panic!("no fascicles in sweep");
+    }
+
+    fn temp_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "gea_persist_{tag}_{}",
+            std::process::id()
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn name_encoding_roundtrip() {
+        for name in ["plain", "with space", "uni→code", "a%b", "Ebrain/2"] {
+            let encoded = encode_name(name);
+            assert!(!encoded.contains('/') && !encoded.contains(' '));
+            assert_eq!(decode_name(&encoded).unwrap(), name);
+        }
+    }
+
+    #[test]
+    fn session_results_roundtrip() {
+        let (corpus, _) = generate(&GeneratorConfig::demo(42));
+        let mut session = GeaSession::open(corpus, &CleaningConfig::default()).unwrap();
+        session
+            .create_tissue_dataset("Ebrain", &TissueType::Brain)
+            .unwrap();
+        let names = mine_with_sweep(&mut session, "brainP");
+        assert!(!names.is_empty());
+        session.comment(&names[0], "persisted comment").unwrap();
+
+        let dir = temp_dir("roundtrip");
+        save_results(&session, &dir).unwrap();
+        let loaded = load_results(&dir).unwrap();
+
+        // Every materialized table survives with identical contents.
+        for name in session.database().names() {
+            let original = session.database().get(name).unwrap();
+            let reloaded = loaded.database.get(name).unwrap_or_else(|_| {
+                panic!("table {name:?} missing after reload")
+            });
+            assert_eq!(reloaded, original, "table {name:?} differs");
+        }
+        // Lineage structure and comments survive.
+        assert_eq!(loaded.lineage.len(), session.lineage().len());
+        let node = loaded.lineage.find_by_name(&names[0]).unwrap();
+        assert_eq!(node.comment, "persisted comment");
+        assert_eq!(node.operation, "Fascicles");
+        assert_eq!(
+            loaded.lineage.render_tree(),
+            session.lineage().render_tree()
+        );
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn dematerialized_nodes_survive_as_metadata() {
+        let (corpus, _) = generate(&GeneratorConfig::demo(42));
+        let mut session = GeaSession::open(corpus, &CleaningConfig::default()).unwrap();
+        session
+            .create_tissue_dataset("Ebrain", &TissueType::Brain)
+            .unwrap();
+        let names = mine_with_sweep(&mut session, "brainQ");
+        session.delete(&names[0], false).unwrap(); // contents-only
+
+        let dir = temp_dir("demat");
+        save_results(&session, &dir).unwrap();
+        let loaded = load_results(&dir).unwrap();
+        let node = loaded.lineage.find_by_name(&names[0]).unwrap();
+        assert!(!node.materialized);
+        assert_eq!(loaded.database.get(&names[0]).unwrap().n_rows(), 0);
+        let described = describe_node(node);
+        assert!(described.contains("Fascicles"));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn loading_missing_directory_fails() {
+        assert!(load_results(Path::new("/nonexistent/gea")).is_err());
+    }
+}

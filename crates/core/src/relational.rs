@@ -1,0 +1,288 @@
+//! Relational materialization — the Appendix IV schemas.
+//!
+//! GEA persists every structure in the underlying DBMS: SUMY tables as
+//! `SummaryTable(TagName, TagNo, Minimum, Maximum, Range, Average, STDV)`,
+//! GAP tables as `GapTable(TagName, TagNo, GapValue…)`, and ENUM tables in
+//! the rotated physical layout of §4.6.1 (`TAGS(TagName, TagNo, Lib_a …)`).
+//! These conversions are lossless both ways, which is what lets the lineage
+//! feature drop a table's contents and regenerate them later.
+
+use gea_relstore::schema::{Column, Schema};
+use gea_relstore::table::{Table, TableError};
+use gea_relstore::value::{DataType, Value};
+use gea_sage::tag::Tag;
+
+use crate::enum_table::EnumTable;
+use crate::gap::{GapRow, GapTable};
+use crate::interval::Interval;
+use crate::sumy::{SumyRow, SumyTable};
+
+/// Errors raised while converting between GEA structures and relations.
+#[derive(Debug)]
+pub enum ConvertError {
+    /// Underlying table error.
+    Table(TableError),
+    /// A cell failed to parse back into the GEA structure.
+    Malformed(String),
+}
+
+impl From<TableError> for ConvertError {
+    fn from(e: TableError) -> ConvertError {
+        ConvertError::Table(e)
+    }
+}
+
+impl std::fmt::Display for ConvertError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConvertError::Table(e) => write!(f, "{e}"),
+            ConvertError::Malformed(m) => write!(f, "malformed relation: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ConvertError {}
+
+/// Materialize a SUMY table with the Appendix IV `SummaryTable` schema.
+pub fn sumy_to_relation(sumy: &SumyTable) -> Result<Table, ConvertError> {
+    let schema = Schema::from_pairs(&[
+        ("TagName", DataType::Text),
+        ("TagNo", DataType::Int),
+        ("Minimum", DataType::Float),
+        ("Maximum", DataType::Float),
+        ("Range", DataType::Float),
+        ("Average", DataType::Float),
+        ("STDV", DataType::Float),
+    ])
+    .map_err(TableError::Schema)?;
+    let mut table = Table::new(schema);
+    for row in sumy.rows() {
+        table.push_row(vec![
+            row.tag.to_string().into(),
+            row.tag_no.into(),
+            row.range.lo().into(),
+            row.range.hi().into(),
+            row.range.width().into(),
+            row.average.into(),
+            row.std_dev.into(),
+        ])?;
+    }
+    Ok(table)
+}
+
+/// Reconstruct a SUMY table from its relational form.
+pub fn sumy_from_relation(name: &str, table: &Table) -> Result<SumyTable, ConvertError> {
+    let mut rows = Vec::with_capacity(table.n_rows());
+    for r in 0..table.n_rows() {
+        let tag_s = table
+            .value_by_name(r, "TagName")?
+            .as_str()
+            .ok_or_else(|| ConvertError::Malformed("TagName not text".into()))?;
+        let tag: Tag = tag_s
+            .parse()
+            .map_err(|e| ConvertError::Malformed(format!("bad tag {tag_s:?}: {e}")))?;
+        let f = |col: &str| -> Result<f64, ConvertError> {
+            table
+                .value_by_name(r, col)?
+                .as_f64()
+                .ok_or_else(|| ConvertError::Malformed(format!("{col} not numeric")))
+        };
+        let lo = f("Minimum")?;
+        let hi = f("Maximum")?;
+        rows.push(SumyRow {
+            tag,
+            tag_no: table
+                .value_by_name(r, "TagNo")?
+                .as_i64()
+                .ok_or_else(|| ConvertError::Malformed("TagNo not int".into()))?
+                as u32,
+            range: Interval::new(lo, hi)
+                .map_err(|e| ConvertError::Malformed(e.to_string()))?,
+            average: f("Average")?,
+            std_dev: f("STDV")?,
+            extras: Default::default(),
+        });
+    }
+    Ok(SumyTable::new(name, rows))
+}
+
+/// Materialize a GAP table (`TagName, TagNo, GapValue…`, one column per
+/// gap).
+pub fn gap_to_relation(gap: &GapTable) -> Result<Table, ConvertError> {
+    let mut cols = vec![
+        Column::new("TagName", DataType::Text),
+        Column::new("TagNo", DataType::Int),
+    ];
+    for c in &gap.columns {
+        cols.push(Column::new(c, DataType::Float));
+    }
+    let schema = Schema::new(cols).map_err(TableError::Schema)?;
+    let mut table = Table::new(schema);
+    for row in gap.rows() {
+        let mut values: Vec<Value> = vec![row.tag.to_string().into(), row.tag_no.into()];
+        for g in &row.gaps {
+            values.push(match g {
+                Some(v) => Value::Float(*v),
+                None => Value::Null,
+            });
+        }
+        table.push_row(values)?;
+    }
+    Ok(table)
+}
+
+/// Reconstruct a GAP table from its relational form.
+pub fn gap_from_relation(name: &str, table: &Table) -> Result<GapTable, ConvertError> {
+    let columns: Vec<String> = table
+        .schema()
+        .columns()
+        .iter()
+        .skip(2)
+        .map(|c| c.name.clone())
+        .collect();
+    if columns.is_empty() {
+        return Err(ConvertError::Malformed("no gap columns".into()));
+    }
+    let mut rows = Vec::with_capacity(table.n_rows());
+    for r in 0..table.n_rows() {
+        let tag_s = table
+            .value_by_name(r, "TagName")?
+            .as_str()
+            .ok_or_else(|| ConvertError::Malformed("TagName not text".into()))?;
+        let tag: Tag = tag_s
+            .parse()
+            .map_err(|e| ConvertError::Malformed(format!("bad tag {tag_s:?}: {e}")))?;
+        let tag_no = table
+            .value_by_name(r, "TagNo")?
+            .as_i64()
+            .ok_or_else(|| ConvertError::Malformed("TagNo not int".into()))?
+            as u32;
+        let gaps = (2..table.n_cols())
+            .map(|c| table.value(r, c).as_f64())
+            .collect();
+        rows.push(GapRow { tag, tag_no, gaps });
+    }
+    Ok(GapTable::new(name, columns, rows))
+}
+
+/// Materialize an ENUM table in the rotated physical layout of Figure 4.30:
+/// one row per tag, one FLOAT column per library.
+pub fn enum_to_relation(table: &EnumTable) -> Result<Table, ConvertError> {
+    let mut cols = vec![
+        Column::new("TagName", DataType::Text),
+        Column::new("TagNo", DataType::Int),
+    ];
+    for meta in table.libraries() {
+        cols.push(Column::new(&meta.name, DataType::Float));
+    }
+    let schema = Schema::new(cols).map_err(TableError::Schema)?;
+    let mut out = Table::new(schema);
+    for tid in table.matrix.tag_ids() {
+        let mut row: Vec<Value> = vec![
+            table.matrix.tag_of(tid).to_string().into(),
+            tid.0.into(),
+        ];
+        row.extend(table.matrix.tag_row(tid).iter().map(|&v| Value::Float(v)));
+        out.push_row(row)?;
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sumy::aggregate;
+    use gea_sage::corpus::library_meta;
+    use gea_sage::library::{NeoplasticState, TissueSource, TissueType};
+    use gea_sage::tag::TagUniverse;
+    use gea_sage::ExpressionMatrix;
+
+    fn enum_table() -> EnumTable {
+        let universe = TagUniverse::from_tags(
+            ["AAAAAAAAAA", "CCCCCCCCCC"].iter().map(|s| s.parse().unwrap()),
+        );
+        let libs = vec![
+            library_meta("L0", TissueType::Brain, NeoplasticState::Cancerous, TissueSource::BulkTissue),
+            library_meta("L1", TissueType::Brain, NeoplasticState::Normal, TissueSource::BulkTissue),
+        ];
+        EnumTable::new(
+            "E",
+            ExpressionMatrix::from_rows(
+                universe,
+                libs,
+                vec![vec![10.0, 20.0], vec![3.0, 5.0]],
+            ),
+        )
+    }
+
+    #[test]
+    fn sumy_roundtrip() {
+        let sumy = aggregate("s", &enum_table().matrix);
+        let relation = sumy_to_relation(&sumy).unwrap();
+        assert_eq!(relation.n_rows(), 2);
+        assert_eq!(relation.n_cols(), 7);
+        let back = sumy_from_relation("s", &relation).unwrap();
+        assert_eq!(back, sumy);
+    }
+
+    #[test]
+    fn gap_roundtrip_preserves_nulls() {
+        use crate::gap::GapRow;
+        let gap = GapTable::new(
+            "g",
+            vec!["Gap".to_string()],
+            vec![
+                GapRow { tag: "AAAAAAAAAA".parse().unwrap(), tag_no: 0, gaps: vec![Some(-1.5)] },
+                GapRow { tag: "CCCCCCCCCC".parse().unwrap(), tag_no: 1, gaps: vec![None] },
+            ],
+        );
+        let relation = gap_to_relation(&gap).unwrap();
+        assert!(relation.value_by_name(1, "Gap").unwrap().is_null());
+        let back = gap_from_relation("g", &relation).unwrap();
+        assert_eq!(back.rows(), gap.rows());
+        assert_eq!(back.columns, gap.columns);
+    }
+
+    #[test]
+    fn multi_column_gap_roundtrip() {
+        use crate::gap::GapRow;
+        let gap = GapTable::new(
+            "g4",
+            vec!["GAP1.Gap".to_string(), "GAP2.Gap".to_string()],
+            vec![GapRow {
+                tag: "AAAAAAAAAA".parse().unwrap(),
+                tag_no: 0,
+                gaps: vec![Some(-11.0), Some(-8.0)],
+            }],
+        );
+        let relation = gap_to_relation(&gap).unwrap();
+        assert_eq!(relation.n_cols(), 4);
+        let back = gap_from_relation("g4", &relation).unwrap();
+        assert_eq!(back.rows()[0].gaps, vec![Some(-11.0), Some(-8.0)]);
+    }
+
+    #[test]
+    fn enum_relation_is_rotated() {
+        let t = enum_table();
+        let relation = enum_to_relation(&t).unwrap();
+        // One row per tag, one column per library (Figure 4.30b).
+        assert_eq!(relation.n_rows(), 2);
+        assert_eq!(relation.n_cols(), 4);
+        assert_eq!(
+            relation.value_by_name(0, "TagName").unwrap().as_str(),
+            Some("AAAAAAAAAA")
+        );
+        assert_eq!(relation.value_by_name(0, "L1").unwrap().as_f64(), Some(20.0));
+    }
+
+    #[test]
+    fn malformed_relation_rejected() {
+        let schema = Schema::from_pairs(&[
+            ("TagName", DataType::Text),
+            ("TagNo", DataType::Int),
+        ])
+        .unwrap();
+        let t = Table::new(schema);
+        assert!(gap_from_relation("g", &t).is_err());
+    }
+}

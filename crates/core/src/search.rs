@@ -1,0 +1,387 @@
+//! Search operations (thesis §4.4.4).
+//!
+//! Two families: general database searches over the SAGE data (library
+//! information, tissue-type membership, tag frequencies, tag-range
+//! retrieval — Figures 4.23–4.26) and range-arithmetic searches over SUMY
+//! tables (Figures 4.16/4.17), whose per-tag results are `NO` (relation not
+//! satisfied), `NE` (tag not in the table) or the satisfied range.
+
+use gea_sage::corpus::SageCorpus;
+use gea_sage::library::{LibraryId, LibraryMeta};
+use gea_sage::tag::Tag;
+use gea_sage::TissueType;
+
+use crate::enum_table::EnumTable;
+use crate::interval::{AllenRelation, Interval};
+use crate::sumy::SumyTable;
+
+/// Figure 4.23's library-information search result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LibraryInfo {
+    /// Library id.
+    pub id: LibraryId,
+    /// Metadata (name, tissue, state, source).
+    pub meta: LibraryMeta,
+    /// Total number of tags (sum of counts).
+    pub total_tags: u64,
+    /// Unique number of tags.
+    pub unique_tags: usize,
+}
+
+/// Search a corpus for library information by id.
+pub fn library_info_by_id(corpus: &SageCorpus, id: LibraryId) -> Option<LibraryInfo> {
+    if id.index() >= corpus.len() {
+        return None;
+    }
+    let lib = corpus.library(id);
+    Some(LibraryInfo {
+        id,
+        meta: lib.meta.clone(),
+        total_tags: lib.total_tags(),
+        unique_tags: lib.unique_tags(),
+    })
+}
+
+/// Search by exact library name.
+pub fn library_info_by_name(corpus: &SageCorpus, name: &str) -> Option<LibraryInfo> {
+    corpus
+        .find_by_name(name)
+        .and_then(|id| library_info_by_id(corpus, id))
+}
+
+/// Figure 4.24's tissue-type search: member library names and their count.
+pub fn tissue_members(corpus: &SageCorpus, tissue: &TissueType) -> Vec<String> {
+    corpus
+        .libraries_of_tissue(tissue)
+        .into_iter()
+        .map(|id| corpus.meta(id).name.clone())
+        .collect()
+}
+
+/// One row of the tag-frequency search (Figures 4.25/4.26): a tag, its
+/// number, and its expression value in each requested library.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TagFrequencyRow {
+    /// The tag.
+    pub tag: Tag,
+    /// Tag number in the ENUM table's universe.
+    pub tag_no: u32,
+    /// `(library name, expression value)` pairs, in request order.
+    pub values: Vec<(String, f64)>,
+}
+
+/// Expression values of a single tag over the chosen libraries (empty
+/// library list means all libraries).
+pub fn tag_frequency(
+    table: &EnumTable,
+    tag: Tag,
+    libraries: &[LibraryId],
+) -> Option<TagFrequencyRow> {
+    let tid = table.matrix.id_of(tag)?;
+    let ids: Vec<LibraryId> = if libraries.is_empty() {
+        table.matrix.library_ids().collect()
+    } else {
+        libraries.to_vec()
+    };
+    Some(TagFrequencyRow {
+        tag,
+        tag_no: tid.0,
+        values: ids
+            .into_iter()
+            .map(|lib| {
+                (
+                    table.matrix.library(lib).name.clone(),
+                    table.matrix.value(tid, lib),
+                )
+            })
+            .collect(),
+    })
+}
+
+/// Expression values for every tag in the inclusive tag range `lo..=hi`
+/// over the chosen libraries — Figure 4.25's
+/// `AAAAAAAAAC-AAAAAAACCC` search.
+pub fn tag_range_frequency(
+    table: &EnumTable,
+    lo: Tag,
+    hi: Tag,
+    libraries: &[LibraryId],
+) -> Vec<TagFrequencyRow> {
+    table
+        .matrix
+        .universe()
+        .ids_in_range(lo, hi)
+        .filter_map(|tid| tag_frequency(table, table.matrix.tag_of(tid), libraries))
+        .collect()
+}
+
+/// The §4.4.4.2 "Range Search for Library": libraries of a data set whose
+/// expression of `tag` lies within `lo..=hi` (inclusive).
+pub fn libraries_with_tag_in_range(
+    table: &EnumTable,
+    tag: Tag,
+    lo: f64,
+    hi: f64,
+) -> Vec<(String, f64)> {
+    let Some(tid) = table.matrix.id_of(tag) else {
+        return Vec::new();
+    };
+    table
+        .matrix
+        .library_ids()
+        .filter_map(|lib| {
+            let v = table.matrix.value(tid, lib);
+            (v >= lo && v <= hi)
+                .then(|| (table.matrix.library(lib).name.clone(), v))
+        })
+        .collect()
+}
+
+/// Per-tag outcome of a range-arithmetic search over one SUMY table.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum RangeSearchOutcome {
+    /// The tag's range satisfies the relation; carries the range.
+    Satisfied(Interval),
+    /// The tag exists but its range does not satisfy the relation —
+    /// displayed as `NO`.
+    NotSatisfied,
+    /// The tag does not exist in the SUMY table — displayed as `NE`.
+    NotInTable,
+}
+
+impl RangeSearchOutcome {
+    /// The thesis's display token.
+    pub fn display(&self) -> String {
+        match self {
+            RangeSearchOutcome::Satisfied(iv) => format!("({}-{})", iv.lo(), iv.hi()),
+            RangeSearchOutcome::NotSatisfied => "NO".to_string(),
+            RangeSearchOutcome::NotInTable => "NE".to_string(),
+        }
+    }
+}
+
+/// Figure 4.16's search: probe specific tags against multiple SUMY tables
+/// under the *loose overlap* test the thesis's Overlaps search uses.
+/// Returns one outcome per `(tag, table)` pair, table-major per tag.
+pub fn range_search_tags(
+    tables: &[&SumyTable],
+    tags: &[Tag],
+    query: Interval,
+) -> Vec<(Tag, Vec<RangeSearchOutcome>)> {
+    tags.iter()
+        .map(|&tag| {
+            let outcomes = tables
+                .iter()
+                .map(|table| match table.row_for(tag) {
+                    None => RangeSearchOutcome::NotInTable,
+                    Some(row) => {
+                        if row.range.intersects(query) {
+                            RangeSearchOutcome::Satisfied(row.range)
+                        } else {
+                            RangeSearchOutcome::NotSatisfied
+                        }
+                    }
+                })
+                .collect();
+            (tag, outcomes)
+        })
+        .collect()
+}
+
+/// Figure 4.17's "any tag" search: all tags of one SUMY table whose range
+/// stands in `rel` to `query` (strict Allen semantics), or — with
+/// `rel = None` — whose range merely intersects it (the thesis's Overlaps
+/// button).
+pub fn range_search_any(
+    table: &SumyTable,
+    rel: Option<AllenRelation>,
+    query: Interval,
+) -> Vec<(Tag, Interval)> {
+    table
+        .rows()
+        .iter()
+        .filter(|row| match rel {
+            Some(rel) => row.range.satisfies(rel, query),
+            None => row.range.intersects(query),
+        })
+        .map(|row| (row.tag, row.range))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sumy::aggregate;
+    use gea_sage::corpus::library_meta;
+    use gea_sage::library::{NeoplasticState, SageLibrary, TissueSource};
+    use gea_sage::tag::TagUniverse;
+    use gea_sage::ExpressionMatrix;
+
+    fn corpus() -> SageCorpus {
+        let mut c = SageCorpus::new();
+        c.add(SageLibrary::from_counts(
+            library_meta(
+                "SAGE_Duke_H1020",
+                TissueType::Brain,
+                NeoplasticState::Cancerous,
+                TissueSource::BulkTissue,
+            ),
+            [("AAAAAAAAAA".parse().unwrap(), 152371u32 / 2)],
+        ));
+        c.add(SageLibrary::from_counts(
+            library_meta(
+                "SAGE_Br_N",
+                TissueType::Brain,
+                NeoplasticState::Normal,
+                TissueSource::BulkTissue,
+            ),
+            [("CCCCCCCCCC".parse().unwrap(), 7)],
+        ));
+        c
+    }
+
+    fn enum_table() -> EnumTable {
+        let universe = TagUniverse::from_tags(
+            ["AAAAAAAAAC", "AAAAAAAAAG", "AAAAAAAAAT", "CAAAAAAAAA"]
+                .iter()
+                .map(|s| s.parse().unwrap()),
+        );
+        let libs = vec![
+            library_meta("SAGE_293-IND", TissueType::Kidney, NeoplasticState::Cancerous, TissueSource::CellLine),
+            library_meta("SAGE_95-259", TissueType::Brain, NeoplasticState::Cancerous, TissueSource::BulkTissue),
+            library_meta("SAGE_95-260", TissueType::Brain, NeoplasticState::Cancerous, TissueSource::BulkTissue),
+        ];
+        EnumTable::new(
+            "E",
+            ExpressionMatrix::from_rows(
+                universe,
+                libs,
+                vec![
+                    vec![13.0, 8.0, 0.0],
+                    vec![26.0, 0.0, 7.0],
+                    vec![1.0, 3.0, 0.0],
+                    vec![5.0, 5.0, 5.0],
+                ],
+            ),
+        )
+    }
+
+    #[test]
+    fn library_info_lookup() {
+        let c = corpus();
+        let by_id = library_info_by_id(&c, LibraryId(0)).unwrap();
+        assert_eq!(by_id.meta.name, "SAGE_Duke_H1020");
+        assert_eq!(by_id.meta.tissue, TissueType::Brain);
+        let by_name = library_info_by_name(&c, "SAGE_Br_N").unwrap();
+        assert_eq!(by_name.id, LibraryId(1));
+        assert_eq!(by_name.total_tags, 7);
+        assert_eq!(by_name.unique_tags, 1);
+        assert!(library_info_by_id(&c, LibraryId(9)).is_none());
+        assert!(library_info_by_name(&c, "nope").is_none());
+    }
+
+    #[test]
+    fn tissue_membership() {
+        let c = corpus();
+        assert_eq!(
+            tissue_members(&c, &TissueType::Brain),
+            vec!["SAGE_Duke_H1020", "SAGE_Br_N"]
+        );
+        assert!(tissue_members(&c, &TissueType::Skin).is_empty());
+    }
+
+    #[test]
+    fn single_tag_frequency_matches_figure_4_26() {
+        // "the tag number for AAAAAAAAAC is 2, and the expression values for
+        // the selected libraries are 13 and 8" — our universe numbers from
+        // 0, so the shape is what we check.
+        let t = enum_table();
+        let row = tag_frequency(
+            &t,
+            "AAAAAAAAAC".parse().unwrap(),
+            &[LibraryId(0), LibraryId(1)],
+        )
+        .unwrap();
+        assert_eq!(
+            row.values,
+            vec![
+                ("SAGE_293-IND".to_string(), 13.0),
+                ("SAGE_95-259".to_string(), 8.0)
+            ]
+        );
+        assert!(tag_frequency(&t, "GGGGGGGGGG".parse().unwrap(), &[]).is_none());
+    }
+
+    #[test]
+    fn tag_range_frequency_walks_the_range() {
+        let t = enum_table();
+        let rows = tag_range_frequency(
+            &t,
+            "AAAAAAAAAC".parse().unwrap(),
+            "AAAAAAAAAT".parse().unwrap(),
+            &[],
+        );
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[0].tag.to_string(), "AAAAAAAAAC");
+        assert_eq!(rows[2].tag.to_string(), "AAAAAAAAAT");
+        // Empty library list = all three libraries.
+        assert_eq!(rows[1].values.len(), 3);
+        assert_eq!(rows[1].values[2].1, 7.0);
+    }
+
+    #[test]
+    fn library_range_search() {
+        let t = enum_table();
+        let hits = libraries_with_tag_in_range(&t, "AAAAAAAAAG".parse().unwrap(), 5.0, 30.0);
+        assert_eq!(
+            hits,
+            vec![
+                ("SAGE_293-IND".to_string(), 26.0),
+                ("SAGE_95-260".to_string(), 7.0)
+            ]
+        );
+        assert!(libraries_with_tag_in_range(&t, "GGGGGGGGGG".parse().unwrap(), 0.0, 1.0)
+            .is_empty());
+    }
+
+    #[test]
+    fn range_search_specific_tags() {
+        let t = enum_table();
+        let sumy = aggregate("s", &t.matrix);
+        let query = Interval::new(10.0, 700.0).unwrap();
+        let results = range_search_tags(
+            &[&sumy],
+            &[
+                "AAAAAAAAAG".parse().unwrap(), // range [0, 26] → intersects
+                "AAAAAAAAAT".parse().unwrap(), // range [0, 3] → NO
+                "GGGGGGGGGG".parse().unwrap(), // not in table → NE
+            ],
+            query,
+        );
+        assert!(matches!(
+            results[0].1[0],
+            RangeSearchOutcome::Satisfied(_)
+        ));
+        assert_eq!(results[1].1[0], RangeSearchOutcome::NotSatisfied);
+        assert_eq!(results[2].1[0], RangeSearchOutcome::NotInTable);
+        assert_eq!(results[1].1[0].display(), "NO");
+        assert_eq!(results[2].1[0].display(), "NE");
+    }
+
+    #[test]
+    fn range_search_any_tag() {
+        let t = enum_table();
+        let sumy = aggregate("s", &t.matrix);
+        // Strict Allen 'during' [−1, 30]: every tag's range sits inside.
+        let hits = range_search_any(
+            &sumy,
+            Some(AllenRelation::During),
+            Interval::new(-1.0, 30.0).unwrap(),
+        );
+        assert_eq!(hits.len(), 4);
+        // Loose overlap with [6, 9]: CAAAAAAAAA is [5,5] → no; AAAAAAAAAT
+        // [0,3] → no; the other two ranges reach into [6, 9].
+        let loose = range_search_any(&sumy, None, Interval::new(6.0, 9.0).unwrap());
+        assert_eq!(loose.len(), 2);
+    }
+}

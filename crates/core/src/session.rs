@@ -1,0 +1,1008 @@
+//! The GEA analysis session — the toolkit's front door.
+//!
+//! A [`GeaSession`] owns the cleaned data set, the named intermediate
+//! tables (ENUM / SUMY / GAP), the lineage DAG, and the relational database
+//! the tables are materialized into. Its methods are the thesis's *macro
+//! operations* (§4.1): "immediately after the mining operation, both the
+//! SUMY table and the corresponding ENUM table are created with an
+//! automatic invocation of the populate operation. … the output of an
+//! operation becomes the input of another", so each case study of Chapter 4
+//! is a short sequence of session calls (see `examples/brain_case_study.rs`).
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use gea_cluster::{FascicleParams, ToleranceVector};
+use gea_relstore::Database;
+use gea_sage::clean::{clean, CleaningConfig, CleaningReport};
+use gea_sage::corpus::SageCorpus;
+use gea_sage::library::LibraryProperty;
+use gea_sage::tag::Tag;
+use gea_sage::TissueType;
+
+use crate::compare::{compare_gaps, CompareOp, CompareQuery};
+use crate::enum_table::EnumTable;
+use crate::gap::{diff, GapTable};
+use crate::lineage::{Lineage, LineageError, NodeId, NodeKind};
+use crate::mine::{generate_metadata, mine, Miner};
+use crate::relational::{enum_to_relation, gap_to_relation, sumy_to_relation};
+use crate::sumy::{aggregate_tags, SumyTable};
+use crate::topgap::{tag_distribution, top_gaps, TagPlotPoint, TopGapOrder};
+
+/// Session-level errors.
+#[derive(Debug)]
+pub enum GeaError {
+    /// The requested table does not exist.
+    NotFound {
+        /// `ENUM`, `SUMY`, `GAP` or `fascicle`.
+        kind: &'static str,
+        /// The missing name.
+        name: String,
+    },
+    /// A table with that name already exists (the Figure 4.28 redundancy
+    /// check; use a fresh name or delete first).
+    NameTaken(String),
+    /// A fascicle failed the purity check for the requested property —
+    /// "if a fascicle is non-pure … the analysis of this fascicle is
+    /// terminated" (Figure 4.8).
+    NotPure {
+        /// The fascicle.
+        fascicle: String,
+        /// The property it is impure on.
+        property: LibraryProperty,
+    },
+    /// The operation produced or received an empty library set.
+    EmptyGroup(String),
+    /// Lineage bookkeeping failed.
+    Lineage(LineageError),
+    /// A requested comparison query does not apply to the comparison
+    /// operation (queries 6–13 under Difference).
+    QueryNotApplicable,
+}
+
+impl From<LineageError> for GeaError {
+    fn from(e: LineageError) -> GeaError {
+        GeaError::Lineage(e)
+    }
+}
+
+impl fmt::Display for GeaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GeaError::NotFound { kind, name } => write!(f, "no {kind} table named {name:?}"),
+            GeaError::NameTaken(name) => write!(
+                f,
+                "a table named {name:?} already exists; replace or choose another name"
+            ),
+            GeaError::NotPure { fascicle, property } => write!(
+                f,
+                "fascicle {fascicle:?} is not pure on property {property}"
+            ),
+            GeaError::EmptyGroup(what) => write!(f, "{what} selected no libraries"),
+            GeaError::Lineage(e) => write!(f, "{e}"),
+            GeaError::QueryNotApplicable => {
+                f.write_str("this query applies only to union/intersection comparisons")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GeaError {}
+
+/// A mined fascicle's bookkeeping within a session.
+#[derive(Debug, Clone)]
+pub struct FascicleRecord {
+    /// Fascicle name (`brain35k_4`).
+    pub name: String,
+    /// The data set it was mined from.
+    pub dataset: String,
+    /// Member library names.
+    pub members: Vec<String>,
+    /// Compact tags.
+    pub compact_tags: Vec<Tag>,
+    /// Name of the automatically created SUMY definition.
+    pub sumy_name: String,
+    /// Purity results, filled in by [`GeaSession::purity_check`].
+    pub purity: Vec<LibraryProperty>,
+}
+
+/// Names of the three control-group SUMY tables of §4.3.1.2 steps 4–5.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ControlGroups {
+    /// Libraries in the fascicle (`…CancerFasTbl`).
+    pub in_fascicle: String,
+    /// Libraries with the same property but outside the fascicle
+    /// (`…CanNotInFasTbl`).
+    pub outside_fascicle: String,
+    /// Libraries with the opposite property (`…NormalTable`).
+    pub contrast: String,
+}
+
+/// One GEA analysis session.
+pub struct GeaSession {
+    corpus: SageCorpus,
+    base: EnumTable,
+    report: CleaningReport,
+    db: Database,
+    lineage: Lineage,
+    enums: BTreeMap<String, EnumTable>,
+    sumys: BTreeMap<String, SumyTable>,
+    gaps: BTreeMap<String, GapTable>,
+    fascicles: BTreeMap<String, FascicleRecord>,
+    nodes: BTreeMap<String, NodeId>,
+}
+
+impl GeaSession {
+    /// Open a session: run the §4.2 cleaning pipeline over a raw corpus and
+    /// register the cleaned data set as the root ENUM table `SAGE`.
+    pub fn open(corpus: SageCorpus, config: &CleaningConfig) -> Result<GeaSession, GeaError> {
+        let (matrix, report) = clean(&corpus, config);
+        let base = EnumTable::new("SAGE", matrix);
+        let mut lineage = Lineage::new();
+        let root = lineage.record(
+            "SAGE",
+            NodeKind::Enum,
+            "clean",
+            vec![
+                ("min_tolerance".to_string(), config.min_tolerance.to_string()),
+                (
+                    "scale_to".to_string(),
+                    config
+                        .scale_to
+                        .map(|s| s.to_string())
+                        .unwrap_or_else(|| "none".to_string()),
+                ),
+            ],
+            &[],
+        )?;
+        let mut nodes = BTreeMap::new();
+        nodes.insert("SAGE".to_string(), root);
+        Ok(GeaSession {
+            corpus,
+            base,
+            report,
+            db: Database::new(),
+            lineage,
+            enums: BTreeMap::new(),
+            sumys: BTreeMap::new(),
+            gaps: BTreeMap::new(),
+            fascicles: BTreeMap::new(),
+            nodes,
+        })
+    }
+
+    /// Open a session directly over a prepared expression matrix — the
+    /// microarray path (§2.4): chip intensities converted by
+    /// `gea_sage::microarray::to_expression_matrix` need no §4.2 error
+    /// removal, so they enter the toolkit here. The raw-corpus searches
+    /// (library totals, tissue listings over raw counts) see an empty
+    /// corpus; everything else behaves identically.
+    pub fn open_matrix(
+        matrix: gea_sage::ExpressionMatrix,
+        source_description: &str,
+    ) -> Result<GeaSession, GeaError> {
+        let n_tags = matrix.n_tags();
+        let base = EnumTable::new("SAGE", matrix);
+        let mut lineage = Lineage::new();
+        let root = lineage.record(
+            "SAGE",
+            NodeKind::Enum,
+            "load_matrix",
+            vec![("source".to_string(), source_description.to_string())],
+            &[],
+        )?;
+        let mut nodes = BTreeMap::new();
+        nodes.insert("SAGE".to_string(), root);
+        Ok(GeaSession {
+            corpus: SageCorpus::new(),
+            base,
+            report: CleaningReport {
+                raw_union_tags: n_tags,
+                kept_tags: n_tags,
+                removed_fraction_per_library: Vec::new(),
+                freq1_union_fraction: 0.0,
+                min_tolerance: 0,
+                scale_to: None,
+            },
+            db: Database::new(),
+            lineage,
+            enums: BTreeMap::new(),
+            sumys: BTreeMap::new(),
+            gaps: BTreeMap::new(),
+            fascicles: BTreeMap::new(),
+            nodes,
+        })
+    }
+
+    /// Run an xProfiler-style pooled comparison (§2.3.3) between two named
+    /// library groups of a data set — the baseline workflow, for
+    /// contrasting with the mined-fascicle GAP workflow.
+    pub fn xprofiler(
+        &self,
+        dataset: &str,
+        group_a: &[&str],
+        group_b: &[&str],
+    ) -> Result<crate::xprofiler::XProfilerResult, GeaError> {
+        let table = self.enum_table(dataset)?;
+        let resolve = |names: &[&str]| {
+            table.library_ids_where(|m| names.contains(&m.name.as_str()))
+        };
+        let a = resolve(group_a);
+        let b = resolve(group_b);
+        if a.is_empty() || b.is_empty() {
+            return Err(GeaError::EmptyGroup("xProfiler pool".to_string()));
+        }
+        Ok(crate::xprofiler::compare_pools(table, &a, &b))
+    }
+
+    // ----- accessors ------------------------------------------------------
+
+    /// The raw corpus (for the §4.4.4.2 searches).
+    pub fn corpus(&self) -> &SageCorpus {
+        &self.corpus
+    }
+
+    /// The cleaned root data set.
+    pub fn base(&self) -> &EnumTable {
+        &self.base
+    }
+
+    /// The cleaning report.
+    pub fn cleaning_report(&self) -> &CleaningReport {
+        &self.report
+    }
+
+    /// The lineage DAG.
+    pub fn lineage(&self) -> &Lineage {
+        &self.lineage
+    }
+
+    /// The relational database of materialized tables.
+    pub fn database(&self) -> &Database {
+        &self.db
+    }
+
+    /// Look up an ENUM table (the root `SAGE` included).
+    pub fn enum_table(&self, name: &str) -> Result<&EnumTable, GeaError> {
+        if name == "SAGE" {
+            return Ok(&self.base);
+        }
+        self.enums.get(name).ok_or(GeaError::NotFound {
+            kind: "ENUM",
+            name: name.to_string(),
+        })
+    }
+
+    /// Look up a SUMY table.
+    pub fn sumy(&self, name: &str) -> Result<&SumyTable, GeaError> {
+        self.sumys.get(name).ok_or(GeaError::NotFound {
+            kind: "SUMY",
+            name: name.to_string(),
+        })
+    }
+
+    /// Look up a GAP table.
+    pub fn gap(&self, name: &str) -> Result<&GapTable, GeaError> {
+        self.gaps.get(name).ok_or(GeaError::NotFound {
+            kind: "GAP",
+            name: name.to_string(),
+        })
+    }
+
+    /// Look up a fascicle record.
+    pub fn fascicle(&self, name: &str) -> Result<&FascicleRecord, GeaError> {
+        self.fascicles.get(name).ok_or(GeaError::NotFound {
+            kind: "fascicle",
+            name: name.to_string(),
+        })
+    }
+
+    /// Names of all fascicles mined so far.
+    pub fn fascicle_names(&self) -> Vec<&str> {
+        self.fascicles.keys().map(|s| s.as_str()).collect()
+    }
+
+    fn check_name_free(&self, name: &str) -> Result<(), GeaError> {
+        if name == "SAGE"
+            || self.enums.contains_key(name)
+            || self.sumys.contains_key(name)
+            || self.gaps.contains_key(name)
+        {
+            return Err(GeaError::NameTaken(name.to_string()));
+        }
+        Ok(())
+    }
+
+    fn node(&self, name: &str) -> Option<NodeId> {
+        self.nodes.get(name).copied()
+    }
+
+    fn record_node(
+        &mut self,
+        name: &str,
+        kind: NodeKind,
+        op: &str,
+        params: Vec<(String, String)>,
+        parents: &[NodeId],
+    ) -> Result<NodeId, GeaError> {
+        let id = self.lineage.record(name, kind, op, params, parents)?;
+        self.nodes.insert(name.to_string(), id);
+        Ok(id)
+    }
+
+    // ----- data set construction (§4.3.1.2 step 1, Case 5) ----------------
+
+    /// Create a tissue-type data set: `E = σ_tissueType(SAGE)` (Figure 4.4).
+    pub fn create_tissue_dataset(
+        &mut self,
+        name: &str,
+        tissue: &TissueType,
+    ) -> Result<(), GeaError> {
+        self.check_name_free(name)?;
+        let table = self.base.select_tissue(name, tissue);
+        if table.n_libraries() == 0 {
+            return Err(GeaError::EmptyGroup(format!("tissue type {tissue}")));
+        }
+        let parent = self.node("SAGE").expect("root exists");
+        self.record_node(
+            name,
+            NodeKind::Enum,
+            "select_tissue",
+            vec![("tissue".to_string(), tissue.to_string())],
+            &[parent],
+        )?;
+        self.enums.insert(name.to_string(), table);
+        Ok(())
+    }
+
+    /// Create a user-defined data set from explicit library names
+    /// (Figure 4.15's customize window).
+    pub fn create_custom_dataset(
+        &mut self,
+        name: &str,
+        library_names: &[&str],
+    ) -> Result<(), GeaError> {
+        self.check_name_free(name)?;
+        let table = self
+            .base
+            .select_libraries(name, |m| library_names.contains(&m.name.as_str()));
+        if table.n_libraries() == 0 {
+            return Err(GeaError::EmptyGroup("custom data set".to_string()));
+        }
+        let parent = self.node("SAGE").expect("root exists");
+        self.record_node(
+            name,
+            NodeKind::Enum,
+            "custom_dataset",
+            vec![("libraries".to_string(), library_names.join(","))],
+            &[parent],
+        )?;
+        self.enums.insert(name.to_string(), table);
+        Ok(())
+    }
+
+    // ----- mining (§4.3.1.2 steps 2–3) -------------------------------------
+
+    /// The Figure 4.5 metadata generator for a registered data set.
+    pub fn metadata(&self, dataset: &str, width_fraction: f64) -> Result<ToleranceVector, GeaError> {
+        Ok(generate_metadata(self.enum_table(dataset)?, width_fraction))
+    }
+
+    /// Calculate fascicles over a data set (Figure 4.6) and — as the macro
+    /// operation prescribes — create each fascicle's ENUM and SUMY tables
+    /// automatically. Returns the fascicle names (`{out}_1`, `{out}_2`, …).
+    pub fn calculate_fascicles(
+        &mut self,
+        dataset: &str,
+        out: &str,
+        width_fraction: f64,
+        params: &FascicleParams,
+    ) -> Result<Vec<String>, GeaError> {
+        let table = self.enum_table(dataset)?.clone();
+        let tol = generate_metadata(&table, width_fraction);
+        let clusters = mine(&table, out, &Miner::Fascicles(params.clone()), Some(&tol));
+        let parent = self
+            .node(dataset)
+            .ok_or_else(|| GeaError::NotFound { kind: "ENUM", name: dataset.to_string() })?;
+        let mut names = Vec::with_capacity(clusters.len());
+        for cluster in clusters {
+            self.check_name_free(&cluster.name)?;
+            let lineage_params = vec![
+                ("tissue_dataset".to_string(), dataset.to_string()),
+                ("compact_attrs".to_string(), params.min_compact_attrs.to_string()),
+                ("width_fraction".to_string(), width_fraction.to_string()),
+                ("batch".to_string(), params.batch_size.to_string()),
+                ("min_size".to_string(), params.min_records.to_string()),
+            ];
+            self.record_node(
+                &cluster.name,
+                NodeKind::Fascicle,
+                "Fascicles",
+                lineage_params,
+                &[parent],
+            )?;
+            // The fascicle's ENUM identity: member libraries × compact tags.
+            let members_enum = table
+                .with_libraries(&cluster.name, &cluster.libraries)
+                .select_tags(&cluster.name, &cluster.compact_tags);
+            let record = FascicleRecord {
+                name: cluster.name.clone(),
+                dataset: dataset.to_string(),
+                members: members_enum
+                    .libraries()
+                    .iter()
+                    .map(|m| m.name.clone())
+                    .collect(),
+                compact_tags: cluster
+                    .compact_tags
+                    .iter()
+                    .map(|&t| table.matrix.tag_of(t))
+                    .collect(),
+                sumy_name: cluster.name.clone(),
+                purity: Vec::new(),
+            };
+            self.db
+                .create_or_replace(&cluster.name, enum_to_relation(&members_enum).map_err(
+                    |e| GeaError::EmptyGroup(e.to_string()),
+                )?);
+            self.enums.insert(cluster.name.clone(), members_enum);
+            self.sumys.insert(cluster.name.clone(), cluster.sumy);
+            self.fascicles.insert(cluster.name.clone(), record);
+            names.push(cluster.name);
+        }
+        Ok(names)
+    }
+
+    // ----- purity and control groups (§4.3.1.2 steps 4–5) ------------------
+
+    /// The Figure 4.8 purity check: which properties all member libraries
+    /// share. The result is remembered on the fascicle record.
+    pub fn purity_check(&mut self, fascicle: &str) -> Result<Vec<LibraryProperty>, GeaError> {
+        let table = self.enum_table(fascicle)?.clone();
+        let purity = table.pure_properties();
+        let record = self
+            .fascicles
+            .get_mut(fascicle)
+            .ok_or(GeaError::NotFound { kind: "fascicle", name: fascicle.to_string() })?;
+        record.purity = purity.clone();
+        Ok(purity)
+    }
+
+    /// The `formSUM` macro operation: for a fascicle pure on `property`,
+    /// create ENUM₂ (same property, outside the fascicle), ENUM₃ (the
+    /// contrasting property), and their SUMY tables over the fascicle's
+    /// compact tags. Errors with [`GeaError::NotPure`] otherwise.
+    pub fn form_control_groups(
+        &mut self,
+        fascicle: &str,
+        property: LibraryProperty,
+    ) -> Result<ControlGroups, GeaError> {
+        let record = self.fascicle(fascicle)?.clone();
+        let fas_enum = self.enum_table(fascicle)?.clone();
+        if !fas_enum.is_pure(property) {
+            return Err(GeaError::NotPure {
+                fascicle: fascicle.to_string(),
+                property,
+            });
+        }
+        let dataset = self.enum_table(&record.dataset)?.clone();
+        let members: std::collections::HashSet<&str> =
+            record.members.iter().map(|s| s.as_str()).collect();
+
+        let (prop_label, contrast_label, contrast_property) = match property {
+            LibraryProperty::Cancer => ("Cancer", "Normal", LibraryProperty::Normal),
+            LibraryProperty::Normal => ("Normal", "Cancer", LibraryProperty::Cancer),
+            LibraryProperty::BulkTissue => ("Bulk", "CellLine", LibraryProperty::CellLine),
+            LibraryProperty::CellLine => ("CellLine", "Bulk", LibraryProperty::BulkTissue),
+        };
+        let names = ControlGroups {
+            in_fascicle: format!("{fascicle}{prop_label}FasTbl"),
+            outside_fascicle: format!("{fascicle}{}NotInFasTbl", prop_label_short(prop_label)),
+            contrast: format!("{fascicle}{contrast_label}Table"),
+        };
+        for n in [&names.in_fascicle, &names.outside_fascicle, &names.contrast] {
+            self.check_name_free(n)?;
+        }
+
+        // Compact-tag ids within the *dataset* matrix.
+        let compact_ids: Vec<_> = record
+            .compact_tags
+            .iter()
+            .filter_map(|&t| dataset.matrix.id_of(t))
+            .collect();
+
+        // ENUM₂: same property, not in the fascicle.
+        let outside = dataset.select_libraries(&names.outside_fascicle, |m| {
+            m.has_property(property) && !members.contains(m.name.as_str())
+        });
+        // ENUM₃: the contrasting property.
+        let contrast = dataset.select_libraries(&names.contrast, |m| {
+            m.has_property(contrast_property)
+        });
+        for (label, table) in [("outside group", &outside), ("contrast group", &contrast)] {
+            if table.n_libraries() == 0 {
+                return Err(GeaError::EmptyGroup(label.to_string()));
+            }
+        }
+
+        // SUMY tables over the compact tags only.
+        let in_members = dataset.select_libraries("tmp", |m| members.contains(m.name.as_str()));
+        let sumy_in = aggregate_tags(&names.in_fascicle, &in_members.matrix, &compact_ids);
+        let sumy_out =
+            aggregate_tags(&names.outside_fascicle, &outside.matrix, &compact_ids);
+        let sumy_contrast = aggregate_tags(&names.contrast, &contrast.matrix, &compact_ids);
+
+        let parent = self.node(fascicle).expect("fascicle recorded");
+        for (sumy, enum_table) in [
+            (&sumy_in, None),
+            (&sumy_out, Some(&outside)),
+            (&sumy_contrast, Some(&contrast)),
+        ] {
+            self.record_node(
+                &sumy.name.clone(),
+                NodeKind::Sumy,
+                "aggregate",
+                vec![("property".to_string(), property.to_string())],
+                &[parent],
+            )?;
+            self.db.create_or_replace(
+                &sumy.name,
+                sumy_to_relation(sumy).map_err(|e| GeaError::EmptyGroup(e.to_string()))?,
+            );
+            if let Some(t) = enum_table {
+                self.enums.insert(t.name.clone(), (*t).clone());
+            }
+        }
+        self.sumys.insert(sumy_in.name.clone(), sumy_in);
+        self.sumys.insert(sumy_out.name.clone(), sumy_out);
+        self.sumys.insert(sumy_contrast.name.clone(), sumy_contrast);
+        Ok(names)
+    }
+
+    // ----- gaps (§4.3.1.2 steps 6–7, Figures 4.9/4.12) ----------------------
+
+    /// `GAP = diff(SUMY₁, SUMY₂)`, materialized and recorded under both
+    /// parents.
+    pub fn create_gap(
+        &mut self,
+        name: &str,
+        first_sumy: &str,
+        second_sumy: &str,
+    ) -> Result<(), GeaError> {
+        self.check_name_free(name)?;
+        if self.gaps.contains_key(name) {
+            return Err(GeaError::NameTaken(name.to_string()));
+        }
+        let s1 = self.sumy(first_sumy)?;
+        let s2 = self.sumy(second_sumy)?;
+        let gap = diff(name, s1, s2);
+        let parents: Vec<NodeId> = [first_sumy, second_sumy]
+            .iter()
+            .filter_map(|n| self.node(n))
+            .collect();
+        self.record_node(
+            name,
+            NodeKind::Gap,
+            "diff",
+            vec![
+                ("sumy1".to_string(), first_sumy.to_string()),
+                ("sumy2".to_string(), second_sumy.to_string()),
+            ],
+            &parents,
+        )?;
+        self.db.create_or_replace(
+            name,
+            gap_to_relation(&gap).map_err(|e| GeaError::EmptyGroup(e.to_string()))?,
+        );
+        self.gaps.insert(name.to_string(), gap);
+        Ok(())
+    }
+
+    /// The Figure 4.19 "Calculate Top Gap" operation: derive `{gap}_{x}`.
+    pub fn calculate_top_gap(
+        &mut self,
+        gap: &str,
+        x: usize,
+        order: TopGapOrder,
+    ) -> Result<String, GeaError> {
+        let source = self.gap(gap)?;
+        let top = top_gaps(source, x, order);
+        let top_name = top.name.clone();
+        if self.gaps.contains_key(&top_name) {
+            return Err(GeaError::NameTaken(top_name));
+        }
+        let parent = self.node(gap).into_iter().collect::<Vec<_>>();
+        self.record_node(
+            &top_name,
+            NodeKind::TopGap,
+            "top_gap",
+            vec![("x".to_string(), x.to_string())],
+            &parent,
+        )?;
+        self.db.create_or_replace(
+            &top_name,
+            gap_to_relation(&top).map_err(|e| GeaError::EmptyGroup(e.to_string()))?,
+        );
+        self.gaps.insert(top_name.clone(), top);
+        Ok(top_name)
+    }
+
+    /// The Figure 4.13 GAP comparison: combine two GAP tables with `op`
+    /// and answer `query`.
+    pub fn compare_gaps(
+        &mut self,
+        name: &str,
+        first: &str,
+        second: &str,
+        op: CompareOp,
+        query: CompareQuery,
+    ) -> Result<(), GeaError> {
+        self.check_name_free(name)?;
+        let g1 = self.gap(first)?;
+        let g2 = self.gap(second)?;
+        let result =
+            compare_gaps(name, g1, g2, op, query).ok_or(GeaError::QueryNotApplicable)?;
+        let parents: Vec<NodeId> =
+            [first, second].iter().filter_map(|n| self.node(n)).collect();
+        self.record_node(
+            name,
+            NodeKind::Compare,
+            "compare",
+            vec![
+                ("op".to_string(), format!("{op:?}")),
+                ("query".to_string(), format!("{query:?}")),
+            ],
+            &parents,
+        )?;
+        self.db.create_or_replace(
+            name,
+            gap_to_relation(&result).map_err(|e| GeaError::EmptyGroup(e.to_string()))?,
+        );
+        self.gaps.insert(name.to_string(), result);
+        Ok(())
+    }
+
+    // ----- inspection -------------------------------------------------------
+
+    /// Figure 4.10's per-library distribution of one tag over a data set,
+    /// with libraries labeled by membership in `fascicle`.
+    pub fn tag_plot(
+        &self,
+        dataset: &str,
+        tag: Tag,
+        fascicle: &str,
+    ) -> Result<Vec<TagPlotPoint>, GeaError> {
+        let table = self.enum_table(dataset)?;
+        let record = self.fascicle(fascicle)?;
+        Ok(tag_distribution(table, tag, &record.members))
+    }
+
+    /// Attach a user comment to a recorded table (Figure 4.18).
+    pub fn comment(&mut self, table: &str, comment: &str) -> Result<(), GeaError> {
+        let id = self.node(table).ok_or(GeaError::NotFound {
+            kind: "lineage",
+            name: table.to_string(),
+        })?;
+        self.lineage.set_comment(id, comment)?;
+        Ok(())
+    }
+
+    /// Regenerate a contents-only-deleted table from its recorded state —
+    /// "if the user wants to re-generate the content of the table, the
+    /// stored metadata can be used directly" (§4.4.2). The intensional
+    /// definition survives the truncation, so re-materialization is a pure
+    /// replay.
+    pub fn regenerate(&mut self, table: &str) -> Result<(), GeaError> {
+        let id = self.node(table).ok_or(GeaError::NotFound {
+            kind: "lineage",
+            name: table.to_string(),
+        })?;
+        let node = self.lineage.get(id)?;
+        if node.materialized {
+            return Ok(()); // nothing to do
+        }
+        // Re-materialize the same identity that was originally stored: the
+        // node's kind disambiguates names shared by a fascicle's ENUM and
+        // SUMY forms.
+        let missing = || GeaError::NotFound {
+            kind: "table",
+            name: table.to_string(),
+        };
+        let relation = match node.kind {
+            NodeKind::Gap | NodeKind::TopGap | NodeKind::Compare => {
+                let g = self.gaps.get(table).ok_or_else(missing)?;
+                gap_to_relation(g).map_err(|e| GeaError::EmptyGroup(e.to_string()))?
+            }
+            NodeKind::Sumy => {
+                let t = self.sumys.get(table).ok_or_else(missing)?;
+                sumy_to_relation(t).map_err(|e| GeaError::EmptyGroup(e.to_string()))?
+            }
+            NodeKind::Enum | NodeKind::Fascicle => {
+                let e = self.enums.get(table).ok_or_else(missing)?;
+                enum_to_relation(e).map_err(|e| GeaError::EmptyGroup(e.to_string()))?
+            }
+        };
+        self.db.create_or_replace(table, relation);
+        self.lineage.rematerialize(id)?;
+        Ok(())
+    }
+
+    /// Delete a table: cascade removes it and everything derived from it;
+    /// otherwise only the materialized contents are dropped (the metadata
+    /// survives for regeneration).
+    pub fn delete(&mut self, table: &str, cascade: bool) -> Result<Vec<String>, GeaError> {
+        let id = self.node(table).ok_or(GeaError::NotFound {
+            kind: "lineage",
+            name: table.to_string(),
+        })?;
+        let removed = if cascade {
+            let names = self.lineage.delete_cascade(id)?;
+            for n in &names {
+                self.nodes.remove(n);
+                self.enums.remove(n);
+                self.sumys.remove(n);
+                self.gaps.remove(n);
+                self.fascicles.remove(n);
+                let _ = self.db.drop_table(n);
+            }
+            names
+        } else {
+            let names = self.lineage.delete_contents(id)?;
+            for n in &names {
+                let _ = self.db.truncate(n);
+            }
+            names
+        };
+        Ok(removed)
+    }
+}
+
+fn prop_label_short(label: &str) -> &str {
+    match label {
+        "Cancer" => "Can",
+        "Normal" => "Nor",
+        other => other,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gea_sage::generate::{generate, GeneratorConfig};
+
+    fn session() -> (GeaSession, gea_sage::GroundTruth) {
+        let (corpus, truth) = generate(&GeneratorConfig::demo(101));
+        let session = GeaSession::open(corpus, &CleaningConfig::default()).unwrap();
+        (session, truth)
+    }
+
+    /// Choose `k` the way a thesis user does (Figure 4.6 shows them trying
+    /// 25k/30k/35k of ~60k tags): high enough that only a genuinely
+    /// agreeing group qualifies. We derive it from the planted fascicle's
+    /// own compact count, minus a 10 % margin — compactness is antitone in
+    /// set growth, so any superset scores strictly lower.
+    fn brain_params(s: &GeaSession, truth: &gea_sage::GroundTruth) -> FascicleParams {
+        use gea_cluster::dataset::AttrSource;
+        let table = s.enum_table("Ebrain").unwrap();
+        let tol = s.metadata("Ebrain", 0.10).unwrap();
+        let view = crate::mine::MatrixView::new(table);
+        let members = truth.fascicle_members_of(&TissueType::Brain);
+        let ids: Vec<usize> = table
+            .libraries()
+            .iter()
+            .enumerate()
+            .filter(|(_, m)| members.contains(&m.name))
+            .map(|(i, _)| i)
+            .collect();
+        let compact = (0..view.n_attrs())
+            .filter(|&a| {
+                let vals = view.attr_values(a);
+                let lo = ids.iter().map(|&r| vals[r]).fold(f64::INFINITY, f64::min);
+                let hi = ids.iter().map(|&r| vals[r]).fold(f64::NEG_INFINITY, f64::max);
+                hi - lo <= tol.get(a)
+            })
+            .count();
+        FascicleParams {
+            min_compact_attrs: compact * 9 / 10,
+            min_records: 3,
+            batch_size: 6,
+        }
+    }
+
+    #[test]
+    fn case_1_pipeline_recovers_planted_structure() {
+        let (mut s, truth) = session();
+        s.create_tissue_dataset("Ebrain", &TissueType::Brain).unwrap();
+        let fascicles = s
+            .calculate_fascicles("Ebrain", "brain", 0.10, &brain_params(&s, &truth))
+            .unwrap();
+        assert!(!fascicles.is_empty(), "no fascicles found");
+        // Find the fascicle matching the planted cancerous group.
+        let planted = truth.fascicle_members_of(&TissueType::Brain);
+        let target = fascicles
+            .iter()
+            .find(|f| {
+                let rec = s.fascicle(f).unwrap();
+                rec.members.iter().all(|m| planted.contains(m)) && rec.members.len() >= 2
+            })
+            .cloned()
+            .unwrap_or_else(|| {
+                panic!(
+                    "no fascicle within the planted members {planted:?}; got {:?}",
+                    fascicles
+                        .iter()
+                        .map(|f| s.fascicle(f).unwrap().members.clone())
+                        .collect::<Vec<_>>()
+                )
+            });
+        let purity = s.purity_check(&target).unwrap();
+        assert!(purity.contains(&LibraryProperty::Cancer));
+        let groups = s
+            .form_control_groups(&target, LibraryProperty::Cancer)
+            .unwrap();
+        s.create_gap("canvsnor_gap", &groups.in_fascicle, &groups.contrast)
+            .unwrap();
+        let gap = s.gap("canvsnor_gap").unwrap();
+        assert!(!gap.is_empty());
+        // The RIBOSOMAL PROTEIN L12 marker must surface with a positive
+        // gap (higher in cancer-in-fascicle than normal) if it is compact.
+        let marker = truth.tag_of_gene("RIBOSOMAL PROTEIN L12").unwrap();
+        if let Some(row) = gap.row_for(marker) {
+            let g = row.gap().expect("marker bands must separate");
+            assert!(g > 0.0, "marker gap {g} not positive");
+        }
+        // Lineage recorded the chain.
+        let tree = s.lineage().render_tree();
+        assert!(tree.contains("Ebrain"));
+        assert!(tree.contains("canvsnor_gap"));
+    }
+
+    #[test]
+    fn open_matrix_supports_microarray_style_input() {
+        let (corpus, _) = generate(&GeneratorConfig::demo(103));
+        let (matrix, _) = gea_sage::clean::clean(&corpus, &CleaningConfig::default());
+        let mut s = GeaSession::open_matrix(matrix, "microarray test").unwrap();
+        s.create_tissue_dataset("Eb", &TissueType::Brain).unwrap();
+        assert!(s.enum_table("Eb").unwrap().n_libraries() > 0);
+        assert!(s.lineage().find_by_name("SAGE").unwrap().operation == "load_matrix");
+        // Raw-corpus searches degrade gracefully.
+        assert!(s.corpus().is_empty());
+    }
+
+    #[test]
+    fn session_xprofiler_pools() {
+        let (mut s, _) = session();
+        s.create_tissue_dataset("Ebrain", &TissueType::Brain).unwrap();
+        let cancer: Vec<String> = s
+            .enum_table("Ebrain")
+            .unwrap()
+            .libraries()
+            .iter()
+            .filter(|m| m.state == gea_sage::NeoplasticState::Cancerous)
+            .map(|m| m.name.clone())
+            .collect();
+        let normal: Vec<String> = s
+            .enum_table("Ebrain")
+            .unwrap()
+            .libraries()
+            .iter()
+            .filter(|m| m.state == gea_sage::NeoplasticState::Normal)
+            .map(|m| m.name.clone())
+            .collect();
+        let ca: Vec<&str> = cancer.iter().map(|x| x.as_str()).collect();
+        let no: Vec<&str> = normal.iter().map(|x| x.as_str()).collect();
+        let result = s.xprofiler("Ebrain", &ca, &no).unwrap();
+        assert!(!result.rows.is_empty());
+        assert!(!result.significant(0.05).is_empty());
+        // Unknown groups error.
+        assert!(matches!(
+            s.xprofiler("Ebrain", &["ghost"], &no),
+            Err(GeaError::EmptyGroup(_))
+        ));
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let (mut s, _) = session();
+        s.create_tissue_dataset("Ebrain", &TissueType::Brain).unwrap();
+        assert!(matches!(
+            s.create_tissue_dataset("Ebrain", &TissueType::Breast),
+            Err(GeaError::NameTaken(_))
+        ));
+    }
+
+    #[test]
+    fn empty_tissue_rejected() {
+        let (mut s, _) = session();
+        assert!(matches!(
+            s.create_tissue_dataset("Eskin", &TissueType::Skin),
+            Err(GeaError::EmptyGroup(_))
+        ));
+    }
+
+    #[test]
+    fn custom_dataset_and_deletion() {
+        let (mut s, _) = session();
+        let names: Vec<String> = s
+            .base()
+            .library_names()
+            .iter()
+            .take(3)
+            .map(|s| s.to_string())
+            .collect();
+        let refs: Vec<&str> = names.iter().map(|s| s.as_str()).collect();
+        s.create_custom_dataset("newBrain", &refs).unwrap();
+        assert_eq!(s.enum_table("newBrain").unwrap().n_libraries(), 3);
+        // Cascade delete removes the table and its lineage node.
+        let removed = s.delete("newBrain", true).unwrap();
+        assert_eq!(removed, vec!["newBrain".to_string()]);
+        assert!(s.enum_table("newBrain").is_err());
+    }
+
+    #[test]
+    fn impure_fascicle_blocks_control_groups() {
+        let (mut s, truth) = session();
+        s.create_tissue_dataset("Ebrain", &TissueType::Brain).unwrap();
+        let fascicles = s
+            .calculate_fascicles("Ebrain", "brain", 0.10, &brain_params(&s, &truth))
+            .unwrap();
+        for f in &fascicles {
+            let purity = s.purity_check(f).unwrap();
+            if !purity.contains(&LibraryProperty::Normal) {
+                assert!(matches!(
+                    s.form_control_groups(f, LibraryProperty::Normal),
+                    Err(GeaError::NotPure { .. }) | Err(GeaError::EmptyGroup(_))
+                ));
+                return;
+            }
+        }
+    }
+
+    #[test]
+    fn regenerate_after_contents_only_delete() {
+        let (mut s, truth) = session();
+        s.create_tissue_dataset("Ebrain", &TissueType::Brain).unwrap();
+        let fascicles = s
+            .calculate_fascicles("Ebrain", "brain", 0.10, &brain_params(&s, &truth))
+            .unwrap();
+        let f = fascicles[0].clone();
+        let before = s.database().get(&f).unwrap().clone();
+        assert!(before.n_rows() > 0);
+        s.delete(&f, false).unwrap();
+        assert_eq!(s.database().get(&f).unwrap().n_rows(), 0);
+        assert!(!s.lineage().find_by_name(&f).unwrap().materialized);
+        s.regenerate(&f).unwrap();
+        assert_eq!(s.database().get(&f).unwrap(), &before);
+        assert!(s.lineage().find_by_name(&f).unwrap().materialized);
+        // Regenerating a live table is a no-op.
+        s.regenerate(&f).unwrap();
+        // Unknown table errors.
+        assert!(s.regenerate("ghost").is_err());
+    }
+
+    #[test]
+    fn top_gap_derivation() {
+        let (mut s, truth) = session();
+        s.create_tissue_dataset("Ebrain", &TissueType::Brain).unwrap();
+        let fascicles = s
+            .calculate_fascicles("Ebrain", "brain", 0.10, &brain_params(&s, &truth))
+            .unwrap();
+        let target = fascicles
+            .iter()
+            .find(|f| {
+                let t = s.enum_table(f).unwrap().clone();
+                t.is_pure(LibraryProperty::Cancer)
+            })
+            .cloned();
+        let Some(target) = target else { return };
+        let groups = s.form_control_groups(&target, LibraryProperty::Cancer).unwrap();
+        s.create_gap("g", &groups.in_fascicle, &groups.contrast).unwrap();
+        let top_name = s
+            .calculate_top_gap("g", 10, TopGapOrder::LargestMagnitude)
+            .unwrap();
+        assert_eq!(top_name, "g_10");
+        assert!(s.gap("g_10").unwrap().len() <= 10);
+        // Materialized into the database as well.
+        assert!(s.database().exists("g_10"));
+    }
+}

@@ -1,0 +1,403 @@
+//! SUMY tables — intensional cluster definitions (thesis §3.1.2).
+//!
+//! In the intensional world a cluster is represented by its *definition*:
+//! for each compact tag, the range, mean and standard deviation of its
+//! expression levels over the cluster's libraries (Figure 3.3a). Additional
+//! aggregate columns are supported as the thesis allows ("a SUMY table can
+//! have more aggregate columns than the ones shown, so long as it has those
+//! columns").
+
+use std::collections::BTreeMap;
+
+use gea_sage::tag::{Tag, TagId};
+use gea_sage::ExpressionMatrix;
+
+use crate::interval::{AllenRelation, Interval};
+
+/// One SUMY row: the definition of one compact tag.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SumyRow {
+    /// The tag.
+    pub tag: Tag,
+    /// The tag's number in the originating universe (display only, as in
+    /// `AACAGCAAAA_(1580)`).
+    pub tag_no: u32,
+    /// `[min, max]` of the tag's expression over the cluster's libraries.
+    pub range: Interval,
+    /// Mean expression level.
+    pub average: f64,
+    /// Population standard deviation.
+    pub std_dev: f64,
+    /// Optional extra aggregates, name → value (e.g. a median column).
+    pub extras: BTreeMap<String, f64>,
+}
+
+/// A SUMY table: a named set of tag definitions, sorted by tag.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SumyTable {
+    /// Table name, e.g. `brain35k_4CancerFasTbl`.
+    pub name: String,
+    rows: Vec<SumyRow>,
+}
+
+impl SumyTable {
+    /// Build from rows; they are sorted by tag and must not contain
+    /// duplicate tags.
+    pub fn new(name: &str, mut rows: Vec<SumyRow>) -> SumyTable {
+        rows.sort_by_key(|r| r.tag);
+        for pair in rows.windows(2) {
+            assert_ne!(pair[0].tag, pair[1].tag, "duplicate tag in SUMY table");
+        }
+        SumyTable {
+            name: name.to_string(),
+            rows,
+        }
+    }
+
+    /// Number of tags defined.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table defines no tags.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Rows in tag order.
+    pub fn rows(&self) -> &[SumyRow] {
+        &self.rows
+    }
+
+    /// The row for `tag`, if present.
+    pub fn row_for(&self, tag: Tag) -> Option<&SumyRow> {
+        self.rows
+            .binary_search_by_key(&tag, |r| r.tag)
+            .ok()
+            .map(|i| &self.rows[i])
+    }
+
+    /// All defined tags, in order.
+    pub fn tags(&self) -> impl Iterator<Item = Tag> + '_ {
+        self.rows.iter().map(|r| r.tag)
+    }
+
+    /// σ on SUMY: keep rows satisfying `keep`, producing a new named table.
+    pub fn select(&self, name: &str, mut keep: impl FnMut(&SumyRow) -> bool) -> SumyTable {
+        SumyTable {
+            name: name.to_string(),
+            rows: self.rows.iter().filter(|r| keep(r)).cloned().collect(),
+        }
+    }
+
+    /// Range selection via an Allen relation: keep tags whose `[min, max]`
+    /// stands in `rel` to `query` (Figure 4.17's "any tag" search).
+    pub fn select_range(
+        &self,
+        name: &str,
+        rel: AllenRelation,
+        query: Interval,
+    ) -> SumyTable {
+        self.select(name, |r| r.range.satisfies(rel, query))
+    }
+
+    /// Loose-overlap range selection: keep tags whose range shares at least
+    /// one point with `query` — what the thesis's "Overlaps" search button
+    /// actually computes (its example accepts [20, 616] against [10, 700],
+    /// which is Allen-*during*, not Allen-*overlaps*).
+    pub fn select_intersecting(&self, name: &str, query: Interval) -> SumyTable {
+        self.select(name, |r| r.range.intersects(query))
+    }
+
+    /// π on SUMY: drop the named extra aggregate columns ("the standard
+    /// projection operator to remove unwanted columns", §3.2.3). The core
+    /// columns (range/average/std-dev) are structural and always kept.
+    pub fn project_away_extras(&self, name: &str, drop: &[&str]) -> SumyTable {
+        let rows = self
+            .rows
+            .iter()
+            .map(|r| {
+                let mut row = r.clone();
+                for d in drop {
+                    row.extras.remove(*d);
+                }
+                row
+            })
+            .collect();
+        SumyTable {
+            name: name.to_string(),
+            rows,
+        }
+    }
+}
+
+/// The aggregate() operator (§3.2.1): convert a cluster from its
+/// extensional/ENUM form to its intensional/SUMY form, computing range,
+/// mean and population standard deviation per tag in one pass over the
+/// matrix's tag rows.
+///
+/// `matrix` must already be restricted to the cluster's libraries; every
+/// tag of the matrix becomes a SUMY row.
+pub fn aggregate(name: &str, matrix: &ExpressionMatrix) -> SumyTable {
+    let n = matrix.n_libraries();
+    assert!(n > 0, "cannot aggregate an ENUM table with no libraries");
+    let mut rows = Vec::with_capacity(matrix.n_tags());
+    for tid in matrix.tag_ids() {
+        let values = matrix.tag_row(tid);
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        let mut sum = 0.0;
+        for &v in values {
+            lo = lo.min(v);
+            hi = hi.max(v);
+            sum += v;
+        }
+        let avg = sum / n as f64;
+        let var = values.iter().map(|v| (v - avg) * (v - avg)).sum::<f64>() / n as f64;
+        rows.push(SumyRow {
+            tag: matrix.tag_of(tid),
+            tag_no: tid.0,
+            range: Interval::new(lo, hi).expect("finite expression levels"),
+            average: avg,
+            std_dev: var.sqrt(),
+            extras: BTreeMap::new(),
+        });
+    }
+    SumyTable::new(name, rows)
+}
+
+/// Additional per-tag aggregates for SUMY extras columns. The thesis
+/// allows extra aggregate columns (§3.1.2) and notes their cost: "if the
+/// aggregation is more complex (e.g., finding the median), the complexity
+/// can be higher (e.g., O(n log n))" (§3.3.1).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ExtraAggregate {
+    /// The median expression level (O(n log n) per tag).
+    Median,
+    /// A percentile in `[0, 1]` (nearest-rank).
+    Percentile(f64),
+    /// Sum of levels over the cluster's libraries.
+    Sum,
+    /// Number of libraries expressing the tag (level > 0).
+    ExpressingLibraries,
+}
+
+impl ExtraAggregate {
+    /// Column name used in the extras map.
+    pub fn column_name(&self) -> String {
+        match self {
+            ExtraAggregate::Median => "median".to_string(),
+            ExtraAggregate::Percentile(q) => format!("p{:02.0}", q * 100.0),
+            ExtraAggregate::Sum => "sum".to_string(),
+            ExtraAggregate::ExpressingLibraries => "expressing".to_string(),
+        }
+    }
+
+    fn compute(&self, values: &[f64]) -> f64 {
+        match self {
+            ExtraAggregate::Median => percentile(values, 0.5),
+            ExtraAggregate::Percentile(q) => percentile(values, *q),
+            ExtraAggregate::Sum => values.iter().sum(),
+            ExtraAggregate::ExpressingLibraries => {
+                values.iter().filter(|&&v| v > 0.0).count() as f64
+            }
+        }
+    }
+}
+
+/// Nearest-rank percentile of a non-empty slice.
+fn percentile(values: &[f64], q: f64) -> f64 {
+    debug_assert!(!values.is_empty());
+    let mut sorted: Vec<f64> = values.to_vec();
+    sorted.sort_by(|a, b| a.total_cmp(b));
+    let q = q.clamp(0.0, 1.0);
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+/// [`aggregate`] with additional extras columns attached to every row.
+pub fn aggregate_with_extras(
+    name: &str,
+    matrix: &ExpressionMatrix,
+    extras: &[ExtraAggregate],
+) -> SumyTable {
+    let sumy = aggregate(name, matrix);
+    let mut rows = sumy.rows().to_vec();
+    for row in &mut rows {
+        let tid = matrix.id_of(row.tag).expect("row tag in matrix");
+        let values = matrix.tag_row(tid);
+        for extra in extras {
+            row.extras.insert(extra.column_name(), extra.compute(values));
+        }
+    }
+    SumyTable::new(name, rows)
+}
+
+/// Aggregate only a subset of the matrix's tags — used when forming the
+/// control-group SUMY tables, which "contain only the compact attributes of
+/// the fascicle" (§4.3.1.2 steps 4–5).
+pub fn aggregate_tags(name: &str, matrix: &ExpressionMatrix, tags: &[TagId]) -> SumyTable {
+    let n = matrix.n_libraries();
+    assert!(n > 0, "cannot aggregate an ENUM table with no libraries");
+    let mut rows = Vec::with_capacity(tags.len());
+    for &tid in tags {
+        let values = matrix.tag_row(tid);
+        let lo = values.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let avg = values.iter().sum::<f64>() / n as f64;
+        let var = values.iter().map(|v| (v - avg) * (v - avg)).sum::<f64>() / n as f64;
+        rows.push(SumyRow {
+            tag: matrix.tag_of(tid),
+            tag_no: tid.0,
+            range: Interval::new(lo, hi).expect("finite expression levels"),
+            average: avg,
+            std_dev: var.sqrt(),
+            extras: BTreeMap::new(),
+        });
+    }
+    SumyTable::new(name, rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gea_sage::corpus::library_meta;
+    use gea_sage::library::{NeoplasticState, TissueSource, TissueType};
+    use gea_sage::tag::TagUniverse;
+
+    fn matrix() -> ExpressionMatrix {
+        let universe = TagUniverse::from_tags(
+            ["AAAAAAAAAA", "CCCCCCCCCC", "GGGGGGGGGG"]
+                .iter()
+                .map(|s| s.parse().unwrap()),
+        );
+        let libs = (0..4)
+            .map(|i| {
+                library_meta(
+                    &format!("L{i}"),
+                    TissueType::Brain,
+                    NeoplasticState::Normal,
+                    TissueSource::BulkTissue,
+                )
+            })
+            .collect();
+        ExpressionMatrix::from_rows(
+            universe,
+            libs,
+            vec![
+                vec![2.0, 4.0, 4.0, 6.0],   // avg 4, sd sqrt(2)
+                vec![10.0, 10.0, 10.0, 10.0], // constant
+                vec![0.0, 1.0, 2.0, 3.0],
+            ],
+        )
+    }
+
+    #[test]
+    fn aggregate_computes_range_mean_stddev() {
+        let sumy = aggregate("test", &matrix());
+        assert_eq!(sumy.len(), 3);
+        let a = sumy.row_for("AAAAAAAAAA".parse().unwrap()).unwrap();
+        assert_eq!(a.range, Interval::new(2.0, 6.0).unwrap());
+        assert_eq!(a.average, 4.0);
+        assert!((a.std_dev - 2.0f64.sqrt()).abs() < 1e-12);
+        let c = sumy.row_for("CCCCCCCCCC".parse().unwrap()).unwrap();
+        assert_eq!(c.range.width(), 0.0);
+        assert_eq!(c.std_dev, 0.0);
+    }
+
+    #[test]
+    fn aggregate_tags_restricts_rows() {
+        let m = matrix();
+        let g = m.id_of("GGGGGGGGGG".parse().unwrap()).unwrap();
+        let sumy = aggregate_tags("sub", &m, &[g]);
+        assert_eq!(sumy.len(), 1);
+        assert_eq!(sumy.rows()[0].average, 1.5);
+    }
+
+    #[test]
+    fn select_range_with_allen_relation() {
+        let sumy = aggregate("test", &matrix());
+        // Tags whose range is *during* [−1, 7]: AAAAAAAAAA ([2,6]) and
+        // GGGGGGGGGG ([0,3]).
+        let hit = sumy.select_range(
+            "d",
+            AllenRelation::During,
+            Interval::new(-1.0, 7.0).unwrap(),
+        );
+        assert_eq!(hit.len(), 2);
+        assert!(hit.row_for("CCCCCCCCCC".parse().unwrap()).is_none());
+    }
+
+    #[test]
+    fn select_intersecting_is_loose() {
+        let sumy = aggregate("test", &matrix());
+        let hit = sumy.select_intersecting("ov", Interval::new(6.0, 9.0).unwrap());
+        // [2,6] touches 6; [10,10] and [0,3] do not intersect [6,9].
+        assert_eq!(hit.len(), 1);
+        assert_eq!(hit.rows()[0].tag.to_string(), "AAAAAAAAAA");
+    }
+
+    #[test]
+    fn selection_by_average() {
+        let sumy = aggregate("test", &matrix());
+        let high = sumy.select("high", |r| r.average > 3.0);
+        assert_eq!(high.len(), 2);
+    }
+
+    #[test]
+    fn projection_drops_extras_only() {
+        let mut rows = aggregate("test", &matrix()).rows().to_vec();
+        rows[0].extras.insert("median".to_string(), 4.0);
+        let sumy = SumyTable::new("with_extras", rows);
+        let projected = sumy.project_away_extras("clean", &["median"]);
+        assert!(projected.rows()[0].extras.is_empty());
+        assert_eq!(projected.len(), sumy.len());
+    }
+
+    #[test]
+    fn extras_aggregates() {
+        let m = matrix();
+        let sumy = aggregate_with_extras(
+            "x",
+            &m,
+            &[
+                ExtraAggregate::Median,
+                ExtraAggregate::Percentile(0.25),
+                ExtraAggregate::Sum,
+                ExtraAggregate::ExpressingLibraries,
+            ],
+        );
+        let a = sumy.row_for("AAAAAAAAAA".parse().unwrap()).unwrap();
+        // Values 2, 4, 4, 6: nearest-rank median = 4, p25 = 2, sum = 16.
+        assert_eq!(a.extras["median"], 4.0);
+        assert_eq!(a.extras["p25"], 2.0);
+        assert_eq!(a.extras["sum"], 16.0);
+        assert_eq!(a.extras["expressing"], 4.0);
+        let g = sumy.row_for("GGGGGGGGGG".parse().unwrap()).unwrap();
+        // Values 0, 1, 2, 3: one zero.
+        assert_eq!(g.extras["expressing"], 3.0);
+        assert_eq!(g.extras["median"], 1.0);
+    }
+
+    #[test]
+    fn percentile_edges() {
+        assert_eq!(super::percentile(&[5.0], 0.5), 5.0);
+        assert_eq!(super::percentile(&[1.0, 2.0, 3.0], 0.0), 1.0);
+        assert_eq!(super::percentile(&[1.0, 2.0, 3.0], 1.0), 3.0);
+        assert_eq!(super::percentile(&[3.0, 1.0, 2.0], 0.5), 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate tag")]
+    fn duplicate_tags_rejected() {
+        let row = SumyRow {
+            tag: "AAAAAAAAAA".parse().unwrap(),
+            tag_no: 0,
+            range: Interval::new(0.0, 1.0).unwrap(),
+            average: 0.5,
+            std_dev: 0.1,
+            extras: BTreeMap::new(),
+        };
+        SumyTable::new("dup", vec![row.clone(), row]);
+    }
+}

@@ -1,0 +1,228 @@
+//! Top-gap manipulation (thesis §4.4.3).
+//!
+//! After a GAP table is computed, the analyst usually inspects only the
+//! top-x tags with the most extreme gap values. "Calculate Top Gap"
+//! (Figure 4.19) derives a new table named `{gap}_{x}` holding those rows;
+//! "View Top Gap" (Figure 4.20) renders it; Figure 4.10 plots one top tag's
+//! per-library distribution — reproduced here as a data series for the
+//! bench harness to print.
+
+use gea_sage::library::NeoplasticState;
+use gea_sage::tag::Tag;
+
+use crate::enum_table::EnumTable;
+use crate::gap::GapTable;
+
+/// Ranking orders for top-gap extraction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TopGapOrder {
+    /// Largest gap values first (the thesis's "top gaps").
+    HighestValue,
+    /// Most negative first.
+    LowestValue,
+    /// Largest |gap| first — extremes of either sign.
+    LargestMagnitude,
+}
+
+/// Derive the top-`x` non-NULL rows of `gap` under `order`, as a new table
+/// named `{gap.name}_{x}`.
+pub fn top_gaps(gap: &GapTable, x: usize, order: TopGapOrder) -> GapTable {
+    let non_null = gap.drop_null_gaps("tmp");
+    let mut rows = non_null.rows().to_vec();
+    rows.sort_by(|a, b| {
+        let ga = a.gap().expect("nulls dropped");
+        let gb = b.gap().expect("nulls dropped");
+        match order {
+            TopGapOrder::HighestValue => gb.total_cmp(&ga),
+            TopGapOrder::LowestValue => ga.total_cmp(&gb),
+            TopGapOrder::LargestMagnitude => gb.abs().total_cmp(&ga.abs()),
+        }
+        .then(a.tag.cmp(&b.tag))
+    });
+    rows.truncate(x);
+    // GapTable stores rows tag-sorted; rank order is recoverable from the
+    // gap values, which is how the display helpers list them.
+    GapTable::new(&format!("{}_{}", gap.name, x), gap.columns.clone(), rows)
+}
+
+/// One library's point in a Figure 4.10-style distribution plot.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TagPlotPoint {
+    /// Library name (x axis).
+    pub library: String,
+    /// Expression level of the plotted tag (y axis).
+    pub level: f64,
+    /// Plot series the library belongs to.
+    pub series: PlotSeries,
+}
+
+/// The three series of the case-study figures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlotSeries {
+    /// Cancerous library inside the fascicle (the red dots of Figure 4.10).
+    CancerInFascicle,
+    /// Cancerous library outside the fascicle.
+    CancerOutsideFascicle,
+    /// Normal library (the blue squares).
+    Normal,
+}
+
+impl PlotSeries {
+    /// Legend label used by the figures.
+    pub fn label(self) -> &'static str {
+        match self {
+            PlotSeries::CancerInFascicle => "Cancer in Fascicle",
+            PlotSeries::CancerOutsideFascicle => "Cancer Not in Fascicle",
+            PlotSeries::Normal => "Normal",
+        }
+    }
+}
+
+/// Build the per-library distribution of one tag over an ENUM table,
+/// labeling each library by fascicle membership and neoplastic state —
+/// the data behind Figures 4.2, 4.3, 4.10 and 4.11.
+pub fn tag_distribution(
+    table: &EnumTable,
+    tag: Tag,
+    fascicle_member_names: &[String],
+) -> Vec<TagPlotPoint> {
+    let Some(tid) = table.matrix.id_of(tag) else {
+        return Vec::new();
+    };
+    table
+        .matrix
+        .library_ids()
+        .map(|lib| {
+            let meta = table.matrix.library(lib);
+            let series = if fascicle_member_names.iter().any(|n| n == &meta.name) {
+                PlotSeries::CancerInFascicle
+            } else if meta.state == NeoplasticState::Cancerous {
+                PlotSeries::CancerOutsideFascicle
+            } else {
+                PlotSeries::Normal
+            };
+            TagPlotPoint {
+                library: meta.name.clone(),
+                level: table.matrix.value(tid, lib),
+                series,
+            }
+        })
+        .collect()
+}
+
+/// Group means of a distribution, one per series present — the bar heights
+/// the case-study figures report (e.g. Figure 4.2's ≈275 vs ≈100).
+pub fn series_means(points: &[TagPlotPoint]) -> Vec<(PlotSeries, f64, usize)> {
+    [
+        PlotSeries::CancerInFascicle,
+        PlotSeries::CancerOutsideFascicle,
+        PlotSeries::Normal,
+    ]
+    .into_iter()
+    .filter_map(|series| {
+        let values: Vec<f64> = points
+            .iter()
+            .filter(|p| p.series == series)
+            .map(|p| p.level)
+            .collect();
+        if values.is_empty() {
+            None
+        } else {
+            let mean = values.iter().sum::<f64>() / values.len() as f64;
+            Some((series, mean, values.len()))
+        }
+    })
+    .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gap::GapRow;
+    use gea_sage::corpus::library_meta;
+    use gea_sage::library::TissueSource;
+    use gea_sage::tag::TagUniverse;
+    use gea_sage::{ExpressionMatrix, TissueType};
+
+    fn gap() -> GapTable {
+        GapTable::new(
+            "g",
+            vec!["Gap".to_string()],
+            vec![
+                GapRow { tag: "AAAAAAAAAA".parse().unwrap(), tag_no: 0, gaps: vec![Some(5.0)] },
+                GapRow { tag: "CCCCCCCCCC".parse().unwrap(), tag_no: 1, gaps: vec![Some(-20.0)] },
+                GapRow { tag: "GGGGGGGGGG".parse().unwrap(), tag_no: 2, gaps: vec![None] },
+                GapRow { tag: "TTTTTTTTTT".parse().unwrap(), tag_no: 3, gaps: vec![Some(12.0)] },
+            ],
+        )
+    }
+
+    #[test]
+    fn top_by_value_and_magnitude() {
+        let g = gap();
+        let top2 = top_gaps(&g, 2, TopGapOrder::HighestValue);
+        assert_eq!(top2.name, "g_2");
+        let tags: Vec<String> = top2.rows().iter().map(|r| r.tag.to_string()).collect();
+        // Highest values: 12 and 5 (NULL excluded).
+        assert!(tags.contains(&"TTTTTTTTTT".to_string()));
+        assert!(tags.contains(&"AAAAAAAAAA".to_string()));
+
+        let mag = top_gaps(&g, 1, TopGapOrder::LargestMagnitude);
+        assert_eq!(mag.rows()[0].tag.to_string(), "CCCCCCCCCC");
+
+        let low = top_gaps(&g, 1, TopGapOrder::LowestValue);
+        assert_eq!(low.rows()[0].tag.to_string(), "CCCCCCCCCC");
+    }
+
+    #[test]
+    fn top_x_larger_than_table_returns_all_non_null() {
+        let g = gap();
+        let all = top_gaps(&g, 100, TopGapOrder::HighestValue);
+        assert_eq!(all.len(), 3);
+    }
+
+    #[test]
+    fn distribution_labels_series() {
+        let universe =
+            TagUniverse::from_tags(["AAAAAAAAAA".parse::<Tag>().unwrap()]);
+        let libs = vec![
+            library_meta("c_in", TissueType::Brain, NeoplasticState::Cancerous, TissueSource::BulkTissue),
+            library_meta("c_out", TissueType::Brain, NeoplasticState::Cancerous, TissueSource::BulkTissue),
+            library_meta("n", TissueType::Brain, NeoplasticState::Normal, TissueSource::BulkTissue),
+        ];
+        let table = EnumTable::new(
+            "E",
+            ExpressionMatrix::from_rows(universe, libs, vec![vec![275.0, 180.0, 100.0]]),
+        );
+        let points = tag_distribution(
+            &table,
+            "AAAAAAAAAA".parse().unwrap(),
+            &["c_in".to_string()],
+        );
+        assert_eq!(points.len(), 3);
+        assert_eq!(points[0].series, PlotSeries::CancerInFascicle);
+        assert_eq!(points[1].series, PlotSeries::CancerOutsideFascicle);
+        assert_eq!(points[2].series, PlotSeries::Normal);
+        let means = series_means(&points);
+        assert_eq!(means.len(), 3);
+        assert_eq!(means[0].1, 275.0);
+        assert_eq!(means[2].1, 100.0);
+    }
+
+    #[test]
+    fn distribution_of_unknown_tag_is_empty() {
+        let universe =
+            TagUniverse::from_tags(["AAAAAAAAAA".parse::<Tag>().unwrap()]);
+        let libs = vec![library_meta(
+            "x",
+            TissueType::Brain,
+            NeoplasticState::Normal,
+            TissueSource::BulkTissue,
+        )];
+        let table = EnumTable::new(
+            "E",
+            ExpressionMatrix::from_rows(universe, libs, vec![vec![1.0]]),
+        );
+        assert!(tag_distribution(&table, "CCCCCCCCCC".parse().unwrap(), &[]).is_empty());
+    }
+}

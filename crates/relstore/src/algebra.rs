@@ -1,0 +1,560 @@
+//! Relational algebra over [`Table`].
+//!
+//! The extensional world of GEA "is relational, \[so\] the relational algebra,
+//! extended with standard aggregation operations such as sum, average, etc.
+//! and sorting, is sufficient" (§3.2.4). This module provides exactly that:
+//! selection, projection, rename, union, difference, natural/equi join,
+//! sorting, and group-by aggregation.
+
+use std::collections::HashMap;
+
+use crate::predicate::Predicate;
+use crate::schema::{Column, Schema};
+use crate::table::{Table, TableError};
+use crate::value::{DataType, Value};
+
+/// σ — rows of `table` satisfying `predicate`, in original order.
+pub fn select(table: &Table, predicate: &Predicate) -> Result<Table, TableError> {
+    let compiled = predicate.compile(table)?;
+    let keep: Vec<usize> = (0..table.n_rows())
+        .filter(|&r| compiled.matches(r))
+        .collect();
+    Ok(table.gather(&keep))
+}
+
+/// π — the named columns, in the given order. Duplicate output rows are
+/// *kept* (bag semantics), as in SQL.
+pub fn project(table: &Table, columns: &[&str]) -> Result<Table, TableError> {
+    let schema = table.schema().project(columns)?;
+    let idxs: Vec<usize> = columns
+        .iter()
+        .map(|c| table.schema().index_of(c))
+        .collect::<Result<_, _>>()?;
+    let mut out = Table::new(schema);
+    for r in 0..table.n_rows() {
+        out.push_row(idxs.iter().map(|&i| table.value(r, i).clone()).collect())?;
+    }
+    Ok(out)
+}
+
+/// ρ — rename one column.
+pub fn rename(table: &Table, from: &str, to: &str) -> Result<Table, TableError> {
+    let idx = table.schema().index_of(from)?;
+    let cols: Vec<Column> = table
+        .schema()
+        .columns()
+        .iter()
+        .enumerate()
+        .map(|(i, c)| {
+            if i == idx {
+                Column::new(to, c.dtype)
+            } else {
+                c.clone()
+            }
+        })
+        .collect();
+    let schema = Schema::new(cols).map_err(TableError::Schema)?;
+    let mut out = Table::new(schema);
+    out.extend_rows(table.rows())?;
+    Ok(out)
+}
+
+fn check_union_compatible(a: &Table, b: &Table) -> Result<(), TableError> {
+    if a.schema() != b.schema() {
+        return Err(TableError::Schema(
+            crate::schema::SchemaError::UnknownColumn(format!(
+                "union-incompatible schemas {} vs {}",
+                a.schema(),
+                b.schema()
+            )),
+        ));
+    }
+    Ok(())
+}
+
+/// ∪ — all rows of `a` then all rows of `b` (bag union). Schemas must match
+/// exactly.
+pub fn union(a: &Table, b: &Table) -> Result<Table, TableError> {
+    check_union_compatible(a, b)?;
+    let mut out = Table::new(a.schema().clone());
+    out.extend_rows(a.rows())?;
+    out.extend_rows(b.rows())?;
+    Ok(out)
+}
+
+fn row_key(row: &[Value]) -> String {
+    // A canonical textual key; Display is injective enough for our value
+    // domain (NULL renders distinctly, and column count is fixed).
+    let mut key = String::new();
+    for v in row {
+        key.push_str(&format!("{}|{:?}\u{1}", v, v.data_type()));
+    }
+    key
+}
+
+/// − — rows of `a` that do not appear in `b` (set difference on whole rows).
+pub fn difference(a: &Table, b: &Table) -> Result<Table, TableError> {
+    check_union_compatible(a, b)?;
+    let exclude: std::collections::HashSet<String> =
+        b.rows().map(|r| row_key(&r)).collect();
+    let keep: Vec<usize> = (0..a.n_rows())
+        .filter(|&r| !exclude.contains(&row_key(&a.row(r))))
+        .collect();
+    Ok(a.gather(&keep))
+}
+
+/// Remove duplicate rows, keeping first occurrences.
+pub fn distinct(table: &Table) -> Table {
+    let mut seen = std::collections::HashSet::new();
+    let keep: Vec<usize> = (0..table.n_rows())
+        .filter(|&r| seen.insert(row_key(&table.row(r))))
+        .collect();
+    table.gather(&keep)
+}
+
+/// ⋈ — hash equi-join of `a` and `b` on `a.on_a = b.on_b`. Output columns
+/// are all of `a` followed by all of `b` except `on_b`; `b`'s remaining
+/// columns are prefixed with `prefix` on name collision.
+pub fn equi_join(
+    a: &Table,
+    b: &Table,
+    on_a: &str,
+    on_b: &str,
+    prefix: &str,
+) -> Result<Table, TableError> {
+    let ia = a.schema().index_of(on_a)?;
+    let ib = b.schema().index_of(on_b)?;
+
+    let mut cols: Vec<Column> = a.schema().columns().to_vec();
+    for (i, c) in b.schema().columns().iter().enumerate() {
+        if i == ib {
+            continue;
+        }
+        let name = if cols.iter().any(|existing| existing.name == c.name) {
+            format!("{prefix}{}", c.name)
+        } else {
+            c.name.clone()
+        };
+        cols.push(Column::new(&name, c.dtype));
+    }
+    let schema = Schema::new(cols).map_err(TableError::Schema)?;
+    let mut out = Table::new(schema);
+
+    // Build hash table on the smaller input's join key.
+    let mut index: HashMap<String, Vec<usize>> = HashMap::new();
+    for r in 0..b.n_rows() {
+        let key = b.value(r, ib);
+        if key.is_null() {
+            continue; // NULL never joins
+        }
+        index.entry(row_key(std::slice::from_ref(key))).or_default().push(r);
+    }
+    for ra in 0..a.n_rows() {
+        let key = a.value(ra, ia);
+        if key.is_null() {
+            continue;
+        }
+        if let Some(matches) = index.get(&row_key(std::slice::from_ref(key))) {
+            for &rb in matches {
+                let mut row = a.row(ra);
+                for (i, v) in b.row(rb).into_iter().enumerate() {
+                    if i != ib {
+                        row.push(v);
+                    }
+                }
+                out.push_row(row)?;
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// A sort key: column name plus direction.
+#[derive(Debug, Clone)]
+pub struct SortKey {
+    /// Column to sort by.
+    pub column: String,
+    /// Ascending when true.
+    pub ascending: bool,
+}
+
+impl SortKey {
+    /// Ascending sort key.
+    pub fn asc(column: &str) -> SortKey {
+        SortKey {
+            column: column.to_string(),
+            ascending: true,
+        }
+    }
+
+    /// Descending sort key.
+    pub fn desc(column: &str) -> SortKey {
+        SortKey {
+            column: column.to_string(),
+            ascending: false,
+        }
+    }
+}
+
+/// Stable multi-key sort.
+pub fn sort(table: &Table, keys: &[SortKey]) -> Result<Table, TableError> {
+    let idxs: Vec<(usize, bool)> = keys
+        .iter()
+        .map(|k| Ok((table.schema().index_of(&k.column)?, k.ascending)))
+        .collect::<Result<_, TableError>>()?;
+    let mut order: Vec<usize> = (0..table.n_rows()).collect();
+    order.sort_by(|&a, &b| {
+        for &(col, asc) in &idxs {
+            let ord = table.value(a, col).sort_cmp(table.value(b, col));
+            let ord = if asc { ord } else { ord.reverse() };
+            if ord != std::cmp::Ordering::Equal {
+                return ord;
+            }
+        }
+        std::cmp::Ordering::Equal
+    });
+    Ok(table.gather(&order))
+}
+
+/// Aggregate functions (§3.2.4's "standard aggregation operations").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggFunc {
+    /// Row count (counts all rows, including NULLs in the target column).
+    Count,
+    /// Sum of non-NULL numeric values.
+    Sum,
+    /// Mean of non-NULL numeric values.
+    Avg,
+    /// Minimum non-NULL numeric value.
+    Min,
+    /// Maximum non-NULL numeric value.
+    Max,
+    /// Population standard deviation of non-NULL numeric values — the
+    /// aggregate the SUMY table's σ column uses (§3.1.2).
+    StdDev,
+}
+
+/// One aggregate expression: `func(column) AS alias`.
+#[derive(Debug, Clone)]
+pub struct AggExpr {
+    /// Function to apply.
+    pub func: AggFunc,
+    /// Input column (ignored for `Count`).
+    pub column: String,
+    /// Output column name.
+    pub alias: String,
+}
+
+impl AggExpr {
+    /// Shorthand constructor.
+    pub fn new(func: AggFunc, column: &str, alias: &str) -> AggExpr {
+        AggExpr {
+            func,
+            column: column.to_string(),
+            alias: alias.to_string(),
+        }
+    }
+}
+
+fn apply_agg(func: AggFunc, values: &[&Value]) -> Value {
+    if func == AggFunc::Count {
+        return Value::Int(values.len() as i64);
+    }
+    let nums: Vec<f64> = values.iter().filter_map(|v| v.as_f64()).collect();
+    if nums.is_empty() {
+        return Value::Null;
+    }
+    match func {
+        AggFunc::Count => unreachable!(),
+        AggFunc::Sum => Value::Float(nums.iter().sum()),
+        AggFunc::Avg => Value::Float(nums.iter().sum::<f64>() / nums.len() as f64),
+        AggFunc::Min => Value::Float(nums.iter().cloned().fold(f64::INFINITY, f64::min)),
+        AggFunc::Max => {
+            Value::Float(nums.iter().cloned().fold(f64::NEG_INFINITY, f64::max))
+        }
+        AggFunc::StdDev => {
+            let mean = nums.iter().sum::<f64>() / nums.len() as f64;
+            let var =
+                nums.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / nums.len() as f64;
+            Value::Float(var.sqrt())
+        }
+    }
+}
+
+/// γ — group-by aggregation. With empty `group_by` the whole table is one
+/// group (returning exactly one row, even for an empty input). Groups appear
+/// in order of first occurrence.
+pub fn aggregate(
+    table: &Table,
+    group_by: &[&str],
+    aggs: &[AggExpr],
+) -> Result<Table, TableError> {
+    let group_idxs: Vec<usize> = group_by
+        .iter()
+        .map(|c| table.schema().index_of(c))
+        .collect::<Result<_, _>>()?;
+    let agg_idxs: Vec<usize> = aggs
+        .iter()
+        .map(|a| table.schema().index_of(&a.column))
+        .collect::<Result<_, _>>()?;
+
+    let mut cols: Vec<Column> = group_idxs
+        .iter()
+        .map(|&i| table.schema().column(i).clone())
+        .collect();
+    for a in aggs {
+        let dtype = if a.func == AggFunc::Count {
+            DataType::Int
+        } else {
+            DataType::Float
+        };
+        cols.push(Column::new(&a.alias, dtype));
+    }
+    let schema = Schema::new(cols).map_err(TableError::Schema)?;
+    let mut out = Table::new(schema);
+
+    // Partition rows into groups preserving first-occurrence order.
+    let mut group_order: Vec<String> = Vec::new();
+    let mut groups: HashMap<String, Vec<usize>> = HashMap::new();
+    for r in 0..table.n_rows() {
+        let key_vals: Vec<Value> = group_idxs.iter().map(|&i| table.value(r, i).clone()).collect();
+        let key = row_key(&key_vals);
+        if !groups.contains_key(&key) {
+            group_order.push(key.clone());
+        }
+        groups.entry(key).or_default().push(r);
+    }
+    if group_idxs.is_empty() && table.n_rows() == 0 {
+        // Global aggregate of an empty table: one all-NULL/0 row.
+        let row: Vec<Value> = aggs
+            .iter()
+            .map(|a| {
+                if a.func == AggFunc::Count {
+                    Value::Int(0)
+                } else {
+                    Value::Null
+                }
+            })
+            .collect();
+        out.push_row(row)?;
+        return Ok(out);
+    }
+
+    for key in group_order {
+        let rows = &groups[&key];
+        let mut row: Vec<Value> = group_idxs
+            .iter()
+            .map(|&i| table.value(rows[0], i).clone())
+            .collect();
+        for (a, &col) in aggs.iter().zip(&agg_idxs) {
+            let cells: Vec<&Value> = rows.iter().map(|&r| table.value(r, col)).collect();
+            row.push(apply_agg(a.func, &cells));
+        }
+        out.push_row(row)?;
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::predicate::CmpOp;
+
+    fn libraries() -> Table {
+        // A miniature of the thesis's Libraries relation (Appendix IV).
+        let schema = Schema::from_pairs(&[
+            ("Lib_ID", DataType::Int),
+            ("Lib_Name", DataType::Text),
+            ("Type", DataType::Text),
+            ("Tags", DataType::Int),
+        ])
+        .unwrap();
+        let mut t = Table::new(schema);
+        t.extend_rows(vec![
+            vec![1.into(), "SAGE_b1".into(), "brain".into(), 52371.into()],
+            vec![2.into(), "SAGE_b2".into(), "brain".into(), 31063.into()],
+            vec![3.into(), "SAGE_k1".into(), "kidney".into(), 24481.into()],
+            vec![4.into(), "SAGE_b3".into(), "brain".into(), 12000.into()],
+        ])
+        .unwrap();
+        t
+    }
+
+    #[test]
+    fn select_by_tissue() {
+        let t = libraries();
+        let brain = select(&t, &Predicate::eq("Type", "brain")).unwrap();
+        assert_eq!(brain.n_rows(), 3);
+        assert!(brain
+            .column_by_name("Type")
+            .unwrap()
+            .iter()
+            .all(|v| v.as_str() == Some("brain")));
+    }
+
+    #[test]
+    fn project_keeps_order_and_duplicates() {
+        let t = libraries();
+        let p = project(&t, &["Type"]).unwrap();
+        assert_eq!(p.n_rows(), 4);
+        assert_eq!(p.n_cols(), 1);
+        let d = distinct(&p);
+        assert_eq!(d.n_rows(), 2);
+    }
+
+    #[test]
+    fn rename_column() {
+        let t = libraries();
+        let r = rename(&t, "Tags", "TotalTags").unwrap();
+        assert!(r.schema().index_of("TotalTags").is_ok());
+        assert!(r.schema().index_of("Tags").is_err());
+        assert_eq!(r.value_by_name(0, "TotalTags").unwrap().as_i64(), Some(52371));
+    }
+
+    #[test]
+    fn union_and_difference() {
+        let t = libraries();
+        let brain = select(&t, &Predicate::eq("Type", "brain")).unwrap();
+        let kidney = select(&t, &Predicate::eq("Type", "kidney")).unwrap();
+        let u = union(&brain, &kidney).unwrap();
+        assert_eq!(u.n_rows(), 4);
+        let d = difference(&t, &brain).unwrap();
+        assert_eq!(d.n_rows(), 1);
+        assert_eq!(d.value_by_name(0, "Type").unwrap().as_str(), Some("kidney"));
+    }
+
+    #[test]
+    fn union_requires_matching_schemas() {
+        let t = libraries();
+        let p = project(&t, &["Type"]).unwrap();
+        assert!(union(&t, &p).is_err());
+    }
+
+    #[test]
+    fn join_links_relations() {
+        let t = libraries();
+        let schema =
+            Schema::from_pairs(&[("Lib", DataType::Int), ("Fascicle", DataType::Text)])
+                .unwrap();
+        let mut membership = Table::new(schema);
+        membership
+            .extend_rows(vec![
+                vec![1.into(), "brain35k_4".into()],
+                vec![2.into(), "brain35k_4".into()],
+                vec![9.into(), "ghost".into()],
+            ])
+            .unwrap();
+        let j = equi_join(&t, &membership, "Lib_ID", "Lib", "m_").unwrap();
+        assert_eq!(j.n_rows(), 2);
+        assert_eq!(
+            j.value_by_name(0, "Fascicle").unwrap().as_str(),
+            Some("brain35k_4")
+        );
+    }
+
+    #[test]
+    fn join_prefixes_colliding_names() {
+        let t = libraries();
+        let j = equi_join(&t, &t, "Lib_ID", "Lib_ID", "r_").unwrap();
+        assert_eq!(j.n_rows(), 4);
+        assert!(j.schema().index_of("r_Lib_Name").is_ok());
+    }
+
+    #[test]
+    fn sort_multi_key() {
+        let t = libraries();
+        let s = sort(&t, &[SortKey::asc("Type"), SortKey::desc("Tags")]).unwrap();
+        let names: Vec<&str> = (0..s.n_rows())
+            .map(|r| s.value_by_name(r, "Lib_Name").unwrap().as_str().unwrap())
+            .collect();
+        assert_eq!(names, vec!["SAGE_b1", "SAGE_b2", "SAGE_b3", "SAGE_k1"]);
+    }
+
+    #[test]
+    fn aggregate_group_by() {
+        let t = libraries();
+        let g = aggregate(
+            &t,
+            &["Type"],
+            &[
+                AggExpr::new(AggFunc::Count, "Lib_ID", "n"),
+                AggExpr::new(AggFunc::Avg, "Tags", "avg_tags"),
+                AggExpr::new(AggFunc::Min, "Tags", "min_tags"),
+                AggExpr::new(AggFunc::Max, "Tags", "max_tags"),
+            ],
+        )
+        .unwrap();
+        assert_eq!(g.n_rows(), 2);
+        // Groups in first-occurrence order: brain first.
+        assert_eq!(g.value_by_name(0, "Type").unwrap().as_str(), Some("brain"));
+        assert_eq!(g.value_by_name(0, "n").unwrap().as_i64(), Some(3));
+        let avg = g.value_by_name(0, "avg_tags").unwrap().as_f64().unwrap();
+        assert!((avg - (52371.0 + 31063.0 + 12000.0) / 3.0).abs() < 1e-9);
+        assert_eq!(
+            g.value_by_name(1, "min_tags").unwrap().as_f64(),
+            Some(24481.0)
+        );
+    }
+
+    #[test]
+    fn aggregate_stddev_is_population() {
+        let schema = Schema::from_pairs(&[("x", DataType::Float)]).unwrap();
+        let mut t = Table::new(schema);
+        for v in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            t.push_row(vec![v.into()]).unwrap();
+        }
+        let g = aggregate(&t, &[], &[AggExpr::new(AggFunc::StdDev, "x", "sd")]).unwrap();
+        assert_eq!(g.value_by_name(0, "sd").unwrap().as_f64(), Some(2.0));
+    }
+
+    #[test]
+    fn aggregate_empty_global() {
+        let schema = Schema::from_pairs(&[("x", DataType::Float)]).unwrap();
+        let t = Table::new(schema);
+        let g = aggregate(
+            &t,
+            &[],
+            &[
+                AggExpr::new(AggFunc::Count, "x", "n"),
+                AggExpr::new(AggFunc::Sum, "x", "s"),
+            ],
+        )
+        .unwrap();
+        assert_eq!(g.n_rows(), 1);
+        assert_eq!(g.value_by_name(0, "n").unwrap().as_i64(), Some(0));
+        assert!(g.value_by_name(0, "s").unwrap().is_null());
+    }
+
+    #[test]
+    fn aggregate_ignores_nulls_in_numeric_funcs() {
+        let schema = Schema::from_pairs(&[("x", DataType::Float)]).unwrap();
+        let mut t = Table::new(schema);
+        t.push_row(vec![2.0.into()]).unwrap();
+        t.push_row(vec![Value::Null]).unwrap();
+        t.push_row(vec![4.0.into()]).unwrap();
+        let g = aggregate(
+            &t,
+            &[],
+            &[
+                AggExpr::new(AggFunc::Avg, "x", "avg"),
+                AggExpr::new(AggFunc::Count, "x", "n"),
+            ],
+        )
+        .unwrap();
+        assert_eq!(g.value_by_name(0, "avg").unwrap().as_f64(), Some(3.0));
+        // Count counts rows, not non-NULLs (COUNT(*) semantics).
+        assert_eq!(g.value_by_name(0, "n").unwrap().as_i64(), Some(3));
+    }
+
+    #[test]
+    fn select_with_range_predicate() {
+        let t = libraries();
+        let p = Predicate::cmp("Tags", CmpOp::Ge, 24481).and(Predicate::cmp(
+            "Tags",
+            CmpOp::Lt,
+            52371,
+        ));
+        let s = select(&t, &p).unwrap();
+        assert_eq!(s.n_rows(), 2);
+    }
+}

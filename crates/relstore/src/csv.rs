@@ -1,0 +1,325 @@
+//! CSV import and export — the LOAD / EXPORT utilities.
+//!
+//! Thesis §4.6.2 leans on DB2's `LOAD` and `EXPORT` commands to move data
+//! between files and tables (and laments that JDBC did not expose them).
+//! This module provides the equivalent for [`Table`]: a typed CSV writer
+//! and a reader that parses against a declared schema, with RFC-4180-style
+//! quoting and the literal token `NULL` for SQL NULLs.
+
+use std::io::{self, BufRead, BufReader, Read, Write};
+
+use crate::schema::Schema;
+use crate::table::{Table, TableError};
+use crate::value::{DataType, Value};
+
+/// Errors raised by CSV import.
+#[derive(Debug)]
+pub enum CsvError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// A structural or parse failure, with line context.
+    Malformed {
+        /// 1-based line number.
+        line: usize,
+        /// Description.
+        detail: String,
+    },
+    /// A parsed row failed table validation.
+    Table(TableError),
+}
+
+impl From<io::Error> for CsvError {
+    fn from(e: io::Error) -> CsvError {
+        CsvError::Io(e)
+    }
+}
+
+impl From<TableError> for CsvError {
+    fn from(e: TableError) -> CsvError {
+        CsvError::Table(e)
+    }
+}
+
+impl std::fmt::Display for CsvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CsvError::Io(e) => write!(f, "i/o error: {e}"),
+            CsvError::Malformed { line, detail } => {
+                write!(f, "malformed CSV at line {line}: {detail}")
+            }
+            CsvError::Table(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for CsvError {}
+
+fn needs_quoting(s: &str) -> bool {
+    s.contains(',') || s.contains('"') || s.contains('\n') || s.contains('\r') || s == "NULL"
+}
+
+fn write_field(out: &mut impl Write, value: &Value) -> io::Result<()> {
+    match value {
+        Value::Null => out.write_all(b"NULL"),
+        Value::Text(s) if needs_quoting(s) => {
+            out.write_all(b"\"")?;
+            out.write_all(s.replace('"', "\"\"").as_bytes())?;
+            out.write_all(b"\"")
+        }
+        other => out.write_all(other.to_string().as_bytes()),
+    }
+}
+
+/// Export a table as CSV with a header row (the EXPORT utility).
+pub fn export_csv(table: &Table, w: &mut impl Write) -> io::Result<()> {
+    let mut out = io::BufWriter::new(w);
+    for (i, col) in table.schema().columns().iter().enumerate() {
+        if i > 0 {
+            out.write_all(b",")?;
+        }
+        write_field(&mut out, &Value::Text(col.name.clone()))?;
+    }
+    out.write_all(b"\n")?;
+    for r in 0..table.n_rows() {
+        for c in 0..table.n_cols() {
+            if c > 0 {
+                out.write_all(b",")?;
+            }
+            write_field(&mut out, table.value(r, c))?;
+        }
+        out.write_all(b"\n")?;
+    }
+    out.flush()
+}
+
+/// Split one CSV record into fields, honoring double-quote escaping.
+/// Returns `(fields, was_quoted)` pairs so `"NULL"` (quoted) can be
+/// distinguished from `NULL` (the null token).
+fn split_record(line: &str, lineno: usize) -> Result<Vec<(String, bool)>, CsvError> {
+    let mut fields = Vec::new();
+    let mut field = String::new();
+    let mut quoted = false;
+    let mut in_quotes = false;
+    let mut chars = line.chars().peekable();
+    while let Some(c) = chars.next() {
+        if in_quotes {
+            match c {
+                '"' => {
+                    if chars.peek() == Some(&'"') {
+                        chars.next();
+                        field.push('"');
+                    } else {
+                        in_quotes = false;
+                    }
+                }
+                other => field.push(other),
+            }
+        } else {
+            match c {
+                ',' => {
+                    fields.push((std::mem::take(&mut field), quoted));
+                    quoted = false;
+                }
+                '"' if field.is_empty() && !quoted => {
+                    in_quotes = true;
+                    quoted = true;
+                }
+                '"' => {
+                    return Err(CsvError::Malformed {
+                        line: lineno,
+                        detail: "stray quote inside unquoted field".to_string(),
+                    })
+                }
+                other => field.push(other),
+            }
+        }
+    }
+    if in_quotes {
+        return Err(CsvError::Malformed {
+            line: lineno,
+            detail: "unterminated quoted field".to_string(),
+        });
+    }
+    fields.push((field, quoted));
+    Ok(fields)
+}
+
+fn parse_value(
+    raw: &str,
+    quoted: bool,
+    dtype: DataType,
+    lineno: usize,
+) -> Result<Value, CsvError> {
+    if raw == "NULL" && !quoted {
+        return Ok(Value::Null);
+    }
+    let bad = |detail: String| CsvError::Malformed {
+        line: lineno,
+        detail,
+    };
+    match dtype {
+        DataType::Text => Ok(Value::Text(raw.to_string())),
+        DataType::Int => raw
+            .parse::<i64>()
+            .map(Value::Int)
+            .map_err(|e| bad(format!("bad INT {raw:?}: {e}"))),
+        DataType::Float => raw
+            .parse::<f64>()
+            .map(Value::Float)
+            .map_err(|e| bad(format!("bad FLOAT {raw:?}: {e}"))),
+        DataType::Bool => match raw {
+            "true" | "TRUE" | "1" => Ok(Value::Bool(true)),
+            "false" | "FALSE" | "0" => Ok(Value::Bool(false)),
+            other => Err(bad(format!("bad BOOL {other:?}"))),
+        },
+    }
+}
+
+/// Import a CSV file against a declared schema (the LOAD utility). The
+/// header row must name the schema's columns in order.
+pub fn import_csv(schema: Schema, r: &mut impl Read) -> Result<Table, CsvError> {
+    let reader = BufReader::new(r);
+    let mut table = Table::new(schema);
+    let mut lines = reader.lines().enumerate();
+
+    // Header.
+    let (_, header) = lines.next().ok_or(CsvError::Malformed {
+        line: 1,
+        detail: "missing header row".to_string(),
+    })?;
+    let header = header?;
+    let header_fields = split_record(&header, 1)?;
+    let expected: Vec<&str> = table
+        .schema()
+        .columns()
+        .iter()
+        .map(|c| c.name.as_str())
+        .collect();
+    let got: Vec<&str> = header_fields.iter().map(|(f, _)| f.as_str()).collect();
+    if got != expected {
+        return Err(CsvError::Malformed {
+            line: 1,
+            detail: format!("header {got:?} does not match schema {expected:?}"),
+        });
+    }
+
+    for (idx, line) in lines {
+        let lineno = idx + 1;
+        let line = line?;
+        if line.is_empty() {
+            continue;
+        }
+        let fields = split_record(&line, lineno)?;
+        if fields.len() != table.n_cols() {
+            return Err(CsvError::Malformed {
+                line: lineno,
+                detail: format!(
+                    "expected {} fields, got {}",
+                    table.n_cols(),
+                    fields.len()
+                ),
+            });
+        }
+        let mut row = Vec::with_capacity(fields.len());
+        for (c, (raw, quoted)) in fields.iter().enumerate() {
+            let dtype = table.schema().column(c).dtype;
+            row.push(parse_value(raw, *quoted, dtype, lineno)?);
+        }
+        table.push_row(row)?;
+    }
+    Ok(table)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Schema;
+
+    fn schema() -> Schema {
+        Schema::from_pairs(&[
+            ("TagName", DataType::Text),
+            ("TagNo", DataType::Int),
+            ("GapValue", DataType::Float),
+            ("Pure", DataType::Bool),
+        ])
+        .unwrap()
+    }
+
+    fn sample_table() -> Table {
+        let mut t = Table::new(schema());
+        t.push_row(vec!["AAACACCAAA".into(), 557.into(), (-1.5).into(), true.into()])
+            .unwrap();
+        t.push_row(vec!["with,comma".into(), 2.into(), Value::Null, false.into()])
+            .unwrap();
+        t.push_row(vec!["quote\"inside".into(), 3.into(), 0.25.into(), true.into()])
+            .unwrap();
+        t.push_row(vec!["NULL".into(), 4.into(), 1.0.into(), false.into()])
+            .unwrap();
+        t
+    }
+
+    #[test]
+    fn roundtrip() {
+        let t = sample_table();
+        let mut buf = Vec::new();
+        export_csv(&t, &mut buf).unwrap();
+        let back = import_csv(schema(), &mut buf.as_slice()).unwrap();
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    fn null_token_vs_quoted_null_text() {
+        let t = sample_table();
+        let mut buf = Vec::new();
+        export_csv(&t, &mut buf).unwrap();
+        let text = String::from_utf8(buf.clone()).unwrap();
+        // The NULL cell is bare; the "NULL" text value is quoted.
+        assert!(text.contains(",NULL,"));
+        assert!(text.contains("\"NULL\""));
+        let back = import_csv(schema(), &mut buf.as_slice()).unwrap();
+        assert!(back.value(1, 2).is_null());
+        assert_eq!(back.value(3, 0).as_str(), Some("NULL"));
+    }
+
+    #[test]
+    fn header_mismatch_rejected() {
+        let bad = b"Wrong,Header,Row,Here\n";
+        let err = import_csv(schema(), &mut bad.as_slice()).unwrap_err();
+        assert!(matches!(err, CsvError::Malformed { line: 1, .. }));
+    }
+
+    #[test]
+    fn arity_and_type_errors_carry_line_numbers() {
+        let bad = b"TagName,TagNo,GapValue,Pure\nA,1,2.0\n";
+        let err = import_csv(schema(), &mut bad.as_slice()).unwrap_err();
+        match err {
+            CsvError::Malformed { line, .. } => assert_eq!(line, 2),
+            other => panic!("unexpected {other:?}"),
+        }
+        let bad = b"TagName,TagNo,GapValue,Pure\nA,notanint,2.0,true\n";
+        let err = import_csv(schema(), &mut bad.as_slice()).unwrap_err();
+        assert!(matches!(err, CsvError::Malformed { line: 2, .. }));
+    }
+
+    #[test]
+    fn unterminated_quote_rejected() {
+        let bad = b"TagName,TagNo,GapValue,Pure\n\"open,1,2.0,true\n";
+        let err = import_csv(schema(), &mut bad.as_slice()).unwrap_err();
+        assert!(matches!(err, CsvError::Malformed { .. }));
+    }
+
+    #[test]
+    fn empty_lines_skipped() {
+        let text = b"TagName,TagNo,GapValue,Pure\nA,1,2.0,true\n\nB,2,3.0,false\n";
+        let t = import_csv(schema(), &mut text.as_slice()).unwrap();
+        assert_eq!(t.n_rows(), 2);
+    }
+
+    #[test]
+    fn bool_spellings() {
+        let text = b"TagName,TagNo,GapValue,Pure\nA,1,2.0,TRUE\nB,2,3.0,0\n";
+        let t = import_csv(schema(), &mut text.as_slice()).unwrap();
+        assert_eq!(t.value(0, 3).as_bool(), Some(true));
+        assert_eq!(t.value(1, 3).as_bool(), Some(false));
+    }
+}

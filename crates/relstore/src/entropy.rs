@@ -1,0 +1,125 @@
+//! Entropy-based attribute ranking.
+//!
+//! "Our heuristic is to pick the tags with the highest entropy, that is,
+//! highest variation. More specifically, we seek to build m indices for the
+//! tags with the top-m highest entropy." (§3.3.2.) An attribute whose values
+//! spread over many distinct levels discriminates rows well, so an index on
+//! it prunes the most.
+
+/// Shannon entropy (in bits) of a numeric attribute, estimated from an
+/// equal-width histogram with `bins` buckets over the attribute's observed
+/// range. Constant attributes have entropy 0.
+pub fn entropy(values: &[f64], bins: usize) -> f64 {
+    assert!(bins > 0, "need at least one bin");
+    let finite: Vec<f64> = values.iter().copied().filter(|v| v.is_finite()).collect();
+    if finite.len() < 2 {
+        return 0.0;
+    }
+    let lo = finite.iter().cloned().fold(f64::INFINITY, f64::min);
+    let hi = finite.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    if hi <= lo {
+        return 0.0;
+    }
+    let width = (hi - lo) / bins as f64;
+    let mut counts = vec![0usize; bins];
+    for v in &finite {
+        let mut b = ((v - lo) / width) as usize;
+        if b >= bins {
+            b = bins - 1; // v == hi lands in the last bin
+        }
+        counts[b] += 1;
+    }
+    let n = finite.len() as f64;
+    counts
+        .iter()
+        .filter(|&&c| c > 0)
+        .map(|&c| {
+            let p = c as f64 / n;
+            -p * p.log2()
+        })
+        .sum()
+}
+
+/// Rank attributes by descending entropy. `rows` yields each attribute's
+/// value vector; returns `(attribute index, entropy)` sorted highest first,
+/// ties broken by attribute index for determinism.
+pub fn rank_by_entropy<'a, I>(attributes: I, bins: usize) -> Vec<(usize, f64)>
+where
+    I: IntoIterator<Item = &'a [f64]>,
+{
+    let mut ranked: Vec<(usize, f64)> = attributes
+        .into_iter()
+        .enumerate()
+        .map(|(i, vals)| (i, entropy(vals, bins)))
+        .collect();
+    ranked.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+    ranked
+}
+
+/// The top-`m` attribute indexes by entropy.
+pub fn top_entropy_attributes<'a, I>(attributes: I, bins: usize, m: usize) -> Vec<usize>
+where
+    I: IntoIterator<Item = &'a [f64]>,
+{
+    rank_by_entropy(attributes, bins)
+        .into_iter()
+        .take(m)
+        .map(|(i, _)| i)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_attribute_has_zero_entropy() {
+        assert_eq!(entropy(&[4.0, 4.0, 4.0], 16), 0.0);
+        assert_eq!(entropy(&[], 16), 0.0);
+        assert_eq!(entropy(&[1.0], 16), 0.0);
+    }
+
+    #[test]
+    fn uniform_spread_has_high_entropy() {
+        let uniform: Vec<f64> = (0..64).map(|i| i as f64).collect();
+        let concentrated: Vec<f64> = (0..64)
+            .map(|i| if i == 0 { 100.0 } else { 0.0 })
+            .collect();
+        let hu = entropy(&uniform, 16);
+        let hc = entropy(&concentrated, 16);
+        assert!(hu > 3.9, "uniform entropy {hu}");
+        assert!(hc < 0.2, "concentrated entropy {hc}");
+    }
+
+    #[test]
+    fn entropy_is_bounded_by_log_bins() {
+        let vals: Vec<f64> = (0..1000).map(|i| (i % 97) as f64).collect();
+        let h = entropy(&vals, 8);
+        assert!(h <= 3.0 + 1e-9);
+    }
+
+    #[test]
+    fn ranking_prefers_varied_attributes() {
+        let flat = vec![5.0; 32];
+        let spread: Vec<f64> = (0..32).map(|i| i as f64).collect();
+        let mid: Vec<f64> = (0..32).map(|i| (i % 4) as f64).collect();
+        let attrs: Vec<&[f64]> = vec![&flat, &spread, &mid];
+        let ranked = rank_by_entropy(attrs, 16);
+        assert_eq!(ranked[0].0, 1);
+        assert_eq!(ranked[1].0, 2);
+        assert_eq!(ranked[2].0, 0);
+        let top = top_entropy_attributes(
+            vec![flat.as_slice(), spread.as_slice(), mid.as_slice()],
+            16,
+            2,
+        );
+        assert_eq!(top, vec![1, 2]);
+    }
+
+    #[test]
+    fn nan_values_are_ignored() {
+        let with_nan = [1.0, f64::NAN, 2.0, 3.0, 4.0];
+        let without = [1.0, 2.0, 3.0, 4.0];
+        assert!((entropy(&with_nan, 4) - entropy(&without, 4)).abs() < 1e-12);
+    }
+}

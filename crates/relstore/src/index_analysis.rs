@@ -1,0 +1,267 @@
+//! Index-budget analysis for populate() — the math behind thesis Table 3.1.
+//!
+//! With `n` tags total, `p` tags mentioned in a SUMY table, and `m` indexes
+//! built, the thesis models the number of *index hits* `w` (indexed tags
+//! that appear among the SUMY's `p` tags) binomially, treating each of the
+//! `p` tags as an independent draw that is indexed with probability `m/n`:
+//!
+//! ```text
+//! Prob(exactly w hits) = C(p, w) · (m/n)^w · (1 − m/n)^(p−w)
+//! ```
+//!
+//! Table 3.1 then reports, for each `w`, the smallest `m` such that
+//! `Prob(at least w hits) ≥ 0.999`.
+//!
+//! Because tags are in fact drawn *without* replacement, the exact
+//! distribution is hypergeometric; [`min_indexes_hypergeometric`] is
+//! provided alongside the thesis's binomial model. The exact model has
+//! lower variance, so it requires *fewer* indexes (13 vs 17 at `w = 1`
+//! under the thesis's parameters) — Table 3.1's binomial figures are
+//! conservative.
+
+/// A log-factorial table supporting stable binomial/hypergeometric tails.
+#[derive(Debug, Clone)]
+pub struct LnFactorial {
+    cumulative: Vec<f64>,
+}
+
+impl LnFactorial {
+    /// Precompute `ln(k!)` for `k = 0..=max`.
+    pub fn up_to(max: usize) -> LnFactorial {
+        let mut cumulative = Vec::with_capacity(max + 1);
+        cumulative.push(0.0);
+        let mut acc = 0.0;
+        for k in 1..=max {
+            acc += (k as f64).ln();
+            cumulative.push(acc);
+        }
+        LnFactorial { cumulative }
+    }
+
+    /// `ln(k!)`.
+    pub fn ln_factorial(&self, k: usize) -> f64 {
+        self.cumulative[k]
+    }
+
+    /// `ln C(n, k)`; `-inf` when `k > n`.
+    pub fn ln_choose(&self, n: usize, k: usize) -> f64 {
+        if k > n {
+            return f64::NEG_INFINITY;
+        }
+        self.ln_factorial(n) - self.ln_factorial(k) - self.ln_factorial(n - k)
+    }
+}
+
+/// `Prob(exactly w of the p SUMY tags are indexed)` under the thesis's
+/// binomial model with hit probability `m/n`.
+pub fn prob_exactly_w_binomial(
+    table: &LnFactorial,
+    n: usize,
+    p: usize,
+    m: usize,
+    w: usize,
+) -> f64 {
+    if w > p || m > n || n == 0 {
+        return 0.0;
+    }
+    let q = m as f64 / n as f64;
+    if q == 0.0 {
+        return if w == 0 { 1.0 } else { 0.0 };
+    }
+    if q == 1.0 {
+        return if w == p { 1.0 } else { 0.0 };
+    }
+    let ln_p = table.ln_choose(p, w) + w as f64 * q.ln() + (p - w) as f64 * (1.0 - q).ln();
+    ln_p.exp()
+}
+
+/// `Prob(at least w hits)` under the binomial model.
+pub fn prob_at_least_w_binomial(
+    table: &LnFactorial,
+    n: usize,
+    p: usize,
+    m: usize,
+    w: usize,
+) -> f64 {
+    let below: f64 = (0..w)
+        .map(|i| prob_exactly_w_binomial(table, n, p, m, i))
+        .sum();
+    (1.0 - below).clamp(0.0, 1.0)
+}
+
+/// `Prob(exactly w hits)` under the exact hypergeometric model: `p` tags
+/// drawn without replacement from `n`, of which `m` are indexed.
+pub fn prob_exactly_w_hypergeometric(
+    table: &LnFactorial,
+    n: usize,
+    p: usize,
+    m: usize,
+    w: usize,
+) -> f64 {
+    if w > m || w > p || p > n || m > n || p - w > n - m {
+        return 0.0;
+    }
+    let ln_p =
+        table.ln_choose(m, w) + table.ln_choose(n - m, p - w) - table.ln_choose(n, p);
+    ln_p.exp()
+}
+
+/// `Prob(at least w hits)` under the hypergeometric model.
+pub fn prob_at_least_w_hypergeometric(
+    table: &LnFactorial,
+    n: usize,
+    p: usize,
+    m: usize,
+    w: usize,
+) -> f64 {
+    let below: f64 = (0..w)
+        .map(|i| prob_exactly_w_hypergeometric(table, n, p, m, i))
+        .sum();
+    (1.0 - below).clamp(0.0, 1.0)
+}
+
+fn min_indexes_with(
+    prob: impl Fn(&LnFactorial, usize, usize, usize, usize) -> f64,
+    n: usize,
+    p: usize,
+    w: usize,
+    threshold: f64,
+) -> Option<usize> {
+    let table = LnFactorial::up_to(n.max(p));
+    (w..=n).find(|&m| prob(&table, n, p, m, w) >= threshold)
+}
+
+/// Smallest `m` such that `Prob(at least w hits) ≥ threshold` under the
+/// thesis's binomial model — one row of Table 3.1 via
+/// `min_indexes_binomial(60000, 25000, w, 0.999)`.
+pub fn min_indexes_binomial(n: usize, p: usize, w: usize, threshold: f64) -> Option<usize> {
+    min_indexes_with(prob_at_least_w_binomial, n, p, w, threshold)
+}
+
+/// Smallest `m` under the exact hypergeometric model.
+pub fn min_indexes_hypergeometric(
+    n: usize,
+    p: usize,
+    w: usize,
+    threshold: f64,
+) -> Option<usize> {
+    min_indexes_with(prob_at_least_w_hypergeometric, n, p, w, threshold)
+}
+
+/// One reproduced row of Table 3.1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Table31Row {
+    /// Required number of index hits `w`.
+    pub w: usize,
+    /// Smallest index budget `m` under the thesis's binomial model.
+    pub m_binomial: usize,
+    /// Smallest `m` under the exact hypergeometric model.
+    pub m_hypergeometric: usize,
+}
+
+/// Regenerate Table 3.1 for `w = 1..=max_w` at the thesis's parameters
+/// (`n` total tags, `p` SUMY tags, probability threshold).
+pub fn table_3_1(n: usize, p: usize, max_w: usize, threshold: f64) -> Vec<Table31Row> {
+    let table = LnFactorial::up_to(n.max(p));
+    let mut rows = Vec::with_capacity(max_w);
+    // Scan m upward once for each model; m is monotone in w.
+    let mut m_bin = 1usize;
+    let mut m_hyp = 1usize;
+    for w in 1..=max_w {
+        while prob_at_least_w_binomial(&table, n, p, m_bin, w) < threshold {
+            m_bin += 1;
+        }
+        while prob_at_least_w_hypergeometric(&table, n, p, m_hyp, w) < threshold {
+            m_hyp += 1;
+        }
+        rows.push(Table31Row {
+            w,
+            m_binomial: m_bin,
+            m_hypergeometric: m_hyp,
+        });
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ln_choose_small_cases() {
+        let t = LnFactorial::up_to(10);
+        assert!((t.ln_choose(5, 2).exp() - 10.0).abs() < 1e-9);
+        assert!((t.ln_choose(10, 0).exp() - 1.0).abs() < 1e-12);
+        assert_eq!(t.ln_choose(3, 4), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn binomial_distribution_sums_to_one() {
+        let t = LnFactorial::up_to(100);
+        let total: f64 = (0..=20)
+            .map(|w| prob_exactly_w_binomial(&t, 100, 20, 30, w))
+            .sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn hypergeometric_distribution_sums_to_one() {
+        let t = LnFactorial::up_to(100);
+        let total: f64 = (0..=20)
+            .map(|w| prob_exactly_w_hypergeometric(&t, 100, 20, 30, w))
+            .sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn at_least_is_monotone_in_m() {
+        let t = LnFactorial::up_to(60_000);
+        let mut prev = 0.0;
+        for m in [5, 10, 20, 40, 80] {
+            let p = prob_at_least_w_binomial(&t, 60_000, 25_000, m, 3);
+            assert!(p >= prev);
+            prev = p;
+        }
+    }
+
+    #[test]
+    fn reproduces_thesis_table_3_1_first_rows() {
+        // Thesis Table 3.1 (n = 60,000, p = 25,000, threshold 0.999):
+        // w = 1 → 17, w = 2 → 23, w = 3 → 27.
+        assert_eq!(min_indexes_binomial(60_000, 25_000, 1, 0.999), Some(17));
+        assert_eq!(min_indexes_binomial(60_000, 25_000, 2, 0.999), Some(23));
+        assert_eq!(min_indexes_binomial(60_000, 25_000, 3, 0.999), Some(27));
+    }
+
+    #[test]
+    fn reproduces_thesis_table_3_1_all_rows() {
+        let expected_m = [17, 23, 27, 32, 36, 40, 44, 48, 51, 55];
+        let rows = table_3_1(60_000, 25_000, 10, 0.999);
+        for (row, &m) in rows.iter().zip(&expected_m) {
+            assert_eq!(row.m_binomial, m, "w = {}", row.w);
+            // The exact without-replacement model has lower variance, so it
+            // never needs *more* indexes than the thesis's binomial model —
+            // i.e. Table 3.1 is conservative.
+            assert!(
+                row.m_hypergeometric <= row.m_binomial,
+                "hypergeometric needs more indexes at w = {}",
+                row.w
+            );
+            assert!(row.m_hypergeometric >= row.w);
+        }
+        // Both columns are monotone in w.
+        for pair in rows.windows(2) {
+            assert!(pair[1].m_binomial >= pair[0].m_binomial);
+            assert!(pair[1].m_hypergeometric >= pair[0].m_hypergeometric);
+        }
+    }
+
+    #[test]
+    fn degenerate_parameters() {
+        let t = LnFactorial::up_to(10);
+        assert_eq!(prob_exactly_w_binomial(&t, 10, 5, 0, 0), 1.0);
+        assert_eq!(prob_exactly_w_binomial(&t, 10, 5, 0, 1), 0.0);
+        assert_eq!(prob_exactly_w_binomial(&t, 10, 5, 10, 5), 1.0);
+        assert_eq!(prob_at_least_w_binomial(&t, 10, 5, 10, 0), 1.0);
+    }
+}

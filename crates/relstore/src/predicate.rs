@@ -1,0 +1,353 @@
+//! Row predicates for relational selection.
+//!
+//! Predicates evaluate with SQL three-valued logic collapsed to two values:
+//! a comparison against NULL is simply *false* (never true), which is the
+//! behaviour the GEA relies on when selecting non-NULL gap levels (§4.3.1
+//! step 7 removes overlapping-range tags by filtering out NULL gaps).
+
+use std::cmp::Ordering;
+use std::fmt;
+
+use crate::schema::Schema;
+use crate::table::{Table, TableError};
+use crate::value::Value;
+
+/// Comparison operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpOp {
+    /// Equal.
+    Eq,
+    /// Not equal.
+    Ne,
+    /// Less than.
+    Lt,
+    /// Less than or equal.
+    Le,
+    /// Greater than.
+    Gt,
+    /// Greater than or equal.
+    Ge,
+}
+
+impl CmpOp {
+    fn test(self, ord: Ordering) -> bool {
+        match self {
+            CmpOp::Eq => ord == Ordering::Equal,
+            CmpOp::Ne => ord != Ordering::Equal,
+            CmpOp::Lt => ord == Ordering::Less,
+            CmpOp::Le => ord != Ordering::Greater,
+            CmpOp::Gt => ord == Ordering::Greater,
+            CmpOp::Ge => ord != Ordering::Less,
+        }
+    }
+}
+
+impl fmt::Display for CmpOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            CmpOp::Eq => "=",
+            CmpOp::Ne => "<>",
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+        })
+    }
+}
+
+/// A boolean predicate over one row.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Predicate {
+    /// Always true.
+    True,
+    /// `column op constant`.
+    Cmp {
+        /// Column name.
+        column: String,
+        /// Operator.
+        op: CmpOp,
+        /// Right-hand constant.
+        value: Value,
+    },
+    /// `column BETWEEN lo AND hi` (inclusive).
+    Between {
+        /// Column name.
+        column: String,
+        /// Lower bound, inclusive.
+        lo: Value,
+        /// Upper bound, inclusive.
+        hi: Value,
+    },
+    /// `column IS NULL`.
+    IsNull(String),
+    /// `column IS NOT NULL`.
+    IsNotNull(String),
+    /// Conjunction.
+    And(Box<Predicate>, Box<Predicate>),
+    /// Disjunction.
+    Or(Box<Predicate>, Box<Predicate>),
+    /// Negation. NOT of a NULL-involving comparison stays false, matching
+    /// SQL's `NOT UNKNOWN = UNKNOWN → filtered out` behaviour.
+    Not(Box<Predicate>),
+}
+
+impl Predicate {
+    /// `column op value` shorthand.
+    pub fn cmp(column: &str, op: CmpOp, value: impl Into<Value>) -> Predicate {
+        Predicate::Cmp {
+            column: column.to_string(),
+            op,
+            value: value.into(),
+        }
+    }
+
+    /// `column = value` shorthand.
+    pub fn eq(column: &str, value: impl Into<Value>) -> Predicate {
+        Predicate::cmp(column, CmpOp::Eq, value)
+    }
+
+    /// `column BETWEEN lo AND hi` shorthand.
+    pub fn between(column: &str, lo: impl Into<Value>, hi: impl Into<Value>) -> Predicate {
+        Predicate::Between {
+            column: column.to_string(),
+            lo: lo.into(),
+            hi: hi.into(),
+        }
+    }
+
+    /// `self AND other`.
+    pub fn and(self, other: Predicate) -> Predicate {
+        Predicate::And(Box::new(self), Box::new(other))
+    }
+
+    /// `self OR other`.
+    pub fn or(self, other: Predicate) -> Predicate {
+        Predicate::Or(Box::new(self), Box::new(other))
+    }
+
+    /// `NOT self`.
+    #[allow(clippy::should_implement_trait)]
+    pub fn not(self) -> Predicate {
+        Predicate::Not(Box::new(self))
+    }
+
+    /// Validate that every referenced column exists.
+    pub fn validate(&self, schema: &Schema) -> Result<(), TableError> {
+        match self {
+            Predicate::True => Ok(()),
+            Predicate::Cmp { column, .. }
+            | Predicate::Between { column, .. }
+            | Predicate::IsNull(column)
+            | Predicate::IsNotNull(column) => {
+                schema.index_of(column)?;
+                Ok(())
+            }
+            Predicate::And(a, b) | Predicate::Or(a, b) => {
+                a.validate(schema)?;
+                b.validate(schema)
+            }
+            Predicate::Not(inner) => inner.validate(schema),
+        }
+    }
+
+    /// Evaluate against row `row` of `table`. Columns are resolved by name
+    /// on every call; hot paths should pre-validate and use
+    /// [`Predicate::compile`].
+    pub fn eval(&self, table: &Table, row: usize) -> Result<bool, TableError> {
+        match self {
+            Predicate::True => Ok(true),
+            Predicate::Cmp { column, op, value } => {
+                let cell = table.value_by_name(row, column)?;
+                Ok(cell.sql_cmp(value).map(|o| op.test(o)).unwrap_or(false))
+            }
+            Predicate::Between { column, lo, hi } => {
+                let cell = table.value_by_name(row, column)?;
+                let ge_lo = cell
+                    .sql_cmp(lo)
+                    .map(|o| o != Ordering::Less)
+                    .unwrap_or(false);
+                let le_hi = cell
+                    .sql_cmp(hi)
+                    .map(|o| o != Ordering::Greater)
+                    .unwrap_or(false);
+                Ok(ge_lo && le_hi)
+            }
+            Predicate::IsNull(column) => {
+                Ok(table.value_by_name(row, column)?.is_null())
+            }
+            Predicate::IsNotNull(column) => {
+                Ok(!table.value_by_name(row, column)?.is_null())
+            }
+            Predicate::And(a, b) => Ok(a.eval(table, row)? && b.eval(table, row)?),
+            Predicate::Or(a, b) => Ok(a.eval(table, row)? || b.eval(table, row)?),
+            Predicate::Not(inner) => Ok(!inner.eval(table, row)?),
+        }
+    }
+
+    /// Resolve column names to indexes once, returning a closure suitable
+    /// for scanning many rows.
+    pub fn compile<'t>(
+        &self,
+        table: &'t Table,
+    ) -> Result<CompiledPredicate<'t>, TableError> {
+        let node = self.compile_node(table.schema())?;
+        Ok(CompiledPredicate { table, node })
+    }
+
+    fn compile_node(&self, schema: &Schema) -> Result<Node, TableError> {
+        Ok(match self {
+            Predicate::True => Node::True,
+            Predicate::Cmp { column, op, value } => Node::Cmp {
+                col: schema.index_of(column)?,
+                op: *op,
+                value: value.clone(),
+            },
+            Predicate::Between { column, lo, hi } => Node::Between {
+                col: schema.index_of(column)?,
+                lo: lo.clone(),
+                hi: hi.clone(),
+            },
+            Predicate::IsNull(column) => Node::IsNull(schema.index_of(column)?),
+            Predicate::IsNotNull(column) => Node::IsNotNull(schema.index_of(column)?),
+            Predicate::And(a, b) => Node::And(
+                Box::new(a.compile_node(schema)?),
+                Box::new(b.compile_node(schema)?),
+            ),
+            Predicate::Or(a, b) => Node::Or(
+                Box::new(a.compile_node(schema)?),
+                Box::new(b.compile_node(schema)?),
+            ),
+            Predicate::Not(inner) => Node::Not(Box::new(inner.compile_node(schema)?)),
+        })
+    }
+}
+
+#[derive(Debug)]
+enum Node {
+    True,
+    Cmp { col: usize, op: CmpOp, value: Value },
+    Between { col: usize, lo: Value, hi: Value },
+    IsNull(usize),
+    IsNotNull(usize),
+    And(Box<Node>, Box<Node>),
+    Or(Box<Node>, Box<Node>),
+    Not(Box<Node>),
+}
+
+/// A predicate with column references resolved against one table.
+pub struct CompiledPredicate<'t> {
+    table: &'t Table,
+    node: Node,
+}
+
+impl CompiledPredicate<'_> {
+    /// Evaluate against one row.
+    pub fn matches(&self, row: usize) -> bool {
+        fn eval(node: &Node, table: &Table, row: usize) -> bool {
+            match node {
+                Node::True => true,
+                Node::Cmp { col, op, value } => table
+                    .value(row, *col)
+                    .sql_cmp(value)
+                    .map(|o| op.test(o))
+                    .unwrap_or(false),
+                Node::Between { col, lo, hi } => {
+                    let cell = table.value(row, *col);
+                    cell.sql_cmp(lo)
+                        .map(|o| o != Ordering::Less)
+                        .unwrap_or(false)
+                        && cell
+                            .sql_cmp(hi)
+                            .map(|o| o != Ordering::Greater)
+                            .unwrap_or(false)
+                }
+                Node::IsNull(col) => table.value(row, *col).is_null(),
+                Node::IsNotNull(col) => !table.value(row, *col).is_null(),
+                Node::And(a, b) => {
+                    eval(a, table, row) && eval(b, table, row)
+                }
+                Node::Or(a, b) => eval(a, table, row) || eval(b, table, row),
+                Node::Not(inner) => !eval(inner, table, row),
+            }
+        }
+        eval(&self.node, self.table, row)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Schema;
+    use crate::value::DataType;
+
+    fn table() -> Table {
+        let schema = Schema::from_pairs(&[
+            ("tag", DataType::Text),
+            ("gap", DataType::Float),
+        ])
+        .unwrap();
+        let mut t = Table::new(schema);
+        t.push_row(vec!["t1".into(), (-1.0).into()]).unwrap();
+        t.push_row(vec!["t2".into(), Value::Null]).unwrap();
+        t.push_row(vec!["t3".into(), 2.0.into()]).unwrap();
+        t
+    }
+
+    #[test]
+    fn comparisons_skip_null() {
+        let t = table();
+        let p = Predicate::cmp("gap", CmpOp::Lt, 0.0);
+        let hits: Vec<usize> = (0..3).filter(|&r| p.eval(&t, r).unwrap()).collect();
+        assert_eq!(hits, vec![0]);
+        // NOT (gap < 0) also excludes the NULL row only via Not semantics:
+        let np = p.not();
+        let hits: Vec<usize> = (0..3).filter(|&r| np.eval(&t, r).unwrap()).collect();
+        assert_eq!(hits, vec![1, 2]); // two-valued NOT flips the false
+    }
+
+    #[test]
+    fn is_null_filters() {
+        let t = table();
+        let p = Predicate::IsNotNull("gap".to_string());
+        let hits: Vec<usize> = (0..3).filter(|&r| p.eval(&t, r).unwrap()).collect();
+        assert_eq!(hits, vec![0, 2]);
+    }
+
+    #[test]
+    fn between_is_inclusive() {
+        let t = table();
+        let p = Predicate::between("gap", -1.0, 2.0);
+        let hits: Vec<usize> = (0..3).filter(|&r| p.eval(&t, r).unwrap()).collect();
+        assert_eq!(hits, vec![0, 2]);
+    }
+
+    #[test]
+    fn boolean_combinators() {
+        let t = table();
+        let p = Predicate::eq("tag", "t1").or(Predicate::eq("tag", "t3"));
+        let hits: Vec<usize> = (0..3).filter(|&r| p.eval(&t, r).unwrap()).collect();
+        assert_eq!(hits, vec![0, 2]);
+        let p = Predicate::eq("tag", "t1").and(Predicate::cmp("gap", CmpOp::Gt, 0.0));
+        let hits: Vec<usize> = (0..3).filter(|&r| p.eval(&t, r).unwrap()).collect();
+        assert!(hits.is_empty());
+    }
+
+    #[test]
+    fn unknown_column_is_an_error() {
+        let t = table();
+        let p = Predicate::eq("nope", 1);
+        assert!(p.eval(&t, 0).is_err());
+        assert!(p.validate(t.schema()).is_err());
+    }
+
+    #[test]
+    fn compiled_matches_interpreted() {
+        let t = table();
+        let p = Predicate::between("gap", -5.0, 5.0)
+            .and(Predicate::eq("tag", "t3").not());
+        let compiled = p.compile(&t).unwrap();
+        for r in 0..3 {
+            assert_eq!(compiled.matches(r), p.eval(&t, r).unwrap());
+        }
+    }
+}

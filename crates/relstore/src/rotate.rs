@@ -1,0 +1,180 @@
+//! Physical rotation of wide relations (thesis §4.6.1, Figure 4.30).
+//!
+//! The conceptual TAGS relation has one column per tag — ~60,000 columns,
+//! far beyond what a 2001 DBMS (or a sane schema) supports. The thesis
+//! "rotates" the table: tags become physical rows and libraries become
+//! columns. Standard operations must then be re-interpreted: a *sum over a
+//! tag* in the conceptual view is a *row sum* in the physical view.
+//!
+//! [`rotate`] performs that transposition for any relation with a text key
+//! column and numeric value columns; rotating twice returns the original
+//! relation (with the key column renamed to the given label).
+
+use crate::schema::{Column, Schema};
+use crate::table::{Table, TableError};
+use crate::value::{DataType, Value};
+
+/// Transpose `table` around `key_column`.
+///
+/// Requirements: `key_column` is `TEXT` with distinct, non-NULL values, and
+/// every other column is numeric. The output has a `TEXT` column named
+/// `new_key_name` holding the former column names, and one `FLOAT` column
+/// per former row, named by that row's key value.
+pub fn rotate(table: &Table, key_column: &str, new_key_name: &str) -> Result<Table, TableError> {
+    let key_idx = table.schema().index_of(key_column)?;
+    if table.schema().column(key_idx).dtype != DataType::Text {
+        return Err(TableError::TypeMismatch {
+            column: key_column.to_string(),
+            expected: DataType::Text,
+            value: Value::Null,
+        });
+    }
+
+    // Former rows become columns, named by their key.
+    let mut out_cols = vec![Column::new(new_key_name, DataType::Text)];
+    let mut keys = Vec::with_capacity(table.n_rows());
+    for r in 0..table.n_rows() {
+        let key = table
+            .value(r, key_idx)
+            .as_str()
+            .ok_or_else(|| TableError::TypeMismatch {
+                column: key_column.to_string(),
+                expected: DataType::Text,
+                value: table.value(r, key_idx).clone(),
+            })?
+            .to_string();
+        out_cols.push(Column::new(&key, DataType::Float));
+        keys.push(key);
+    }
+    let schema = Schema::new(out_cols).map_err(TableError::Schema)?;
+    let mut out = Table::new(schema);
+
+    // Former value columns become rows.
+    for (c, col_def) in table.schema().columns().iter().enumerate() {
+        if c == key_idx {
+            continue;
+        }
+        let mut row: Vec<Value> = Vec::with_capacity(table.n_rows() + 1);
+        row.push(Value::Text(col_def.name.clone()));
+        for r in 0..table.n_rows() {
+            let v = table.value(r, c);
+            row.push(match v.as_f64() {
+                Some(f) => Value::Float(f),
+                None if v.is_null() => Value::Null,
+                None => {
+                    return Err(TableError::TypeMismatch {
+                        column: col_def.name.clone(),
+                        expected: DataType::Float,
+                        value: v.clone(),
+                    })
+                }
+            });
+        }
+        out.push_row(row)?;
+    }
+    Ok(out)
+}
+
+/// Sum of one physical row — a conceptual per-tag total in the rotated
+/// layout (§4.6.1's example of an adjusted operation).
+pub fn row_sum(table: &Table, row: usize, skip_column: &str) -> Result<f64, TableError> {
+    let skip = table.schema().index_of(skip_column)?;
+    let mut sum = 0.0;
+    for c in 0..table.n_cols() {
+        if c == skip {
+            continue;
+        }
+        if let Some(v) = table.value(row, c).as_f64() {
+            sum += v;
+        }
+    }
+    Ok(sum)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The conceptual structure of Figure 4.30(a): libraries as rows.
+    fn conceptual() -> Table {
+        let schema = Schema::from_pairs(&[
+            ("LibraryName", DataType::Text),
+            ("AAAAAAAAAA", DataType::Float),
+            ("AAAAAAAAAC", DataType::Float),
+        ])
+        .unwrap();
+        let mut t = Table::new(schema);
+        t.extend_rows(vec![
+            vec!["Lib1".into(), 1843.0.into(), 3.0.into()],
+            vec!["Lib2".into(), 1418.0.into(), 7.0.into()],
+            vec!["Lib3".into(), 1251.0.into(), 18.0.into()],
+        ])
+        .unwrap();
+        t
+    }
+
+    #[test]
+    fn rotation_matches_figure_4_30() {
+        let t = conceptual();
+        let r = rotate(&t, "LibraryName", "Tag").unwrap();
+        // Physical structure (b): tags as rows, libraries as columns.
+        assert_eq!(r.n_rows(), 2);
+        assert_eq!(r.n_cols(), 4);
+        assert_eq!(r.value_by_name(0, "Tag").unwrap().as_str(), Some("AAAAAAAAAA"));
+        assert_eq!(r.value_by_name(0, "Lib2").unwrap().as_f64(), Some(1418.0));
+        assert_eq!(r.value_by_name(1, "Lib3").unwrap().as_f64(), Some(18.0));
+    }
+
+    #[test]
+    fn double_rotation_is_identity() {
+        let t = conceptual();
+        let r = rotate(&t, "LibraryName", "Tag").unwrap();
+        let rr = rotate(&r, "Tag", "LibraryName").unwrap();
+        assert_eq!(rr.n_rows(), t.n_rows());
+        assert_eq!(rr.n_cols(), t.n_cols());
+        for r_i in 0..t.n_rows() {
+            for c in 0..t.n_cols() {
+                let orig = t.value(r_i, c);
+                let back = rr.value(r_i, c);
+                match (orig.as_f64(), back.as_f64()) {
+                    (Some(a), Some(b)) => assert_eq!(a, b),
+                    _ => assert_eq!(orig.as_str(), back.as_str()),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn conceptual_tag_sum_is_physical_row_sum() {
+        let t = conceptual();
+        let r = rotate(&t, "LibraryName", "Tag").unwrap();
+        // Sum over tag AAAAAAAAAA across all libraries.
+        let total = row_sum(&r, 0, "Tag").unwrap();
+        assert_eq!(total, 1843.0 + 1418.0 + 1251.0);
+    }
+
+    #[test]
+    fn rotation_rejects_non_numeric_values() {
+        let schema = Schema::from_pairs(&[
+            ("k", DataType::Text),
+            ("v", DataType::Text),
+        ])
+        .unwrap();
+        let mut t = Table::new(schema);
+        t.push_row(vec!["a".into(), "oops".into()]).unwrap();
+        assert!(rotate(&t, "k", "col").is_err());
+    }
+
+    #[test]
+    fn rotation_preserves_nulls() {
+        let schema = Schema::from_pairs(&[
+            ("k", DataType::Text),
+            ("v", DataType::Float),
+        ])
+        .unwrap();
+        let mut t = Table::new(schema);
+        t.push_row(vec!["a".into(), Value::Null]).unwrap();
+        let r = rotate(&t, "k", "col").unwrap();
+        assert!(r.value_by_name(0, "a").unwrap().is_null());
+    }
+}

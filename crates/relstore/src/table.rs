@@ -1,0 +1,317 @@
+//! Columnar tables.
+//!
+//! Storage is column-major: each column is a `Vec<Value>`. This mirrors the
+//! access pattern of GEA's analysis operators, which scan one attribute at a
+//! time (aggregation over a tag, entropy over a column, range predicates),
+//! and it is what makes the thesis's "rotated" TAGS layout (§4.6.1) pay off:
+//! a tag's expression levels across all libraries are one contiguous column
+//! scan away.
+
+use std::fmt;
+
+use crate::schema::{Schema, SchemaError};
+use crate::value::{DataType, Value};
+
+/// Zero-based row identifier within one table.
+pub type RowId = usize;
+
+/// Errors raised by table mutation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TableError {
+    /// Schema lookup failed.
+    Schema(SchemaError),
+    /// A row had the wrong number of values.
+    RowArity {
+        /// Values provided.
+        got: usize,
+        /// Columns in the schema.
+        expected: usize,
+    },
+    /// A value's type disagreed with its column's declared type.
+    TypeMismatch {
+        /// Offending column name.
+        column: String,
+        /// Declared column type.
+        expected: DataType,
+        /// The value that was rejected.
+        value: Value,
+    },
+}
+
+impl From<SchemaError> for TableError {
+    fn from(e: SchemaError) -> TableError {
+        TableError::Schema(e)
+    }
+}
+
+impl fmt::Display for TableError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TableError::Schema(e) => write!(f, "{e}"),
+            TableError::RowArity { got, expected } => {
+                write!(f, "row has {got} values; schema has {expected} columns")
+            }
+            TableError::TypeMismatch {
+                column,
+                expected,
+                value,
+            } => write!(
+                f,
+                "value {value} does not fit column {column:?} of type {expected}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for TableError {}
+
+/// A columnar relation instance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table {
+    schema: Schema,
+    columns: Vec<Vec<Value>>,
+    n_rows: usize,
+}
+
+impl Table {
+    /// Create an empty table with the given schema.
+    pub fn new(schema: Schema) -> Table {
+        let columns = vec![Vec::new(); schema.len()];
+        Table {
+            schema,
+            columns,
+            n_rows: 0,
+        }
+    }
+
+    /// The table's schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Number of rows.
+    pub fn n_rows(&self) -> usize {
+        self.n_rows
+    }
+
+    /// Number of columns.
+    pub fn n_cols(&self) -> usize {
+        self.schema.len()
+    }
+
+    /// Whether the table has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.n_rows == 0
+    }
+
+    /// Append a row, validating arity and types (NULL fits any column).
+    pub fn push_row(&mut self, row: Vec<Value>) -> Result<RowId, TableError> {
+        if row.len() != self.schema.len() {
+            return Err(TableError::RowArity {
+                got: row.len(),
+                expected: self.schema.len(),
+            });
+        }
+        for (i, v) in row.iter().enumerate() {
+            if let Some(t) = v.data_type() {
+                let declared = self.schema.column(i).dtype;
+                let compatible = t == declared
+                    || (t == DataType::Int && declared == DataType::Float);
+                if !compatible {
+                    return Err(TableError::TypeMismatch {
+                        column: self.schema.column(i).name.clone(),
+                        expected: declared,
+                        value: v.clone(),
+                    });
+                }
+            }
+        }
+        for (col, v) in self.columns.iter_mut().zip(row) {
+            col.push(v);
+        }
+        let id = self.n_rows;
+        self.n_rows += 1;
+        Ok(id)
+    }
+
+    /// Append many rows.
+    pub fn extend_rows<I>(&mut self, rows: I) -> Result<(), TableError>
+    where
+        I: IntoIterator<Item = Vec<Value>>,
+    {
+        for row in rows {
+            self.push_row(row)?;
+        }
+        Ok(())
+    }
+
+    /// The value at `(row, column index)`.
+    pub fn value(&self, row: RowId, col: usize) -> &Value {
+        &self.columns[col][row]
+    }
+
+    /// The value at `(row, column name)`.
+    pub fn value_by_name(&self, row: RowId, name: &str) -> Result<&Value, TableError> {
+        let idx = self.schema.index_of(name)?;
+        Ok(self.value(row, idx))
+    }
+
+    /// One whole column by index.
+    pub fn column(&self, col: usize) -> &[Value] {
+        &self.columns[col]
+    }
+
+    /// One whole column by name.
+    pub fn column_by_name(&self, name: &str) -> Result<&[Value], TableError> {
+        let idx = self.schema.index_of(name)?;
+        Ok(self.column(idx))
+    }
+
+    /// Materialize one row as a `Vec<Value>`.
+    pub fn row(&self, row: RowId) -> Vec<Value> {
+        self.columns.iter().map(|c| c[row].clone()).collect()
+    }
+
+    /// Iterate all rows, materializing each.
+    pub fn rows(&self) -> impl Iterator<Item = Vec<Value>> + '_ {
+        (0..self.n_rows).map(|r| self.row(r))
+    }
+
+    /// A new table containing only the rows whose ids appear in `keep`, in
+    /// the given order.
+    pub fn gather(&self, keep: &[RowId]) -> Table {
+        let mut columns = Vec::with_capacity(self.columns.len());
+        for col in &self.columns {
+            columns.push(keep.iter().map(|&r| col[r].clone()).collect());
+        }
+        Table {
+            schema: self.schema.clone(),
+            columns,
+            n_rows: keep.len(),
+        }
+    }
+
+    /// Render the first `limit` rows as an aligned text grid (the thesis's
+    /// GUI lists, in terminal form).
+    pub fn render(&self, limit: usize) -> String {
+        let headers: Vec<String> = self
+            .schema
+            .columns()
+            .iter()
+            .map(|c| c.name.clone())
+            .collect();
+        let shown = self.n_rows.min(limit);
+        let mut cells: Vec<Vec<String>> = Vec::with_capacity(shown);
+        for r in 0..shown {
+            cells.push(
+                (0..self.n_cols())
+                    .map(|c| self.value(r, c).to_string())
+                    .collect(),
+            );
+        }
+        let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+        for row in &cells {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let write_row = |out: &mut String, row: &[String]| {
+            for (i, (cell, w)) in row.iter().zip(&widths).enumerate() {
+                if i > 0 {
+                    out.push_str("  ");
+                }
+                out.push_str(cell);
+                out.extend(std::iter::repeat_n(' ', w - cell.len()));
+            }
+            out.push('\n');
+        };
+        write_row(&mut out, &headers);
+        let rule: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+        write_row(&mut out, &rule);
+        for row in &cells {
+            write_row(&mut out, row);
+        }
+        if self.n_rows > shown {
+            out.push_str(&format!("... ({} more rows)\n", self.n_rows - shown));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Column;
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            Column::new("name", DataType::Text),
+            Column::new("n", DataType::Int),
+            Column::new("x", DataType::Float),
+        ])
+        .unwrap()
+    }
+
+    fn table() -> Table {
+        let mut t = Table::new(schema());
+        t.push_row(vec!["a".into(), 1.into(), 1.5.into()]).unwrap();
+        t.push_row(vec!["b".into(), 2.into(), Value::Null]).unwrap();
+        t.push_row(vec!["c".into(), 3.into(), 3.5.into()]).unwrap();
+        t
+    }
+
+    #[test]
+    fn push_and_read_back() {
+        let t = table();
+        assert_eq!(t.n_rows(), 3);
+        assert_eq!(t.value(1, 0), &Value::Text("b".into()));
+        assert_eq!(t.value_by_name(2, "x").unwrap(), &Value::Float(3.5));
+        assert!(t.value(1, 2).is_null());
+    }
+
+    #[test]
+    fn arity_and_type_validation() {
+        let mut t = Table::new(schema());
+        assert!(matches!(
+            t.push_row(vec!["a".into()]),
+            Err(TableError::RowArity { got: 1, expected: 3 })
+        ));
+        assert!(matches!(
+            t.push_row(vec![1.into(), 1.into(), 1.5.into()]),
+            Err(TableError::TypeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn int_widens_into_float_column() {
+        let mut t = Table::new(schema());
+        t.push_row(vec!["a".into(), 1.into(), Value::Int(2)]).unwrap();
+        assert_eq!(t.value(0, 2).as_f64(), Some(2.0));
+    }
+
+    #[test]
+    fn null_fits_any_column() {
+        let mut t = Table::new(schema());
+        t.push_row(vec![Value::Null, Value::Null, Value::Null]).unwrap();
+        assert_eq!(t.n_rows(), 1);
+    }
+
+    #[test]
+    fn gather_preserves_order() {
+        let t = table();
+        let g = t.gather(&[2, 0]);
+        assert_eq!(g.n_rows(), 2);
+        assert_eq!(g.value(0, 0), &Value::Text("c".into()));
+        assert_eq!(g.value(1, 0), &Value::Text("a".into()));
+    }
+
+    #[test]
+    fn render_produces_grid() {
+        let t = table();
+        let s = t.render(2);
+        assert!(s.contains("name"));
+        assert!(s.contains("1 more rows"));
+        assert!(s.lines().count() >= 4);
+    }
+}

@@ -1,0 +1,199 @@
+//! Property-based tests for the relational algebra, CSV round-tripping and
+//! physical rotation.
+
+use proptest::prelude::*;
+
+use gea_relstore::algebra::{
+    aggregate, difference, distinct, equi_join, project, select, sort, union, AggExpr,
+    AggFunc, SortKey,
+};
+use gea_relstore::csv::{export_csv, import_csv};
+use gea_relstore::predicate::{CmpOp, Predicate};
+use gea_relstore::rotate::rotate;
+use gea_relstore::schema::Schema;
+use gea_relstore::table::Table;
+use gea_relstore::value::{DataType, Value};
+
+fn test_schema() -> Schema {
+    Schema::from_pairs(&[
+        ("name", DataType::Text),
+        ("group", DataType::Int),
+        ("x", DataType::Float),
+    ])
+    .unwrap()
+}
+
+fn value_row() -> impl Strategy<Value = (String, i64, Option<f64>)> {
+    (
+        "[a-zA-Z,\"\\- ]{0,12}",
+        0i64..5,
+        prop::option::of(-100.0f64..100.0),
+    )
+}
+
+fn arbitrary_table() -> impl Strategy<Value = Table> {
+    prop::collection::vec(value_row(), 0..25).prop_map(|rows| {
+        let mut t = Table::new(test_schema());
+        for (name, group, x) in rows {
+            t.push_row(vec![
+                Value::Text(name),
+                Value::Int(group),
+                x.map(Value::Float).unwrap_or(Value::Null),
+            ])
+            .unwrap();
+        }
+        t
+    })
+}
+
+proptest! {
+    #[test]
+    fn select_conjunction_composes(t in arbitrary_table(), lo in -50.0f64..0.0, hi in 0.0f64..50.0) {
+        let p1 = Predicate::cmp("x", CmpOp::Ge, lo);
+        let p2 = Predicate::cmp("x", CmpOp::Le, hi);
+        let combined = select(&t, &p1.clone().and(p2.clone())).unwrap();
+        let chained = select(&select(&t, &p1).unwrap(), &p2).unwrap();
+        prop_assert_eq!(combined, chained);
+    }
+
+    #[test]
+    fn select_never_invents_rows(t in arbitrary_table()) {
+        let p = Predicate::cmp("group", CmpOp::Eq, 2);
+        let s = select(&t, &p).unwrap();
+        prop_assert!(s.n_rows() <= t.n_rows());
+        // Every selected row exists in the input.
+        let rows: Vec<Vec<Value>> = t.rows().collect();
+        for r in s.rows() {
+            prop_assert!(rows.contains(&r));
+        }
+    }
+
+    #[test]
+    fn projection_preserves_row_count(t in arbitrary_table()) {
+        let p = project(&t, &["x", "name"]).unwrap();
+        prop_assert_eq!(p.n_rows(), t.n_rows());
+        prop_assert_eq!(p.n_cols(), 2);
+        prop_assert_eq!(p.schema().column(0).name.as_str(), "x");
+    }
+
+    #[test]
+    fn union_and_difference_counts(a in arbitrary_table(), b in arbitrary_table()) {
+        let u = union(&a, &b).unwrap();
+        prop_assert_eq!(u.n_rows(), a.n_rows() + b.n_rows());
+        let d = difference(&a, &b).unwrap();
+        prop_assert!(d.n_rows() <= a.n_rows());
+        // difference(a, a) is empty; difference(a, empty) = a.
+        prop_assert_eq!(difference(&a, &a).unwrap().n_rows(), 0);
+        let empty = Table::new(test_schema());
+        prop_assert_eq!(difference(&a, &empty).unwrap(), a);
+    }
+
+    #[test]
+    fn distinct_is_idempotent(t in arbitrary_table()) {
+        let once = distinct(&t);
+        let twice = distinct(&once);
+        prop_assert_eq!(&once, &twice);
+        prop_assert!(once.n_rows() <= t.n_rows());
+    }
+
+    #[test]
+    fn sort_is_a_permutation_and_ordered(t in arbitrary_table()) {
+        let s = sort(&t, &[SortKey::asc("x"), SortKey::desc("group")]).unwrap();
+        prop_assert_eq!(s.n_rows(), t.n_rows());
+        // Ordered by the primary key under sort_cmp.
+        for w in (0..s.n_rows()).collect::<Vec<_>>().windows(2) {
+            let a = s.value(w[0], 2);
+            let b = s.value(w[1], 2);
+            prop_assert!(a.sort_cmp(b) != std::cmp::Ordering::Greater);
+        }
+        // Same multiset of rows.
+        let mut orig: Vec<String> = t.rows().map(|r| format!("{r:?}")).collect();
+        let mut sorted_rows: Vec<String> = s.rows().map(|r| format!("{r:?}")).collect();
+        orig.sort();
+        sorted_rows.sort();
+        prop_assert_eq!(orig, sorted_rows);
+    }
+
+    #[test]
+    fn group_by_partitions_rows(t in arbitrary_table()) {
+        let g = aggregate(
+            &t,
+            &["group"],
+            &[AggExpr::new(AggFunc::Count, "name", "n")],
+        )
+        .unwrap();
+        let total: i64 = (0..g.n_rows())
+            .map(|r| g.value_by_name(r, "n").unwrap().as_i64().unwrap())
+            .sum();
+        prop_assert_eq!(total, t.n_rows() as i64);
+        // No duplicate groups.
+        let mut keys: Vec<i64> = (0..g.n_rows())
+            .map(|r| g.value_by_name(r, "group").unwrap().as_i64().unwrap())
+            .collect();
+        let before = keys.len();
+        keys.sort_unstable();
+        keys.dedup();
+        prop_assert_eq!(keys.len(), before);
+    }
+
+    #[test]
+    fn join_with_distinct_right_keys_bounds_output(t in arbitrary_table()) {
+        // Right side: one row per group id.
+        let schema = Schema::from_pairs(&[("gid", DataType::Int), ("label", DataType::Text)]).unwrap();
+        let mut right = Table::new(schema);
+        for gid in 0..5i64 {
+            right
+                .push_row(vec![Value::Int(gid), Value::Text(format!("g{gid}"))])
+                .unwrap();
+        }
+        let j = equi_join(&t, &right, "group", "gid", "r_").unwrap();
+        // Every left row matches exactly one right row.
+        prop_assert_eq!(j.n_rows(), t.n_rows());
+        prop_assert!(j.schema().index_of("label").is_ok());
+    }
+
+    #[test]
+    fn csv_roundtrip_arbitrary_tables(t in arbitrary_table()) {
+        let mut buf = Vec::new();
+        export_csv(&t, &mut buf).unwrap();
+        let back = import_csv(test_schema(), &mut buf.as_slice()).unwrap();
+        prop_assert_eq!(back, t);
+    }
+
+    #[test]
+    fn rotation_roundtrips_numeric_tables(
+        names in prop::collection::btree_set("[a-z]{3,8}", 1..6),
+        width in 1usize..5,
+    ) {
+        // Build (key TEXT, v0..v{width} FLOAT) with distinct keys.
+        let mut cols = vec![("k".to_string(), DataType::Text)];
+        for i in 0..width {
+            cols.push((format!("v{i}"), DataType::Float));
+        }
+        let pairs: Vec<(&str, DataType)> = cols.iter().map(|(n, t)| (n.as_str(), *t)).collect();
+        let schema = Schema::from_pairs(&pairs).unwrap();
+        let mut t = Table::new(schema);
+        for (i, name) in names.iter().enumerate() {
+            let mut row: Vec<Value> = vec![Value::Text(name.clone())];
+            for j in 0..width {
+                row.push(Value::Float((i * width + j) as f64));
+            }
+            t.push_row(row).unwrap();
+        }
+        let rotated = rotate(&t, "k", "col").unwrap();
+        prop_assert_eq!(rotated.n_rows(), width);
+        prop_assert_eq!(rotated.n_cols(), names.len() + 1);
+        let back = rotate(&rotated, "col", "k").unwrap();
+        prop_assert_eq!(back.n_rows(), t.n_rows());
+        for r in 0..t.n_rows() {
+            for c in 0..t.n_cols() {
+                let orig = t.value(r, c);
+                let restored = back.value(r, c);
+                match (orig.as_f64(), restored.as_f64()) {
+                    (Some(a), Some(b)) => prop_assert_eq!(a, b),
+                    _ => prop_assert_eq!(orig.as_str(), restored.as_str()),
+                }
+            }
+        }
+    }
+}

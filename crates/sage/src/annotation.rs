@@ -1,0 +1,467 @@
+//! The Expression Analysis Database (EADB): integrated annotation lookup.
+//!
+//! Thesis §4.4.4.1 and §5.2 integrate GEA with external annotation
+//! databases via relational joins: UNIGENE (tag → gene), SWISSPROT (gene →
+//! protein sequence), PFAM (protein → family), KEGG (gene → pathway),
+//! GENBANK (gene → DNA sequence), OMIM (gene → disease) and PUBMED (gene →
+//! publications). Those 2001-era downloads are unavailable, so this module
+//! synthesizes a deterministic catalog with the same schema and cardinality
+//! shape: tag → gene is many-to-one and *partial* ("there are tags with no
+//! known corresponding genes", §2.2.3), while the per-gene annotations are
+//! one-to-one or one-to-many.
+
+use std::collections::BTreeMap;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::generate::GroundTruth;
+use crate::tag::Tag;
+
+/// One UNIGENE-style record: a gene-oriented cluster.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GeneRecord {
+    /// Gene symbol / description, e.g. `aldolase C`.
+    pub gene: String,
+    /// UNIGENE cluster id, e.g. `Hs.155247`.
+    pub unigene_id: String,
+}
+
+/// One SWISSPROT-style record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProteinRecord {
+    /// SWISSPROT accession, e.g. `P09972`.
+    pub accession: String,
+    /// Amino-acid sequence (single-letter codes).
+    pub sequence: String,
+}
+
+/// One PFAM-style record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FamilyRecord {
+    /// PFAM family id, e.g. `PF00274`.
+    pub family_id: String,
+    /// Family name.
+    pub name: String,
+}
+
+/// One KEGG-style record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PathwayRecord {
+    /// KEGG pathway id, e.g. `hsa00010`.
+    pub pathway_id: String,
+    /// Pathway name.
+    pub name: String,
+}
+
+/// One PUBMED-style record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Publication {
+    /// PubMed id.
+    pub pmid: u32,
+    /// Title.
+    pub title: String,
+    /// Journal name.
+    pub journal: String,
+    /// Publication year.
+    pub year: u16,
+}
+
+/// One OMIM-style record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiseaseRecord {
+    /// OMIM id.
+    pub omim_id: u32,
+    /// Disease name.
+    pub name: String,
+}
+
+/// The full annotation chain for a tag (Figure 4.22's search result).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct EadbReport {
+    /// The gene the tag maps to, if any.
+    pub gene: Option<GeneRecord>,
+    /// The gene's protein, if annotated.
+    pub protein: Option<ProteinRecord>,
+    /// The protein's family, if classified.
+    pub family: Option<FamilyRecord>,
+    /// Pathways the gene participates in.
+    pub pathways: Vec<PathwayRecord>,
+    /// The gene's DNA (GENBANK) accession, if any.
+    pub genbank_accession: Option<String>,
+    /// Diseases linked to the gene.
+    pub diseases: Vec<DiseaseRecord>,
+    /// Publications studying the gene.
+    pub publications: Vec<Publication>,
+}
+
+/// An in-memory annotation catalog supporting the §5.2 join queries.
+#[derive(Debug, Clone, Default)]
+pub struct AnnotationCatalog {
+    tag_to_gene: BTreeMap<Tag, String>,
+    genes: BTreeMap<String, GeneRecord>,
+    gene_to_protein: BTreeMap<String, ProteinRecord>,
+    protein_to_family: BTreeMap<String, FamilyRecord>,
+    gene_to_pathways: BTreeMap<String, Vec<PathwayRecord>>,
+    gene_to_genbank: BTreeMap<String, String>,
+    gene_to_diseases: BTreeMap<String, Vec<DiseaseRecord>>,
+    gene_to_publications: BTreeMap<String, Vec<Publication>>,
+}
+
+const AMINO_ACIDS: &[u8] = b"ACDEFGHIKLMNPQRSTVWY";
+
+const PATHWAY_NAMES: &[&str] = &[
+    "Glycolysis / Gluconeogenesis",
+    "Citrate cycle (TCA cycle)",
+    "Oxidative phosphorylation",
+    "Cell cycle",
+    "Apoptosis",
+    "p53 signaling pathway",
+    "MAPK signaling pathway",
+    "Wnt signaling pathway",
+    "DNA replication",
+    "Ribosome",
+];
+
+const JOURNALS: &[&str] = &[
+    "Science",
+    "Nature",
+    "Cell",
+    "Proc. Natl. Acad. Sci. USA",
+    "Genome Research",
+    "Nucleic Acids Research",
+];
+
+const DISEASES: &[&str] = &[
+    "glioblastoma multiforme",
+    "breast carcinoma",
+    "colorectal adenocarcinoma",
+    "prostate adenocarcinoma",
+    "ovarian carcinoma",
+    "pancreatic carcinoma",
+    "renal cell carcinoma",
+    "melanoma",
+];
+
+impl AnnotationCatalog {
+    /// Create an empty catalog.
+    pub fn new() -> AnnotationCatalog {
+        AnnotationCatalog::default()
+    }
+
+    /// Synthesize a deterministic catalog covering the planted genes of a
+    /// generated corpus. `coverage` controls what fraction of genes receive
+    /// each downstream annotation (UNIGENE's real coverage is partial).
+    pub fn synthesize(truth: &GroundTruth, seed: u64, coverage: f64) -> AnnotationCatalog {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut catalog = AnnotationCatalog::new();
+        for (i, planted) in truth.genes.iter().enumerate() {
+            // A small fraction of tags remain unmapped, as in UNIGENE.
+            if !rng.gen_bool(coverage) {
+                continue;
+            }
+            let gene = planted.gene.clone();
+            catalog.tag_to_gene.insert(planted.tag, gene.clone());
+            catalog.genes.insert(
+                gene.clone(),
+                GeneRecord {
+                    gene: gene.clone(),
+                    unigene_id: format!("Hs.{}", 100_000 + i),
+                },
+            );
+            // Protein and family.
+            if rng.gen_bool(coverage) {
+                let accession = format!("P{:05}", rng.gen_range(10_000..99_999));
+                let len = rng.gen_range(120..480);
+                let sequence: String = (0..len)
+                    .map(|_| AMINO_ACIDS[rng.gen_range(0..AMINO_ACIDS.len())] as char)
+                    .collect();
+                catalog.gene_to_protein.insert(
+                    gene.clone(),
+                    ProteinRecord {
+                        accession: accession.clone(),
+                        sequence,
+                    },
+                );
+                if rng.gen_bool(coverage) {
+                    catalog.protein_to_family.insert(
+                        accession,
+                        FamilyRecord {
+                            family_id: format!("PF{:05}", rng.gen_range(1..20_000)),
+                            name: format!("{gene} domain family"),
+                        },
+                    );
+                }
+            }
+            // Pathways (0–3).
+            let n_paths = rng.gen_range(0..=3);
+            let mut paths = Vec::new();
+            for _ in 0..n_paths {
+                let idx = rng.gen_range(0..PATHWAY_NAMES.len());
+                paths.push(PathwayRecord {
+                    pathway_id: format!("hsa{:05}", 10 * (idx + 1)),
+                    name: PATHWAY_NAMES[idx].to_string(),
+                });
+            }
+            paths.sort_by(|a, b| a.pathway_id.cmp(&b.pathway_id));
+            paths.dedup_by(|a, b| a.pathway_id == b.pathway_id);
+            if !paths.is_empty() {
+                catalog.gene_to_pathways.insert(gene.clone(), paths);
+            }
+            // GENBANK accession.
+            if rng.gen_bool(coverage) {
+                catalog.gene_to_genbank.insert(
+                    gene.clone(),
+                    format!("NM_{:06}", rng.gen_range(1_000..999_999)),
+                );
+            }
+            // Diseases (cancer-responsive genes are more likely annotated).
+            let disease_p = match planted.response {
+                crate::generate::CancerResponse::Unchanged => 0.05,
+                _ => 0.6,
+            };
+            if rng.gen_bool(disease_p) {
+                let idx = rng.gen_range(0..DISEASES.len());
+                catalog.gene_to_diseases.insert(
+                    gene.clone(),
+                    vec![DiseaseRecord {
+                        omim_id: rng.gen_range(100_000..620_000),
+                        name: DISEASES[idx].to_string(),
+                    }],
+                );
+            }
+            // Publications (0–4).
+            let n_pubs = rng.gen_range(0..=4);
+            let mut pubs = Vec::new();
+            for _ in 0..n_pubs {
+                pubs.push(Publication {
+                    pmid: rng.gen_range(8_000_000..12_000_000),
+                    title: format!(
+                        "Expression of {gene} in {}",
+                        DISEASES[rng.gen_range(0..DISEASES.len())]
+                    ),
+                    journal: JOURNALS[rng.gen_range(0..JOURNALS.len())].to_string(),
+                    year: rng.gen_range(1995..=2001),
+                });
+            }
+            if !pubs.is_empty() {
+                catalog.gene_to_publications.insert(gene, pubs);
+            }
+        }
+        catalog
+    }
+
+    /// UNIGENE: map a tag to its gene (the thesis's "tag-to-gene mapper").
+    pub fn gene_for_tag(&self, tag: Tag) -> Option<&GeneRecord> {
+        self.tag_to_gene
+            .get(&tag)
+            .and_then(|g| self.genes.get(g))
+    }
+
+    /// Reverse mapping: all tags transcribed from a gene (the "gene-to-tag
+    /// mapper" on the NCBI SAGE site).
+    pub fn tags_for_gene(&self, gene: &str) -> Vec<Tag> {
+        self.tag_to_gene
+            .iter()
+            .filter(|(_, g)| g.as_str() == gene)
+            .map(|(&t, _)| t)
+            .collect()
+    }
+
+    /// SWISSPROT: the protein a gene encodes.
+    pub fn protein_for_gene(&self, gene: &str) -> Option<&ProteinRecord> {
+        self.gene_to_protein.get(gene)
+    }
+
+    /// PFAM: the family a protein belongs to.
+    pub fn family_for_protein(&self, accession: &str) -> Option<&FamilyRecord> {
+        self.protein_to_family.get(accession)
+    }
+
+    /// KEGG: pathways a gene participates in.
+    pub fn pathways_for_gene(&self, gene: &str) -> &[PathwayRecord] {
+        self.gene_to_pathways
+            .get(gene)
+            .map(|v| v.as_slice())
+            .unwrap_or(&[])
+    }
+
+    /// GENBANK: the DNA accession for a gene.
+    pub fn genbank_for_gene(&self, gene: &str) -> Option<&str> {
+        self.gene_to_genbank.get(gene).map(|s| s.as_str())
+    }
+
+    /// OMIM: diseases linked to a gene.
+    pub fn diseases_for_gene(&self, gene: &str) -> &[DiseaseRecord] {
+        self.gene_to_diseases
+            .get(gene)
+            .map(|v| v.as_slice())
+            .unwrap_or(&[])
+    }
+
+    /// PUBMED: publications studying a gene.
+    pub fn publications_for_gene(&self, gene: &str) -> &[Publication] {
+        self.gene_to_publications
+            .get(gene)
+            .map(|v| v.as_slice())
+            .unwrap_or(&[])
+    }
+
+    /// All genes whose pathway set contains `pathway_id` — the §5.2.4
+    /// "identify other genes in the same pathway" query.
+    pub fn genes_in_pathway(&self, pathway_id: &str) -> Vec<&str> {
+        self.gene_to_pathways
+            .iter()
+            .filter(|(_, ps)| ps.iter().any(|p| p.pathway_id == pathway_id))
+            .map(|(g, _)| g.as_str())
+            .collect()
+    }
+
+    /// Run the full Figure 4.22 chain: tag → gene → protein → family /
+    /// pathways / DNA / diseases / publications.
+    pub fn lookup_chain(&self, tag: Tag) -> EadbReport {
+        let mut report = EadbReport::default();
+        let Some(gene) = self.gene_for_tag(tag).cloned() else {
+            return report;
+        };
+        let name = gene.gene.clone();
+        report.gene = Some(gene);
+        report.protein = self.protein_for_gene(&name).cloned();
+        if let Some(protein) = &report.protein {
+            report.family = self.family_for_protein(&protein.accession).cloned();
+        }
+        report.pathways = self.pathways_for_gene(&name).to_vec();
+        report.genbank_accession = self.genbank_for_gene(&name).map(String::from);
+        report.diseases = self.diseases_for_gene(&name).to_vec();
+        report.publications = self.publications_for_gene(&name).to_vec();
+        report
+    }
+
+    /// Manually register a tag → gene mapping (used by tests and by loaders
+    /// of real annotation dumps).
+    pub fn insert_gene(&mut self, tag: Tag, record: GeneRecord) {
+        self.tag_to_gene.insert(tag, record.gene.clone());
+        self.genes.insert(record.gene.clone(), record);
+    }
+
+    /// Manually register a gene → protein mapping.
+    pub fn insert_protein(&mut self, gene: &str, protein: ProteinRecord) {
+        self.gene_to_protein.insert(gene.to_string(), protein);
+    }
+
+    /// Manually register gene → publications.
+    pub fn insert_publications(&mut self, gene: &str, pubs: Vec<Publication>) {
+        self.gene_to_publications.insert(gene.to_string(), pubs);
+    }
+
+    /// Number of mapped tags.
+    pub fn mapped_tags(&self) -> usize {
+        self.tag_to_gene.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::{generate, GeneratorConfig};
+
+    #[test]
+    fn manual_chain_resembles_figure_4_22() {
+        // The thesis's example: tag CCTTGAGTAC → gene "aldolase C"
+        // (Hs.155247) → protein sequence → publications.
+        let mut catalog = AnnotationCatalog::new();
+        let tag: Tag = "CCTTGAGTAC".parse().unwrap();
+        catalog.insert_gene(
+            tag,
+            GeneRecord {
+                gene: "aldolase C".to_string(),
+                unigene_id: "Hs.155247".to_string(),
+            },
+        );
+        catalog.insert_protein(
+            "aldolase C",
+            ProteinRecord {
+                accession: "P09972".to_string(),
+                sequence: "MPHSYPALSAEQKKELSDIALR".to_string(),
+            },
+        );
+        catalog.insert_publications(
+            "aldolase C",
+            vec![Publication {
+                pmid: 10_000_001,
+                title: "Aldolase C/zebrin II expression in the neonatal rat"
+                    .to_string(),
+                journal: "J. Comp. Neurol.".to_string(),
+                year: 1999,
+            }],
+        );
+        let report = catalog.lookup_chain(tag);
+        assert_eq!(report.gene.unwrap().gene, "aldolase C");
+        assert_eq!(report.protein.unwrap().accession, "P09972");
+        assert_eq!(report.publications.len(), 1);
+    }
+
+    #[test]
+    fn unmapped_tag_yields_empty_report() {
+        let catalog = AnnotationCatalog::new();
+        let report = catalog.lookup_chain("AAAAAAAAAA".parse().unwrap());
+        assert!(report.gene.is_none());
+        assert!(report.publications.is_empty());
+    }
+
+    #[test]
+    fn synthesized_catalog_covers_most_planted_genes() {
+        let (_, truth) = generate(&GeneratorConfig::demo(23));
+        let catalog = AnnotationCatalog::synthesize(&truth, 23, 0.9);
+        let mapped = truth
+            .genes
+            .iter()
+            .filter(|g| catalog.gene_for_tag(g.tag).is_some())
+            .count();
+        let frac = mapped as f64 / truth.genes.len() as f64;
+        assert!((0.8..1.0).contains(&frac), "coverage {frac}");
+        // Partial coverage: some tags genuinely unmapped.
+        assert!(mapped < truth.genes.len());
+    }
+
+    #[test]
+    fn synthesis_is_deterministic() {
+        let (_, truth) = generate(&GeneratorConfig::demo(29));
+        let c1 = AnnotationCatalog::synthesize(&truth, 5, 0.9);
+        let c2 = AnnotationCatalog::synthesize(&truth, 5, 0.9);
+        assert_eq!(c1.mapped_tags(), c2.mapped_tags());
+        for g in truth.genes.iter().take(50) {
+            assert_eq!(
+                c1.gene_for_tag(g.tag),
+                c2.gene_for_tag(g.tag),
+                "gene mapping differs for {}",
+                g.gene
+            );
+        }
+    }
+
+    #[test]
+    fn pathway_reverse_lookup() {
+        let (_, truth) = generate(&GeneratorConfig::demo(31));
+        let catalog = AnnotationCatalog::synthesize(&truth, 31, 0.95);
+        // Find any annotated pathway, then ask who else is in it.
+        let gene_with_pathway = truth
+            .genes
+            .iter()
+            .find(|g| !catalog.pathways_for_gene(&g.gene).is_empty())
+            .expect("some gene has a pathway");
+        let pid = catalog.pathways_for_gene(&gene_with_pathway.gene)[0]
+            .pathway_id
+            .clone();
+        let members = catalog.genes_in_pathway(&pid);
+        assert!(members.contains(&gene_with_pathway.gene.as_str()));
+    }
+
+    #[test]
+    fn tags_for_gene_roundtrip() {
+        let (_, truth) = generate(&GeneratorConfig::demo(37));
+        let catalog = AnnotationCatalog::synthesize(&truth, 37, 1.0);
+        let g = &truth.genes[0];
+        assert_eq!(catalog.tags_for_gene(&g.gene), vec![g.tag]);
+    }
+}

@@ -1,0 +1,288 @@
+//! Pre-processing and data cleaning (thesis §4.2).
+//!
+//! SAGE sequencing introduces errors: roughly 10 % of the tags in each
+//! library are mis-reads, almost all of which appear with frequency 1. The
+//! thesis's cleaning rule:
+//!
+//! 1. Take the union of all tags across all libraries.
+//! 2. Remove every tag whose expression level is ≤ the *minimum tolerance*
+//!    (default 1) in **all** libraries. A tag that is frequency-1 in some
+//!    libraries but higher elsewhere is kept, since a count of 1 can be a
+//!    legitimate low-abundance mRNA.
+//! 3. Normalize: because libraries are sequenced to very different depths
+//!    (1k–32k tags), scale each library so its total count equals a common
+//!    target — 300,000, the estimated number of mRNAs per cell.
+//!
+//! On the thesis's data this takes the union from ~350,000 tags down to
+//! ~60,000, removing 5–15 % of each library's distinct tags.
+
+use crate::corpus::SageCorpus;
+use crate::library::LibraryId;
+use crate::matrix::ExpressionMatrix;
+
+/// Estimated mRNA transcripts per cell; the normalization target (§4.2).
+pub const MRNAS_PER_CELL: f64 = 300_000.0;
+
+/// Configuration of the cleaning pipeline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CleaningConfig {
+    /// A tag is removed when its count is ≤ this value in *every* library.
+    /// The thesis's GUI calls this the "minimum tolerance value"; default 1.
+    pub min_tolerance: u32,
+    /// Target total count every library is scaled to. Default
+    /// [`MRNAS_PER_CELL`]. Set to `None` to skip normalization.
+    pub scale_to: Option<f64>,
+}
+
+impl Default for CleaningConfig {
+    fn default() -> CleaningConfig {
+        CleaningConfig {
+            min_tolerance: 1,
+            scale_to: Some(MRNAS_PER_CELL),
+        }
+    }
+}
+
+/// What the cleaning pass did — the §4.2 summary numbers.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CleaningReport {
+    /// Distinct tags in the union before cleaning (~350,000 in the thesis).
+    pub raw_union_tags: usize,
+    /// Distinct tags kept (~60,000 in the thesis).
+    pub kept_tags: usize,
+    /// Per-library fraction of distinct tags removed (5–15 % in the thesis).
+    pub removed_fraction_per_library: Vec<f64>,
+    /// Fraction of union tags that never exceeded frequency 1 anywhere
+    /// (> 80 % in the thesis's estimate).
+    pub freq1_union_fraction: f64,
+    /// The tolerance used.
+    pub min_tolerance: u32,
+    /// The normalization target, if normalization ran.
+    pub scale_to: Option<f64>,
+}
+
+impl CleaningReport {
+    /// Fraction of the raw union removed overall.
+    pub fn removed_fraction(&self) -> f64 {
+        if self.raw_union_tags == 0 {
+            0.0
+        } else {
+            1.0 - self.kept_tags as f64 / self.raw_union_tags as f64
+        }
+    }
+}
+
+/// Run the §4.2 cleaning pipeline over a raw corpus, producing the cleaned,
+/// normalized expression matrix and a report of what was removed.
+pub fn clean(corpus: &SageCorpus, config: &CleaningConfig) -> (ExpressionMatrix, CleaningReport) {
+    let raw_union = corpus.tag_union();
+    let raw_union_tags = raw_union.len();
+
+    // Step 2: keep a tag iff some library saw it more than `min_tolerance`
+    // times.
+    let kept = raw_union
+        .filter(|_, tag| corpus.max_count(tag) > config.min_tolerance)
+        .0;
+
+    // Frequency-1 census over the raw union, for the report.
+    let freq1 = raw_union
+        .iter()
+        .filter(|&(_, tag)| corpus.max_count(tag) <= 1)
+        .count();
+    let freq1_union_fraction = if raw_union_tags == 0 {
+        0.0
+    } else {
+        freq1 as f64 / raw_union_tags as f64
+    };
+
+    // Per-library removal fractions.
+    let mut removed_fraction_per_library = Vec::with_capacity(corpus.len());
+    for (_, lib) in corpus.iter() {
+        let before = lib.unique_tags();
+        let after = lib.tags().filter(|&t| kept.id_of(t).is_some()).count();
+        let frac = if before == 0 {
+            0.0
+        } else {
+            1.0 - after as f64 / before as f64
+        };
+        removed_fraction_per_library.push(frac);
+    }
+
+    // Build the matrix over kept tags, then normalize per library.
+    let metas = corpus.iter().map(|(_, l)| l.meta.clone()).collect();
+    let mut matrix = ExpressionMatrix::zeroed(kept, metas);
+    for (lib_id, lib) in corpus.iter() {
+        // Step 3: scale factor from *surviving* counts, so library totals in
+        // the matrix land exactly on the target. ("We scale up the data sets
+        // by proportionally increasing the count of genes that exist in the
+        // library, and the genes that do not exist will remain as zero.")
+        let surviving_total: u64 = lib
+            .iter()
+            .filter(|&(t, _)| matrix.id_of(t).is_some())
+            .map(|(_, c)| c as u64)
+            .sum();
+        let factor = match config.scale_to {
+            Some(target) if surviving_total > 0 => target / surviving_total as f64,
+            _ => 1.0,
+        };
+        for (tag, count) in lib.iter() {
+            if let Some(tid) = matrix.id_of(tag) {
+                matrix.set(tid, lib_id, count as f64 * factor);
+            }
+        }
+    }
+
+    let report = CleaningReport {
+        raw_union_tags,
+        kept_tags: matrix.n_tags(),
+        removed_fraction_per_library,
+        freq1_union_fraction,
+        min_tolerance: config.min_tolerance,
+        scale_to: config.scale_to,
+    };
+    (matrix, report)
+}
+
+/// Normalize an already-clean matrix so every library column sums to
+/// `target`. Exposed separately so user-defined ENUM tables can be
+/// re-normalized after library removal (Case 5, §4.3.5).
+pub fn normalize(matrix: &mut ExpressionMatrix, target: f64) {
+    let n_libs = matrix.n_libraries();
+    for l in 0..n_libs {
+        let lib = LibraryId(l as u32);
+        let total = matrix.library_total(lib);
+        if total > 0.0 {
+            let factor = target / total;
+            for t in matrix.tag_ids().collect::<Vec<_>>() {
+                let v = matrix.value(t, lib);
+                if v != 0.0 {
+                    matrix.set(t, lib, v * factor);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corpus::library_meta;
+    use crate::library::{NeoplasticState, SageLibrary, TissueSource, TissueType};
+    use crate::tag::Tag;
+
+    fn tag(s: &str) -> Tag {
+        s.parse().unwrap()
+    }
+
+    fn corpus() -> SageCorpus {
+        let mut c = SageCorpus::new();
+        c.add(SageLibrary::from_counts(
+            library_meta(
+                "A",
+                TissueType::Brain,
+                NeoplasticState::Cancerous,
+                TissueSource::BulkTissue,
+            ),
+            [
+                (tag("AAAAAAAAAA"), 10), // kept: high somewhere
+                (tag("CCCCCCCCCC"), 1),  // kept: freq 1 here but 5 in B
+                (tag("GGGGGGGGGG"), 1),  // removed: never above 1
+            ],
+        ));
+        c.add(SageLibrary::from_counts(
+            library_meta(
+                "B",
+                TissueType::Brain,
+                NeoplasticState::Normal,
+                TissueSource::BulkTissue,
+            ),
+            [
+                (tag("CCCCCCCCCC"), 5),
+                (tag("TTTTTTTTTT"), 1), // removed: only ever 1
+            ],
+        ));
+        c
+    }
+
+    #[test]
+    fn removes_only_globally_low_tags() {
+        let (matrix, report) = clean(&corpus(), &CleaningConfig { min_tolerance: 1, scale_to: None });
+        assert_eq!(report.raw_union_tags, 4);
+        assert_eq!(report.kept_tags, 2);
+        assert!(matrix.id_of(tag("AAAAAAAAAA")).is_some());
+        assert!(matrix.id_of(tag("CCCCCCCCCC")).is_some());
+        assert!(matrix.id_of(tag("GGGGGGGGGG")).is_none());
+        assert!(matrix.id_of(tag("TTTTTTTTTT")).is_none());
+        // Library A lost 1 of 3 tags; B lost 1 of 2.
+        assert!((report.removed_fraction_per_library[0] - 1.0 / 3.0).abs() < 1e-12);
+        assert!((report.removed_fraction_per_library[1] - 0.5).abs() < 1e-12);
+        // GGGGGGGGGG and TTTTTTTTTT are the freq-1-everywhere tags.
+        assert!((report.freq1_union_fraction - 0.5).abs() < 1e-12);
+        assert!((report.removed_fraction() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn keeps_freq1_tags_that_rise_elsewhere() {
+        // "Sometimes it is legitimate for a tag to have a frequency of 1 ...
+        // we can't conclude a tag is an error based on observations in one
+        // library" (§4.2).
+        let (matrix, _) = clean(&corpus(), &CleaningConfig { min_tolerance: 1, scale_to: None });
+        let c = matrix.id_of(tag("CCCCCCCCCC")).unwrap();
+        let a_lib = LibraryId(0);
+        assert_eq!(matrix.value(c, a_lib), 1.0);
+    }
+
+    #[test]
+    fn normalization_scales_each_library_to_target() {
+        let (matrix, report) =
+            clean(&corpus(), &CleaningConfig { min_tolerance: 1, scale_to: Some(300.0) });
+        assert_eq!(report.scale_to, Some(300.0));
+        for lib in matrix.library_ids() {
+            let total = matrix.library_total(lib);
+            assert!(
+                (total - 300.0).abs() < 1e-9,
+                "library {lib} total {total} != 300"
+            );
+        }
+        // Relative abundances within a library are preserved.
+        let a = matrix.id_of(tag("AAAAAAAAAA")).unwrap();
+        let c = matrix.id_of(tag("CCCCCCCCCC")).unwrap();
+        let lib0 = LibraryId(0);
+        assert!((matrix.value(a, lib0) / matrix.value(c, lib0) - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn higher_tolerance_removes_more() {
+        let (matrix, report) = clean(&corpus(), &CleaningConfig { min_tolerance: 5, scale_to: None });
+        // Only AAAAAAAAAA exceeds count 5 somewhere.
+        assert_eq!(report.kept_tags, 1);
+        assert!(matrix.id_of(tag("AAAAAAAAAA")).is_some());
+    }
+
+    #[test]
+    fn cleaning_is_idempotent_on_clean_data() {
+        let cfg = CleaningConfig { min_tolerance: 1, scale_to: None };
+        let (m1, r1) = clean(&corpus(), &cfg);
+        // Re-feed the cleaned matrix as a corpus of integer counts.
+        let mut c2 = SageCorpus::new();
+        for lib in m1.library_ids() {
+            let pairs: Vec<(Tag, u32)> = m1
+                .tag_ids()
+                .map(|t| (m1.tag_of(t), m1.value(t, lib) as u32))
+                .collect();
+            c2.add(SageLibrary::from_counts(m1.library(lib).clone(), pairs));
+        }
+        let (m2, r2) = clean(&c2, &cfg);
+        assert_eq!(r2.kept_tags, r1.kept_tags);
+        assert_eq!(m2.n_tags(), m1.n_tags());
+    }
+
+    #[test]
+    fn explicit_normalize_helper() {
+        let (mut matrix, _) = clean(&corpus(), &CleaningConfig { min_tolerance: 1, scale_to: None });
+        normalize(&mut matrix, 1000.0);
+        for lib in matrix.library_ids() {
+            assert!((matrix.library_total(lib) - 1000.0).abs() < 1e-9);
+        }
+    }
+}

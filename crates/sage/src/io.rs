@@ -1,0 +1,357 @@
+//! On-disk SAGE formats.
+//!
+//! The thesis loads SAGE libraries from a directory of plain-text files (one
+//! per library, listed in an index file `sageName.txt`) and also keeps a
+//! binary copy (`file.b`) for the fascicle miner, "because reading a large
+//! amount of data from a plain text file proves faster than from a database"
+//! (§4.3.1.2). We reproduce both:
+//!
+//! * **Library text format** — one `TAG<TAB>count` line per tag.
+//! * **Index format** — one line per library:
+//!   `name<TAB>tissue<TAB>state<TAB>source<TAB>filename`.
+//! * **Corpus binary format** — a single little-endian file with magic
+//!   `GEAB`, holding every library's metadata and packed `(tag code, count)`
+//!   pairs.
+
+use std::fs;
+use std::io::{self, Read, Write};
+use std::path::Path;
+
+use crate::corpus::SageCorpus;
+use crate::library::{
+    LibraryMeta, NeoplasticState, SageLibrary, TissueSource, TissueType,
+};
+use crate::tag::Tag;
+
+/// Errors raised by the readers.
+#[derive(Debug)]
+pub enum IoError {
+    /// Underlying filesystem failure.
+    Io(io::Error),
+    /// A line or field did not parse; carries file context and detail.
+    Malformed {
+        /// File or stream the error occurred in.
+        context: String,
+        /// Human-readable description of the problem.
+        detail: String,
+    },
+}
+
+impl From<io::Error> for IoError {
+    fn from(e: io::Error) -> IoError {
+        IoError::Io(e)
+    }
+}
+
+impl std::fmt::Display for IoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IoError::Io(e) => write!(f, "i/o error: {e}"),
+            IoError::Malformed { context, detail } => {
+                write!(f, "malformed input in {context}: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for IoError {}
+
+fn malformed(context: &str, detail: impl Into<String>) -> IoError {
+    IoError::Malformed {
+        context: context.to_string(),
+        detail: detail.into(),
+    }
+}
+
+/// Serialize one library as `TAG<TAB>count` lines in tag order.
+pub fn write_library_text(lib: &SageLibrary, w: &mut impl Write) -> io::Result<()> {
+    let mut out = io::BufWriter::new(w);
+    for (tag, count) in lib.iter() {
+        writeln!(out, "{tag}\t{count}")?;
+    }
+    out.flush()
+}
+
+/// Parse one library from `TAG<TAB>count` lines. Blank lines and lines
+/// starting with `#` are skipped.
+pub fn read_library_text(
+    meta: LibraryMeta,
+    r: &mut impl Read,
+    context: &str,
+) -> Result<SageLibrary, IoError> {
+    let mut text = String::new();
+    r.read_to_string(&mut text)?;
+    let mut lib = SageLibrary::new(meta);
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let tag_s = parts
+            .next()
+            .ok_or_else(|| malformed(context, format!("line {}: empty", lineno + 1)))?;
+        let count_s = parts.next().ok_or_else(|| {
+            malformed(context, format!("line {}: missing count", lineno + 1))
+        })?;
+        let tag: Tag = tag_s.parse().map_err(|e| {
+            malformed(context, format!("line {}: {e}", lineno + 1))
+        })?;
+        let count: u32 = count_s.parse().map_err(|e| {
+            malformed(context, format!("line {}: bad count: {e}", lineno + 1))
+        })?;
+        lib.add(tag, count);
+    }
+    Ok(lib)
+}
+
+fn state_token(s: NeoplasticState) -> &'static str {
+    match s {
+        NeoplasticState::Cancerous => "cancer",
+        NeoplasticState::Normal => "normal",
+    }
+}
+
+fn source_token(s: TissueSource) -> &'static str {
+    match s {
+        TissueSource::BulkTissue => "bulk",
+        TissueSource::CellLine => "cellline",
+    }
+}
+
+fn parse_state(s: &str, context: &str) -> Result<NeoplasticState, IoError> {
+    match s {
+        "cancer" => Ok(NeoplasticState::Cancerous),
+        "normal" => Ok(NeoplasticState::Normal),
+        other => Err(malformed(context, format!("unknown state {other:?}"))),
+    }
+}
+
+fn parse_source(s: &str, context: &str) -> Result<TissueSource, IoError> {
+    match s {
+        "bulk" => Ok(TissueSource::BulkTissue),
+        "cellline" => Ok(TissueSource::CellLine),
+        other => Err(malformed(context, format!("unknown source {other:?}"))),
+    }
+}
+
+/// Write a corpus as a directory: `sageName.txt` index plus one text file
+/// per library. Mirrors the thesis's `SageLibrary` directory layout.
+pub fn write_corpus_dir(corpus: &SageCorpus, dir: &Path) -> Result<(), IoError> {
+    fs::create_dir_all(dir)?;
+    let mut index = fs::File::create(dir.join("sageName.txt"))?;
+    for (id, lib) in corpus.iter() {
+        let filename = format!("lib_{:03}.sage", id.0);
+        writeln!(
+            index,
+            "{}\t{}\t{}\t{}\t{}",
+            lib.meta.name,
+            lib.meta.tissue.name(),
+            state_token(lib.meta.state),
+            source_token(lib.meta.source),
+            filename
+        )?;
+        let mut f = fs::File::create(dir.join(&filename))?;
+        write_library_text(lib, &mut f)?;
+    }
+    Ok(())
+}
+
+/// Read a corpus directory written by [`write_corpus_dir`].
+pub fn read_corpus_dir(dir: &Path) -> Result<SageCorpus, IoError> {
+    let index_path = dir.join("sageName.txt");
+    let index = fs::read_to_string(&index_path)?;
+    let context = index_path.display().to_string();
+    let mut corpus = SageCorpus::new();
+    for (lineno, line) in index.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let fields: Vec<&str> = line.split('\t').collect();
+        if fields.len() != 5 {
+            return Err(malformed(
+                &context,
+                format!("line {}: expected 5 tab-separated fields", lineno + 1),
+            ));
+        }
+        let meta = LibraryMeta {
+            name: fields[0].to_string(),
+            tissue: TissueType::parse(fields[1]),
+            state: parse_state(fields[2], &context)?,
+            source: parse_source(fields[3], &context)?,
+        };
+        let lib_path = dir.join(fields[4]);
+        let mut f = fs::File::open(&lib_path)?;
+        let lib = read_library_text(meta, &mut f, &lib_path.display().to_string())?;
+        corpus.add(lib);
+    }
+    Ok(corpus)
+}
+
+const BINARY_MAGIC: &[u8; 4] = b"GEAB";
+const BINARY_VERSION: u32 = 1;
+
+fn write_u32(w: &mut impl Write, v: u32) -> io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+
+fn write_str(w: &mut impl Write, s: &str) -> io::Result<()> {
+    write_u32(w, s.len() as u32)?;
+    w.write_all(s.as_bytes())
+}
+
+fn read_u32(r: &mut impl Read, context: &str) -> Result<u32, IoError> {
+    let mut buf = [0u8; 4];
+    r.read_exact(&mut buf)
+        .map_err(|e| malformed(context, format!("truncated: {e}")))?;
+    Ok(u32::from_le_bytes(buf))
+}
+
+fn read_str(r: &mut impl Read, context: &str) -> Result<String, IoError> {
+    let len = read_u32(r, context)? as usize;
+    if len > 1 << 20 {
+        return Err(malformed(context, format!("string length {len} implausible")));
+    }
+    let mut buf = vec![0u8; len];
+    r.read_exact(&mut buf)
+        .map_err(|e| malformed(context, format!("truncated string: {e}")))?;
+    String::from_utf8(buf).map_err(|e| malformed(context, format!("non-utf8: {e}")))
+}
+
+/// Write the corpus in the compact binary format (the thesis's `file.b`).
+pub fn write_corpus_binary(corpus: &SageCorpus, w: &mut impl Write) -> io::Result<()> {
+    let mut out = io::BufWriter::new(w);
+    out.write_all(BINARY_MAGIC)?;
+    write_u32(&mut out, BINARY_VERSION)?;
+    write_u32(&mut out, corpus.len() as u32)?;
+    for (_, lib) in corpus.iter() {
+        write_str(&mut out, &lib.meta.name)?;
+        write_str(&mut out, lib.meta.tissue.name())?;
+        write_str(&mut out, state_token(lib.meta.state))?;
+        write_str(&mut out, source_token(lib.meta.source))?;
+        write_u32(&mut out, lib.unique_tags() as u32)?;
+        for (tag, count) in lib.iter() {
+            write_u32(&mut out, tag.code())?;
+            write_u32(&mut out, count)?;
+        }
+    }
+    out.flush()
+}
+
+/// Read a corpus from the binary format.
+pub fn read_corpus_binary(r: &mut impl Read) -> Result<SageCorpus, IoError> {
+    let context = "binary corpus";
+    let mut reader = io::BufReader::new(r);
+    let mut magic = [0u8; 4];
+    reader
+        .read_exact(&mut magic)
+        .map_err(|e| malformed(context, format!("missing magic: {e}")))?;
+    if &magic != BINARY_MAGIC {
+        return Err(malformed(context, "bad magic; not a GEA binary corpus"));
+    }
+    let version = read_u32(&mut reader, context)?;
+    if version != BINARY_VERSION {
+        return Err(malformed(context, format!("unsupported version {version}")));
+    }
+    let n_libs = read_u32(&mut reader, context)?;
+    let mut corpus = SageCorpus::new();
+    for _ in 0..n_libs {
+        let name = read_str(&mut reader, context)?;
+        let tissue = TissueType::parse(&read_str(&mut reader, context)?);
+        let state = parse_state(&read_str(&mut reader, context)?, context)?;
+        let source = parse_source(&read_str(&mut reader, context)?, context)?;
+        let n_tags = read_u32(&mut reader, context)?;
+        let mut lib = SageLibrary::new(LibraryMeta {
+            name,
+            tissue,
+            state,
+            source,
+        });
+        for _ in 0..n_tags {
+            let code = read_u32(&mut reader, context)?;
+            let count = read_u32(&mut reader, context)?;
+            let tag = Tag::from_code(code)
+                .ok_or_else(|| malformed(context, format!("tag code {code} out of range")))?;
+            lib.add(tag, count);
+        }
+        corpus.add(lib);
+    }
+    Ok(corpus)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::{generate, GeneratorConfig};
+
+    fn small_corpus() -> SageCorpus {
+        let mut config = GeneratorConfig::demo(41);
+        config.depth_range = (200, 400);
+        config.n_tissue_genes = 40;
+        config.n_housekeeping_genes = 20;
+        config.n_cancer_diff_genes = 10;
+        config.fascicle_signature_size = 10;
+        generate(&config).0
+    }
+
+    #[test]
+    fn library_text_roundtrip() {
+        let corpus = small_corpus();
+        let (_, lib) = corpus.iter().next().unwrap();
+        let mut buf = Vec::new();
+        write_library_text(lib, &mut buf).unwrap();
+        let parsed =
+            read_library_text(lib.meta.clone(), &mut buf.as_slice(), "test").unwrap();
+        assert_eq!(&parsed, lib);
+    }
+
+    #[test]
+    fn text_reader_rejects_garbage() {
+        let meta = small_corpus().meta(crate::library::LibraryId(0)).clone();
+        let bad = b"NOTATAG\t5\n";
+        let err = read_library_text(meta, &mut bad.as_slice(), "test").unwrap_err();
+        assert!(matches!(err, IoError::Malformed { .. }));
+    }
+
+    #[test]
+    fn text_reader_skips_comments_and_blanks() {
+        let meta = small_corpus().meta(crate::library::LibraryId(0)).clone();
+        let text = b"# header\n\nAAAAAAAAAA\t4\n";
+        let lib = read_library_text(meta, &mut text.as_slice(), "test").unwrap();
+        assert_eq!(lib.unique_tags(), 1);
+        assert_eq!(lib.total_tags(), 4);
+    }
+
+    #[test]
+    fn corpus_dir_roundtrip() {
+        let corpus = small_corpus();
+        let dir = std::env::temp_dir().join(format!("gea_io_test_{}", std::process::id()));
+        write_corpus_dir(&corpus, &dir).unwrap();
+        let back = read_corpus_dir(&dir).unwrap();
+        assert_eq!(back.len(), corpus.len());
+        for (id, lib) in corpus.iter() {
+            assert_eq!(back.library(id), lib);
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corpus_binary_roundtrip() {
+        let corpus = small_corpus();
+        let mut buf = Vec::new();
+        write_corpus_binary(&corpus, &mut buf).unwrap();
+        let back = read_corpus_binary(&mut buf.as_slice()).unwrap();
+        assert_eq!(back.len(), corpus.len());
+        for (id, lib) in corpus.iter() {
+            assert_eq!(back.library(id), lib);
+        }
+    }
+
+    #[test]
+    fn binary_reader_rejects_bad_magic() {
+        let bytes = b"NOPE\x01\x00\x00\x00";
+        let err = read_corpus_binary(&mut bytes.as_slice()).unwrap_err();
+        assert!(matches!(err, IoError::Malformed { .. }));
+    }
+}

@@ -1,0 +1,368 @@
+//! SAGE libraries and their descriptive metadata.
+//!
+//! A SAGE *library* is the product of one expression-profiling experiment: a
+//! list of tags with their observed counts (thesis §2.2.3). Each library
+//! carries auxiliary metadata — the tissue it was derived from, whether the
+//! tissue was cancerous or normal, and whether it came from bulk tissue or a
+//! cell line (thesis §4.4.4.2, "Search SAGE Library Information").
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::tag::Tag;
+
+/// Identifier of a library within a corpus. The thesis numbers its 100
+/// libraries 1..=100; we use a dense zero-based index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct LibraryId(pub u32);
+
+impl LibraryId {
+    /// The dense index as a `usize`, for direct vector addressing.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for LibraryId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// The system-defined tissue types of the thesis's SAGE data set (§2.2.3:
+/// "brain, breast, prostate, ovary, colon, pancreas, vascular, skin, and
+/// kidney"), plus an escape hatch for user-defined tissue groupings
+/// (§4.3.1.2 step 1).
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum TissueType {
+    /// Brain tissue.
+    Brain,
+    /// Breast tissue.
+    Breast,
+    /// Prostate tissue.
+    Prostate,
+    /// Ovary tissue.
+    Ovary,
+    /// Colon tissue.
+    Colon,
+    /// Pancreas tissue.
+    Pancreas,
+    /// Vascular tissue.
+    Vascular,
+    /// Skin tissue.
+    Skin,
+    /// Kidney tissue.
+    Kidney,
+    /// A user-defined tissue type, e.g. a combination of brain and breast
+    /// libraries (Figure 4.15).
+    Custom(String),
+}
+
+impl TissueType {
+    /// The nine system-defined tissue types, in the order the thesis lists
+    /// them.
+    pub const SYSTEM: [TissueType; 9] = [
+        TissueType::Brain,
+        TissueType::Breast,
+        TissueType::Prostate,
+        TissueType::Ovary,
+        TissueType::Colon,
+        TissueType::Pancreas,
+        TissueType::Vascular,
+        TissueType::Skin,
+        TissueType::Kidney,
+    ];
+
+    /// Lower-case name, matching the thesis's GUI labels.
+    pub fn name(&self) -> &str {
+        match self {
+            TissueType::Brain => "brain",
+            TissueType::Breast => "breast",
+            TissueType::Prostate => "prostate",
+            TissueType::Ovary => "ovary",
+            TissueType::Colon => "colon",
+            TissueType::Pancreas => "pancreas",
+            TissueType::Vascular => "vascular",
+            TissueType::Skin => "skin",
+            TissueType::Kidney => "kidney",
+            TissueType::Custom(name) => name,
+        }
+    }
+
+    /// Parse a tissue name; unknown names become [`TissueType::Custom`].
+    pub fn parse(name: &str) -> TissueType {
+        for t in TissueType::SYSTEM {
+            if t.name() == name {
+                return t;
+            }
+        }
+        TissueType::Custom(name.to_string())
+    }
+}
+
+impl fmt::Display for TissueType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Whether the sampled tissue was cancerous or normal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NeoplasticState {
+    /// The sample came from a tumour.
+    Cancerous,
+    /// The sample came from healthy tissue.
+    Normal,
+}
+
+impl fmt::Display for NeoplasticState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            NeoplasticState::Cancerous => "cancerous",
+            NeoplasticState::Normal => "normal",
+        })
+    }
+}
+
+/// Whether the library was made from bulk tissue (cells taken directly from
+/// a body) or a cell line (cells grown indefinitely in vitro) — thesis
+/// §2.2.3.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TissueSource {
+    /// Cells taken directly out of tissue in a person's body.
+    BulkTissue,
+    /// Cells grown indefinitely in vitro.
+    CellLine,
+}
+
+impl fmt::Display for TissueSource {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            TissueSource::BulkTissue => "bulk tissue",
+            TissueSource::CellLine => "cell line",
+        })
+    }
+}
+
+/// One of the four fascicle purity properties of Figure 4.7/4.8: a fascicle
+/// is *pure* with respect to a property when all its libraries share it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LibraryProperty {
+    /// All libraries cancerous.
+    Cancer,
+    /// All libraries normal.
+    Normal,
+    /// All libraries from bulk tissue.
+    BulkTissue,
+    /// All libraries from cell lines.
+    CellLine,
+}
+
+impl LibraryProperty {
+    /// All four properties, in the order the thesis's purity-check GUI
+    /// presents them.
+    pub const ALL: [LibraryProperty; 4] = [
+        LibraryProperty::Cancer,
+        LibraryProperty::Normal,
+        LibraryProperty::BulkTissue,
+        LibraryProperty::CellLine,
+    ];
+}
+
+impl fmt::Display for LibraryProperty {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            LibraryProperty::Cancer => "cancer",
+            LibraryProperty::Normal => "normal",
+            LibraryProperty::BulkTissue => "bulk tissue",
+            LibraryProperty::CellLine => "cell line",
+        })
+    }
+}
+
+/// Descriptive metadata for a library (thesis Figure 4.23's search result).
+#[derive(Debug, Clone, PartialEq)]
+pub struct LibraryMeta {
+    /// Human-readable library name, e.g. `SAGE_Duke_H1020`.
+    pub name: String,
+    /// Tissue the sample came from.
+    pub tissue: TissueType,
+    /// Cancerous or normal.
+    pub state: NeoplasticState,
+    /// Bulk tissue or cell line.
+    pub source: TissueSource,
+}
+
+impl LibraryMeta {
+    /// Whether the library satisfies one of the four purity properties.
+    pub fn has_property(&self, p: LibraryProperty) -> bool {
+        match p {
+            LibraryProperty::Cancer => self.state == NeoplasticState::Cancerous,
+            LibraryProperty::Normal => self.state == NeoplasticState::Normal,
+            LibraryProperty::BulkTissue => self.source == TissueSource::BulkTissue,
+            LibraryProperty::CellLine => self.source == TissueSource::CellLine,
+        }
+    }
+}
+
+/// A raw SAGE library: tag → observed count.
+///
+/// Counts are kept sparse and sorted by tag; a library only records the tags
+/// actually sequenced in its sample (between ~1,000 and ~32,000 distinct
+/// tags in the thesis's data).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SageLibrary {
+    /// Descriptive metadata.
+    pub meta: LibraryMeta,
+    counts: BTreeMap<Tag, u32>,
+}
+
+impl SageLibrary {
+    /// Create an empty library with the given metadata.
+    pub fn new(meta: LibraryMeta) -> SageLibrary {
+        SageLibrary {
+            meta,
+            counts: BTreeMap::new(),
+        }
+    }
+
+    /// Create a library from `(tag, count)` pairs. Duplicate tags accumulate;
+    /// zero counts are dropped.
+    pub fn from_counts<I>(meta: LibraryMeta, pairs: I) -> SageLibrary
+    where
+        I: IntoIterator<Item = (Tag, u32)>,
+    {
+        let mut lib = SageLibrary::new(meta);
+        for (tag, count) in pairs {
+            lib.add(tag, count);
+        }
+        lib
+    }
+
+    /// Add `count` observations of `tag`.
+    pub fn add(&mut self, tag: Tag, count: u32) {
+        if count > 0 {
+            *self.counts.entry(tag).or_insert(0) += count;
+        }
+    }
+
+    /// Remove a tag entirely, returning its count if it was present.
+    pub fn remove(&mut self, tag: Tag) -> Option<u32> {
+        self.counts.remove(&tag)
+    }
+
+    /// Observed count for `tag` (0 when absent).
+    pub fn count(&self, tag: Tag) -> u32 {
+        self.counts.get(&tag).copied().unwrap_or(0)
+    }
+
+    /// Number of *distinct* tags detected — the thesis's "unique number of
+    /// tags".
+    pub fn unique_tags(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Sum of all count values — the thesis's "total number of tags".
+    pub fn total_tags(&self) -> u64 {
+        self.counts.values().map(|&c| c as u64).sum()
+    }
+
+    /// Iterate `(tag, count)` pairs in tag order.
+    pub fn iter(&self) -> impl Iterator<Item = (Tag, u32)> + '_ {
+        self.counts.iter().map(|(&t, &c)| (t, c))
+    }
+
+    /// Iterate just the tags, in tag order.
+    pub fn tags(&self) -> impl Iterator<Item = Tag> + '_ {
+        self.counts.keys().copied()
+    }
+
+    /// Number of distinct tags whose observed count equals `freq`. The
+    /// cleaning analysis of §4.2 is driven by the frequency-1 population.
+    pub fn tags_with_frequency(&self, freq: u32) -> usize {
+        self.counts.values().filter(|&&c| c == freq).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tag(s: &str) -> Tag {
+        s.parse().unwrap()
+    }
+
+    fn meta() -> LibraryMeta {
+        LibraryMeta {
+            name: "SAGE_test".to_string(),
+            tissue: TissueType::Brain,
+            state: NeoplasticState::Cancerous,
+            source: TissueSource::BulkTissue,
+        }
+    }
+
+    #[test]
+    fn counts_accumulate_and_zero_is_dropped() {
+        let mut lib = SageLibrary::new(meta());
+        lib.add(tag("AAAAAAAAAA"), 3);
+        lib.add(tag("AAAAAAAAAA"), 2);
+        lib.add(tag("CCCCCCCCCC"), 0);
+        assert_eq!(lib.count(tag("AAAAAAAAAA")), 5);
+        assert_eq!(lib.count(tag("CCCCCCCCCC")), 0);
+        assert_eq!(lib.unique_tags(), 1);
+        assert_eq!(lib.total_tags(), 5);
+    }
+
+    #[test]
+    fn totals_match_thesis_definitions() {
+        let lib = SageLibrary::from_counts(
+            meta(),
+            [
+                (tag("AAAAAAAAAA"), 1843),
+                (tag("AAAAAAAAAC"), 3),
+                (tag("AAAAAAAAAT"), 10),
+            ],
+        );
+        // "The number of unique tags ... is the number of different tags
+        // detected"; "the total number of tags is the sum of all the count
+        // values" (§2.2.3).
+        assert_eq!(lib.unique_tags(), 3);
+        assert_eq!(lib.total_tags(), 1856);
+    }
+
+    #[test]
+    fn frequency_census() {
+        let lib = SageLibrary::from_counts(
+            meta(),
+            [
+                (tag("AAAAAAAAAA"), 1),
+                (tag("AAAAAAAAAC"), 1),
+                (tag("AAAAAAAAAG"), 7),
+            ],
+        );
+        assert_eq!(lib.tags_with_frequency(1), 2);
+        assert_eq!(lib.tags_with_frequency(7), 1);
+        assert_eq!(lib.tags_with_frequency(2), 0);
+    }
+
+    #[test]
+    fn purity_properties() {
+        let m = meta();
+        assert!(m.has_property(LibraryProperty::Cancer));
+        assert!(!m.has_property(LibraryProperty::Normal));
+        assert!(m.has_property(LibraryProperty::BulkTissue));
+        assert!(!m.has_property(LibraryProperty::CellLine));
+    }
+
+    #[test]
+    fn tissue_type_parsing() {
+        assert_eq!(TissueType::parse("brain"), TissueType::Brain);
+        assert_eq!(
+            TissueType::parse("newBrain"),
+            TissueType::Custom("newBrain".to_string())
+        );
+        for t in TissueType::SYSTEM {
+            assert_eq!(TissueType::parse(t.name()), t);
+        }
+    }
+}

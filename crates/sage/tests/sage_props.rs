@@ -1,0 +1,140 @@
+//! Property-based tests for the SAGE substrate: I/O round-trips and
+//! cleaning-pipeline invariants.
+
+use proptest::prelude::*;
+
+use gea_sage::clean::{clean, CleaningConfig};
+use gea_sage::corpus::{library_meta, SageCorpus};
+use gea_sage::io::{
+    read_corpus_binary, read_library_text, write_corpus_binary, write_library_text,
+};
+use gea_sage::library::{NeoplasticState, SageLibrary, TissueSource};
+use gea_sage::tag::{Tag, TAG_SPACE};
+use gea_sage::TissueType;
+
+fn arbitrary_library(name: String, pairs: Vec<(u32, u32)>) -> SageLibrary {
+    SageLibrary::from_counts(
+        library_meta(
+            &name,
+            TissueType::Brain,
+            NeoplasticState::Cancerous,
+            TissueSource::BulkTissue,
+        ),
+        pairs
+            .into_iter()
+            .map(|(code, count)| (Tag::from_code(code % TAG_SPACE).unwrap(), count % 500)),
+    )
+}
+
+fn corpus_strategy() -> impl Strategy<Value = SageCorpus> {
+    prop::collection::vec(
+        prop::collection::vec((0u32..10_000, 0u32..500), 0..40),
+        1..6,
+    )
+    .prop_map(|libs| {
+        let mut corpus = SageCorpus::new();
+        for (i, pairs) in libs.into_iter().enumerate() {
+            corpus.add(arbitrary_library(format!("L{i}"), pairs));
+        }
+        corpus
+    })
+}
+
+proptest! {
+    #[test]
+    fn library_text_roundtrip(pairs in prop::collection::vec((0u32..10_000, 1u32..500), 0..40)) {
+        let lib = arbitrary_library("L".to_string(), pairs);
+        let mut buf = Vec::new();
+        write_library_text(&lib, &mut buf).unwrap();
+        let back = read_library_text(lib.meta.clone(), &mut buf.as_slice(), "prop").unwrap();
+        prop_assert_eq!(back, lib);
+    }
+
+    #[test]
+    fn corpus_binary_roundtrip(corpus in corpus_strategy()) {
+        let mut buf = Vec::new();
+        write_corpus_binary(&corpus, &mut buf).unwrap();
+        let back = read_corpus_binary(&mut buf.as_slice()).unwrap();
+        prop_assert_eq!(back.len(), corpus.len());
+        for (id, lib) in corpus.iter() {
+            prop_assert_eq!(back.library(id), lib);
+        }
+    }
+
+    #[test]
+    fn cleaning_keeps_exactly_the_above_tolerance_tags(
+        corpus in corpus_strategy(),
+        tolerance in 0u32..5,
+    ) {
+        let (matrix, report) = clean(
+            &corpus,
+            &CleaningConfig { min_tolerance: tolerance, scale_to: None },
+        );
+        let union = corpus.tag_union();
+        prop_assert_eq!(report.raw_union_tags, union.len());
+        prop_assert_eq!(report.kept_tags, matrix.n_tags());
+        // Characterization: a tag is kept iff its max count exceeds the
+        // tolerance.
+        for (_, tag) in union.iter() {
+            let kept = matrix.id_of(tag).is_some();
+            prop_assert_eq!(kept, corpus.max_count(tag) > tolerance, "tag {}", tag);
+        }
+        // Kept values equal the raw counts (no normalization requested).
+        for tid in matrix.tag_ids() {
+            let tag = matrix.tag_of(tid);
+            for (lib, _) in corpus.iter() {
+                prop_assert_eq!(
+                    matrix.value(tid, lib),
+                    corpus.library(lib).count(tag) as f64
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn cleaning_is_monotone_in_tolerance(corpus in corpus_strategy()) {
+        let kept_at = |tol: u32| {
+            clean(&corpus, &CleaningConfig { min_tolerance: tol, scale_to: None })
+                .1
+                .kept_tags
+        };
+        let mut prev = usize::MAX;
+        for tol in 0..4 {
+            let kept = kept_at(tol);
+            prop_assert!(kept <= prev, "tolerance {tol}: {kept} > {prev}");
+            prev = kept;
+        }
+    }
+
+    #[test]
+    fn normalization_hits_the_target(corpus in corpus_strategy()) {
+        let (matrix, _) = clean(
+            &corpus,
+            &CleaningConfig { min_tolerance: 0, scale_to: Some(10_000.0) },
+        );
+        for lib in matrix.library_ids() {
+            let total = matrix.library_total(lib);
+            // Libraries whose every tag was removed stay at zero.
+            prop_assert!(
+                total.abs() < 1e-9 || (total - 10_000.0).abs() < 1e-6,
+                "library {lib} total {total}"
+            );
+        }
+    }
+
+    #[test]
+    fn corpus_stats_are_consistent(corpus in corpus_strategy()) {
+        let stats = corpus.stats();
+        prop_assert_eq!(stats.libraries, corpus.len());
+        prop_assert_eq!(stats.per_library.len(), corpus.len());
+        prop_assert!(stats.union_tags_max_freq1 <= stats.union_tags);
+        let f = stats.freq1_fraction();
+        prop_assert!((0.0..=1.0).contains(&f));
+        for (i, ls) in stats.per_library.iter().enumerate() {
+            let lib = corpus.library(gea_sage::LibraryId(i as u32));
+            prop_assert_eq!(ls.unique_tags, lib.unique_tags());
+            prop_assert_eq!(ls.total_tags, lib.total_tags());
+            prop_assert!(ls.freq1_tags <= ls.unique_tags);
+        }
+    }
+}

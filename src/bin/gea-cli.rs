@@ -1,0 +1,30 @@
+//! Interactive GEA shell — `cargo run --release --bin gea-cli`.
+
+use std::io::{self, BufRead, Write};
+
+use gea::cli::Cli;
+
+fn main() -> io::Result<()> {
+    let mut cli = Cli::new();
+    let stdin = io::stdin();
+    let mut stdout = io::stdout();
+    println!("GEA — Gene Expression Analyzer. Type `help` for commands.");
+    loop {
+        print!("gea> ");
+        stdout.flush()?;
+        let mut line = String::new();
+        if stdin.lock().read_line(&mut line)? == 0 {
+            break; // EOF
+        }
+        match cli.execute(line.trim()) {
+            Ok(Some(output)) => {
+                if !output.is_empty() {
+                    println!("{output}");
+                }
+            }
+            Ok(None) => break,
+            Err(e) => eprintln!("error: {e}"),
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,109 @@
+//! Full-scale validation on the thesis-shaped corpus (100 libraries, nine
+//! tissue types, ~290k raw tags). Slow in debug builds, so ignored by
+//! default; run with:
+//!
+//! ```text
+//! cargo test --release --test thesis_scale -- --ignored
+//! ```
+
+use gea::cluster::FascicleParams;
+use gea::core::session::GeaSession;
+use gea::sage::clean::CleaningConfig;
+use gea::sage::generate::{generate, GeneratorConfig};
+use gea::sage::library::LibraryProperty;
+use gea::sage::{NeoplasticState, TissueType};
+
+#[test]
+#[ignore = "thesis-scale corpus; run with --release -- --ignored"]
+fn thesis_scale_pipeline() {
+    let (corpus, truth) = generate(&GeneratorConfig::thesis_scale(42));
+    assert_eq!(corpus.len(), 100);
+    let stats = corpus.stats();
+    // The §4.2 premises at scale: a raw union in the hundreds of thousands,
+    // dominated by frequency-1 singletons.
+    assert!(stats.union_tags > 200_000, "union {}", stats.union_tags);
+    assert!(stats.freq1_fraction() > 0.8);
+
+    let mut session = GeaSession::open(corpus, &CleaningConfig::default()).unwrap();
+    let report = session.cleaning_report().clone();
+    assert!(report.removed_fraction() > 0.7);
+    assert!(report.kept_tags > 10_000, "kept {}", report.kept_tags);
+
+    // Case 1 at scale: brain has 24 libraries like the real collection.
+    session
+        .create_tissue_dataset("Ebrain", &TissueType::Brain)
+        .unwrap();
+    assert_eq!(session.enum_table("Ebrain").unwrap().n_libraries(), 24);
+
+    // §4.3.1.2's advice in action: libraries with "only a very small amount
+    // of total tags" can never cluster into a fascicle (shot noise), so the
+    // analyst removes them via a user-defined data set.
+    let deep: Vec<String> = session
+        .corpus()
+        .iter()
+        .filter(|(_, l)| {
+            l.meta.tissue == TissueType::Brain && l.total_tags() >= 16_000
+        })
+        .map(|(_, l)| l.meta.name.clone())
+        .collect();
+    assert!(deep.len() >= 8, "too few deep brain libraries: {}", deep.len());
+    let refs: Vec<&str> = deep.iter().map(|x| x.as_str()).collect();
+    session.create_custom_dataset("deepBrain", &refs).unwrap();
+    let table = session.enum_table("deepBrain").unwrap();
+    let n_tags = table.n_tags();
+    let n_cancer = table
+        .library_ids_where(|m| m.state == NeoplasticState::Cancerous)
+        .len();
+
+    // Sweep k and keep the *largest* pure cancerous fascicle with
+    // outsiders, as the analyst browsing Figure 4.7's list would.
+    let mut best: Option<String> = None;
+    for pct in [85, 80, 75, 70] {
+        let names = session
+            .calculate_fascicles(
+                "deepBrain",
+                &format!("deep{pct}s"),
+                0.10,
+                &FascicleParams {
+                    min_compact_attrs: n_tags * pct / 100,
+                    min_records: 3,
+                    batch_size: 6,
+                },
+            )
+            .unwrap();
+        for f in names {
+            let purity = session.purity_check(&f).unwrap();
+            let size = session.fascicle(&f).unwrap().members.len();
+            if purity.contains(&LibraryProperty::Cancer) && size < n_cancer {
+                let better = best
+                    .as_ref()
+                    .map(|b| size > session.fascicle(b).unwrap().members.len())
+                    .unwrap_or(true);
+                if better {
+                    best = Some(f);
+                }
+            }
+        }
+    }
+    let fascicle = best.expect("pure cancerous fascicle at scale");
+    let members = session.fascicle(&fascicle).unwrap().members.clone();
+    let planted = truth.fascicle_members_of(&TissueType::Brain);
+    // The recovered fascicle is dominated by the planted subtype: most of
+    // its members are planted, and most planted deep members are found.
+    let planted_in = members.iter().filter(|m| planted.contains(m)).count();
+    assert!(
+        planted_in * 2 > members.len(),
+        "only {planted_in}/{} members planted",
+        members.len()
+    );
+    assert!(planted_in >= 5, "only {planted_in} planted members recovered");
+
+    // The full gap pipeline completes at scale.
+    let groups = session
+        .form_control_groups(&fascicle, LibraryProperty::Cancer)
+        .unwrap();
+    session
+        .create_gap("scale_gap", &groups.in_fascicle, &groups.contrast)
+        .unwrap();
+    assert!(!session.gap("scale_gap").unwrap().is_empty());
+}
