@@ -6,8 +6,8 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
 use gea_cluster::{
-    agglomerate, kmeans, mine_greedy, som, FascicleParams, KMeansParams, Linkage,
-    Metric, SomParams, ToleranceVector,
+    agglomerate, kmeans, mine_greedy, som, FascicleParams, KMeansParams, Linkage, Metric,
+    SomParams, ToleranceVector,
 };
 use gea_core::mine::MatrixView;
 use gea_core::EnumTable;

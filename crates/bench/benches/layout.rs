@@ -46,7 +46,10 @@ fn bench_layout(c: &mut Criterion) {
         b.iter(|| {
             let mut acc = 0.0;
             for l in 0..matrix.n_libraries() {
-                acc += matrix.library_column(LibraryId(l as u32)).iter().sum::<f64>();
+                acc += matrix
+                    .library_column(LibraryId(l as u32))
+                    .iter()
+                    .sum::<f64>();
             }
             black_box(acc)
         })

@@ -39,11 +39,9 @@ fn bench_mine(c: &mut Criterion) {
             min_records: 3,
             batch_size: 6,
         };
-        attrs_group.bench_with_input(
-            BenchmarkId::from_parameter(n_attrs),
-            &n_attrs,
-            |b, _| b.iter(|| black_box(mine_greedy(&data, &tol, &params))),
-        );
+        attrs_group.bench_with_input(BenchmarkId::from_parameter(n_attrs), &n_attrs, |b, _| {
+            b.iter(|| black_box(mine_greedy(&data, &tol, &params)))
+        });
     }
     attrs_group.finish();
 

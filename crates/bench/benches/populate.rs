@@ -8,9 +8,7 @@ use std::hint::black_box;
 
 use gea_bench::populate_experiment::experiment_sumy;
 use gea_bench::workloads::populate_workload;
-use gea_core::populate::{
-    populate_columnar, populate_indexed, populate_scan, PopulateIndex,
-};
+use gea_core::populate::{populate_columnar, populate_indexed, populate_scan, PopulateIndex};
 
 fn bench_populate(c: &mut Criterion) {
     let workload = populate_workload(10_000, 100, 5, 0.75, 2002);

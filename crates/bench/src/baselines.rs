@@ -6,8 +6,8 @@
 use gea_cluster::dataset::{AttrSource, Dataset};
 use gea_cluster::eval::{n_clusters, purity, rand_index};
 use gea_cluster::{
-    agglomerate, kmeans, mine_greedy, som, FascicleParams, KMeansParams, Linkage,
-    Metric, SomParams, ToleranceVector,
+    agglomerate, kmeans, mine_greedy, som, FascicleParams, KMeansParams, Linkage, Metric,
+    SomParams, ToleranceVector,
 };
 use gea_core::mine::MatrixView;
 use gea_core::EnumTable;

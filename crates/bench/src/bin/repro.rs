@@ -98,7 +98,9 @@ fn case1_gaps(session: &mut GeaSession, tissue: &TissueType) -> Option<(String, 
         .ok()?;
     let nor = format!("{}_canvsnor", tissue.name());
     let cnif = format!("{}_canvscnif", tissue.name());
-    session.create_gap(&nor, &groups.in_fascicle, &groups.contrast).ok()?;
+    session
+        .create_gap(&nor, &groups.in_fascicle, &groups.contrast)
+        .ok()?;
     session
         .create_gap(&cnif, &groups.in_fascicle, &groups.outside_fascicle)
         .ok()?;
@@ -174,7 +176,9 @@ fn exp_fig_3_5() {
         println!(
             "{:<14}{:>8}",
             format!("Tag{}", r.tag_no),
-            r.gap().map(|g| format!("{g:+}")).unwrap_or_else(|| "NULL".into())
+            r.gap()
+                .map(|g| format!("{g:+}"))
+                .unwrap_or_else(|| "NULL".into())
         );
     }
     println!("\nthesis: Tag1 = -1, Tag3 = NULL, Tag4 = +2 — matched exactly.");
@@ -203,7 +207,12 @@ fn exp_fig_3_6() {
     );
     let gap2 = table(
         "GAP2",
-        &[(1, Some(-8.0)), (3, Some(9.0)), (4, Some(10.0)), (5, Some(11.0))],
+        &[
+            (1, Some(-8.0)),
+            (3, Some(9.0)),
+            (4, Some(10.0)),
+            (5, Some(11.0)),
+        ],
     );
     let gap3 = gap_minus("GAP3", &gap1, &gap2);
     println!("GAP3 (thesis: only Tag2 = 2):");
@@ -274,7 +283,11 @@ fn exp_table_3_2(ctx: &Ctx) {
     );
 
     println!("\nAblation — entropy-ranked vs random index choice (whole-universe budget m):");
-    let ms = if ctx.fast { vec![8, 32, 128] } else { vec![17, 32, 48, 128] };
+    let ms = if ctx.fast {
+        vec![8, 32, 128]
+    } else {
+        vec![17, 32, 48, 128]
+    };
     let ablation = index_choice_ablation(&config, &ms);
     println!(
         "{:>5} {:>14} {:>13} {:>17} {:>16}",
@@ -350,7 +363,13 @@ fn exp_case_1(ctx: &Ctx) {
     );
     let planted = ctx.truth.fascicle_members_of(&TissueType::Brain);
     println!("planted members:  {planted:?}");
-    marker_figure(ctx, &session, &fascicle, "RIBOSOMAL PROTEIN L12", "Figure 4.2");
+    marker_figure(
+        ctx,
+        &session,
+        &fascicle,
+        "RIBOSOMAL PROTEIN L12",
+        "Figure 4.2",
+    );
     println!("  thesis: in-fascicle ~275, normal ~100 (positive gap)");
     marker_figure(ctx, &session, &fascicle, "ALPHA TUBULIN", "Figure 4.3");
     println!("  thesis: in-fascicle ~0, normal ~90 (negative gap)");
@@ -360,10 +379,18 @@ fn exp_case_1(ctx: &Ctx) {
         .calculate_top_gap(&nor_gap, 1, TopGapOrder::HighestValue)
         .unwrap();
     if let Some(row) = session.gap(&top).unwrap().rows().first() {
-        println!("\nFigure 4.10 — top tag {} per-library distribution:", row.tag);
+        println!(
+            "\nFigure 4.10 — top tag {} per-library distribution:",
+            row.tag
+        );
         let points = session.tag_plot("Ebrain", row.tag, &fascicle).unwrap();
         for p in points {
-            println!("  {:<24} {:>10.1}  [{}]", p.library, p.level, p.series.label());
+            println!(
+                "  {:<24} {:>10.1}  [{}]",
+                p.library,
+                p.level,
+                p.series.label()
+            );
         }
     }
 }
@@ -371,8 +398,7 @@ fn exp_case_1(ctx: &Ctx) {
 fn exp_case_2(ctx: &Ctx) {
     heading("Case 2 / Figure 4.11 — cancerous brain inside vs outside the fascicle");
     let mut session = ctx.session();
-    let Some((fascicle, nor_gap, cnif_gap)) = case1_gaps(&mut session, &TissueType::Brain)
-    else {
+    let Some((fascicle, nor_gap, cnif_gap)) = case1_gaps(&mut session, &TissueType::Brain) else {
         println!("no pure cancerous fascicle found");
         return;
     };
@@ -415,8 +441,14 @@ fn exp_case_3(ctx: &Ctx) {
         return;
     };
     for (i, (query, label)) in [
-        (CompareQuery::LowerInAInBoth, "query 2 (lower in cancer, both)"),
-        (CompareQuery::HigherInAInBoth, "query 1 (higher in cancer, both)"),
+        (
+            CompareQuery::LowerInAInBoth,
+            "query 2 (lower in cancer, both)",
+        ),
+        (
+            CompareQuery::HigherInAInBoth,
+            "query 1 (higher in cancer, both)",
+        ),
         (CompareQuery::NonNullInBoth, "query 5 (non-null in both)"),
     ]
     .into_iter()
@@ -460,14 +492,23 @@ fn exp_case_4(ctx: &Ctx) {
         )
         .unwrap();
     let unique = session.gap("brainBreastDiff1").unwrap();
-    println!("tags with a negative cancer gap unique to brain: {}", unique.len());
+    println!(
+        "tags with a negative cancer gap unique to brain: {}",
+        unique.len()
+    );
     let catalog = AnnotationCatalog::synthesize(&ctx.truth, SEED, 0.95);
     for r in unique.rows().iter().take(8) {
         let gene = catalog
             .gene_for_tag(r.tag)
             .map(|g| g.gene.as_str())
             .unwrap_or("(unmapped)");
-        println!("  {}_({})  {:+.2}  {}", r.tag, r.tag_no, r.gaps[0].unwrap(), gene);
+        println!(
+            "  {}_({})  {:+.2}  {}",
+            r.tag,
+            r.tag_no,
+            r.gaps[0].unwrap(),
+            gene
+        );
     }
 }
 
@@ -615,7 +656,7 @@ fn exp_baselines(ctx: &Ctx) {
 
 fn exp_xprofiler(ctx: &Ctx) {
     heading("xProfiler baseline (section 2.3.3) vs GEA's mined-group gaps");
-    use gea_core::xprofiler::{compare_pools, compare_cancer_vs_normal};
+    use gea_core::xprofiler::{compare_cancer_vs_normal, compare_pools};
     let mut session = ctx.session();
     let Some((fascicle, nor_gap, _)) = case1_gaps(&mut session, &TissueType::Brain) else {
         println!("fascicle mining failed");
@@ -756,7 +797,10 @@ fn main() {
         ("fig-3.5", "diff() worked example"),
         ("fig-3.6", "set-operation worked example"),
         ("table-3.1", "index budget analysis"),
-        ("table-3.2", "populate() savings per index hit + index-choice ablation"),
+        (
+            "table-3.2",
+            "populate() savings per index hit + index-choice ablation",
+        ),
         ("table-4.1", "Allen interval relations"),
         ("case-1", "cancerous vs normal brain (Figures 4.2/4.3/4.10)"),
         ("case-2", "inside vs outside the fascicle (Figure 4.11)"),
@@ -788,7 +832,11 @@ fn main() {
     }
 
     let (corpus, truth) = demo_matrix(SEED);
-    let ctx = Ctx { fast, corpus, truth };
+    let ctx = Ctx {
+        fast,
+        corpus,
+        truth,
+    };
 
     let run = |id: &str| exp.as_deref().map(|e| e == id).unwrap_or(true);
     if run("table-2.2") {

@@ -39,7 +39,8 @@ pub fn populate_workload(
     let mut rng = StdRng::seed_from_u64(seed);
     // Distinct tags: stride through the code space.
     let universe = TagUniverse::from_tags(
-        (0..n_tags as u32).map(|i| Tag::from_code(i * (gea_sage::tag::TAG_SPACE / n_tags as u32)).unwrap()),
+        (0..n_tags as u32)
+            .map(|i| Tag::from_code(i * (gea_sage::tag::TAG_SPACE / n_tags as u32)).unwrap()),
     );
     assert_eq!(universe.len(), n_tags, "tag stride produced collisions");
     let libs = (0..n_libs)

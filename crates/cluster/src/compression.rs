@@ -59,11 +59,7 @@ pub fn compress<D: AttrSource>(
     let mut max_error = 0.0f64;
     let mut max_relative_error = 0.0f64;
     for fascicle in fascicles {
-        for (&attr, &(lo, hi)) in fascicle
-            .compact_attrs
-            .iter()
-            .zip(&fascicle.compact_ranges)
-        {
+        for (&attr, &(lo, hi)) in fascicle.compact_attrs.iter().zip(&fascicle.compact_ranges) {
             let representative = (lo + hi) / 2.0;
             let mut members_elided = 0usize;
             for &record in &fascicle.records {
@@ -157,8 +153,7 @@ mod tests {
             },
         );
         // Apply the same fascicle twice; savings must not double-count.
-        let doubled: Vec<Fascicle> =
-            fascicles.iter().chain(fascicles.iter()).cloned().collect();
+        let doubled: Vec<Fascicle> = fascicles.iter().chain(fascicles.iter()).cloned().collect();
         let once = compress(&d, &fascicles, &tol);
         let twice = compress(&d, &doubled, &tol);
         // The second copy's members are already elided, so its per-attr

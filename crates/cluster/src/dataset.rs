@@ -96,10 +96,7 @@ mod tests {
 
     #[test]
     fn record_and_attr_views_agree() {
-        let d = Dataset::from_records(&[
-            vec![1.0, 2.0, 3.0],
-            vec![4.0, 5.0, 6.0],
-        ]);
+        let d = Dataset::from_records(&[vec![1.0, 2.0, 3.0], vec![4.0, 5.0, 6.0]]);
         assert_eq!(d.n_records(), 2);
         assert_eq!(d.n_attrs(), 3);
         assert_eq!(d.attr_values(1), &[2.0, 5.0]);

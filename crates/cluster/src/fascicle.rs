@@ -175,12 +175,7 @@ impl Candidate {
 
 /// Grow one seed: repeatedly absorb the record whose addition keeps the
 /// most compact attributes, while at least `k` remain.
-fn grow_seed<D: AttrSource>(
-    data: &D,
-    tol: &ToleranceVector,
-    k: usize,
-    seed: usize,
-) -> Candidate {
+fn grow_seed<D: AttrSource>(data: &D, tol: &ToleranceVector, k: usize, seed: usize) -> Candidate {
     let mut grown = Candidate::singleton(data, seed);
     let mut available: Vec<bool> = vec![true; data.n_records()];
     available[seed] = false;
@@ -244,8 +239,7 @@ pub fn mine_greedy<D: AttrSource>(
         .into_iter()
         .filter(|c| {
             !sets.iter().any(|other| {
-                other.len() > c.records.len()
-                    && c.records.iter().all(|r| other.contains(r))
+                other.len() > c.records.len() && c.records.iter().all(|r| other.contains(r))
             })
         })
         .map(|c| c.into_fascicle(tol))
@@ -311,7 +305,10 @@ pub fn mine_exact<D: AttrSource>(
             let mut compact_ranges = Vec::new();
             for a in 0..data.n_attrs() {
                 let vals = data.attr_values(a);
-                let lo = records.iter().map(|&r| vals[r]).fold(f64::INFINITY, f64::min);
+                let lo = records
+                    .iter()
+                    .map(|&r| vals[r])
+                    .fold(f64::INFINITY, f64::min);
                 let hi = records
                     .iter()
                     .map(|&r| vals[r])
@@ -344,16 +341,16 @@ mod tests {
     /// The Table 2.2 fragment: 10 libraries × 5 tags.
     fn table_2_2() -> Dataset {
         Dataset::from_records(&[
-            vec![1843.0, 3.0, 10.0, 15.0, 11.0],  // SAGE_BB542_whitematter
-            vec![1418.0, 7.0, 0.0, 30.0, 12.0],   // SAGE_Duke_1273
-            vec![1251.0, 18.0, 0.0, 33.0, 20.0],  // SAGE_Duke_757
-            vec![1800.0, 0.0, 58.0, 40.0, 20.0],  // SAGE_Duke_cerebellum
-            vec![1050.0, 25.0, 1.0, 60.0, 15.0],  // SAGE_Duke_GBM_H1110
-            vec![1910.0, 1.0, 17.0, 74.0, 30.0],  // SAGE_Duke_H1020
-            vec![503.0, 8.0, 0.0, 0.0, 456.0],    // SAGE_95_259
-            vec![364.0, 7.0, 7.0, 7.0, 222.0],    // SAGE_95_260
-            vec![65.0, 5.0, 79.0, 9.0, 300.0],    // SAGE_Br_N
-            vec![847.0, 4.0, 124.0, 0.0, 500.0],  // SAGE_DCIS
+            vec![1843.0, 3.0, 10.0, 15.0, 11.0], // SAGE_BB542_whitematter
+            vec![1418.0, 7.0, 0.0, 30.0, 12.0],  // SAGE_Duke_1273
+            vec![1251.0, 18.0, 0.0, 33.0, 20.0], // SAGE_Duke_757
+            vec![1800.0, 0.0, 58.0, 40.0, 20.0], // SAGE_Duke_cerebellum
+            vec![1050.0, 25.0, 1.0, 60.0, 15.0], // SAGE_Duke_GBM_H1110
+            vec![1910.0, 1.0, 17.0, 74.0, 30.0], // SAGE_Duke_H1020
+            vec![503.0, 8.0, 0.0, 0.0, 456.0],   // SAGE_95_259
+            vec![364.0, 7.0, 7.0, 7.0, 222.0],   // SAGE_95_260
+            vec![65.0, 5.0, 79.0, 9.0, 300.0],   // SAGE_Br_N
+            vec![847.0, 4.0, 124.0, 0.0, 500.0], // SAGE_DCIS
         ])
     }
 
@@ -420,11 +417,7 @@ mod tests {
 
     #[test]
     fn zero_tolerance_groups_only_identical_records() {
-        let data = Dataset::from_records(&[
-            vec![1.0, 2.0],
-            vec![1.0, 2.0],
-            vec![1.0, 3.0],
-        ]);
+        let data = Dataset::from_records(&[vec![1.0, 2.0], vec![1.0, 2.0], vec![1.0, 3.0]]);
         let tol = ToleranceVector::from_values(vec![0.0, 0.0]);
         let params = FascicleParams {
             min_compact_attrs: 2,
@@ -441,11 +434,7 @@ mod tests {
         // Records 0,1 agree on attr 0; records 1,2 agree on attr 1. With
         // k = 1, both pairs are maximal 1-compact fascicles containing
         // record 1.
-        let data = Dataset::from_records(&[
-            vec![0.0, 0.0],
-            vec![1.0, 10.0],
-            vec![50.0, 11.0],
-        ]);
+        let data = Dataset::from_records(&[vec![0.0, 0.0], vec![1.0, 10.0], vec![50.0, 11.0]]);
         let tol = ToleranceVector::from_values(vec![2.0, 2.0]);
         let params = FascicleParams {
             min_compact_attrs: 1,

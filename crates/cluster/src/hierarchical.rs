@@ -87,8 +87,7 @@ impl Dendrogram {
         }
         let mut labels = vec![usize::MAX; n];
         let mut next = 0;
-        let mut map: std::collections::HashMap<usize, usize> =
-            std::collections::HashMap::new();
+        let mut map: std::collections::HashMap<usize, usize> = std::collections::HashMap::new();
         for (leaf, slot) in labels.iter_mut().enumerate() {
             let root = find(&mut parent, leaf);
             let label = *map.entry(root).or_insert_with(|| {
@@ -256,12 +255,7 @@ mod tests {
     #[test]
     fn linkages_differ_on_chains() {
         // A chain: single linkage merges everything early; complete resists.
-        let d = Dataset::from_records(&[
-            vec![0.0],
-            vec![1.0],
-            vec![2.0],
-            vec![3.0],
-        ]);
+        let d = Dataset::from_records(&[vec![0.0], vec![1.0], vec![2.0], vec![3.0]]);
         let single = agglomerate(&d, Metric::Euclidean, Linkage::Single);
         let complete = agglomerate(&d, Metric::Euclidean, Linkage::Complete);
         let last_single = single.merges.last().unwrap().height;

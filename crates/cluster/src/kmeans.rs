@@ -97,9 +97,7 @@ pub fn kmeans<D: AttrSource>(data: &D, params: &KMeansParams) -> KMeansResult {
             let nearest = centroids
                 .iter()
                 .enumerate()
-                .min_by(|(_, a), (_, b)| {
-                    euclidean(record, a).total_cmp(&euclidean(record, b))
-                })
+                .min_by(|(_, a), (_, b)| euclidean(record, a).total_cmp(&euclidean(record, b)))
                 .map(|(i, _)| i)
                 .expect("k > 0");
             if assignments[r] != nearest {
@@ -159,7 +157,14 @@ mod tests {
 
     #[test]
     fn separates_two_blobs() {
-        let result = kmeans(&two_blobs(), &KMeansParams { k: 2, max_iters: 50, seed: 1 });
+        let result = kmeans(
+            &two_blobs(),
+            &KMeansParams {
+                k: 2,
+                max_iters: 50,
+                seed: 1,
+            },
+        );
         let a = result.assignments[0];
         assert!(result.assignments[..3].iter().all(|&c| c == a));
         let b = result.assignments[3];
@@ -170,7 +175,11 @@ mod tests {
 
     #[test]
     fn deterministic_under_seed() {
-        let p = KMeansParams { k: 2, max_iters: 50, seed: 42 };
+        let p = KMeansParams {
+            k: 2,
+            max_iters: 50,
+            seed: 42,
+        };
         let r1 = kmeans(&two_blobs(), &p);
         let r2 = kmeans(&two_blobs(), &p);
         assert_eq!(r1.assignments, r2.assignments);
@@ -180,13 +189,27 @@ mod tests {
     #[test]
     fn k_equals_n_gives_zero_inertia() {
         let d = two_blobs();
-        let result = kmeans(&d, &KMeansParams { k: 6, max_iters: 50, seed: 3 });
+        let result = kmeans(
+            &d,
+            &KMeansParams {
+                k: 6,
+                max_iters: 50,
+                seed: 3,
+            },
+        );
         assert!(result.inertia < 1e-18);
     }
 
     #[test]
     #[should_panic(expected = "out of range")]
     fn rejects_k_larger_than_n() {
-        kmeans(&two_blobs(), &KMeansParams { k: 7, max_iters: 10, seed: 0 });
+        kmeans(
+            &two_blobs(),
+            &KMeansParams {
+                k: 7,
+                max_iters: 10,
+                seed: 0,
+            },
+        );
     }
 }

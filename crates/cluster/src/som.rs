@@ -116,9 +116,7 @@ pub fn som<D: AttrSource>(data: &D, params: &SomParams) -> SomResult {
             let bmu = prototypes
                 .iter()
                 .enumerate()
-                .min_by(|(_, a), (_, b)| {
-                    euclidean(record, a).total_cmp(&euclidean(record, b))
-                })
+                .min_by(|(_, a), (_, b)| euclidean(record, a).total_cmp(&euclidean(record, b)))
                 .map(|(i, _)| i)
                 .expect("non-empty grid");
             for (u, proto) in prototypes.iter_mut().enumerate() {
@@ -141,9 +139,7 @@ pub fn som<D: AttrSource>(data: &D, params: &SomParams) -> SomResult {
             prototypes
                 .iter()
                 .enumerate()
-                .min_by(|(_, a), (_, b)| {
-                    euclidean(record, a).total_cmp(&euclidean(record, b))
-                })
+                .min_by(|(_, a), (_, b)| euclidean(record, a).total_cmp(&euclidean(record, b)))
                 .map(|(i, _)| i)
                 .expect("non-empty grid")
         })
@@ -185,7 +181,10 @@ mod tests {
 
     #[test]
     fn deterministic_under_seed() {
-        let p = SomParams { seed: 9, ..SomParams::default() };
+        let p = SomParams {
+            seed: 9,
+            ..SomParams::default()
+        };
         let r1 = som(&two_blobs(), &p);
         let r2 = som(&two_blobs(), &p);
         assert_eq!(r1.assignments, r2.assignments);
@@ -203,12 +202,23 @@ mod tests {
             .prototypes
             .iter()
             .any(|p| euclidean(p, &[10.0, 10.0]) < 1.0);
-        assert!(near_origin && near_ten, "prototypes: {:?}", result.prototypes);
+        assert!(
+            near_origin && near_ten,
+            "prototypes: {:?}",
+            result.prototypes
+        );
     }
 
     #[test]
     fn cluster_labels_are_dense() {
-        let result = som(&two_blobs(), &SomParams { rows: 3, cols: 3, ..SomParams::default() });
+        let result = som(
+            &two_blobs(),
+            &SomParams {
+                rows: 3,
+                cols: 3,
+                ..SomParams::default()
+            },
+        );
         let clusters = result.clusters();
         let max = *clusters.iter().max().unwrap();
         let mut seen: Vec<usize> = clusters.clone();

@@ -6,17 +6,14 @@ use gea_cluster::compression::compress;
 use gea_cluster::dataset::{AttrSource, Dataset};
 use gea_cluster::eval::{n_clusters, purity, rand_index};
 use gea_cluster::{
-    agglomerate, kmeans, mine_greedy, som, FascicleParams, KMeansParams, Linkage,
-    Metric, SomParams, ToleranceVector,
+    agglomerate, kmeans, mine_greedy, som, FascicleParams, KMeansParams, Linkage, Metric,
+    SomParams, ToleranceVector,
 };
 
 fn dataset_strategy() -> impl Strategy<Value = Dataset> {
     (2usize..10, 1usize..6).prop_flat_map(|(n_records, n_attrs)| {
-        prop::collection::vec(
-            prop::collection::vec(0.0f64..100.0, n_attrs),
-            n_records,
-        )
-        .prop_map(|rows| Dataset::from_records(&rows))
+        prop::collection::vec(prop::collection::vec(0.0f64..100.0, n_attrs), n_records)
+            .prop_map(|rows| Dataset::from_records(&rows))
     })
 }
 

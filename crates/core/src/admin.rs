@@ -50,9 +50,7 @@ impl fmt::Display for AdminError {
             AdminError::LoginFailed => {
                 f.write_str("Login failed! Please check your PASSWORD and TYPE")
             }
-            AdminError::NotAuthorized => {
-                f.write_str("operation requires administrator privileges")
-            }
+            AdminError::NotAuthorized => f.write_str("operation requires administrator privileges"),
             AdminError::DuplicateUser(u) => write!(f, "user {u:?} already exists"),
             AdminError::UnknownUser(u) => write!(f, "no such user {u:?}"),
         }
@@ -113,8 +111,7 @@ impl UserRegistry {
     ) -> Result<LoginSession, AdminError> {
         match self.accounts.get(user) {
             Some(acct)
-                if acct.password_hash == hash_password(user, password)
-                    && acct.level == level =>
+                if acct.password_hash == hash_password(user, password) && acct.level == level =>
             {
                 Ok(LoginSession {
                     user: user.to_string(),
@@ -207,16 +204,24 @@ mod tests {
     #[test]
     fn login_requires_all_three_fields() {
         let (reg, _) = registry();
-        assert!(reg.login("root", "wrong", AccessLevel::Administrator).is_err());
+        assert!(reg
+            .login("root", "wrong", AccessLevel::Administrator)
+            .is_err());
         assert!(reg.login("root", "secret", AccessLevel::User).is_err());
-        assert!(reg.login("ghost", "secret", AccessLevel::Administrator).is_err());
-        assert!(reg.login("root", "secret", AccessLevel::Administrator).is_ok());
+        assert!(reg
+            .login("ghost", "secret", AccessLevel::Administrator)
+            .is_err());
+        assert!(reg
+            .login("root", "secret", AccessLevel::Administrator)
+            .is_ok());
     }
 
     #[test]
     fn login_failure_message_matches_figure_4_27() {
         let (reg, _) = registry();
-        let err = reg.login("root", "bad", AccessLevel::Administrator).unwrap_err();
+        let err = reg
+            .login("root", "bad", AccessLevel::Administrator)
+            .unwrap_err();
         assert_eq!(
             err.to_string(),
             "Login failed! Please check your PASSWORD and TYPE"
@@ -226,7 +231,8 @@ mod tests {
     #[test]
     fn admin_manages_accounts() {
         let (mut reg, admin) = registry();
-        reg.add_user(&admin, "jessica", "pw", AccessLevel::User).unwrap();
+        reg.add_user(&admin, "jessica", "pw", AccessLevel::User)
+            .unwrap();
         assert_eq!(reg.users(), vec!["jessica", "root"]);
         assert!(reg.login("jessica", "pw", AccessLevel::User).is_ok());
         // The confirmation-check flow: adding again is an error.
@@ -237,7 +243,9 @@ mod tests {
         // Promote and re-login at the new level (Figure AIII.11's example).
         reg.modify_user(&admin, "jessica", None, Some(AccessLevel::Administrator))
             .unwrap();
-        assert!(reg.login("jessica", "pw", AccessLevel::Administrator).is_ok());
+        assert!(reg
+            .login("jessica", "pw", AccessLevel::Administrator)
+            .is_ok());
         reg.delete_user(&admin, "jessica").unwrap();
         assert_eq!(
             reg.delete_user(&admin, "jessica"),
@@ -248,12 +256,16 @@ mod tests {
     #[test]
     fn plain_users_cannot_administer() {
         let (mut reg, admin) = registry();
-        reg.add_user(&admin, "cfu", "pw", AccessLevel::User).unwrap();
+        reg.add_user(&admin, "cfu", "pw", AccessLevel::User)
+            .unwrap();
         let user = reg.login("cfu", "pw", AccessLevel::User).unwrap();
         assert_eq!(
             reg.add_user(&user, "other", "x", AccessLevel::User),
             Err(AdminError::NotAuthorized)
         );
-        assert_eq!(reg.delete_user(&user, "root"), Err(AdminError::NotAuthorized));
+        assert_eq!(
+            reg.delete_user(&user, "root"),
+            Err(AdminError::NotAuthorized)
+        );
     }
 }

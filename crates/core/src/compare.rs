@@ -88,9 +88,7 @@ impl CompareQuery {
             CompareQuery::LowerInBInBoth => {
                 "Tags always have lower expression values in SUMYb in both GAP tables"
             }
-            CompareQuery::NonNullInBoth => {
-                "All tags have non-null gap values in both GAP tables"
-            }
+            CompareQuery::NonNullInBoth => "All tags have non-null gap values in both GAP tables",
             CompareQuery::HigherInAOfFirstOnly => {
                 "Tags have higher expression in SUMYa of GAPa, not in SUMYa of GAPb"
             }
@@ -211,11 +209,11 @@ mod tests {
         let brain = gap_table(
             "brain_gap",
             &[
-                ("AAAAAAAAAA", Some(-5.0)),  // lower in cancer, both
-                ("CCCCCCCCCC", Some(4.0)),   // higher in cancer, both
-                ("GGGGGGGGGG", Some(-2.0)),  // lower in brain only
-                ("TTTTTTTTTT", None),        // null in brain
-                ("ACACACACAC", Some(1.0)),   // brain-only tag
+                ("AAAAAAAAAA", Some(-5.0)), // lower in cancer, both
+                ("CCCCCCCCCC", Some(4.0)),  // higher in cancer, both
+                ("GGGGGGGGGG", Some(-2.0)), // lower in brain only
+                ("TTTTTTTTTT", None),       // null in brain
+                ("ACACACACAC", Some(1.0)),  // brain-only tag
             ],
         );
         let breast = gap_table(
@@ -266,8 +264,22 @@ mod tests {
     #[test]
     fn queries_2_and_3_agree_by_antisymmetry() {
         let (brain, breast) = brain_and_breast();
-        let q2 = compare_gaps("q2", &brain, &breast, CompareOp::Intersect, CompareQuery::LowerInAInBoth).unwrap();
-        let q3 = compare_gaps("q3", &brain, &breast, CompareOp::Intersect, CompareQuery::HigherInBInBoth).unwrap();
+        let q2 = compare_gaps(
+            "q2",
+            &brain,
+            &breast,
+            CompareOp::Intersect,
+            CompareQuery::LowerInAInBoth,
+        )
+        .unwrap();
+        let q3 = compare_gaps(
+            "q3",
+            &brain,
+            &breast,
+            CompareOp::Intersect,
+            CompareQuery::HigherInBInBoth,
+        )
+        .unwrap();
         assert_eq!(q2.project_tags(), q3.project_tags());
     }
 
@@ -319,13 +331,27 @@ mod tests {
         let (brain, breast) = brain_and_breast();
         // Query 7: lower in SUMYa of GAPa but not of GAPb →
         // GGGGGGGGGG (−2 in brain, +3 in breast).
-        let q7 = compare_gaps("q7", &brain, &breast, CompareOp::Intersect, CompareQuery::LowerInAOfFirstOnly).unwrap();
+        let q7 = compare_gaps(
+            "q7",
+            &brain,
+            &breast,
+            CompareOp::Intersect,
+            CompareQuery::LowerInAOfFirstOnly,
+        )
+        .unwrap();
         assert_eq!(q7.project_tags().len(), 1);
         assert_eq!(q7.rows()[0].tag.to_string(), "GGGGGGGGGG");
         // Query 10: higher in SUMYa of GAPb but not of GAPa →
         // GGGGGGGGGG again (+3 in breast, −2 in brain), and TTTTTTTTTT
         // (+2 in breast, NULL in brain) under Union.
-        let q10 = compare_gaps("q10", &brain, &breast, CompareOp::Union, CompareQuery::HigherInAOfSecondOnly).unwrap();
+        let q10 = compare_gaps(
+            "q10",
+            &brain,
+            &breast,
+            CompareOp::Union,
+            CompareQuery::HigherInAOfSecondOnly,
+        )
+        .unwrap();
         let tags: Vec<String> = q10.rows().iter().map(|r| r.tag.to_string()).collect();
         assert!(tags.contains(&"GGGGGGGGGG".to_string()));
         assert!(tags.contains(&"TTTTTTTTTT".to_string()));

@@ -47,10 +47,7 @@ impl EnumTable {
 
     /// Library ids whose metadata satisfies `keep` — relational selection
     /// on the auxiliary columns (σ tissueType = 'brain' in Case 1 step 1).
-    pub fn library_ids_where(
-        &self,
-        mut keep: impl FnMut(&LibraryMeta) -> bool,
-    ) -> Vec<LibraryId> {
+    pub fn library_ids_where(&self, mut keep: impl FnMut(&LibraryMeta) -> bool) -> Vec<LibraryId> {
         self.matrix
             .library_ids()
             .filter(|&id| keep(self.matrix.library(id)))
@@ -84,11 +81,8 @@ impl EnumTable {
     /// (matched by library name) — Case 1 step 4's
     /// `ENUM₂ = σ_cancerous(E_brain) − ENUM₁`.
     pub fn minus(&self, name: &str, other: &EnumTable) -> EnumTable {
-        let other_names: std::collections::HashSet<&str> = other
-            .libraries()
-            .iter()
-            .map(|m| m.name.as_str())
-            .collect();
+        let other_names: std::collections::HashSet<&str> =
+            other.libraries().iter().map(|m| m.name.as_str()).collect();
         self.select_libraries(name, |m| !other_names.contains(m.name.as_str()))
     }
 
@@ -103,8 +97,7 @@ impl EnumTable {
     /// The purity check of Figure 4.8: `Some(property)` when every member
     /// library has `property`.
     pub fn is_pure(&self, property: LibraryProperty) -> bool {
-        !self.libraries().is_empty()
-            && self.libraries().iter().all(|m| m.has_property(property))
+        !self.libraries().is_empty() && self.libraries().iter().all(|m| m.has_property(property))
     }
 
     /// All properties the table is pure on.
@@ -130,7 +123,9 @@ mod tests {
 
     fn table() -> EnumTable {
         let universe = TagUniverse::from_tags(
-            ["AAAAAAAAAA", "CCCCCCCCCC"].iter().map(|s| s.parse().unwrap()),
+            ["AAAAAAAAAA", "CCCCCCCCCC"]
+                .iter()
+                .map(|s| s.parse().unwrap()),
         );
         let libs = vec![
             library_meta(
@@ -182,14 +177,10 @@ mod tests {
         let brain = t.select_tissue("Ebrain", &TissueType::Brain);
         // Pretend the fascicle picked b_c1 only.
         let enum1 = brain.with_libraries("ENUM1", &[LibraryId(0)]);
-        let cancerous = brain.select_libraries("canc", |m| {
-            m.state == NeoplasticState::Cancerous
-        });
+        let cancerous = brain.select_libraries("canc", |m| m.state == NeoplasticState::Cancerous);
         let enum2 = cancerous.minus("ENUM2", &enum1);
         assert_eq!(enum2.library_names(), vec!["b_c2"]);
-        let enum3 = brain.select_libraries("ENUM3", |m| {
-            m.state == NeoplasticState::Normal
-        });
+        let enum3 = brain.select_libraries("ENUM3", |m| m.state == NeoplasticState::Normal);
         assert_eq!(enum3.library_names(), vec!["b_n1"]);
     }
 

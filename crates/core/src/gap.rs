@@ -52,7 +52,10 @@ impl GapTable {
     /// Build from rows; sorted by tag, duplicates rejected, and every row
     /// must have one gap per column.
     pub fn new(name: &str, columns: Vec<String>, mut rows: Vec<GapRow>) -> GapTable {
-        assert!(!columns.is_empty(), "GAP table needs at least one gap column");
+        assert!(
+            !columns.is_empty(),
+            "GAP table needs at least one gap column"
+        );
         for r in &rows {
             assert_eq!(
                 r.gaps.len(),
@@ -189,10 +192,10 @@ mod tests {
         let sumy1 = SumyTable::new(
             "SUMY1",
             vec![
-                row("AAAAAAAAAA", 1, 5.0, 5.0, 5.0, 0.0),   // Tag1
-                row("CCCCCCCCCC", 2, 0.0, 7.0, 3.0, 1.0),   // Tag2
+                row("AAAAAAAAAA", 1, 5.0, 5.0, 5.0, 0.0),      // Tag1
+                row("CCCCCCCCCC", 2, 0.0, 7.0, 3.0, 1.0),      // Tag2
                 row("GGGGGGGGGG", 3, 10.0, 120.0, 70.0, 15.0), // Tag3
-                row("TTTTTTTTTT", 4, 0.0, 20.0, 10.0, 4.0), // Tag4
+                row("TTTTTTTTTT", 4, 0.0, 20.0, 10.0, 4.0),    // Tag4
             ],
         );
         let sumy2 = SumyTable::new(

@@ -87,9 +87,7 @@ impl Interval {
                 Meets => self.hi == other.lo,
                 MetBy => self.lo == other.hi,
                 Overlaps => self.lo < other.lo && other.lo < self.hi && self.hi < other.hi,
-                OverlappedBy => {
-                    other.lo < self.lo && self.lo < other.hi && other.hi < self.hi
-                }
+                OverlappedBy => other.lo < self.lo && self.lo < other.hi && other.hi < self.hi,
                 During => self.lo > other.lo && self.hi < other.hi,
                 Includes => self.lo < other.lo && self.hi > other.hi,
                 Starts => self.lo == other.lo && self.hi < other.hi,
@@ -392,7 +390,10 @@ mod tests {
         assert_eq!(AllenRelation::Overlaps.symbol(), "o");
         assert_eq!(AllenRelation::Equals.symbol(), "e");
         assert_eq!(AllenRelation::parse("o"), Some(AllenRelation::Overlaps));
-        assert_eq!(AllenRelation::parse("overlaps"), Some(AllenRelation::Overlaps));
+        assert_eq!(
+            AllenRelation::parse("overlaps"),
+            Some(AllenRelation::Overlaps)
+        );
         assert_eq!(AllenRelation::parse("zzz"), None);
     }
 

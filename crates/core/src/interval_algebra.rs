@@ -266,7 +266,10 @@ mod tests {
         // before C.
         assert_eq!(compose_basic(Meets, Meets), RelationSet::singleton(Before));
         // during ∘ during = {during}.
-        assert_eq!(compose_basic(During, During), RelationSet::singleton(During));
+        assert_eq!(
+            compose_basic(During, During),
+            RelationSet::singleton(During)
+        );
         // equals is the identity.
         for r in AllenRelation::ALL {
             assert_eq!(compose_basic(Equals, r), RelationSet::singleton(r));
@@ -281,7 +284,10 @@ mod tests {
             RelationSet::from_relations([Before, Meets, Overlaps])
         );
         // starts ∘ during = {during}.
-        assert_eq!(compose_basic(Starts, During), RelationSet::singleton(During));
+        assert_eq!(
+            compose_basic(Starts, During),
+            RelationSet::singleton(During)
+        );
     }
 
     #[test]
@@ -299,10 +305,7 @@ mod tests {
             for &b in &intervals {
                 for &c in &intervals {
                     let composed = compose_basic(a.relation(b), b.relation(c));
-                    assert!(
-                        composed.contains(a.relation(c)),
-                        "unsound: {a} {b} {c}"
-                    );
+                    assert!(composed.contains(a.relation(c)), "unsound: {a} {b} {c}");
                 }
             }
         }

@@ -273,7 +273,11 @@ impl Lineage {
             node.name,
             node.kind,
             node.operation,
-            if node.materialized { "" } else { "; contents deleted" },
+            if node.materialized {
+                ""
+            } else {
+                "; contents deleted"
+            },
         ));
         let mut children = self.children(id);
         children.sort();
@@ -299,7 +303,13 @@ mod tests {
     fn history() -> (Lineage, NodeId, NodeId, NodeId, NodeId, NodeId) {
         let mut lin = Lineage::new();
         let brain = lin
-            .record("Ebrain", NodeKind::Enum, "select_tissue", params(&[("type", "brain")]), &[])
+            .record(
+                "Ebrain",
+                NodeKind::Enum,
+                "select_tissue",
+                params(&[("type", "brain")]),
+                &[],
+            )
             .unwrap();
         let fas = lin
             .record(
@@ -311,10 +321,22 @@ mod tests {
             )
             .unwrap();
         let s1 = lin
-            .record("brain25k_3CancerFasTbl", NodeKind::Sumy, "aggregate", vec![], &[fas])
+            .record(
+                "brain25k_3CancerFasTbl",
+                NodeKind::Sumy,
+                "aggregate",
+                vec![],
+                &[fas],
+            )
             .unwrap();
         let s2 = lin
-            .record("brain25k_3NormalTable", NodeKind::Sumy, "aggregate", vec![], &[fas])
+            .record(
+                "brain25k_3NormalTable",
+                NodeKind::Sumy,
+                "aggregate",
+                vec![],
+                &[fas],
+            )
             .unwrap();
         let gap = lin
             .record("b25canvsnor_gap1", NodeKind::Gap, "diff", vec![], &[s1, s2])
@@ -353,8 +375,11 @@ mod tests {
     #[test]
     fn comments() {
         let (mut lin, _, fas, ..) = history();
-        lin.set_comment(fas, "The compact tags in this fascicle are very interesting")
-            .unwrap();
+        lin.set_comment(
+            fas,
+            "The compact tags in this fascicle are very interesting",
+        )
+        .unwrap();
         assert!(lin.get(fas).unwrap().comment.contains("interesting"));
     }
 

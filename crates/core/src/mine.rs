@@ -157,10 +157,8 @@ pub fn mine(
         .enumerate()
         .map(|(i, (records, attrs))| {
             let name = format!("{base_name}_{}", i + 1);
-            let libraries: Vec<LibraryId> =
-                records.iter().map(|&r| LibraryId(r as u32)).collect();
-            let compact_tags: Vec<TagId> =
-                attrs.iter().map(|&a| TagId(a as u32)).collect();
+            let libraries: Vec<LibraryId> = records.iter().map(|&r| LibraryId(r as u32)).collect();
+            let compact_tags: Vec<TagId> = attrs.iter().map(|&a| TagId(a as u32)).collect();
             let members = table.matrix.select_libraries(&libraries);
             let sumy = aggregate_tags(&name, &members, &compact_tags);
             MinedCluster {
@@ -185,7 +183,9 @@ mod tests {
     /// fascicle), 3–5 scattered.
     fn table() -> EnumTable {
         let universe = TagUniverse::from_tags(
-            ["AAAAAAAAAA", "CCCCCCCCCC"].iter().map(|s| s.parse().unwrap()),
+            ["AAAAAAAAAA", "CCCCCCCCCC"]
+                .iter()
+                .map(|s| s.parse().unwrap()),
         );
         let libs = (0..6)
             .map(|i| {

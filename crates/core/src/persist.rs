@@ -114,9 +114,7 @@ fn decode_name(stem: &str) -> Result<String, PersistError> {
             let hex: String = chars.by_ref().take(4).collect();
             let code = u32::from_str_radix(&hex, 16)
                 .map_err(|e| malformed(format!("bad escape {hex:?}: {e}")))?;
-            out.push(
-                char::from_u32(code).ok_or_else(|| malformed("bad escape code"))?,
-            );
+            out.push(char::from_u32(code).ok_or_else(|| malformed("bad escape code"))?);
         } else {
             out.push(c);
         }
@@ -160,8 +158,7 @@ pub fn save_database_and_lineage(
         if !node.comment.is_empty() {
             writeln!(out, "comment\t{}", node.comment.replace('\n', " "))?;
         }
-        let parents: Vec<String> =
-            node.parents.iter().map(|p| p.0.to_string()).collect();
+        let parents: Vec<String> = node.parents.iter().map(|p| p.0.to_string()).collect();
         writeln!(out, "parents\t{}", parents.join(","))?;
         writeln!(out, "materialized\t{}", node.materialized as u8)?;
         writeln!(out, "end")?;
@@ -198,9 +195,7 @@ pub fn load_results(dir: &Path) -> Result<LoadedResults, PersistError> {
         let mut cols = Vec::new();
         for line in schema_text.lines() {
             let mut parts = line.split('\t');
-            let col = parts
-                .next()
-                .ok_or_else(|| malformed("empty schema line"))?;
+            let col = parts.next().ok_or_else(|| malformed("empty schema line"))?;
             let dtype = parse_dtype(
                 parts
                     .next()
@@ -208,8 +203,7 @@ pub fn load_results(dir: &Path) -> Result<LoadedResults, PersistError> {
             )?;
             cols.push((col.to_string(), dtype));
         }
-        let pairs: Vec<(&str, DataType)> =
-            cols.iter().map(|(n, t)| (n.as_str(), *t)).collect();
+        let pairs: Vec<(&str, DataType)> = cols.iter().map(|(n, t)| (n.as_str(), *t)).collect();
         let schema = Schema::from_pairs(&pairs)
             .map_err(|e| malformed(format!("bad schema for {name:?}: {e}")))?;
         let csv_path = dir.join(format!("{stem}.csv"));
@@ -242,32 +236,41 @@ pub fn load_results(dir: &Path) -> Result<LoadedResults, PersistError> {
                     });
                 }
                 "name" => {
-                    let cur = current.as_mut().ok_or_else(|| malformed("name outside node"))?;
+                    let cur = current
+                        .as_mut()
+                        .ok_or_else(|| malformed("name outside node"))?;
                     cur.name = decode_name(parts.next().unwrap_or(""))?;
                 }
                 "kind" => {
-                    let cur = current.as_mut().ok_or_else(|| malformed("kind outside node"))?;
+                    let cur = current
+                        .as_mut()
+                        .ok_or_else(|| malformed("kind outside node"))?;
                     cur.kind = Some(parse_kind(parts.next().unwrap_or(""))?);
                 }
                 "op" => {
-                    let cur = current.as_mut().ok_or_else(|| malformed("op outside node"))?;
+                    let cur = current
+                        .as_mut()
+                        .ok_or_else(|| malformed("op outside node"))?;
                     cur.operation = parts.next().unwrap_or("").to_string();
                 }
                 "param" => {
-                    let cur =
-                        current.as_mut().ok_or_else(|| malformed("param outside node"))?;
+                    let cur = current
+                        .as_mut()
+                        .ok_or_else(|| malformed("param outside node"))?;
                     let k = parts.next().unwrap_or("").to_string();
                     let v = parts.next().unwrap_or("").to_string();
                     cur.params.push((k, v));
                 }
                 "comment" => {
-                    let cur =
-                        current.as_mut().ok_or_else(|| malformed("comment outside node"))?;
+                    let cur = current
+                        .as_mut()
+                        .ok_or_else(|| malformed("comment outside node"))?;
                     cur.comment = parts.next().unwrap_or("").to_string();
                 }
                 "parents" => {
-                    let cur =
-                        current.as_mut().ok_or_else(|| malformed("parents outside node"))?;
+                    let cur = current
+                        .as_mut()
+                        .ok_or_else(|| malformed("parents outside node"))?;
                     let list = parts.next().unwrap_or("");
                     if !list.is_empty() {
                         for p in list.split(',') {
@@ -286,7 +289,9 @@ pub fn load_results(dir: &Path) -> Result<LoadedResults, PersistError> {
                 }
                 "end" => {
                     pending.push(
-                        current.take().ok_or_else(|| malformed("end outside node"))?,
+                        current
+                            .take()
+                            .ok_or_else(|| malformed("end outside node"))?,
                     );
                 }
                 "" => {}
@@ -378,10 +383,7 @@ mod tests {
     }
 
     fn temp_dir(tag: &str) -> std::path::PathBuf {
-        let dir = std::env::temp_dir().join(format!(
-            "gea_persist_{tag}_{}",
-            std::process::id()
-        ));
+        let dir = std::env::temp_dir().join(format!("gea_persist_{tag}_{}", std::process::id()));
         let _ = fs::remove_dir_all(&dir);
         dir
     }
@@ -413,9 +415,10 @@ mod tests {
         // Every materialized table survives with identical contents.
         for name in session.database().names() {
             let original = session.database().get(name).unwrap();
-            let reloaded = loaded.database.get(name).unwrap_or_else(|_| {
-                panic!("table {name:?} missing after reload")
-            });
+            let reloaded = loaded
+                .database
+                .get(name)
+                .unwrap_or_else(|_| panic!("table {name:?} missing after reload"));
             assert_eq!(reloaded, original, "table {name:?} differs");
         }
         // Lineage structure and comments survive.

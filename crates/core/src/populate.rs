@@ -79,13 +79,7 @@ fn library_satisfies(
 fn resolve_conditions(sumy: &SumyTable, table: &EnumTable) -> Vec<(Option<TagId>, f64, f64)> {
     sumy.rows()
         .iter()
-        .map(|r| {
-            (
-                table.matrix.id_of(r.tag),
-                r.range.lo(),
-                r.range.hi(),
-            )
-        })
+        .map(|r| (table.matrix.id_of(r.tag), r.range.lo(), r.range.hi()))
         .collect()
 }
 
@@ -99,9 +93,7 @@ pub fn populate_scan(sumy: &SumyTable, table: &EnumTable) -> (Vec<LibraryId>, Po
     let hits = table
         .matrix
         .library_ids()
-        .filter(|&lib| {
-            library_satisfies(table, &resolved, lib, None, &mut stats.comparisons)
-        })
+        .filter(|&lib| library_satisfies(table, &resolved, lib, None, &mut stats.comparisons))
         .collect();
     (hits, stats)
 }
@@ -116,10 +108,7 @@ pub fn populate_scan(sumy: &SumyTable, table: &EnumTable) -> (Vec<LibraryId>, Po
 /// reported `comparisons` therefore counts `n_libraries` cells per
 /// processed condition row, the I/O the thesis's DB2 baseline pays (the
 /// sequential baseline of Table 3.2).
-pub fn populate_columnar(
-    sumy: &SumyTable,
-    table: &EnumTable,
-) -> (Vec<LibraryId>, PopulateStats) {
+pub fn populate_columnar(sumy: &SumyTable, table: &EnumTable) -> (Vec<LibraryId>, PopulateStats) {
     let resolved = resolve_conditions(sumy, table);
     let n = table.n_libraries();
     let mut alive: Vec<bool> = vec![true; n];

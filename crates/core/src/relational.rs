@@ -96,8 +96,7 @@ pub fn sumy_from_relation(name: &str, table: &Table) -> Result<SumyTable, Conver
                 .as_i64()
                 .ok_or_else(|| ConvertError::Malformed("TagNo not int".into()))?
                 as u32,
-            range: Interval::new(lo, hi)
-                .map_err(|e| ConvertError::Malformed(e.to_string()))?,
+            range: Interval::new(lo, hi).map_err(|e| ConvertError::Malformed(e.to_string()))?,
             average: f("Average")?,
             std_dev: f("STDV")?,
             extras: Default::default(),
@@ -178,10 +177,7 @@ pub fn enum_to_relation(table: &EnumTable) -> Result<Table, ConvertError> {
     let schema = Schema::new(cols).map_err(TableError::Schema)?;
     let mut out = Table::new(schema);
     for tid in table.matrix.tag_ids() {
-        let mut row: Vec<Value> = vec![
-            table.matrix.tag_of(tid).to_string().into(),
-            tid.0.into(),
-        ];
+        let mut row: Vec<Value> = vec![table.matrix.tag_of(tid).to_string().into(), tid.0.into()];
         row.extend(table.matrix.tag_row(tid).iter().map(|&v| Value::Float(v)));
         out.push_row(row)?;
     }
@@ -199,19 +195,27 @@ mod tests {
 
     fn enum_table() -> EnumTable {
         let universe = TagUniverse::from_tags(
-            ["AAAAAAAAAA", "CCCCCCCCCC"].iter().map(|s| s.parse().unwrap()),
+            ["AAAAAAAAAA", "CCCCCCCCCC"]
+                .iter()
+                .map(|s| s.parse().unwrap()),
         );
         let libs = vec![
-            library_meta("L0", TissueType::Brain, NeoplasticState::Cancerous, TissueSource::BulkTissue),
-            library_meta("L1", TissueType::Brain, NeoplasticState::Normal, TissueSource::BulkTissue),
+            library_meta(
+                "L0",
+                TissueType::Brain,
+                NeoplasticState::Cancerous,
+                TissueSource::BulkTissue,
+            ),
+            library_meta(
+                "L1",
+                TissueType::Brain,
+                NeoplasticState::Normal,
+                TissueSource::BulkTissue,
+            ),
         ];
         EnumTable::new(
             "E",
-            ExpressionMatrix::from_rows(
-                universe,
-                libs,
-                vec![vec![10.0, 20.0], vec![3.0, 5.0]],
-            ),
+            ExpressionMatrix::from_rows(universe, libs, vec![vec![10.0, 20.0], vec![3.0, 5.0]]),
         )
     }
 
@@ -232,8 +236,16 @@ mod tests {
             "g",
             vec!["Gap".to_string()],
             vec![
-                GapRow { tag: "AAAAAAAAAA".parse().unwrap(), tag_no: 0, gaps: vec![Some(-1.5)] },
-                GapRow { tag: "CCCCCCCCCC".parse().unwrap(), tag_no: 1, gaps: vec![None] },
+                GapRow {
+                    tag: "AAAAAAAAAA".parse().unwrap(),
+                    tag_no: 0,
+                    gaps: vec![Some(-1.5)],
+                },
+                GapRow {
+                    tag: "CCCCCCCCCC".parse().unwrap(),
+                    tag_no: 1,
+                    gaps: vec![None],
+                },
             ],
         );
         let relation = gap_to_relation(&gap).unwrap();
@@ -272,16 +284,16 @@ mod tests {
             relation.value_by_name(0, "TagName").unwrap().as_str(),
             Some("AAAAAAAAAA")
         );
-        assert_eq!(relation.value_by_name(0, "L1").unwrap().as_f64(), Some(20.0));
+        assert_eq!(
+            relation.value_by_name(0, "L1").unwrap().as_f64(),
+            Some(20.0)
+        );
     }
 
     #[test]
     fn malformed_relation_rejected() {
-        let schema = Schema::from_pairs(&[
-            ("TagName", DataType::Text),
-            ("TagNo", DataType::Int),
-        ])
-        .unwrap();
+        let schema =
+            Schema::from_pairs(&[("TagName", DataType::Text), ("TagNo", DataType::Int)]).unwrap();
         let t = Table::new(schema);
         assert!(gap_from_relation("g", &t).is_err());
     }

@@ -131,8 +131,7 @@ pub fn libraries_with_tag_in_range(
         .library_ids()
         .filter_map(|lib| {
             let v = table.matrix.value(tid, lib);
-            (v >= lo && v <= hi)
-                .then(|| (table.matrix.library(lib).name.clone(), v))
+            (v >= lo && v <= hi).then(|| (table.matrix.library(lib).name.clone(), v))
         })
         .collect()
 }
@@ -247,9 +246,24 @@ mod tests {
                 .map(|s| s.parse().unwrap()),
         );
         let libs = vec![
-            library_meta("SAGE_293-IND", TissueType::Kidney, NeoplasticState::Cancerous, TissueSource::CellLine),
-            library_meta("SAGE_95-259", TissueType::Brain, NeoplasticState::Cancerous, TissueSource::BulkTissue),
-            library_meta("SAGE_95-260", TissueType::Brain, NeoplasticState::Cancerous, TissueSource::BulkTissue),
+            library_meta(
+                "SAGE_293-IND",
+                TissueType::Kidney,
+                NeoplasticState::Cancerous,
+                TissueSource::CellLine,
+            ),
+            library_meta(
+                "SAGE_95-259",
+                TissueType::Brain,
+                NeoplasticState::Cancerous,
+                TissueSource::BulkTissue,
+            ),
+            library_meta(
+                "SAGE_95-260",
+                TissueType::Brain,
+                NeoplasticState::Cancerous,
+                TissueSource::BulkTissue,
+            ),
         ];
         EnumTable::new(
             "E",
@@ -340,8 +354,9 @@ mod tests {
                 ("SAGE_95-260".to_string(), 7.0)
             ]
         );
-        assert!(libraries_with_tag_in_range(&t, "GGGGGGGGGG".parse().unwrap(), 0.0, 1.0)
-            .is_empty());
+        assert!(
+            libraries_with_tag_in_range(&t, "GGGGGGGGGG".parse().unwrap(), 0.0, 1.0).is_empty()
+        );
     }
 
     #[test]
@@ -358,10 +373,7 @@ mod tests {
             ],
             query,
         );
-        assert!(matches!(
-            results[0].1[0],
-            RangeSearchOutcome::Satisfied(_)
-        ));
+        assert!(matches!(results[0].1[0], RangeSearchOutcome::Satisfied(_)));
         assert_eq!(results[1].1[0], RangeSearchOutcome::NotSatisfied);
         assert_eq!(results[2].1[0], RangeSearchOutcome::NotInTable);
         assert_eq!(results[1].1[0].display(), "NO");

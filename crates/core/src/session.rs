@@ -144,7 +144,10 @@ impl GeaSession {
             NodeKind::Enum,
             "clean",
             vec![
-                ("min_tolerance".to_string(), config.min_tolerance.to_string()),
+                (
+                    "min_tolerance".to_string(),
+                    config.min_tolerance.to_string(),
+                ),
                 (
                     "scale_to".to_string(),
                     config
@@ -224,9 +227,8 @@ impl GeaSession {
         group_b: &[&str],
     ) -> Result<crate::xprofiler::XProfilerResult, GeaError> {
         let table = self.enum_table(dataset)?;
-        let resolve = |names: &[&str]| {
-            table.library_ids_where(|m| names.contains(&m.name.as_str()))
-        };
+        let resolve =
+            |names: &[&str]| table.library_ids_where(|m| names.contains(&m.name.as_str()));
         let a = resolve(group_a);
         let b = resolve(group_b);
         if a.is_empty() || b.is_empty() {
@@ -381,10 +383,88 @@ impl GeaSession {
         Ok(())
     }
 
+    /// `σ_libraries(dataset)`: a new ENUM table keeping only the named
+    /// libraries of an existing data set — the GQL `select` operation
+    /// (a generalization of [`GeaSession::create_custom_dataset`], which
+    /// always selects from the root).
+    pub fn select_dataset_libraries(
+        &mut self,
+        name: &str,
+        dataset: &str,
+        library_names: &[&str],
+    ) -> Result<(), GeaError> {
+        self.check_name_free(name)?;
+        let source = self.enum_table(dataset)?;
+        let table = source.select_libraries(name, |m| library_names.contains(&m.name.as_str()));
+        if table.n_libraries() == 0 {
+            return Err(GeaError::EmptyGroup(format!("selection from {dataset}")));
+        }
+        let parent = self.node(dataset).ok_or_else(|| GeaError::NotFound {
+            kind: "ENUM",
+            name: dataset.to_string(),
+        })?;
+        self.record_node(
+            name,
+            NodeKind::Enum,
+            "select_libraries",
+            vec![
+                ("dataset".to_string(), dataset.to_string()),
+                ("libraries".to_string(), library_names.join(",")),
+            ],
+            &[parent],
+        )?;
+        self.enums.insert(name.to_string(), table);
+        Ok(())
+    }
+
+    /// `π_tags(dataset)`: a new ENUM table keeping only the given tags of an
+    /// existing data set — the GQL `project` operation. Tags absent from the
+    /// data set are ignored; projecting onto nothing is an error.
+    pub fn project_dataset_tags(
+        &mut self,
+        name: &str,
+        dataset: &str,
+        tags: &[Tag],
+    ) -> Result<(), GeaError> {
+        self.check_name_free(name)?;
+        let source = self.enum_table(dataset)?;
+        let ids: Vec<_> = tags
+            .iter()
+            .filter_map(|&t| source.matrix.id_of(t))
+            .collect();
+        if ids.is_empty() {
+            return Err(GeaError::EmptyGroup(format!(
+                "projection of {dataset} onto {} tag(s)",
+                tags.len()
+            )));
+        }
+        let table = source.select_tags(name, &ids);
+        let parent = self.node(dataset).ok_or_else(|| GeaError::NotFound {
+            kind: "ENUM",
+            name: dataset.to_string(),
+        })?;
+        self.record_node(
+            name,
+            NodeKind::Enum,
+            "project_tags",
+            vec![
+                ("dataset".to_string(), dataset.to_string()),
+                ("tags".to_string(), ids.len().to_string()),
+            ],
+            &[parent],
+        )?;
+        self.enums.insert(name.to_string(), table);
+        Ok(())
+    }
+
     // ----- mining (§4.3.1.2 steps 2–3) -------------------------------------
 
     /// The Figure 4.5 metadata generator for a registered data set.
-    pub fn metadata(&self, dataset: &str, width_fraction: f64) -> Result<ToleranceVector, GeaError> {
+    pub fn metadata(
+        &self,
+        dataset: &str,
+        width_fraction: f64,
+    ) -> Result<ToleranceVector, GeaError> {
         Ok(generate_metadata(self.enum_table(dataset)?, width_fraction))
     }
 
@@ -401,15 +481,19 @@ impl GeaSession {
         let table = self.enum_table(dataset)?.clone();
         let tol = generate_metadata(&table, width_fraction);
         let clusters = mine(&table, out, &Miner::Fascicles(params.clone()), Some(&tol));
-        let parent = self
-            .node(dataset)
-            .ok_or_else(|| GeaError::NotFound { kind: "ENUM", name: dataset.to_string() })?;
+        let parent = self.node(dataset).ok_or_else(|| GeaError::NotFound {
+            kind: "ENUM",
+            name: dataset.to_string(),
+        })?;
         let mut names = Vec::with_capacity(clusters.len());
         for cluster in clusters {
             self.check_name_free(&cluster.name)?;
             let lineage_params = vec![
                 ("tissue_dataset".to_string(), dataset.to_string()),
-                ("compact_attrs".to_string(), params.min_compact_attrs.to_string()),
+                (
+                    "compact_attrs".to_string(),
+                    params.min_compact_attrs.to_string(),
+                ),
                 ("width_fraction".to_string(), width_fraction.to_string()),
                 ("batch".to_string(), params.batch_size.to_string()),
                 ("min_size".to_string(), params.min_records.to_string()),
@@ -441,10 +525,10 @@ impl GeaSession {
                 sumy_name: cluster.name.clone(),
                 purity: Vec::new(),
             };
-            self.db
-                .create_or_replace(&cluster.name, enum_to_relation(&members_enum).map_err(
-                    |e| GeaError::EmptyGroup(e.to_string()),
-                )?);
+            self.db.create_or_replace(
+                &cluster.name,
+                enum_to_relation(&members_enum).map_err(|e| GeaError::EmptyGroup(e.to_string()))?,
+            );
             self.enums.insert(cluster.name.clone(), members_enum);
             self.sumys.insert(cluster.name.clone(), cluster.sumy);
             self.fascicles.insert(cluster.name.clone(), record);
@@ -455,15 +539,24 @@ impl GeaSession {
 
     // ----- purity and control groups (§4.3.1.2 steps 4–5) ------------------
 
+    /// The purity check without the bookkeeping: which properties all of a
+    /// fascicle's member libraries share. Unlike [`GeaSession::purity_check`]
+    /// this takes `&self`, so concurrent front-ends (the query server) can
+    /// answer it under a shared read lock.
+    pub fn purity_properties(&self, fascicle: &str) -> Result<Vec<LibraryProperty>, GeaError> {
+        self.fascicle(fascicle)?;
+        Ok(self.enum_table(fascicle)?.pure_properties())
+    }
+
     /// The Figure 4.8 purity check: which properties all member libraries
     /// share. The result is remembered on the fascicle record.
     pub fn purity_check(&mut self, fascicle: &str) -> Result<Vec<LibraryProperty>, GeaError> {
         let table = self.enum_table(fascicle)?.clone();
         let purity = table.pure_properties();
-        let record = self
-            .fascicles
-            .get_mut(fascicle)
-            .ok_or(GeaError::NotFound { kind: "fascicle", name: fascicle.to_string() })?;
+        let record = self.fascicles.get_mut(fascicle).ok_or(GeaError::NotFound {
+            kind: "fascicle",
+            name: fascicle.to_string(),
+        })?;
         record.purity = purity.clone();
         Ok(purity)
     }
@@ -516,9 +609,8 @@ impl GeaSession {
             m.has_property(property) && !members.contains(m.name.as_str())
         });
         // ENUM₃: the contrasting property.
-        let contrast = dataset.select_libraries(&names.contrast, |m| {
-            m.has_property(contrast_property)
-        });
+        let contrast =
+            dataset.select_libraries(&names.contrast, |m| m.has_property(contrast_property));
         for (label, table) in [("outside group", &outside), ("contrast group", &contrast)] {
             if table.n_libraries() == 0 {
                 return Err(GeaError::EmptyGroup(label.to_string()));
@@ -528,8 +620,7 @@ impl GeaSession {
         // SUMY tables over the compact tags only.
         let in_members = dataset.select_libraries("tmp", |m| members.contains(m.name.as_str()));
         let sumy_in = aggregate_tags(&names.in_fascicle, &in_members.matrix, &compact_ids);
-        let sumy_out =
-            aggregate_tags(&names.outside_fascicle, &outside.matrix, &compact_ids);
+        let sumy_out = aggregate_tags(&names.outside_fascicle, &outside.matrix, &compact_ids);
         let sumy_contrast = aggregate_tags(&names.contrast, &contrast.matrix, &compact_ids);
 
         let parent = self.node(fascicle).expect("fascicle recorded");
@@ -640,10 +731,11 @@ impl GeaSession {
         self.check_name_free(name)?;
         let g1 = self.gap(first)?;
         let g2 = self.gap(second)?;
-        let result =
-            compare_gaps(name, g1, g2, op, query).ok_or(GeaError::QueryNotApplicable)?;
-        let parents: Vec<NodeId> =
-            [first, second].iter().filter_map(|n| self.node(n)).collect();
+        let result = compare_gaps(name, g1, g2, op, query).ok_or(GeaError::QueryNotApplicable)?;
+        let parents: Vec<NodeId> = [first, second]
+            .iter()
+            .filter_map(|n| self.node(n))
+            .collect();
         self.record_node(
             name,
             NodeKind::Compare,
@@ -798,7 +890,10 @@ mod tests {
             .filter(|&a| {
                 let vals = view.attr_values(a);
                 let lo = ids.iter().map(|&r| vals[r]).fold(f64::INFINITY, f64::min);
-                let hi = ids.iter().map(|&r| vals[r]).fold(f64::NEG_INFINITY, f64::max);
+                let hi = ids
+                    .iter()
+                    .map(|&r| vals[r])
+                    .fold(f64::NEG_INFINITY, f64::max);
                 hi - lo <= tol.get(a)
             })
             .count();
@@ -812,7 +907,8 @@ mod tests {
     #[test]
     fn case_1_pipeline_recovers_planted_structure() {
         let (mut s, truth) = session();
-        s.create_tissue_dataset("Ebrain", &TissueType::Brain).unwrap();
+        s.create_tissue_dataset("Ebrain", &TissueType::Brain)
+            .unwrap();
         let fascicles = s
             .calculate_fascicles("Ebrain", "brain", 0.10, &brain_params(&s, &truth))
             .unwrap();
@@ -872,7 +968,8 @@ mod tests {
     #[test]
     fn session_xprofiler_pools() {
         let (mut s, _) = session();
-        s.create_tissue_dataset("Ebrain", &TissueType::Brain).unwrap();
+        s.create_tissue_dataset("Ebrain", &TissueType::Brain)
+            .unwrap();
         let cancer: Vec<String> = s
             .enum_table("Ebrain")
             .unwrap()
@@ -904,7 +1001,8 @@ mod tests {
     #[test]
     fn duplicate_names_rejected() {
         let (mut s, _) = session();
-        s.create_tissue_dataset("Ebrain", &TissueType::Brain).unwrap();
+        s.create_tissue_dataset("Ebrain", &TissueType::Brain)
+            .unwrap();
         assert!(matches!(
             s.create_tissue_dataset("Ebrain", &TissueType::Breast),
             Err(GeaError::NameTaken(_))
@@ -942,7 +1040,8 @@ mod tests {
     #[test]
     fn impure_fascicle_blocks_control_groups() {
         let (mut s, truth) = session();
-        s.create_tissue_dataset("Ebrain", &TissueType::Brain).unwrap();
+        s.create_tissue_dataset("Ebrain", &TissueType::Brain)
+            .unwrap();
         let fascicles = s
             .calculate_fascicles("Ebrain", "brain", 0.10, &brain_params(&s, &truth))
             .unwrap();
@@ -961,7 +1060,8 @@ mod tests {
     #[test]
     fn regenerate_after_contents_only_delete() {
         let (mut s, truth) = session();
-        s.create_tissue_dataset("Ebrain", &TissueType::Brain).unwrap();
+        s.create_tissue_dataset("Ebrain", &TissueType::Brain)
+            .unwrap();
         let fascicles = s
             .calculate_fascicles("Ebrain", "brain", 0.10, &brain_params(&s, &truth))
             .unwrap();
@@ -983,7 +1083,8 @@ mod tests {
     #[test]
     fn top_gap_derivation() {
         let (mut s, truth) = session();
-        s.create_tissue_dataset("Ebrain", &TissueType::Brain).unwrap();
+        s.create_tissue_dataset("Ebrain", &TissueType::Brain)
+            .unwrap();
         let fascicles = s
             .calculate_fascicles("Ebrain", "brain", 0.10, &brain_params(&s, &truth))
             .unwrap();
@@ -995,8 +1096,11 @@ mod tests {
             })
             .cloned();
         let Some(target) = target else { return };
-        let groups = s.form_control_groups(&target, LibraryProperty::Cancer).unwrap();
-        s.create_gap("g", &groups.in_fascicle, &groups.contrast).unwrap();
+        let groups = s
+            .form_control_groups(&target, LibraryProperty::Cancer)
+            .unwrap();
+        s.create_gap("g", &groups.in_fascicle, &groups.contrast)
+            .unwrap();
         let top_name = s
             .calculate_top_gap("g", 10, TopGapOrder::LargestMagnitude)
             .unwrap();

@@ -92,12 +92,7 @@ impl SumyTable {
 
     /// Range selection via an Allen relation: keep tags whose `[min, max]`
     /// stands in `rel` to `query` (Figure 4.17's "any tag" search).
-    pub fn select_range(
-        &self,
-        name: &str,
-        rel: AllenRelation,
-        query: Interval,
-    ) -> SumyTable {
+    pub fn select_range(&self, name: &str, rel: AllenRelation, query: Interval) -> SumyTable {
         self.select(name, |r| r.range.satisfies(rel, query))
     }
 
@@ -227,7 +222,8 @@ pub fn aggregate_with_extras(
         let tid = matrix.id_of(row.tag).expect("row tag in matrix");
         let values = matrix.tag_row(tid);
         for extra in extras {
-            row.extras.insert(extra.column_name(), extra.compute(values));
+            row.extras
+                .insert(extra.column_name(), extra.compute(values));
         }
     }
     SumyTable::new(name, rows)
@@ -285,7 +281,7 @@ mod tests {
             universe,
             libs,
             vec![
-                vec![2.0, 4.0, 4.0, 6.0],   // avg 4, sd sqrt(2)
+                vec![2.0, 4.0, 4.0, 6.0],     // avg 4, sd sqrt(2)
                 vec![10.0, 10.0, 10.0, 10.0], // constant
                 vec![0.0, 1.0, 2.0, 3.0],
             ],

@@ -149,10 +149,26 @@ mod tests {
             "g",
             vec!["Gap".to_string()],
             vec![
-                GapRow { tag: "AAAAAAAAAA".parse().unwrap(), tag_no: 0, gaps: vec![Some(5.0)] },
-                GapRow { tag: "CCCCCCCCCC".parse().unwrap(), tag_no: 1, gaps: vec![Some(-20.0)] },
-                GapRow { tag: "GGGGGGGGGG".parse().unwrap(), tag_no: 2, gaps: vec![None] },
-                GapRow { tag: "TTTTTTTTTT".parse().unwrap(), tag_no: 3, gaps: vec![Some(12.0)] },
+                GapRow {
+                    tag: "AAAAAAAAAA".parse().unwrap(),
+                    tag_no: 0,
+                    gaps: vec![Some(5.0)],
+                },
+                GapRow {
+                    tag: "CCCCCCCCCC".parse().unwrap(),
+                    tag_no: 1,
+                    gaps: vec![Some(-20.0)],
+                },
+                GapRow {
+                    tag: "GGGGGGGGGG".parse().unwrap(),
+                    tag_no: 2,
+                    gaps: vec![None],
+                },
+                GapRow {
+                    tag: "TTTTTTTTTT".parse().unwrap(),
+                    tag_no: 3,
+                    gaps: vec![Some(12.0)],
+                },
             ],
         )
     }
@@ -183,22 +199,32 @@ mod tests {
 
     #[test]
     fn distribution_labels_series() {
-        let universe =
-            TagUniverse::from_tags(["AAAAAAAAAA".parse::<Tag>().unwrap()]);
+        let universe = TagUniverse::from_tags(["AAAAAAAAAA".parse::<Tag>().unwrap()]);
         let libs = vec![
-            library_meta("c_in", TissueType::Brain, NeoplasticState::Cancerous, TissueSource::BulkTissue),
-            library_meta("c_out", TissueType::Brain, NeoplasticState::Cancerous, TissueSource::BulkTissue),
-            library_meta("n", TissueType::Brain, NeoplasticState::Normal, TissueSource::BulkTissue),
+            library_meta(
+                "c_in",
+                TissueType::Brain,
+                NeoplasticState::Cancerous,
+                TissueSource::BulkTissue,
+            ),
+            library_meta(
+                "c_out",
+                TissueType::Brain,
+                NeoplasticState::Cancerous,
+                TissueSource::BulkTissue,
+            ),
+            library_meta(
+                "n",
+                TissueType::Brain,
+                NeoplasticState::Normal,
+                TissueSource::BulkTissue,
+            ),
         ];
         let table = EnumTable::new(
             "E",
             ExpressionMatrix::from_rows(universe, libs, vec![vec![275.0, 180.0, 100.0]]),
         );
-        let points = tag_distribution(
-            &table,
-            "AAAAAAAAAA".parse().unwrap(),
-            &["c_in".to_string()],
-        );
+        let points = tag_distribution(&table, "AAAAAAAAAA".parse().unwrap(), &["c_in".to_string()]);
         assert_eq!(points.len(), 3);
         assert_eq!(points[0].series, PlotSeries::CancerInFascicle);
         assert_eq!(points[1].series, PlotSeries::CancerOutsideFascicle);
@@ -211,8 +237,7 @@ mod tests {
 
     #[test]
     fn distribution_of_unknown_tag_is_empty() {
-        let universe =
-            TagUniverse::from_tags(["AAAAAAAAAA".parse::<Tag>().unwrap()]);
+        let universe = TagUniverse::from_tags(["AAAAAAAAAA".parse::<Tag>().unwrap()]);
         let libs = vec![library_meta(
             "x",
             TissueType::Brain,

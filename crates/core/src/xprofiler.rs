@@ -160,10 +160,8 @@ pub fn compare_pools(
 /// naive xProfiler user makes (all cancerous vs all normal).
 pub fn compare_cancer_vs_normal(table: &EnumTable) -> XProfilerResult {
     use gea_sage::NeoplasticState;
-    let cancer: Vec<LibraryId> = table
-        .library_ids_where(|m| m.state == NeoplasticState::Cancerous);
-    let normal: Vec<LibraryId> =
-        table.library_ids_where(|m| m.state == NeoplasticState::Normal);
+    let cancer: Vec<LibraryId> = table.library_ids_where(|m| m.state == NeoplasticState::Cancerous);
+    let normal: Vec<LibraryId> = table.library_ids_where(|m| m.state == NeoplasticState::Normal);
     compare_pools(table, &cancer, &normal)
 }
 

@@ -95,8 +95,7 @@ fn row_key(row: &[Value]) -> String {
 /// − — rows of `a` that do not appear in `b` (set difference on whole rows).
 pub fn difference(a: &Table, b: &Table) -> Result<Table, TableError> {
     check_union_compatible(a, b)?;
-    let exclude: std::collections::HashSet<String> =
-        b.rows().map(|r| row_key(&r)).collect();
+    let exclude: std::collections::HashSet<String> = b.rows().map(|r| row_key(&r)).collect();
     let keep: Vec<usize> = (0..a.n_rows())
         .filter(|&r| !exclude.contains(&row_key(&a.row(r))))
         .collect();
@@ -147,7 +146,10 @@ pub fn equi_join(
         if key.is_null() {
             continue; // NULL never joins
         }
-        index.entry(row_key(std::slice::from_ref(key))).or_default().push(r);
+        index
+            .entry(row_key(std::slice::from_ref(key)))
+            .or_default()
+            .push(r);
     }
     for ra in 0..a.n_rows() {
         let key = a.value(ra, ia);
@@ -269,13 +271,10 @@ fn apply_agg(func: AggFunc, values: &[&Value]) -> Value {
         AggFunc::Sum => Value::Float(nums.iter().sum()),
         AggFunc::Avg => Value::Float(nums.iter().sum::<f64>() / nums.len() as f64),
         AggFunc::Min => Value::Float(nums.iter().cloned().fold(f64::INFINITY, f64::min)),
-        AggFunc::Max => {
-            Value::Float(nums.iter().cloned().fold(f64::NEG_INFINITY, f64::max))
-        }
+        AggFunc::Max => Value::Float(nums.iter().cloned().fold(f64::NEG_INFINITY, f64::max)),
         AggFunc::StdDev => {
             let mean = nums.iter().sum::<f64>() / nums.len() as f64;
-            let var =
-                nums.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / nums.len() as f64;
+            let var = nums.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / nums.len() as f64;
             Value::Float(var.sqrt())
         }
     }
@@ -284,11 +283,7 @@ fn apply_agg(func: AggFunc, values: &[&Value]) -> Value {
 /// γ — group-by aggregation. With empty `group_by` the whole table is one
 /// group (returning exactly one row, even for an empty input). Groups appear
 /// in order of first occurrence.
-pub fn aggregate(
-    table: &Table,
-    group_by: &[&str],
-    aggs: &[AggExpr],
-) -> Result<Table, TableError> {
+pub fn aggregate(table: &Table, group_by: &[&str], aggs: &[AggExpr]) -> Result<Table, TableError> {
     let group_idxs: Vec<usize> = group_by
         .iter()
         .map(|c| table.schema().index_of(c))
@@ -317,7 +312,10 @@ pub fn aggregate(
     let mut group_order: Vec<String> = Vec::new();
     let mut groups: HashMap<String, Vec<usize>> = HashMap::new();
     for r in 0..table.n_rows() {
-        let key_vals: Vec<Value> = group_idxs.iter().map(|&i| table.value(r, i).clone()).collect();
+        let key_vals: Vec<Value> = group_idxs
+            .iter()
+            .map(|&i| table.value(r, i).clone())
+            .collect();
         let key = row_key(&key_vals);
         if !groups.contains_key(&key) {
             group_order.push(key.clone());
@@ -408,7 +406,10 @@ mod tests {
         let r = rename(&t, "Tags", "TotalTags").unwrap();
         assert!(r.schema().index_of("TotalTags").is_ok());
         assert!(r.schema().index_of("Tags").is_err());
-        assert_eq!(r.value_by_name(0, "TotalTags").unwrap().as_i64(), Some(52371));
+        assert_eq!(
+            r.value_by_name(0, "TotalTags").unwrap().as_i64(),
+            Some(52371)
+        );
     }
 
     #[test]
@@ -434,8 +435,7 @@ mod tests {
     fn join_links_relations() {
         let t = libraries();
         let schema =
-            Schema::from_pairs(&[("Lib", DataType::Int), ("Fascicle", DataType::Text)])
-                .unwrap();
+            Schema::from_pairs(&[("Lib", DataType::Int), ("Fascicle", DataType::Text)]).unwrap();
         let mut membership = Table::new(schema);
         membership
             .extend_rows(vec![
@@ -549,11 +549,8 @@ mod tests {
     #[test]
     fn select_with_range_predicate() {
         let t = libraries();
-        let p = Predicate::cmp("Tags", CmpOp::Ge, 24481).and(Predicate::cmp(
-            "Tags",
-            CmpOp::Lt,
-            52371,
-        ));
+        let p =
+            Predicate::cmp("Tags", CmpOp::Ge, 24481).and(Predicate::cmp("Tags", CmpOp::Lt, 52371));
         let s = select(&t, &p).unwrap();
         assert_eq!(s.n_rows(), 2);
     }

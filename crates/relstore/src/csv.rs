@@ -144,12 +144,7 @@ fn split_record(line: &str, lineno: usize) -> Result<Vec<(String, bool)>, CsvErr
     Ok(fields)
 }
 
-fn parse_value(
-    raw: &str,
-    quoted: bool,
-    dtype: DataType,
-    lineno: usize,
-) -> Result<Value, CsvError> {
+fn parse_value(raw: &str, quoted: bool, dtype: DataType, lineno: usize) -> Result<Value, CsvError> {
     if raw == "NULL" && !quoted {
         return Ok(Value::Null);
     }
@@ -213,11 +208,7 @@ pub fn import_csv(schema: Schema, r: &mut impl Read) -> Result<Table, CsvError> 
         if fields.len() != table.n_cols() {
             return Err(CsvError::Malformed {
                 line: lineno,
-                detail: format!(
-                    "expected {} fields, got {}",
-                    table.n_cols(),
-                    fields.len()
-                ),
+                detail: format!("expected {} fields, got {}", table.n_cols(), fields.len()),
             });
         }
         let mut row = Vec::with_capacity(fields.len());
@@ -247,12 +238,27 @@ mod tests {
 
     fn sample_table() -> Table {
         let mut t = Table::new(schema());
-        t.push_row(vec!["AAACACCAAA".into(), 557.into(), (-1.5).into(), true.into()])
-            .unwrap();
-        t.push_row(vec!["with,comma".into(), 2.into(), Value::Null, false.into()])
-            .unwrap();
-        t.push_row(vec!["quote\"inside".into(), 3.into(), 0.25.into(), true.into()])
-            .unwrap();
+        t.push_row(vec![
+            "AAACACCAAA".into(),
+            557.into(),
+            (-1.5).into(),
+            true.into(),
+        ])
+        .unwrap();
+        t.push_row(vec![
+            "with,comma".into(),
+            2.into(),
+            Value::Null,
+            false.into(),
+        ])
+        .unwrap();
+        t.push_row(vec![
+            "quote\"inside".into(),
+            3.into(),
+            0.25.into(),
+            true.into(),
+        ])
+        .unwrap();
         t.push_row(vec!["NULL".into(), 4.into(), 1.0.into(), false.into()])
             .unwrap();
         t

@@ -82,9 +82,7 @@ mod tests {
     #[test]
     fn uniform_spread_has_high_entropy() {
         let uniform: Vec<f64> = (0..64).map(|i| i as f64).collect();
-        let concentrated: Vec<f64> = (0..64)
-            .map(|i| if i == 0 { 100.0 } else { 0.0 })
-            .collect();
+        let concentrated: Vec<f64> = (0..64).map(|i| if i == 0 { 100.0 } else { 0.0 }).collect();
         let hu = entropy(&uniform, 16);
         let hc = entropy(&concentrated, 16);
         assert!(hu > 3.9, "uniform entropy {hu}");

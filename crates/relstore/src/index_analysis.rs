@@ -54,13 +54,7 @@ impl LnFactorial {
 
 /// `Prob(exactly w of the p SUMY tags are indexed)` under the thesis's
 /// binomial model with hit probability `m/n`.
-pub fn prob_exactly_w_binomial(
-    table: &LnFactorial,
-    n: usize,
-    p: usize,
-    m: usize,
-    w: usize,
-) -> f64 {
+pub fn prob_exactly_w_binomial(table: &LnFactorial, n: usize, p: usize, m: usize, w: usize) -> f64 {
     if w > p || m > n || n == 0 {
         return 0.0;
     }
@@ -101,8 +95,7 @@ pub fn prob_exactly_w_hypergeometric(
     if w > m || w > p || p > n || m > n || p - w > n - m {
         return 0.0;
     }
-    let ln_p =
-        table.ln_choose(m, w) + table.ln_choose(n - m, p - w) - table.ln_choose(n, p);
+    let ln_p = table.ln_choose(m, w) + table.ln_choose(n - m, p - w) - table.ln_choose(n, p);
     ln_p.exp()
 }
 
@@ -139,12 +132,7 @@ pub fn min_indexes_binomial(n: usize, p: usize, w: usize, threshold: f64) -> Opt
 }
 
 /// Smallest `m` under the exact hypergeometric model.
-pub fn min_indexes_hypergeometric(
-    n: usize,
-    p: usize,
-    w: usize,
-    threshold: f64,
-) -> Option<usize> {
+pub fn min_indexes_hypergeometric(n: usize, p: usize, w: usize, threshold: f64) -> Option<usize> {
     min_indexes_with(prob_at_least_w_hypergeometric, n, p, w, threshold)
 }
 

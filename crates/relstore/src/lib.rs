@@ -35,8 +35,8 @@ pub mod table;
 pub mod value;
 
 pub use algebra::{
-    aggregate, difference, distinct, equi_join, project, rename, select, sort,
-    union, AggExpr, AggFunc, SortKey,
+    aggregate, difference, distinct, equi_join, project, rename, select, sort, union, AggExpr,
+    AggFunc, SortKey,
 };
 pub use catalog::{CatalogError, Database};
 pub use csv::{export_csv, import_csv, CsvError};

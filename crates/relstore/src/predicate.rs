@@ -172,12 +172,8 @@ impl Predicate {
                     .unwrap_or(false);
                 Ok(ge_lo && le_hi)
             }
-            Predicate::IsNull(column) => {
-                Ok(table.value_by_name(row, column)?.is_null())
-            }
-            Predicate::IsNotNull(column) => {
-                Ok(!table.value_by_name(row, column)?.is_null())
-            }
+            Predicate::IsNull(column) => Ok(table.value_by_name(row, column)?.is_null()),
+            Predicate::IsNotNull(column) => Ok(!table.value_by_name(row, column)?.is_null()),
             Predicate::And(a, b) => Ok(a.eval(table, row)? && b.eval(table, row)?),
             Predicate::Or(a, b) => Ok(a.eval(table, row)? || b.eval(table, row)?),
             Predicate::Not(inner) => Ok(!inner.eval(table, row)?),
@@ -186,10 +182,7 @@ impl Predicate {
 
     /// Resolve column names to indexes once, returning a closure suitable
     /// for scanning many rows.
-    pub fn compile<'t>(
-        &self,
-        table: &'t Table,
-    ) -> Result<CompiledPredicate<'t>, TableError> {
+    pub fn compile<'t>(&self, table: &'t Table) -> Result<CompiledPredicate<'t>, TableError> {
         let node = self.compile_node(table.schema())?;
         Ok(CompiledPredicate { table, node })
     }
@@ -263,9 +256,7 @@ impl CompiledPredicate<'_> {
                 }
                 Node::IsNull(col) => table.value(row, *col).is_null(),
                 Node::IsNotNull(col) => !table.value(row, *col).is_null(),
-                Node::And(a, b) => {
-                    eval(a, table, row) && eval(b, table, row)
-                }
+                Node::And(a, b) => eval(a, table, row) && eval(b, table, row),
                 Node::Or(a, b) => eval(a, table, row) || eval(b, table, row),
                 Node::Not(inner) => !eval(inner, table, row),
             }
@@ -281,11 +272,8 @@ mod tests {
     use crate::value::DataType;
 
     fn table() -> Table {
-        let schema = Schema::from_pairs(&[
-            ("tag", DataType::Text),
-            ("gap", DataType::Float),
-        ])
-        .unwrap();
+        let schema =
+            Schema::from_pairs(&[("tag", DataType::Text), ("gap", DataType::Float)]).unwrap();
         let mut t = Table::new(schema);
         t.push_row(vec!["t1".into(), (-1.0).into()]).unwrap();
         t.push_row(vec!["t2".into(), Value::Null]).unwrap();
@@ -343,8 +331,7 @@ mod tests {
     #[test]
     fn compiled_matches_interpreted() {
         let t = table();
-        let p = Predicate::between("gap", -5.0, 5.0)
-            .and(Predicate::eq("tag", "t3").not());
+        let p = Predicate::between("gap", -5.0, 5.0).and(Predicate::eq("tag", "t3").not());
         let compiled = p.compile(&t).unwrap();
         for r in 0..3 {
             assert_eq!(compiled.matches(r), p.eval(&t, r).unwrap());

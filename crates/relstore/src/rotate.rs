@@ -120,7 +120,10 @@ mod tests {
         // Physical structure (b): tags as rows, libraries as columns.
         assert_eq!(r.n_rows(), 2);
         assert_eq!(r.n_cols(), 4);
-        assert_eq!(r.value_by_name(0, "Tag").unwrap().as_str(), Some("AAAAAAAAAA"));
+        assert_eq!(
+            r.value_by_name(0, "Tag").unwrap().as_str(),
+            Some("AAAAAAAAAA")
+        );
         assert_eq!(r.value_by_name(0, "Lib2").unwrap().as_f64(), Some(1418.0));
         assert_eq!(r.value_by_name(1, "Lib3").unwrap().as_f64(), Some(18.0));
     }
@@ -155,11 +158,7 @@ mod tests {
 
     #[test]
     fn rotation_rejects_non_numeric_values() {
-        let schema = Schema::from_pairs(&[
-            ("k", DataType::Text),
-            ("v", DataType::Text),
-        ])
-        .unwrap();
+        let schema = Schema::from_pairs(&[("k", DataType::Text), ("v", DataType::Text)]).unwrap();
         let mut t = Table::new(schema);
         t.push_row(vec!["a".into(), "oops".into()]).unwrap();
         assert!(rotate(&t, "k", "col").is_err());
@@ -167,11 +166,7 @@ mod tests {
 
     #[test]
     fn rotation_preserves_nulls() {
-        let schema = Schema::from_pairs(&[
-            ("k", DataType::Text),
-            ("v", DataType::Float),
-        ])
-        .unwrap();
+        let schema = Schema::from_pairs(&[("k", DataType::Text), ("v", DataType::Float)]).unwrap();
         let mut t = Table::new(schema);
         t.push_row(vec!["a".into(), Value::Null]).unwrap();
         let r = rotate(&t, "k", "col").unwrap();

@@ -66,12 +66,7 @@ impl Schema {
 
     /// Build from `(name, type)` pairs, rejecting duplicates.
     pub fn from_pairs(pairs: &[(&str, DataType)]) -> Result<Schema, SchemaError> {
-        Schema::new(
-            pairs
-                .iter()
-                .map(|(n, t)| Column::new(n, *t))
-                .collect(),
-        )
+        Schema::new(pairs.iter().map(|(n, t)| Column::new(n, *t)).collect())
     }
 
     /// Number of columns.
@@ -141,8 +136,7 @@ mod tests {
 
     #[test]
     fn rejects_duplicates() {
-        let err = Schema::from_pairs(&[("a", DataType::Int), ("a", DataType::Text)])
-            .unwrap_err();
+        let err = Schema::from_pairs(&[("a", DataType::Int), ("a", DataType::Text)]).unwrap_err();
         assert_eq!(err, SchemaError::DuplicateColumn("a".to_string()));
     }
 

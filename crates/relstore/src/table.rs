@@ -115,8 +115,8 @@ impl Table {
         for (i, v) in row.iter().enumerate() {
             if let Some(t) = v.data_type() {
                 let declared = self.schema.column(i).dtype;
-                let compatible = t == declared
-                    || (t == DataType::Int && declared == DataType::Float);
+                let compatible =
+                    t == declared || (t == DataType::Int && declared == DataType::Float);
                 if !compatible {
                     return Err(TableError::TypeMismatch {
                         column: self.schema.column(i).name.clone(),
@@ -275,7 +275,10 @@ mod tests {
         let mut t = Table::new(schema());
         assert!(matches!(
             t.push_row(vec!["a".into()]),
-            Err(TableError::RowArity { got: 1, expected: 3 })
+            Err(TableError::RowArity {
+                got: 1,
+                expected: 3
+            })
         ));
         assert!(matches!(
             t.push_row(vec![1.into(), 1.into(), 1.5.into()]),
@@ -286,14 +289,16 @@ mod tests {
     #[test]
     fn int_widens_into_float_column() {
         let mut t = Table::new(schema());
-        t.push_row(vec!["a".into(), 1.into(), Value::Int(2)]).unwrap();
+        t.push_row(vec!["a".into(), 1.into(), Value::Int(2)])
+            .unwrap();
         assert_eq!(t.value(0, 2).as_f64(), Some(2.0));
     }
 
     #[test]
     fn null_fits_any_column() {
         let mut t = Table::new(schema());
-        t.push_row(vec![Value::Null, Value::Null, Value::Null]).unwrap();
+        t.push_row(vec![Value::Null, Value::Null, Value::Null])
+            .unwrap();
         assert_eq!(t.n_rows(), 1);
     }
 

@@ -4,8 +4,8 @@
 use proptest::prelude::*;
 
 use gea_relstore::algebra::{
-    aggregate, difference, distinct, equi_join, project, select, sort, union, AggExpr,
-    AggFunc, SortKey,
+    aggregate, difference, distinct, equi_join, project, select, sort, union, AggExpr, AggFunc,
+    SortKey,
 };
 use gea_relstore::csv::{export_csv, import_csv};
 use gea_relstore::predicate::{CmpOp, Predicate};

@@ -253,9 +253,7 @@ impl AnnotationCatalog {
 
     /// UNIGENE: map a tag to its gene (the thesis's "tag-to-gene mapper").
     pub fn gene_for_tag(&self, tag: Tag) -> Option<&GeneRecord> {
-        self.tag_to_gene
-            .get(&tag)
-            .and_then(|g| self.genes.get(g))
+        self.tag_to_gene.get(&tag).and_then(|g| self.genes.get(g))
     }
 
     /// Reverse mapping: all tags transcribed from a gene (the "gene-to-tag
@@ -389,8 +387,7 @@ mod tests {
             "aldolase C",
             vec![Publication {
                 pmid: 10_000_001,
-                title: "Aldolase C/zebrin II expression in the neonatal rat"
-                    .to_string(),
+                title: "Aldolase C/zebrin II expression in the neonatal rat".to_string(),
                 journal: "J. Comp. Neurol.".to_string(),
                 year: 1999,
             }],

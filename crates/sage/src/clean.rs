@@ -206,7 +206,13 @@ mod tests {
 
     #[test]
     fn removes_only_globally_low_tags() {
-        let (matrix, report) = clean(&corpus(), &CleaningConfig { min_tolerance: 1, scale_to: None });
+        let (matrix, report) = clean(
+            &corpus(),
+            &CleaningConfig {
+                min_tolerance: 1,
+                scale_to: None,
+            },
+        );
         assert_eq!(report.raw_union_tags, 4);
         assert_eq!(report.kept_tags, 2);
         assert!(matrix.id_of(tag("AAAAAAAAAA")).is_some());
@@ -226,7 +232,13 @@ mod tests {
         // "Sometimes it is legitimate for a tag to have a frequency of 1 ...
         // we can't conclude a tag is an error based on observations in one
         // library" (§4.2).
-        let (matrix, _) = clean(&corpus(), &CleaningConfig { min_tolerance: 1, scale_to: None });
+        let (matrix, _) = clean(
+            &corpus(),
+            &CleaningConfig {
+                min_tolerance: 1,
+                scale_to: None,
+            },
+        );
         let c = matrix.id_of(tag("CCCCCCCCCC")).unwrap();
         let a_lib = LibraryId(0);
         assert_eq!(matrix.value(c, a_lib), 1.0);
@@ -234,8 +246,13 @@ mod tests {
 
     #[test]
     fn normalization_scales_each_library_to_target() {
-        let (matrix, report) =
-            clean(&corpus(), &CleaningConfig { min_tolerance: 1, scale_to: Some(300.0) });
+        let (matrix, report) = clean(
+            &corpus(),
+            &CleaningConfig {
+                min_tolerance: 1,
+                scale_to: Some(300.0),
+            },
+        );
         assert_eq!(report.scale_to, Some(300.0));
         for lib in matrix.library_ids() {
             let total = matrix.library_total(lib);
@@ -253,7 +270,13 @@ mod tests {
 
     #[test]
     fn higher_tolerance_removes_more() {
-        let (matrix, report) = clean(&corpus(), &CleaningConfig { min_tolerance: 5, scale_to: None });
+        let (matrix, report) = clean(
+            &corpus(),
+            &CleaningConfig {
+                min_tolerance: 5,
+                scale_to: None,
+            },
+        );
         // Only AAAAAAAAAA exceeds count 5 somewhere.
         assert_eq!(report.kept_tags, 1);
         assert!(matrix.id_of(tag("AAAAAAAAAA")).is_some());
@@ -261,7 +284,10 @@ mod tests {
 
     #[test]
     fn cleaning_is_idempotent_on_clean_data() {
-        let cfg = CleaningConfig { min_tolerance: 1, scale_to: None };
+        let cfg = CleaningConfig {
+            min_tolerance: 1,
+            scale_to: None,
+        };
         let (m1, r1) = clean(&corpus(), &cfg);
         // Re-feed the cleaned matrix as a corpus of integer counts.
         let mut c2 = SageCorpus::new();
@@ -279,7 +305,13 @@ mod tests {
 
     #[test]
     fn explicit_normalize_helper() {
-        let (mut matrix, _) = clean(&corpus(), &CleaningConfig { min_tolerance: 1, scale_to: None });
+        let (mut matrix, _) = clean(
+            &corpus(),
+            &CleaningConfig {
+                min_tolerance: 1,
+                scale_to: None,
+            },
+        );
         normalize(&mut matrix, 1000.0);
         for lib in matrix.library_ids() {
             assert!((matrix.library_total(lib) - 1000.0).abs() < 1e-9);

@@ -105,7 +105,11 @@ impl SageCorpus {
     /// Maximum per-library count of `tag` over every library. The cleaning
     /// rule keeps a tag iff this exceeds the tolerance.
     pub fn max_count(&self, tag: Tag) -> u32 {
-        self.libraries.iter().map(|l| l.count(tag)).max().unwrap_or(0)
+        self.libraries
+            .iter()
+            .map(|l| l.count(tag))
+            .max()
+            .unwrap_or(0)
     }
 
     /// Descriptive statistics for the whole corpus.

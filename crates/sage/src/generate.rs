@@ -29,9 +29,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use crate::corpus::SageCorpus;
-use crate::library::{
-    LibraryMeta, NeoplasticState, SageLibrary, TissueSource, TissueType,
-};
+use crate::library::{LibraryMeta, NeoplasticState, SageLibrary, TissueSource, TissueType};
 use crate::tag::{Tag, TAG_SPACE};
 
 /// How many libraries of each kind a tissue contributes.
@@ -299,9 +297,7 @@ impl GroundTruth {
     pub fn signature_tags(&self, tissue: &TissueType) -> Vec<Tag> {
         self.genes
             .iter()
-            .filter(|g| {
-                g.in_fascicle_signature && g.tissue.as_ref() == Some(tissue)
-            })
+            .filter(|g| g.in_fascicle_signature && g.tissue.as_ref() == Some(tissue))
             .map(|g| g.tag)
             .collect()
     }
@@ -473,8 +469,7 @@ pub fn generate(config: &GeneratorConfig) -> (SageCorpus, GroundTruth) {
     // --- build libraries ---------------------------------------------------
     let mut corpus = SageCorpus::new();
     for tc in &config.tissues {
-        let n_in_fascicle =
-            ((tc.n_cancer as f64) * config.fascicle_fraction).round() as usize;
+        let n_in_fascicle = ((tc.n_cancer as f64) * config.fascicle_fraction).round() as usize;
         let mut members = Vec::new();
         for k in 0..(tc.n_cancer + tc.n_normal) {
             let cancerous = k < tc.n_cancer;
@@ -806,16 +801,15 @@ mod tests {
             vals.iter().cloned().fold(f64::MIN, f64::max)
                 - vals.iter().cloned().fold(f64::MAX, f64::min)
         };
-        let all_cancer: Vec<crate::library::LibraryId> = member_ids
-            .iter()
-            .chain(&outsider_ids)
-            .copied()
-            .collect();
+        let all_cancer: Vec<crate::library::LibraryId> =
+            member_ids.iter().chain(&outsider_ids).copied().collect();
         let sig = truth.signature_tags(&TissueType::Brain);
         let mut tighter = 0usize;
         let mut total = 0usize;
         for tag in sig {
-            let Some(tid) = matrix.id_of(tag) else { continue };
+            let Some(tid) = matrix.id_of(tag) else {
+                continue;
+            };
             let mean = member_ids
                 .iter()
                 .map(|&l| matrix.value(tid, l))

@@ -18,9 +18,7 @@ use std::io::{self, Read, Write};
 use std::path::Path;
 
 use crate::corpus::SageCorpus;
-use crate::library::{
-    LibraryMeta, NeoplasticState, SageLibrary, TissueSource, TissueType,
-};
+use crate::library::{LibraryMeta, NeoplasticState, SageLibrary, TissueSource, TissueType};
 use crate::tag::Tag;
 
 /// Errors raised by the readers.
@@ -91,15 +89,15 @@ pub fn read_library_text(
         let tag_s = parts
             .next()
             .ok_or_else(|| malformed(context, format!("line {}: empty", lineno + 1)))?;
-        let count_s = parts.next().ok_or_else(|| {
-            malformed(context, format!("line {}: missing count", lineno + 1))
-        })?;
-        let tag: Tag = tag_s.parse().map_err(|e| {
-            malformed(context, format!("line {}: {e}", lineno + 1))
-        })?;
-        let count: u32 = count_s.parse().map_err(|e| {
-            malformed(context, format!("line {}: bad count: {e}", lineno + 1))
-        })?;
+        let count_s = parts
+            .next()
+            .ok_or_else(|| malformed(context, format!("line {}: missing count", lineno + 1)))?;
+        let tag: Tag = tag_s
+            .parse()
+            .map_err(|e| malformed(context, format!("line {}: {e}", lineno + 1)))?;
+        let count: u32 = count_s
+            .parse()
+            .map_err(|e| malformed(context, format!("line {}: bad count: {e}", lineno + 1)))?;
         lib.add(tag, count);
     }
     Ok(lib)
@@ -211,7 +209,10 @@ fn read_u32(r: &mut impl Read, context: &str) -> Result<u32, IoError> {
 fn read_str(r: &mut impl Read, context: &str) -> Result<String, IoError> {
     let len = read_u32(r, context)? as usize;
     if len > 1 << 20 {
-        return Err(malformed(context, format!("string length {len} implausible")));
+        return Err(malformed(
+            context,
+            format!("string length {len} implausible"),
+        ));
     }
     let mut buf = vec![0u8; len];
     r.read_exact(&mut buf)
@@ -301,8 +302,7 @@ mod tests {
         let (_, lib) = corpus.iter().next().unwrap();
         let mut buf = Vec::new();
         write_library_text(lib, &mut buf).unwrap();
-        let parsed =
-            read_library_text(lib.meta.clone(), &mut buf.as_slice(), "test").unwrap();
+        let parsed = read_library_text(lib.meta.clone(), &mut buf.as_slice(), "test").unwrap();
         assert_eq!(&parsed, lib);
     }
 

@@ -38,8 +38,7 @@ pub use clean::{clean, CleaningConfig, CleaningReport};
 pub use corpus::SageCorpus;
 pub use generate::{generate, GeneratorConfig, GroundTruth};
 pub use library::{
-    LibraryId, LibraryMeta, LibraryProperty, NeoplasticState, SageLibrary,
-    TissueSource, TissueType,
+    LibraryId, LibraryMeta, LibraryProperty, NeoplasticState, SageLibrary, TissueSource, TissueType,
 };
 pub use matrix::ExpressionMatrix;
 pub use tag::{Tag, TagId, TagUniverse};

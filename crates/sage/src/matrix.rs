@@ -113,7 +113,9 @@ impl ExpressionMatrix {
     /// Sum of one library's levels — its (normalized) total tag count.
     pub fn library_total(&self, lib: LibraryId) -> f64 {
         let w = self.libraries.len();
-        (0..self.n_tags()).map(|t| self.values[t * w + lib.index()]).sum()
+        (0..self.n_tags())
+            .map(|t| self.values[t * w + lib.index()])
+            .sum()
     }
 
     /// Resolve a tag string to its row id, if the tag survived cleaning.
@@ -134,8 +136,10 @@ impl ExpressionMatrix {
     /// Project onto a subset of library columns, preserving the given order.
     /// The result's `LibraryId`s are re-numbered 0..k.
     pub fn select_libraries(&self, keep: &[LibraryId]) -> ExpressionMatrix {
-        let libraries: Vec<LibraryMeta> =
-            keep.iter().map(|&id| self.libraries[id.index()].clone()).collect();
+        let libraries: Vec<LibraryMeta> = keep
+            .iter()
+            .map(|&id| self.libraries[id.index()].clone())
+            .collect();
         let w = self.libraries.len();
         let mut values = Vec::with_capacity(self.n_tags() * keep.len());
         for t in 0..self.n_tags() {
@@ -242,8 +246,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "one value per library")]
     fn from_rows_validates_width() {
-        let universe =
-            TagUniverse::from_tags(["AAAAAAAAAA".parse::<Tag>().unwrap()]);
+        let universe = TagUniverse::from_tags(["AAAAAAAAAA".parse::<Tag>().unwrap()]);
         let libs = vec![library_meta(
             "L0",
             TissueType::Brain,

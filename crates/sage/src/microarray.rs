@@ -103,9 +103,7 @@ pub fn to_expression_matrix(
     let first = samples.first().ok_or(MicroarrayError::NoSamples)?;
     let universe = TagUniverse::from_tags(first.probes());
     for s in samples {
-        if s.n_probes() != universe.len()
-            || s.probes().any(|p| universe.id_of(p).is_none())
-        {
+        if s.n_probes() != universe.len() || s.probes().any(|p| universe.id_of(p).is_none()) {
             return Err(MicroarrayError::ProbeSetMismatch {
                 sample: s.meta.name.clone(),
             });
@@ -249,15 +247,17 @@ mod tests {
                 sample: "A2".to_string()
             })
         );
-        assert_eq!(to_expression_matrix(&[], None), Err(MicroarrayError::NoSamples));
+        assert_eq!(
+            to_expression_matrix(&[], None),
+            Err(MicroarrayError::NoSamples)
+        );
     }
 
     #[test]
     fn synthetic_experiment_carries_planted_structure() {
         let config = GeneratorConfig::demo(7);
         let (_, truth) = generate(&config);
-        let samples =
-            synthesize_experiment(&truth, &config, &TissueType::Brain, 4, 4, 7);
+        let samples = synthesize_experiment(&truth, &config, &TissueType::Brain, 4, 4, 7);
         assert_eq!(samples.len(), 8);
         // Probe set: brain genes + housekeeping, identical across samples.
         let n = samples[0].n_probes();
@@ -297,8 +297,7 @@ mod tests {
         // cross-crate integration test drives the full pipeline).
         let config = GeneratorConfig::demo(11);
         let (_, truth) = generate(&config);
-        let samples =
-            synthesize_experiment(&truth, &config, &TissueType::Breast, 3, 3, 11);
+        let samples = synthesize_experiment(&truth, &config, &TissueType::Breast, 3, 3, 11);
         let matrix = to_expression_matrix(&samples, Some(10_000.0)).unwrap();
         assert!(matrix.n_tags() > 100);
         assert_eq!(matrix.n_libraries(), 6);

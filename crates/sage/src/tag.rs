@@ -267,7 +267,10 @@ impl TagUniverse {
 
     /// Restrict the universe to the tags satisfying `keep`, producing the new
     /// universe and a mapping `old id -> new id` for surviving tags.
-    pub fn filter(&self, mut keep: impl FnMut(TagId, Tag) -> bool) -> (TagUniverse, Vec<Option<TagId>>) {
+    pub fn filter(
+        &self,
+        mut keep: impl FnMut(TagId, Tag) -> bool,
+    ) -> (TagUniverse, Vec<Option<TagId>>) {
         let mut sorted = Vec::new();
         let mut remap = vec![None; self.sorted.len()];
         for (id, tag) in self.iter() {
@@ -311,10 +314,7 @@ mod tests {
 
     #[test]
     fn parse_rejects_bad_input() {
-        assert_eq!(
-            "AAAA".parse::<Tag>(),
-            Err(TagParseError::WrongLength(4))
-        );
+        assert_eq!("AAAA".parse::<Tag>(), Err(TagParseError::WrongLength(4)));
         assert_eq!(
             "AAAAAAAAAX".parse::<Tag>(),
             Err(TagParseError::InvalidBase('X'))
@@ -355,10 +355,7 @@ mod tests {
         assert_eq!(u.len(), 3);
         assert_eq!(u.tag_of(TagId(0)).to_string(), "AAAAAAAAAA");
         assert_eq!(u.tag_of(TagId(2)).to_string(), "GGGGGGGGGG");
-        assert_eq!(
-            u.id_of("CCCCCCCCCC".parse().unwrap()),
-            Some(TagId(1))
-        );
+        assert_eq!(u.id_of("CCCCCCCCCC".parse().unwrap()), Some(TagId(1)));
         assert_eq!(u.id_of("TTTTTTTTTT".parse().unwrap()), None);
     }
 

@@ -1,0 +1,106 @@
+//! The gea-client binary: a line client for gea-server.
+//!
+//! ```text
+//! gea-client [--addr HOST:PORT] [command...]
+//! ```
+//!
+//! With a command on the argv it sends that single request, prints the
+//! payload, and exits non-zero on `ERR`. Without one it reads requests
+//! from stdin (one per line, a `gql> ` prompt when stdin is a terminal)
+//! and stops at `quit` or the first transport failure; a server `ERR`
+//! is printed and the loop continues, mirroring the interactive REPL.
+
+use std::io::{BufRead, IsTerminal, Write};
+
+use gea_server::GeaClient;
+
+fn main() {
+    let mut addr = "127.0.0.1:7687".to_string();
+    let mut command: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--addr" => match args.next() {
+                Some(a) => addr = a,
+                None => {
+                    eprintln!("--addr needs a value");
+                    std::process::exit(2);
+                }
+            },
+            "--help" | "-h" => {
+                eprintln!("usage: gea-client [--addr HOST:PORT] [command...]");
+                std::process::exit(2);
+            }
+            _ => {
+                command.push(arg);
+                command.extend(args.by_ref());
+            }
+        }
+    }
+
+    let mut client = match GeaClient::connect(&addr) {
+        Ok(client) => client,
+        Err(e) => {
+            eprintln!("gea-client: connect {addr}: {e}");
+            std::process::exit(1);
+        }
+    };
+
+    if !command.is_empty() {
+        std::process::exit(one_shot(&mut client, &command.join(" ")));
+    }
+
+    let interactive = std::io::stdin().is_terminal();
+    let stdin = std::io::stdin().lock();
+    if interactive {
+        print!("gql> ");
+        let _ = std::io::stdout().flush();
+    }
+    for line in stdin.lines() {
+        let line = match line {
+            Ok(line) => line,
+            Err(e) => {
+                eprintln!("gea-client: stdin: {e}");
+                std::process::exit(1);
+            }
+        };
+        match client.request(&line) {
+            Ok(Ok(payload)) => {
+                if !payload.is_empty() {
+                    println!("{payload}");
+                }
+            }
+            Ok(Err((code, message))) => eprintln!("ERR {code} {message}"),
+            Err(e) => {
+                eprintln!("gea-client: {e}");
+                std::process::exit(1);
+            }
+        }
+        if line.trim() == "quit" || line.trim() == "exit" {
+            return;
+        }
+        if interactive {
+            print!("gql> ");
+            let _ = std::io::stdout().flush();
+        }
+    }
+}
+
+fn one_shot(client: &mut GeaClient, line: &str) -> i32 {
+    match client.request(line) {
+        Ok(Ok(payload)) => {
+            if !payload.is_empty() {
+                println!("{payload}");
+            }
+            0
+        }
+        Ok(Err((code, message))) => {
+            eprintln!("ERR {code} {message}");
+            1
+        }
+        Err(e) => {
+            eprintln!("gea-client: {e}");
+            1
+        }
+    }
+}

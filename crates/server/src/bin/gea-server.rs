@@ -1,0 +1,106 @@
+//! The gea-server binary: serve the GEA algebra over TCP.
+//!
+//! ```text
+//! gea-server [--addr HOST:PORT] [--workers N] [--queue N]
+//!            [--lock-timeout-ms MS] [--demo SEED]
+//! ```
+//!
+//! `--demo SEED` pre-opens the session named `default` from a generated
+//! demo corpus so clients can start querying without an `open` of their
+//! own. Stop the server with the `shutdown` protocol command.
+
+use std::time::Duration;
+
+use gea_core::session::GeaSession;
+use gea_sage::clean::CleaningConfig;
+use gea_sage::generate::{generate, GeneratorConfig};
+use gea_server::{Server, ServerConfig};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: gea-server [--addr HOST:PORT] [--workers N] [--queue N] \
+         [--lock-timeout-ms MS] [--demo SEED]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> (ServerConfig, Option<u64>) {
+    let mut config = ServerConfig::default();
+    let mut demo = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value = |what: &str| {
+            args.next().unwrap_or_else(|| {
+                eprintln!("{what} needs a value");
+                usage()
+            })
+        };
+        match flag.as_str() {
+            "--addr" => config.addr = value("--addr"),
+            "--workers" => match value("--workers").parse() {
+                Ok(n) => config.workers = n,
+                Err(e) => {
+                    eprintln!("bad --workers: {e}");
+                    usage()
+                }
+            },
+            "--queue" => match value("--queue").parse() {
+                Ok(n) => config.queue_depth = n,
+                Err(e) => {
+                    eprintln!("bad --queue: {e}");
+                    usage()
+                }
+            },
+            "--lock-timeout-ms" => match value("--lock-timeout-ms").parse() {
+                Ok(ms) => config.lock_timeout = Duration::from_millis(ms),
+                Err(e) => {
+                    eprintln!("bad --lock-timeout-ms: {e}");
+                    usage()
+                }
+            },
+            "--demo" => match value("--demo").parse() {
+                Ok(seed) => demo = Some(seed),
+                Err(e) => {
+                    eprintln!("bad --demo: {e}");
+                    usage()
+                }
+            },
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown flag {other:?}");
+                usage()
+            }
+        }
+    }
+    (config, demo)
+}
+
+fn main() {
+    let (config, demo) = parse_args();
+    let server = match Server::bind(config) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("gea-server: bind failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    if let Some(seed) = demo {
+        let (corpus, _) = generate(&GeneratorConfig::demo(seed));
+        match GeaSession::open(corpus, &CleaningConfig::default()) {
+            Ok(session) => {
+                server.registry().open("default", session);
+                eprintln!("gea-server: opened demo session `default` (seed {seed})");
+            }
+            Err(e) => {
+                eprintln!("gea-server: demo session failed: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+    eprintln!("gea-server: listening on {}", server.local_addr());
+    if let Err(e) = server.run() {
+        eprintln!("gea-server: {e}");
+        std::process::exit(1);
+    }
+    eprintln!("gea-server: shut down");
+}

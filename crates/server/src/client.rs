@@ -1,0 +1,51 @@
+//! A blocking client for the GQL wire protocol, used by the `gea-client`
+//! binary and the integration tests.
+
+use std::io::{self, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+use crate::wire::{self, Reply};
+
+/// One connection to a gea-server.
+pub struct GeaClient {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl GeaClient {
+    /// Connect to a server.
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> io::Result<GeaClient> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let writer = stream.try_clone()?;
+        Ok(GeaClient {
+            reader: BufReader::new(stream),
+            writer,
+        })
+    }
+
+    /// Send one request line and read its reply frame. The server answering
+    /// `ERR` is the `Err` side of the returned [`Reply`]; transport
+    /// failures (including the server closing the connection before
+    /// replying) are the outer `io::Error`.
+    pub fn request(&mut self, line: &str) -> io::Result<Reply> {
+        if line.contains(['\n', '\r']) {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "request must be a single line",
+            ));
+        }
+        writeln!(self.writer, "{line}")?;
+        self.writer.flush()?;
+        wire::read_reply(&mut self.reader)?.ok_or_else(|| {
+            io::Error::new(io::ErrorKind::UnexpectedEof, "server closed the connection")
+        })
+    }
+
+    /// [`GeaClient::request`], flattening a server `ERR` into an
+    /// `io::Error` — convenient when any failure should abort (scripts).
+    pub fn expect_ok(&mut self, line: &str) -> io::Result<String> {
+        self.request(line)?
+            .map_err(|(code, message)| io::Error::other(format!("{code} {message}")))
+    }
+}

@@ -1,0 +1,494 @@
+//! The GQL executor: runs a parsed [`GqlCommand`] against a
+//! [`GeaSession`], producing the same human-readable text the thesis GUI
+//! panels show.
+//!
+//! The executor is split along the lock axis: [`execute_read`] takes
+//! `&GeaSession` so the server can run it under a shared read lock, while
+//! [`execute_write`] takes `&mut GeaSession` for the mutating algebra.
+//! [`GqlCommand::is_read`] decides which side a command belongs to.
+
+use std::fmt;
+use std::fmt::Write as _;
+
+use gea_cluster::FascicleParams;
+use gea_core::relational::{enum_to_relation, gap_to_relation, sumy_to_relation};
+use gea_core::search::{library_info_by_id, library_info_by_name, tag_frequency};
+use gea_core::session::{GeaError, GeaSession};
+use gea_core::topgap::{series_means, TopGapOrder};
+use gea_sage::library::LibraryId;
+use gea_sage::library::LibraryProperty;
+
+use crate::gql::{GqlCommand, ShowKind};
+
+/// A failed command: a stable machine-readable code plus a human message,
+/// rendered on the wire as `ERR <code> <message>`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EngineError {
+    /// Stable error code (`ENOTFOUND`, `ECONFLICT`, …).
+    pub code: &'static str,
+    /// Human-readable detail.
+    pub message: String,
+}
+
+impl EngineError {
+    /// Build an error from a code and message.
+    pub fn new(code: &'static str, message: impl Into<String>) -> EngineError {
+        EngineError {
+            code,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {}", self.code, self.message)
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+impl From<GeaError> for EngineError {
+    fn from(e: GeaError) -> EngineError {
+        let code = match &e {
+            GeaError::NotFound { .. } => "ENOTFOUND",
+            GeaError::NameTaken(_) => "ECONFLICT",
+            GeaError::NotPure { .. } => "EPURITY",
+            GeaError::EmptyGroup(_) => "EEMPTY",
+            GeaError::Lineage(_) => "ELINEAGE",
+            GeaError::QueryNotApplicable => "EQUERY",
+        };
+        EngineError::new(code, e.to_string())
+    }
+}
+
+impl From<std::io::Error> for EngineError {
+    fn from(e: std::io::Error) -> EngineError {
+        EngineError::new("EIO", e.to_string())
+    }
+}
+
+impl From<gea_sage::io::IoError> for EngineError {
+    fn from(e: gea_sage::io::IoError) -> EngineError {
+        EngineError::new("EIO", e.to_string())
+    }
+}
+
+impl From<gea_core::relational::ConvertError> for EngineError {
+    fn from(e: gea_core::relational::ConvertError) -> EngineError {
+        EngineError::new("EIO", e.to_string())
+    }
+}
+
+impl From<gea_core::persist::PersistError> for EngineError {
+    fn from(e: gea_core::persist::PersistError) -> EngineError {
+        EngineError::new("EIO", e.to_string())
+    }
+}
+
+fn not_found(message: String) -> EngineError {
+    EngineError::new("ENOTFOUND", message)
+}
+
+/// Execute a command, choosing the read or write path by
+/// [`GqlCommand::is_read`]. Front-ends with exclusive access (the REPL)
+/// use this; the server calls the split entry points directly so reads
+/// share a lock.
+pub fn execute(session: &mut GeaSession, cmd: &GqlCommand) -> Result<String, EngineError> {
+    if cmd.is_read() {
+        execute_read(session, cmd)
+    } else {
+        execute_write(session, cmd)
+    }
+}
+
+/// Execute a read-only command against a shared session reference.
+///
+/// # Panics
+///
+/// Debug-asserts that `cmd.is_read()`; a write command here returns an
+/// internal error in release builds.
+pub fn execute_read(session: &GeaSession, cmd: &GqlCommand) -> Result<String, EngineError> {
+    debug_assert!(cmd.is_read(), "{} is not a read command", cmd.verb());
+    let out = match cmd {
+        GqlCommand::Tissues => {
+            let mut out = String::new();
+            for t in session.corpus().tissue_types() {
+                let members = session.corpus().libraries_of_tissue(&t);
+                let _ = writeln!(out, "{t}: {} libraries", members.len());
+            }
+            out
+        }
+        GqlCommand::Fascicles => {
+            let mut out = String::new();
+            for f in session.fascicle_names() {
+                let r = session.fascicle(f).unwrap();
+                let _ = writeln!(
+                    out,
+                    "{f}: {:?} ({} compact tags)",
+                    r.members,
+                    r.compact_tags.len()
+                );
+            }
+            if out.is_empty() {
+                out = "no fascicles mined yet".to_string();
+            }
+            out
+        }
+        GqlCommand::Purity(fascicle) => {
+            let purity = session.purity_properties(fascicle)?;
+            render_purity(fascicle, &purity)
+        }
+        GqlCommand::Show { kind, name, n } => match kind {
+            ShowKind::Gap => {
+                let g = session.gap(name)?;
+                gap_to_relation(g)?.render(*n)
+            }
+            ShowKind::Sumy => {
+                let t = session.sumy(name)?;
+                sumy_to_relation(t)?.render(*n)
+            }
+        },
+        GqlCommand::Plot {
+            dataset,
+            tag,
+            fascicle,
+        } => {
+            let points = session.tag_plot(dataset, *tag, fascicle)?;
+            if points.is_empty() {
+                return Err(not_found(format!("tag {tag} not in {dataset}")));
+            }
+            let mut out = String::new();
+            for (series, mean, count) in series_means(&points) {
+                let _ = writeln!(out, "{:<24} avg {mean:8.1} (n={count})", series.label());
+            }
+            for p in points {
+                let _ = writeln!(out, "  {:<24} {:8.1}", p.library, p.level);
+            }
+            out
+        }
+        GqlCommand::Library(key) => {
+            let info = match key.parse::<u32>() {
+                Ok(id) => library_info_by_id(session.corpus(), LibraryId(id)),
+                Err(_) => library_info_by_name(session.corpus(), key),
+            }
+            .ok_or_else(|| not_found(format!("no library {key:?}")))?;
+            format!(
+                "{} (id {})\n  tissue: {}\n  state: {}\n  source: {}\n  total tags: {}\n  unique tags: {}",
+                info.meta.name,
+                info.id,
+                info.meta.tissue,
+                info.meta.state,
+                info.meta.source,
+                info.total_tags,
+                info.unique_tags
+            )
+        }
+        GqlCommand::TagFreq { dataset, tag } => {
+            let table = session.enum_table(dataset)?;
+            let row = tag_frequency(table, *tag, &[])
+                .ok_or_else(|| not_found(format!("tag {tag} not in {dataset}")))?;
+            let mut out = format!("{}_({}):\n", row.tag, row.tag_no);
+            for (lib, v) in row.values {
+                let _ = writeln!(out, "  {lib:<24} {v:10.1}");
+            }
+            out
+        }
+        GqlCommand::Export { name, path } => {
+            let relation = if let Ok(g) = session.gap(name) {
+                gap_to_relation(g)?
+            } else if let Ok(t) = session.sumy(name) {
+                sumy_to_relation(t)?
+            } else if let Ok(e) = session.enum_table(name) {
+                enum_to_relation(e)?
+            } else {
+                return Err(not_found(format!("no table named {name:?}")));
+            };
+            let mut file = std::fs::File::create(path)
+                .map_err(|e| EngineError::new("EIO", format!("create {path}: {e}")))?;
+            gea_relstore::export_csv(&relation, &mut file)
+                .map_err(|e| EngineError::new("EIO", format!("write {path}: {e}")))?;
+            format!("exported {} rows to {path}", relation.n_rows())
+        }
+        GqlCommand::Lineage => session.lineage().render_tree(),
+        GqlCommand::Cleaning => {
+            let report = session.cleaning_report();
+            format!(
+                "raw union {} tags -> kept {} ({:.0}% removed); freq-1 fraction {:.0}%",
+                report.raw_union_tags,
+                report.kept_tags,
+                100.0 * report.removed_fraction(),
+                100.0 * report.freq1_union_fraction
+            )
+        }
+        GqlCommand::Xprofiler(dataset) => {
+            let table = session.enum_table(dataset)?;
+            let result = gea_core::xprofiler::compare_cancer_vs_normal(table);
+            let hits = result.significant(0.05);
+            let mut out = format!(
+                "{} tags tested; {} significant at alpha = 0.05 (Bonferroni):\n",
+                result.rows.len(),
+                hits.len()
+            );
+            for r in hits.iter().take(10) {
+                let _ = writeln!(
+                    out,
+                    "  {}_({})  z {:+7.2}  log2 ratio {:+6.2}",
+                    r.tag, r.tag_no, r.z_score, r.log2_ratio
+                );
+            }
+            out
+        }
+        GqlCommand::Save(dir) => {
+            gea_core::persist::save_results(session, std::path::Path::new(dir))?;
+            format!("saved {} table(s) to {dir}", session.database().len())
+        }
+        GqlCommand::Load(dir) => {
+            let loaded = gea_core::persist::load_results(std::path::Path::new(dir))?;
+            let mut out = format!(
+                "loaded {} table(s); operation history:\n",
+                loaded.database.len()
+            );
+            out.push_str(&loaded.lineage.render_tree());
+            out
+        }
+        other => {
+            debug_assert!(false, "{} reached execute_read", other.verb());
+            return Err(EngineError::new(
+                "EUNKNOWN",
+                format!("{} is not a read command", other.verb()),
+            ));
+        }
+    };
+    Ok(out)
+}
+
+/// Execute a mutating command. Read commands are delegated to
+/// [`execute_read`], so this is a complete single-session entry point.
+pub fn execute_write(session: &mut GeaSession, cmd: &GqlCommand) -> Result<String, EngineError> {
+    let out = match cmd {
+        GqlCommand::Dataset { name, tissue } => {
+            session.create_tissue_dataset(name, tissue)?;
+            let t = session.enum_table(name)?;
+            format!(
+                "{name}: {} libraries x {} tags",
+                t.n_libraries(),
+                t.n_tags()
+            )
+        }
+        GqlCommand::Custom { name, libraries } => {
+            let libs: Vec<&str> = libraries.iter().map(|s| s.as_str()).collect();
+            session.create_custom_dataset(name, &libs)?;
+            format!(
+                "{name}: {} libraries",
+                session.enum_table(name).unwrap().n_libraries()
+            )
+        }
+        GqlCommand::Select {
+            name,
+            dataset,
+            libraries,
+        } => {
+            let libs: Vec<&str> = libraries.iter().map(|s| s.as_str()).collect();
+            session.select_dataset_libraries(name, dataset, &libs)?;
+            let t = session.enum_table(name)?;
+            format!(
+                "{name}: {} of {} libraries kept",
+                t.n_libraries(),
+                session.enum_table(dataset)?.n_libraries()
+            )
+        }
+        GqlCommand::Project {
+            name,
+            dataset,
+            tags,
+        } => {
+            session.project_dataset_tags(name, dataset, tags)?;
+            let t = session.enum_table(name)?;
+            format!(
+                "{name}: {} tags x {} libraries",
+                t.n_tags(),
+                t.n_libraries()
+            )
+        }
+        GqlCommand::Mine {
+            dataset,
+            out,
+            k_pct,
+            min_records,
+            batch,
+        } => {
+            let n_tags = session.enum_table(dataset)?.n_tags();
+            let names = session.calculate_fascicles(
+                dataset,
+                out,
+                0.10,
+                &FascicleParams {
+                    min_compact_attrs: n_tags * k_pct / 100,
+                    min_records: *min_records,
+                    batch_size: *batch,
+                },
+            )?;
+            let mut text = format!("{} fascicle(s):\n", names.len());
+            for f in names {
+                let r = session.fascicle(&f).unwrap();
+                let _ = writeln!(
+                    text,
+                    "  {f}: {} libraries, {} compact tags",
+                    r.members.len(),
+                    r.compact_tags.len()
+                );
+            }
+            text
+        }
+        GqlCommand::Groups(fascicle) => {
+            let groups = session.form_control_groups(fascicle, LibraryProperty::Cancer)?;
+            format!(
+                "SUMY tables created:\n  in fascicle:      {}\n  outside fascicle: {}\n  contrast (normal): {}",
+                groups.in_fascicle, groups.outside_fascicle, groups.contrast
+            )
+        }
+        GqlCommand::Gap { name, sumy1, sumy2 } => {
+            session.create_gap(name, sumy1, sumy2)?;
+            let g = session.gap(name).unwrap();
+            format!(
+                "{name}: {} tags, {} non-NULL gaps",
+                g.len(),
+                g.drop_null_gaps("tmp").len()
+            )
+        }
+        GqlCommand::TopGap { gap, x } => {
+            let top = session.calculate_top_gap(gap, *x, TopGapOrder::LargestMagnitude)?;
+            let mut out = format!("{top}:\n");
+            let mut rows = session.gap(&top).unwrap().rows().to_vec();
+            rows.sort_by(|a, b| {
+                b.gap()
+                    .unwrap_or(0.0)
+                    .abs()
+                    .total_cmp(&a.gap().unwrap_or(0.0).abs())
+            });
+            for r in rows {
+                let _ = writeln!(
+                    out,
+                    "  {}_({})  {:+.2}",
+                    r.tag,
+                    r.tag_no,
+                    r.gap().unwrap_or(f64::NAN)
+                );
+            }
+            out
+        }
+        GqlCommand::Compare {
+            name,
+            g1,
+            g2,
+            op,
+            query,
+        } => {
+            session.compare_gaps(name, g1, g2, *op, *query)?;
+            format!(
+                "{name}: {} tags ({})",
+                session.gap(name).unwrap().len(),
+                query.description()
+            )
+        }
+        GqlCommand::Comment { name, text } => {
+            session.comment(name, text)?;
+            format!("comment recorded on {name}")
+        }
+        GqlCommand::Delete { name, cascade } => {
+            let removed = session.delete(name, *cascade)?;
+            if *cascade {
+                format!("removed {} table(s): {}", removed.len(), removed.join(", "))
+            } else {
+                format!("contents of {name} dropped; metadata kept")
+            }
+        }
+        GqlCommand::Populate(name) => {
+            session.regenerate(name)?;
+            format!("re-materialized {name} from its lineage")
+        }
+        read => return execute_read(session, read),
+    };
+    Ok(out)
+}
+
+/// Shared purity rendering: the engine's read path uses
+/// [`GeaSession::purity_properties`], the REPL's stateful path uses
+/// [`GeaSession::purity_check`]; both print through here.
+pub fn render_purity(fascicle: &str, purity: &[LibraryProperty]) -> String {
+    if purity.is_empty() {
+        format!("fascicle {fascicle} is NOT pure on any property")
+    } else {
+        let labels: Vec<String> = purity.iter().map(|p| p.to_string()).collect();
+        format!("fascicle {fascicle} is pure: {}", labels.join(", "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gql::{parse, Request};
+    use gea_sage::clean::CleaningConfig;
+    use gea_sage::generate::{generate, GeneratorConfig};
+
+    fn demo_session() -> GeaSession {
+        let (corpus, _) = generate(&GeneratorConfig::demo(42));
+        GeaSession::open(corpus, &CleaningConfig::default()).unwrap()
+    }
+
+    fn run(session: &mut GeaSession, line: &str) -> Result<String, EngineError> {
+        match parse(line).unwrap().unwrap() {
+            Request::Gql(cmd) => execute(session, &cmd),
+            other => panic!("{line} is not an algebra command: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn read_and_write_paths_cover_the_algebra() {
+        let mut s = demo_session();
+        assert!(run(&mut s, "tissues").unwrap().contains("brain"));
+        let out = run(&mut s, "dataset Eb brain").unwrap();
+        assert!(out.contains("libraries"), "{out}");
+        assert!(run(&mut s, "cleaning").unwrap().contains("raw union"));
+        assert!(run(&mut s, "lineage").unwrap().contains("Eb"));
+        assert!(run(&mut s, "fascicles").unwrap().contains("no fascicles"));
+        let err = run(&mut s, "gap g missing1 missing2").unwrap_err();
+        assert_eq!(err.code, "ENOTFOUND");
+        let err = run(&mut s, "dataset Eb brain").unwrap_err();
+        assert_eq!(err.code, "ECONFLICT");
+    }
+
+    #[test]
+    fn select_and_project_derive_datasets() {
+        let mut s = demo_session();
+        run(&mut s, "dataset Eb brain").unwrap();
+        let lib = s.enum_table("Eb").unwrap().library_names()[0].to_string();
+        let out = run(&mut s, &format!("select Esub Eb {lib}")).unwrap();
+        assert!(out.contains("1 of"), "{out}");
+        let err = run(&mut s, "select Enone Eb not-a-library").unwrap_err();
+        assert_eq!(err.code, "EEMPTY");
+        let m = &s.enum_table("Eb").unwrap().matrix;
+        let tag = m.tag_of(m.tag_ids().next().unwrap()).to_string();
+        let out = run(&mut s, &format!("project Ep Eb {tag}")).unwrap();
+        assert!(out.contains("1 tags"), "{out}");
+        assert!(run(&mut s, "lineage").unwrap().contains("Esub"));
+    }
+
+    #[test]
+    fn purity_read_path_matches_stateful_check() {
+        let mut s = demo_session();
+        run(&mut s, "dataset Eb brain").unwrap();
+        for pct in [60, 55, 50, 45, 40] {
+            run(&mut s, &format!("mine Eb f{pct} {pct} 3 6")).unwrap();
+            if !s.fascicle_names().is_empty() {
+                break;
+            }
+        }
+        if let Some(f) = s.fascicle_names().first().map(|f| f.to_string()) {
+            let via_read = run(&mut s, &format!("purity {f}")).unwrap();
+            let via_check = render_purity(&f, &s.purity_check(&f).unwrap());
+            assert_eq!(via_read, via_check);
+        }
+    }
+}

@@ -1,0 +1,852 @@
+//! The GEA Query Language (GQL): one line-oriented textual grammar shared
+//! by the `gea-cli` REPL, batch scripts, and the TCP wire protocol.
+//!
+//! A request line is a verb plus whitespace-separated arguments; double
+//! quotes group an argument containing spaces (`comment g1 "looks real"`).
+//! Parsing is front-end independent: the same [`parse`] feeds the REPL's
+//! single session and the server's named shared sessions.
+
+use std::fmt;
+
+use gea_core::compare::{CompareOp, CompareQuery};
+use gea_sage::{Tag, TissueType};
+
+/// The command reference printed by `help` (the thesis chapter 4 menus plus
+/// the serving layer).
+pub const HELP: &str = "\
+GQL commands (thesis chapter 4's menus, served):
+  session control
+    open <name> demo <seed>             create/replace a named session from a demo corpus
+    open <name> dir <dir>               create/replace a named session from a corpus directory
+    load-demo <seed>                    shorthand: open the default session from a demo corpus
+    load-dir <dir>                      shorthand: open the default session from a directory
+    use <name>                          attach this connection to a named session
+    sessions                            list open sessions
+    close <name>                        drop a named session
+  data sets
+    tissues                             list tissue types and their libraries
+    dataset <name> <tissue>             E = sigma_tissue(SAGE)        [Fig 4.4]
+    custom <name> <lib> [<lib>...]      user-defined data set         [Fig 4.15]
+    select <name> <dataset> <lib> [<lib>...]   sigma_libraries(dataset)
+    project <name> <dataset> <tag> [<tag>...]  pi_tags(dataset)
+  mining and gaps
+    mine <dataset> <out> <k%> <min> <batch>   calculate fascicles     [Fig 4.6]
+    fascicles                           list mined fascicles
+    purity <fascicle>                   purity check                  [Fig 4.8]
+    groups <fascicle>                   form control-group SUMYs      [Fig 4.7]
+    gap <name> <sumy1> <sumy2>          GAP = diff(S1, S2)            [Fig 4.9]
+    topgap <gap> <x>                    calculate top gaps            [Fig 4.19]
+    compare <name> <g1> <g2> <union|intersect|difference> <query#>    [Fig 4.13]
+  inspection
+    show gap|sumy <name> [n]            view a table's first rows
+    plot <dataset> <tag> <fascicle>     tag distribution              [Fig 4.10]
+    library <name|id>                   library information           [Fig 4.23]
+    tagfreq <dataset> <tag>             expression values of a tag    [Fig 4.26]
+    lineage                             operation history             [Fig 4.18]
+    cleaning                            cleaning report               [Fig 4.1]
+    xprofiler <dataset>                 pooled cancer-vs-normal comparison  [sec 2.3.3]
+  persistence and admin
+    export <name> <file.csv>            EXPORT a table to CSV
+    comment <name> <text...>            annotate a lineage node
+    delete <name> [--cascade]           drop contents / cascade       [Fig 4.18]
+    populate <name>                     re-materialize a truncated table (§4.4.2)
+    save <dir>                          persist tables + lineage to a directory
+    load <dir>                          reload saved tables + lineage (read-only browse)
+    gen-corpus <seed> <dir>             write a demo corpus as SAGE text files
+  server
+    ping                                liveness check
+    stats                               request counts, latencies, connections
+    shutdown                            stop the server gracefully
+    help                                this text
+    quit";
+
+/// A parse failure: the offending message, reported as `ERR EPARSE …`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError(pub String);
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn usage(text: &str) -> ParseError {
+    ParseError(format!("usage: {text}"))
+}
+
+/// Session-registry control commands, handled by the hosting front-end
+/// (the server's connection loop or the REPL), not the engine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SessionCtl {
+    /// Create or replace a named session from a generated demo corpus.
+    OpenDemo {
+        /// Registry name (`default` for the REPL shorthands).
+        name: String,
+        /// Generator seed.
+        seed: u64,
+    },
+    /// Create or replace a named session from a corpus directory.
+    OpenDir {
+        /// Registry name.
+        name: String,
+        /// Directory of `sageName.txt` files.
+        dir: String,
+    },
+    /// Attach the connection to an existing named session.
+    Use(String),
+    /// List open sessions.
+    List,
+    /// Drop a named session from the registry.
+    Close(String),
+}
+
+/// One parsed request line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// The command reference.
+    Help,
+    /// Close the connection (REPL: exit).
+    Quit,
+    /// Liveness check.
+    Ping,
+    /// Server metrics.
+    Stats,
+    /// Graceful server shutdown.
+    Shutdown,
+    /// Write a demo corpus to disk (no session involved).
+    GenCorpus {
+        /// Generator seed.
+        seed: u64,
+        /// Output directory.
+        dir: String,
+    },
+    /// Session-registry control.
+    Session(SessionCtl),
+    /// An algebra command for the current session.
+    Gql(GqlCommand),
+}
+
+/// The table kinds `show` accepts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShowKind {
+    /// A GAP table.
+    Gap,
+    /// A SUMY table.
+    Sumy,
+}
+
+/// An algebra command executed against one session by [`crate::engine`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum GqlCommand {
+    /// List tissue types.
+    Tissues,
+    /// `E = σ_tissue(SAGE)`.
+    Dataset {
+        /// New table name.
+        name: String,
+        /// Tissue to select.
+        tissue: TissueType,
+    },
+    /// User-defined data set from the root.
+    Custom {
+        /// New table name.
+        name: String,
+        /// Member library names.
+        libraries: Vec<String>,
+    },
+    /// `σ_libraries(dataset)` — select libraries out of any data set.
+    Select {
+        /// New table name.
+        name: String,
+        /// Source data set.
+        dataset: String,
+        /// Library names to keep.
+        libraries: Vec<String>,
+    },
+    /// `π_tags(dataset)` — project a data set onto a tag list.
+    Project {
+        /// New table name.
+        name: String,
+        /// Source data set.
+        dataset: String,
+        /// Tags to keep.
+        tags: Vec<Tag>,
+    },
+    /// Calculate fascicles.
+    Mine {
+        /// Source data set.
+        dataset: String,
+        /// Output name prefix.
+        out: String,
+        /// Compactness threshold as a percentage of the data set's tags.
+        k_pct: usize,
+        /// Minimum fascicle size.
+        min_records: usize,
+        /// Candidate batch size.
+        batch: usize,
+    },
+    /// List mined fascicles.
+    Fascicles,
+    /// Purity check.
+    Purity(String),
+    /// Form control-group SUMYs.
+    Groups(String),
+    /// `GAP = diff(SUMY₁, SUMY₂)`.
+    Gap {
+        /// New GAP name.
+        name: String,
+        /// First SUMY.
+        sumy1: String,
+        /// Second SUMY.
+        sumy2: String,
+    },
+    /// Calculate top gaps.
+    TopGap {
+        /// Source GAP.
+        gap: String,
+        /// How many.
+        x: usize,
+    },
+    /// GAP comparison.
+    Compare {
+        /// New GAP name.
+        name: String,
+        /// First GAP.
+        g1: String,
+        /// Second GAP.
+        g2: String,
+        /// Set operation.
+        op: CompareOp,
+        /// Thesis query (1–13).
+        query: CompareQuery,
+    },
+    /// View a table's first rows.
+    Show {
+        /// Table kind.
+        kind: ShowKind,
+        /// Table name.
+        name: String,
+        /// Row limit.
+        n: usize,
+    },
+    /// Tag distribution across a data set.
+    Plot {
+        /// Data set.
+        dataset: String,
+        /// The tag.
+        tag: Tag,
+        /// Fascicle labelling the series.
+        fascicle: String,
+    },
+    /// Library information.
+    Library(String),
+    /// Expression values of a tag.
+    TagFreq {
+        /// Data set.
+        dataset: String,
+        /// The tag.
+        tag: Tag,
+    },
+    /// Export a table to CSV.
+    Export {
+        /// Table name.
+        name: String,
+        /// Output path.
+        path: String,
+    },
+    /// Annotate a lineage node.
+    Comment {
+        /// Table name.
+        name: String,
+        /// The comment.
+        text: String,
+    },
+    /// Drop contents or cascade-delete.
+    Delete {
+        /// Table name.
+        name: String,
+        /// Cascade to derived tables.
+        cascade: bool,
+    },
+    /// Re-materialize a contents-only-deleted table.
+    Populate(String),
+    /// Operation history.
+    Lineage,
+    /// Cleaning report.
+    Cleaning,
+    /// Pooled cancer-vs-normal comparison.
+    Xprofiler(String),
+    /// Persist tables and lineage.
+    Save(String),
+    /// Browse saved tables and lineage.
+    Load(String),
+}
+
+impl GqlCommand {
+    /// Whether the command only reads the session. Read commands run under
+    /// a shared read lock on the server; everything else takes the write
+    /// lock. (`save`, `export` and `load` touch the filesystem but not the
+    /// session, so they are reads here.)
+    pub fn is_read(&self) -> bool {
+        matches!(
+            self,
+            GqlCommand::Tissues
+                | GqlCommand::Fascicles
+                | GqlCommand::Purity(_)
+                | GqlCommand::Show { .. }
+                | GqlCommand::Plot { .. }
+                | GqlCommand::Library(_)
+                | GqlCommand::TagFreq { .. }
+                | GqlCommand::Export { .. }
+                | GqlCommand::Lineage
+                | GqlCommand::Cleaning
+                | GqlCommand::Xprofiler(_)
+                | GqlCommand::Save(_)
+                | GqlCommand::Load(_)
+        )
+    }
+
+    /// The verb, for metrics labels.
+    pub fn verb(&self) -> &'static str {
+        match self {
+            GqlCommand::Tissues => "tissues",
+            GqlCommand::Dataset { .. } => "dataset",
+            GqlCommand::Custom { .. } => "custom",
+            GqlCommand::Select { .. } => "select",
+            GqlCommand::Project { .. } => "project",
+            GqlCommand::Mine { .. } => "mine",
+            GqlCommand::Fascicles => "fascicles",
+            GqlCommand::Purity(_) => "purity",
+            GqlCommand::Groups(_) => "groups",
+            GqlCommand::Gap { .. } => "gap",
+            GqlCommand::TopGap { .. } => "topgap",
+            GqlCommand::Compare { .. } => "compare",
+            GqlCommand::Show { .. } => "show",
+            GqlCommand::Plot { .. } => "plot",
+            GqlCommand::Library(_) => "library",
+            GqlCommand::TagFreq { .. } => "tagfreq",
+            GqlCommand::Export { .. } => "export",
+            GqlCommand::Comment { .. } => "comment",
+            GqlCommand::Delete { .. } => "delete",
+            GqlCommand::Populate(_) => "populate",
+            GqlCommand::Lineage => "lineage",
+            GqlCommand::Cleaning => "cleaning",
+            GqlCommand::Xprofiler(_) => "xprofiler",
+            GqlCommand::Save(_) => "save",
+            GqlCommand::Load(_) => "load",
+        }
+    }
+}
+
+impl Request {
+    /// The verb, for metrics labels.
+    pub fn verb(&self) -> &'static str {
+        match self {
+            Request::Help => "help",
+            Request::Quit => "quit",
+            Request::Ping => "ping",
+            Request::Stats => "stats",
+            Request::Shutdown => "shutdown",
+            Request::GenCorpus { .. } => "gen-corpus",
+            Request::Session(SessionCtl::OpenDemo { .. })
+            | Request::Session(SessionCtl::OpenDir { .. }) => "open",
+            Request::Session(SessionCtl::Use(_)) => "use",
+            Request::Session(SessionCtl::List) => "sessions",
+            Request::Session(SessionCtl::Close(_)) => "close",
+            Request::Gql(cmd) => cmd.verb(),
+        }
+    }
+}
+
+/// Split a request line into tokens. Double quotes group a token with
+/// spaces; `\"` escapes a quote inside one.
+pub fn tokenize(line: &str) -> Result<Vec<String>, ParseError> {
+    let mut tokens = Vec::new();
+    let mut current = String::new();
+    let mut in_token = false;
+    let mut chars = line.chars();
+    loop {
+        match chars.next() {
+            None => break,
+            Some(c) if c.is_whitespace() => {
+                if in_token {
+                    tokens.push(std::mem::take(&mut current));
+                    in_token = false;
+                }
+            }
+            Some('"') => {
+                in_token = true;
+                loop {
+                    match chars.next() {
+                        None => return Err(ParseError("unterminated quote".to_string())),
+                        Some('"') => break,
+                        Some('\\') => match chars.next() {
+                            Some(e) => current.push(e),
+                            None => return Err(ParseError("unterminated quote".to_string())),
+                        },
+                        Some(c) => current.push(c),
+                    }
+                }
+            }
+            Some(c) => {
+                in_token = true;
+                current.push(c);
+            }
+        }
+    }
+    if in_token {
+        tokens.push(current);
+    }
+    Ok(tokens)
+}
+
+fn parse_num<T: std::str::FromStr>(what: &str, token: &str) -> Result<T, ParseError>
+where
+    T::Err: fmt::Display,
+{
+    token
+        .parse()
+        .map_err(|e| ParseError(format!("bad {what}: {e}")))
+}
+
+fn parse_tag(token: &str) -> Result<Tag, ParseError> {
+    token
+        .parse()
+        .map_err(|e| ParseError(format!("bad tag: {e}")))
+}
+
+/// Parse one request line. `Ok(None)` means the line was blank.
+pub fn parse(line: &str) -> Result<Option<Request>, ParseError> {
+    let tokens = tokenize(line)?;
+    let Some((cmd, args)) = tokens.split_first() else {
+        return Ok(None);
+    };
+    let args: Vec<&str> = args.iter().map(|s| s.as_str()).collect();
+    let req = match cmd.as_str() {
+        "help" => Request::Help,
+        "quit" | "exit" => Request::Quit,
+        "ping" => Request::Ping,
+        "stats" => Request::Stats,
+        "shutdown" => Request::Shutdown,
+        "sessions" => Request::Session(SessionCtl::List),
+        "use" => {
+            let [name] = args[..] else {
+                return Err(usage("use <name>"));
+            };
+            Request::Session(SessionCtl::Use(name.to_string()))
+        }
+        "close" => {
+            let [name] = args[..] else {
+                return Err(usage("close <name>"));
+            };
+            Request::Session(SessionCtl::Close(name.to_string()))
+        }
+        "open" => match args[..] {
+            [name, "demo", seed] => Request::Session(SessionCtl::OpenDemo {
+                name: name.to_string(),
+                seed: parse_num("seed", seed)?,
+            }),
+            [name, "dir", dir] => Request::Session(SessionCtl::OpenDir {
+                name: name.to_string(),
+                dir: dir.to_string(),
+            }),
+            _ => return Err(usage("open <name> demo <seed> | open <name> dir <dir>")),
+        },
+        "load-demo" => {
+            let seed = match args[..] {
+                [] => 42,
+                [seed] => parse_num("seed", seed)?,
+                _ => return Err(usage("load-demo <seed>")),
+            };
+            Request::Session(SessionCtl::OpenDemo {
+                name: "default".to_string(),
+                seed,
+            })
+        }
+        "load-dir" => {
+            let [dir] = args[..] else {
+                return Err(usage("load-dir <dir>"));
+            };
+            Request::Session(SessionCtl::OpenDir {
+                name: "default".to_string(),
+                dir: dir.to_string(),
+            })
+        }
+        "gen-corpus" => {
+            let [seed, dir] = args[..] else {
+                return Err(usage("gen-corpus <seed> <dir>"));
+            };
+            Request::GenCorpus {
+                seed: parse_num("seed", seed)?,
+                dir: dir.to_string(),
+            }
+        }
+        "tissues" => Request::Gql(GqlCommand::Tissues),
+        "dataset" => {
+            let [name, tissue] = args[..] else {
+                return Err(usage("dataset <name> <tissue>"));
+            };
+            Request::Gql(GqlCommand::Dataset {
+                name: name.to_string(),
+                tissue: TissueType::parse(tissue),
+            })
+        }
+        "custom" => {
+            let Some((&name, libs)) = args.split_first() else {
+                return Err(usage("custom <name> <lib> [<lib>...]"));
+            };
+            if libs.is_empty() {
+                return Err(ParseError("need at least one library".to_string()));
+            }
+            Request::Gql(GqlCommand::Custom {
+                name: name.to_string(),
+                libraries: libs.iter().map(|s| s.to_string()).collect(),
+            })
+        }
+        "select" => {
+            let [name, dataset, libs @ ..] = &args[..] else {
+                return Err(usage("select <name> <dataset> <lib> [<lib>...]"));
+            };
+            if libs.is_empty() {
+                return Err(ParseError("need at least one library".to_string()));
+            }
+            Request::Gql(GqlCommand::Select {
+                name: name.to_string(),
+                dataset: dataset.to_string(),
+                libraries: libs.iter().map(|s| s.to_string()).collect(),
+            })
+        }
+        "project" => {
+            let [name, dataset, tags @ ..] = &args[..] else {
+                return Err(usage("project <name> <dataset> <tag> [<tag>...]"));
+            };
+            if tags.is_empty() {
+                return Err(ParseError("need at least one tag".to_string()));
+            }
+            Request::Gql(GqlCommand::Project {
+                name: name.to_string(),
+                dataset: dataset.to_string(),
+                tags: tags
+                    .iter()
+                    .map(|t| parse_tag(t))
+                    .collect::<Result<_, _>>()?,
+            })
+        }
+        "mine" => {
+            let [dataset, out, kpct, min, batch] = args[..] else {
+                return Err(usage("mine <dataset> <out> <k%> <min> <batch>"));
+            };
+            Request::Gql(GqlCommand::Mine {
+                dataset: dataset.to_string(),
+                out: out.to_string(),
+                k_pct: parse_num("k%", kpct)?,
+                min_records: parse_num("min", min)?,
+                batch: parse_num("batch", batch)?,
+            })
+        }
+        "fascicles" => Request::Gql(GqlCommand::Fascicles),
+        "purity" => {
+            let [f] = args[..] else {
+                return Err(usage("purity <fascicle>"));
+            };
+            Request::Gql(GqlCommand::Purity(f.to_string()))
+        }
+        "groups" => {
+            let [f] = args[..] else {
+                return Err(usage("groups <fascicle>"));
+            };
+            Request::Gql(GqlCommand::Groups(f.to_string()))
+        }
+        "gap" => {
+            let [name, s1, s2] = args[..] else {
+                return Err(usage("gap <name> <sumy1> <sumy2>"));
+            };
+            Request::Gql(GqlCommand::Gap {
+                name: name.to_string(),
+                sumy1: s1.to_string(),
+                sumy2: s2.to_string(),
+            })
+        }
+        "topgap" => {
+            let [gap, x] = args[..] else {
+                return Err(usage("topgap <gap> <x>"));
+            };
+            Request::Gql(GqlCommand::TopGap {
+                gap: gap.to_string(),
+                x: parse_num("x", x)?,
+            })
+        }
+        "compare" => {
+            let [name, g1, g2, op, query] = args[..] else {
+                return Err(usage(
+                    "compare <name> <g1> <g2> <union|intersect|difference> <query#>",
+                ));
+            };
+            let op = match op {
+                "union" => CompareOp::Union,
+                "intersect" => CompareOp::Intersect,
+                "difference" | "diff" => CompareOp::Difference,
+                other => return Err(ParseError(format!("unknown op {other:?}"))),
+            };
+            let qnum: usize = parse_num("query #", query)?;
+            let query = *CompareQuery::ALL
+                .get(qnum.wrapping_sub(1))
+                .ok_or_else(|| ParseError("query # must be 1-13".to_string()))?;
+            Request::Gql(GqlCommand::Compare {
+                name: name.to_string(),
+                g1: g1.to_string(),
+                g2: g2.to_string(),
+                op,
+                query,
+            })
+        }
+        "show" => {
+            let [kind, name, rest @ ..] = &args[..] else {
+                return Err(usage("show gap|sumy <name> [n]"));
+            };
+            let kind = match *kind {
+                "gap" => ShowKind::Gap,
+                "sumy" => ShowKind::Sumy,
+                other => return Err(ParseError(format!("unknown table kind {other:?}"))),
+            };
+            let n = rest.first().unwrap_or(&"10").parse().unwrap_or(10);
+            Request::Gql(GqlCommand::Show {
+                kind,
+                name: name.to_string(),
+                n,
+            })
+        }
+        "plot" => {
+            let [dataset, tag, fascicle] = args[..] else {
+                return Err(usage("plot <dataset> <tag> <fascicle>"));
+            };
+            Request::Gql(GqlCommand::Plot {
+                dataset: dataset.to_string(),
+                tag: parse_tag(tag)?,
+                fascicle: fascicle.to_string(),
+            })
+        }
+        "library" => {
+            let [key] = args[..] else {
+                return Err(usage("library <name|id>"));
+            };
+            Request::Gql(GqlCommand::Library(key.to_string()))
+        }
+        "tagfreq" => {
+            let [dataset, tag] = args[..] else {
+                return Err(usage("tagfreq <dataset> <tag>"));
+            };
+            Request::Gql(GqlCommand::TagFreq {
+                dataset: dataset.to_string(),
+                tag: parse_tag(tag)?,
+            })
+        }
+        "export" => {
+            let [name, path] = args[..] else {
+                return Err(usage("export <name> <file.csv>"));
+            };
+            Request::Gql(GqlCommand::Export {
+                name: name.to_string(),
+                path: path.to_string(),
+            })
+        }
+        "comment" => {
+            let Some((&name, words)) = args.split_first() else {
+                return Err(usage("comment <name> <text...>"));
+            };
+            if words.is_empty() {
+                return Err(usage("comment <name> <text...>"));
+            }
+            Request::Gql(GqlCommand::Comment {
+                name: name.to_string(),
+                text: words.join(" "),
+            })
+        }
+        "delete" => {
+            let Some((&name, flags)) = args.split_first() else {
+                return Err(usage("delete <name> [--cascade]"));
+            };
+            Request::Gql(GqlCommand::Delete {
+                name: name.to_string(),
+                cascade: flags.contains(&"--cascade"),
+            })
+        }
+        "populate" => {
+            let [name] = args[..] else {
+                return Err(usage("populate <name>"));
+            };
+            Request::Gql(GqlCommand::Populate(name.to_string()))
+        }
+        "lineage" => Request::Gql(GqlCommand::Lineage),
+        "cleaning" => Request::Gql(GqlCommand::Cleaning),
+        "xprofiler" => {
+            let [dataset] = args[..] else {
+                return Err(usage("xprofiler <dataset>"));
+            };
+            Request::Gql(GqlCommand::Xprofiler(dataset.to_string()))
+        }
+        "save" => {
+            let [dir] = args[..] else {
+                return Err(usage("save <dir>"));
+            };
+            Request::Gql(GqlCommand::Save(dir.to_string()))
+        }
+        "load" => {
+            let [dir] = args[..] else {
+                return Err(usage("load <dir>"));
+            };
+            Request::Gql(GqlCommand::Load(dir.to_string()))
+        }
+        other => return Err(ParseError(format!("unknown command {other:?}; try `help`"))),
+    };
+    Ok(Some(req))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokenizer_handles_quotes_and_blanks() {
+        assert_eq!(tokenize("a b  c").unwrap(), vec!["a", "b", "c"]);
+        assert_eq!(
+            tokenize("comment g \"two words\"").unwrap(),
+            vec!["comment", "g", "two words"]
+        );
+        assert_eq!(
+            tokenize(r#"say "a \"quoted\" bit""#).unwrap(),
+            vec!["say", "a \"quoted\" bit"]
+        );
+        assert_eq!(tokenize("   ").unwrap(), Vec::<String>::new());
+        assert!(tokenize("bad \"unterminated").is_err());
+    }
+
+    #[test]
+    fn parses_the_full_surface() {
+        assert_eq!(parse("").unwrap(), None);
+        assert_eq!(parse("help").unwrap(), Some(Request::Help));
+        assert_eq!(parse("quit").unwrap(), Some(Request::Quit));
+        assert_eq!(parse("exit").unwrap(), Some(Request::Quit));
+        assert!(matches!(
+            parse("open brain demo 42").unwrap(),
+            Some(Request::Session(SessionCtl::OpenDemo { ref name, seed: 42 }))
+                if name == "brain"
+        ));
+        assert!(matches!(
+            parse("load-demo 7").unwrap(),
+            Some(Request::Session(SessionCtl::OpenDemo { ref name, seed: 7 }))
+                if name == "default"
+        ));
+        assert!(matches!(
+            parse("mine E f 50 3 6").unwrap(),
+            Some(Request::Gql(GqlCommand::Mine {
+                k_pct: 50,
+                min_records: 3,
+                batch: 6,
+                ..
+            }))
+        ));
+        assert!(matches!(
+            parse("delete g --cascade").unwrap(),
+            Some(Request::Gql(GqlCommand::Delete { cascade: true, .. }))
+        ));
+        assert!(matches!(
+            parse("show sumy s 3").unwrap(),
+            Some(Request::Gql(GqlCommand::Show {
+                kind: ShowKind::Sumy,
+                n: 3,
+                ..
+            }))
+        ));
+        assert!(matches!(
+            parse("compare c a b intersect 2").unwrap(),
+            Some(Request::Gql(GqlCommand::Compare { .. }))
+        ));
+    }
+
+    #[test]
+    fn errors_are_parse_errors() {
+        assert!(parse("mine").is_err());
+        assert!(parse("bogus").is_err());
+        assert!(parse("open x demo notanumber").is_err());
+        assert!(parse("compare a b c union 99").is_err());
+        assert!(parse("topgap g notanumber").is_err());
+    }
+
+    #[test]
+    fn read_write_classification() {
+        let read = parse("show gap g 5").unwrap().unwrap();
+        let write = parse("gap g a b").unwrap().unwrap();
+        match (read, write) {
+            (Request::Gql(r), Request::Gql(w)) => {
+                assert!(r.is_read());
+                assert!(!w.is_read());
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+        for line in ["tissues", "lineage", "cleaning", "fascicles", "purity f"] {
+            match parse(line).unwrap().unwrap() {
+                Request::Gql(cmd) => assert!(cmd.is_read(), "{line} should be a read"),
+                other => panic!("{line} parsed to {other:?}"),
+            }
+        }
+        for line in [
+            "mine E f 50 3 6",
+            "dataset E brain",
+            "populate t",
+            "comment t x",
+        ] {
+            match parse(line).unwrap().unwrap() {
+                Request::Gql(cmd) => assert!(!cmd.is_read(), "{line} should be a write"),
+                other => panic!("{line} parsed to {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn help_covers_every_verb() {
+        for verb in [
+            "open",
+            "use",
+            "sessions",
+            "close",
+            "load-demo",
+            "load-dir",
+            "gen-corpus",
+            "tissues",
+            "dataset",
+            "custom",
+            "select",
+            "project",
+            "mine",
+            "fascicles",
+            "purity",
+            "groups",
+            "gap",
+            "topgap",
+            "compare",
+            "show",
+            "plot",
+            "library",
+            "tagfreq",
+            "export",
+            "comment",
+            "delete",
+            "populate",
+            "lineage",
+            "cleaning",
+            "xprofiler",
+            "save",
+            "load",
+            "ping",
+            "stats",
+            "shutdown",
+            "help",
+            "quit",
+        ] {
+            assert!(HELP.contains(verb), "help missing {verb}");
+        }
+    }
+}

@@ -1,0 +1,52 @@
+//! # gea-server — serving the GEA algebra to concurrent clients
+//!
+//! The thesis ships GEA as a single-user Swing GUI; this crate turns the
+//! same [`GeaSession`](gea_core::session::GeaSession) algebra into a shared
+//! network service, the way Simcluster and THEA serve enumeration-data
+//! analysis to many analysts at once. It contains four layers, each usable
+//! on its own:
+//!
+//! * [`gql`] — the **GEA Query Language**: a line-oriented textual grammar
+//!   covering the session algebra (`dataset`, `mine`, `populate`, `gap`,
+//!   `topgap`, `compare`, `select`/`project`, `lineage`, `delete`,
+//!   `save`/`load`, …). One parser serves every front-end: the `gea-cli`
+//!   REPL, scripts, and the wire protocol.
+//! * [`engine`] — the **executor**: runs a parsed command against a
+//!   session, split into a read path (`&GeaSession`, shareable under a read
+//!   lock) and a write path (`&mut GeaSession`).
+//! * [`server`] — the **runtime**: a `std::net` TCP listener, a bounded
+//!   worker-thread pool, a [`registry`] of named sessions behind
+//!   `Arc<RwLock<…>>` (readers share, writers exclude), per-request lock
+//!   deadlines, graceful shutdown, and [`metrics`] exposed by the `stats`
+//!   command.
+//! * [`client`] — a blocking **client library** (used by the `gea-client`
+//!   binary and the integration tests).
+//!
+//! ## Wire protocol
+//!
+//! Requests are single lines. Every reply starts with a one-line status:
+//!
+//! ```text
+//! -> open brain demo 42
+//! <- OK 1
+//! <- session open: 62256 -> 19683 tags after cleaning, 21 libraries
+//! -> gap g1 missing1 missing2
+//! <- ERR ENOTFOUND no SUMY table named "missing1"
+//! ```
+//!
+//! `OK <k>` is followed by exactly `k` payload lines; `ERR <CODE> <msg>` is
+//! always a single line, and the connection stays usable afterwards.
+
+pub mod client;
+pub mod engine;
+pub mod gql;
+pub mod metrics;
+pub mod registry;
+pub mod server;
+pub mod wire;
+
+pub use client::GeaClient;
+pub use engine::EngineError;
+pub use gql::{GqlCommand, Request, SessionCtl};
+pub use registry::SessionRegistry;
+pub use server::{Server, ServerConfig};

@@ -1,0 +1,226 @@
+//! Server metrics: request counts, per-command latency histograms, and
+//! connection gauges, exposed by the `stats` command.
+//!
+//! Counters are lock-free atomics on the hot path; the per-command table
+//! is a small mutexed map updated once per request. Latencies go into
+//! log2-microsecond buckets (bucket *i* covers `[2^i, 2^(i+1))` µs), which
+//! spans 1 µs to over a minute in [`N_BUCKETS`] buckets and gives
+//! percentile estimates without storing samples.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Number of log2 latency buckets (last bucket absorbs the overflow).
+pub const N_BUCKETS: usize = 27;
+
+/// Latency statistics for one command verb.
+#[derive(Debug, Clone)]
+pub struct CmdStat {
+    /// Requests observed.
+    pub count: u64,
+    /// Requests that returned `ERR`.
+    pub errors: u64,
+    /// Sum of latencies in microseconds.
+    pub total_us: u64,
+    /// Largest latency in microseconds.
+    pub max_us: u64,
+    /// log2-µs histogram.
+    pub buckets: [u64; N_BUCKETS],
+}
+
+impl CmdStat {
+    fn new() -> CmdStat {
+        CmdStat {
+            count: 0,
+            errors: 0,
+            total_us: 0,
+            max_us: 0,
+            buckets: [0; N_BUCKETS],
+        }
+    }
+
+    fn record(&mut self, us: u64, ok: bool) {
+        self.count += 1;
+        if !ok {
+            self.errors += 1;
+        }
+        self.total_us += us;
+        self.max_us = self.max_us.max(us);
+        let bucket = (63 - (us.max(1)).leading_zeros() as usize).min(N_BUCKETS - 1);
+        self.buckets[bucket] += 1;
+    }
+
+    /// Upper edge (µs) of the bucket holding quantile `q` — a conservative
+    /// percentile estimate from the histogram.
+    pub fn quantile_us(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = ((self.count as f64) * q).ceil() as u64;
+        let mut seen = 0;
+        for (i, &b) in self.buckets.iter().enumerate() {
+            seen += b;
+            if seen >= target {
+                return 1u64 << (i + 1);
+            }
+        }
+        self.max_us
+    }
+}
+
+/// The server's shared metrics sink.
+pub struct Metrics {
+    started: Instant,
+    connections_active: AtomicU64,
+    connections_total: AtomicU64,
+    requests_total: AtomicU64,
+    errors_total: AtomicU64,
+    rejected_total: AtomicU64,
+    per_cmd: Mutex<BTreeMap<&'static str, CmdStat>>,
+}
+
+impl Default for Metrics {
+    fn default() -> Metrics {
+        Metrics::new()
+    }
+}
+
+impl Metrics {
+    /// Create a zeroed sink; uptime starts now.
+    pub fn new() -> Metrics {
+        Metrics {
+            started: Instant::now(),
+            connections_active: AtomicU64::new(0),
+            connections_total: AtomicU64::new(0),
+            requests_total: AtomicU64::new(0),
+            errors_total: AtomicU64::new(0),
+            rejected_total: AtomicU64::new(0),
+            per_cmd: Mutex::new(BTreeMap::new()),
+        }
+    }
+
+    /// A connection was accepted and handed to a worker.
+    pub fn connection_opened(&self) {
+        self.connections_active.fetch_add(1, Ordering::Relaxed);
+        self.connections_total.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A connection finished.
+    pub fn connection_closed(&self) {
+        self.connections_active.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// A connection was turned away because the worker queue was full.
+    pub fn connection_rejected(&self) {
+        self.rejected_total.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record one request's verb, latency, and outcome.
+    pub fn record(&self, verb: &'static str, elapsed: Duration, ok: bool) {
+        self.requests_total.fetch_add(1, Ordering::Relaxed);
+        if !ok {
+            self.errors_total.fetch_add(1, Ordering::Relaxed);
+        }
+        let us = elapsed.as_micros().min(u64::MAX as u128) as u64;
+        let mut map = self.per_cmd.lock().unwrap_or_else(|e| e.into_inner());
+        map.entry(verb).or_insert_with(CmdStat::new).record(us, ok);
+    }
+
+    /// Total requests observed so far.
+    pub fn requests_total(&self) -> u64 {
+        self.requests_total.load(Ordering::Relaxed)
+    }
+
+    /// Render the `stats` reply: gauges first, then one line per verb with
+    /// count, errors, mean/p50/p95/max latency, and the raw histogram.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "uptime_seconds {}", self.started.elapsed().as_secs());
+        let _ = writeln!(
+            out,
+            "connections_active {}",
+            self.connections_active.load(Ordering::Relaxed)
+        );
+        let _ = writeln!(
+            out,
+            "connections_total {}",
+            self.connections_total.load(Ordering::Relaxed)
+        );
+        let _ = writeln!(
+            out,
+            "connections_rejected {}",
+            self.rejected_total.load(Ordering::Relaxed)
+        );
+        let _ = writeln!(out, "requests_total {}", self.requests_total());
+        let _ = writeln!(
+            out,
+            "errors_total {}",
+            self.errors_total.load(Ordering::Relaxed)
+        );
+        let map = self.per_cmd.lock().unwrap_or_else(|e| e.into_inner());
+        for (verb, stat) in map.iter() {
+            let mean = stat.total_us.checked_div(stat.count).unwrap_or(0);
+            let last = stat
+                .buckets
+                .iter()
+                .rposition(|&b| b > 0)
+                .map_or(0, |i| i + 1);
+            let hist: Vec<String> = stat.buckets[..last].iter().map(|b| b.to_string()).collect();
+            let _ = writeln!(
+                out,
+                "cmd {verb} count {} errors {} mean_us {mean} p50_us {} p95_us {} max_us {} hist_log2us [{}]",
+                stat.count,
+                stat.errors,
+                stat.quantile_us(0.50),
+                stat.quantile_us(0.95),
+                stat.max_us,
+                hist.join(" ")
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_counts_and_histograms() {
+        let m = Metrics::new();
+        m.connection_opened();
+        m.record("gap", Duration::from_micros(3), true);
+        m.record("gap", Duration::from_micros(900), true);
+        m.record("gap", Duration::from_micros(70), false);
+        m.record("mine", Duration::from_millis(12), true);
+        m.connection_closed();
+
+        assert_eq!(m.requests_total(), 4);
+        let text = m.render();
+        assert!(text.contains("requests_total 4"), "{text}");
+        assert!(text.contains("errors_total 1"), "{text}");
+        assert!(text.contains("connections_active 0"), "{text}");
+        assert!(text.contains("connections_total 1"), "{text}");
+        assert!(text.contains("cmd gap count 3 errors 1"), "{text}");
+        assert!(text.contains("cmd mine count 1"), "{text}");
+        assert!(text.contains("hist_log2us ["), "{text}");
+
+        let map = m.per_cmd.lock().unwrap();
+        let gap = &map["gap"];
+        // 3 µs -> bucket 1, 70 µs -> bucket 6, 900 µs -> bucket 9.
+        assert_eq!(gap.buckets[1], 1);
+        assert_eq!(gap.buckets[6], 1);
+        assert_eq!(gap.buckets[9], 1);
+        assert_eq!(gap.quantile_us(0.5), 1 << 7);
+        assert!(gap.quantile_us(1.0) >= 900);
+    }
+
+    #[test]
+    fn quantiles_on_empty_stat_are_zero() {
+        let s = CmdStat::new();
+        assert_eq!(s.quantile_us(0.5), 0);
+    }
+}

@@ -1,0 +1,188 @@
+//! Named shared sessions behind `Arc<RwLock<…>>`.
+//!
+//! The registry is the server's unit of sharing: several connections can
+//! `use` the same named session, readers (`gap`, `topgap`, `show`, …)
+//! proceed concurrently under the read lock, and mutators (`mine`,
+//! `dataset`, `delete`, …) serialize behind the write lock. Locks are
+//! acquired with a deadline so a long-running writer turns into a clean
+//! `ERR ETIMEOUT` for waiting clients instead of an unbounded stall.
+
+use std::collections::HashMap;
+use std::sync::{Arc, RwLock, RwLockReadGuard, RwLockWriteGuard, TryLockError};
+use std::time::{Duration, Instant};
+
+use gea_core::session::GeaSession;
+
+use crate::engine::EngineError;
+
+/// A shared handle to one session.
+pub type SharedSession = Arc<RwLock<GeaSession>>;
+
+/// The named-session registry.
+#[derive(Default)]
+pub struct SessionRegistry {
+    sessions: RwLock<HashMap<String, SharedSession>>,
+}
+
+impl SessionRegistry {
+    /// Create an empty registry.
+    pub fn new() -> SessionRegistry {
+        SessionRegistry::default()
+    }
+
+    /// Install a session under `name`, replacing any previous one (the
+    /// thesis GUI's "new session" semantics). Returns `true` if a session
+    /// was replaced. Connections still attached to a replaced session keep
+    /// their `Arc` and finish against the old state.
+    pub fn open(&self, name: &str, session: GeaSession) -> bool {
+        self.sessions
+            .write()
+            .unwrap_or_else(|e| e.into_inner())
+            .insert(name.to_string(), Arc::new(RwLock::new(session)))
+            .is_some()
+    }
+
+    /// Look up a session by name.
+    pub fn get(&self, name: &str) -> Option<SharedSession> {
+        self.sessions
+            .read()
+            .unwrap_or_else(|e| e.into_inner())
+            .get(name)
+            .cloned()
+    }
+
+    /// Drop a session. Returns `false` if no such session existed.
+    pub fn close(&self, name: &str) -> bool {
+        self.sessions
+            .write()
+            .unwrap_or_else(|e| e.into_inner())
+            .remove(name)
+            .is_some()
+    }
+
+    /// Sorted session names with the number of connections sharing each
+    /// (the registry's own reference excluded).
+    pub fn list(&self) -> Vec<(String, usize)> {
+        let map = self.sessions.read().unwrap_or_else(|e| e.into_inner());
+        let mut out: Vec<(String, usize)> = map
+            .iter()
+            .map(|(name, arc)| (name.clone(), Arc::strong_count(arc) - 1))
+            .collect();
+        out.sort();
+        out
+    }
+
+    /// Number of open sessions.
+    pub fn len(&self) -> usize {
+        self.sessions
+            .read()
+            .unwrap_or_else(|e| e.into_inner())
+            .len()
+    }
+
+    /// Whether the registry is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+const LOCK_POLL: Duration = Duration::from_millis(2);
+
+fn timeout_err(what: &str, timeout: Duration) -> EngineError {
+    EngineError::new(
+        "ETIMEOUT",
+        format!(
+            "could not acquire {what} lock within {} ms",
+            timeout.as_millis()
+        ),
+    )
+}
+
+/// Acquire a read lock, polling until `timeout` elapses. A poisoned lock
+/// (a panicking writer) is recovered: the algebra leaves the session
+/// consistent between commands, so the state is still usable.
+pub fn read_with_deadline(
+    session: &RwLock<GeaSession>,
+    timeout: Duration,
+) -> Result<RwLockReadGuard<'_, GeaSession>, EngineError> {
+    let deadline = Instant::now() + timeout;
+    loop {
+        match session.try_read() {
+            Ok(guard) => return Ok(guard),
+            Err(TryLockError::Poisoned(p)) => return Ok(p.into_inner()),
+            Err(TryLockError::WouldBlock) => {
+                if Instant::now() >= deadline {
+                    return Err(timeout_err("read", timeout));
+                }
+                std::thread::sleep(LOCK_POLL);
+            }
+        }
+    }
+}
+
+/// Acquire a write lock, polling until `timeout` elapses.
+pub fn write_with_deadline(
+    session: &RwLock<GeaSession>,
+    timeout: Duration,
+) -> Result<RwLockWriteGuard<'_, GeaSession>, EngineError> {
+    let deadline = Instant::now() + timeout;
+    loop {
+        match session.try_write() {
+            Ok(guard) => return Ok(guard),
+            Err(TryLockError::Poisoned(p)) => return Ok(p.into_inner()),
+            Err(TryLockError::WouldBlock) => {
+                if Instant::now() >= deadline {
+                    return Err(timeout_err("write", timeout));
+                }
+                std::thread::sleep(LOCK_POLL);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gea_sage::clean::CleaningConfig;
+    use gea_sage::generate::{generate, GeneratorConfig};
+
+    fn demo_session() -> GeaSession {
+        let (corpus, _) = generate(&GeneratorConfig::demo(42));
+        GeaSession::open(corpus, &CleaningConfig::default()).unwrap()
+    }
+
+    #[test]
+    fn open_use_close_lifecycle() {
+        let reg = SessionRegistry::new();
+        assert!(reg.is_empty());
+        assert!(!reg.open("a", demo_session()));
+        assert!(reg.open("a", demo_session()), "second open replaces");
+        assert_eq!(reg.len(), 1);
+        let held = reg.get("a").expect("session a");
+        assert_eq!(reg.list(), vec![("a".to_string(), 1)]);
+        drop(held);
+        assert_eq!(reg.list(), vec![("a".to_string(), 0)]);
+        assert!(reg.get("b").is_none());
+        assert!(reg.close("a"));
+        assert!(!reg.close("a"));
+    }
+
+    #[test]
+    fn read_lock_times_out_behind_a_writer() {
+        let reg = SessionRegistry::new();
+        reg.open("a", demo_session());
+        let shared = reg.get("a").unwrap();
+        let guard = shared.write().unwrap();
+        let err = match read_with_deadline(&shared, Duration::from_millis(10)) {
+            Err(e) => e,
+            Ok(_) => panic!("read lock acquired behind a writer"),
+        };
+        assert_eq!(err.code, "ETIMEOUT");
+        drop(guard);
+        assert!(read_with_deadline(&shared, Duration::from_millis(10)).is_ok());
+        // Readers share.
+        let r1 = read_with_deadline(&shared, Duration::from_millis(10)).unwrap();
+        let r2 = read_with_deadline(&shared, Duration::from_millis(10)).unwrap();
+        drop((r1, r2));
+    }
+}

@@ -1,0 +1,455 @@
+//! The server runtime: a `std::net` TCP listener feeding a bounded pool
+//! of worker threads, each owning one client connection at a time.
+//!
+//! Every accepted connection is pushed onto a bounded queue; when the
+//! queue and all workers are busy the connection is refused with a
+//! one-line `ERR EBUSY` instead of queueing unboundedly. Commands run
+//! against [`SessionRegistry`] sessions under read or write locks chosen
+//! by [`GqlCommand::is_read`], with a per-request lock deadline so writers
+//! stuck behind a long mine surface as `ERR ETIMEOUT`. Shutdown is
+//! cooperative: the `shutdown` command (or [`ServerHandle::shutdown`])
+//! raises a flag and wakes the acceptor; workers finish their current
+//! request, then drain.
+
+use std::io::Read;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
+use std::sync::{mpsc, Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use gea_core::session::GeaSession;
+use gea_sage::clean::CleaningConfig;
+use gea_sage::generate::{generate, GeneratorConfig};
+
+use crate::engine::{self, EngineError};
+use crate::gql::{self, GqlCommand, Request, SessionCtl};
+use crate::metrics::Metrics;
+use crate::registry::{read_with_deadline, write_with_deadline, SessionRegistry};
+use crate::wire;
+
+/// Server tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address (`127.0.0.1:7687`; port 0 picks an ephemeral port).
+    pub addr: String,
+    /// Worker threads — the concurrent-connection ceiling.
+    pub workers: usize,
+    /// Accepted connections that may wait for a free worker before new
+    /// ones are refused with `EBUSY`.
+    pub queue_depth: usize,
+    /// Per-request lock-acquisition deadline.
+    pub lock_timeout: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            addr: "127.0.0.1:7687".to_string(),
+            workers: 4,
+            queue_depth: 16,
+            lock_timeout: Duration::from_secs(30),
+        }
+    }
+}
+
+/// A handle for stopping a running server from another thread.
+#[derive(Clone)]
+pub struct ServerHandle {
+    flag: Arc<AtomicBool>,
+    addr: SocketAddr,
+}
+
+impl ServerHandle {
+    /// Request shutdown and wake the acceptor.
+    pub fn shutdown(&self) {
+        self.flag.store(true, Ordering::SeqCst);
+        // The acceptor blocks in accept(); a throwaway connection wakes it
+        // so it can observe the flag.
+        let _ = TcpStream::connect(self.addr);
+    }
+
+    /// Whether shutdown has been requested.
+    pub fn is_shutting_down(&self) -> bool {
+        self.flag.load(Ordering::SeqCst)
+    }
+}
+
+/// A bound, not-yet-running server.
+pub struct Server {
+    listener: TcpListener,
+    config: ServerConfig,
+    registry: Arc<SessionRegistry>,
+    metrics: Arc<Metrics>,
+    shutdown: Arc<AtomicBool>,
+}
+
+impl Server {
+    /// Bind the listener. No thread is spawned until [`Server::run`].
+    pub fn bind(config: ServerConfig) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(&config.addr)?;
+        Ok(Server {
+            listener,
+            config,
+            registry: Arc::new(SessionRegistry::new()),
+            metrics: Arc::new(Metrics::new()),
+            shutdown: Arc::new(AtomicBool::new(false)),
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.listener
+            .local_addr()
+            .expect("bound listener has an address")
+    }
+
+    /// The session registry, for pre-opening sessions before serving.
+    pub fn registry(&self) -> &Arc<SessionRegistry> {
+        &self.registry
+    }
+
+    /// A shutdown handle to stop the server from another thread.
+    pub fn handle(&self) -> ServerHandle {
+        ServerHandle {
+            flag: Arc::clone(&self.shutdown),
+            addr: self.local_addr(),
+        }
+    }
+
+    /// Serve until shutdown is requested. Blocks the calling thread; the
+    /// worker pool is joined before returning.
+    pub fn run(self) -> std::io::Result<()> {
+        let Server {
+            listener,
+            config,
+            registry,
+            metrics,
+            shutdown,
+        } = self;
+        let workers = config.workers.max(1);
+        let (tx, rx): (SyncSender<TcpStream>, Receiver<TcpStream>) =
+            mpsc::sync_channel(config.queue_depth);
+        let rx = Arc::new(Mutex::new(rx));
+        let mut pool = Vec::with_capacity(workers);
+        for i in 0..workers {
+            let rx = Arc::clone(&rx);
+            let registry = Arc::clone(&registry);
+            let metrics = Arc::clone(&metrics);
+            let shutdown = Arc::clone(&shutdown);
+            let config = config.clone();
+            pool.push(
+                std::thread::Builder::new()
+                    .name(format!("gea-worker-{i}"))
+                    .spawn(move || loop {
+                        let stream = {
+                            let guard = rx.lock().unwrap_or_else(|e| e.into_inner());
+                            guard.recv()
+                        };
+                        let Ok(stream) = stream else { break };
+                        metrics.connection_opened();
+                        let _ = serve_connection(stream, &registry, &metrics, &config, &shutdown);
+                        metrics.connection_closed();
+                    })?,
+            );
+        }
+
+        for stream in listener.incoming() {
+            if shutdown.load(Ordering::SeqCst) {
+                break;
+            }
+            let stream = match stream {
+                Ok(s) => s,
+                Err(_) => continue,
+            };
+            match tx.try_send(stream) {
+                Ok(()) => {}
+                Err(TrySendError::Full(mut stream)) => {
+                    metrics.connection_rejected();
+                    let _ =
+                        wire::write_err(&mut stream, "EBUSY", "server saturated; try again later");
+                }
+                Err(TrySendError::Disconnected(_)) => break,
+            }
+        }
+        drop(tx);
+        for worker in pool {
+            let _ = worker.join();
+        }
+        Ok(())
+    }
+}
+
+/// What the connection loop does after answering a request.
+enum After {
+    Continue,
+    CloseConnection,
+    StopServer,
+}
+
+/// How often a worker blocked on an idle connection re-checks the
+/// shutdown flag.
+const READ_POLL: Duration = Duration::from_millis(250);
+
+/// Requests longer than this are malformed; the connection is dropped
+/// rather than buffering without bound.
+const MAX_LINE: usize = 64 * 1024;
+
+fn serve_connection(
+    mut stream: TcpStream,
+    registry: &SessionRegistry,
+    metrics: &Metrics,
+    config: &ServerConfig,
+    shutdown: &AtomicBool,
+) -> std::io::Result<()> {
+    let mut writer = stream.try_clone()?;
+    // Reads poll so an idle connection notices shutdown; lines are
+    // reassembled here instead of BufReader because a timed-out read_line
+    // could lose a partial line.
+    stream.set_read_timeout(Some(READ_POLL))?;
+    let mut pending: Vec<u8> = Vec::new();
+    let mut chunk = [0u8; 4096];
+    // Each connection is attached to one named session; `use` switches it.
+    let mut current = "default".to_string();
+    loop {
+        let line = loop {
+            if let Some(pos) = pending.iter().position(|&b| b == b'\n') {
+                let raw: Vec<u8> = pending.drain(..=pos).collect();
+                break String::from_utf8_lossy(&raw).into_owned();
+            }
+            if pending.len() > MAX_LINE {
+                wire::write_err(&mut writer, "EPARSE", "request line too long")?;
+                return Ok(());
+            }
+            match stream.read(&mut chunk) {
+                Ok(0) => {
+                    return Ok(()); // client hung up
+                }
+                Ok(n) => pending.extend_from_slice(&chunk[..n]),
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                    ) =>
+                {
+                    if shutdown.load(Ordering::SeqCst) {
+                        return Ok(()); // server draining; sever idle connection
+                    }
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        };
+        let started = Instant::now();
+        let req = match gql::parse(&line) {
+            Ok(None) => continue,
+            Ok(Some(req)) => req,
+            Err(e) => {
+                metrics.record("parse", started.elapsed(), false);
+                wire::write_err(&mut writer, "EPARSE", &e.0)?;
+                continue;
+            }
+        };
+        let verb = req.verb();
+        let (result, after) = answer(&req, &mut current, registry, metrics, config);
+        metrics.record(verb, started.elapsed(), result.is_ok());
+        match result {
+            Ok(payload) => wire::write_ok(&mut writer, &payload)?,
+            Err(e) => wire::write_err(&mut writer, e.code, &e.message)?,
+        }
+        match after {
+            After::Continue => {
+                if shutdown.load(Ordering::SeqCst) {
+                    return Ok(()); // draining: current request done, close
+                }
+            }
+            After::CloseConnection => return Ok(()),
+            After::StopServer => {
+                shutdown.store(true, Ordering::SeqCst);
+                // Wake the acceptor (it may be blocked in accept()).
+                if let Ok(addr) = writer.local_addr() {
+                    let _ = TcpStream::connect(addr);
+                }
+                return Ok(());
+            }
+        }
+    }
+}
+
+/// Execute one request against the registry. Pure with respect to the
+/// connection: all I/O stays in [`serve_connection`].
+fn answer(
+    req: &Request,
+    current: &mut String,
+    registry: &SessionRegistry,
+    metrics: &Metrics,
+    config: &ServerConfig,
+) -> (Result<String, EngineError>, After) {
+    let mut after = After::Continue;
+    let result = match req {
+        Request::Help => Ok(gql::HELP.to_string()),
+        Request::Ping => Ok("pong".to_string()),
+        Request::Stats => Ok(metrics.render()),
+        Request::Quit => {
+            after = After::CloseConnection;
+            Ok("bye".to_string())
+        }
+        Request::Shutdown => {
+            after = After::StopServer;
+            Ok("shutting down".to_string())
+        }
+        Request::GenCorpus { seed, dir } => gen_corpus(*seed, dir),
+        Request::Session(ctl) => session_ctl(ctl, current, registry),
+        Request::Gql(cmd) => run_gql(cmd, current, registry, config),
+    };
+    (result, after)
+}
+
+fn gen_corpus(seed: u64, dir: &str) -> Result<String, EngineError> {
+    let (corpus, _) = generate(&GeneratorConfig::demo(seed));
+    gea_sage::io::write_corpus_dir(&corpus, std::path::Path::new(dir))?;
+    Ok(format!("wrote {} libraries to {dir}", corpus.len()))
+}
+
+fn session_ctl(
+    ctl: &SessionCtl,
+    current: &mut String,
+    registry: &SessionRegistry,
+) -> Result<String, EngineError> {
+    match ctl {
+        SessionCtl::OpenDemo { name, seed } => {
+            // Corpus generation and cleaning run outside any lock; only the
+            // final registry insert synchronizes.
+            let (corpus, _) = generate(&GeneratorConfig::demo(*seed));
+            let session = GeaSession::open(corpus, &CleaningConfig::default())?;
+            Ok(install(registry, current, name, session, None))
+        }
+        SessionCtl::OpenDir { name, dir } => {
+            let corpus = gea_sage::io::read_corpus_dir(std::path::Path::new(dir))?;
+            let session = GeaSession::open(corpus, &CleaningConfig::default())?;
+            Ok(install(registry, current, name, session, Some(dir)))
+        }
+        SessionCtl::Use(name) => {
+            if registry.get(name).is_none() {
+                return Err(no_session(name));
+            }
+            *current = name.clone();
+            Ok(format!("using session {name}"))
+        }
+        SessionCtl::List => {
+            let sessions = registry.list();
+            if sessions.is_empty() {
+                return Ok("no sessions open".to_string());
+            }
+            Ok(sessions
+                .iter()
+                .map(|(name, refs)| format!("{name}: {refs} attached request(s)"))
+                .collect::<Vec<_>>()
+                .join("\n"))
+        }
+        SessionCtl::Close(name) => {
+            if !registry.close(name) {
+                return Err(no_session(name));
+            }
+            Ok(format!("closed session {name}"))
+        }
+    }
+}
+
+fn install(
+    registry: &SessionRegistry,
+    current: &mut String,
+    name: &str,
+    session: GeaSession,
+    dir: Option<&str>,
+) -> String {
+    let report = session.cleaning_report().clone();
+    let libs = session.base().n_libraries();
+    registry.open(name, session);
+    *current = name.to_string();
+    let what = match dir {
+        Some(dir) => format!("loaded {dir}"),
+        None => "session open".to_string(),
+    };
+    format!(
+        "{what}: {} -> {} tags after cleaning, {} libraries [session {name}]",
+        report.raw_union_tags, report.kept_tags, libs
+    )
+}
+
+fn no_session(name: &str) -> EngineError {
+    EngineError::new(
+        "ENOSESSION",
+        format!("no session named {name:?}; run `open {name} demo <seed>` or `sessions`"),
+    )
+}
+
+fn run_gql(
+    cmd: &GqlCommand,
+    current: &str,
+    registry: &SessionRegistry,
+    config: &ServerConfig,
+) -> Result<String, EngineError> {
+    let shared = registry.get(current).ok_or_else(|| no_session(current))?;
+    if cmd.is_read() {
+        let session = read_with_deadline(&shared, config.lock_timeout)?;
+        engine::execute_read(&session, cmd)
+    } else {
+        let mut session = write_with_deadline(&shared, config.lock_timeout)?;
+        engine::execute_write(&mut session, cmd)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::GeaClient;
+
+    fn spawn_server(
+        config: ServerConfig,
+    ) -> (SocketAddr, ServerHandle, std::thread::JoinHandle<()>) {
+        let server = Server::bind(config).expect("bind");
+        let addr = server.local_addr();
+        let handle = server.handle();
+        let join = std::thread::spawn(move || server.run().expect("serve"));
+        (addr, handle, join)
+    }
+
+    fn test_config() -> ServerConfig {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 2,
+            queue_depth: 4,
+            lock_timeout: Duration::from_secs(5),
+        }
+    }
+
+    #[test]
+    fn ping_errors_and_shutdown() {
+        let (addr, handle, join) = spawn_server(test_config());
+        let mut client = GeaClient::connect(addr).expect("connect");
+        assert_eq!(client.request("ping").unwrap(), Ok("pong".to_string()));
+        // Malformed commands answer ERR without dropping the connection.
+        let err = client.request("mine").unwrap().unwrap_err();
+        assert_eq!(err.0, "EPARSE");
+        let err = client.request("tissues").unwrap().unwrap_err();
+        assert_eq!(err.0, "ENOSESSION");
+        // Still alive.
+        assert!(client.request("help").unwrap().unwrap().contains("GQL"));
+        let stats = client.request("stats").unwrap().unwrap();
+        assert!(stats.contains("requests_total"), "{stats}");
+        assert_eq!(
+            client.request("shutdown").unwrap(),
+            Ok("shutting down".to_string())
+        );
+        join.join().unwrap();
+        assert!(handle.is_shutting_down());
+    }
+
+    #[test]
+    fn handle_shutdown_stops_an_idle_server() {
+        let (_, handle, join) = spawn_server(test_config());
+        handle.shutdown();
+        join.join().unwrap();
+    }
+}

@@ -1,0 +1,115 @@
+//! Wire framing for the GQL protocol.
+//!
+//! Replies are text. A success is `OK <k>` followed by exactly `k` payload
+//! lines; a failure is the single line `ERR <CODE> <message>`. The count
+//! prefix lets a client read a multi-line table without sentinels or
+//! length-prefixed binary framing, and keeps the protocol readable over
+//! `nc`.
+
+use std::io::{self, BufRead, Write};
+
+/// A decoded reply: `Ok(payload)` from an `OK` frame (payload lines
+/// re-joined with `\n`), `Err((code, message))` from an `ERR` frame.
+pub type Reply = Result<String, (String, String)>;
+
+/// Write a success frame. The payload is split into lines; a trailing
+/// newline does not produce an empty trailing payload line.
+pub fn write_ok(w: &mut impl Write, payload: &str) -> io::Result<()> {
+    let lines: Vec<&str> = if payload.is_empty() {
+        Vec::new()
+    } else {
+        payload.lines().collect()
+    };
+    writeln!(w, "OK {}", lines.len())?;
+    for line in lines {
+        writeln!(w, "{line}")?;
+    }
+    w.flush()
+}
+
+/// Write an error frame. Newlines in the message are flattened so the
+/// frame stays a single line.
+pub fn write_err(w: &mut impl Write, code: &str, message: &str) -> io::Result<()> {
+    let flat = message.replace(['\n', '\r'], " ");
+    writeln!(w, "ERR {code} {flat}")?;
+    w.flush()
+}
+
+/// Read one reply frame from a buffered reader. Returns `None` on a clean
+/// EOF before the status line.
+pub fn read_reply(r: &mut impl BufRead) -> io::Result<Option<Reply>> {
+    let mut status = String::new();
+    if r.read_line(&mut status)? == 0 {
+        return Ok(None);
+    }
+    let status = status.trim_end_matches(['\n', '\r']);
+    if let Some(rest) = status.strip_prefix("OK ") {
+        let k: usize = rest.parse().map_err(|_| {
+            io::Error::new(io::ErrorKind::InvalidData, format!("bad OK count {rest:?}"))
+        })?;
+        let mut payload = String::new();
+        for i in 0..k {
+            let mut line = String::new();
+            if r.read_line(&mut line)? == 0 {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    format!("reply truncated at payload line {i} of {k}"),
+                ));
+            }
+            if i > 0 {
+                payload.push('\n');
+            }
+            payload.push_str(line.trim_end_matches(['\n', '\r']));
+        }
+        Ok(Some(Ok(payload)))
+    } else if let Some(rest) = status.strip_prefix("ERR ") {
+        let (code, message) = rest.split_once(' ').unwrap_or((rest, ""));
+        Ok(Some(Err((code.to_string(), message.to_string()))))
+    } else {
+        Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("bad status line {status:?}"),
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    fn roundtrip(frame: &[u8]) -> Reply {
+        read_reply(&mut BufReader::new(frame)).unwrap().unwrap()
+    }
+
+    #[test]
+    fn ok_frames_roundtrip() {
+        let mut buf = Vec::new();
+        write_ok(&mut buf, "one\ntwo\n").unwrap();
+        assert_eq!(String::from_utf8_lossy(&buf), "OK 2\none\ntwo\n");
+        assert_eq!(roundtrip(&buf), Ok("one\ntwo".to_string()));
+
+        let mut empty = Vec::new();
+        write_ok(&mut empty, "").unwrap();
+        assert_eq!(String::from_utf8_lossy(&empty), "OK 0\n");
+        assert_eq!(roundtrip(&empty), Ok(String::new()));
+    }
+
+    #[test]
+    fn err_frames_stay_single_line() {
+        let mut buf = Vec::new();
+        write_err(&mut buf, "EPARSE", "bad\nmulti\nline").unwrap();
+        assert_eq!(String::from_utf8_lossy(&buf).matches('\n').count(), 1);
+        assert_eq!(
+            roundtrip(&buf),
+            Err(("EPARSE".to_string(), "bad multi line".to_string()))
+        );
+    }
+
+    #[test]
+    fn eof_and_garbage_are_distinguished() {
+        assert!(read_reply(&mut BufReader::new(&b""[..])).unwrap().is_none());
+        assert!(read_reply(&mut BufReader::new(&b"BOGUS\n"[..])).is_err());
+        assert!(read_reply(&mut BufReader::new(&b"OK 3\nonly-one\n"[..])).is_err());
+    }
+}

@@ -38,7 +38,11 @@ fn main() {
     // Figure 4.22's chain for each candidate.
     for row in top.rows() {
         let report = catalog.lookup_chain(row.tag);
-        println!("\ntag {} (gap {:+.1}):", row.tag, row.gap().unwrap_or(f64::NAN));
+        println!(
+            "\ntag {} (gap {:+.1}):",
+            row.tag,
+            row.gap().unwrap_or(f64::NAN)
+        );
         match &report.gene {
             None => {
                 println!("  UNIGENE:   no known gene for this tag");

@@ -66,8 +66,7 @@ fn plot_marker(
 fn main() {
     let config = GeneratorConfig::demo(42);
     let (corpus, truth) = generate(&config);
-    let mut session =
-        GeaSession::open(corpus, &CleaningConfig::default()).expect("clean");
+    let mut session = GeaSession::open(corpus, &CleaningConfig::default()).expect("clean");
 
     // ----- Case 1: cancerous vs normal brain (§4.3.1) ---------------------
     session
@@ -134,12 +133,22 @@ fn main() {
     );
 
     // Figures 4.2 and 4.3.
-    plot_marker(&session, &truth, &fascicle, "RIBOSOMAL PROTEIN L12", "Figure 4.2");
+    plot_marker(
+        &session,
+        &truth,
+        &fascicle,
+        "RIBOSOMAL PROTEIN L12",
+        "Figure 4.2",
+    );
     plot_marker(&session, &truth, &fascicle, "ALPHA TUBULIN", "Figure 4.3");
 
     // ----- Case 2: cancer inside vs outside the fascicle (§4.3.2) ---------
     session
-        .create_gap("canvscnif_gap", &groups.in_fascicle, &groups.outside_fascicle)
+        .create_gap(
+            "canvscnif_gap",
+            &groups.in_fascicle,
+            &groups.outside_fascicle,
+        )
         .expect("GAP2");
     let gap2 = session.gap("canvscnif_gap").unwrap();
     println!(
@@ -166,6 +175,10 @@ fn main() {
     println!(
         "\nmean |gap|: cancer-vs-normal = {g1:.1}, inside-vs-outside = {g2:.1} \
          (thesis §4.3.2 expects the former to be larger: {})",
-        if g1 > g2 { "confirmed" } else { "NOT confirmed" }
+        if g1 > g2 {
+            "confirmed"
+        } else {
+            "NOT confirmed"
+        }
     );
 }

@@ -17,8 +17,7 @@ use gea::sage::{NeoplasticState, TissueType};
 
 fn main() {
     let (corpus, _) = generate(&GeneratorConfig::demo(42));
-    let mut session =
-        GeaSession::open(corpus, &CleaningConfig::default()).expect("clean");
+    let mut session = GeaSession::open(corpus, &CleaningConfig::default()).expect("clean");
 
     // Build a small history: data set -> fascicles -> control groups ->
     // gap -> top gap.
@@ -98,14 +97,24 @@ fn main() {
     );
     println!(
         "  rows in database now: {}",
-        session.database().get(&top).map(|t| t.n_rows()).unwrap_or(0)
+        session
+            .database()
+            .get(&top)
+            .map(|t| t.n_rows())
+            .unwrap_or(0)
     );
 
     // Cascade delete of the whole fascicle subtree.
     let removed = session.delete(&fascicle, true).unwrap();
-    println!("\ncascade delete of {fascicle:?} removed {} tables:", removed.len());
+    println!(
+        "\ncascade delete of {fascicle:?} removed {} tables:",
+        removed.len()
+    );
     for name in &removed {
         println!("  - {name}");
     }
-    println!("\nhistory after deletion:\n{}", session.lineage().render_tree());
+    println!(
+        "\nhistory after deletion:\n{}",
+        session.lineage().render_tree()
+    );
 }

@@ -53,9 +53,7 @@ fn tissue_gap(session: &mut GeaSession, tissue: &TissueType) -> String {
             let purity = session.purity_check(&f).unwrap();
             let size = session.fascicle(&f).unwrap().members.len();
             if purity.contains(&LibraryProperty::Cancer) && size < n_cancer {
-                if let Ok(groups) =
-                    session.form_control_groups(&f, LibraryProperty::Cancer)
-                {
+                if let Ok(groups) = session.form_control_groups(&f, LibraryProperty::Cancer) {
                     let gap_name = format!("{}_canvsnor_gap", tissue.name());
                     session
                         .create_gap(&gap_name, &groups.in_fascicle, &groups.contrast)
@@ -75,8 +73,7 @@ fn tissue_gap(session: &mut GeaSession, tissue: &TissueType) -> String {
 
 fn main() {
     let (corpus, truth) = generate(&GeneratorConfig::demo(42));
-    let mut session =
-        GeaSession::open(corpus, &CleaningConfig::default()).expect("clean");
+    let mut session = GeaSession::open(corpus, &CleaningConfig::default()).expect("clean");
 
     // Per-tissue cancer-vs-normal GAP tables (as in §4.3.1 for each tissue).
     let brain_gap = tissue_gap(&mut session, &TissueType::Brain);
@@ -97,7 +94,10 @@ fn main() {
         "\nCase 3 — query 2 ({}):",
         CompareQuery::LowerInAInBoth.description()
     );
-    println!("  {} tags lower in cancer in BOTH brain and breast", lower_both.len());
+    println!(
+        "  {} tags lower in cancer in BOTH brain and breast",
+        lower_both.len()
+    );
     for row in lower_both.rows().iter().take(8) {
         println!(
             "  {}_({})  {:+.2} / {:+.2}",
@@ -125,8 +125,7 @@ fn main() {
 
     // Only housekeeping genes are expressed in both tissues, so cross-tissue
     // hits must be housekeeping-derived; spot-check against ground truth.
-    let catalog =
-        gea::sage::annotation::AnnotationCatalog::synthesize(&truth, 42, 0.95);
+    let catalog = gea::sage::annotation::AnnotationCatalog::synthesize(&truth, 42, 0.95);
     for row in lower_both.rows().iter().take(3) {
         if let Some(g) = catalog.gene_for_tag(row.tag) {
             println!("  e.g. {} -> {}", row.tag, g.gene);
@@ -200,5 +199,8 @@ fn main() {
             purity
         );
     }
-    println!("\nlineage of this session:\n{}", session.lineage().render_tree());
+    println!(
+        "\nlineage of this session:\n{}",
+        session.lineage().render_tree()
+    );
 }

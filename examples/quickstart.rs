@@ -5,9 +5,9 @@
 //! cargo run --release --example quickstart
 //! ```
 
+use gea::cluster::FascicleParams;
 use gea::core::session::GeaSession;
 use gea::core::topgap::TopGapOrder;
-use gea::cluster::FascicleParams;
 use gea::sage::clean::CleaningConfig;
 use gea::sage::generate::{generate, GeneratorConfig};
 use gea::sage::library::LibraryProperty;
@@ -27,8 +27,8 @@ fn main() {
 
     // 2. Cleaning (§4.2): drop globally-frequency-≤1 tags, normalize every
     //    library to 300,000 tags.
-    let mut session = GeaSession::open(corpus, &CleaningConfig::default())
-        .expect("cleaning succeeds");
+    let mut session =
+        GeaSession::open(corpus, &CleaningConfig::default()).expect("cleaning succeeds");
     let report = session.cleaning_report().clone();
     println!(
         "cleaned: {} -> {} tags ({:.0}% removed)",
@@ -62,7 +62,10 @@ fn main() {
                 },
             )
             .expect("mining runs");
-        println!("k = {k} ({pct}% of {n_tags} tags): {} fascicle(s)", fascicles.len());
+        println!(
+            "k = {k} ({pct}% of {n_tags} tags): {} fascicle(s)",
+            fascicles.len()
+        );
         for f in fascicles {
             let purity = session.purity_check(&f).unwrap();
             if purity.contains(&LibraryProperty::Cancer) {
@@ -70,9 +73,7 @@ fn main() {
                 let brain_cancer = session
                     .enum_table("Ebrain")
                     .unwrap()
-                    .library_ids_where(|m| {
-                        m.state == gea::sage::NeoplasticState::Cancerous
-                    })
+                    .library_ids_where(|m| m.state == gea::sage::NeoplasticState::Cancerous)
                     .len();
                 if members.len() < brain_cancer {
                     chosen = Some(f);
@@ -106,8 +107,7 @@ fn main() {
 
     // 6. Candidate genes: the top-10 tags by |gap|, annotated where the
     //    (synthetic) UNIGENE catalog knows them.
-    let catalog =
-        gea::sage::annotation::AnnotationCatalog::synthesize(&truth, 42, 0.9);
+    let catalog = gea::sage::annotation::AnnotationCatalog::synthesize(&truth, 42, 0.9);
     println!("\ntop-10 candidate tags (cancer-in-fascicle vs normal):");
     let mut rows: Vec<_> = session.gap(&top).unwrap().rows().to_vec();
     rows.sort_by(|a, b| {

@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# CI gate for the GEA workspace. Run from the repo root:
+#
+#     scripts/ci.sh          # full gate
+#     scripts/ci.sh quick    # skip clippy + bench smoke
+#
+# Steps: release build, workspace tests, formatting, lints, and a bench
+# smoke (the loopback server integration test under --release, which
+# exercises the mine -> gap -> topgap pipeline end to end over TCP).
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+mode="${1:-full}"
+
+step() { printf '\n== %s ==\n' "$*"; }
+
+step "cargo build --release --workspace"
+cargo build --release --workspace
+
+step "cargo test -q --workspace"
+cargo test -q --workspace
+
+step "cargo fmt --all --check"
+cargo fmt --all --check
+
+if [ "$mode" != "quick" ]; then
+    step "cargo clippy --workspace --all-targets -- -D warnings"
+    cargo clippy --workspace --all-targets -- -D warnings
+
+    step "bench smoke: server loopback pipeline (release)"
+    cargo test --release --test server_smoke -- --nocapture
+fi
+
+printf '\nCI gate passed (%s).\n' "$mode"

@@ -1,0 +1,293 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the API surface GEA's benches use — `criterion_group!` /
+//! `criterion_main!`, [`Criterion::benchmark_group`], `bench_function`,
+//! `bench_with_input`, `sample_size`, [`Bencher::iter`], [`BenchmarkId`],
+//! [`black_box`] — with a simple timing loop instead of criterion's
+//! statistics engine: warm up briefly, run `sample_size` timed samples of a
+//! calibrated iteration count, and report the fastest sample's ns/iter
+//! (minimum-of-samples is the standard low-noise estimator).
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion {
+            sample_size: 20,
+            measurement_time: Duration::from_millis(500),
+        }
+    }
+}
+
+impl Criterion {
+    /// Accept (and ignore) command-line configuration, as the real crate's
+    /// generated harness does.
+    pub fn configure_from_args(self) -> Criterion {
+        self
+    }
+
+    /// Override the number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Criterion {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Override the per-benchmark time budget.
+    pub fn measurement_time(mut self, d: Duration) -> Criterion {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.sample_size,
+            measurement_time: self.measurement_time,
+            _criterion: self,
+        }
+    }
+
+    /// Run a stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Criterion
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        run_benchmark(&id.label(), self.sample_size, self.measurement_time, f);
+        self
+    }
+}
+
+/// A named group sharing sampling configuration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Override the number of timed samples for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Override the per-benchmark time budget for this group.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Run one benchmark in the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let label = format!("{}/{}", self.name, id.label());
+        run_benchmark(&label, self.sample_size, self.measurement_time, f);
+        self
+    }
+
+    /// Run one parameterized benchmark in the group.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// End the group (printing nothing extra; per-bench lines already went
+    /// to stdout).
+    pub fn finish(self) {}
+}
+
+/// Identifies one benchmark, optionally with a parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    function: String,
+    parameter: Option<String>,
+}
+
+impl BenchmarkId {
+    /// A function name plus a parameter value.
+    pub fn new(function: impl Into<String>, parameter: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            function: function.into(),
+            parameter: Some(parameter.to_string()),
+        }
+    }
+
+    /// A parameter-only id (the group name supplies the function).
+    pub fn from_parameter(parameter: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            function: String::new(),
+            parameter: Some(parameter.to_string()),
+        }
+    }
+
+    fn label(&self) -> String {
+        match (&self.function, &self.parameter) {
+            (f, Some(p)) if f.is_empty() => p.clone(),
+            (f, Some(p)) => format!("{f}/{p}"),
+            (f, None) => f.clone(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> BenchmarkId {
+        BenchmarkId {
+            function: s.to_string(),
+            parameter: None,
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> BenchmarkId {
+        BenchmarkId {
+            function: s,
+            parameter: None,
+        }
+    }
+}
+
+/// Passed to the benchmark closure; [`Bencher::iter`] does the timing.
+pub struct Bencher {
+    iters_per_sample: u64,
+    samples: usize,
+    budget: Duration,
+    /// Best observed ns/iter, filled in by `iter`.
+    best_ns_per_iter: f64,
+}
+
+impl Bencher {
+    /// Time `f`: calibrate an iteration count to ~budget/samples per sample,
+    /// then record the fastest sample.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Calibration: double the iteration count until one sample takes at
+        // least 1/10th of the per-sample budget (or a single call is already
+        // slow).
+        let per_sample = self.budget / self.samples as u32;
+        let mut iters: u64 = 1;
+        loop {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            let took = start.elapsed();
+            if took >= per_sample / 10 || iters >= (1 << 20) {
+                break;
+            }
+            iters *= 2;
+        }
+        self.iters_per_sample = iters;
+        let mut best = f64::INFINITY;
+        let deadline = Instant::now() + self.budget;
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            let ns = start.elapsed().as_nanos() as f64 / iters as f64;
+            best = best.min(ns);
+            if Instant::now() > deadline {
+                break;
+            }
+        }
+        self.best_ns_per_iter = best;
+    }
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(label: &str, samples: usize, budget: Duration, mut f: F) {
+    let mut b = Bencher {
+        iters_per_sample: 0,
+        samples,
+        budget,
+        best_ns_per_iter: f64::NAN,
+    };
+    f(&mut b);
+    if b.best_ns_per_iter.is_nan() {
+        println!("bench {label}: no measurement (iter was not called)");
+        return;
+    }
+    let ns = b.best_ns_per_iter;
+    let human = if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    };
+    println!(
+        "bench {label}: {human}/iter (best of {} samples x {} iters)",
+        samples, b.iters_per_sample
+    );
+}
+
+/// Define a benchmark group function, as the real crate does.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Define `main` running one or more groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_measures_something() {
+        let mut c = Criterion::default()
+            .sample_size(3)
+            .measurement_time(Duration::from_millis(20));
+        let mut group = c.benchmark_group("shim");
+        let mut ran = false;
+        group.bench_function("noop", |b| {
+            b.iter(|| black_box(1 + 1));
+            ran = true;
+        });
+        group.finish();
+        assert!(ran);
+    }
+
+    #[test]
+    fn benchmark_id_labels() {
+        assert_eq!(BenchmarkId::new("f", 10).label(), "f/10");
+        assert_eq!(BenchmarkId::from_parameter(500).label(), "500");
+        assert_eq!(BenchmarkId::from("plain").label(), "plain");
+    }
+}

@@ -1,0 +1,69 @@
+//! `any::<T>()` — canonical strategies for primitive types.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use rand::Rng as _;
+
+/// Types with a canonical "anything goes" strategy.
+pub trait Arbitrary: Sized + std::fmt::Debug {
+    /// The canonical strategy type.
+    type Strategy: Strategy<Value = Self>;
+
+    /// The canonical strategy value.
+    fn arbitrary() -> Self::Strategy;
+}
+
+/// The canonical strategy for `T` (use as `any::<bool>()`).
+pub fn any<T: Arbitrary>() -> T::Strategy {
+    T::arbitrary()
+}
+
+/// Strategy yielding uniform values of a primitive type.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AnyPrimitive<T>(std::marker::PhantomData<T>);
+
+impl Strategy for AnyPrimitive<bool> {
+    type Value = bool;
+    fn generate(&self, rng: &mut TestRng) -> bool {
+        rng.rng.gen_bool(0.5)
+    }
+}
+
+impl Arbitrary for bool {
+    type Strategy = AnyPrimitive<bool>;
+    fn arbitrary() -> Self::Strategy {
+        AnyPrimitive(std::marker::PhantomData)
+    }
+}
+
+macro_rules! arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Strategy for AnyPrimitive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                use rand::RngCore as _;
+                rng.rng.next_u64() as $t
+            }
+        }
+        impl Arbitrary for $t {
+            type Strategy = AnyPrimitive<$t>;
+            fn arbitrary() -> Self::Strategy {
+                AnyPrimitive(std::marker::PhantomData)
+            }
+        }
+    )*};
+}
+arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn any_bool_hits_both_values() {
+        let mut rng = TestRng::from_name("any_bool");
+        let s = any::<bool>();
+        let trues = (0..200).filter(|_| s.generate(&mut rng)).count();
+        assert!((50..150).contains(&trues), "got {trues}");
+    }
+}

@@ -1,0 +1,173 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment cannot fetch crates, so this crate re-implements
+//! the subset of proptest that GEA's property suites use: the `proptest!`
+//! macro, `prop_assert!` / `prop_assert_eq!` / `prop_assume!`, the
+//! [`Strategy`] trait with `prop_map` / `prop_flat_map`, range and tuple
+//! strategies, char-class string patterns (`"[a-z]{3,8}"`),
+//! `prop::collection::{vec, btree_set}`, `prop::option::of`, `any::<bool>()`
+//! and [`test_runner::ProptestConfig`].
+//!
+//! Differences from the real crate: no shrinking (a failing case reports its
+//! inputs but is not minimized) and deterministic seeding derived from the
+//! test name, so failures reproduce across runs.
+
+pub mod strategy;
+pub mod test_runner;
+
+pub mod arbitrary;
+pub mod collection;
+pub mod option;
+
+/// What `use proptest::prelude::*` brings in.
+pub mod prelude {
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+
+    /// The `prop::` namespace (`prop::collection::vec`, `prop::option::of`).
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::option;
+    }
+}
+
+/// Run one property as a `#[test]`: generate inputs, run the body, panic
+/// with the offending inputs on the first failure.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::proptest!(@with_config ($config) $($rest)*);
+    };
+    (
+        @with_config ($config:expr)
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config = $config;
+                $crate::test_runner::run_cases(
+                    stringify!($name),
+                    &config,
+                    |__rng| {
+                        $(let $arg = $crate::strategy::Strategy::generate(&($strat), __rng);)+
+                        // Render the inputs up front: the body may move them,
+                        // and they must be reportable if the case fails.
+                        let mut __inputs = ::std::string::String::new();
+                        $(
+                            __inputs.push_str(&$crate::test_runner::render_input(
+                                stringify!($arg),
+                                &format!("{:?}", &$arg),
+                            ));
+                        )+
+                        let __case = || -> ::std::result::Result<(), $crate::test_runner::TestCaseError> {
+                            $body
+                            ::std::result::Result::Ok(())
+                        };
+                        __case().map_err(|e| match e {
+                            $crate::test_runner::TestCaseError::Fail(msg) => {
+                                $crate::test_runner::TestCaseError::Fail(
+                                    format!("{msg}\ninputs:{__inputs}")
+                                )
+                            }
+                            reject => reject,
+                        })
+                    },
+                );
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(
+            @with_config ($crate::test_runner::ProptestConfig::default())
+            $($rest)*
+        );
+    };
+}
+
+/// `prop_assert!(cond)` / `prop_assert!(cond, "fmt", ..)`: fail the case.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::Fail(format!($($fmt)*)),
+            );
+        }
+    };
+}
+
+/// `prop_assert_eq!(a, b)`: fail the case when the sides differ.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (l, r) => {
+                $crate::prop_assert!(
+                    *l == *r,
+                    "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+                    stringify!($left),
+                    stringify!($right),
+                    l,
+                    r
+                );
+            }
+        }
+    };
+    ($left:expr, $right:expr, $($fmt:tt)+) => {
+        match (&$left, &$right) {
+            (l, r) => {
+                $crate::prop_assert!(
+                    *l == *r,
+                    "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}\n  {}",
+                    stringify!($left),
+                    stringify!($right),
+                    l,
+                    r,
+                    format!($($fmt)+)
+                );
+            }
+        }
+    };
+}
+
+/// `prop_assert_ne!(a, b)`: fail the case when the sides are equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (l, r) => {
+                $crate::prop_assert!(
+                    *l != *r,
+                    "assertion failed: `{} != {}`\n  both: {:?}",
+                    stringify!($left),
+                    stringify!($right),
+                    l
+                );
+            }
+        }
+    };
+}
+
+/// `prop_assume!(cond)`: discard the case without failing.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject(
+                concat!("assumption failed: ", stringify!($cond)).to_string(),
+            ));
+        }
+    };
+}

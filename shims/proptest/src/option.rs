@@ -1,0 +1,40 @@
+//! `prop::option::of` — optional values.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use rand::Rng as _;
+
+/// `of(inner)`: `None` about a quarter of the time, otherwise `Some` of a
+/// generated inner value (the real crate's default weighting).
+pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+    OptionStrategy { inner }
+}
+
+/// See [`of`].
+pub struct OptionStrategy<S> {
+    inner: S,
+}
+
+impl<S: Strategy> Strategy for OptionStrategy<S> {
+    type Value = Option<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+        if rng.rng.gen_bool(0.25) {
+            None
+        } else {
+            Some(self.inner.generate(rng))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn yields_both_variants() {
+        let mut rng = TestRng::from_name("option");
+        let s = of(0u32..10);
+        let nones = (0..400).filter(|_| s.generate(&mut rng).is_none()).count();
+        assert!((40..200).contains(&nones), "got {nones}");
+    }
+}

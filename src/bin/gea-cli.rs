@@ -1,10 +1,74 @@
 //! Interactive GEA shell — `cargo run --release --bin gea-cli`.
+//!
+//! Three modes over the same interpreter:
+//!
+//! * **interactive** (stdin is a terminal): a `gea> ` prompt, errors
+//!   printed and the loop continues;
+//! * **piped** (`echo "..." | gea-cli`): no banner, no prompt;
+//! * **script** (`gea-cli --script analysis.gql`): lines read from a file.
+//!
+//! All modes frame replies like the wire protocol — `OK` then the payload,
+//! or `ERR <CODE> <message>` on stderr — so a transcript is directly
+//! comparable with a `gea-client` session. In the non-interactive modes
+//! the first error stops execution with a non-zero exit, making scripts
+//! safe to automate; `#`-prefixed lines are comments.
 
-use std::io::{self, BufRead, Write};
+use std::io::{self, BufRead, IsTerminal, Write};
 
 use gea::cli::Cli;
 
+fn usage() -> ! {
+    eprintln!("usage: gea-cli [--script file.gql]");
+    std::process::exit(2);
+}
+
 fn main() -> io::Result<()> {
+    let mut script: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--script" => match args.next() {
+                Some(path) => script = Some(path),
+                None => usage(),
+            },
+            _ => usage(),
+        }
+    }
+
+    if let Some(path) = script {
+        let file = std::fs::File::open(&path)
+            .map_err(|e| io::Error::new(e.kind(), format!("open {path}: {e}")))?;
+        return batch(io::BufReader::new(file));
+    }
+    if !io::stdin().is_terminal() {
+        return batch(io::stdin().lock());
+    }
+    interactive()
+}
+
+/// Run lines until EOF or the first error; errors exit non-zero so shell
+/// pipelines and CI notice.
+fn batch(reader: impl BufRead) -> io::Result<()> {
+    let mut cli = Cli::new();
+    for line in reader.lines() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        match cli.execute(trimmed) {
+            Ok(Some(output)) => print_ok(&output),
+            Ok(None) => return Ok(()),
+            Err(e) => {
+                eprintln!("ERR {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+    Ok(())
+}
+
+fn interactive() -> io::Result<()> {
     let mut cli = Cli::new();
     let stdin = io::stdin();
     let mut stdout = io::stdout();
@@ -17,14 +81,24 @@ fn main() -> io::Result<()> {
             break; // EOF
         }
         match cli.execute(line.trim()) {
-            Ok(Some(output)) => {
-                if !output.is_empty() {
-                    println!("{output}");
-                }
-            }
+            Ok(Some(output)) => print_ok(&output),
             Ok(None) => break,
-            Err(e) => eprintln!("error: {e}"),
+            Err(e) => eprintln!("ERR {e}"),
         }
     }
     Ok(())
+}
+
+/// One-line `OK …` framing matching the wire protocol: short payloads ride
+/// on the status line, multi-line payloads follow it.
+fn print_ok(output: &str) {
+    let output = output.trim_end_matches('\n');
+    if output.is_empty() {
+        println!("OK");
+    } else if !output.contains('\n') {
+        println!("OK {output}");
+    } else {
+        println!("OK");
+        println!("{output}");
+    }
 }

@@ -1,22 +1,22 @@
 //! The GEA command interpreter — a terminal front-end standing in for the
 //! thesis's Swing GUI.
 //!
-//! Every menu operation of Chapter 4 maps to a command; the interpreter is
-//! a thin, testable layer over [`GeaSession`]. Run it interactively with
-//! `cargo run --release --bin gea-cli`.
+//! Since the serving layer landed, the interpreter is a thin binding of
+//! the shared GQL grammar ([`gea_server::gql`]) and executor
+//! ([`gea_server::engine`]) to a single in-process session: the same
+//! parser and formatting drive the REPL, batch scripts, and the TCP wire
+//! protocol, so a transcript that works here works against `gea-server`
+//! verbatim. Errors come back as `<CODE> <message>` strings matching the
+//! wire protocol's `ERR` line (`EPARSE bad seed: …`, `ENOTFOUND no GAP
+//! table named "g1"`, …).
+//!
+//! Run it interactively with `cargo run --release --bin gea-cli`.
 
-use std::fmt::Write as _;
-
-use gea_cluster::FascicleParams;
-use gea_core::compare::{CompareOp, CompareQuery};
-use gea_core::relational::{enum_to_relation, gap_to_relation, sumy_to_relation};
-use gea_core::search::{library_info_by_id, library_info_by_name, tag_frequency};
 use gea_core::session::GeaSession;
-use gea_core::topgap::{series_means, TopGapOrder};
 use gea_sage::clean::CleaningConfig;
 use gea_sage::generate::{generate, GeneratorConfig};
-use gea_sage::library::{LibraryId, LibraryProperty};
-use gea_sage::{Tag, TissueType};
+use gea_server::engine;
+use gea_server::gql::{self, Request, SessionCtl};
 
 /// The interpreter state: an optional open session.
 pub struct Cli {
@@ -29,36 +29,6 @@ impl Default for Cli {
     }
 }
 
-const HELP: &str = "\
-GEA commands (thesis chapter 4's menus):
-  load-demo <seed>                    generate + clean a demo corpus
-  gen-corpus <seed> <dir>             write a demo corpus as SAGE text files
-  load-dir <dir>                      load + clean a corpus directory (sageName.txt)
-  tissues                             list tissue types and their libraries
-  dataset <name> <tissue>             E = sigma_tissue(SAGE)        [Fig 4.4]
-  custom <name> <lib> [<lib>...]      user-defined data set         [Fig 4.15]
-  mine <dataset> <out> <k%> <min> <batch>   calculate fascicles     [Fig 4.6]
-  fascicles                           list mined fascicles
-  purity <fascicle>                   purity check                  [Fig 4.8]
-  groups <fascicle>                   form control-group SUMYs      [Fig 4.7]
-  gap <name> <sumy1> <sumy2>          GAP = diff(S1, S2)            [Fig 4.9]
-  topgap <gap> <x>                    calculate top gaps            [Fig 4.19]
-  compare <name> <g1> <g2> <union|intersect|difference> <query#>    [Fig 4.13]
-  show gap|sumy <name> [n]            view a table's first rows
-  plot <dataset> <tag> <fascicle>     tag distribution              [Fig 4.10]
-  library <name|id>                   library information           [Fig 4.23]
-  tagfreq <dataset> <tag>             expression values of a tag    [Fig 4.26]
-  export <name> <file.csv>            EXPORT a table to CSV
-  comment <name> <text...>            annotate a lineage node
-  delete <name> [--cascade]           drop contents / cascade       [Fig 4.18]
-  lineage                             operation history             [Fig 4.18]
-  cleaning                            cleaning report               [Fig 4.1]
-  xprofiler <dataset>                 pooled cancer-vs-normal comparison  [sec 2.3.3]
-  save <dir>                          persist tables + lineage to a directory
-  load <dir>                          reload saved tables + lineage (read-only browse)
-  help                                this text
-  quit";
-
 impl Cli {
     /// Create an interpreter with no session.
     pub fn new() -> Cli {
@@ -68,409 +38,72 @@ impl Cli {
     fn session(&mut self) -> Result<&mut GeaSession, String> {
         self.session
             .as_mut()
-            .ok_or_else(|| "no session open; run `load-demo <seed>` first".to_string())
+            .ok_or_else(|| "ENOSESSION no session open; run `load-demo <seed>` first".to_string())
+    }
+
+    fn open(&mut self, session: GeaSession, loaded_from: Option<&str>) -> String {
+        let report = session.cleaning_report().clone();
+        let libs = session.base().n_libraries();
+        self.session = Some(session);
+        let what = match loaded_from {
+            Some(dir) => format!("loaded {dir}"),
+            None => "session open".to_string(),
+        };
+        format!(
+            "{what}: {} -> {} tags after cleaning, {} libraries",
+            report.raw_union_tags, report.kept_tags, libs
+        )
     }
 
     /// Execute one command line, returning the text to display. `Ok(None)`
-    /// means quit.
+    /// means quit; `Err` carries a `<CODE> <message>` string matching the
+    /// wire protocol's `ERR` framing.
     pub fn execute(&mut self, line: &str) -> Result<Option<String>, String> {
-        let parts: Vec<&str> = line.split_whitespace().collect();
-        let Some((&cmd, args)) = parts.split_first() else {
-            return Ok(Some(String::new()));
+        let req = match gql::parse(line) {
+            Ok(None) => return Ok(Some(String::new())),
+            Ok(Some(req)) => req,
+            Err(e) => return Err(format!("EPARSE {e}")),
         };
-        let out = match cmd {
-            "help" => HELP.to_string(),
-            "quit" | "exit" => return Ok(None),
-            "load-demo" => {
-                let seed: u64 = args
-                    .first()
-                    .unwrap_or(&"42")
-                    .parse()
-                    .map_err(|e| format!("bad seed: {e}"))?;
-                let (corpus, _) = generate(&GeneratorConfig::demo(seed));
-                let session = GeaSession::open(corpus, &CleaningConfig::default())
-                    .map_err(|e| e.to_string())?;
-                let report = session.cleaning_report().clone();
-                self.session = Some(session);
-                format!(
-                    "session open: {} -> {} tags after cleaning, {} libraries",
-                    report.raw_union_tags,
-                    report.kept_tags,
-                    self.session.as_ref().unwrap().base().n_libraries()
-                )
+        let out = match req {
+            Request::Help => gql::HELP.to_string(),
+            Request::Quit => return Ok(None),
+            Request::Ping => "pong".to_string(),
+            Request::Stats | Request::Shutdown => {
+                return Err(format!(
+                    "EUNKNOWN {} is a server command; connect with gea-client",
+                    req.verb()
+                ));
             }
-            "gen-corpus" => {
-                let [seed, dir] = args else {
-                    return Err("usage: gen-corpus <seed> <dir>".to_string());
-                };
-                let seed: u64 = seed.parse().map_err(|e| format!("bad seed: {e}"))?;
+            Request::GenCorpus { seed, dir } => {
                 let (corpus, _) = generate(&GeneratorConfig::demo(seed));
-                gea_sage::io::write_corpus_dir(&corpus, std::path::Path::new(dir))
-                    .map_err(|e| e.to_string())?;
+                gea_sage::io::write_corpus_dir(&corpus, std::path::Path::new(&dir))
+                    .map_err(|e| format!("EIO {e}"))?;
                 format!("wrote {} libraries to {dir}", corpus.len())
             }
-            "load-dir" => {
-                let [dir] = args else {
-                    return Err("usage: load-dir <dir>".to_string());
-                };
-                let corpus = gea_sage::io::read_corpus_dir(std::path::Path::new(dir))
-                    .map_err(|e| e.to_string())?;
+            Request::Session(SessionCtl::OpenDemo { seed, .. }) => {
+                let (corpus, _) = generate(&GeneratorConfig::demo(seed));
                 let session = GeaSession::open(corpus, &CleaningConfig::default())
-                    .map_err(|e| e.to_string())?;
-                let report = session.cleaning_report().clone();
-                self.session = Some(session);
-                format!(
-                    "loaded {dir}: {} -> {} tags after cleaning, {} libraries",
-                    report.raw_union_tags,
-                    report.kept_tags,
-                    self.session.as_ref().unwrap().base().n_libraries()
-                )
+                    .map_err(|e| format!("EIO {e}"))?;
+                self.open(session, None)
             }
-            "xprofiler" => {
-                let [dataset] = args else {
-                    return Err("usage: xprofiler <dataset>".to_string());
-                };
-                let s = self.session()?;
-                let table = s.enum_table(dataset).map_err(|e| e.to_string())?;
-                let result = gea_core::xprofiler::compare_cancer_vs_normal(table);
-                let hits = result.significant(0.05);
-                let mut out = format!(
-                    "{} tags tested; {} significant at alpha = 0.05 (Bonferroni):\n",
-                    result.rows.len(),
-                    hits.len()
+            Request::Session(SessionCtl::OpenDir { dir, .. }) => {
+                let corpus = gea_sage::io::read_corpus_dir(std::path::Path::new(&dir))
+                    .map_err(|e| format!("EIO {e}"))?;
+                let session = GeaSession::open(corpus, &CleaningConfig::default())
+                    .map_err(|e| format!("EIO {e}"))?;
+                self.open(session, Some(&dir))
+            }
+            Request::Session(_) => {
+                return Err(
+                    "EUNKNOWN the REPL holds a single session; named shared sessions \
+                     are served by gea-server"
+                        .to_string(),
                 );
-                for r in hits.iter().take(10) {
-                    let _ = writeln!(
-                        out,
-                        "  {}_({})  z {:+7.2}  log2 ratio {:+6.2}",
-                        r.tag, r.tag_no, r.z_score, r.log2_ratio
-                    );
-                }
-                out
             }
-            "tissues" => {
-                let s = self.session()?;
-                let mut out = String::new();
-                for t in s.corpus().tissue_types() {
-                    let members = s.corpus().libraries_of_tissue(&t);
-                    let _ = writeln!(out, "{t}: {} libraries", members.len());
-                }
-                out
+            Request::Gql(cmd) => {
+                let session = self.session()?;
+                engine::execute(session, &cmd).map_err(|e| format!("{} {}", e.code, e.message))?
             }
-            "dataset" => {
-                let [name, tissue] = args else {
-                    return Err("usage: dataset <name> <tissue>".to_string());
-                };
-                let tissue = TissueType::parse(tissue);
-                let s = self.session()?;
-                s.create_tissue_dataset(name, &tissue).map_err(|e| e.to_string())?;
-                let t = s.enum_table(name).map_err(|e| e.to_string())?;
-                format!("{name}: {} libraries x {} tags", t.n_libraries(), t.n_tags())
-            }
-            "custom" => {
-                let Some((&name, libs)) = args.split_first() else {
-                    return Err("usage: custom <name> <lib> [<lib>...]".to_string());
-                };
-                if libs.is_empty() {
-                    return Err("need at least one library".to_string());
-                }
-                let s = self.session()?;
-                s.create_custom_dataset(name, libs).map_err(|e| e.to_string())?;
-                format!("{name}: {} libraries", s.enum_table(name).unwrap().n_libraries())
-            }
-            "mine" => {
-                let [dataset, out_name, kpct, min, batch] = args else {
-                    return Err("usage: mine <dataset> <out> <k%> <min> <batch>".to_string());
-                };
-                let kpct: usize = kpct.parse().map_err(|e| format!("bad k%: {e}"))?;
-                let min: usize = min.parse().map_err(|e| format!("bad min: {e}"))?;
-                let batch: usize = batch.parse().map_err(|e| format!("bad batch: {e}"))?;
-                let s = self.session()?;
-                let n_tags = s.enum_table(dataset).map_err(|e| e.to_string())?.n_tags();
-                let names = s
-                    .calculate_fascicles(
-                        dataset,
-                        out_name,
-                        0.10,
-                        &FascicleParams {
-                            min_compact_attrs: n_tags * kpct / 100,
-                            min_records: min,
-                            batch_size: batch,
-                        },
-                    )
-                    .map_err(|e| e.to_string())?;
-                let mut out = format!("{} fascicle(s):\n", names.len());
-                for f in names {
-                    let r = s.fascicle(&f).unwrap();
-                    let _ = writeln!(
-                        out,
-                        "  {f}: {} libraries, {} compact tags",
-                        r.members.len(),
-                        r.compact_tags.len()
-                    );
-                }
-                out
-            }
-            "fascicles" => {
-                let s = self.session()?;
-                let mut out = String::new();
-                for f in s.fascicle_names() {
-                    let r = s.fascicle(f).unwrap();
-                    let _ = writeln!(
-                        out,
-                        "{f}: {:?} ({} compact tags)",
-                        r.members,
-                        r.compact_tags.len()
-                    );
-                }
-                if out.is_empty() {
-                    out = "no fascicles mined yet".to_string();
-                }
-                out
-            }
-            "purity" => {
-                let [fascicle] = args else {
-                    return Err("usage: purity <fascicle>".to_string());
-                };
-                let s = self.session()?;
-                let purity = s.purity_check(fascicle).map_err(|e| e.to_string())?;
-                if purity.is_empty() {
-                    format!("fascicle {fascicle} is NOT pure on any property")
-                } else {
-                    let labels: Vec<String> =
-                        purity.iter().map(|p| p.to_string()).collect();
-                    format!("fascicle {fascicle} is pure: {}", labels.join(", "))
-                }
-            }
-            "groups" => {
-                let [fascicle] = args else {
-                    return Err("usage: groups <fascicle>".to_string());
-                };
-                let s = self.session()?;
-                let groups = s
-                    .form_control_groups(fascicle, LibraryProperty::Cancer)
-                    .map_err(|e| e.to_string())?;
-                format!(
-                    "SUMY tables created:\n  in fascicle:      {}\n  outside fascicle: {}\n  contrast (normal): {}",
-                    groups.in_fascicle, groups.outside_fascicle, groups.contrast
-                )
-            }
-            "gap" => {
-                let [name, s1, s2] = args else {
-                    return Err("usage: gap <name> <sumy1> <sumy2>".to_string());
-                };
-                let s = self.session()?;
-                s.create_gap(name, s1, s2).map_err(|e| e.to_string())?;
-                let g = s.gap(name).unwrap();
-                format!(
-                    "{name}: {} tags, {} non-NULL gaps",
-                    g.len(),
-                    g.drop_null_gaps("tmp").len()
-                )
-            }
-            "topgap" => {
-                let [gap, x] = args else {
-                    return Err("usage: topgap <gap> <x>".to_string());
-                };
-                let x: usize = x.parse().map_err(|e| format!("bad x: {e}"))?;
-                let s = self.session()?;
-                let top = s
-                    .calculate_top_gap(gap, x, TopGapOrder::LargestMagnitude)
-                    .map_err(|e| e.to_string())?;
-                let mut out = format!("{top}:\n");
-                let mut rows = s.gap(&top).unwrap().rows().to_vec();
-                rows.sort_by(|a, b| {
-                    b.gap()
-                        .unwrap_or(0.0)
-                        .abs()
-                        .total_cmp(&a.gap().unwrap_or(0.0).abs())
-                });
-                for r in rows {
-                    let _ = writeln!(
-                        out,
-                        "  {}_({})  {:+.2}",
-                        r.tag,
-                        r.tag_no,
-                        r.gap().unwrap_or(f64::NAN)
-                    );
-                }
-                out
-            }
-            "compare" => {
-                let [name, g1, g2, op, query] = args else {
-                    return Err(
-                        "usage: compare <name> <g1> <g2> <union|intersect|difference> <query#>"
-                            .to_string(),
-                    );
-                };
-                let op = match *op {
-                    "union" => CompareOp::Union,
-                    "intersect" => CompareOp::Intersect,
-                    "difference" | "diff" => CompareOp::Difference,
-                    other => return Err(format!("unknown op {other:?}")),
-                };
-                let qnum: usize = query.parse().map_err(|e| format!("bad query #: {e}"))?;
-                let query = *CompareQuery::ALL
-                    .get(qnum.wrapping_sub(1))
-                    .ok_or("query # must be 1-13")?;
-                let s = self.session()?;
-                s.compare_gaps(name, g1, g2, op, query).map_err(|e| e.to_string())?;
-                format!(
-                    "{name}: {} tags ({})",
-                    s.gap(name).unwrap().len(),
-                    query.description()
-                )
-            }
-            "show" => {
-                let [kind, name, rest @ ..] = args else {
-                    return Err("usage: show gap|sumy <name> [n]".to_string());
-                };
-                let n: usize = rest.first().unwrap_or(&"10").parse().unwrap_or(10);
-                let s = self.session()?;
-                match *kind {
-                    "gap" => {
-                        let g = s.gap(name).map_err(|e| e.to_string())?;
-                        let relation = gap_to_relation(g).map_err(|e| e.to_string())?;
-                        relation.render(n)
-                    }
-                    "sumy" => {
-                        let t = s.sumy(name).map_err(|e| e.to_string())?;
-                        let relation = sumy_to_relation(t).map_err(|e| e.to_string())?;
-                        relation.render(n)
-                    }
-                    other => return Err(format!("unknown table kind {other:?}")),
-                }
-            }
-            "plot" => {
-                let [dataset, tag, fascicle] = args else {
-                    return Err("usage: plot <dataset> <tag> <fascicle>".to_string());
-                };
-                let tag: Tag = tag.parse().map_err(|e| format!("bad tag: {e}"))?;
-                let s = self.session()?;
-                let points = s.tag_plot(dataset, tag, fascicle).map_err(|e| e.to_string())?;
-                if points.is_empty() {
-                    return Err(format!("tag {tag} not in {dataset}"));
-                }
-                let mut out = String::new();
-                for (series, mean, count) in series_means(&points) {
-                    let _ = writeln!(out, "{:<24} avg {mean:8.1} (n={count})", series.label());
-                }
-                for p in points {
-                    let _ = writeln!(out, "  {:<24} {:8.1}", p.library, p.level);
-                }
-                out
-            }
-            "library" => {
-                let [key] = args else {
-                    return Err("usage: library <name|id>".to_string());
-                };
-                let s = self.session()?;
-                let info = match key.parse::<u32>() {
-                    Ok(id) => library_info_by_id(s.corpus(), LibraryId(id)),
-                    Err(_) => library_info_by_name(s.corpus(), key),
-                }
-                .ok_or_else(|| format!("no library {key:?}"))?;
-                format!(
-                    "{} (id {})\n  tissue: {}\n  state: {}\n  source: {}\n  total tags: {}\n  unique tags: {}",
-                    info.meta.name,
-                    info.id,
-                    info.meta.tissue,
-                    info.meta.state,
-                    info.meta.source,
-                    info.total_tags,
-                    info.unique_tags
-                )
-            }
-            "tagfreq" => {
-                let [dataset, tag] = args else {
-                    return Err("usage: tagfreq <dataset> <tag>".to_string());
-                };
-                let tag: Tag = tag.parse().map_err(|e| format!("bad tag: {e}"))?;
-                let s = self.session()?;
-                let table = s.enum_table(dataset).map_err(|e| e.to_string())?;
-                let row = tag_frequency(table, tag, &[])
-                    .ok_or_else(|| format!("tag {tag} not in {dataset}"))?;
-                let mut out = format!("{}_({}):\n", row.tag, row.tag_no);
-                for (lib, v) in row.values {
-                    let _ = writeln!(out, "  {lib:<24} {v:10.1}");
-                }
-                out
-            }
-            "export" => {
-                let [name, path] = args else {
-                    return Err("usage: export <name> <file.csv>".to_string());
-                };
-                let s = self.session()?;
-                let relation = if let Ok(g) = s.gap(name) {
-                    gap_to_relation(g).map_err(|e| e.to_string())?
-                } else if let Ok(t) = s.sumy(name) {
-                    sumy_to_relation(t).map_err(|e| e.to_string())?
-                } else if let Ok(e) = s.enum_table(name) {
-                    enum_to_relation(e).map_err(|e| e.to_string())?
-                } else {
-                    return Err(format!("no table named {name:?}"));
-                };
-                let mut file =
-                    std::fs::File::create(path).map_err(|e| format!("create {path}: {e}"))?;
-                gea_relstore::export_csv(&relation, &mut file)
-                    .map_err(|e| format!("write {path}: {e}"))?;
-                format!("exported {} rows to {path}", relation.n_rows())
-            }
-            "comment" => {
-                let Some((&name, words)) = args.split_first() else {
-                    return Err("usage: comment <name> <text...>".to_string());
-                };
-                let s = self.session()?;
-                s.comment(name, &words.join(" ")).map_err(|e| e.to_string())?;
-                format!("comment recorded on {name}")
-            }
-            "delete" => {
-                let Some((&name, flags)) = args.split_first() else {
-                    return Err("usage: delete <name> [--cascade]".to_string());
-                };
-                let cascade = flags.contains(&"--cascade");
-                let s = self.session()?;
-                let removed = s.delete(name, cascade).map_err(|e| e.to_string())?;
-                if cascade {
-                    format!("removed {} table(s): {}", removed.len(), removed.join(", "))
-                } else {
-                    format!("contents of {name} dropped; metadata kept")
-                }
-            }
-            "save" => {
-                let [dir] = args else {
-                    return Err("usage: save <dir>".to_string());
-                };
-                let s = self.session()?;
-                gea_core::persist::save_results(s, std::path::Path::new(dir))
-                    .map_err(|e| e.to_string())?;
-                format!("saved {} table(s) to {dir}", s.database().len())
-            }
-            "load" => {
-                let [dir] = args else {
-                    return Err("usage: load <dir>".to_string());
-                };
-                let loaded = gea_core::persist::load_results(std::path::Path::new(dir))
-                    .map_err(|e| e.to_string())?;
-                let mut out = format!(
-                    "loaded {} table(s); operation history:\n",
-                    loaded.database.len()
-                );
-                out.push_str(&loaded.lineage.render_tree());
-                out
-            }
-            "lineage" => self.session()?.lineage().render_tree(),
-            "cleaning" => {
-                let report = self.session()?.cleaning_report().clone();
-                format!(
-                    "raw union {} tags -> kept {} ({:.0}% removed); freq-1 fraction {:.0}%",
-                    report.raw_union_tags,
-                    report.kept_tags,
-                    100.0 * report.removed_fraction(),
-                    100.0 * report.freq1_union_fraction
-                )
-            }
-            other => return Err(format!("unknown command {other:?}; try `help`")),
         };
         Ok(Some(out))
     }
@@ -549,6 +182,44 @@ mod tests {
     }
 
     #[test]
+    fn errors_carry_wire_protocol_codes() {
+        let mut cli = Cli::new();
+        let err = cli.execute("tissues").unwrap_err();
+        assert!(err.starts_with("ENOSESSION "), "{err}");
+        let err = cli.execute("bogus").unwrap_err();
+        assert!(err.starts_with("EPARSE "), "{err}");
+        run(&mut cli, "load-demo 42");
+        let err = cli.execute("gap g missing1 missing2").unwrap_err();
+        assert!(err.starts_with("ENOTFOUND "), "{err}");
+        run(&mut cli, "dataset Eb brain");
+        let err = cli.execute("dataset Eb brain").unwrap_err();
+        assert!(err.starts_with("ECONFLICT "), "{err}");
+        let err = cli.execute("stats").unwrap_err();
+        assert!(err.starts_with("EUNKNOWN "), "{err}");
+    }
+
+    #[test]
+    fn select_and_project_via_commands() {
+        let mut cli = Cli::new();
+        run(&mut cli, "load-demo 42");
+        run(&mut cli, "dataset Eb brain");
+        let lib = run(&mut cli, "library 0");
+        let name = lib
+            .lines()
+            .next()
+            .unwrap()
+            .split_whitespace()
+            .next()
+            .unwrap()
+            .to_string();
+        let out = run(&mut cli, &format!("custom C {name}"));
+        assert!(out.contains("1 libraries"));
+        let out = run(&mut cli, &format!("select S Eb {name}"));
+        assert!(out.contains("1 of"), "{out}");
+        assert!(run(&mut cli, "lineage").contains('S'));
+    }
+
+    #[test]
     fn compare_command_parses_queries() {
         let mut cli = Cli::new();
         run(&mut cli, "load-demo 42");
@@ -557,8 +228,14 @@ mod tests {
         let purity = run(&mut cli, &format!("purity {fascicle}"));
         if purity.contains("pure: cancer") {
             run(&mut cli, &format!("groups {fascicle}"));
-            run(&mut cli, &format!("gap ga {fascicle}CancerFasTbl {fascicle}NormalTable"));
-            run(&mut cli, &format!("gap gb {fascicle}CancerFasTbl {fascicle}CanNotInFasTbl"));
+            run(
+                &mut cli,
+                &format!("gap ga {fascicle}CancerFasTbl {fascicle}NormalTable"),
+            );
+            run(
+                &mut cli,
+                &format!("gap gb {fascicle}CancerFasTbl {fascicle}CanNotInFasTbl"),
+            );
             let out = run(&mut cli, "compare cmp ga gb intersect 2");
             assert!(out.contains("lower expression values"));
             assert!(cli.execute("compare x ga gb difference 7").is_err());
@@ -616,10 +293,34 @@ mod tests {
         let mut cli = Cli::new();
         let help = run(&mut cli, "help");
         for cmd in [
-            "load-demo", "tissues", "dataset", "custom", "mine", "fascicles", "purity",
-            "groups", "gap", "topgap", "compare", "show", "plot", "library", "tagfreq",
-            "export", "comment", "delete", "lineage", "cleaning", "save", "load",
-            "gen-corpus", "load-dir", "xprofiler",
+            "load-demo",
+            "tissues",
+            "dataset",
+            "custom",
+            "select",
+            "project",
+            "mine",
+            "fascicles",
+            "purity",
+            "groups",
+            "gap",
+            "topgap",
+            "compare",
+            "show",
+            "plot",
+            "library",
+            "tagfreq",
+            "export",
+            "comment",
+            "delete",
+            "populate",
+            "lineage",
+            "cleaning",
+            "save",
+            "load",
+            "gen-corpus",
+            "load-dir",
+            "xprofiler",
         ] {
             assert!(help.contains(cmd), "help missing {cmd}");
         }

@@ -17,7 +17,10 @@
 //! * [`relstore`] — the embedded relational engine with entropy-guided
 //!   range indexing;
 //! * [`cluster`] — the Fascicles algorithm and baseline clusterers;
-//! * [`core`] — the GEA algebra, session, lineage and search operations.
+//! * [`core`] — the GEA algebra, session, lineage and search operations;
+//! * [`server`] — the GQL grammar and executor shared by the [`cli`]
+//!   interpreter, plus the concurrent TCP query server (`gea-server`) and
+//!   its client library (`gea-client`).
 //!
 //! ## Quickstart
 //!
@@ -48,3 +51,4 @@ pub use gea_cluster as cluster;
 pub use gea_core as core;
 pub use gea_relstore as relstore;
 pub use gea_sage as sage;
+pub use gea_server as server;

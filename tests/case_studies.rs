@@ -63,8 +63,7 @@ fn pure_cancer_fascicle(
 #[test]
 fn case_1_cancerous_vs_normal_brain() {
     let (mut session, truth) = open_session();
-    let fascicle =
-        pure_cancer_fascicle(&mut session, &TissueType::Brain, 3).expect("fascicle");
+    let fascicle = pure_cancer_fascicle(&mut session, &TissueType::Brain, 3).expect("fascicle");
 
     // The mined fascicle must coincide with the planted one.
     let planted = truth.fascicle_members_of(&TissueType::Brain);
@@ -147,8 +146,7 @@ fn case_1_cancerous_vs_normal_brain() {
 #[test]
 fn case_2_inside_vs_outside_fascicle() {
     let (mut session, _) = open_session();
-    let fascicle =
-        pure_cancer_fascicle(&mut session, &TissueType::Brain, 3).expect("fascicle");
+    let fascicle = pure_cancer_fascicle(&mut session, &TissueType::Brain, 3).expect("fascicle");
     let groups = session
         .form_control_groups(&fascicle, LibraryProperty::Cancer)
         .unwrap();
@@ -163,7 +161,12 @@ fn case_2_inside_vs_outside_fascicle() {
     // outside-fascicle cancer group.
     let mean_abs = |name: &str| {
         let g = session.gap(name).unwrap();
-        let vals: Vec<f64> = g.rows().iter().filter_map(|r| r.gap()).map(f64::abs).collect();
+        let vals: Vec<f64> = g
+            .rows()
+            .iter()
+            .filter_map(|r| r.gap())
+            .map(f64::abs)
+            .collect();
         assert!(!vals.is_empty(), "{name} has no non-NULL gaps");
         vals.iter().sum::<f64>() / vals.len() as f64
     };
@@ -178,8 +181,7 @@ fn case_3_consistent_cancer_genes_across_tissues() {
     let (mut session, truth) = open_session();
     let mut gaps = Vec::new();
     for tissue in [TissueType::Brain, TissueType::Breast] {
-        let fascicle =
-            pure_cancer_fascicle(&mut session, &tissue, 2).expect("fascicle");
+        let fascicle = pure_cancer_fascicle(&mut session, &tissue, 2).expect("fascicle");
         let groups = session
             .form_control_groups(&fascicle, LibraryProperty::Cancer)
             .unwrap();
@@ -228,8 +230,7 @@ fn case_4_tissue_unique_genes() {
     let (mut session, truth) = open_session();
     let mut gaps = Vec::new();
     for tissue in [TissueType::Brain, TissueType::Breast] {
-        let fascicle =
-            pure_cancer_fascicle(&mut session, &tissue, 2).expect("fascicle");
+        let fascicle = pure_cancer_fascicle(&mut session, &tissue, 2).expect("fascicle");
         let groups = session
             .form_control_groups(&fascicle, LibraryProperty::Cancer)
             .unwrap();
@@ -281,14 +282,16 @@ fn case_4_tissue_unique_genes() {
                 && g.response == gea::sage::generate::CancerResponse::Down
         })
     });
-    assert!(has_down_gene, "no planted down-regulated brain gene surfaced");
+    assert!(
+        has_down_gene,
+        "no planted down-regulated brain gene surfaced"
+    );
 }
 
 #[test]
 fn case_5_custom_dataset_verification() {
     let (mut session, _) = open_session();
-    let fascicle =
-        pure_cancer_fascicle(&mut session, &TissueType::Brain, 3).expect("fascicle");
+    let fascicle = pure_cancer_fascicle(&mut session, &TissueType::Brain, 3).expect("fascicle");
     let members = session.fascicle(&fascicle).unwrap().members.clone();
 
     // Rebuild the analysis on a user-defined data set without one normal
@@ -367,15 +370,16 @@ fn cleaning_statistics_match_thesis_shape() {
 #[test]
 fn lineage_records_the_whole_pipeline() {
     let (mut session, _) = open_session();
-    let fascicle =
-        pure_cancer_fascicle(&mut session, &TissueType::Brain, 3).expect("fascicle");
+    let fascicle = pure_cancer_fascicle(&mut session, &TissueType::Brain, 3).expect("fascicle");
     let groups = session
         .form_control_groups(&fascicle, LibraryProperty::Cancer)
         .unwrap();
     session
         .create_gap("g", &groups.in_fascicle, &groups.contrast)
         .unwrap();
-    session.calculate_top_gap("g", 5, TopGapOrder::HighestValue).unwrap();
+    session
+        .calculate_top_gap("g", 5, TopGapOrder::HighestValue)
+        .unwrap();
 
     let tree = session.lineage().render_tree();
     for name in ["SAGE", "Ebrain", &fascicle, "g", "g_5"] {

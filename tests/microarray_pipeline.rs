@@ -18,13 +18,11 @@ fn microarray_data_flows_through_the_whole_toolkit() {
     let config = GeneratorConfig::demo(42);
     let (_, truth) = generate(&config);
     let samples = synthesize_experiment(&truth, &config, &TissueType::Brain, 6, 6, 42);
-    let matrix =
-        to_expression_matrix(&samples, Some(100_000.0)).expect("shared probe layout");
+    let matrix = to_expression_matrix(&samples, Some(100_000.0)).expect("shared probe layout");
     let table = EnumTable::new("ARRAY", matrix);
 
     // Aggregate / diff pipeline: cancer vs normal arrays.
-    let cancer =
-        table.select_libraries("c", |m| m.state == NeoplasticState::Cancerous);
+    let cancer = table.select_libraries("c", |m| m.state == NeoplasticState::Cancerous);
     let normal = table.select_libraries("n", |m| m.state == NeoplasticState::Normal);
     assert_eq!(cancer.n_libraries(), 6);
     assert_eq!(normal.n_libraries(), 6);

@@ -40,8 +40,7 @@ proptest! {
 // ---------------------------------------------------------- Allen relations
 
 fn proper_interval() -> impl Strategy<Value = Interval> {
-    (-1000.0f64..1000.0, 0.001f64..500.0)
-        .prop_map(|(lo, w)| Interval::new(lo, lo + w).unwrap())
+    (-1000.0f64..1000.0, 0.001f64..500.0).prop_map(|(lo, w)| Interval::new(lo, lo + w).unwrap())
 }
 
 proptest! {
@@ -145,10 +144,7 @@ fn gap_table(name: &str, entries: &[(u32, Option<f64>)]) -> GapTable {
 }
 
 fn gap_entries() -> impl Strategy<Value = Vec<(u32, Option<f64>)>> {
-    prop::collection::vec(
-        (0u32..64, prop::option::of(-100.0f64..100.0)),
-        0..12,
-    )
+    prop::collection::vec((0u32..64, prop::option::of(-100.0f64..100.0)), 0..12)
 }
 
 proptest! {
@@ -195,9 +191,8 @@ proptest! {
 
 fn small_enum(values: Vec<Vec<f64>>) -> EnumTable {
     let n_libs = values[0].len();
-    let universe = TagUniverse::from_tags(
-        (0..values.len() as u32).map(|i| Tag::from_code(i * 37).unwrap()),
-    );
+    let universe =
+        TagUniverse::from_tags((0..values.len() as u32).map(|i| Tag::from_code(i * 37).unwrap()));
     let libs = (0..n_libs)
         .map(|i| {
             library_meta(
@@ -213,10 +208,7 @@ fn small_enum(values: Vec<Vec<f64>>) -> EnumTable {
 
 fn matrix_values() -> impl Strategy<Value = Vec<Vec<f64>>> {
     (1usize..8, 1usize..10).prop_flat_map(|(n_tags, n_libs)| {
-        prop::collection::vec(
-            prop::collection::vec(0.0f64..100.0, n_libs),
-            n_tags,
-        )
+        prop::collection::vec(prop::collection::vec(0.0f64..100.0, n_libs), n_tags)
     })
 }
 

@@ -1,0 +1,193 @@
+//! Loopback integration test for gea-server: concurrent clients drive the
+//! full thesis pipeline (mine → groups → gap → topgap) over TCP against a
+//! shared named session, and every reply must match what the in-process
+//! [`GeaSession`] API produces for the same commands.
+
+use std::thread;
+use std::time::Duration;
+
+use gea_core::session::GeaSession;
+use gea_sage::clean::CleaningConfig;
+use gea_sage::generate::{generate, GeneratorConfig};
+use gea_server::engine;
+use gea_server::gql::{parse, Request};
+use gea_server::{GeaClient, Server, ServerConfig};
+
+const N_CLIENTS: usize = 4;
+
+/// Each client's pipeline, on tables namespaced by the client index so
+/// concurrent writers never collide on names. On demo seed 42 the 50%
+/// mine finds exactly one fascicle (`a{i}_1`) that is pure on cancer, so
+/// the whole script is deterministic.
+fn client_script(i: usize) -> Vec<String> {
+    vec![
+        format!("dataset E{i} brain"),
+        format!("mine E{i} a{i} 50 3 6"),
+        format!("purity a{i}_1"),
+        format!("groups a{i}_1"),
+        format!("gap g{i} a{i}_1CancerFasTbl a{i}_1NormalTable"),
+        format!("topgap g{i} 5"),
+        format!("show gap g{i} 3"),
+    ]
+}
+
+#[test]
+fn concurrent_clients_match_the_in_process_api() {
+    let server = Server::bind(ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: N_CLIENTS + 2,
+        queue_depth: 8,
+        lock_timeout: Duration::from_secs(120),
+    })
+    .expect("bind ephemeral port");
+    let addr = server.local_addr();
+    let serving = thread::spawn(move || server.run().expect("serve"));
+
+    // One client opens the shared session every other client attaches to.
+    let mut admin = GeaClient::connect(addr).expect("connect admin");
+    let opened = admin
+        .request("open shared demo 42")
+        .unwrap()
+        .expect("open shared session");
+    assert!(opened.contains("tags after cleaning"), "{opened}");
+
+    // Malformed and failing commands answer ERR without killing the
+    // connection.
+    assert_eq!(admin.request("mine").unwrap().unwrap_err().0, "EPARSE");
+    assert_eq!(admin.request("bogus cmd").unwrap().unwrap_err().0, "EPARSE");
+    assert_eq!(
+        admin
+            .request("gap g missing1 missing2")
+            .unwrap()
+            .unwrap_err()
+            .0,
+        "ENOTFOUND"
+    );
+    assert_eq!(
+        admin.request("use nosuch").unwrap().unwrap_err().0,
+        "ENOSESSION"
+    );
+    assert_eq!(admin.request("ping").unwrap(), Ok("pong".to_string()));
+
+    // N concurrent clients run the pipeline against the shared session.
+    let mut workers = Vec::new();
+    for i in 0..N_CLIENTS {
+        workers.push(thread::spawn(move || {
+            let mut client = GeaClient::connect(addr).expect("connect client");
+            client.request("use shared").unwrap().expect("use shared");
+            client_script(i)
+                .iter()
+                .map(|line| {
+                    client.request(line).unwrap().unwrap_or_else(|(code, msg)| {
+                        panic!("client {i}: {line:?} failed: {code} {msg}")
+                    })
+                })
+                .collect::<Vec<String>>()
+        }));
+    }
+    let served: Vec<Vec<String>> = workers
+        .into_iter()
+        .map(|w| w.join().expect("client thread"))
+        .collect();
+
+    // The reference: the same commands through the in-process API. Replies
+    // must be byte-identical (modulo the frame's trailing newline).
+    let (corpus, _) = generate(&GeneratorConfig::demo(42));
+    let mut reference =
+        GeaSession::open(corpus, &CleaningConfig::default()).expect("open reference");
+    for (i, replies) in served.iter().enumerate() {
+        let script = client_script(i);
+        assert_eq!(replies.len(), script.len());
+        for (line, over_wire) in script.iter().zip(replies) {
+            let Some(Request::Gql(cmd)) = parse(line).unwrap() else {
+                panic!("{line:?} is not an algebra command");
+            };
+            let local = engine::execute(&mut reference, &cmd)
+                .unwrap_or_else(|e| panic!("reference {line:?}: {e}"));
+            assert_eq!(
+                local.trim_end_matches('\n'),
+                over_wire,
+                "wire reply diverged from in-process API on {line:?}"
+            );
+        }
+    }
+
+    // The pipeline actually produced gaps worth serving.
+    assert!(served[0][5].contains("g0_5"), "{}", served[0][5]);
+    assert!(served[0][6].contains("TagName"), "{}", served[0][6]);
+
+    // Metrics: non-zero request counts and latency histograms per verb.
+    let stats = admin.request("stats").unwrap().expect("stats");
+    assert!(stats.contains("requests_total"), "{stats}");
+    let requests: u64 = stats
+        .lines()
+        .find_map(|l| l.strip_prefix("requests_total "))
+        .expect("requests_total line")
+        .parse()
+        .unwrap();
+    assert!(
+        requests as usize >= N_CLIENTS * 8,
+        "only {requests} requests: {stats}"
+    );
+    for verb in ["mine", "gap", "topgap", "show", "purity"] {
+        let line = stats
+            .lines()
+            .find(|l| l.starts_with(&format!("cmd {verb} ")))
+            .unwrap_or_else(|| panic!("no stats line for {verb}: {stats}"));
+        // The admin's deliberate failures also count, so >= per client.
+        let count: usize = line
+            .split_whitespace()
+            .nth(3)
+            .and_then(|n| n.parse().ok())
+            .unwrap_or_else(|| panic!("unparsable stats line: {line}"));
+        assert!(count >= N_CLIENTS, "{line}");
+        assert!(
+            line.contains("hist_log2us [") && !line.contains("[]"),
+            "{line}"
+        );
+    }
+
+    // Graceful shutdown via the protocol.
+    assert_eq!(
+        admin.request("shutdown").unwrap(),
+        Ok("shutting down".to_string())
+    );
+    serving.join().expect("server thread");
+}
+
+#[test]
+fn sessions_are_isolated_and_closable() {
+    let server = Server::bind(ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 2,
+        queue_depth: 4,
+        lock_timeout: Duration::from_secs(30),
+    })
+    .expect("bind");
+    let addr = server.local_addr();
+    let handle = server.handle();
+    let serving = thread::spawn(move || server.run().expect("serve"));
+
+    let mut a = GeaClient::connect(addr).unwrap();
+    let mut b = GeaClient::connect(addr).unwrap();
+    a.request("open one demo 42").unwrap().expect("open one");
+    b.request("open two demo 7").unwrap().expect("open two");
+    a.request("dataset Eb brain")
+        .unwrap()
+        .expect("dataset in one");
+    // Session `two` never saw Eb.
+    assert_eq!(
+        b.request("tagfreq Eb TTTTTTTTTT").unwrap().unwrap_err().0,
+        "ENOTFOUND"
+    );
+    let sessions = a.request("sessions").unwrap().expect("sessions");
+    assert!(
+        sessions.contains("one") && sessions.contains("two"),
+        "{sessions}"
+    );
+    a.request("close two").unwrap().expect("close two");
+    assert_eq!(b.request("tissues").unwrap().unwrap_err().0, "ENOSESSION");
+
+    handle.shutdown();
+    serving.join().expect("server thread");
+}

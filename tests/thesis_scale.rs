@@ -41,12 +41,14 @@ fn thesis_scale_pipeline() {
     let deep: Vec<String> = session
         .corpus()
         .iter()
-        .filter(|(_, l)| {
-            l.meta.tissue == TissueType::Brain && l.total_tags() >= 16_000
-        })
+        .filter(|(_, l)| l.meta.tissue == TissueType::Brain && l.total_tags() >= 16_000)
         .map(|(_, l)| l.meta.name.clone())
         .collect();
-    assert!(deep.len() >= 8, "too few deep brain libraries: {}", deep.len());
+    assert!(
+        deep.len() >= 8,
+        "too few deep brain libraries: {}",
+        deep.len()
+    );
     let refs: Vec<&str> = deep.iter().map(|x| x.as_str()).collect();
     session.create_custom_dataset("deepBrain", &refs).unwrap();
     let table = session.enum_table("deepBrain").unwrap();
@@ -96,7 +98,10 @@ fn thesis_scale_pipeline() {
         "only {planted_in}/{} members planted",
         members.len()
     );
-    assert!(planted_in >= 5, "only {planted_in} planted members recovered");
+    assert!(
+        planted_in >= 5,
+        "only {planted_in} planted members recovered"
+    );
 
     // The full gap pipeline completes at scale.
     let groups = session
