@@ -42,6 +42,7 @@ pub mod gap;
 pub mod interval;
 pub mod interval_algebra;
 pub mod lineage;
+pub mod mem;
 pub mod mine;
 pub mod persist;
 pub mod populate;
@@ -59,6 +60,7 @@ pub use gap::{diff, GapTable};
 pub use interval::{AllenRelation, Interval};
 pub use interval_algebra::{compose_basic, ConstraintChain, RelationSet};
 pub use lineage::{Lineage, NodeKind};
+pub use mem::ApproxMem;
 pub use mine::{mine, MinedCluster, Miner};
 pub use persist::{load_results, save_results};
 pub use populate::{populate, populate_columnar, populate_indexed, populate_scan, PopulateIndex};

@@ -1,0 +1,247 @@
+//! Approximate memory accounting for session state.
+//!
+//! The query server's registry evicts sessions against a configurable
+//! byte budget, which needs a cheap estimate of how much heap a
+//! [`GeaSession`] is holding. [`ApproxMem`] provides that estimate:
+//! structural sizes (dense matrix cells, table rows, string payloads)
+//! plus small per-object constants for allocator and container overhead.
+//! The numbers are deliberately approximate — eviction needs relative
+//! magnitudes and stable ordering, not byte-exact totals — but they are
+//! dominated by the terms that actually dominate (the `values` buffer of
+//! every [`ExpressionMatrix`], the per-tag counts of every raw library),
+//! so a session holding a thesis-scale corpus reports tens of megabytes
+//! while a freshly opened demo session reports a few.
+
+use std::collections::BTreeMap;
+
+use gea_relstore::{Database, Table, Value};
+use gea_sage::corpus::SageCorpus;
+use gea_sage::library::{LibraryMeta, SageLibrary};
+use gea_sage::tag::TagUniverse;
+use gea_sage::ExpressionMatrix;
+
+use crate::enum_table::EnumTable;
+use crate::gap::GapTable;
+use crate::lineage::Lineage;
+use crate::session::{FascicleRecord, GeaSession};
+use crate::sumy::SumyTable;
+
+/// Per-allocation bookkeeping charged for each owned heap object
+/// (allocator header plus container node overhead).
+const ALLOC_OVERHEAD: usize = 32;
+
+/// Estimated heap footprint of a value, in bytes.
+///
+/// Estimates are additive over components and never zero for an owning
+/// container, so a registry summing them gets a monotone signal: growing
+/// a session (new ENUM/SUMY/GAP tables, mined fascicles, materialized
+/// relations) strictly grows its reported size.
+pub trait ApproxMem {
+    /// Approximate number of heap bytes reachable through `self`.
+    fn approx_bytes(&self) -> usize;
+}
+
+fn string_bytes(s: &str) -> usize {
+    ALLOC_OVERHEAD + s.len()
+}
+
+impl ApproxMem for TagUniverse {
+    fn approx_bytes(&self) -> usize {
+        // A tag code (u32) plus its id-lookup entry.
+        ALLOC_OVERHEAD + self.len() * 12
+    }
+}
+
+impl ApproxMem for LibraryMeta {
+    fn approx_bytes(&self) -> usize {
+        // The enums (tissue/state/source) are inline; only the name owns heap.
+        string_bytes(&self.name) + 16
+    }
+}
+
+impl ApproxMem for SageLibrary {
+    fn approx_bytes(&self) -> usize {
+        // One (Tag, u32) map entry per distinct tag.
+        self.meta.approx_bytes() + self.unique_tags() * 16
+    }
+}
+
+impl ApproxMem for SageCorpus {
+    fn approx_bytes(&self) -> usize {
+        ALLOC_OVERHEAD
+            + self
+                .iter()
+                .map(|(_, lib)| lib.approx_bytes())
+                .sum::<usize>()
+    }
+}
+
+impl ApproxMem for ExpressionMatrix {
+    fn approx_bytes(&self) -> usize {
+        let cells = self.n_tags() * self.n_libraries() * std::mem::size_of::<f64>();
+        let metas: usize = self.libraries().iter().map(ApproxMem::approx_bytes).sum();
+        cells + self.universe().approx_bytes() + metas
+    }
+}
+
+impl ApproxMem for EnumTable {
+    fn approx_bytes(&self) -> usize {
+        string_bytes(&self.name) + self.matrix.approx_bytes()
+    }
+}
+
+impl ApproxMem for SumyTable {
+    fn approx_bytes(&self) -> usize {
+        let rows: usize = self
+            .rows()
+            .iter()
+            .map(|r| {
+                // tag + tag_no + range + average + std_dev, plus extras.
+                48 + r.extras.keys().map(|k| string_bytes(k) + 8).sum::<usize>()
+            })
+            .sum();
+        string_bytes(&self.name) + rows
+    }
+}
+
+impl ApproxMem for GapTable {
+    fn approx_bytes(&self) -> usize {
+        let columns: usize = self.columns.iter().map(|c| string_bytes(c)).sum();
+        let rows: usize = self
+            .rows()
+            .iter()
+            .map(|r| 16 + r.gaps.len() * std::mem::size_of::<Option<f64>>())
+            .sum();
+        string_bytes(&self.name) + columns + rows
+    }
+}
+
+impl ApproxMem for Value {
+    fn approx_bytes(&self) -> usize {
+        match self {
+            Value::Text(s) => string_bytes(s) + 8,
+            _ => std::mem::size_of::<Value>(),
+        }
+    }
+}
+
+impl ApproxMem for Table {
+    fn approx_bytes(&self) -> usize {
+        let header: usize = self
+            .schema()
+            .columns()
+            .iter()
+            .map(|c| string_bytes(&c.name))
+            .sum();
+        let cells: usize = (0..self.n_cols())
+            .map(|c| {
+                self.column(c)
+                    .iter()
+                    .map(ApproxMem::approx_bytes)
+                    .sum::<usize>()
+            })
+            .sum();
+        ALLOC_OVERHEAD + header + cells
+    }
+}
+
+impl ApproxMem for Database {
+    fn approx_bytes(&self) -> usize {
+        ALLOC_OVERHEAD
+            + self
+                .names()
+                .iter()
+                .map(|n| {
+                    string_bytes(n)
+                        + self
+                            .get(n)
+                            .map(ApproxMem::approx_bytes)
+                            .unwrap_or(ALLOC_OVERHEAD)
+                })
+                .sum::<usize>()
+    }
+}
+
+impl ApproxMem for Lineage {
+    fn approx_bytes(&self) -> usize {
+        ALLOC_OVERHEAD
+            + self
+                .iter()
+                .map(|n| {
+                    string_bytes(&n.name)
+                        + string_bytes(&n.operation)
+                        + string_bytes(&n.comment)
+                        + n.parents.len() * 4
+                        + n.params
+                            .iter()
+                            .map(|(k, v)| string_bytes(k) + string_bytes(v))
+                            .sum::<usize>()
+                })
+                .sum::<usize>()
+    }
+}
+
+impl ApproxMem for FascicleRecord {
+    fn approx_bytes(&self) -> usize {
+        string_bytes(&self.name)
+            + string_bytes(&self.dataset)
+            + string_bytes(&self.sumy_name)
+            + self.members.iter().map(|m| string_bytes(m)).sum::<usize>()
+            + self.compact_tags.len() * 4
+            + self.purity.len()
+    }
+}
+
+impl<T: ApproxMem> ApproxMem for BTreeMap<String, T> {
+    fn approx_bytes(&self) -> usize {
+        ALLOC_OVERHEAD
+            + self
+                .iter()
+                .map(|(k, v)| string_bytes(k) + v.approx_bytes())
+                .sum::<usize>()
+    }
+}
+
+impl ApproxMem for GeaSession {
+    fn approx_bytes(&self) -> usize {
+        self.corpus().approx_bytes()
+            + self.base().approx_bytes()
+            + self.database().approx_bytes()
+            + self.lineage().approx_bytes()
+            + self.named_tables_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::session::GeaSession;
+    use gea_sage::clean::CleaningConfig;
+    use gea_sage::generate::{generate, GeneratorConfig};
+    use gea_sage::TissueType;
+
+    #[test]
+    fn session_size_grows_with_derived_tables() {
+        let (corpus, _) = generate(&GeneratorConfig::demo(42));
+        let mut s = GeaSession::open(corpus, &CleaningConfig::default()).unwrap();
+        let base = s.approx_bytes();
+        // A demo session holds a dense matrix; well over 100 KiB.
+        assert!(base > 100 * 1024, "implausibly small session: {base}");
+        s.create_tissue_dataset("Eb", &TissueType::Brain).unwrap();
+        let grown = s.approx_bytes();
+        assert!(grown > base, "dataset did not grow the estimate");
+        // Deleting with cascade shrinks it back below the grown size.
+        s.delete("Eb", true).unwrap();
+        assert!(s.approx_bytes() < grown);
+    }
+
+    #[test]
+    fn component_estimates_are_nonzero() {
+        let (corpus, _) = generate(&GeneratorConfig::demo(7));
+        assert!(corpus.approx_bytes() > 0);
+        let s = GeaSession::open(corpus, &CleaningConfig::default()).unwrap();
+        assert!(s.base().approx_bytes() > s.base().matrix.universe().approx_bytes());
+        assert!(s.lineage().approx_bytes() > 0);
+        assert!(s.database().approx_bytes() > 0);
+    }
+}

@@ -304,6 +304,18 @@ impl GeaSession {
         self.fascicles.keys().map(|s| s.as_str()).collect()
     }
 
+    /// Approximate heap bytes held by the named derived tables (ENUM,
+    /// SUMY, GAP) and fascicle records — the part of the session only it
+    /// can see; [`crate::mem::ApproxMem`] for `GeaSession` adds the
+    /// corpus, base matrix, database, and lineage on top.
+    pub fn named_tables_bytes(&self) -> usize {
+        use crate::mem::ApproxMem;
+        self.enums.approx_bytes()
+            + self.sumys.approx_bytes()
+            + self.gaps.approx_bytes()
+            + self.fascicles.approx_bytes()
+    }
+
     fn check_name_free(&self, name: &str) -> Result<(), GeaError> {
         if name == "SAGE"
             || self.enums.contains_key(name)

@@ -3,11 +3,16 @@
 //! ```text
 //! gea-server [--addr HOST:PORT] [--workers N] [--queue N]
 //!            [--lock-timeout-ms MS] [--demo SEED]
+//!            [--cache-bytes N] [--session-budget N] [--idle-timeout-ms MS]
 //! ```
 //!
 //! `--demo SEED` pre-opens the session named `default` from a generated
 //! demo corpus so clients can start querying without an `open` of their
-//! own. Stop the server with the `shutdown` protocol command.
+//! own. `--cache-bytes` sizes the response cache (0 disables it);
+//! `--session-budget` caps total approximate session bytes with LRU
+//! eviction, and `--idle-timeout-ms` evicts sessions no request has
+//! touched in that long (evicted sessions answer `ERR EEVICTED` until
+//! re-opened). Stop the server with the `shutdown` protocol command.
 
 use std::time::Duration;
 
@@ -19,7 +24,8 @@ use gea_server::{Server, ServerConfig};
 fn usage() -> ! {
     eprintln!(
         "usage: gea-server [--addr HOST:PORT] [--workers N] [--queue N] \
-         [--lock-timeout-ms MS] [--demo SEED]"
+         [--lock-timeout-ms MS] [--demo SEED] [--cache-bytes N] \
+         [--session-budget N] [--idle-timeout-ms MS]"
     );
     std::process::exit(2);
 }
@@ -55,6 +61,27 @@ fn parse_args() -> (ServerConfig, Option<u64>) {
                 Ok(ms) => config.lock_timeout = Duration::from_millis(ms),
                 Err(e) => {
                     eprintln!("bad --lock-timeout-ms: {e}");
+                    usage()
+                }
+            },
+            "--cache-bytes" => match value("--cache-bytes").parse() {
+                Ok(n) => config.cache_bytes = n,
+                Err(e) => {
+                    eprintln!("bad --cache-bytes: {e}");
+                    usage()
+                }
+            },
+            "--session-budget" => match value("--session-budget").parse() {
+                Ok(n) => config.session_budget = Some(n),
+                Err(e) => {
+                    eprintln!("bad --session-budget: {e}");
+                    usage()
+                }
+            },
+            "--idle-timeout-ms" => match value("--idle-timeout-ms").parse() {
+                Ok(ms) => config.idle_timeout = Some(Duration::from_millis(ms)),
+                Err(e) => {
+                    eprintln!("bad --idle-timeout-ms: {e}");
                     usage()
                 }
             },

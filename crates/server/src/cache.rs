@@ -1,0 +1,266 @@
+//! Generation-stamped response cache for read-only GQL replies.
+//!
+//! Replies to cacheable read verbs are stored under the key
+//! `(entry id, generation, normalized command line)`. Because a session's
+//! generation bumps on every write-lock acquisition
+//! ([`crate::registry::SessionEntry::generation`]), a cached reply is
+//! *structurally* invalidated by any write: the next lookup carries the
+//! new generation and simply misses. No invalidation traffic, no session
+//! lock on the hit path — a hit is a map probe under the cache's own
+//! mutex.
+//!
+//! The entry-id component (unique per [`crate::registry::SessionEntry`],
+//! never reused) guarantees a session that is closed, evicted, or
+//! replaced under the same name can never serve another incarnation's
+//! replies; [`ResponseCache::purge_entry`] additionally reclaims their
+//! budget eagerly.
+//!
+//! Capacity is a byte budget over command + reply text. Insertions over
+//! budget evict least-recently-hit slots first (stale generations are
+//! never hit again, so they age out fastest).
+
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+/// Fixed per-slot charge on top of the text payload (key struct, map
+/// node, and allocation overhead).
+const SLOT_OVERHEAD: usize = 96;
+
+#[derive(PartialEq, Eq, Hash)]
+struct Key {
+    entry: u64,
+    generation: u64,
+    command: String,
+}
+
+struct Slot {
+    reply: String,
+    cost: usize,
+    /// Logical LRU timestamp: the cache clock at the last hit/insert.
+    stamp: u64,
+}
+
+#[derive(Default)]
+struct Inner {
+    map: HashMap<Key, Slot>,
+    bytes: usize,
+    clock: u64,
+}
+
+/// A byte-budgeted LRU cache of `OK` reply payloads.
+pub struct ResponseCache {
+    budget: usize,
+    inner: Mutex<Inner>,
+}
+
+impl ResponseCache {
+    /// Create a cache holding at most `budget` bytes of command + reply
+    /// text. A budget of 0 disables the cache entirely (every lookup
+    /// misses, every insert is a no-op).
+    pub fn new(budget: usize) -> ResponseCache {
+        ResponseCache {
+            budget,
+            inner: Mutex::new(Inner::default()),
+        }
+    }
+
+    /// Whether a nonzero budget was configured.
+    pub fn is_enabled(&self) -> bool {
+        self.budget > 0
+    }
+
+    /// Look up the reply cached for `command` against session `entry` at
+    /// `generation`. A hit refreshes the slot's LRU stamp.
+    pub fn get(&self, entry: u64, generation: u64, command: &str) -> Option<String> {
+        if self.budget == 0 {
+            return None;
+        }
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        inner.clock += 1;
+        let clock = inner.clock;
+        let key = Key {
+            entry,
+            generation,
+            command: command.to_string(),
+        };
+        let slot = inner.map.get_mut(&key)?;
+        slot.stamp = clock;
+        Some(slot.reply.clone())
+    }
+
+    /// Store a reply, evicting least-recently-hit slots until it fits.
+    /// Returns how many slots were evicted. Replies too large for the
+    /// whole budget are not stored.
+    pub fn insert(&self, entry: u64, generation: u64, command: String, reply: String) -> u64 {
+        let cost = SLOT_OVERHEAD + command.len() + reply.len();
+        if self.budget == 0 || cost > self.budget {
+            return 0;
+        }
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        let mut evicted = 0;
+        while inner.bytes + cost > self.budget {
+            let Some(oldest) =
+                inner
+                    .map
+                    .iter()
+                    .min_by_key(|(_, slot)| slot.stamp)
+                    .map(|(key, _)| Key {
+                        entry: key.entry,
+                        generation: key.generation,
+                        command: key.command.clone(),
+                    })
+            else {
+                break;
+            };
+            if let Some(slot) = inner.map.remove(&oldest) {
+                inner.bytes -= slot.cost;
+                evicted += 1;
+            }
+        }
+        inner.clock += 1;
+        let stamp = inner.clock;
+        let key = Key {
+            entry,
+            generation,
+            command,
+        };
+        if let Some(old) = inner.map.insert(key, Slot { reply, cost, stamp }) {
+            inner.bytes -= old.cost;
+        }
+        inner.bytes += cost;
+        evicted
+    }
+
+    /// Drop every slot belonging to session `entry` (closed, evicted, or
+    /// replaced), returning how many were dropped.
+    pub fn purge_entry(&self, entry: u64) -> usize {
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        let victims: Vec<Key> = inner
+            .map
+            .keys()
+            .filter(|k| k.entry == entry)
+            .map(|k| Key {
+                entry: k.entry,
+                generation: k.generation,
+                command: k.command.clone(),
+            })
+            .collect();
+        let n = victims.len();
+        for key in victims {
+            if let Some(slot) = inner.map.remove(&key) {
+                inner.bytes -= slot.cost;
+            }
+        }
+        n
+    }
+
+    /// Bytes currently held (command + reply text + per-slot overhead).
+    pub fn bytes(&self) -> usize {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner()).bytes
+    }
+
+    /// Number of cached replies.
+    pub fn len(&self) -> usize {
+        self.inner
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .map
+            .len()
+    }
+
+    /// Whether the cache holds nothing.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The cache gauges appended to the `stats` reply.
+    pub fn render_gauges(&self) -> String {
+        let inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        format!(
+            "cache_entries {}\ncache_bytes {}\ncache_budget_bytes {}\n",
+            inner.map.len(),
+            inner.bytes,
+            self.budget
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_miss_and_generation_invalidation() {
+        let cache = ResponseCache::new(4096);
+        assert!(cache.is_enabled());
+        assert_eq!(cache.get(1, 0, "lineage"), None);
+        cache.insert(1, 0, "lineage".into(), "node 0".into());
+        assert_eq!(cache.get(1, 0, "lineage"), Some("node 0".to_string()));
+        // A bumped generation is a structural miss; the old slot lingers
+        // until LRU reclaims it but can never be served again.
+        assert_eq!(cache.get(1, 1, "lineage"), None);
+        // Another session's entry id never collides.
+        assert_eq!(cache.get(2, 0, "lineage"), None);
+        assert_eq!(cache.len(), 1);
+        assert!(cache.bytes() > 0);
+    }
+
+    #[test]
+    fn lru_eviction_under_a_tiny_budget() {
+        // Budget fits two slots, not three.
+        let slot = SLOT_OVERHEAD + 1 + 5;
+        let cache = ResponseCache::new(2 * slot + 10);
+        assert_eq!(cache.insert(1, 0, "a".into(), "aaaaa".into()), 0);
+        assert_eq!(cache.insert(1, 0, "b".into(), "bbbbb".into()), 0);
+        // Touch "a" so "b" is the least recently used.
+        assert!(cache.get(1, 0, "a").is_some());
+        assert_eq!(cache.insert(1, 0, "c".into(), "ccccc".into()), 1);
+        assert!(cache.get(1, 0, "a").is_some(), "recently hit slot survives");
+        assert_eq!(cache.get(1, 0, "b"), None, "LRU slot evicted");
+        assert!(cache.get(1, 0, "c").is_some());
+    }
+
+    #[test]
+    fn oversize_and_disabled_are_no_ops() {
+        let cache = ResponseCache::new(64);
+        assert_eq!(cache.insert(1, 0, "big".into(), "x".repeat(1000)), 0);
+        assert!(cache.is_empty());
+
+        let off = ResponseCache::new(0);
+        assert!(!off.is_enabled());
+        off.insert(1, 0, "a".into(), "b".into());
+        assert_eq!(off.get(1, 0, "a"), None);
+        assert!(off.is_empty());
+    }
+
+    #[test]
+    fn purge_drops_only_the_named_entry() {
+        let cache = ResponseCache::new(4096);
+        cache.insert(1, 0, "a".into(), "1".into());
+        cache.insert(1, 3, "b".into(), "2".into());
+        cache.insert(2, 0, "a".into(), "3".into());
+        assert_eq!(cache.purge_entry(1), 2);
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.get(2, 0, "a"), Some("3".to_string()));
+        assert_eq!(cache.purge_entry(99), 0);
+    }
+
+    #[test]
+    fn reinsert_replaces_without_leaking_bytes() {
+        let cache = ResponseCache::new(4096);
+        cache.insert(1, 0, "a".into(), "short".into());
+        let before = cache.bytes();
+        cache.insert(1, 0, "a".into(), "short".into());
+        assert_eq!(cache.bytes(), before, "double insert double-counted");
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn gauges_render() {
+        let cache = ResponseCache::new(512);
+        cache.insert(1, 0, "a".into(), "b".into());
+        let g = cache.render_gauges();
+        assert!(g.contains("cache_entries 1"), "{g}");
+        assert!(g.contains("cache_budget_bytes 512"), "{g}");
+    }
+}

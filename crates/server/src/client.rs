@@ -6,6 +6,16 @@ use std::net::{TcpStream, ToSocketAddrs};
 
 use crate::wire::{self, Reply};
 
+/// Whether a reply is the server's `EEVICTED` error: the session this
+/// connection was attached to has been evicted (idle timeout or memory
+/// budget) and must be re-`open`ed before further commands. Unlike
+/// `ENOSESSION`, the name was valid — the state is simply gone, so a
+/// client that can rebuild it (e.g. re-run its script against a fresh
+/// `open`) may treat this as retryable.
+pub fn reply_evicted(reply: &Reply) -> bool {
+    matches!(reply, Err((code, _)) if code == "EEVICTED")
+}
+
 /// One connection to a gea-server.
 pub struct GeaClient {
     reader: BufReader<TcpStream>,

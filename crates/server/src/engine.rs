@@ -38,6 +38,16 @@ impl EngineError {
             message: message.into(),
         }
     }
+
+    /// The `EEVICTED` error: the named session was evicted by the
+    /// registry's policy (idle timeout or memory budget) and must be
+    /// re-`open`ed before further commands.
+    pub fn evicted(name: &str, reason: impl fmt::Display) -> EngineError {
+        EngineError::new(
+            "EEVICTED",
+            format!("session {name:?} was evicted ({reason}); re-open it"),
+        )
+    }
 }
 
 impl fmt::Display for EngineError {

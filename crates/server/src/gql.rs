@@ -308,6 +308,146 @@ impl GqlCommand {
         )
     }
 
+    /// Whether the command's reply may be served from the server's
+    /// response cache. Cacheable commands are the pure reads: they touch
+    /// nothing but the session, so at a fixed session generation their
+    /// reply is a pure function of the command line. `save`, `load`, and
+    /// `export` are reads for locking purposes but touch the filesystem,
+    /// whose state the generation does not cover, so they always execute.
+    pub fn is_cacheable(&self) -> bool {
+        self.is_read()
+            && !matches!(
+                self,
+                GqlCommand::Export { .. } | GqlCommand::Save(_) | GqlCommand::Load(_)
+            )
+    }
+
+    /// The normalized command line: the canonical spelling that parses
+    /// back to this command. Used as the response-cache key component, so
+    /// surface variants (`show gap g` vs `show gap g 10`, extra
+    /// whitespace, `difference` vs `diff`) share one cache slot.
+    pub fn canonical(&self) -> String {
+        fn quote(token: &str) -> String {
+            if !token.is_empty() && !token.contains(|c: char| c.is_whitespace() || c == '"') {
+                return token.to_string();
+            }
+            let mut out = String::with_capacity(token.len() + 2);
+            out.push('"');
+            for c in token.chars() {
+                if c == '"' || c == '\\' {
+                    out.push('\\');
+                }
+                out.push(c);
+            }
+            out.push('"');
+            out
+        }
+        fn join(verb: &str, args: &[&str]) -> String {
+            let mut out = verb.to_string();
+            for arg in args {
+                out.push(' ');
+                out.push_str(&quote(arg));
+            }
+            out
+        }
+        match self {
+            GqlCommand::Tissues => "tissues".to_string(),
+            GqlCommand::Dataset { name, tissue } => join("dataset", &[name, &tissue.to_string()]),
+            GqlCommand::Custom { name, libraries } => {
+                let mut args: Vec<&str> = vec![name];
+                args.extend(libraries.iter().map(|s| s.as_str()));
+                join("custom", &args)
+            }
+            GqlCommand::Select {
+                name,
+                dataset,
+                libraries,
+            } => {
+                let mut args: Vec<&str> = vec![name, dataset];
+                args.extend(libraries.iter().map(|s| s.as_str()));
+                join("select", &args)
+            }
+            GqlCommand::Project {
+                name,
+                dataset,
+                tags,
+            } => {
+                let tags: Vec<String> = tags.iter().map(|t| t.to_string()).collect();
+                let mut args: Vec<&str> = vec![name, dataset];
+                args.extend(tags.iter().map(|s| s.as_str()));
+                join("project", &args)
+            }
+            GqlCommand::Mine {
+                dataset,
+                out,
+                k_pct,
+                min_records,
+                batch,
+            } => join(
+                "mine",
+                &[
+                    dataset,
+                    out,
+                    &k_pct.to_string(),
+                    &min_records.to_string(),
+                    &batch.to_string(),
+                ],
+            ),
+            GqlCommand::Fascicles => "fascicles".to_string(),
+            GqlCommand::Purity(f) => join("purity", &[f]),
+            GqlCommand::Groups(f) => join("groups", &[f]),
+            GqlCommand::Gap { name, sumy1, sumy2 } => join("gap", &[name, sumy1, sumy2]),
+            GqlCommand::TopGap { gap, x } => join("topgap", &[gap, &x.to_string()]),
+            GqlCommand::Compare {
+                name,
+                g1,
+                g2,
+                op,
+                query,
+            } => {
+                let op = match op {
+                    CompareOp::Union => "union",
+                    CompareOp::Intersect => "intersect",
+                    CompareOp::Difference => "difference",
+                };
+                let qnum = CompareQuery::ALL
+                    .iter()
+                    .position(|q| q == query)
+                    .map_or(0, |i| i + 1);
+                join("compare", &[name, g1, g2, op, &qnum.to_string()])
+            }
+            GqlCommand::Show { kind, name, n } => {
+                let kind = match kind {
+                    ShowKind::Gap => "gap",
+                    ShowKind::Sumy => "sumy",
+                };
+                join("show", &[kind, name, &n.to_string()])
+            }
+            GqlCommand::Plot {
+                dataset,
+                tag,
+                fascicle,
+            } => join("plot", &[dataset, &tag.to_string(), fascicle]),
+            GqlCommand::Library(key) => join("library", &[key]),
+            GqlCommand::TagFreq { dataset, tag } => join("tagfreq", &[dataset, &tag.to_string()]),
+            GqlCommand::Export { name, path } => join("export", &[name, path]),
+            GqlCommand::Comment { name, text } => join("comment", &[name, text]),
+            GqlCommand::Delete { name, cascade } => {
+                if *cascade {
+                    join("delete", &[name, "--cascade"])
+                } else {
+                    join("delete", &[name])
+                }
+            }
+            GqlCommand::Populate(name) => join("populate", &[name]),
+            GqlCommand::Lineage => "lineage".to_string(),
+            GqlCommand::Cleaning => "cleaning".to_string(),
+            GqlCommand::Xprofiler(dataset) => join("xprofiler", &[dataset]),
+            GqlCommand::Save(dir) => join("save", &[dir]),
+            GqlCommand::Load(dir) => join("load", &[dir]),
+        }
+    }
+
     /// The verb, for metrics labels.
     pub fn verb(&self) -> &'static str {
         match self {
@@ -802,6 +942,83 @@ mod tests {
                 Request::Gql(cmd) => assert!(!cmd.is_read(), "{line} should be a write"),
                 other => panic!("{line} parsed to {other:?}"),
             }
+        }
+    }
+
+    #[test]
+    fn canonical_round_trips_and_normalizes() {
+        // Every command surface: canonical() must parse back to the same
+        // command, and re-canonicalize to the same string (a fixpoint).
+        for line in [
+            "tissues",
+            "dataset E brain",
+            "dataset E \"weird tissue\"",
+            "custom C l1 l2",
+            "select S E l1",
+            "project P E AAAAAAAAAA",
+            "mine E f 50 3 6",
+            "fascicles",
+            "purity f_1",
+            "groups f_1",
+            "gap g s1 s2",
+            "topgap g 5",
+            "compare c a b intersect 2",
+            "show sumy s 3",
+            "plot E AAAAAAAAAA f_1",
+            "library lib1",
+            "tagfreq E AAAAAAAAAA",
+            "export g out.csv",
+            "comment g \"two words\"",
+            "delete g --cascade",
+            "delete g",
+            "populate g",
+            "lineage",
+            "cleaning",
+            "xprofiler E",
+            "save dir",
+            "load dir",
+        ] {
+            let Some(Request::Gql(cmd)) = parse(line).unwrap() else {
+                panic!("{line} did not parse to a GQL command");
+            };
+            let canon = cmd.canonical();
+            let Some(Request::Gql(reparsed)) = parse(&canon).unwrap() else {
+                panic!("canonical {canon:?} did not parse");
+            };
+            assert_eq!(reparsed, cmd, "round-trip failed for {line:?}");
+            assert_eq!(reparsed.canonical(), canon, "not a fixpoint: {canon:?}");
+        }
+        // Normalization: surface variants collapse to one key.
+        let a = parse("show   gap g").unwrap().unwrap();
+        let b = parse("show gap g 10").unwrap().unwrap();
+        match (a, b) {
+            (Request::Gql(a), Request::Gql(b)) => assert_eq!(a.canonical(), b.canonical()),
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn cacheable_is_a_strict_subset_of_reads() {
+        for line in ["show gap g 5", "lineage", "tissues", "purity f", "cleaning"] {
+            let Some(Request::Gql(cmd)) = parse(line).unwrap() else {
+                panic!("{line}");
+            };
+            assert!(cmd.is_cacheable(), "{line} should be cacheable");
+        }
+        // Filesystem-touching reads and all writes are not cacheable.
+        for line in [
+            "export g out.csv",
+            "save dir",
+            "load dir",
+            "mine E f 50 3 6",
+            "topgap g 5",
+            "comment g x",
+            "dataset E brain",
+        ] {
+            let Some(Request::Gql(cmd)) = parse(line).unwrap() else {
+                panic!("{line}");
+            };
+            assert!(!cmd.is_cacheable(), "{line} must not be cacheable");
         }
     }
 

@@ -15,10 +15,13 @@
 //!   session, split into a read path (`&GeaSession`, shareable under a read
 //!   lock) and a write path (`&mut GeaSession`).
 //! * [`server`] — the **runtime**: a `std::net` TCP listener, a bounded
-//!   worker-thread pool, a [`registry`] of named sessions behind
-//!   `Arc<RwLock<…>>` (readers share, writers exclude), per-request lock
-//!   deadlines, graceful shutdown, and [`metrics`] exposed by the `stats`
-//!   command.
+//!   worker-thread pool, a [`registry`] of named generation-stamped
+//!   sessions (readers share, writers exclude and bump the generation),
+//!   condvar-parked per-request lock deadlines, a [`cache`] of read
+//!   replies keyed on `(session, generation, command)`, a session
+//!   eviction policy (idle timeout + LRU byte budget, surfacing
+//!   `EEVICTED`), graceful shutdown, and [`metrics`] exposed by the
+//!   `stats` command.
 //! * [`client`] — a blocking **client library** (used by the `gea-client`
 //!   binary and the integration tests).
 //!
@@ -37,6 +40,7 @@
 //! `OK <k>` is followed by exactly `k` payload lines; `ERR <CODE> <msg>` is
 //! always a single line, and the connection stays usable afterwards.
 
+pub mod cache;
 pub mod client;
 pub mod engine;
 pub mod gql;
@@ -45,8 +49,9 @@ pub mod registry;
 pub mod server;
 pub mod wire;
 
+pub use cache::ResponseCache;
 pub use client::GeaClient;
 pub use engine::EngineError;
 pub use gql::{GqlCommand, Request, SessionCtl};
-pub use registry::SessionRegistry;
+pub use registry::{EvictReason, EvictionPolicy, SessionRegistry};
 pub use server::{Server, ServerConfig};

@@ -79,6 +79,10 @@ pub struct Metrics {
     requests_total: AtomicU64,
     errors_total: AtomicU64,
     rejected_total: AtomicU64,
+    cache_hits: AtomicU64,
+    cache_misses: AtomicU64,
+    cache_evictions: AtomicU64,
+    sessions_evicted: AtomicU64,
     per_cmd: Mutex<BTreeMap<&'static str, CmdStat>>,
 }
 
@@ -98,6 +102,10 @@ impl Metrics {
             requests_total: AtomicU64::new(0),
             errors_total: AtomicU64::new(0),
             rejected_total: AtomicU64::new(0),
+            cache_hits: AtomicU64::new(0),
+            cache_misses: AtomicU64::new(0),
+            cache_evictions: AtomicU64::new(0),
+            sessions_evicted: AtomicU64::new(0),
             per_cmd: Mutex::new(BTreeMap::new()),
         }
     }
@@ -127,6 +135,36 @@ impl Metrics {
         let us = elapsed.as_micros().min(u64::MAX as u128) as u64;
         let mut map = self.per_cmd.lock().unwrap_or_else(|e| e.into_inner());
         map.entry(verb).or_insert_with(CmdStat::new).record(us, ok);
+    }
+
+    /// A cacheable read was served from the response cache.
+    pub fn cache_hit(&self) {
+        self.cache_hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A cacheable read was not in the response cache and executed.
+    pub fn cache_miss(&self) {
+        self.cache_misses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// `n` cached replies were evicted to make room for an insertion.
+    pub fn cache_evictions_add(&self, n: u64) {
+        self.cache_evictions.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// `n` sessions were evicted by the registry's policy.
+    pub fn sessions_evicted_add(&self, n: u64) {
+        self.sessions_evicted.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Response-cache hits so far.
+    pub fn cache_hits(&self) -> u64 {
+        self.cache_hits.load(Ordering::Relaxed)
+    }
+
+    /// Response-cache misses so far.
+    pub fn cache_misses(&self) -> u64 {
+        self.cache_misses.load(Ordering::Relaxed)
     }
 
     /// Total requests observed so far.
@@ -159,6 +197,18 @@ impl Metrics {
             out,
             "errors_total {}",
             self.errors_total.load(Ordering::Relaxed)
+        );
+        let _ = writeln!(out, "cache_hits {}", self.cache_hits());
+        let _ = writeln!(out, "cache_misses {}", self.cache_misses());
+        let _ = writeln!(
+            out,
+            "cache_evictions {}",
+            self.cache_evictions.load(Ordering::Relaxed)
+        );
+        let _ = writeln!(
+            out,
+            "sessions_evicted {}",
+            self.sessions_evicted.load(Ordering::Relaxed)
         );
         let map = self.per_cmd.lock().unwrap_or_else(|e| e.into_inner());
         for (verb, stat) in map.iter() {
@@ -205,6 +255,7 @@ mod tests {
         assert!(text.contains("connections_active 0"), "{text}");
         assert!(text.contains("connections_total 1"), "{text}");
         assert!(text.contains("cmd gap count 3 errors 1"), "{text}");
+        assert!(text.contains("cache_hits 0"), "{text}");
         assert!(text.contains("cmd mine count 1"), "{text}");
         assert!(text.contains("hist_log2us ["), "{text}");
 
@@ -222,5 +273,22 @@ mod tests {
     fn quantiles_on_empty_stat_are_zero() {
         let s = CmdStat::new();
         assert_eq!(s.quantile_us(0.5), 0);
+    }
+
+    #[test]
+    fn cache_and_eviction_counters_render() {
+        let m = Metrics::new();
+        m.cache_hit();
+        m.cache_hit();
+        m.cache_miss();
+        m.cache_evictions_add(3);
+        m.sessions_evicted_add(1);
+        assert_eq!(m.cache_hits(), 2);
+        assert_eq!(m.cache_misses(), 1);
+        let text = m.render();
+        assert!(text.contains("cache_hits 2"), "{text}");
+        assert!(text.contains("cache_misses 1"), "{text}");
+        assert!(text.contains("cache_evictions 3"), "{text}");
+        assert!(text.contains("sessions_evicted 1"), "{text}");
     }
 }

@@ -1,92 +1,222 @@
-//! Named shared sessions behind `Arc<RwLock<…>>`.
+//! Named shared sessions behind generation-stamped entries.
 //!
 //! The registry is the server's unit of sharing: several connections can
 //! `use` the same named session, readers (`gap`, `topgap`, `show`, …)
-//! proceed concurrently under the read lock, and mutators (`mine`,
-//! `dataset`, `delete`, …) serialize behind the write lock. Locks are
-//! acquired with a deadline so a long-running writer turns into a clean
-//! `ERR ETIMEOUT` for waiting clients instead of an unbounded stall.
+//! proceed concurrently, and mutators (`mine`, `dataset`, `delete`, …)
+//! serialize behind an exclusive lock. Each entry carries a monotonically
+//! increasing **generation**, bumped on every write-lock acquisition — the
+//! invalidation signal for the response cache ([`crate::cache`]): a reply
+//! computed under generation *g* is valid exactly as long as the entry's
+//! generation is still *g*.
+//!
+//! Lock acquisition takes a deadline. Waiters park on a condvar gate (no
+//! polling): every guard release notifies the gate, and a waiter whose
+//! deadline passes first turns into a clean `ERR ETIMEOUT` instead of an
+//! unbounded stall.
+//!
+//! The registry also enforces an [`EvictionPolicy`]: per-session idle
+//! timestamps and approximate memory accounting (via
+//! [`gea_core::mem::ApproxMem`], refreshed on every write release) feed an
+//! LRU eviction pass against a byte budget plus an idle-timeout sweep.
+//! Evicted names leave a tombstone so the next request answers `EEVICTED`
+//! (re-open the session) rather than the `ENOSESSION` a typo gets.
 
 use std::collections::HashMap;
-use std::sync::{Arc, RwLock, RwLockReadGuard, RwLockWriteGuard, TryLockError};
+use std::ops::{Deref, DerefMut};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, RwLock, RwLockReadGuard, RwLockWriteGuard};
 use std::time::{Duration, Instant};
 
+use gea_core::mem::ApproxMem;
 use gea_core::session::GeaSession;
 
 use crate::engine::EngineError;
 
-/// A shared handle to one session.
-pub type SharedSession = Arc<RwLock<GeaSession>>;
+/// Why a session left the registry without an explicit `close`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EvictReason {
+    /// No request touched the session within the idle timeout.
+    IdleTimeout,
+    /// The registry was over its memory budget and this was the least
+    /// recently used session.
+    OverBudget,
+}
 
-/// The named-session registry.
+impl std::fmt::Display for EvictReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EvictReason::IdleTimeout => f.write_str("idle timeout exceeded"),
+            EvictReason::OverBudget => f.write_str("session memory budget exceeded"),
+        }
+    }
+}
+
+/// The registry's eviction knobs. Both default to off.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EvictionPolicy {
+    /// Total approximate bytes the registry may hold across sessions;
+    /// exceeding it evicts least-recently-used sessions until back under.
+    pub session_budget: Option<u64>,
+    /// Sessions idle longer than this are evicted by the sweep.
+    pub idle_timeout: Option<Duration>,
+}
+
+impl EvictionPolicy {
+    /// Whether the policy can ever evict anything.
+    pub fn is_active(&self) -> bool {
+        self.session_budget.is_some() || self.idle_timeout.is_some()
+    }
+}
+
+/// Admission bookkeeping for one entry's lock: who is inside the
+/// reader/writer critical sections. The inner `RwLock` is only ever
+/// acquired by admitted threads, so it never blocks.
 #[derive(Default)]
-pub struct SessionRegistry {
-    sessions: RwLock<HashMap<String, SharedSession>>,
+struct Gate {
+    readers: u32,
+    writer: bool,
 }
 
-impl SessionRegistry {
-    /// Create an empty registry.
-    pub fn new() -> SessionRegistry {
-        SessionRegistry::default()
-    }
+static NEXT_ENTRY_ID: AtomicU64 = AtomicU64::new(1);
 
-    /// Install a session under `name`, replacing any previous one (the
-    /// thesis GUI's "new session" semantics). Returns `true` if a session
-    /// was replaced. Connections still attached to a replaced session keep
-    /// their `Arc` and finish against the old state.
-    pub fn open(&self, name: &str, session: GeaSession) -> bool {
-        self.sessions
-            .write()
-            .unwrap_or_else(|e| e.into_inner())
-            .insert(name.to_string(), Arc::new(RwLock::new(session)))
-            .is_some()
-    }
-
-    /// Look up a session by name.
-    pub fn get(&self, name: &str) -> Option<SharedSession> {
-        self.sessions
-            .read()
-            .unwrap_or_else(|e| e.into_inner())
-            .get(name)
-            .cloned()
-    }
-
-    /// Drop a session. Returns `false` if no such session existed.
-    pub fn close(&self, name: &str) -> bool {
-        self.sessions
-            .write()
-            .unwrap_or_else(|e| e.into_inner())
-            .remove(name)
-            .is_some()
-    }
-
-    /// Sorted session names with the number of connections sharing each
-    /// (the registry's own reference excluded).
-    pub fn list(&self) -> Vec<(String, usize)> {
-        let map = self.sessions.read().unwrap_or_else(|e| e.into_inner());
-        let mut out: Vec<(String, usize)> = map
-            .iter()
-            .map(|(name, arc)| (name.clone(), Arc::strong_count(arc) - 1))
-            .collect();
-        out.sort();
-        out
-    }
-
-    /// Number of open sessions.
-    pub fn len(&self) -> usize {
-        self.sessions
-            .read()
-            .unwrap_or_else(|e| e.into_inner())
-            .len()
-    }
-
-    /// Whether the registry is empty.
-    pub fn is_empty(&self) -> bool {
-        self.len() == 0
-    }
+/// One registered session: the data, its lock gate, and the stamps the
+/// cache and the eviction policy read without locking the session.
+pub struct SessionEntry {
+    /// Unique per entry, never reused — cache keys carry it so a replaced
+    /// or re-opened session under the same name can never serve another
+    /// entry's replies.
+    id: u64,
+    gate: Mutex<Gate>,
+    released: Condvar,
+    data: RwLock<GeaSession>,
+    /// Bumped on every write-lock acquisition.
+    generation: AtomicU64,
+    /// Refreshed on open and on every write release.
+    approx_bytes: AtomicU64,
+    last_used: Mutex<Instant>,
 }
 
-const LOCK_POLL: Duration = Duration::from_millis(2);
+/// A shared handle to one session entry.
+pub type SharedSession = Arc<SessionEntry>;
+
+impl SessionEntry {
+    fn new(session: GeaSession) -> SessionEntry {
+        let bytes = session.approx_bytes() as u64;
+        SessionEntry {
+            id: NEXT_ENTRY_ID.fetch_add(1, Ordering::Relaxed),
+            gate: Mutex::new(Gate::default()),
+            released: Condvar::new(),
+            data: RwLock::new(session),
+            generation: AtomicU64::new(0),
+            approx_bytes: AtomicU64::new(bytes),
+            last_used: Mutex::new(Instant::now()),
+        }
+    }
+
+    /// The entry's unique id (a cache-key component).
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Current generation: the number of write-lock acquisitions so far.
+    /// Stable while any read guard is held (writers are excluded), so a
+    /// reply computed under a read guard is correctly stamped by reading
+    /// this after acquisition.
+    pub fn generation(&self) -> u64 {
+        self.generation.load(Ordering::Acquire)
+    }
+
+    /// Approximate session footprint, as of the last write release.
+    pub fn approx_bytes(&self) -> u64 {
+        self.approx_bytes.load(Ordering::Relaxed)
+    }
+
+    /// How long since a request last acquired this entry's lock.
+    pub fn idle_for(&self) -> Duration {
+        self.last_used
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .elapsed()
+    }
+
+    /// Whether a request currently holds the lock (either side).
+    pub fn is_busy(&self) -> bool {
+        let gate = self.gate.lock().unwrap_or_else(|e| e.into_inner());
+        gate.readers > 0 || gate.writer
+    }
+
+    fn touch(&self) {
+        *self.last_used.lock().unwrap_or_else(|e| e.into_inner()) = Instant::now();
+    }
+
+    /// Acquire a shared read guard, parking on the gate's condvar until
+    /// admitted or `timeout` elapses (`ETIMEOUT`). A poisoned inner lock
+    /// (a panicking writer) is recovered: the algebra leaves the session
+    /// consistent between commands, so the state is still usable.
+    pub fn read_with_deadline(
+        &self,
+        timeout: Duration,
+    ) -> Result<SessionReadGuard<'_>, EngineError> {
+        let deadline = Instant::now() + timeout;
+        let mut gate = self.gate.lock().unwrap_or_else(|e| e.into_inner());
+        while gate.writer {
+            let Some(left) = deadline
+                .checked_duration_since(Instant::now())
+                .filter(|d| !d.is_zero())
+            else {
+                return Err(timeout_err("read", timeout));
+            };
+            gate = self
+                .released
+                .wait_timeout(gate, left)
+                .unwrap_or_else(|e| e.into_inner())
+                .0;
+        }
+        gate.readers += 1;
+        drop(gate);
+        self.touch();
+        // Admitted: no writer is inside, so the inner lock cannot block.
+        let inner = self.data.read().unwrap_or_else(|e| e.into_inner());
+        Ok(SessionReadGuard {
+            inner: Some(inner),
+            entry: self,
+        })
+    }
+
+    /// Acquire the exclusive write guard, parking until admitted or
+    /// `timeout` elapses. Bumps the generation **at acquisition**, so any
+    /// cached reply stamped with an earlier generation is invalid from
+    /// this point on, before the writer mutates anything.
+    pub fn write_with_deadline(
+        &self,
+        timeout: Duration,
+    ) -> Result<SessionWriteGuard<'_>, EngineError> {
+        let deadline = Instant::now() + timeout;
+        let mut gate = self.gate.lock().unwrap_or_else(|e| e.into_inner());
+        while gate.writer || gate.readers > 0 {
+            let Some(left) = deadline
+                .checked_duration_since(Instant::now())
+                .filter(|d| !d.is_zero())
+            else {
+                return Err(timeout_err("write", timeout));
+            };
+            gate = self
+                .released
+                .wait_timeout(gate, left)
+                .unwrap_or_else(|e| e.into_inner())
+                .0;
+        }
+        gate.writer = true;
+        drop(gate);
+        self.generation.fetch_add(1, Ordering::AcqRel);
+        self.touch();
+        let inner = self.data.write().unwrap_or_else(|e| e.into_inner());
+        Ok(SessionWriteGuard {
+            inner: Some(inner),
+            entry: self,
+        })
+    }
+}
 
 fn timeout_err(what: &str, timeout: Duration) -> EngineError {
     EngineError::new(
@@ -98,45 +228,268 @@ fn timeout_err(what: &str, timeout: Duration) -> EngineError {
     )
 }
 
-/// Acquire a read lock, polling until `timeout` elapses. A poisoned lock
-/// (a panicking writer) is recovered: the algebra leaves the session
-/// consistent between commands, so the state is still usable.
-pub fn read_with_deadline(
-    session: &RwLock<GeaSession>,
-    timeout: Duration,
-) -> Result<RwLockReadGuard<'_, GeaSession>, EngineError> {
-    let deadline = Instant::now() + timeout;
-    loop {
-        match session.try_read() {
-            Ok(guard) => return Ok(guard),
-            Err(TryLockError::Poisoned(p)) => return Ok(p.into_inner()),
-            Err(TryLockError::WouldBlock) => {
-                if Instant::now() >= deadline {
-                    return Err(timeout_err("read", timeout));
-                }
-                std::thread::sleep(LOCK_POLL);
-            }
-        }
+/// A shared read guard; releasing it wakes gate waiters.
+pub struct SessionReadGuard<'a> {
+    inner: Option<RwLockReadGuard<'a, GeaSession>>,
+    entry: &'a SessionEntry,
+}
+
+impl Deref for SessionReadGuard<'_> {
+    type Target = GeaSession;
+
+    fn deref(&self) -> &GeaSession {
+        self.inner.as_ref().expect("guard live")
     }
 }
 
-/// Acquire a write lock, polling until `timeout` elapses.
-pub fn write_with_deadline(
-    session: &RwLock<GeaSession>,
-    timeout: Duration,
-) -> Result<RwLockWriteGuard<'_, GeaSession>, EngineError> {
-    let deadline = Instant::now() + timeout;
-    loop {
-        match session.try_write() {
-            Ok(guard) => return Ok(guard),
-            Err(TryLockError::Poisoned(p)) => return Ok(p.into_inner()),
-            Err(TryLockError::WouldBlock) => {
-                if Instant::now() >= deadline {
-                    return Err(timeout_err("write", timeout));
-                }
-                std::thread::sleep(LOCK_POLL);
-            }
+impl Drop for SessionReadGuard<'_> {
+    fn drop(&mut self) {
+        drop(self.inner.take());
+        let mut gate = self.entry.gate.lock().unwrap_or_else(|e| e.into_inner());
+        gate.readers = gate.readers.saturating_sub(1);
+        drop(gate);
+        self.entry.released.notify_all();
+    }
+}
+
+/// The exclusive write guard; releasing it refreshes the entry's
+/// approximate size and wakes gate waiters.
+pub struct SessionWriteGuard<'a> {
+    inner: Option<RwLockWriteGuard<'a, GeaSession>>,
+    entry: &'a SessionEntry,
+}
+
+impl Deref for SessionWriteGuard<'_> {
+    type Target = GeaSession;
+
+    fn deref(&self) -> &GeaSession {
+        self.inner.as_ref().expect("guard live")
+    }
+}
+
+impl DerefMut for SessionWriteGuard<'_> {
+    fn deref_mut(&mut self) -> &mut GeaSession {
+        self.inner.as_mut().expect("guard live")
+    }
+}
+
+impl Drop for SessionWriteGuard<'_> {
+    fn drop(&mut self) {
+        if let Some(guard) = self.inner.take() {
+            let bytes = guard.approx_bytes() as u64;
+            drop(guard);
+            self.entry.approx_bytes.store(bytes, Ordering::Relaxed);
         }
+        let mut gate = self.entry.gate.lock().unwrap_or_else(|e| e.into_inner());
+        gate.writer = false;
+        drop(gate);
+        self.entry.released.notify_all();
+    }
+}
+
+/// One row of [`SessionRegistry::list`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SessionInfo {
+    /// Registry name.
+    pub name: String,
+    /// Connections currently sharing the entry (the registry's own
+    /// reference excluded).
+    pub attached: usize,
+    /// Current generation.
+    pub generation: u64,
+    /// Approximate footprint in bytes.
+    pub approx_bytes: u64,
+}
+
+/// The result of a registry lookup.
+pub enum Lookup {
+    /// The session is live.
+    Found(SharedSession),
+    /// The session was evicted; re-open it.
+    Evicted(EvictReason),
+    /// No such session was ever opened (or it was closed explicitly).
+    Missing,
+}
+
+#[derive(Default)]
+struct Inner {
+    live: HashMap<String, SharedSession>,
+    evicted: HashMap<String, EvictReason>,
+}
+
+/// The named-session registry.
+#[derive(Default)]
+pub struct SessionRegistry {
+    inner: RwLock<Inner>,
+}
+
+impl SessionRegistry {
+    /// Create an empty registry.
+    pub fn new() -> SessionRegistry {
+        SessionRegistry::default()
+    }
+
+    /// Install a session under `name`, replacing any previous one (the
+    /// thesis GUI's "new session" semantics) and clearing any eviction
+    /// tombstone. Returns the replaced entry, if any, so the caller can
+    /// purge its cached replies. Connections still attached to a replaced
+    /// session keep their `Arc` and finish against the old state.
+    pub fn open(&self, name: &str, session: GeaSession) -> Option<SharedSession> {
+        let entry = Arc::new(SessionEntry::new(session));
+        let mut inner = self.inner.write().unwrap_or_else(|e| e.into_inner());
+        inner.evicted.remove(name);
+        inner.live.insert(name.to_string(), entry)
+    }
+
+    /// Look up a live session by name (eviction-blind; prefer
+    /// [`SessionRegistry::lookup`] on request paths).
+    pub fn get(&self, name: &str) -> Option<SharedSession> {
+        self.inner
+            .read()
+            .unwrap_or_else(|e| e.into_inner())
+            .live
+            .get(name)
+            .cloned()
+    }
+
+    /// Look up a session, distinguishing "evicted" from "never opened".
+    pub fn lookup(&self, name: &str) -> Lookup {
+        let inner = self.inner.read().unwrap_or_else(|e| e.into_inner());
+        if let Some(arc) = inner.live.get(name) {
+            return Lookup::Found(Arc::clone(arc));
+        }
+        match inner.evicted.get(name) {
+            Some(&reason) => Lookup::Evicted(reason),
+            None => Lookup::Missing,
+        }
+    }
+
+    /// Drop a session, returning its entry (for cache purging). Clears an
+    /// eviction tombstone even when no live session exists, so an evicted
+    /// name can be `close`d without error.
+    pub fn close_entry(&self, name: &str) -> Option<SharedSession> {
+        let mut inner = self.inner.write().unwrap_or_else(|e| e.into_inner());
+        inner.evicted.remove(name);
+        inner.live.remove(name)
+    }
+
+    /// Drop a session. Returns `false` if no such session existed.
+    pub fn close(&self, name: &str) -> bool {
+        self.close_entry(name).is_some()
+    }
+
+    /// Sorted session rows: name, attachment count, generation, size.
+    pub fn list(&self) -> Vec<SessionInfo> {
+        let inner = self.inner.read().unwrap_or_else(|e| e.into_inner());
+        let mut out: Vec<SessionInfo> = inner
+            .live
+            .iter()
+            .map(|(name, arc)| SessionInfo {
+                name: name.clone(),
+                attached: Arc::strong_count(arc) - 1,
+                generation: arc.generation(),
+                approx_bytes: arc.approx_bytes(),
+            })
+            .collect();
+        out.sort_by(|a, b| a.name.cmp(&b.name));
+        out
+    }
+
+    /// Number of open sessions.
+    pub fn len(&self) -> usize {
+        self.inner
+            .read()
+            .unwrap_or_else(|e| e.into_inner())
+            .live
+            .len()
+    }
+
+    /// Whether the registry is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total approximate bytes across live sessions.
+    pub fn total_bytes(&self) -> u64 {
+        self.inner
+            .read()
+            .unwrap_or_else(|e| e.into_inner())
+            .live
+            .values()
+            .map(|e| e.approx_bytes())
+            .sum()
+    }
+
+    /// Run one eviction pass: the idle sweep, then the budget pass.
+    /// Returns the evicted entries (name, entry, reason) so the caller
+    /// can purge cached replies and count evictions.
+    pub fn sweep(&self, policy: &EvictionPolicy) -> Vec<(String, SharedSession, EvictReason)> {
+        let mut out = Vec::new();
+        if let Some(idle) = policy.idle_timeout {
+            out.extend(
+                self.sweep_idle(idle)
+                    .into_iter()
+                    .map(|(n, e)| (n, e, EvictReason::IdleTimeout)),
+            );
+        }
+        if let Some(budget) = policy.session_budget {
+            out.extend(
+                self.enforce_budget(budget)
+                    .into_iter()
+                    .map(|(n, e)| (n, e, EvictReason::OverBudget)),
+            );
+        }
+        out
+    }
+
+    /// Evict every session idle longer than `timeout`. Sessions whose
+    /// lock is currently held are skipped (a long mine is not idle).
+    pub fn sweep_idle(&self, timeout: Duration) -> Vec<(String, SharedSession)> {
+        let mut inner = self.inner.write().unwrap_or_else(|e| e.into_inner());
+        let victims: Vec<String> = inner
+            .live
+            .iter()
+            .filter(|(_, e)| !e.is_busy() && e.idle_for() > timeout)
+            .map(|(n, _)| n.clone())
+            .collect();
+        victims
+            .into_iter()
+            .filter_map(|name| {
+                let entry = inner.live.remove(&name)?;
+                inner.evicted.insert(name.clone(), EvictReason::IdleTimeout);
+                Some((name, entry))
+            })
+            .collect()
+    }
+
+    /// Evict least-recently-used sessions until the total approximate
+    /// footprint is within `budget` (or nothing evictable remains).
+    /// Busy sessions are skipped.
+    pub fn enforce_budget(&self, budget: u64) -> Vec<(String, SharedSession)> {
+        let mut inner = self.inner.write().unwrap_or_else(|e| e.into_inner());
+        let mut out = Vec::new();
+        loop {
+            let total: u64 = inner.live.values().map(|e| e.approx_bytes()).sum();
+            if total <= budget {
+                break;
+            }
+            // Oldest last_used among the non-busy entries.
+            let Some(victim) = inner
+                .live
+                .iter()
+                .filter(|(_, e)| !e.is_busy())
+                .max_by_key(|(_, e)| e.idle_for())
+                .map(|(n, _)| n.clone())
+            else {
+                break;
+            };
+            let entry = inner.live.remove(&victim).expect("victim is live");
+            inner
+                .evicted
+                .insert(victim.clone(), EvictReason::OverBudget);
+            out.push((victim, entry));
+        }
+        out
     }
 }
 
@@ -155,13 +508,25 @@ mod tests {
     fn open_use_close_lifecycle() {
         let reg = SessionRegistry::new();
         assert!(reg.is_empty());
-        assert!(!reg.open("a", demo_session()));
-        assert!(reg.open("a", demo_session()), "second open replaces");
+        assert!(reg.open("a", demo_session()).is_none());
+        let replaced = reg.open("a", demo_session());
+        assert!(replaced.is_some(), "second open replaces");
+        let first_id = replaced.unwrap().id();
+        assert_ne!(
+            reg.get("a").unwrap().id(),
+            first_id,
+            "entry ids are never reused"
+        );
         assert_eq!(reg.len(), 1);
         let held = reg.get("a").expect("session a");
-        assert_eq!(reg.list(), vec![("a".to_string(), 1)]);
+        let listed = reg.list();
+        assert_eq!(listed.len(), 1);
+        assert_eq!(listed[0].name, "a");
+        assert_eq!(listed[0].attached, 1);
+        assert_eq!(listed[0].generation, 0);
+        assert!(listed[0].approx_bytes > 0, "sized on open");
         drop(held);
-        assert_eq!(reg.list(), vec![("a".to_string(), 0)]);
+        assert_eq!(reg.list()[0].attached, 0);
         assert!(reg.get("b").is_none());
         assert!(reg.close("a"));
         assert!(!reg.close("a"));
@@ -172,17 +537,171 @@ mod tests {
         let reg = SessionRegistry::new();
         reg.open("a", demo_session());
         let shared = reg.get("a").unwrap();
-        let guard = shared.write().unwrap();
-        let err = match read_with_deadline(&shared, Duration::from_millis(10)) {
+        let guard = shared.write_with_deadline(Duration::from_secs(1)).unwrap();
+        let err = match shared.read_with_deadline(Duration::from_millis(10)) {
             Err(e) => e,
             Ok(_) => panic!("read lock acquired behind a writer"),
         };
         assert_eq!(err.code, "ETIMEOUT");
         drop(guard);
-        assert!(read_with_deadline(&shared, Duration::from_millis(10)).is_ok());
+        assert!(shared.read_with_deadline(Duration::from_millis(10)).is_ok());
         // Readers share.
-        let r1 = read_with_deadline(&shared, Duration::from_millis(10)).unwrap();
-        let r2 = read_with_deadline(&shared, Duration::from_millis(10)).unwrap();
+        let r1 = shared
+            .read_with_deadline(Duration::from_millis(10))
+            .unwrap();
+        let r2 = shared
+            .read_with_deadline(Duration::from_millis(10))
+            .unwrap();
         drop((r1, r2));
+    }
+
+    #[test]
+    fn contended_read_timeout_is_within_tolerance() {
+        let reg = SessionRegistry::new();
+        reg.open("a", demo_session());
+        let shared = reg.get("a").unwrap();
+        let guard = shared.write_with_deadline(Duration::from_secs(5)).unwrap();
+        let deadline = Duration::from_millis(60);
+        let started = Instant::now();
+        let err = match shared.read_with_deadline(deadline) {
+            Err(e) => e,
+            Ok(_) => panic!("read lock acquired behind a writer"),
+        };
+        let elapsed = started.elapsed();
+        assert_eq!(err.code, "ETIMEOUT");
+        // The condvar wait returns promptly at the deadline: not early,
+        // and without polling slack (generous upper bound for CI noise).
+        assert!(elapsed >= deadline, "returned early: {elapsed:?}");
+        assert!(
+            elapsed < deadline + Duration::from_millis(500),
+            "deadline overshot: {elapsed:?}"
+        );
+        drop(guard);
+    }
+
+    #[test]
+    fn parked_reader_wakes_on_write_release() {
+        let reg = SessionRegistry::new();
+        reg.open("a", demo_session());
+        let shared = reg.get("a").unwrap();
+        let guard = shared.write_with_deadline(Duration::from_secs(1)).unwrap();
+        let contender = Arc::clone(&shared);
+        let t = std::thread::spawn(move || {
+            contender
+                .read_with_deadline(Duration::from_secs(10))
+                .map(|_| ())
+        });
+        std::thread::sleep(Duration::from_millis(50));
+        drop(guard);
+        t.join()
+            .expect("reader thread")
+            .expect("reader admitted after write release");
+    }
+
+    #[test]
+    fn generation_bumps_on_every_write_acquisition() {
+        let reg = SessionRegistry::new();
+        reg.open("a", demo_session());
+        let shared = reg.get("a").unwrap();
+        assert_eq!(shared.generation(), 0);
+        for expect in 1..=3 {
+            let g = shared.write_with_deadline(Duration::from_secs(1)).unwrap();
+            assert_eq!(shared.generation(), expect, "bumped at acquisition");
+            drop(g);
+            assert_eq!(shared.generation(), expect);
+        }
+        // Reads never bump.
+        let r = shared.read_with_deadline(Duration::from_secs(1)).unwrap();
+        drop(r);
+        assert_eq!(shared.generation(), 3);
+    }
+
+    #[test]
+    fn write_release_refreshes_size_estimate() {
+        let reg = SessionRegistry::new();
+        reg.open("a", demo_session());
+        let shared = reg.get("a").unwrap();
+        let before = shared.approx_bytes();
+        assert!(before > 0);
+        {
+            let mut g = shared.write_with_deadline(Duration::from_secs(1)).unwrap();
+            g.create_tissue_dataset("Eb", &gea_sage::TissueType::Brain)
+                .unwrap();
+        }
+        assert!(
+            shared.approx_bytes() > before,
+            "size not refreshed on write release"
+        );
+    }
+
+    #[test]
+    fn idle_sweep_evicts_and_leaves_a_tombstone() {
+        let reg = SessionRegistry::new();
+        reg.open("a", demo_session());
+        std::thread::sleep(Duration::from_millis(30));
+        assert!(
+            reg.sweep_idle(Duration::from_secs(60)).is_empty(),
+            "fresh session survives a long timeout"
+        );
+        let evicted = reg.sweep_idle(Duration::from_millis(10));
+        assert_eq!(evicted.len(), 1);
+        assert_eq!(evicted[0].0, "a");
+        assert!(reg.is_empty());
+        assert!(matches!(
+            reg.lookup("a"),
+            Lookup::Evicted(EvictReason::IdleTimeout)
+        ));
+        assert!(matches!(reg.lookup("never-opened"), Lookup::Missing));
+        // Re-opening clears the tombstone.
+        reg.open("a", demo_session());
+        assert!(matches!(reg.lookup("a"), Lookup::Found(_)));
+    }
+
+    #[test]
+    fn idle_sweep_skips_busy_sessions() {
+        let reg = SessionRegistry::new();
+        reg.open("a", demo_session());
+        let shared = reg.get("a").unwrap();
+        let guard = shared.write_with_deadline(Duration::from_secs(1)).unwrap();
+        std::thread::sleep(Duration::from_millis(20));
+        assert!(
+            reg.sweep_idle(Duration::from_millis(1)).is_empty(),
+            "a session holding its lock is not idle"
+        );
+        drop(guard);
+    }
+
+    #[test]
+    fn budget_evicts_in_lru_order() {
+        let reg = SessionRegistry::new();
+        reg.open("old", demo_session());
+        reg.open("mid", demo_session());
+        reg.open("new", demo_session());
+        // Touch in age order: `old` is least recently used, `new` most.
+        for name in ["old", "mid", "new"] {
+            std::thread::sleep(Duration::from_millis(15));
+            drop(
+                reg.get(name)
+                    .unwrap()
+                    .read_with_deadline(Duration::from_secs(1))
+                    .unwrap(),
+            );
+        }
+        let per_session = reg.total_bytes() / 3;
+        // Budget for roughly one session: the two least recently used go.
+        let evicted = reg.enforce_budget(per_session + per_session / 2);
+        let names: Vec<&str> = evicted.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, vec!["old", "mid"], "LRU order violated");
+        assert_eq!(reg.len(), 1);
+        assert!(reg.get("new").is_some());
+        assert!(matches!(
+            reg.lookup("old"),
+            Lookup::Evicted(EvictReason::OverBudget)
+        ));
+        // A generous budget evicts nothing further.
+        assert!(reg.enforce_budget(u64::MAX).is_empty());
+        // Closing an evicted name clears the tombstone without error.
+        reg.close("mid");
+        assert!(matches!(reg.lookup("mid"), Lookup::Missing));
     }
 }

@@ -10,6 +10,17 @@
 //! cooperative: the `shutdown` command (or [`ServerHandle::shutdown`])
 //! raises a flag and wakes the acceptor; workers finish their current
 //! request, then drain.
+//!
+//! Two policies layer on top of the request loop:
+//!
+//! * a [`ResponseCache`]: cacheable read replies are stored under
+//!   `(session entry, generation, normalized command)` and served on a
+//!   repeat without touching the session lock — any write bumps the
+//!   generation, so stale replies structurally miss;
+//! * an [`EvictionPolicy`]: a background sweeper (plus an eager check
+//!   after every write) evicts sessions idle past a timeout or, in LRU
+//!   order, whatever pushes the registry over its byte budget. Evicted
+//!   sessions answer `ERR EEVICTED` until re-opened.
 
 use std::io::Read;
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -22,10 +33,11 @@ use gea_core::session::GeaSession;
 use gea_sage::clean::CleaningConfig;
 use gea_sage::generate::{generate, GeneratorConfig};
 
+use crate::cache::ResponseCache;
 use crate::engine::{self, EngineError};
 use crate::gql::{self, GqlCommand, Request, SessionCtl};
 use crate::metrics::Metrics;
-use crate::registry::{read_with_deadline, write_with_deadline, SessionRegistry};
+use crate::registry::{EvictReason, EvictionPolicy, Lookup, SessionRegistry, SharedSession};
 use crate::wire;
 
 /// Server tuning knobs.
@@ -40,6 +52,16 @@ pub struct ServerConfig {
     pub queue_depth: usize,
     /// Per-request lock-acquisition deadline.
     pub lock_timeout: Duration,
+    /// Response-cache budget in bytes of cached command + reply text;
+    /// 0 disables the cache.
+    pub cache_bytes: usize,
+    /// Total approximate session bytes the registry may hold before
+    /// least-recently-used sessions are evicted. `None` disables the
+    /// budget.
+    pub session_budget: Option<u64>,
+    /// Sessions idle longer than this are evicted by the background
+    /// sweeper. `None` disables the sweep.
+    pub idle_timeout: Option<Duration>,
 }
 
 impl Default for ServerConfig {
@@ -49,6 +71,19 @@ impl Default for ServerConfig {
             workers: 4,
             queue_depth: 16,
             lock_timeout: Duration::from_secs(30),
+            cache_bytes: 8 * 1024 * 1024,
+            session_budget: None,
+            idle_timeout: None,
+        }
+    }
+}
+
+impl ServerConfig {
+    /// The registry eviction policy implied by this configuration.
+    pub fn eviction_policy(&self) -> EvictionPolicy {
+        EvictionPolicy {
+            session_budget: self.session_budget,
+            idle_timeout: self.idle_timeout,
         }
     }
 }
@@ -75,25 +110,56 @@ impl ServerHandle {
     }
 }
 
+/// Everything a worker needs to answer requests; shared across the pool
+/// and the eviction sweeper.
+struct Shared {
+    registry: Arc<SessionRegistry>,
+    metrics: Arc<Metrics>,
+    cache: ResponseCache,
+    config: ServerConfig,
+    shutdown: Arc<AtomicBool>,
+}
+
+impl Shared {
+    /// Account evicted sessions: bump the metric and purge their cached
+    /// replies.
+    fn note_evicted(&self, evicted: &[(String, SharedSession, EvictReason)]) {
+        if evicted.is_empty() {
+            return;
+        }
+        self.metrics.sessions_evicted_add(evicted.len() as u64);
+        for (_, entry, _) in evicted {
+            self.cache.purge_entry(entry.id());
+        }
+    }
+}
+
 /// A bound, not-yet-running server.
 pub struct Server {
     listener: TcpListener,
-    config: ServerConfig,
     registry: Arc<SessionRegistry>,
-    metrics: Arc<Metrics>,
     shutdown: Arc<AtomicBool>,
+    shared: Arc<Shared>,
 }
 
 impl Server {
     /// Bind the listener. No thread is spawned until [`Server::run`].
     pub fn bind(config: ServerConfig) -> std::io::Result<Server> {
         let listener = TcpListener::bind(&config.addr)?;
+        let registry = Arc::new(SessionRegistry::new());
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let shared = Arc::new(Shared {
+            registry: Arc::clone(&registry),
+            metrics: Arc::new(Metrics::new()),
+            cache: ResponseCache::new(config.cache_bytes),
+            config,
+            shutdown: Arc::clone(&shutdown),
+        });
         Ok(Server {
             listener,
-            config,
-            registry: Arc::new(SessionRegistry::new()),
-            metrics: Arc::new(Metrics::new()),
-            shutdown: Arc::new(AtomicBool::new(false)),
+            registry,
+            shutdown,
+            shared,
         })
     }
 
@@ -118,26 +184,23 @@ impl Server {
     }
 
     /// Serve until shutdown is requested. Blocks the calling thread; the
-    /// worker pool is joined before returning.
+    /// worker pool (and the eviction sweeper, if any) is joined before
+    /// returning.
     pub fn run(self) -> std::io::Result<()> {
         let Server {
             listener,
-            config,
-            registry,
-            metrics,
+            registry: _,
             shutdown,
+            shared,
         } = self;
-        let workers = config.workers.max(1);
+        let workers = shared.config.workers.max(1);
         let (tx, rx): (SyncSender<TcpStream>, Receiver<TcpStream>) =
-            mpsc::sync_channel(config.queue_depth);
+            mpsc::sync_channel(shared.config.queue_depth);
         let rx = Arc::new(Mutex::new(rx));
-        let mut pool = Vec::with_capacity(workers);
+        let mut pool = Vec::with_capacity(workers + 1);
         for i in 0..workers {
             let rx = Arc::clone(&rx);
-            let registry = Arc::clone(&registry);
-            let metrics = Arc::clone(&metrics);
-            let shutdown = Arc::clone(&shutdown);
-            let config = config.clone();
+            let shared = Arc::clone(&shared);
             pool.push(
                 std::thread::Builder::new()
                     .name(format!("gea-worker-{i}"))
@@ -147,10 +210,18 @@ impl Server {
                             guard.recv()
                         };
                         let Ok(stream) = stream else { break };
-                        metrics.connection_opened();
-                        let _ = serve_connection(stream, &registry, &metrics, &config, &shutdown);
-                        metrics.connection_closed();
+                        shared.metrics.connection_opened();
+                        let _ = serve_connection(stream, &shared);
+                        shared.metrics.connection_closed();
                     })?,
+            );
+        }
+        if shared.config.eviction_policy().is_active() {
+            let shared = Arc::clone(&shared);
+            pool.push(
+                std::thread::Builder::new()
+                    .name("gea-sweeper".to_string())
+                    .spawn(move || sweeper(&shared))?,
             );
         }
 
@@ -165,18 +236,32 @@ impl Server {
             match tx.try_send(stream) {
                 Ok(()) => {}
                 Err(TrySendError::Full(mut stream)) => {
-                    metrics.connection_rejected();
+                    shared.metrics.connection_rejected();
                     let _ =
                         wire::write_err(&mut stream, "EBUSY", "server saturated; try again later");
                 }
                 Err(TrySendError::Disconnected(_)) => break,
             }
         }
+        shutdown.store(true, Ordering::SeqCst);
         drop(tx);
         for worker in pool {
             let _ = worker.join();
         }
         Ok(())
+    }
+}
+
+/// How often the eviction sweeper wakes to check the shutdown flag and
+/// run the policy.
+const SWEEP_INTERVAL: Duration = Duration::from_millis(100);
+
+fn sweeper(shared: &Shared) {
+    let policy = shared.config.eviction_policy();
+    while !shared.shutdown.load(Ordering::SeqCst) {
+        std::thread::sleep(SWEEP_INTERVAL);
+        let evicted = shared.registry.sweep(&policy);
+        shared.note_evicted(&evicted);
     }
 }
 
@@ -195,13 +280,7 @@ const READ_POLL: Duration = Duration::from_millis(250);
 /// rather than buffering without bound.
 const MAX_LINE: usize = 64 * 1024;
 
-fn serve_connection(
-    mut stream: TcpStream,
-    registry: &SessionRegistry,
-    metrics: &Metrics,
-    config: &ServerConfig,
-    shutdown: &AtomicBool,
-) -> std::io::Result<()> {
+fn serve_connection(mut stream: TcpStream, shared: &Shared) -> std::io::Result<()> {
     let mut writer = stream.try_clone()?;
     // Reads poll so an idle connection notices shutdown; lines are
     // reassembled here instead of BufReader because a timed-out read_line
@@ -232,7 +311,7 @@ fn serve_connection(
                         std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
                     ) =>
                 {
-                    if shutdown.load(Ordering::SeqCst) {
+                    if shared.shutdown.load(Ordering::SeqCst) {
                         return Ok(()); // server draining; sever idle connection
                     }
                 }
@@ -245,27 +324,29 @@ fn serve_connection(
             Ok(None) => continue,
             Ok(Some(req)) => req,
             Err(e) => {
-                metrics.record("parse", started.elapsed(), false);
+                shared.metrics.record("parse", started.elapsed(), false);
                 wire::write_err(&mut writer, "EPARSE", &e.0)?;
                 continue;
             }
         };
         let verb = req.verb();
-        let (result, after) = answer(&req, &mut current, registry, metrics, config);
-        metrics.record(verb, started.elapsed(), result.is_ok());
+        let (result, after) = answer(&req, &mut current, shared);
+        shared
+            .metrics
+            .record(verb, started.elapsed(), result.is_ok());
         match result {
             Ok(payload) => wire::write_ok(&mut writer, &payload)?,
             Err(e) => wire::write_err(&mut writer, e.code, &e.message)?,
         }
         match after {
             After::Continue => {
-                if shutdown.load(Ordering::SeqCst) {
+                if shared.shutdown.load(Ordering::SeqCst) {
                     return Ok(()); // draining: current request done, close
                 }
             }
             After::CloseConnection => return Ok(()),
             After::StopServer => {
-                shutdown.store(true, Ordering::SeqCst);
+                shared.shutdown.store(true, Ordering::SeqCst);
                 // Wake the acceptor (it may be blocked in accept()).
                 if let Ok(addr) = writer.local_addr() {
                     let _ = TcpStream::connect(addr);
@@ -281,15 +362,17 @@ fn serve_connection(
 fn answer(
     req: &Request,
     current: &mut String,
-    registry: &SessionRegistry,
-    metrics: &Metrics,
-    config: &ServerConfig,
+    shared: &Shared,
 ) -> (Result<String, EngineError>, After) {
     let mut after = After::Continue;
     let result = match req {
         Request::Help => Ok(gql::HELP.to_string()),
         Request::Ping => Ok("pong".to_string()),
-        Request::Stats => Ok(metrics.render()),
+        Request::Stats => {
+            let mut out = shared.metrics.render();
+            out.push_str(&shared.cache.render_gauges());
+            Ok(out)
+        }
         Request::Quit => {
             after = After::CloseConnection;
             Ok("bye".to_string())
@@ -299,8 +382,8 @@ fn answer(
             Ok("shutting down".to_string())
         }
         Request::GenCorpus { seed, dir } => gen_corpus(*seed, dir),
-        Request::Session(ctl) => session_ctl(ctl, current, registry),
-        Request::Gql(cmd) => run_gql(cmd, current, registry, config),
+        Request::Session(ctl) => session_ctl(ctl, current, shared),
+        Request::Gql(cmd) => run_gql(cmd, current, shared),
     };
     (result, after)
 }
@@ -314,7 +397,7 @@ fn gen_corpus(seed: u64, dir: &str) -> Result<String, EngineError> {
 fn session_ctl(
     ctl: &SessionCtl,
     current: &mut String,
-    registry: &SessionRegistry,
+    shared: &Shared,
 ) -> Result<String, EngineError> {
     match ctl {
         SessionCtl::OpenDemo { name, seed } => {
@@ -322,42 +405,55 @@ fn session_ctl(
             // final registry insert synchronizes.
             let (corpus, _) = generate(&GeneratorConfig::demo(*seed));
             let session = GeaSession::open(corpus, &CleaningConfig::default())?;
-            Ok(install(registry, current, name, session, None))
+            Ok(install(shared, current, name, session, None))
         }
         SessionCtl::OpenDir { name, dir } => {
             let corpus = gea_sage::io::read_corpus_dir(std::path::Path::new(dir))?;
             let session = GeaSession::open(corpus, &CleaningConfig::default())?;
-            Ok(install(registry, current, name, session, Some(dir)))
+            Ok(install(shared, current, name, session, Some(dir)))
         }
         SessionCtl::Use(name) => {
-            if registry.get(name).is_none() {
-                return Err(no_session(name));
+            match shared.registry.lookup(name) {
+                Lookup::Found(_) => {}
+                Lookup::Evicted(reason) => return Err(EngineError::evicted(name, reason)),
+                Lookup::Missing => return Err(no_session(name)),
             }
             *current = name.clone();
             Ok(format!("using session {name}"))
         }
         SessionCtl::List => {
-            let sessions = registry.list();
+            let sessions = shared.registry.list();
             if sessions.is_empty() {
                 return Ok("no sessions open".to_string());
             }
             Ok(sessions
                 .iter()
-                .map(|(name, refs)| format!("{name}: {refs} attached request(s)"))
+                .map(|s| {
+                    format!(
+                        "{}: {} attached request(s), generation {}, ~{} bytes",
+                        s.name, s.attached, s.generation, s.approx_bytes
+                    )
+                })
                 .collect::<Vec<_>>()
                 .join("\n"))
         }
         SessionCtl::Close(name) => {
-            if !registry.close(name) {
-                return Err(no_session(name));
+            let was_evicted = matches!(shared.registry.lookup(name), Lookup::Evicted(_));
+            match shared.registry.close_entry(name) {
+                Some(entry) => {
+                    shared.cache.purge_entry(entry.id());
+                    Ok(format!("closed session {name}"))
+                }
+                // `close` on an evicted name clears the tombstone.
+                None if was_evicted => Ok(format!("cleared evicted session {name}")),
+                None => Err(no_session(name)),
             }
-            Ok(format!("closed session {name}"))
         }
     }
 }
 
 fn install(
-    registry: &SessionRegistry,
+    shared: &Shared,
     current: &mut String,
     name: &str,
     session: GeaSession,
@@ -365,8 +461,14 @@ fn install(
 ) -> String {
     let report = session.cleaning_report().clone();
     let libs = session.base().n_libraries();
-    registry.open(name, session);
+    if let Some(replaced) = shared.registry.open(name, session) {
+        shared.cache.purge_entry(replaced.id());
+    }
     *current = name.to_string();
+    // A newly opened session may immediately push the registry over its
+    // budget; enforce eagerly so the LRU victim surfaces EEVICTED on its
+    // next use rather than whenever the sweeper gets around to it.
+    enforce_budget(shared);
     let what = match dir {
         Some(dir) => format!("loaded {dir}"),
         None => "session open".to_string(),
@@ -377,6 +479,18 @@ fn install(
     )
 }
 
+fn enforce_budget(shared: &Shared) {
+    if let Some(budget) = shared.config.session_budget {
+        let evicted: Vec<_> = shared
+            .registry
+            .enforce_budget(budget)
+            .into_iter()
+            .map(|(n, e)| (n, e, EvictReason::OverBudget))
+            .collect();
+        shared.note_evicted(&evicted);
+    }
+}
+
 fn no_session(name: &str) -> EngineError {
     EngineError::new(
         "ENOSESSION",
@@ -384,19 +498,45 @@ fn no_session(name: &str) -> EngineError {
     )
 }
 
-fn run_gql(
-    cmd: &GqlCommand,
-    current: &str,
-    registry: &SessionRegistry,
-    config: &ServerConfig,
-) -> Result<String, EngineError> {
-    let shared = registry.get(current).ok_or_else(|| no_session(current))?;
+fn run_gql(cmd: &GqlCommand, current: &str, shared: &Shared) -> Result<String, EngineError> {
+    let entry = match shared.registry.lookup(current) {
+        Lookup::Found(entry) => entry,
+        Lookup::Evicted(reason) => return Err(EngineError::evicted(current, reason)),
+        Lookup::Missing => return Err(no_session(current)),
+    };
     if cmd.is_read() {
-        let session = read_with_deadline(&shared, config.lock_timeout)?;
-        engine::execute_read(&session, cmd)
+        let key = cmd.is_cacheable().then(|| cmd.canonical());
+        if let Some(key) = &key {
+            // The hit path never touches the session lock: the reply was
+            // computed under this generation, and serving it is
+            // linearized at the instant of the generation load.
+            if let Some(reply) = shared.cache.get(entry.id(), entry.generation(), key) {
+                shared.metrics.cache_hit();
+                return Ok(reply);
+            }
+            shared.metrics.cache_miss();
+        }
+        let session = entry.read_with_deadline(shared.config.lock_timeout)?;
+        // Writers are excluded while the read guard is held, so this
+        // generation is the one the reply is computed under.
+        let generation = entry.generation();
+        let result = engine::execute_read(&session, cmd);
+        drop(session);
+        if let (Some(key), Ok(reply)) = (key, &result) {
+            let evicted = shared
+                .cache
+                .insert(entry.id(), generation, key, reply.clone());
+            shared.metrics.cache_evictions_add(evicted);
+        }
+        result
     } else {
-        let mut session = write_with_deadline(&shared, config.lock_timeout)?;
-        engine::execute_write(&mut session, cmd)
+        let mut session = entry.write_with_deadline(shared.config.lock_timeout)?;
+        let result = engine::execute_write(&mut session, cmd);
+        // Release before enforcing: the guard's drop refreshes the
+        // entry's size estimate with whatever this write grew it to.
+        drop(session);
+        enforce_budget(shared);
+        result
     }
 }
 
@@ -421,6 +561,7 @@ mod tests {
             workers: 2,
             queue_depth: 4,
             lock_timeout: Duration::from_secs(5),
+            ..ServerConfig::default()
         }
     }
 
@@ -438,6 +579,7 @@ mod tests {
         assert!(client.request("help").unwrap().unwrap().contains("GQL"));
         let stats = client.request("stats").unwrap().unwrap();
         assert!(stats.contains("requests_total"), "{stats}");
+        assert!(stats.contains("cache_entries"), "{stats}");
         assert_eq!(
             client.request("shutdown").unwrap(),
             Ok("shutting down".to_string())
@@ -449,6 +591,48 @@ mod tests {
     #[test]
     fn handle_shutdown_stops_an_idle_server() {
         let (_, handle, join) = spawn_server(test_config());
+        handle.shutdown();
+        join.join().unwrap();
+    }
+
+    #[test]
+    fn evicted_session_answers_eevicted_until_reopened() {
+        let mut config = test_config();
+        // Any real session dwarfs a 1-byte budget, so the first write (or
+        // open) evicts it.
+        config.session_budget = Some(1);
+        let (addr, handle, join) = spawn_server(config);
+        let mut client = GeaClient::connect(addr).expect("connect");
+        client.expect_ok("open tiny demo 42").expect("open");
+        let err = client.request("tissues").unwrap().unwrap_err();
+        assert_eq!(err.0, "EEVICTED", "{err:?}");
+        assert!(err.1.contains("budget"), "{err:?}");
+        // `use` of the evicted name also reports eviction, not absence.
+        let err = client.request("use tiny").unwrap().unwrap_err();
+        assert_eq!(err.0, "EEVICTED");
+        // Closing the evicted name clears the tombstone...
+        let msg = client.expect_ok("close tiny").unwrap();
+        assert!(msg.contains("cleared"), "{msg}");
+        let err = client.request("use tiny").unwrap().unwrap_err();
+        assert_eq!(err.0, "ENOSESSION");
+        let stats = client.expect_ok("stats").unwrap();
+        assert!(!stats.contains("sessions_evicted 0"), "{stats}");
+        handle.shutdown();
+        join.join().unwrap();
+    }
+
+    #[test]
+    fn idle_sweeper_evicts_between_requests() {
+        let mut config = test_config();
+        config.idle_timeout = Some(Duration::from_millis(50));
+        let (addr, handle, join) = spawn_server(config);
+        let mut client = GeaClient::connect(addr).expect("connect");
+        client.expect_ok("open nap demo 42").expect("open");
+        // Outlast the timeout plus a couple of sweep intervals.
+        std::thread::sleep(Duration::from_millis(400));
+        let err = client.request("lineage").unwrap().unwrap_err();
+        assert_eq!(err.0, "EEVICTED", "{err:?}");
+        assert!(err.1.contains("idle"), "{err:?}");
         handle.shutdown();
         join.join().unwrap();
     }

@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Nightly/perf CI lane for the GEA workspace. Run from the repo root:
+#
+#     scripts/ci-nightly.sh
+#
+# Runs everything tier-1 skips because of wall-clock cost: the
+# `#[ignore]`d thesis-scale pipeline (a multi-minute corpus at the
+# thesis's published scale) and the full cache-transparency battery
+# under --release. Assumes scripts/ci.sh already passed; this lane is
+# additive, not a substitute.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+step() { printf '\n== %s ==\n' "$*"; }
+
+step "cargo build --release --workspace"
+cargo build --release --workspace
+
+step "thesis-scale pipeline (ignored tier-1, release)"
+cargo test --release --test thesis_scale -- --ignored --nocapture
+
+step "cache transparency battery (release)"
+cargo test --release --test server_cache -- --nocapture
+
+printf '\nNightly lane passed.\n'

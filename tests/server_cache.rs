@@ -1,0 +1,161 @@
+//! The cache transparency battery: the response cache must be purely an
+//! optimization. For randomized interleavings of read and write GQL
+//! commands, every reply from a cache-enabled server must be
+//! byte-identical to the reply from a cache-disabled server fed the same
+//! command sequence — including error replies. A divergence means a stale
+//! or wrongly-keyed cache entry was served.
+
+use std::thread;
+use std::time::Duration;
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use gea_server::client::reply_evicted;
+use gea_server::{GeaClient, Server, ServerConfig};
+
+const INTERLEAVINGS: usize = 100;
+const STEPS_PER_INTERLEAVING: usize = 8;
+
+fn spawn(config: ServerConfig) -> (GeaClient, gea_server::server::ServerHandle) {
+    let server = Server::bind(config).expect("bind");
+    let addr = server.local_addr();
+    let handle = server.handle();
+    thread::spawn(move || server.run().expect("serve"));
+    (GeaClient::connect(addr).expect("connect"), handle)
+}
+
+fn config(cache_bytes: usize) -> ServerConfig {
+    ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 2,
+        queue_depth: 4,
+        lock_timeout: Duration::from_secs(30),
+        cache_bytes,
+        ..ServerConfig::default()
+    }
+}
+
+/// One randomized command: reads (cacheable and not), writes, and
+/// deliberate failures, weighted so most steps are cache-eligible reads
+/// with writes interleaved to bump the generation. `live` tracks tables
+/// created this interleaving so some writes hit existing names.
+fn random_command(rng: &mut SmallRng, iter: usize, step: usize, live: &mut Vec<String>) -> String {
+    let tissues = ["brain", "breast", "prostate"];
+    let tags = ["AAAAAAAAAA", "ACGTACGTAC", "TTTTTTTTTT"];
+    let target = |live: &Vec<String>, rng: &mut SmallRng| -> String {
+        if live.is_empty() || rng.gen_bool(0.3) {
+            "nosuch".to_string()
+        } else {
+            live[rng.gen_range(0..live.len())].clone()
+        }
+    };
+    match rng.gen_range(0..12u32) {
+        0 => "tissues".to_string(),
+        1 => "lineage".to_string(),
+        2 => "cleaning".to_string(),
+        3 => "fascicles".to_string(),
+        4 => {
+            let name = format!("d{iter}_{step}");
+            live.push(name.clone());
+            format!(
+                "dataset {name} {}",
+                tissues[rng.gen_range(0..tissues.len())]
+            )
+        }
+        5 => format!("comment {} \"pass {iter} step {step}\"", target(live, rng)),
+        6 => {
+            let name = target(live, rng);
+            live.retain(|n| *n != name);
+            format!("delete {name} --cascade")
+        }
+        7 => format!("show sumy {} 3", target(live, rng)),
+        8 => format!(
+            "tagfreq {} {}",
+            target(live, rng),
+            tags[rng.gen_range(0..tags.len())]
+        ),
+        9 => format!("library {}", rng.gen_range(1..30u32)),
+        10 => format!("purity {}", target(live, rng)),
+        _ => format!("xprofiler {}", target(live, rng)),
+    }
+}
+
+#[test]
+fn cache_is_transparent_over_randomized_interleavings() {
+    let (mut cached, cached_handle) = spawn(config(8 * 1024 * 1024));
+    let (mut plain, plain_handle) = spawn(config(0));
+
+    for client in [&mut cached, &mut plain] {
+        client.expect_ok("open battery demo 11").expect("open");
+    }
+
+    let mut compared = 0usize;
+    for iter in 0..INTERLEAVINGS {
+        let mut rng = SmallRng::seed_from_u64(0xCAC4E + iter as u64);
+        let mut live = Vec::new();
+        let mut script = Vec::new();
+        for step in 0..STEPS_PER_INTERLEAVING {
+            script.push(random_command(&mut rng, iter, step, &mut live));
+        }
+        // Keep the session lean across 100 interleavings: every table this
+        // pass created is cascade-deleted at the end of the pass (itself
+        // more command pairs to compare).
+        for name in live {
+            script.push(format!("delete {name} --cascade"));
+        }
+        for line in script {
+            let with_cache = cached.request(&line).expect("cached transport");
+            let without = plain.request(&line).expect("plain transport");
+            assert_eq!(
+                with_cache, without,
+                "cache changed the reply to {line:?} (interleaving {iter})"
+            );
+            compared += 1;
+        }
+    }
+    assert!(compared >= INTERLEAVINGS * STEPS_PER_INTERLEAVING);
+
+    // The comparison is only meaningful if the cache actually served hits.
+    let stats = cached.expect_ok("stats").expect("stats");
+    let hits: u64 = stats
+        .lines()
+        .find_map(|l| l.strip_prefix("cache_hits "))
+        .expect("cache_hits line")
+        .parse()
+        .unwrap();
+    assert!(hits > 0, "no cache hits in {INTERLEAVINGS} interleavings");
+    let plain_stats = plain.expect_ok("stats").expect("stats");
+    assert!(
+        plain_stats.contains("cache_hits 0"),
+        "disabled cache served a hit: {plain_stats}"
+    );
+
+    cached_handle.shutdown();
+    plain_handle.shutdown();
+}
+
+#[test]
+fn eviction_round_trips_through_the_client() {
+    let mut cfg = config(1024 * 1024);
+    // A 1-byte budget means any session is over budget the moment it is
+    // installed, so eviction is deterministic: open succeeds, the next
+    // use of the name answers EEVICTED.
+    cfg.session_budget = Some(1);
+    let (mut client, handle) = spawn(cfg);
+
+    client.expect_ok("open alpha demo 42").expect("open alpha");
+    let reply = client.request("tissues").expect("transport");
+    assert!(reply_evicted(&reply), "expected EEVICTED, got {reply:?}");
+    // The helper is selective: other errors are not "evicted".
+    let reply = client.request("use never-opened").expect("transport");
+    assert!(!reply_evicted(&reply));
+    // `close` acknowledges the eviction and clears the tombstone; the
+    // name then reads as never-opened, not evicted.
+    client.expect_ok("close alpha").expect("clear tombstone");
+    let reply = client.request("use alpha").expect("transport");
+    assert_eq!(reply.as_ref().unwrap_err().0, "ENOSESSION");
+    assert!(!reply_evicted(&reply));
+
+    handle.shutdown();
+}

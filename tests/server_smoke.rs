@@ -38,6 +38,7 @@ fn concurrent_clients_match_the_in_process_api() {
         workers: N_CLIENTS + 2,
         queue_depth: 8,
         lock_timeout: Duration::from_secs(120),
+        ..ServerConfig::default()
     })
     .expect("bind ephemeral port");
     let addr = server.local_addr();
@@ -116,8 +117,21 @@ fn concurrent_clients_match_the_in_process_api() {
     assert!(served[0][5].contains("g0_5"), "{}", served[0][5]);
     assert!(served[0][6].contains("TagName"), "{}", served[0][6]);
 
+    // The cache serves a repeat read at an unchanged generation without
+    // re-executing it, and the reply is byte-identical.
+    let first = admin.request("show gap g0 3").unwrap().expect("show");
+    let second = admin.request("show gap g0 3").unwrap().expect("show again");
+    assert_eq!(first, second, "cached reply diverged");
+
     // Metrics: non-zero request counts and latency histograms per verb.
     let stats = admin.request("stats").unwrap().expect("stats");
+    let cache_hits: u64 = stats
+        .lines()
+        .find_map(|l| l.strip_prefix("cache_hits "))
+        .expect("cache_hits line")
+        .parse()
+        .unwrap();
+    assert!(cache_hits > 0, "no cache hits recorded: {stats}");
     assert!(stats.contains("requests_total"), "{stats}");
     let requests: u64 = stats
         .lines()
@@ -162,6 +176,7 @@ fn sessions_are_isolated_and_closable() {
         workers: 2,
         queue_depth: 4,
         lock_timeout: Duration::from_secs(30),
+        ..ServerConfig::default()
     })
     .expect("bind");
     let addr = server.local_addr();
@@ -187,6 +202,135 @@ fn sessions_are_isolated_and_closable() {
     );
     a.request("close two").unwrap().expect("close two");
     assert_eq!(b.request("tissues").unwrap().unwrap_err().0, "ENOSESSION");
+
+    handle.shutdown();
+    serving.join().expect("server thread");
+}
+
+/// The session generation listed by `sessions`, for session `name`.
+fn generation_of(sessions_reply: &str, name: &str) -> u64 {
+    sessions_reply
+        .lines()
+        .find(|l| l.starts_with(&format!("{name}:")))
+        .and_then(|l| l.split("generation ").nth(1))
+        .and_then(|rest| rest.split(',').next())
+        .and_then(|g| g.trim().parse().ok())
+        .unwrap_or_else(|| panic!("no generation for {name} in {sessions_reply:?}"))
+}
+
+/// The highest `W<k>` table visible in a lineage tree reply (0 if none).
+fn max_w_node(lineage_reply: &str) -> u64 {
+    lineage_reply
+        .lines()
+        .filter_map(|l| l.split_whitespace().next())
+        .filter_map(|tok| tok.strip_prefix('W').and_then(|n| n.parse().ok()))
+        .max()
+        .unwrap_or(0)
+}
+
+/// Hot-loop staleness check: readers hammer cacheable reads while one
+/// writer appends tables. Each write bumps the session generation by
+/// exactly one and adds a `W<k>` lineage node, so a reader that samples
+/// generation `g` and *then* reads the lineage must see node `W<g>` —
+/// whether the reply came from the engine or the response cache. Seeing
+/// less means a stale cached reply was served for a newer generation.
+#[test]
+fn hot_loop_readers_never_observe_stale_generations() {
+    const N_WRITES: u64 = 20;
+    let server = Server::bind(ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 4,
+        queue_depth: 8,
+        lock_timeout: Duration::from_secs(60),
+        ..ServerConfig::default()
+    })
+    .expect("bind");
+    let addr = server.local_addr();
+    let handle = server.handle();
+    let serving = thread::spawn(move || server.run().expect("serve"));
+
+    let mut admin = GeaClient::connect(addr).expect("connect admin");
+    admin.request("open hot demo 42").unwrap().expect("open");
+
+    let done = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let writer = {
+        let done = std::sync::Arc::clone(&done);
+        thread::spawn(move || {
+            let mut client = GeaClient::connect(addr).expect("connect writer");
+            client.request("use hot").unwrap().expect("use");
+            for k in 1..=N_WRITES {
+                client
+                    .request(&format!("dataset W{k} brain"))
+                    .unwrap()
+                    .unwrap_or_else(|e| panic!("write {k} failed: {e:?}"));
+            }
+            done.store(true, std::sync::atomic::Ordering::SeqCst);
+        })
+    };
+
+    let mut readers = Vec::new();
+    for r in 0..2 {
+        let done = std::sync::Arc::clone(&done);
+        readers.push(thread::spawn(move || {
+            let mut client = GeaClient::connect(addr).expect("connect reader");
+            client.request("use hot").unwrap().expect("use");
+            let mut checks = 0u64;
+            while checks < 3 || !done.load(std::sync::atomic::Ordering::SeqCst) {
+                let sessions = client.request("sessions").unwrap().expect("sessions");
+                let sampled = generation_of(&sessions, "hot");
+                let lineage = client.request("lineage").unwrap().expect("lineage");
+                let seen = max_w_node(&lineage);
+                assert!(
+                    seen >= sampled,
+                    "reader {r}: stale read — sampled generation {sampled}, \
+                     lineage only shows W{seen}"
+                );
+                checks += 1;
+            }
+            checks
+        }));
+    }
+
+    writer.join().expect("writer thread");
+    for reader in readers {
+        assert!(reader.join().expect("reader thread") >= 3);
+    }
+
+    // Quiesced: the generation equals the write count, the last table is
+    // visible, and the hammering produced real cache traffic.
+    let sessions = admin.request("sessions").unwrap().expect("sessions");
+    assert_eq!(generation_of(&sessions, "hot"), N_WRITES, "{sessions}");
+    let lineage = admin.request("lineage").unwrap().expect("lineage");
+    assert_eq!(max_w_node(&lineage), N_WRITES, "{lineage}");
+    let stats = admin.request("stats").unwrap().expect("stats");
+    let hits: u64 = stats
+        .lines()
+        .find_map(|l| l.strip_prefix("cache_hits "))
+        .expect("cache_hits line")
+        .parse()
+        .unwrap();
+    let misses: u64 = stats
+        .lines()
+        .find_map(|l| l.strip_prefix("cache_misses "))
+        .expect("cache_misses line")
+        .parse()
+        .unwrap();
+    assert!(misses > 0, "{stats}");
+
+    // With the writer quiet, a repeated read must hit.
+    admin.request("lineage").unwrap().expect("lineage");
+    admin.request("lineage").unwrap().expect("lineage");
+    let stats = admin.request("stats").unwrap().expect("stats");
+    let hits_after: u64 = stats
+        .lines()
+        .find_map(|l| l.strip_prefix("cache_hits "))
+        .expect("cache_hits line")
+        .parse()
+        .unwrap();
+    assert!(
+        hits_after > hits,
+        "quiesced repeat read did not hit: {stats}"
+    );
 
     handle.shutdown();
     serving.join().expect("server thread");
