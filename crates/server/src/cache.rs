@@ -19,14 +19,14 @@
 //! budget evict least-recently-hit slots first (stale generations are
 //! never hit again, so they age out fastest).
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::sync::Mutex;
 
 /// Fixed per-slot charge on top of the text payload (key struct, map
 /// node, and allocation overhead).
 const SLOT_OVERHEAD: usize = 96;
 
-#[derive(PartialEq, Eq, Hash)]
+#[derive(PartialEq, Eq, Hash, Clone)]
 struct Key {
     entry: u64,
     generation: u64,
@@ -37,12 +37,18 @@ struct Slot {
     reply: String,
     cost: usize,
     /// Logical LRU timestamp: the cache clock at the last hit/insert.
+    /// Unique per slot (the clock ticks on every hit and insert), so it
+    /// doubles as the slot's position in the `order` index.
     stamp: u64,
 }
 
 #[derive(Default)]
 struct Inner {
     map: HashMap<Key, Slot>,
+    /// LRU index: stamp -> key, mirroring `map`. The first entry is the
+    /// least recently hit slot, so one eviction is an O(log n) pop
+    /// instead of a full scan.
+    order: BTreeMap<u64, Key>,
     bytes: usize,
     clock: u64,
 }
@@ -84,8 +90,12 @@ impl ResponseCache {
             command: command.to_string(),
         };
         let slot = inner.map.get_mut(&key)?;
+        let stale = slot.stamp;
         slot.stamp = clock;
-        Some(slot.reply.clone())
+        let reply = slot.reply.clone();
+        inner.order.remove(&stale);
+        inner.order.insert(clock, key);
+        Some(reply)
     }
 
     /// Store a reply, evicting least-recently-hit slots until it fits.
@@ -97,19 +107,21 @@ impl ResponseCache {
             return 0;
         }
         let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        let key = Key {
+            entry,
+            generation,
+            command,
+        };
+        // Credit a slot being replaced under the same key *before* the
+        // eviction pass, so a same-key refresh near budget does not evict
+        // unrelated slots.
+        if let Some(old) = inner.map.remove(&key) {
+            inner.bytes -= old.cost;
+            inner.order.remove(&old.stamp);
+        }
         let mut evicted = 0;
         while inner.bytes + cost > self.budget {
-            let Some(oldest) =
-                inner
-                    .map
-                    .iter()
-                    .min_by_key(|(_, slot)| slot.stamp)
-                    .map(|(key, _)| Key {
-                        entry: key.entry,
-                        generation: key.generation,
-                        command: key.command.clone(),
-                    })
-            else {
+            let Some((_, oldest)) = inner.order.pop_first() else {
                 break;
             };
             if let Some(slot) = inner.map.remove(&oldest) {
@@ -119,14 +131,8 @@ impl ResponseCache {
         }
         inner.clock += 1;
         let stamp = inner.clock;
-        let key = Key {
-            entry,
-            generation,
-            command,
-        };
-        if let Some(old) = inner.map.insert(key, Slot { reply, cost, stamp }) {
-            inner.bytes -= old.cost;
-        }
+        inner.order.insert(stamp, key.clone());
+        inner.map.insert(key, Slot { reply, cost, stamp });
         inner.bytes += cost;
         evicted
     }
@@ -135,21 +141,18 @@ impl ResponseCache {
     /// replaced), returning how many were dropped.
     pub fn purge_entry(&self, entry: u64) -> usize {
         let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
-        let victims: Vec<Key> = inner
+        let victims: Vec<(u64, Key)> = inner
             .map
-            .keys()
-            .filter(|k| k.entry == entry)
-            .map(|k| Key {
-                entry: k.entry,
-                generation: k.generation,
-                command: k.command.clone(),
-            })
+            .iter()
+            .filter(|(k, _)| k.entry == entry)
+            .map(|(k, slot)| (slot.stamp, k.clone()))
             .collect();
         let n = victims.len();
-        for key in victims {
+        for (stamp, key) in victims {
             if let Some(slot) = inner.map.remove(&key) {
                 inner.bytes -= slot.cost;
             }
+            inner.order.remove(&stamp);
         }
         n
     }
@@ -243,6 +246,21 @@ mod tests {
         assert_eq!(cache.len(), 1);
         assert_eq!(cache.get(2, 0, "a"), Some("3".to_string()));
         assert_eq!(cache.purge_entry(99), 0);
+    }
+
+    #[test]
+    fn same_key_refresh_near_budget_does_not_evict_neighbors() {
+        // Budget holds exactly two slots.
+        let slot = SLOT_OVERHEAD + 1 + 5;
+        let cache = ResponseCache::new(2 * slot);
+        cache.insert(1, 0, "a".into(), "aaaaa".into());
+        cache.insert(1, 0, "b".into(), "bbbbb".into());
+        // Re-inserting "b" replaces its own slot; crediting it first means
+        // nothing else needs to go.
+        assert_eq!(cache.insert(1, 0, "b".into(), "bbbbb".into()), 0);
+        assert!(cache.get(1, 0, "a").is_some(), "unrelated slot evicted");
+        assert!(cache.get(1, 0, "b").is_some());
+        assert_eq!(cache.len(), 2);
     }
 
     #[test]

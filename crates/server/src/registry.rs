@@ -12,7 +12,9 @@
 //! Lock acquisition takes a deadline. Waiters park on a condvar gate (no
 //! polling): every guard release notifies the gate, and a waiter whose
 //! deadline passes first turns into a clean `ERR ETIMEOUT` instead of an
-//! unbounded stall.
+//! unbounded stall. The gate is writer-preferring — new readers also wait
+//! behind a queued writer, so a steady stream of overlapping reads cannot
+//! starve a mutator to its deadline.
 //!
 //! The registry also enforces an [`EvictionPolicy`]: per-session idle
 //! timestamps and approximate memory accounting (via
@@ -71,10 +73,17 @@ impl EvictionPolicy {
 /// Admission bookkeeping for one entry's lock: who is inside the
 /// reader/writer critical sections. The inner `RwLock` is only ever
 /// acquired by admitted threads, so it never blocks.
+///
+/// Admission is writer-preferring: new readers also hold off while a
+/// writer is *queued* (`waiting_writers > 0`), so continuous overlapping
+/// read traffic cannot keep `readers` above zero forever and starve a
+/// writer to its deadline.
 #[derive(Default)]
 struct Gate {
     readers: u32,
     writer: bool,
+    /// Writers parked waiting for admission.
+    waiting_writers: u32,
 }
 
 static NEXT_ENTRY_ID: AtomicU64 = AtomicU64::new(1);
@@ -145,21 +154,27 @@ impl SessionEntry {
         gate.readers > 0 || gate.writer
     }
 
-    fn touch(&self) {
+    /// Record request activity now (the idle sweep's input). Called on
+    /// every lock acquisition, and by the server's cache-hit path — which
+    /// serves replies without ever taking the session lock, so hits must
+    /// refresh the stamp explicitly or the sweeper would evict a session
+    /// that is actively queried from cache.
+    pub(crate) fn touch(&self) {
         *self.last_used.lock().unwrap_or_else(|e| e.into_inner()) = Instant::now();
     }
 
     /// Acquire a shared read guard, parking on the gate's condvar until
-    /// admitted or `timeout` elapses (`ETIMEOUT`). A poisoned inner lock
-    /// (a panicking writer) is recovered: the algebra leaves the session
-    /// consistent between commands, so the state is still usable.
+    /// admitted or `timeout` elapses (`ETIMEOUT`). Readers yield to queued
+    /// writers (see [`Gate`]). A poisoned inner lock (a panicking writer)
+    /// is recovered: the algebra leaves the session consistent between
+    /// commands, so the state is still usable.
     pub fn read_with_deadline(
         &self,
         timeout: Duration,
     ) -> Result<SessionReadGuard<'_>, EngineError> {
         let deadline = Instant::now() + timeout;
         let mut gate = self.gate.lock().unwrap_or_else(|e| e.into_inner());
-        while gate.writer {
+        while gate.writer || gate.waiting_writers > 0 {
             let Some(left) = deadline
                 .checked_duration_since(Instant::now())
                 .filter(|d| !d.is_zero())
@@ -193,11 +208,17 @@ impl SessionEntry {
     ) -> Result<SessionWriteGuard<'_>, EngineError> {
         let deadline = Instant::now() + timeout;
         let mut gate = self.gate.lock().unwrap_or_else(|e| e.into_inner());
+        gate.waiting_writers += 1;
         while gate.writer || gate.readers > 0 {
             let Some(left) = deadline
                 .checked_duration_since(Instant::now())
                 .filter(|d| !d.is_zero())
             else {
+                gate.waiting_writers -= 1;
+                drop(gate);
+                // Readers held off by this queued writer may be admissible
+                // again.
+                self.released.notify_all();
                 return Err(timeout_err("write", timeout));
             };
             gate = self
@@ -206,6 +227,7 @@ impl SessionEntry {
                 .unwrap_or_else(|e| e.into_inner())
                 .0;
         }
+        gate.waiting_writers -= 1;
         gate.writer = true;
         drop(gate);
         self.generation.fetch_add(1, Ordering::AcqRel);
@@ -596,6 +618,61 @@ mod tests {
         t.join()
             .expect("reader thread")
             .expect("reader admitted after write release");
+    }
+
+    #[test]
+    fn queued_writer_holds_off_new_readers() {
+        let reg = SessionRegistry::new();
+        reg.open("a", demo_session());
+        let shared = reg.get("a").unwrap();
+        let first_reader = shared.read_with_deadline(Duration::from_secs(1)).unwrap();
+        let writer_entry = Arc::clone(&shared);
+        let writer = std::thread::spawn(move || {
+            writer_entry
+                .write_with_deadline(Duration::from_secs(10))
+                .map(|_| ())
+        });
+        // Let the writer park behind the held read guard.
+        std::thread::sleep(Duration::from_millis(50));
+        // A new reader waits behind the queued writer instead of extending
+        // the read phase (which would starve the writer).
+        let err = match shared.read_with_deadline(Duration::from_millis(50)) {
+            Err(e) => e,
+            Ok(_) => panic!("reader admitted past a queued writer"),
+        };
+        assert_eq!(err.code, "ETIMEOUT");
+        drop(first_reader);
+        writer
+            .join()
+            .expect("writer thread")
+            .expect("writer admitted once readers drain");
+        // With no writer queued, readers flow again.
+        assert!(shared
+            .read_with_deadline(Duration::from_millis(100))
+            .is_ok());
+    }
+
+    #[test]
+    fn timed_out_writer_readmits_readers() {
+        let reg = SessionRegistry::new();
+        reg.open("a", demo_session());
+        let shared = reg.get("a").unwrap();
+        let held = shared.read_with_deadline(Duration::from_secs(1)).unwrap();
+        let writer_entry = Arc::clone(&shared);
+        let res = std::thread::spawn(move || {
+            writer_entry
+                .write_with_deadline(Duration::from_millis(50))
+                .map(|_| ())
+        })
+        .join()
+        .expect("writer thread");
+        assert_eq!(res.unwrap_err().code, "ETIMEOUT");
+        // The timed-out writer no longer counts as queued: a new reader is
+        // admitted even while the first guard is still held.
+        let r = shared
+            .read_with_deadline(Duration::from_millis(100))
+            .expect("reader admitted after writer gave up");
+        drop((r, held));
     }
 
     #[test]

@@ -511,6 +511,9 @@ fn run_gql(cmd: &GqlCommand, current: &str, shared: &Shared) -> Result<String, E
             // computed under this generation, and serving it is
             // linearized at the instant of the generation load.
             if let Some(reply) = shared.cache.get(entry.id(), entry.generation(), key) {
+                // A hit is still session activity: refresh the idle stamp
+                // here, since this path never acquires the session lock.
+                entry.touch();
                 shared.metrics.cache_hit();
                 return Ok(reply);
             }
@@ -617,6 +620,30 @@ mod tests {
         assert_eq!(err.0, "ENOSESSION");
         let stats = client.expect_ok("stats").unwrap();
         assert!(!stats.contains("sessions_evicted 0"), "{stats}");
+        handle.shutdown();
+        join.join().unwrap();
+    }
+
+    #[test]
+    fn cache_hits_keep_a_session_alive_under_the_idle_sweep() {
+        let mut config = test_config();
+        config.idle_timeout = Some(Duration::from_millis(200));
+        let (addr, handle, join) = spawn_server(config);
+        let mut client = GeaClient::connect(addr).expect("connect");
+        client.expect_ok("open hot demo 42").expect("open");
+        client.expect_ok("lineage").expect("prime the cache");
+        // Hammer the same cacheable read well past the idle timeout: every
+        // reply after the first comes from the cache without touching the
+        // session lock, and each hit must still count as activity — the
+        // sweeper would otherwise evict a session that is actively queried.
+        let started = Instant::now();
+        while started.elapsed() < Duration::from_millis(700) {
+            client.expect_ok("lineage").expect("cache-served read");
+            std::thread::sleep(Duration::from_millis(40));
+        }
+        let stats = client.expect_ok("stats").unwrap();
+        assert!(!stats.contains("cache_hits 0\n"), "{stats}");
+        assert!(stats.contains("sessions_evicted 0"), "{stats}");
         handle.shutdown();
         join.join().unwrap();
     }
