@@ -1,24 +1,48 @@
 //! Persisting analysis results across sessions.
 //!
 //! The thesis keeps every intermediate table in DB2, so an analyst can come
-//! back days later, browse the lineage (Figure 4.18) and continue. Our
-//! equivalent: [`save_results`] writes a session's materialized relational
-//! tables (as CSV with schema sidecars) and the lineage DAG to a directory;
-//! [`load_results`] reads them back into a [`Database`] + [`Lineage`] pair.
-//! Dematerialized tables (contents-only deletes) round-trip as empty tables
-//! whose lineage metadata still describes how to regenerate them.
+//! back days later, browse the lineage (Figure 4.18) and continue. Two
+//! layers provide that here:
+//!
+//! * The browsable layer: [`save_results`] writes a session's materialized
+//!   relational tables (as CSV with schema sidecars) and the lineage DAG to
+//!   a directory; [`load_results`] reads them back into a [`Database`] +
+//!   [`Lineage`] pair. Dematerialized tables (contents-only deletes)
+//!   round-trip as empty tables whose lineage metadata still describes how
+//!   to regenerate them.
+//! * The fidelity-complete layer: [`save_session`] additionally writes a
+//!   versioned binary snapshot (`session.gea`) holding *everything* a
+//!   [`GeaSession`] owns — raw corpus, cleaned base matrix, cleaning
+//!   report, derived ENUM/SUMY/GAP tables, fascicle records, relational
+//!   database, and lineage — and [`load_session`] reassembles a live
+//!   session from it. This is the format the server's eviction spill/
+//!   restore path uses ([`spill_session`]): replies answered by a restored
+//!   session are byte-identical to the pre-eviction ones.
+//!
+//! The snapshot carries an FNV-1a fingerprint over its body; truncated,
+//! bit-flipped, or version-skewed files load as
+//! [`PersistError::Malformed`], never a panic.
 
 use std::fs;
 use std::io::Write;
-use std::path::Path;
+use std::path::{Path, PathBuf};
 
 use gea_relstore::csv::{export_csv, import_csv};
 use gea_relstore::schema::Schema;
 use gea_relstore::value::DataType;
 use gea_relstore::Database;
+use gea_sage::clean::CleaningReport;
+use gea_sage::io::{read_corpus_binary, write_corpus_binary};
+use gea_sage::library::{LibraryMeta, LibraryProperty, NeoplasticState, TissueSource, TissueType};
+use gea_sage::tag::{Tag, TagUniverse};
+use gea_sage::ExpressionMatrix;
 
+use crate::enum_table::EnumTable;
+use crate::gap::{GapRow, GapTable};
+use crate::interval::Interval;
 use crate::lineage::{Lineage, LineageNode, NodeId, NodeKind};
-use crate::session::GeaSession;
+use crate::session::{FascicleRecord, GeaSession, SessionSnapshot};
+use crate::sumy::{SumyRow, SumyTable};
 
 /// Errors raised by persistence.
 #[derive(Debug)]
@@ -147,6 +171,13 @@ pub fn save_database_and_lineage(
     }
     // Lineage.
     let mut out = fs::File::create(dir.join("lineage.txt"))?;
+    write_lineage(lineage, &mut out)?;
+    Ok(())
+}
+
+/// Serialize the lineage DAG in the tagged-record text format shared by
+/// `lineage.txt` and the binary session snapshot.
+fn write_lineage(lineage: &Lineage, out: &mut impl Write) -> std::io::Result<()> {
     for node in lineage.iter() {
         writeln!(out, "node\t{}", node.id.0)?;
         writeln!(out, "name\t{}", encode_name(&node.name))?;
@@ -215,9 +246,18 @@ pub fn load_results(dir: &Path) -> Result<LoadedResults, PersistError> {
 
     // Lineage: replay records in id order so parent references resolve.
     let lineage_path = dir.join("lineage.txt");
+    let lineage = if lineage_path.exists() {
+        parse_lineage(&fs::read_to_string(&lineage_path)?)?
+    } else {
+        Lineage::new()
+    };
+    Ok(LoadedResults { database, lineage })
+}
+
+/// Parse the tagged-record lineage text back into a replayed [`Lineage`].
+fn parse_lineage(text: &str) -> Result<Lineage, PersistError> {
     let mut lineage = Lineage::new();
-    if lineage_path.exists() {
-        let text = fs::read_to_string(&lineage_path)?;
+    {
         let mut pending: Vec<ParsedNode> = Vec::new();
         let mut current: Option<ParsedNode> = None;
         for line in text.lines() {
@@ -321,7 +361,7 @@ pub fn load_results(dir: &Path) -> Result<LoadedResults, PersistError> {
             id_map.insert(node.id, new_id);
         }
     }
-    Ok(LoadedResults { database, lineage })
+    Ok(lineage)
 }
 
 #[derive(Debug, Default)]
@@ -349,6 +389,699 @@ pub fn describe_node(node: &LineageNode) -> String {
         out.push_str(&format!("User Comment: {}\n", node.comment));
     }
     out
+}
+
+// ----- fidelity-complete binary snapshots (`session.gea`) -----------------
+
+/// File name of the binary snapshot inside a saved-session directory.
+pub const SNAPSHOT_FILE: &str = "session.gea";
+
+const SNAPSHOT_MAGIC: &[u8; 4] = b"GEAS";
+const SNAPSHOT_VERSION: u32 = 1;
+/// Strings in the snapshot are capped at 1 MiB, matching the corpus binary
+/// format's own cap.
+const MAX_STR: usize = 1 << 20;
+
+/// FNV-1a 64-bit over the snapshot body — cheap, dependency-free, and more
+/// than enough to catch truncation and bit rot (this is an integrity
+/// check, not an authenticity one).
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+fn put_u8(out: &mut Vec<u8>, v: u8) {
+    out.push(v);
+}
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_f64(out: &mut Vec<u8>, v: f64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_u32(out, s.len() as u32);
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn put_blob(out: &mut Vec<u8>, bytes: &[u8]) {
+    put_u64(out, bytes.len() as u64);
+    out.extend_from_slice(bytes);
+}
+
+/// A bounds-checked little-endian reader over the snapshot body. Every
+/// decode failure surfaces as [`PersistError::Malformed`]; a corrupt file
+/// can never panic or over-allocate (element counts are validated against
+/// the bytes actually remaining before any allocation).
+struct Cur<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cur<'a> {
+    fn new(buf: &'a [u8]) -> Cur<'a> {
+        Cur { buf, pos: 0 }
+    }
+
+    fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn done(&self) -> bool {
+        self.remaining() == 0
+    }
+
+    fn take(&mut self, n: usize, what: &str) -> Result<&'a [u8], PersistError> {
+        if self.remaining() < n {
+            return Err(malformed(format!(
+                "truncated snapshot: {what} needs {n} bytes, {} left",
+                self.remaining()
+            )));
+        }
+        let slice = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(slice)
+    }
+
+    /// Reject an element count that could not possibly fit in the bytes
+    /// remaining (each element occupies at least `min_size` bytes).
+    fn ensure_elems(&self, n: usize, min_size: usize, what: &str) -> Result<(), PersistError> {
+        match n.checked_mul(min_size) {
+            Some(total) if total <= self.remaining() => Ok(()),
+            _ => Err(malformed(format!(
+                "implausible {what} count {n} for {} remaining bytes",
+                self.remaining()
+            ))),
+        }
+    }
+
+    fn u8(&mut self, what: &str) -> Result<u8, PersistError> {
+        Ok(self.take(1, what)?[0])
+    }
+
+    fn u32(&mut self, what: &str) -> Result<u32, PersistError> {
+        Ok(u32::from_le_bytes(self.take(4, what)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self, what: &str) -> Result<u64, PersistError> {
+        Ok(u64::from_le_bytes(self.take(8, what)?.try_into().unwrap()))
+    }
+
+    fn f64(&mut self, what: &str) -> Result<f64, PersistError> {
+        Ok(f64::from_le_bytes(self.take(8, what)?.try_into().unwrap()))
+    }
+
+    fn str_(&mut self, what: &str) -> Result<String, PersistError> {
+        let len = self.u32(what)? as usize;
+        if len > MAX_STR {
+            return Err(malformed(format!("{what} length {len} implausible")));
+        }
+        let bytes = self.take(len, what)?;
+        String::from_utf8(bytes.to_vec()).map_err(|e| malformed(format!("non-utf8 {what}: {e}")))
+    }
+
+    fn blob(&mut self, what: &str) -> Result<&'a [u8], PersistError> {
+        let len = self.u64(what)?;
+        let len = usize::try_from(len)
+            .map_err(|_| malformed(format!("{what} length {len} implausible")))?;
+        self.take(len, what)
+    }
+}
+
+fn state_code(s: NeoplasticState) -> u8 {
+    match s {
+        NeoplasticState::Cancerous => 0,
+        NeoplasticState::Normal => 1,
+    }
+}
+
+fn parse_state_code(c: u8) -> Result<NeoplasticState, PersistError> {
+    Ok(match c {
+        0 => NeoplasticState::Cancerous,
+        1 => NeoplasticState::Normal,
+        other => return Err(malformed(format!("unknown neoplastic state code {other}"))),
+    })
+}
+
+fn source_code(s: TissueSource) -> u8 {
+    match s {
+        TissueSource::BulkTissue => 0,
+        TissueSource::CellLine => 1,
+    }
+}
+
+fn parse_source_code(c: u8) -> Result<TissueSource, PersistError> {
+    Ok(match c {
+        0 => TissueSource::BulkTissue,
+        1 => TissueSource::CellLine,
+        other => return Err(malformed(format!("unknown tissue source code {other}"))),
+    })
+}
+
+fn property_code(p: LibraryProperty) -> u8 {
+    match p {
+        LibraryProperty::Cancer => 0,
+        LibraryProperty::Normal => 1,
+        LibraryProperty::BulkTissue => 2,
+        LibraryProperty::CellLine => 3,
+    }
+}
+
+fn parse_property_code(c: u8) -> Result<LibraryProperty, PersistError> {
+    Ok(match c {
+        0 => LibraryProperty::Cancer,
+        1 => LibraryProperty::Normal,
+        2 => LibraryProperty::BulkTissue,
+        3 => LibraryProperty::CellLine,
+        other => return Err(malformed(format!("unknown library property code {other}"))),
+    })
+}
+
+fn put_library_meta(out: &mut Vec<u8>, meta: &LibraryMeta) {
+    put_str(out, &meta.name);
+    put_str(out, meta.tissue.name());
+    put_u8(out, state_code(meta.state));
+    put_u8(out, source_code(meta.source));
+}
+
+fn read_library_meta(cur: &mut Cur) -> Result<LibraryMeta, PersistError> {
+    Ok(LibraryMeta {
+        name: cur.str_("library name")?,
+        tissue: TissueType::parse(&cur.str_("library tissue")?),
+        state: parse_state_code(cur.u8("library state")?)?,
+        source: parse_source_code(cur.u8("library source")?)?,
+    })
+}
+
+fn read_tag(cur: &mut Cur, what: &str) -> Result<Tag, PersistError> {
+    let code = cur.u32(what)?;
+    Tag::from_code(code).ok_or_else(|| malformed(format!("{what}: tag code {code} out of range")))
+}
+
+fn put_enum_table(out: &mut Vec<u8>, table: &EnumTable) {
+    put_str(out, &table.name);
+    let m = &table.matrix;
+    put_u32(out, m.n_tags() as u32);
+    put_u32(out, m.n_libraries() as u32);
+    for (_, tag) in m.universe().iter() {
+        put_u32(out, tag.code());
+    }
+    for meta in m.libraries() {
+        put_library_meta(out, meta);
+    }
+    for tid in m.tag_ids() {
+        for &v in m.tag_row(tid) {
+            put_f64(out, v);
+        }
+    }
+}
+
+fn read_enum_table(cur: &mut Cur) -> Result<EnumTable, PersistError> {
+    let name = cur.str_("enum table name")?;
+    let n_tags = cur.u32("enum tag count")? as usize;
+    let n_libs = cur.u32("enum library count")? as usize;
+    cur.ensure_elems(n_tags, 4, "enum tag")?;
+    let mut tags = Vec::with_capacity(n_tags);
+    for _ in 0..n_tags {
+        let tag = read_tag(cur, "enum tag")?;
+        // Universe order is sorted and duplicate-free by construction;
+        // enforcing it here means `TagUniverse::from_tags` below assigns
+        // the same ids the rows were written under.
+        if let Some(&prev) = tags.last() {
+            if tag <= prev {
+                return Err(malformed("enum tags out of order"));
+            }
+        }
+        tags.push(tag);
+    }
+    cur.ensure_elems(n_libs, 6, "enum library")?;
+    let mut libraries = Vec::with_capacity(n_libs);
+    for _ in 0..n_libs {
+        libraries.push(read_library_meta(cur)?);
+    }
+    cur.ensure_elems(n_tags.saturating_mul(n_libs), 8, "enum value")?;
+    let mut rows = Vec::with_capacity(n_tags);
+    for _ in 0..n_tags {
+        let mut row = Vec::with_capacity(n_libs);
+        for _ in 0..n_libs {
+            row.push(cur.f64("enum value")?);
+        }
+        rows.push(row);
+    }
+    let universe = TagUniverse::from_tags(tags);
+    Ok(EnumTable::new(
+        &name,
+        ExpressionMatrix::from_rows(universe, libraries, rows),
+    ))
+}
+
+fn put_sumy_table(out: &mut Vec<u8>, table: &SumyTable) {
+    put_str(out, &table.name);
+    put_u32(out, table.rows().len() as u32);
+    for row in table.rows() {
+        put_u32(out, row.tag.code());
+        put_u32(out, row.tag_no);
+        put_f64(out, row.range.lo());
+        put_f64(out, row.range.hi());
+        put_f64(out, row.average);
+        put_f64(out, row.std_dev);
+        put_u32(out, row.extras.len() as u32);
+        for (k, &v) in &row.extras {
+            put_str(out, k);
+            put_f64(out, v);
+        }
+    }
+}
+
+fn read_sumy_table(cur: &mut Cur) -> Result<SumyTable, PersistError> {
+    let name = cur.str_("sumy table name")?;
+    let n = cur.u32("sumy row count")? as usize;
+    cur.ensure_elems(n, 44, "sumy row")?;
+    let mut rows: Vec<SumyRow> = Vec::with_capacity(n);
+    for _ in 0..n {
+        let tag = read_tag(cur, "sumy tag")?;
+        // Rows are written in tag order; rejecting disorder here also
+        // rejects duplicates, which `SumyTable::new` would panic on.
+        if let Some(prev) = rows.last() {
+            if tag <= prev.tag {
+                return Err(malformed("sumy rows out of order"));
+            }
+        }
+        let tag_no = cur.u32("sumy tag number")?;
+        let lo = cur.f64("sumy range lo")?;
+        let hi = cur.f64("sumy range hi")?;
+        let range = Interval::new(lo, hi).map_err(|e| malformed(format!("bad sumy range: {e}")))?;
+        let average = cur.f64("sumy average")?;
+        let std_dev = cur.f64("sumy std dev")?;
+        let n_extras = cur.u32("sumy extras count")? as usize;
+        cur.ensure_elems(n_extras, 12, "sumy extra")?;
+        let mut extras = std::collections::BTreeMap::new();
+        for _ in 0..n_extras {
+            let k = cur.str_("sumy extra name")?;
+            let v = cur.f64("sumy extra value")?;
+            extras.insert(k, v);
+        }
+        rows.push(SumyRow {
+            tag,
+            tag_no,
+            range,
+            average,
+            std_dev,
+            extras,
+        });
+    }
+    Ok(SumyTable::new(&name, rows))
+}
+
+fn put_gap_table(out: &mut Vec<u8>, table: &GapTable) {
+    put_str(out, &table.name);
+    put_u32(out, table.columns.len() as u32);
+    for col in &table.columns {
+        put_str(out, col);
+    }
+    put_u32(out, table.rows().len() as u32);
+    for row in table.rows() {
+        put_u32(out, row.tag.code());
+        put_u32(out, row.tag_no);
+        for gap in &row.gaps {
+            match gap {
+                Some(v) => {
+                    put_u8(out, 1);
+                    put_f64(out, *v);
+                }
+                None => put_u8(out, 0),
+            }
+        }
+    }
+}
+
+fn read_gap_table(cur: &mut Cur) -> Result<GapTable, PersistError> {
+    let name = cur.str_("gap table name")?;
+    let n_cols = cur.u32("gap column count")? as usize;
+    if n_cols == 0 {
+        return Err(malformed("gap table without columns"));
+    }
+    cur.ensure_elems(n_cols, 4, "gap column")?;
+    let mut columns = Vec::with_capacity(n_cols);
+    for _ in 0..n_cols {
+        columns.push(cur.str_("gap column name")?);
+    }
+    let n = cur.u32("gap row count")? as usize;
+    cur.ensure_elems(n, 8 + n_cols, "gap row")?;
+    let mut rows: Vec<GapRow> = Vec::with_capacity(n);
+    for _ in 0..n {
+        let tag = read_tag(cur, "gap tag")?;
+        if let Some(prev) = rows.last() {
+            if tag <= prev.tag {
+                return Err(malformed("gap rows out of order"));
+            }
+        }
+        let tag_no = cur.u32("gap tag number")?;
+        let mut gaps = Vec::with_capacity(n_cols);
+        for _ in 0..n_cols {
+            gaps.push(match cur.u8("gap presence flag")? {
+                0 => None,
+                1 => Some(cur.f64("gap value")?),
+                other => return Err(malformed(format!("bad gap presence flag {other}"))),
+            });
+        }
+        rows.push(GapRow { tag, tag_no, gaps });
+    }
+    Ok(GapTable::new(&name, columns, rows))
+}
+
+fn put_fascicle(out: &mut Vec<u8>, rec: &FascicleRecord) {
+    put_str(out, &rec.name);
+    put_str(out, &rec.dataset);
+    put_u32(out, rec.members.len() as u32);
+    for m in &rec.members {
+        put_str(out, m);
+    }
+    put_u32(out, rec.compact_tags.len() as u32);
+    for t in &rec.compact_tags {
+        put_u32(out, t.code());
+    }
+    put_str(out, &rec.sumy_name);
+    put_u32(out, rec.purity.len() as u32);
+    for &p in &rec.purity {
+        put_u8(out, property_code(p));
+    }
+}
+
+fn read_fascicle(cur: &mut Cur) -> Result<FascicleRecord, PersistError> {
+    let name = cur.str_("fascicle name")?;
+    let dataset = cur.str_("fascicle dataset")?;
+    let n_members = cur.u32("fascicle member count")? as usize;
+    cur.ensure_elems(n_members, 4, "fascicle member")?;
+    let mut members = Vec::with_capacity(n_members);
+    for _ in 0..n_members {
+        members.push(cur.str_("fascicle member")?);
+    }
+    let n_tags = cur.u32("fascicle tag count")? as usize;
+    cur.ensure_elems(n_tags, 4, "fascicle tag")?;
+    let mut compact_tags = Vec::with_capacity(n_tags);
+    for _ in 0..n_tags {
+        compact_tags.push(read_tag(cur, "fascicle tag")?);
+    }
+    let sumy_name = cur.str_("fascicle sumy name")?;
+    let n_props = cur.u32("fascicle purity count")? as usize;
+    cur.ensure_elems(n_props, 1, "fascicle purity")?;
+    let mut purity = Vec::with_capacity(n_props);
+    for _ in 0..n_props {
+        purity.push(parse_property_code(cur.u8("fascicle purity")?)?);
+    }
+    Ok(FascicleRecord {
+        name,
+        dataset,
+        members,
+        compact_tags,
+        sumy_name,
+        purity,
+    })
+}
+
+fn put_report(out: &mut Vec<u8>, report: &CleaningReport) {
+    put_u64(out, report.raw_union_tags as u64);
+    put_u64(out, report.kept_tags as u64);
+    put_u32(out, report.min_tolerance);
+    match report.scale_to {
+        Some(s) => {
+            put_u8(out, 1);
+            put_f64(out, s);
+        }
+        None => put_u8(out, 0),
+    }
+    put_u32(out, report.removed_fraction_per_library.len() as u32);
+    for &f in &report.removed_fraction_per_library {
+        put_f64(out, f);
+    }
+    put_f64(out, report.freq1_union_fraction);
+}
+
+fn read_report(cur: &mut Cur) -> Result<CleaningReport, PersistError> {
+    let raw_union_tags = usize::try_from(cur.u64("report raw tags")?)
+        .map_err(|_| malformed("report raw tag count implausible"))?;
+    let kept_tags = usize::try_from(cur.u64("report kept tags")?)
+        .map_err(|_| malformed("report kept tag count implausible"))?;
+    let min_tolerance = cur.u32("report min tolerance")?;
+    let scale_to = match cur.u8("report scale flag")? {
+        0 => None,
+        1 => Some(cur.f64("report scale")?),
+        other => return Err(malformed(format!("bad report scale flag {other}"))),
+    };
+    let n = cur.u32("report fraction count")? as usize;
+    cur.ensure_elems(n, 8, "report fraction")?;
+    let mut removed_fraction_per_library = Vec::with_capacity(n);
+    for _ in 0..n {
+        removed_fraction_per_library.push(cur.f64("report fraction")?);
+    }
+    let freq1_union_fraction = cur.f64("report freq1 fraction")?;
+    Ok(CleaningReport {
+        raw_union_tags,
+        kept_tags,
+        removed_fraction_per_library,
+        freq1_union_fraction,
+        min_tolerance,
+        scale_to,
+    })
+}
+
+fn encode_session(session: &GeaSession) -> Result<Vec<u8>, PersistError> {
+    let mut out = Vec::new();
+    put_report(&mut out, session.cleaning_report());
+    let mut corpus_blob = Vec::new();
+    write_corpus_binary(session.corpus(), &mut corpus_blob)?;
+    put_blob(&mut out, &corpus_blob);
+    put_enum_table(&mut out, session.base());
+    put_u32(&mut out, session.enum_tables().len() as u32);
+    for table in session.enum_tables().values() {
+        put_enum_table(&mut out, table);
+    }
+    put_u32(&mut out, session.sumy_tables().len() as u32);
+    for table in session.sumy_tables().values() {
+        put_sumy_table(&mut out, table);
+    }
+    put_u32(&mut out, session.gap_tables().len() as u32);
+    for table in session.gap_tables().values() {
+        put_gap_table(&mut out, table);
+    }
+    put_u32(&mut out, session.fascicle_records().len() as u32);
+    for rec in session.fascicle_records().values() {
+        put_fascicle(&mut out, rec);
+    }
+    let db = session.database();
+    put_u32(&mut out, db.len() as u32);
+    for name in db.names() {
+        let table = db.get(name).expect("listed name exists");
+        put_str(&mut out, name);
+        let cols = table.schema().columns();
+        put_u32(&mut out, cols.len() as u32);
+        for col in cols {
+            put_str(&mut out, &col.name);
+            put_str(&mut out, dtype_token(col.dtype));
+        }
+        let mut csv = Vec::new();
+        export_csv(table, &mut csv)?;
+        put_blob(&mut out, &csv);
+    }
+    let mut lineage_text = Vec::new();
+    write_lineage(session.lineage(), &mut lineage_text)?;
+    put_blob(&mut out, &lineage_text);
+    Ok(out)
+}
+
+fn decode_session(body: &[u8]) -> Result<SessionSnapshot, PersistError> {
+    let mut cur = Cur::new(body);
+    let report = read_report(&mut cur)?;
+    let corpus_blob = cur.blob("corpus blob")?;
+    let corpus = read_corpus_binary(&mut &corpus_blob[..])
+        .map_err(|e| malformed(format!("bad embedded corpus: {e}")))?;
+    let base = read_enum_table(&mut cur)?;
+    let n_enums = cur.u32("enum map count")? as usize;
+    cur.ensure_elems(n_enums, 12, "enum map entry")?;
+    let mut enums = std::collections::BTreeMap::new();
+    for _ in 0..n_enums {
+        let table = read_enum_table(&mut cur)?;
+        enums.insert(table.name.clone(), table);
+    }
+    let n_sumys = cur.u32("sumy map count")? as usize;
+    cur.ensure_elems(n_sumys, 8, "sumy map entry")?;
+    let mut sumys = std::collections::BTreeMap::new();
+    for _ in 0..n_sumys {
+        let table = read_sumy_table(&mut cur)?;
+        sumys.insert(table.name.clone(), table);
+    }
+    let n_gaps = cur.u32("gap map count")? as usize;
+    cur.ensure_elems(n_gaps, 12, "gap map entry")?;
+    let mut gaps = std::collections::BTreeMap::new();
+    for _ in 0..n_gaps {
+        let table = read_gap_table(&mut cur)?;
+        gaps.insert(table.name.clone(), table);
+    }
+    let n_fascicles = cur.u32("fascicle map count")? as usize;
+    cur.ensure_elems(n_fascicles, 16, "fascicle map entry")?;
+    let mut fascicles = std::collections::BTreeMap::new();
+    for _ in 0..n_fascicles {
+        let rec = read_fascicle(&mut cur)?;
+        fascicles.insert(rec.name.clone(), rec);
+    }
+    let n_tables = cur.u32("db table count")? as usize;
+    cur.ensure_elems(n_tables, 16, "db table")?;
+    let mut db = Database::new();
+    for _ in 0..n_tables {
+        let name = cur.str_("db table name")?;
+        let n_cols = cur.u32("db column count")? as usize;
+        cur.ensure_elems(n_cols, 8, "db column")?;
+        let mut cols = Vec::with_capacity(n_cols);
+        for _ in 0..n_cols {
+            let col = cur.str_("db column name")?;
+            let dtype = parse_dtype(&cur.str_("db column type")?)?;
+            cols.push((col, dtype));
+        }
+        let pairs: Vec<(&str, DataType)> = cols.iter().map(|(n, t)| (n.as_str(), *t)).collect();
+        let schema = Schema::from_pairs(&pairs)
+            .map_err(|e| malformed(format!("bad schema for {name:?}: {e}")))?;
+        let csv = cur.blob("db csv blob")?;
+        let table = import_csv(schema, &mut &csv[..])
+            .map_err(|e| malformed(format!("bad csv for {name:?}: {e}")))?;
+        db.create_or_replace(&name, table);
+    }
+    let lineage_text = cur.blob("lineage blob")?;
+    let lineage_text = std::str::from_utf8(lineage_text)
+        .map_err(|e| malformed(format!("non-utf8 lineage: {e}")))?;
+    let lineage = parse_lineage(lineage_text)?;
+    if !cur.done() {
+        return Err(malformed(format!(
+            "{} trailing bytes after snapshot body",
+            cur.remaining()
+        )));
+    }
+    Ok(SessionSnapshot {
+        corpus,
+        base,
+        report,
+        db,
+        lineage,
+        enums,
+        sumys,
+        gaps,
+        fascicles,
+    })
+}
+
+fn write_snapshot_file(session: &GeaSession, path: &Path) -> Result<u64, PersistError> {
+    let body = encode_session(session)?;
+    let fingerprint = fnv1a(&body);
+    let mut out = Vec::with_capacity(body.len() + 16);
+    out.extend_from_slice(SNAPSHOT_MAGIC);
+    put_u32(&mut out, SNAPSHOT_VERSION);
+    put_u64(&mut out, fingerprint);
+    out.extend_from_slice(&body);
+    fs::write(path, &out)?;
+    Ok(fingerprint)
+}
+
+/// Save the *complete* session state into `dir`: the browsable CSV +
+/// lineage layer of [`save_results`], plus the fidelity-complete binary
+/// snapshot ([`SNAPSHOT_FILE`]) that [`load_session`] restores from.
+/// Returns the snapshot's fingerprint.
+pub fn save_session(session: &GeaSession, dir: &Path) -> Result<u64, PersistError> {
+    save_results(session, dir)?;
+    write_snapshot_file(session, &dir.join(SNAPSHOT_FILE))
+}
+
+fn load_session_checked(dir: &Path, expected: Option<u64>) -> Result<GeaSession, PersistError> {
+    let bytes = fs::read(dir.join(SNAPSHOT_FILE))?;
+    let mut cur = Cur::new(&bytes);
+    let magic = cur.take(4, "snapshot magic")?;
+    if magic != SNAPSHOT_MAGIC {
+        return Err(malformed("bad magic; not a GEA session snapshot"));
+    }
+    let version = cur.u32("snapshot version")?;
+    if version != SNAPSHOT_VERSION {
+        return Err(malformed(format!("unsupported snapshot version {version}")));
+    }
+    let stored = cur.u64("snapshot fingerprint")?;
+    let body = &bytes[cur.pos..];
+    if fnv1a(body) != stored {
+        return Err(malformed("fingerprint mismatch; snapshot is corrupt"));
+    }
+    if let Some(want) = expected {
+        if want != stored {
+            return Err(malformed(format!(
+                "snapshot fingerprint {stored:#018x} does not match expected {want:#018x}"
+            )));
+        }
+    }
+    Ok(GeaSession::from_snapshot(decode_session(body)?))
+}
+
+/// Restore a full [`GeaSession`] from a directory written by
+/// [`save_session`] (or [`spill_session`]). Corruption of any kind —
+/// truncation, bit flips, a foreign file — yields
+/// [`PersistError::Malformed`], never a panic.
+pub fn load_session(dir: &Path) -> Result<GeaSession, PersistError> {
+    load_session_checked(dir, None)
+}
+
+/// Like [`load_session`], but additionally require the snapshot's
+/// fingerprint to equal `expected` — the server's restore path passes the
+/// fingerprint recorded at spill time, so a swapped or re-written file is
+/// detected even when internally consistent.
+pub fn load_session_verified(dir: &Path, expected: u64) -> Result<GeaSession, PersistError> {
+    load_session_checked(dir, Some(expected))
+}
+
+/// Where a spilled session lives on disk, and the fingerprint to demand
+/// back at restore time.
+#[derive(Debug, Clone)]
+pub struct SpillFile {
+    /// Directory holding the session's [`SNAPSHOT_FILE`].
+    pub path: PathBuf,
+    /// FNV-1a fingerprint of the snapshot body.
+    pub fingerprint: u64,
+}
+
+/// Spill a session under `name` into `spill_dir` for later transparent
+/// restore. Only the binary snapshot is written (the browsable CSV layer
+/// is skipped — spills are a hot path). The write goes to a `.tmp`
+/// directory first and is renamed into place, so a crash mid-spill leaves
+/// no half-written restore source behind.
+pub fn spill_session(
+    session: &GeaSession,
+    spill_dir: &Path,
+    name: &str,
+) -> Result<SpillFile, PersistError> {
+    fs::create_dir_all(spill_dir)?;
+    let stem = encode_name(name);
+    let final_dir = spill_dir.join(&stem);
+    let tmp_dir = spill_dir.join(format!("{stem}.tmp"));
+    let _ = fs::remove_dir_all(&tmp_dir);
+    fs::create_dir_all(&tmp_dir)?;
+    let fingerprint = write_snapshot_file(session, &tmp_dir.join(SNAPSHOT_FILE))?;
+    let _ = fs::remove_dir_all(&final_dir);
+    fs::rename(&tmp_dir, &final_dir)?;
+    Ok(SpillFile {
+        path: final_dir,
+        fingerprint,
+    })
+}
+
+/// Delete a spill directory (after a successful restore, or when a spilled
+/// session is closed). Best-effort: the spill is advisory state.
+pub fn remove_spill(path: &Path) {
+    let _ = fs::remove_dir_all(path);
 }
 
 #[cfg(test)]
@@ -457,5 +1190,201 @@ mod tests {
     #[test]
     fn loading_missing_directory_fails() {
         assert!(load_results(Path::new("/nonexistent/gea")).is_err());
+    }
+
+    /// The deterministic rich session of `tests/server_smoke.rs`: on demo
+    /// seed 42 the 50% mine finds exactly one fascicle pure on cancer, so
+    /// every layer of session state (corpus, base, ENUM/SUMY/GAP maps,
+    /// fascicles, db, lineage, comments) gets populated.
+    fn rich_session() -> GeaSession {
+        use crate::topgap::TopGapOrder;
+        use gea_sage::library::LibraryProperty;
+
+        let (corpus, _) = generate(&GeneratorConfig::demo(42));
+        let mut session = GeaSession::open(corpus, &CleaningConfig::default()).unwrap();
+        session
+            .create_tissue_dataset("E", &TissueType::Brain)
+            .unwrap();
+        let n_tags = session.enum_table("E").unwrap().n_tags();
+        let names = session
+            .calculate_fascicles(
+                "E",
+                "a",
+                0.10,
+                &FascicleParams {
+                    min_compact_attrs: n_tags * 50 / 100,
+                    min_records: 3,
+                    batch_size: 6,
+                },
+            )
+            .unwrap();
+        assert!(!names.is_empty(), "demo seed 42 mines no fascicle");
+        let fascicle = names[0].clone();
+        session.purity_check(&fascicle).unwrap();
+        let groups = session
+            .form_control_groups(&fascicle, LibraryProperty::Cancer)
+            .unwrap();
+        session
+            .create_gap("g", &groups.in_fascicle, &groups.contrast)
+            .unwrap();
+        session
+            .calculate_top_gap("g", 5, TopGapOrder::LargestMagnitude)
+            .unwrap();
+        session.comment(&fascicle, "spilled comment").unwrap();
+        session
+    }
+
+    fn assert_sessions_identical(a: &GeaSession, b: &GeaSession) {
+        assert_eq!(b.base(), a.base(), "base matrix differs");
+        assert_eq!(b.cleaning_report(), a.cleaning_report(), "report differs");
+        assert_eq!(b.enum_tables(), a.enum_tables(), "enum tables differ");
+        assert_eq!(b.sumy_tables(), a.sumy_tables(), "sumy tables differ");
+        assert_eq!(b.gap_tables(), a.gap_tables(), "gap tables differ");
+        assert_eq!(
+            format!("{:?}", b.fascicle_records()),
+            format!("{:?}", a.fascicle_records()),
+            "fascicle records differ"
+        );
+        assert_eq!(b.corpus().len(), a.corpus().len(), "corpus size differs");
+        for ((_, la), (_, lb)) in a.corpus().iter().zip(b.corpus().iter()) {
+            assert_eq!(lb, la, "corpus library differs");
+        }
+        assert_eq!(
+            b.lineage().render_tree(),
+            a.lineage().render_tree(),
+            "lineage differs"
+        );
+        assert_eq!(b.database().len(), a.database().len());
+        for name in a.database().names() {
+            assert_eq!(
+                b.database().get(name).unwrap(),
+                a.database().get(name).unwrap(),
+                "db table {name:?} differs"
+            );
+        }
+    }
+
+    #[test]
+    fn session_snapshot_full_roundtrip() {
+        let session = rich_session();
+        let dir = temp_dir("snapshot");
+        let fp = save_session(&session, &dir).unwrap();
+        let restored = load_session(&dir).unwrap();
+        assert_sessions_identical(&session, &restored);
+        // The verified path accepts the recorded fingerprint and rejects
+        // any other.
+        assert!(load_session_verified(&dir, fp).is_ok());
+        assert!(matches!(
+            load_session_verified(&dir, fp ^ 1),
+            Err(PersistError::Malformed(_))
+        ));
+        // A restored session is live, not a browse copy: it can keep
+        // deriving new tables from restored state.
+        let mut restored = restored;
+        restored
+            .calculate_top_gap("g", 3, crate::topgap::TopGapOrder::LargestMagnitude)
+            .unwrap();
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn snapshot_fingerprint_is_deterministic() {
+        let session = rich_session();
+        let d1 = temp_dir("fp1");
+        let d2 = temp_dir("fp2");
+        let fp1 = save_session(&session, &d1).unwrap();
+        let fp2 = save_session(&session, &d2).unwrap();
+        assert_eq!(fp1, fp2, "same session must fingerprint identically");
+        fs::remove_dir_all(&d1).unwrap();
+        fs::remove_dir_all(&d2).unwrap();
+    }
+
+    #[test]
+    fn snapshot_corruption_yields_malformed_not_panic() {
+        let session = rich_session();
+        let dir = temp_dir("corrupt");
+        save_session(&session, &dir).unwrap();
+        let path = dir.join(SNAPSHOT_FILE);
+        let clean = fs::read(&path).unwrap();
+
+        // Truncations at assorted prefix lengths.
+        for len in [0, 3, 4, 8, 15, 16, 40, clean.len() / 2, clean.len() - 1] {
+            fs::write(&path, &clean[..len]).unwrap();
+            assert!(
+                matches!(load_session(&dir), Err(PersistError::Malformed(_))),
+                "truncation to {len} bytes not rejected"
+            );
+        }
+
+        // A flipped body byte fails the fingerprint.
+        let mut flipped = clean.clone();
+        let mid = 16 + (clean.len() - 16) / 2;
+        flipped[mid] ^= 0xff;
+        fs::write(&path, &flipped).unwrap();
+        match load_session(&dir) {
+            Err(PersistError::Malformed(m)) => assert!(m.contains("fingerprint"), "{m}"),
+            Err(other) => panic!("expected fingerprint mismatch, got {other:?}"),
+            Ok(_) => panic!("corrupt snapshot loaded"),
+        }
+
+        // Structural corruption that *recomputes* the fingerprint must
+        // still never panic — decode either rejects it or reads it as
+        // different-but-valid data.
+        let step = (clean.len() - 16) / 37 + 1;
+        for offset in (16..clean.len()).step_by(step) {
+            let mut evil = clean.clone();
+            evil[offset] ^= 0xff;
+            let fp = fnv1a(&evil[16..]);
+            evil[8..16].copy_from_slice(&fp.to_le_bytes());
+            fs::write(&path, &evil).unwrap();
+            let _ = load_session(&dir); // must not panic
+        }
+
+        // Wrong magic and unsupported version are rejected up front.
+        let mut bad_magic = clean.clone();
+        bad_magic[0] = b'X';
+        fs::write(&path, &bad_magic).unwrap();
+        assert!(matches!(
+            load_session(&dir),
+            Err(PersistError::Malformed(_))
+        ));
+        let mut bad_version = clean.clone();
+        bad_version[4..8].copy_from_slice(&99u32.to_le_bytes());
+        fs::write(&path, &bad_version).unwrap();
+        match load_session(&dir) {
+            Err(PersistError::Malformed(m)) => assert!(m.contains("version"), "{m}"),
+            Err(other) => panic!("expected version rejection, got {other:?}"),
+            Ok(_) => panic!("version-skewed snapshot loaded"),
+        }
+
+        // A foreign file is malformed, and a missing one is Io.
+        fs::write(&path, b"not a snapshot at all").unwrap();
+        assert!(matches!(
+            load_session(&dir),
+            Err(PersistError::Malformed(_))
+        ));
+        fs::remove_file(&path).unwrap();
+        assert!(matches!(load_session(&dir), Err(PersistError::Io(_))));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn spill_roundtrip_and_cleanup() {
+        let session = rich_session();
+        let spill_dir = temp_dir("spill");
+        let spilled = spill_session(&session, &spill_dir, "weird name/πσ").unwrap();
+        assert!(spilled.path.starts_with(&spill_dir));
+        assert!(spilled.path.join(SNAPSHOT_FILE).exists());
+        // Spills skip the browsable CSV layer.
+        assert!(!spilled.path.join("lineage.txt").exists());
+        let restored = load_session_verified(&spilled.path, spilled.fingerprint).unwrap();
+        assert_sessions_identical(&session, &restored);
+        // Re-spilling the same name replaces the old spill atomically.
+        let again = spill_session(&session, &spill_dir, "weird name/πσ").unwrap();
+        assert_eq!(again.path, spilled.path);
+        assert_eq!(again.fingerprint, spilled.fingerprint);
+        remove_spill(&spilled.path);
+        assert!(!spilled.path.exists());
+        fs::remove_dir_all(&spill_dir).unwrap();
     }
 }

@@ -118,6 +118,32 @@ pub struct ControlGroups {
     pub contrast: String,
 }
 
+/// The complete state of a [`GeaSession`], decomposed into owned parts —
+/// the unit of persistence for `gea_core::persist`'s full-fidelity
+/// snapshot format. Everything a session holds is here except the
+/// name→node index, which is derivable from the lineage and rebuilt by
+/// [`GeaSession::from_snapshot`].
+pub struct SessionSnapshot {
+    /// The raw corpus.
+    pub corpus: SageCorpus,
+    /// The cleaned root data set (`SAGE`).
+    pub base: EnumTable,
+    /// The cleaning report.
+    pub report: CleaningReport,
+    /// Materialized relational tables.
+    pub db: Database,
+    /// The lineage DAG.
+    pub lineage: Lineage,
+    /// Derived ENUM tables by name.
+    pub enums: BTreeMap<String, EnumTable>,
+    /// SUMY tables by name.
+    pub sumys: BTreeMap<String, SumyTable>,
+    /// GAP tables by name.
+    pub gaps: BTreeMap<String, GapTable>,
+    /// Fascicle records by name.
+    pub fascicles: BTreeMap<String, FascicleRecord>,
+}
+
 /// One GEA analysis session.
 pub struct GeaSession {
     corpus: SageCorpus,
@@ -217,6 +243,29 @@ impl GeaSession {
         })
     }
 
+    /// Reassemble a session from a [`SessionSnapshot`] (the persistence
+    /// path). The name→node index is rebuilt from the lineage: live node
+    /// names are unique (enforced by `Lineage::record`), so the last
+    /// occurrence wins harmlessly.
+    pub fn from_snapshot(snapshot: SessionSnapshot) -> GeaSession {
+        let mut nodes = BTreeMap::new();
+        for node in snapshot.lineage.iter() {
+            nodes.insert(node.name.clone(), node.id);
+        }
+        GeaSession {
+            corpus: snapshot.corpus,
+            base: snapshot.base,
+            report: snapshot.report,
+            db: snapshot.db,
+            lineage: snapshot.lineage,
+            enums: snapshot.enums,
+            sumys: snapshot.sumys,
+            gaps: snapshot.gaps,
+            fascicles: snapshot.fascicles,
+            nodes,
+        }
+    }
+
     /// Run an xProfiler-style pooled comparison (§2.3.3) between two named
     /// library groups of a data set — the baseline workflow, for
     /// contrasting with the mined-fascicle GAP workflow.
@@ -302,6 +351,26 @@ impl GeaSession {
     /// Names of all fascicles mined so far.
     pub fn fascicle_names(&self) -> Vec<&str> {
         self.fascicles.keys().map(|s| s.as_str()).collect()
+    }
+
+    /// All derived ENUM tables by name (the root `SAGE` excluded).
+    pub fn enum_tables(&self) -> &BTreeMap<String, EnumTable> {
+        &self.enums
+    }
+
+    /// All SUMY tables by name.
+    pub fn sumy_tables(&self) -> &BTreeMap<String, SumyTable> {
+        &self.sumys
+    }
+
+    /// All GAP tables by name.
+    pub fn gap_tables(&self) -> &BTreeMap<String, GapTable> {
+        &self.gaps
+    }
+
+    /// All fascicle records by name.
+    pub fn fascicle_records(&self) -> &BTreeMap<String, FascicleRecord> {
+        &self.fascicles
     }
 
     /// Approximate heap bytes held by the named derived tables (ENUM,

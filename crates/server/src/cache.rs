@@ -53,6 +53,28 @@ struct Inner {
     clock: u64,
 }
 
+/// The outcome of a cache insertion attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Admission {
+    /// The reply was cached; `evicted` older slots made room for it.
+    Stored {
+        /// How many least-recently-hit slots were evicted to fit it.
+        evicted: u64,
+    },
+    /// The reply was too large relative to the budget and was not cached
+    /// (counted in the `cache_rejected` stat by the caller).
+    Rejected,
+    /// The cache is disabled (zero budget); nothing was stored and nothing
+    /// should be counted.
+    Disabled,
+}
+
+/// Admission control: a single reply may use at most this fraction of the
+/// budget (1/`ADMISSION_FRACTION`). Without it, one huge reply churns the
+/// entire LRU on insert — evicting every hot slot to store bytes that will
+/// likely age out before they are hit again.
+const ADMISSION_FRACTION: usize = 4;
+
 /// A byte-budgeted LRU cache of `OK` reply payloads.
 pub struct ResponseCache {
     budget: usize,
@@ -99,12 +121,15 @@ impl ResponseCache {
     }
 
     /// Store a reply, evicting least-recently-hit slots until it fits.
-    /// Returns how many slots were evicted. Replies too large for the
-    /// whole budget are not stored.
-    pub fn insert(&self, entry: u64, generation: u64, command: String, reply: String) -> u64 {
+    /// Replies costing more than 1/4 of the budget are rejected at
+    /// admission instead of churning the whole LRU to store them.
+    pub fn insert(&self, entry: u64, generation: u64, command: String, reply: String) -> Admission {
+        if self.budget == 0 {
+            return Admission::Disabled;
+        }
         let cost = SLOT_OVERHEAD + command.len() + reply.len();
-        if self.budget == 0 || cost > self.budget {
-            return 0;
+        if cost.saturating_mul(ADMISSION_FRACTION) > self.budget {
+            return Admission::Rejected;
         }
         let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
         let key = Key {
@@ -134,7 +159,7 @@ impl ResponseCache {
         inner.order.insert(stamp, key.clone());
         inner.map.insert(key, Slot { reply, cost, stamp });
         inner.bytes += cost;
-        evicted
+        Admission::Stored { evicted }
     }
 
     /// Drop every slot belonging to session `entry` (closed, evicted, or
@@ -210,28 +235,69 @@ mod tests {
 
     #[test]
     fn lru_eviction_under_a_tiny_budget() {
-        // Budget fits two slots, not three.
+        // Budget fits four admission-sized slots exactly; a fifth insert
+        // must evict the least recently used.
         let slot = SLOT_OVERHEAD + 1 + 5;
-        let cache = ResponseCache::new(2 * slot + 10);
-        assert_eq!(cache.insert(1, 0, "a".into(), "aaaaa".into()), 0);
-        assert_eq!(cache.insert(1, 0, "b".into(), "bbbbb".into()), 0);
-        // Touch "a" so "b" is the least recently used.
+        let cache = ResponseCache::new(4 * slot);
+        for key in ["a", "b", "c", "d"] {
+            assert_eq!(
+                cache.insert(1, 0, key.into(), "vvvvv".into()),
+                Admission::Stored { evicted: 0 }
+            );
+        }
+        // Touch "a" so "b" is the least recently used, then overflow.
         assert!(cache.get(1, 0, "a").is_some());
-        assert_eq!(cache.insert(1, 0, "c".into(), "ccccc".into()), 1);
+        assert_eq!(
+            cache.insert(1, 0, "e".into(), "vvvvv".into()),
+            Admission::Stored { evicted: 1 }
+        );
         assert!(cache.get(1, 0, "a").is_some(), "recently hit slot survives");
         assert_eq!(cache.get(1, 0, "b"), None, "LRU slot evicted");
-        assert!(cache.get(1, 0, "c").is_some());
+        assert!(cache.get(1, 0, "e").is_some());
+    }
+
+    #[test]
+    fn oversized_replies_are_rejected_at_admission() {
+        // A reply over 1/4 of the budget never enters the cache — and
+        // never evicts what is already there.
+        let cache = ResponseCache::new(4096);
+        assert_eq!(
+            cache.insert(1, 0, "small".into(), "v".into()),
+            Admission::Stored { evicted: 0 }
+        );
+        assert_eq!(
+            cache.insert(1, 0, "big".into(), "x".repeat(2000)),
+            Admission::Rejected
+        );
+        assert_eq!(cache.len(), 1, "rejected reply must not be stored");
+        assert!(
+            cache.get(1, 0, "small").is_some(),
+            "rejected reply must not evict residents"
+        );
+        // Exactly at the quarter boundary is still admitted.
+        let fitting = 4096 / 4 - SLOT_OVERHEAD - 3;
+        assert_eq!(
+            cache.insert(1, 0, "fit".into(), "z".repeat(fitting)),
+            Admission::Stored { evicted: 0 }
+        );
     }
 
     #[test]
     fn oversize_and_disabled_are_no_ops() {
         let cache = ResponseCache::new(64);
-        assert_eq!(cache.insert(1, 0, "big".into(), "x".repeat(1000)), 0);
+        assert_eq!(
+            cache.insert(1, 0, "big".into(), "x".repeat(1000)),
+            Admission::Rejected
+        );
         assert!(cache.is_empty());
 
         let off = ResponseCache::new(0);
         assert!(!off.is_enabled());
-        off.insert(1, 0, "a".into(), "b".into());
+        assert_eq!(
+            off.insert(1, 0, "a".into(), "b".into()),
+            Admission::Disabled,
+            "a disabled cache must not count rejections"
+        );
         assert_eq!(off.get(1, 0, "a"), None);
         assert!(off.is_empty());
     }
@@ -250,17 +316,25 @@ mod tests {
 
     #[test]
     fn same_key_refresh_near_budget_does_not_evict_neighbors() {
-        // Budget holds exactly two slots.
-        let slot = SLOT_OVERHEAD + 1 + 5;
-        let cache = ResponseCache::new(2 * slot);
-        cache.insert(1, 0, "a".into(), "aaaaa".into());
-        cache.insert(1, 0, "b".into(), "bbbbb".into());
-        // Re-inserting "b" replaces its own slot; crediting it first means
+        // Four admission-sized slots fill the budget exactly.
+        let payload = "p".repeat(100);
+        let slot = SLOT_OVERHEAD + 1 + payload.len();
+        let cache = ResponseCache::new(4 * slot);
+        for key in ["a", "b", "c", "d"] {
+            assert_eq!(
+                cache.insert(1, 0, key.into(), payload.clone()),
+                Admission::Stored { evicted: 0 }
+            );
+        }
+        // Re-inserting "d" replaces its own slot; crediting it first means
         // nothing else needs to go.
-        assert_eq!(cache.insert(1, 0, "b".into(), "bbbbb".into()), 0);
+        assert_eq!(
+            cache.insert(1, 0, "d".into(), payload),
+            Admission::Stored { evicted: 0 }
+        );
         assert!(cache.get(1, 0, "a").is_some(), "unrelated slot evicted");
-        assert!(cache.get(1, 0, "b").is_some());
-        assert_eq!(cache.len(), 2);
+        assert!(cache.get(1, 0, "d").is_some());
+        assert_eq!(cache.len(), 4);
     }
 
     #[test]

@@ -250,17 +250,11 @@ pub fn execute_read(session: &GeaSession, cmd: &GqlCommand) -> Result<String, En
             out
         }
         GqlCommand::Save(dir) => {
-            gea_core::persist::save_results(session, std::path::Path::new(dir))?;
-            format!("saved {} table(s) to {dir}", session.database().len())
-        }
-        GqlCommand::Load(dir) => {
-            let loaded = gea_core::persist::load_results(std::path::Path::new(dir))?;
-            let mut out = format!(
-                "loaded {} table(s); operation history:\n",
-                loaded.database.len()
-            );
-            out.push_str(&loaded.lineage.render_tree());
-            out
+            gea_core::persist::save_session(session, std::path::Path::new(dir))?;
+            format!(
+                "saved {} table(s) and full session snapshot to {dir}",
+                session.database().len()
+            )
         }
         other => {
             debug_assert!(false, "{} reached execute_read", other.verb());
@@ -417,6 +411,20 @@ pub fn execute_write(session: &mut GeaSession, cmd: &GqlCommand) -> Result<Strin
         GqlCommand::Populate(name) => {
             session.regenerate(name)?;
             format!("re-materialized {name} from its lineage")
+        }
+        GqlCommand::Load(dir) => {
+            // Restore the saved session *in place* — the `save`/`load`
+            // round trip the thesis's DB2 persistence assumes. This is a
+            // write: the whole session is replaced, so it runs under the
+            // write lock and the generation bump invalidates every cached
+            // reply for this session.
+            *session = gea_core::persist::load_session(std::path::Path::new(dir))?;
+            let mut out = format!(
+                "restored session from {dir}: {} table(s); operation history:\n",
+                session.database().len()
+            );
+            out.push_str(&session.lineage().render_tree());
+            out
         }
         read => return execute_read(session, read),
     };

@@ -50,8 +50,8 @@ GQL commands (thesis chapter 4's menus, served):
     comment <name> <text...>            annotate a lineage node
     delete <name> [--cascade]           drop contents / cascade       [Fig 4.18]
     populate <name>                     re-materialize a truncated table (§4.4.2)
-    save <dir>                          persist tables + lineage to a directory
-    load <dir>                          reload saved tables + lineage (read-only browse)
+    save <dir>                          persist the full session (tables, lineage, snapshot)
+    load <dir>                          restore a saved session in place (replaces current state)
     gen-corpus <seed> <dir>             write a demo corpus as SAGE text files
   server
     ping                                liveness check
@@ -287,8 +287,10 @@ pub enum GqlCommand {
 impl GqlCommand {
     /// Whether the command only reads the session. Read commands run under
     /// a shared read lock on the server; everything else takes the write
-    /// lock. (`save`, `export` and `load` touch the filesystem but not the
-    /// session, so they are reads here.)
+    /// lock. (`save` and `export` touch the filesystem but not the
+    /// session, so they are reads here; `load` *replaces* the session in
+    /// place, so it is a write — it must bump the generation to invalidate
+    /// cached replies.)
     pub fn is_read(&self) -> bool {
         matches!(
             self,
@@ -304,22 +306,17 @@ impl GqlCommand {
                 | GqlCommand::Cleaning
                 | GqlCommand::Xprofiler(_)
                 | GqlCommand::Save(_)
-                | GqlCommand::Load(_)
         )
     }
 
     /// Whether the command's reply may be served from the server's
     /// response cache. Cacheable commands are the pure reads: they touch
     /// nothing but the session, so at a fixed session generation their
-    /// reply is a pure function of the command line. `save`, `load`, and
-    /// `export` are reads for locking purposes but touch the filesystem,
-    /// whose state the generation does not cover, so they always execute.
+    /// reply is a pure function of the command line. `save` and `export`
+    /// are reads for locking purposes but touch the filesystem, whose
+    /// state the generation does not cover, so they always execute.
     pub fn is_cacheable(&self) -> bool {
-        self.is_read()
-            && !matches!(
-                self,
-                GqlCommand::Export { .. } | GqlCommand::Save(_) | GqlCommand::Load(_)
-            )
+        self.is_read() && !matches!(self, GqlCommand::Export { .. } | GqlCommand::Save(_))
     }
 
     /// The normalized command line: the canonical spelling that parses
@@ -937,6 +934,7 @@ mod tests {
             "dataset E brain",
             "populate t",
             "comment t x",
+            "load dir", // replaces the session in place, so it's a write
         ] {
             match parse(line).unwrap().unwrap() {
                 Request::Gql(cmd) => assert!(!cmd.is_read(), "{line} should be a write"),

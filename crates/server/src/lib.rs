@@ -49,9 +49,9 @@ pub mod registry;
 pub mod server;
 pub mod wire;
 
-pub use cache::ResponseCache;
+pub use cache::{Admission, ResponseCache};
 pub use client::GeaClient;
 pub use engine::EngineError;
 pub use gql::{GqlCommand, Request, SessionCtl};
-pub use registry::{EvictReason, EvictionPolicy, SessionRegistry};
-pub use server::{Server, ServerConfig};
+pub use registry::{Adopt, EvictReason, EvictionPolicy, SessionRegistry, SpillRecord};
+pub use server::{Server, ServerConfig, ServerHandle};

@@ -82,7 +82,11 @@ pub struct Metrics {
     cache_hits: AtomicU64,
     cache_misses: AtomicU64,
     cache_evictions: AtomicU64,
+    cache_rejected: AtomicU64,
     sessions_evicted: AtomicU64,
+    sessions_spilled: AtomicU64,
+    sessions_restored: AtomicU64,
+    spill_errors: AtomicU64,
     per_cmd: Mutex<BTreeMap<&'static str, CmdStat>>,
 }
 
@@ -105,7 +109,11 @@ impl Metrics {
             cache_hits: AtomicU64::new(0),
             cache_misses: AtomicU64::new(0),
             cache_evictions: AtomicU64::new(0),
+            cache_rejected: AtomicU64::new(0),
             sessions_evicted: AtomicU64::new(0),
+            sessions_spilled: AtomicU64::new(0),
+            sessions_restored: AtomicU64::new(0),
+            spill_errors: AtomicU64::new(0),
             per_cmd: Mutex::new(BTreeMap::new()),
         }
     }
@@ -152,9 +160,29 @@ impl Metrics {
         self.cache_evictions.fetch_add(n, Ordering::Relaxed);
     }
 
+    /// A reply was refused at cache admission for being oversized.
+    pub fn cache_rejected(&self) {
+        self.cache_rejected.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// `n` sessions were evicted by the registry's policy.
     pub fn sessions_evicted_add(&self, n: u64) {
         self.sessions_evicted.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// A session was persisted to the spill directory before eviction.
+    pub fn session_spilled(&self) {
+        self.sessions_spilled.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A spilled session was transparently restored on its next use.
+    pub fn session_restored(&self) {
+        self.sessions_restored.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A spill or restore attempt failed (I/O error or corrupt snapshot).
+    pub fn spill_error(&self) {
+        self.spill_errors.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Response-cache hits so far.
@@ -207,8 +235,28 @@ impl Metrics {
         );
         let _ = writeln!(
             out,
+            "cache_rejected {}",
+            self.cache_rejected.load(Ordering::Relaxed)
+        );
+        let _ = writeln!(
+            out,
             "sessions_evicted {}",
             self.sessions_evicted.load(Ordering::Relaxed)
+        );
+        let _ = writeln!(
+            out,
+            "sessions_spilled {}",
+            self.sessions_spilled.load(Ordering::Relaxed)
+        );
+        let _ = writeln!(
+            out,
+            "sessions_restored {}",
+            self.sessions_restored.load(Ordering::Relaxed)
+        );
+        let _ = writeln!(
+            out,
+            "spill_errors {}",
+            self.spill_errors.load(Ordering::Relaxed)
         );
         let map = self.per_cmd.lock().unwrap_or_else(|e| e.into_inner());
         for (verb, stat) in map.iter() {
@@ -282,13 +330,22 @@ mod tests {
         m.cache_hit();
         m.cache_miss();
         m.cache_evictions_add(3);
+        m.cache_rejected();
         m.sessions_evicted_add(1);
+        m.session_spilled();
+        m.session_spilled();
+        m.session_restored();
+        m.spill_error();
         assert_eq!(m.cache_hits(), 2);
         assert_eq!(m.cache_misses(), 1);
         let text = m.render();
         assert!(text.contains("cache_hits 2"), "{text}");
         assert!(text.contains("cache_misses 1"), "{text}");
         assert!(text.contains("cache_evictions 3"), "{text}");
+        assert!(text.contains("cache_rejected 1"), "{text}");
         assert!(text.contains("sessions_evicted 1"), "{text}");
+        assert!(text.contains("sessions_spilled 2"), "{text}");
+        assert!(text.contains("sessions_restored 1"), "{text}");
+        assert!(text.contains("spill_errors 1"), "{text}");
     }
 }

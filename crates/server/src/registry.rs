@@ -20,11 +20,20 @@
 //! timestamps and approximate memory accounting (via
 //! [`gea_core::mem::ApproxMem`], refreshed on every write release) feed an
 //! LRU eviction pass against a byte budget plus an idle-timeout sweep.
-//! Evicted names leave a tombstone so the next request answers `EEVICTED`
-//! (re-open the session) rather than the `ENOSESSION` a typo gets.
+//! Evicted names leave a tombstone. A plain tombstone makes the next
+//! request answer `EEVICTED` (re-open the session) rather than the
+//! `ENOSESSION` a typo gets; a **spill** tombstone ([`SpillRecord`])
+//! additionally remembers where the server persisted the session's full
+//! state, so the next request can restore it transparently instead. The
+//! spill commit protocol is two-phase: the server snapshots the session to
+//! disk under a read guard, then calls [`SessionRegistry::evict_to_spill`],
+//! which commits only if the entry is still the same one, unlocked, and at
+//! the generation the snapshot saw — otherwise the stale snapshot is
+//! abandoned and the session stays live.
 
 use std::collections::HashMap;
 use std::ops::{Deref, DerefMut};
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, RwLock, RwLockReadGuard, RwLockWriteGuard};
 use std::time::{Duration, Instant};
@@ -51,6 +60,27 @@ impl std::fmt::Display for EvictReason {
             EvictReason::OverBudget => f.write_str("session memory budget exceeded"),
         }
     }
+}
+
+/// Where an evicted session's state was persisted, recorded in the
+/// tombstone so the next request against the name can restore it.
+#[derive(Debug, Clone)]
+pub struct SpillRecord {
+    /// Why the policy chose this session.
+    pub reason: EvictReason,
+    /// Spill directory holding the session snapshot.
+    pub path: PathBuf,
+    /// Fingerprint of the snapshot body, verified on restore.
+    pub fingerprint: u64,
+}
+
+/// What a name that is no longer live left behind.
+#[derive(Debug, Clone)]
+enum Tombstone {
+    /// Evicted without persistence; the state is gone.
+    Evicted(EvictReason),
+    /// Evicted after a successful spill; the state is on disk.
+    Spilled(SpillRecord),
 }
 
 /// The registry's eviction knobs. Both default to off.
@@ -327,16 +357,30 @@ pub struct SessionInfo {
 pub enum Lookup {
     /// The session is live.
     Found(SharedSession),
-    /// The session was evicted; re-open it.
+    /// The session was evicted without persistence; re-open it.
     Evicted(EvictReason),
+    /// The session was spilled to disk; restore it from the record.
+    Spilled(SpillRecord),
     /// No such session was ever opened (or it was closed explicitly).
     Missing,
+}
+
+/// The outcome of [`SessionRegistry::adopt_restored`].
+pub enum Adopt {
+    /// The restored session was installed under a fresh entry.
+    Installed(SharedSession),
+    /// Another request restored (or re-opened) the name first; use that
+    /// entry and discard the duplicate restoration.
+    Existing(SharedSession),
+    /// The spill tombstone is gone or superseded (the name was closed or
+    /// replaced while the restore ran); the restoration must be dropped.
+    Stale,
 }
 
 #[derive(Default)]
 struct Inner {
     live: HashMap<String, SharedSession>,
-    evicted: HashMap<String, EvictReason>,
+    evicted: HashMap<String, Tombstone>,
 }
 
 /// The named-session registry.
@@ -374,14 +418,16 @@ impl SessionRegistry {
             .cloned()
     }
 
-    /// Look up a session, distinguishing "evicted" from "never opened".
+    /// Look up a session, distinguishing "evicted" and "spilled" from
+    /// "never opened".
     pub fn lookup(&self, name: &str) -> Lookup {
         let inner = self.inner.read().unwrap_or_else(|e| e.into_inner());
         if let Some(arc) = inner.live.get(name) {
             return Lookup::Found(Arc::clone(arc));
         }
         match inner.evicted.get(name) {
-            Some(&reason) => Lookup::Evicted(reason),
+            Some(Tombstone::Evicted(reason)) => Lookup::Evicted(*reason),
+            Some(Tombstone::Spilled(record)) => Lookup::Spilled(record.clone()),
             None => Lookup::Missing,
         }
     }
@@ -478,7 +524,9 @@ impl SessionRegistry {
             .into_iter()
             .filter_map(|name| {
                 let entry = inner.live.remove(&name)?;
-                inner.evicted.insert(name.clone(), EvictReason::IdleTimeout);
+                inner
+                    .evicted
+                    .insert(name.clone(), Tombstone::Evicted(EvictReason::IdleTimeout));
                 Some((name, entry))
             })
             .collect()
@@ -508,10 +556,147 @@ impl SessionRegistry {
             let entry = inner.live.remove(&victim).expect("victim is live");
             inner
                 .evicted
-                .insert(victim.clone(), EvictReason::OverBudget);
+                .insert(victim.clone(), Tombstone::Evicted(EvictReason::OverBudget));
             out.push((victim, entry));
         }
         out
+    }
+
+    /// A read-only eviction pass: which sessions the policy would evict
+    /// right now, and why. The idle sweep's victims come first, then the
+    /// budget pass's in LRU order (busy sessions skipped, victims already
+    /// chosen by the idle pass not double-counted). Nothing is removed —
+    /// the spill path snapshots each candidate to disk first and then
+    /// commits individually via [`SessionRegistry::evict_to_spill`].
+    pub fn eviction_candidates(
+        &self,
+        policy: &EvictionPolicy,
+    ) -> Vec<(String, SharedSession, EvictReason)> {
+        let inner = self.inner.read().unwrap_or_else(|e| e.into_inner());
+        let mut out: Vec<(String, SharedSession, EvictReason)> = Vec::new();
+        if let Some(idle) = policy.idle_timeout {
+            for (name, entry) in inner.live.iter() {
+                if !entry.is_busy() && entry.idle_for() > idle {
+                    out.push((name.clone(), Arc::clone(entry), EvictReason::IdleTimeout));
+                }
+            }
+        }
+        if let Some(budget) = policy.session_budget {
+            let mut total: u64 = inner.live.values().map(|e| e.approx_bytes()).sum();
+            for (_, entry, _) in &out {
+                total = total.saturating_sub(entry.approx_bytes());
+            }
+            let mut rest: Vec<(Duration, &String, &SharedSession)> = inner
+                .live
+                .iter()
+                .filter(|(name, entry)| {
+                    !entry.is_busy() && !out.iter().any(|(chosen, _, _)| chosen == *name)
+                })
+                .map(|(name, entry)| (entry.idle_for(), name, entry))
+                .collect();
+            rest.sort_by_key(|r| std::cmp::Reverse(r.0)); // most idle first
+            for (_, name, entry) in rest {
+                if total <= budget {
+                    break;
+                }
+                total = total.saturating_sub(entry.approx_bytes());
+                out.push((name.clone(), Arc::clone(entry), EvictReason::OverBudget));
+            }
+        }
+        out
+    }
+
+    /// Commit a spill: atomically replace the live entry with a spill
+    /// tombstone, but only if `name` still maps to this exact entry, the
+    /// entry is unlocked, and its generation still equals
+    /// `expected_generation` (the generation the on-disk snapshot was
+    /// taken under). Returns `false` — snapshot stale, session stays
+    /// live — otherwise.
+    pub fn evict_to_spill(
+        &self,
+        name: &str,
+        entry: &SharedSession,
+        expected_generation: u64,
+        record: SpillRecord,
+    ) -> bool {
+        let mut inner = self.inner.write().unwrap_or_else(|e| e.into_inner());
+        let same = inner.live.get(name).is_some_and(|e| e.id() == entry.id());
+        if !same || entry.is_busy() || entry.generation() != expected_generation {
+            return false;
+        }
+        inner.live.remove(name);
+        inner
+            .evicted
+            .insert(name.to_string(), Tombstone::Spilled(record));
+        true
+    }
+
+    /// Evict one entry without persistence (the fallback when its spill
+    /// failed), with the same still-same-entry and not-busy checks as
+    /// [`SessionRegistry::evict_to_spill`].
+    pub fn evict(&self, name: &str, entry: &SharedSession, reason: EvictReason) -> bool {
+        let mut inner = self.inner.write().unwrap_or_else(|e| e.into_inner());
+        let same = inner.live.get(name).is_some_and(|e| e.id() == entry.id());
+        if !same || entry.is_busy() {
+            return false;
+        }
+        inner.live.remove(name);
+        inner
+            .evicted
+            .insert(name.to_string(), Tombstone::Evicted(reason));
+        true
+    }
+
+    /// Install a session restored from a spill under a **fresh** entry
+    /// (new id, generation 0 — stale cached replies for the old entry can
+    /// never match). Succeeds only while the name still carries the spill
+    /// tombstone for `expected_path`; races are reported, not clobbered:
+    /// a concurrent restore or re-open wins and the caller's copy is
+    /// dropped.
+    pub fn adopt_restored(&self, name: &str, session: GeaSession, expected_path: &Path) -> Adopt {
+        let mut inner = self.inner.write().unwrap_or_else(|e| e.into_inner());
+        if let Some(arc) = inner.live.get(name) {
+            return Adopt::Existing(Arc::clone(arc));
+        }
+        match inner.evicted.get(name) {
+            Some(Tombstone::Spilled(record)) if record.path == expected_path => {
+                inner.evicted.remove(name);
+                let entry = Arc::new(SessionEntry::new(session));
+                inner.live.insert(name.to_string(), Arc::clone(&entry));
+                Adopt::Installed(entry)
+            }
+            _ => Adopt::Stale,
+        }
+    }
+
+    /// Demote a spill tombstone to a plain eviction tombstone after its
+    /// snapshot proved unreadable, so later requests answer `EEVICTED`
+    /// instead of retrying the broken restore forever. No-op unless the
+    /// name still carries the spill tombstone for `path`.
+    pub fn downgrade_spill(&self, name: &str, path: &Path) {
+        let mut inner = self.inner.write().unwrap_or_else(|e| e.into_inner());
+        if let Some(Tombstone::Spilled(record)) = inner.evicted.get(name) {
+            if record.path == path {
+                let reason = record.reason;
+                inner
+                    .evicted
+                    .insert(name.to_string(), Tombstone::Evicted(reason));
+            }
+        }
+    }
+
+    /// Remove and return a spill tombstone's record, if `name` has one.
+    /// The `open` and `close` paths use this to delete the now-dead spill
+    /// directory from disk.
+    pub fn take_spill(&self, name: &str) -> Option<SpillRecord> {
+        let mut inner = self.inner.write().unwrap_or_else(|e| e.into_inner());
+        match inner.evicted.get(name) {
+            Some(Tombstone::Spilled(_)) => match inner.evicted.remove(name) {
+                Some(Tombstone::Spilled(record)) => Some(record),
+                _ => unreachable!("tombstone changed under the write lock"),
+            },
+            _ => None,
+        }
     }
 }
 
@@ -780,5 +965,138 @@ mod tests {
         // Closing an evicted name clears the tombstone without error.
         reg.close("mid");
         assert!(matches!(reg.lookup("mid"), Lookup::Missing));
+    }
+
+    fn spill_record(path: &str) -> SpillRecord {
+        SpillRecord {
+            reason: EvictReason::IdleTimeout,
+            path: PathBuf::from(path),
+            fingerprint: 7,
+        }
+    }
+
+    #[test]
+    fn spill_commit_verifies_entry_generation_and_busyness() {
+        let reg = SessionRegistry::new();
+        reg.open("a", demo_session());
+        let shared = reg.get("a").unwrap();
+        let generation = shared.generation();
+
+        // A write between snapshot and commit bumps the generation: the
+        // stale snapshot must not commit and the session stays live.
+        drop(shared.write_with_deadline(Duration::from_secs(1)).unwrap());
+        assert!(!reg.evict_to_spill("a", &shared, generation, spill_record("/tmp/x")));
+        assert!(matches!(reg.lookup("a"), Lookup::Found(_)));
+
+        // A busy entry is never committed either.
+        let generation = shared.generation();
+        let guard = shared.read_with_deadline(Duration::from_secs(1)).unwrap();
+        assert!(!reg.evict_to_spill("a", &shared, generation, spill_record("/tmp/x")));
+        drop(guard);
+
+        // Quiescent at the snapshot generation: the commit lands and the
+        // lookup now reports the spill record.
+        assert!(reg.evict_to_spill("a", &shared, generation, spill_record("/tmp/x")));
+        match reg.lookup("a") {
+            Lookup::Spilled(record) => {
+                assert_eq!(record.path, Path::new("/tmp/x"));
+                assert_eq!(record.fingerprint, 7);
+            }
+            _ => panic!("expected a spill tombstone"),
+        }
+        // Committing again against the gone entry is refused.
+        assert!(!reg.evict_to_spill("a", &shared, generation, spill_record("/tmp/x")));
+    }
+
+    #[test]
+    fn adopt_restored_races_and_downgrade() {
+        let reg = SessionRegistry::new();
+        reg.open("a", demo_session());
+        let shared = reg.get("a").unwrap();
+        let old_id = shared.id();
+        assert!(reg.evict_to_spill("a", &shared, 0, spill_record("/tmp/a")));
+
+        // Wrong path (a newer spill superseded the one we restored) is
+        // stale; the tombstone is untouched.
+        assert!(matches!(
+            reg.adopt_restored("a", demo_session(), Path::new("/tmp/other")),
+            Adopt::Stale
+        ));
+        // Matching path installs a *fresh* entry: new id, generation 0.
+        let installed = match reg.adopt_restored("a", demo_session(), Path::new("/tmp/a")) {
+            Adopt::Installed(arc) => arc,
+            _ => panic!("expected install"),
+        };
+        assert_ne!(installed.id(), old_id, "restored entry ids are fresh");
+        assert_eq!(installed.generation(), 0);
+        // A second (racing) restore finds the live entry instead.
+        match reg.adopt_restored("a", demo_session(), Path::new("/tmp/a")) {
+            Adopt::Existing(arc) => assert_eq!(arc.id(), installed.id()),
+            _ => panic!("expected the existing entry"),
+        }
+
+        // Downgrade demotes a spill tombstone to a plain eviction.
+        reg.open("b", demo_session());
+        let b = reg.get("b").unwrap();
+        assert!(reg.evict_to_spill("b", &b, 0, spill_record("/tmp/b")));
+        reg.downgrade_spill("b", Path::new("/elsewhere")); // wrong path: no-op
+        assert!(matches!(reg.lookup("b"), Lookup::Spilled(_)));
+        reg.downgrade_spill("b", Path::new("/tmp/b"));
+        assert!(matches!(
+            reg.lookup("b"),
+            Lookup::Evicted(EvictReason::IdleTimeout)
+        ));
+        assert!(matches!(
+            reg.adopt_restored("b", demo_session(), Path::new("/tmp/b")),
+            Adopt::Stale
+        ));
+
+        // take_spill removes the record exactly once.
+        reg.open("c", demo_session());
+        let c = reg.get("c").unwrap();
+        assert!(reg.evict_to_spill("c", &c, 0, spill_record("/tmp/c")));
+        let rec = reg.take_spill("c").expect("spill record");
+        assert_eq!(rec.path, Path::new("/tmp/c"));
+        assert!(reg.take_spill("c").is_none());
+        assert!(matches!(reg.lookup("c"), Lookup::Missing));
+    }
+
+    #[test]
+    fn eviction_candidates_is_read_only_and_lru_ordered() {
+        let reg = SessionRegistry::new();
+        reg.open("old", demo_session());
+        reg.open("new", demo_session());
+        for name in ["old", "new"] {
+            std::thread::sleep(Duration::from_millis(15));
+            drop(
+                reg.get(name)
+                    .unwrap()
+                    .read_with_deadline(Duration::from_secs(1))
+                    .unwrap(),
+            );
+        }
+        let per_session = reg.total_bytes() / 2;
+        let policy = EvictionPolicy {
+            session_budget: Some(per_session + per_session / 2),
+            idle_timeout: None,
+        };
+        let candidates = reg.eviction_candidates(&policy);
+        assert_eq!(candidates.len(), 1, "one eviction brings us under budget");
+        assert_eq!(candidates[0].0, "old", "LRU first");
+        assert_eq!(candidates[0].2, EvictReason::OverBudget);
+        assert_eq!(reg.len(), 2, "candidates pass removes nothing");
+
+        // An idle timeout marks both, and the budget pass does not then
+        // double-count them.
+        std::thread::sleep(Duration::from_millis(5));
+        let policy = EvictionPolicy {
+            session_budget: Some(per_session + per_session / 2),
+            idle_timeout: Some(Duration::from_millis(1)),
+        };
+        let candidates = reg.eviction_candidates(&policy);
+        assert_eq!(candidates.len(), 2);
+        assert!(candidates
+            .iter()
+            .all(|(_, _, r)| *r == EvictReason::IdleTimeout));
     }
 }

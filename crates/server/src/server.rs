@@ -19,25 +19,35 @@
 //!   generation, so stale replies structurally miss;
 //! * an [`EvictionPolicy`]: a background sweeper (plus an eager check
 //!   after every write) evicts sessions idle past a timeout or, in LRU
-//!   order, whatever pushes the registry over its byte budget. Evicted
-//!   sessions answer `ERR EEVICTED` until re-opened.
+//!   order, whatever pushes the registry over its byte budget. Without a
+//!   spill directory, evicted sessions answer `ERR EEVICTED` until
+//!   re-opened. With `spill_dir` configured, eviction becomes a
+//!   transparent slow path instead: the victim's full state is persisted
+//!   (snapshot + fingerprint) before it is dropped, and the next request
+//!   against the name restores it from disk under a fresh registry entry
+//!   — the client never sees `EEVICTED` unless the spill file itself is
+//!   unreadable.
 
 use std::io::Read;
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
 use std::sync::{mpsc, Arc, Mutex};
 use std::time::{Duration, Instant};
 
+use gea_core::persist;
 use gea_core::session::GeaSession;
 use gea_sage::clean::CleaningConfig;
 use gea_sage::generate::{generate, GeneratorConfig};
 
-use crate::cache::ResponseCache;
+use crate::cache::{Admission, ResponseCache};
 use crate::engine::{self, EngineError};
 use crate::gql::{self, GqlCommand, Request, SessionCtl};
 use crate::metrics::Metrics;
-use crate::registry::{EvictReason, EvictionPolicy, Lookup, SessionRegistry, SharedSession};
+use crate::registry::{
+    Adopt, EvictReason, EvictionPolicy, Lookup, SessionRegistry, SharedSession, SpillRecord,
+};
 use crate::wire;
 
 /// Server tuning knobs.
@@ -62,6 +72,10 @@ pub struct ServerConfig {
     /// Sessions idle longer than this are evicted by the background
     /// sweeper. `None` disables the sweep.
     pub idle_timeout: Option<Duration>,
+    /// Directory where evicted sessions are spilled for transparent
+    /// restore on next use. `None` keeps the drop-and-`EEVICTED`
+    /// behavior.
+    pub spill_dir: Option<PathBuf>,
 }
 
 impl Default for ServerConfig {
@@ -74,6 +88,7 @@ impl Default for ServerConfig {
             cache_bytes: 8 * 1024 * 1024,
             session_budget: None,
             idle_timeout: None,
+            spill_dir: None,
         }
     }
 }
@@ -260,8 +275,116 @@ fn sweeper(shared: &Shared) {
     let policy = shared.config.eviction_policy();
     while !shared.shutdown.load(Ordering::SeqCst) {
         std::thread::sleep(SWEEP_INTERVAL);
-        let evicted = shared.registry.sweep(&policy);
-        shared.note_evicted(&evicted);
+        evict_pass(shared, &policy);
+    }
+}
+
+/// How long a spill waits for the victim's read lock before skipping it
+/// this pass. A session the policy chose is quiescent; anything actively
+/// locked is no longer a good victim anyway.
+const SPILL_LOCK_TIMEOUT: Duration = Duration::from_millis(250);
+
+/// Run one eviction pass under `policy`. Without a spill directory this
+/// is the registry's destructive sweep; with one, each candidate is
+/// persisted first and only then committed out of the registry.
+fn evict_pass(shared: &Shared, policy: &EvictionPolicy) {
+    if !policy.is_active() {
+        return;
+    }
+    match &shared.config.spill_dir {
+        None => {
+            let evicted = shared.registry.sweep(policy);
+            shared.note_evicted(&evicted);
+        }
+        Some(dir) => {
+            for (name, entry, reason) in shared.registry.eviction_candidates(policy) {
+                spill_one(shared, &name, &entry, reason, dir);
+            }
+        }
+    }
+}
+
+/// Spill one eviction candidate: snapshot its state to disk under a read
+/// guard (writers excluded, so the snapshot is consistent), then commit
+/// the eviction only if the entry is still unlocked and at the snapshot's
+/// generation — a request that raced in invalidates the snapshot, which
+/// is abandoned and the session stays live. An unwritable spill falls
+/// back to a plain (lossy) eviction so the memory budget still holds.
+fn spill_one(
+    shared: &Shared,
+    name: &str,
+    entry: &SharedSession,
+    reason: EvictReason,
+    dir: &std::path::Path,
+) {
+    let Ok(guard) = entry.read_with_deadline(SPILL_LOCK_TIMEOUT) else {
+        return; // busy: no longer a victim, try again next pass
+    };
+    let generation = entry.generation();
+    let spilled = persist::spill_session(&guard, dir, name);
+    drop(guard);
+    match spilled {
+        Ok(spill) => {
+            let record = SpillRecord {
+                reason,
+                path: spill.path,
+                fingerprint: spill.fingerprint,
+            };
+            let path = record.path.clone();
+            if shared
+                .registry
+                .evict_to_spill(name, entry, generation, record)
+            {
+                shared.metrics.session_spilled();
+                shared.metrics.sessions_evicted_add(1);
+                shared.cache.purge_entry(entry.id());
+            } else {
+                // A request slipped in between snapshot and commit: the
+                // snapshot is stale; drop it and leave the session live.
+                persist::remove_spill(&path);
+            }
+        }
+        Err(_) => {
+            shared.metrics.spill_error();
+            if shared.registry.evict(name, entry, reason) {
+                shared.metrics.sessions_evicted_add(1);
+                shared.cache.purge_entry(entry.id());
+            }
+        }
+    }
+}
+
+/// Restore a spilled session on first use: load and fingerprint-verify
+/// the snapshot (outside any lock), then install it under a fresh entry.
+/// Racing restores converge on whichever entry landed first. A snapshot
+/// that fails verification demotes the tombstone to a plain eviction so
+/// the name answers `EEVICTED` from then on instead of retrying.
+fn restore_spilled(
+    shared: &Shared,
+    name: &str,
+    record: &SpillRecord,
+) -> Result<SharedSession, EngineError> {
+    match persist::load_session_verified(&record.path, record.fingerprint) {
+        Ok(session) => match shared.registry.adopt_restored(name, session, &record.path) {
+            Adopt::Installed(entry) => {
+                shared.metrics.session_restored();
+                persist::remove_spill(&record.path);
+                Ok(entry)
+            }
+            Adopt::Existing(entry) => Ok(entry),
+            Adopt::Stale => Err(no_session(name)),
+        },
+        Err(_) => {
+            shared.metrics.spill_error();
+            shared.registry.downgrade_spill(name, &record.path);
+            Err(EngineError::new(
+                "EEVICTED",
+                format!(
+                    "session {name:?} was evicted ({}) and its spill file is unreadable; re-open it",
+                    record.reason
+                ),
+            ))
+        }
     }
 }
 
@@ -415,6 +538,9 @@ fn session_ctl(
         SessionCtl::Use(name) => {
             match shared.registry.lookup(name) {
                 Lookup::Found(_) => {}
+                Lookup::Spilled(record) => {
+                    restore_spilled(shared, name, &record)?;
+                }
                 Lookup::Evicted(reason) => return Err(EngineError::evicted(name, reason)),
                 Lookup::Missing => return Err(no_session(name)),
             }
@@ -438,6 +564,12 @@ fn session_ctl(
                 .join("\n"))
         }
         SessionCtl::Close(name) => {
+            // `close` on a spilled name clears the tombstone and deletes
+            // the now-dead snapshot from disk.
+            if let Some(record) = shared.registry.take_spill(name) {
+                persist::remove_spill(&record.path);
+                return Ok(format!("cleared spilled session {name}"));
+            }
             let was_evicted = matches!(shared.registry.lookup(name), Lookup::Evicted(_));
             match shared.registry.close_entry(name) {
                 Some(entry) => {
@@ -461,6 +593,11 @@ fn install(
 ) -> String {
     let report = session.cleaning_report().clone();
     let libs = session.base().n_libraries();
+    // A fresh open supersedes any spilled state under the name; delete
+    // the snapshot so a later eviction can't resurrect stale data.
+    if let Some(record) = shared.registry.take_spill(name) {
+        persist::remove_spill(&record.path);
+    }
     if let Some(replaced) = shared.registry.open(name, session) {
         shared.cache.purge_entry(replaced.id());
     }
@@ -480,15 +617,11 @@ fn install(
 }
 
 fn enforce_budget(shared: &Shared) {
-    if let Some(budget) = shared.config.session_budget {
-        let evicted: Vec<_> = shared
-            .registry
-            .enforce_budget(budget)
-            .into_iter()
-            .map(|(n, e)| (n, e, EvictReason::OverBudget))
-            .collect();
-        shared.note_evicted(&evicted);
-    }
+    let policy = EvictionPolicy {
+        session_budget: shared.config.session_budget,
+        idle_timeout: None,
+    };
+    evict_pass(shared, &policy);
 }
 
 fn no_session(name: &str) -> EngineError {
@@ -501,6 +634,9 @@ fn no_session(name: &str) -> EngineError {
 fn run_gql(cmd: &GqlCommand, current: &str, shared: &Shared) -> Result<String, EngineError> {
     let entry = match shared.registry.lookup(current) {
         Lookup::Found(entry) => entry,
+        // The transparent slow path: a spilled session is restored from
+        // disk and the request proceeds against the fresh entry.
+        Lookup::Spilled(record) => restore_spilled(shared, current, &record)?,
         Lookup::Evicted(reason) => return Err(EngineError::evicted(current, reason)),
         Lookup::Missing => return Err(no_session(current)),
     };
@@ -526,10 +662,14 @@ fn run_gql(cmd: &GqlCommand, current: &str, shared: &Shared) -> Result<String, E
         let result = engine::execute_read(&session, cmd);
         drop(session);
         if let (Some(key), Ok(reply)) = (key, &result) {
-            let evicted = shared
+            match shared
                 .cache
-                .insert(entry.id(), generation, key, reply.clone());
-            shared.metrics.cache_evictions_add(evicted);
+                .insert(entry.id(), generation, key, reply.clone())
+            {
+                Admission::Stored { evicted } => shared.metrics.cache_evictions_add(evicted),
+                Admission::Rejected => shared.metrics.cache_rejected(),
+                Admission::Disabled => {}
+            }
         }
         result
     } else {

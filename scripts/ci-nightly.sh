@@ -23,4 +23,8 @@ cargo test --release --test thesis_scale -- --ignored --nocapture
 step "cache transparency battery (release)"
 cargo test --release --test server_cache -- --nocapture
 
+step "spill transparency battery (release)"
+cargo test --release --test server_spill -- --nocapture
+cargo test --release --test server_spill -- --ignored --nocapture
+
 printf '\nNightly lane passed.\n'

@@ -1,0 +1,284 @@
+//! The spill transparency battery: with `--spill-dir` configured,
+//! eviction must be invisible to clients. A server whose sessions are
+//! constantly evicted to disk and restored on demand must answer every
+//! command byte-identically to a server that never evicts — the spilled
+//! session's tables, fascicles, gaps, and lineage all survive the round
+//! trip. `EEVICTED` remains only for the degraded case: a spill file
+//! that can no longer be read back.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::thread;
+use std::time::Duration;
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use gea_server::{GeaClient, Server, ServerConfig};
+
+fn temp_dir(tag: &str) -> PathBuf {
+    static SEQ: AtomicUsize = AtomicUsize::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "gea_spill_{}_{tag}_{}",
+        std::process::id(),
+        SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    dir
+}
+
+fn spawn(config: ServerConfig) -> (GeaClient, gea_server::server::ServerHandle) {
+    let server = Server::bind(config).expect("bind");
+    let addr = server.local_addr();
+    let handle = server.handle();
+    thread::spawn(move || server.run().expect("serve"));
+    (GeaClient::connect(addr).expect("connect"), handle)
+}
+
+fn plain_config() -> ServerConfig {
+    ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 2,
+        queue_depth: 4,
+        lock_timeout: Duration::from_secs(30),
+        ..ServerConfig::default()
+    }
+}
+
+/// A 1-byte budget evicts the session the moment it is quiescent, so
+/// every command against this server exercises the restore slow path.
+fn spill_config(dir: PathBuf) -> ServerConfig {
+    ServerConfig {
+        session_budget: Some(1),
+        spill_dir: Some(dir),
+        ..plain_config()
+    }
+}
+
+fn stat(stats: &str, key: &str) -> u64 {
+    let prefix = format!("{key} ");
+    stats
+        .lines()
+        .find_map(|l| l.strip_prefix(&prefix))
+        .unwrap_or_else(|| panic!("no {key} in stats:\n{stats}"))
+        .parse()
+        .unwrap_or_else(|e| panic!("bad {key}: {e}"))
+}
+
+/// The demo-42 pipeline: dataset -> fascicles -> control groups -> gap.
+/// Deterministic, and rich enough that a lossy restore would corrupt at
+/// least one of the read replies below.
+const WRITE_SCRIPT: &[&str] = &[
+    "dataset E brain",
+    "mine E a 50 3 6",
+    "groups a_1",
+    "gap g a_1CancerFasTbl a_1NormalTable",
+    "comment g \"gap of interest\"",
+];
+
+const READ_SCRIPT: &[&str] = &[
+    "tissues",
+    "cleaning",
+    "lineage",
+    "fascicles",
+    "purity a_1",
+    "show sumy a_1CancerFasTbl 5",
+    "show gap g 5",
+    "topgap g 5",
+    "library 3",
+    "xprofiler E",
+];
+
+#[test]
+fn spilled_sessions_restore_transparently_and_byte_identical() {
+    let (mut spilly, spill_handle) = spawn(spill_config(temp_dir("transparent")));
+    let (mut reference, ref_handle) = spawn(plain_config());
+
+    for client in [&mut spilly, &mut reference] {
+        client.expect_ok("open t demo 42").expect("open");
+    }
+    for line in WRITE_SCRIPT.iter().chain(READ_SCRIPT) {
+        let restored = spilly.request(line).expect("spill transport");
+        let direct = reference.request(line).expect("plain transport");
+        assert_eq!(
+            restored, direct,
+            "spill/restore changed the reply to {line:?}"
+        );
+    }
+    // The gap chain must have actually succeeded — identical errors on
+    // both sides would satisfy the comparison while proving nothing.
+    let reply = spilly.request("show gap g 5").expect("transport");
+    assert!(reply.is_ok(), "gap pipeline failed: {reply:?}");
+
+    // `use` of a spilled name restores too, instead of EEVICTED.
+    let msg = spilly.expect_ok("use t").expect("use restores");
+    assert!(msg.contains("using session t"), "{msg}");
+
+    let stats = spilly.expect_ok("stats").expect("stats");
+    assert!(stat(&stats, "sessions_spilled") >= 1, "{stats}");
+    assert!(stat(&stats, "sessions_restored") >= 1, "{stats}");
+    assert_eq!(stat(&stats, "spill_errors"), 0, "{stats}");
+
+    spill_handle.shutdown();
+    ref_handle.shutdown();
+}
+
+#[test]
+fn corrupt_spill_file_degrades_to_eevicted_without_panicking() {
+    let dir = temp_dir("corrupt");
+    let (mut client, handle) = spawn(spill_config(dir.clone()));
+
+    // The eager budget check inside `open` spills the fresh session
+    // synchronously, so the snapshot is on disk when the reply returns.
+    client.expect_ok("open frag demo 42").expect("open");
+    let stats = client.expect_ok("stats").expect("stats");
+    assert!(stat(&stats, "sessions_spilled") >= 1, "{stats}");
+    let snapshot = std::fs::read_dir(&dir)
+        .expect("spill dir")
+        .filter_map(|e| Some(e.ok()?.path().join("session.gea")))
+        .find(|p| p.exists())
+        .expect("a session.gea snapshot under the spill dir");
+
+    // Flip one byte mid-body: the fingerprint check must catch it.
+    let mut bytes = std::fs::read(&snapshot).expect("read snapshot");
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x40;
+    std::fs::write(&snapshot, bytes).expect("corrupt snapshot");
+
+    let err = client.request("tissues").expect("transport").unwrap_err();
+    assert_eq!(err.0, "EEVICTED", "{err:?}");
+    assert!(err.1.contains("unreadable"), "{err:?}");
+    // The tombstone is demoted: later requests answer plain EEVICTED
+    // instead of re-reading the broken file forever.
+    let err = client.request("lineage").expect("transport").unwrap_err();
+    assert_eq!(err.0, "EEVICTED", "{err:?}");
+
+    // The server survived: still answering, and counting the failure.
+    assert_eq!(client.request("ping").unwrap(), Ok("pong".to_string()));
+    let stats = client.expect_ok("stats").expect("stats");
+    assert!(stat(&stats, "spill_errors") >= 1, "{stats}");
+
+    // Re-opening the name recovers fully: a fresh (valid) spill cycle.
+    client.expect_ok("open frag demo 42").expect("re-open");
+    assert!(client.request("tissues").unwrap().is_ok());
+
+    handle.shutdown();
+}
+
+#[test]
+fn save_load_round_trips_a_session_over_the_wire() {
+    let dir = temp_dir("saveload");
+    let (mut client, handle) = spawn(plain_config());
+
+    client.expect_ok("open rt demo 42").expect("open");
+    for line in WRITE_SCRIPT {
+        client.expect_ok(line).expect("build state");
+    }
+    let lineage = client.expect_ok("lineage").expect("lineage");
+    let gap = client.expect_ok("show gap g 5").expect("gap rows");
+
+    let saved = client
+        .expect_ok(&format!("save {}", dir.display()))
+        .expect("save");
+    assert!(saved.contains("snapshot"), "{saved}");
+
+    // Diverge, then load: the saved state must replace the live one.
+    client.expect_ok("dataset F breast").expect("diverge");
+    assert_ne!(client.expect_ok("lineage").unwrap(), lineage);
+    let restored = client
+        .expect_ok(&format!("load {}", dir.display()))
+        .expect("load");
+    assert!(restored.contains("restored session"), "{restored}");
+
+    assert_eq!(
+        client.expect_ok("lineage").unwrap(),
+        lineage,
+        "lineage not restored byte-identically"
+    );
+    assert_eq!(
+        client.expect_ok("show gap g 5").unwrap(),
+        gap,
+        "gap table not restored byte-identically"
+    );
+    // The divergent dataset is gone: `load` replaced, not merged.
+    assert!(client.request("tagfreq F AAAAAAAAAA").unwrap().is_err());
+
+    handle.shutdown();
+}
+
+/// One randomized command, weighted toward reads with enough writes to
+/// keep the spill server churning through evict/restore cycles.
+fn random_command(rng: &mut SmallRng, iter: usize, step: usize, live: &mut Vec<String>) -> String {
+    let tissues = ["brain", "breast", "prostate"];
+    let target = |live: &Vec<String>, rng: &mut SmallRng| -> String {
+        if live.is_empty() || rng.gen_bool(0.3) {
+            "nosuch".to_string()
+        } else {
+            live[rng.gen_range(0..live.len())].clone()
+        }
+    };
+    match rng.gen_range(0..8u32) {
+        0 => "tissues".to_string(),
+        1 => "lineage".to_string(),
+        2 => "fascicles".to_string(),
+        3 => {
+            let name = format!("d{iter}_{step}");
+            live.push(name.clone());
+            format!(
+                "dataset {name} {}",
+                tissues[rng.gen_range(0..tissues.len())]
+            )
+        }
+        4 => format!("comment {} \"pass {iter} step {step}\"", target(live, rng)),
+        5 => {
+            let name = target(live, rng);
+            live.retain(|n| *n != name);
+            format!("delete {name} --cascade")
+        }
+        6 => format!("show sumy {} 3", target(live, rng)),
+        _ => format!("purity {}", target(live, rng)),
+    }
+}
+
+/// The nightly battery: randomized interleavings against a server whose
+/// session is evicted to disk between essentially every pair of commands
+/// must stay byte-identical to a never-evicting server.
+#[test]
+#[ignore = "spill battery: hundreds of evict/restore cycles; run via scripts/ci-nightly.sh"]
+fn spill_battery_randomized_interleavings_stay_byte_identical() {
+    const INTERLEAVINGS: usize = 25;
+    const STEPS: usize = 8;
+
+    let (mut spilly, spill_handle) = spawn(spill_config(temp_dir("battery")));
+    let (mut reference, ref_handle) = spawn(plain_config());
+    for client in [&mut spilly, &mut reference] {
+        client.expect_ok("open battery demo 11").expect("open");
+    }
+
+    for iter in 0..INTERLEAVINGS {
+        let mut rng = SmallRng::seed_from_u64(0x5B111 + iter as u64);
+        let mut live = Vec::new();
+        let mut script = Vec::new();
+        for step in 0..STEPS {
+            script.push(random_command(&mut rng, iter, step, &mut live));
+        }
+        for name in live {
+            script.push(format!("delete {name} --cascade"));
+        }
+        for line in script {
+            let restored = spilly.request(&line).expect("spill transport");
+            let direct = reference.request(&line).expect("plain transport");
+            assert_eq!(
+                restored, direct,
+                "spill/restore changed the reply to {line:?} (interleaving {iter})"
+            );
+        }
+    }
+
+    let stats = spilly.expect_ok("stats").expect("stats");
+    assert!(stat(&stats, "sessions_restored") >= 1, "{stats}");
+    assert_eq!(stat(&stats, "spill_errors"), 0, "{stats}");
+
+    spill_handle.shutdown();
+    ref_handle.shutdown();
+}
