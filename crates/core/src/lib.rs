@@ -61,13 +61,13 @@ pub use interval::{AllenRelation, Interval};
 pub use interval_algebra::{compose_basic, ConstraintChain, RelationSet};
 pub use lineage::{Lineage, NodeKind};
 pub use mem::ApproxMem;
-pub use mine::{mine, MinedCluster, Miner};
+pub use mine::{materialize_cluster, mine, mine_groups, MinedCluster, Miner};
 pub use persist::{
-    load_results, load_session, load_session_verified, remove_spill, save_results, save_session,
-    spill_session, PersistError, SpillFile,
+    corpus_fingerprint, load_results, load_session, load_session_verified, remove_spill,
+    save_results, save_session, spill_session, PersistError, SpillFile,
 };
 pub use populate::{populate, populate_columnar, populate_indexed, populate_scan, PopulateIndex};
-pub use session::{ControlGroups, GeaError, GeaSession, SessionSnapshot};
+pub use session::{ControlGroups, ExecConfig, ExecEvent, GeaError, GeaSession, SessionSnapshot};
 pub use sumy::{aggregate, aggregate_with_extras, ExtraAggregate, SumyTable};
 pub use topgap::{top_gaps, TopGapOrder};
 pub use xprofiler::{compare_pools, XProfilerResult, XProfilerRow};

@@ -107,8 +107,25 @@ pub fn mine(
     miner: &Miner,
     tolerance: Option<&ToleranceVector>,
 ) -> Vec<MinedCluster> {
+    mine_groups(table, miner, tolerance)
+        .into_iter()
+        .enumerate()
+        .map(|(i, (records, attrs))| materialize_cluster(table, base_name, i, records, attrs))
+        .collect()
+}
+
+/// The clustering half of [`mine`]: run the configured algorithm and
+/// return each cluster as `(record indices, compact attribute indices)`.
+/// Sequential by nature (the greedy/k-means/agglomerative passes are
+/// iterative); the per-cluster [`materialize_cluster`] step that follows
+/// is what parallel drivers fan out.
+pub fn mine_groups(
+    table: &EnumTable,
+    miner: &Miner,
+    tolerance: Option<&ToleranceVector>,
+) -> Vec<(Vec<usize>, Vec<usize>)> {
     let view = MatrixView::new(table);
-    let groups: Vec<(Vec<usize>, Vec<usize>)> = match miner {
+    match miner {
         Miner::Fascicles(params) => {
             let tol = tolerance.expect("Fascicles mining needs a tolerance vector");
             mine_greedy(&view, tol, params)
@@ -150,25 +167,32 @@ pub fn mine(
                 .filter(|(members, _)| !members.is_empty())
                 .collect()
         }
-    };
+    }
+}
 
-    groups
-        .into_iter()
-        .enumerate()
-        .map(|(i, (records, attrs))| {
-            let name = format!("{base_name}_{}", i + 1);
-            let libraries: Vec<LibraryId> = records.iter().map(|&r| LibraryId(r as u32)).collect();
-            let compact_tags: Vec<TagId> = attrs.iter().map(|&a| TagId(a as u32)).collect();
-            let members = table.matrix.select_libraries(&libraries);
-            let sumy = aggregate_tags(&name, &members, &compact_tags);
-            MinedCluster {
-                name,
-                libraries,
-                compact_tags,
-                sumy,
-            }
-        })
-        .collect()
+/// The materialization half of [`mine`]: turn the `index`-th cluster of a
+/// [`mine_groups`] pass into a [`MinedCluster`] — name it, select the
+/// member submatrix, and aggregate the compact tags into the SUMY
+/// definition. Each cluster materializes independently, so this is the
+/// unit of work the sharded mine driver fans across its pool.
+pub fn materialize_cluster(
+    table: &EnumTable,
+    base_name: &str,
+    index: usize,
+    records: Vec<usize>,
+    attrs: Vec<usize>,
+) -> MinedCluster {
+    let name = format!("{base_name}_{}", index + 1);
+    let libraries: Vec<LibraryId> = records.iter().map(|&r| LibraryId(r as u32)).collect();
+    let compact_tags: Vec<TagId> = attrs.iter().map(|&a| TagId(a as u32)).collect();
+    let members = table.matrix.select_libraries(&libraries);
+    let sumy = aggregate_tags(&name, &members, &compact_tags);
+    MinedCluster {
+        name,
+        libraries,
+        compact_tags,
+        sumy,
+    }
 }
 
 #[cfg(test)]

@@ -901,6 +901,21 @@ fn encode_session(session: &GeaSession) -> Result<Vec<u8>, PersistError> {
     Ok(out)
 }
 
+/// Fingerprint of a session's *source data*: the raw corpus plus the
+/// cleaned base matrix, encoded with the snapshot codec and FNV-1a-hashed.
+/// Two sessions opened from the same corpus with the same cleaning
+/// configuration share this value no matter how their derived tables later
+/// diverge — the key the server's cross-session response cache shares
+/// pure-read replies under.
+pub fn corpus_fingerprint(session: &GeaSession) -> Result<u64, PersistError> {
+    let mut out = Vec::new();
+    let mut corpus_blob = Vec::new();
+    write_corpus_binary(session.corpus(), &mut corpus_blob)?;
+    put_blob(&mut out, &corpus_blob);
+    put_enum_table(&mut out, session.base());
+    Ok(fnv1a(&out))
+}
+
 fn decode_session(body: &[u8]) -> Result<SessionSnapshot, PersistError> {
     let mut cur = Cur::new(body);
     let report = read_report(&mut cur)?;

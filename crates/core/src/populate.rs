@@ -49,8 +49,10 @@ pub struct PopulateStats {
 /// One library-qualification check: every SUMY condition must hold. Tags
 /// absent from the ENUM table's universe carry an implicit expression level
 /// of 0 (the library never exhibited them), so the condition becomes
-/// `min ≤ 0 ≤ max`.
-fn library_satisfies(
+/// `min ≤ 0 ≤ max`. Conditions whose position is in `skip` (already proven
+/// by an index probe) are not re-evaluated. Public so sharded drivers
+/// (`gea-exec`) charge exactly the comparisons the serial path would.
+pub fn library_satisfies(
     table: &EnumTable,
     resolved: &[(Option<TagId>, f64, f64)],
     lib: LibraryId,
@@ -75,8 +77,9 @@ fn library_satisfies(
     true
 }
 
-/// Resolve the SUMY conditions against the ENUM table's universe once.
-fn resolve_conditions(sumy: &SumyTable, table: &EnumTable) -> Vec<(Option<TagId>, f64, f64)> {
+/// Resolve the SUMY conditions against the ENUM table's universe once:
+/// `(tag id if present, range lo, range hi)` per SUMY row, in row order.
+pub fn resolve_conditions(sumy: &SumyTable, table: &EnumTable) -> Vec<(Option<TagId>, f64, f64)> {
     sumy.rows()
         .iter()
         .map(|r| (table.matrix.id_of(r.tag), r.range.lo(), r.range.hi()))
@@ -111,21 +114,43 @@ pub fn populate_scan(sumy: &SumyTable, table: &EnumTable) -> (Vec<LibraryId>, Po
 pub fn populate_columnar(sumy: &SumyTable, table: &EnumTable) -> (Vec<LibraryId>, PopulateStats) {
     let resolved = resolve_conditions(sumy, table);
     let n = table.n_libraries();
-    let mut alive: Vec<bool> = vec![true; n];
-    let mut alive_count = n;
-    let mut stats = PopulateStats {
+    let (hits, rows_processed) = columnar_prune_range(&resolved, table, 0, n);
+    let stats = PopulateStats {
         candidates: n,
+        comparisons: (rows_processed * n) as u64,
         ..PopulateStats::default()
     };
-    for &(tid, lo, hi) in &resolved {
+    (hits, stats)
+}
+
+/// The pruning loop of [`populate_columnar`] over the library range
+/// `[lo_lib, hi_lib)`: apply each condition row in order until the range's
+/// candidate set empties, and return the surviving libraries (ascending)
+/// plus the number of condition rows processed. The serial operator is
+/// this helper over `[0, n)`; sharded drivers run it per contiguous
+/// library range. Because a library's fate depends only on its own cells,
+/// shard-local pruning survives exactly the libraries the global loop
+/// would, and the global loop stops only when *every* range is empty — so
+/// the global rows-processed count is the maximum over ranges.
+pub fn columnar_prune_range(
+    resolved: &[(Option<TagId>, f64, f64)],
+    table: &EnumTable,
+    lo_lib: usize,
+    hi_lib: usize,
+) -> (Vec<LibraryId>, usize) {
+    let n = hi_lib - lo_lib;
+    let mut alive: Vec<bool> = vec![true; n];
+    let mut alive_count = n;
+    let mut rows_processed = 0usize;
+    for &(tid, lo, hi) in resolved {
         if alive_count == 0 {
             break;
         }
         // Fetching the physical row touches every library's cell.
-        stats.comparisons += n as u64;
+        rows_processed += 1;
         match tid {
             Some(tid) => {
-                let row = table.matrix.tag_row(tid);
+                let row = &table.matrix.tag_row(tid)[lo_lib..hi_lib];
                 for (l, flag) in alive.iter_mut().enumerate() {
                     if *flag {
                         let v = row[l];
@@ -149,9 +174,9 @@ pub fn populate_columnar(sumy: &SumyTable, table: &EnumTable) -> (Vec<LibraryId>
         .into_iter()
         .enumerate()
         .filter(|&(_, a)| a)
-        .map(|(l, _)| LibraryId(l as u32))
+        .map(|(l, _)| LibraryId((lo_lib + l) as u32))
         .collect();
-    (hits, stats)
+    (hits, rows_processed)
 }
 
 /// A set of sorted range indexes over chosen tags of one ENUM table.
@@ -220,17 +245,7 @@ pub fn populate_indexed(
     index: &PopulateIndex,
 ) -> (Vec<LibraryId>, PopulateStats) {
     let resolved = resolve_conditions(sumy, table);
-
-    // Which SUMY conditions are covered by an index?
-    let mut hit_lists: Vec<Vec<usize>> = Vec::new();
-    let mut covered: std::collections::HashSet<usize> = std::collections::HashSet::new();
-    for (tag, sorted) in &index.indexed {
-        if let Some(pos) = sumy.rows().iter().position(|r| r.tag == *tag) {
-            let row = &sumy.rows()[pos];
-            hit_lists.push(sorted.range(row.range.lo(), row.range.hi()));
-            covered.insert(pos);
-        }
-    }
+    let (hit_lists, covered) = index_probe(sumy, index);
     let indexes_hit = hit_lists.len();
     if indexes_hit == 0 {
         let (hits, mut stats) = populate_scan(sumy, table);
@@ -262,6 +277,27 @@ pub fn populate_indexed(
 fn stats_with_hits(stats: &mut PopulateStats, hits: usize) -> PopulateStats {
     stats.indexes_hit = hits;
     *stats
+}
+
+/// The probe half of [`populate_indexed`]: for every indexed tag that
+/// appears in the SUMY table, the sorted-index candidate list for that
+/// row's range, plus the set of SUMY row positions so covered (skippable
+/// during verification). Cheap and sequential; exposed so sharded drivers
+/// share the probe and fan out only the verification.
+pub fn index_probe(
+    sumy: &SumyTable,
+    index: &PopulateIndex,
+) -> (Vec<Vec<usize>>, std::collections::HashSet<usize>) {
+    let mut hit_lists: Vec<Vec<usize>> = Vec::new();
+    let mut covered: std::collections::HashSet<usize> = std::collections::HashSet::new();
+    for (tag, sorted) in &index.indexed {
+        if let Some(pos) = sumy.rows().iter().position(|r| r.tag == *tag) {
+            let row = &sumy.rows()[pos];
+            hit_lists.push(sorted.range(row.range.lo(), row.range.hi()));
+            covered.insert(pos);
+        }
+    }
+    (hit_lists, covered)
 }
 
 /// The populate() macro-operation: evaluate and materialize the result as a

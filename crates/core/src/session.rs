@@ -24,10 +24,73 @@ use crate::compare::{compare_gaps, CompareOp, CompareQuery};
 use crate::enum_table::EnumTable;
 use crate::gap::{diff, GapTable};
 use crate::lineage::{Lineage, LineageError, NodeId, NodeKind};
-use crate::mine::{generate_metadata, mine, Miner};
+use crate::mine::{generate_metadata, mine, MinedCluster, Miner};
 use crate::relational::{enum_to_relation, gap_to_relation, sumy_to_relation};
 use crate::sumy::{aggregate_tags, SumyTable};
 use crate::topgap::{tag_distribution, top_gaps, TagPlotPoint, TopGapOrder};
+
+/// Parallel-execution knobs carried by a session: how many worker threads
+/// the sharded drivers may spawn and how many contiguous shards an
+/// operator's input is partitioned into. Sharding is an execution detail
+/// only — every sharded driver is byte-identical to its serial
+/// counterpart — so this configuration is *not* part of the persisted
+/// session state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExecConfig {
+    /// Worker threads the sharded drivers may use (min 1).
+    pub threads: usize,
+    /// Contiguous shards an operator's input is split into (min 1).
+    pub shards: usize,
+}
+
+impl ExecConfig {
+    /// Single-threaded, single-shard: the serial path.
+    pub fn serial() -> ExecConfig {
+        ExecConfig {
+            threads: 1,
+            shards: 1,
+        }
+    }
+
+    /// `threads` workers and one shard per worker; `0` means the default
+    /// (available parallelism).
+    pub fn with_threads(threads: usize) -> ExecConfig {
+        if threads == 0 {
+            return ExecConfig::default();
+        }
+        ExecConfig {
+            threads,
+            shards: threads,
+        }
+    }
+}
+
+impl Default for ExecConfig {
+    fn default() -> ExecConfig {
+        let threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        ExecConfig {
+            threads,
+            shards: threads,
+        }
+    }
+}
+
+/// One completed parallel-operator execution, noted on the session so
+/// front-ends (the server's `stats` counters) can observe executor
+/// activity without threading a metrics handle through `gea-core`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExecEvent {
+    /// Operator name (`"mine"`, `"populate"`, `"aggregate"`).
+    pub op: &'static str,
+    /// Shards the input was split into.
+    pub shards: usize,
+    /// Wall-clock time of the parallel section, in microseconds.
+    pub wall_us: u64,
+    /// Summed per-worker busy time (a CPU-time proxy), in microseconds.
+    pub busy_us: u64,
+}
 
 /// Session-level errors.
 #[derive(Debug)]
@@ -156,6 +219,8 @@ pub struct GeaSession {
     gaps: BTreeMap<String, GapTable>,
     fascicles: BTreeMap<String, FascicleRecord>,
     nodes: BTreeMap<String, NodeId>,
+    exec: ExecConfig,
+    exec_events: Vec<ExecEvent>,
 }
 
 impl GeaSession {
@@ -197,6 +262,8 @@ impl GeaSession {
             gaps: BTreeMap::new(),
             fascicles: BTreeMap::new(),
             nodes,
+            exec: ExecConfig::default(),
+            exec_events: Vec::new(),
         })
     }
 
@@ -240,6 +307,8 @@ impl GeaSession {
             gaps: BTreeMap::new(),
             fascicles: BTreeMap::new(),
             nodes,
+            exec: ExecConfig::default(),
+            exec_events: Vec::new(),
         })
     }
 
@@ -263,6 +332,8 @@ impl GeaSession {
             gaps: snapshot.gaps,
             fascicles: snapshot.fascicles,
             nodes,
+            exec: ExecConfig::default(),
+            exec_events: Vec::new(),
         }
     }
 
@@ -291,6 +362,28 @@ impl GeaSession {
     /// The raw corpus (for the §4.4.4.2 searches).
     pub fn corpus(&self) -> &SageCorpus {
         &self.corpus
+    }
+
+    /// The session's parallel-execution configuration.
+    pub fn exec_config(&self) -> ExecConfig {
+        self.exec
+    }
+
+    /// Replace the parallel-execution configuration.
+    pub fn set_exec_config(&mut self, config: ExecConfig) {
+        self.exec = config;
+    }
+
+    /// Note a completed parallel-operator execution (called by the
+    /// `gea-exec` drivers' session wrappers).
+    pub fn note_exec(&mut self, event: ExecEvent) {
+        self.exec_events.push(event);
+    }
+
+    /// Take the accumulated executor events, leaving the buffer empty.
+    /// Front-ends drain this after each command to feed their counters.
+    pub fn drain_exec_events(&mut self) -> Vec<ExecEvent> {
+        std::mem::take(&mut self.exec_events)
     }
 
     /// The cleaned root data set.
@@ -562,6 +655,24 @@ impl GeaSession {
         let table = self.enum_table(dataset)?.clone();
         let tol = generate_metadata(&table, width_fraction);
         let clusters = mine(&table, out, &Miner::Fascicles(params.clone()), Some(&tol));
+        self.install_mined_fascicles(dataset, width_fraction, params, &table, clusters)
+    }
+
+    /// Install the clusters of a completed `mine` pass over `table` (the
+    /// current contents of `dataset`) as fascicles: lineage nodes, the
+    /// per-fascicle ENUM/SUMY tables, relational materialization, and the
+    /// fascicle records. Split out of [`GeaSession::calculate_fascicles`]
+    /// so parallel front-ends (`gea-exec`) can run the mine itself on
+    /// their own executor and hand the clusters back for bookkeeping that
+    /// is identical to the serial path.
+    pub fn install_mined_fascicles(
+        &mut self,
+        dataset: &str,
+        width_fraction: f64,
+        params: &FascicleParams,
+        table: &EnumTable,
+        clusters: Vec<MinedCluster>,
+    ) -> Result<Vec<String>, GeaError> {
         let parent = self.node(dataset).ok_or_else(|| GeaError::NotFound {
             kind: "ENUM",
             name: dataset.to_string(),
@@ -651,6 +762,24 @@ impl GeaSession {
         fascicle: &str,
         property: LibraryProperty,
     ) -> Result<ControlGroups, GeaError> {
+        self.form_control_groups_with(fascicle, property, aggregate_tags)
+    }
+
+    /// [`GeaSession::form_control_groups`] with a pluggable aggregator.
+    /// The serial path passes [`aggregate_tags`]; `gea-exec` passes its
+    /// sharded equivalent (byte-identical output, parallel evaluation).
+    /// The aggregator sees `(table name, matrix, compact tag ids)` exactly
+    /// as `aggregate_tags` would.
+    pub fn form_control_groups_with(
+        &mut self,
+        fascicle: &str,
+        property: LibraryProperty,
+        mut aggregate: impl FnMut(
+            &str,
+            &gea_sage::ExpressionMatrix,
+            &[gea_sage::tag::TagId],
+        ) -> SumyTable,
+    ) -> Result<ControlGroups, GeaError> {
         let record = self.fascicle(fascicle)?.clone();
         let fas_enum = self.enum_table(fascicle)?.clone();
         if !fas_enum.is_pure(property) {
@@ -700,9 +829,9 @@ impl GeaSession {
 
         // SUMY tables over the compact tags only.
         let in_members = dataset.select_libraries("tmp", |m| members.contains(m.name.as_str()));
-        let sumy_in = aggregate_tags(&names.in_fascicle, &in_members.matrix, &compact_ids);
-        let sumy_out = aggregate_tags(&names.outside_fascicle, &outside.matrix, &compact_ids);
-        let sumy_contrast = aggregate_tags(&names.contrast, &contrast.matrix, &compact_ids);
+        let sumy_in = aggregate(&names.in_fascicle, &in_members.matrix, &compact_ids);
+        let sumy_out = aggregate(&names.outside_fascicle, &outside.matrix, &compact_ids);
+        let sumy_contrast = aggregate(&names.contrast, &contrast.matrix, &compact_ids);
 
         let parent = self.node(fascicle).expect("fascicle recorded");
         for (sumy, enum_table) in [

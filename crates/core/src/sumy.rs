@@ -136,29 +136,39 @@ impl SumyTable {
 pub fn aggregate(name: &str, matrix: &ExpressionMatrix) -> SumyTable {
     let n = matrix.n_libraries();
     assert!(n > 0, "cannot aggregate an ENUM table with no libraries");
-    let mut rows = Vec::with_capacity(matrix.n_tags());
-    for tid in matrix.tag_ids() {
-        let values = matrix.tag_row(tid);
-        let mut lo = f64::INFINITY;
-        let mut hi = f64::NEG_INFINITY;
-        let mut sum = 0.0;
-        for &v in values {
-            lo = lo.min(v);
-            hi = hi.max(v);
-            sum += v;
-        }
-        let avg = sum / n as f64;
-        let var = values.iter().map(|v| (v - avg) * (v - avg)).sum::<f64>() / n as f64;
-        rows.push(SumyRow {
-            tag: matrix.tag_of(tid),
-            tag_no: tid.0,
-            range: Interval::new(lo, hi).expect("finite expression levels"),
-            average: avg,
-            std_dev: var.sqrt(),
-            extras: BTreeMap::new(),
-        });
-    }
+    let rows = matrix
+        .tag_ids()
+        .map(|tid| aggregate_row(matrix, tid))
+        .collect();
     SumyTable::new(name, rows)
+}
+
+/// The per-tag arithmetic of [`aggregate`]: one fused min/max/sum pass
+/// followed by the variance pass. Exposed so sharded drivers can compute
+/// shard-local rows that are bit-identical to the serial operator —
+/// identical operation order, not merely identical math. The matrix must
+/// have at least one library.
+pub fn aggregate_row(matrix: &ExpressionMatrix, tid: TagId) -> SumyRow {
+    let n = matrix.n_libraries();
+    let values = matrix.tag_row(tid);
+    let mut lo = f64::INFINITY;
+    let mut hi = f64::NEG_INFINITY;
+    let mut sum = 0.0;
+    for &v in values {
+        lo = lo.min(v);
+        hi = hi.max(v);
+        sum += v;
+    }
+    let avg = sum / n as f64;
+    let var = values.iter().map(|v| (v - avg) * (v - avg)).sum::<f64>() / n as f64;
+    SumyRow {
+        tag: matrix.tag_of(tid),
+        tag_no: tid.0,
+        range: Interval::new(lo, hi).expect("finite expression levels"),
+        average: avg,
+        std_dev: var.sqrt(),
+        extras: BTreeMap::new(),
+    }
 }
 
 /// Additional per-tag aggregates for SUMY extras columns. The thesis
@@ -235,23 +245,33 @@ pub fn aggregate_with_extras(
 pub fn aggregate_tags(name: &str, matrix: &ExpressionMatrix, tags: &[TagId]) -> SumyTable {
     let n = matrix.n_libraries();
     assert!(n > 0, "cannot aggregate an ENUM table with no libraries");
-    let mut rows = Vec::with_capacity(tags.len());
-    for &tid in tags {
-        let values = matrix.tag_row(tid);
-        let lo = values.iter().cloned().fold(f64::INFINITY, f64::min);
-        let hi = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
-        let avg = values.iter().sum::<f64>() / n as f64;
-        let var = values.iter().map(|v| (v - avg) * (v - avg)).sum::<f64>() / n as f64;
-        rows.push(SumyRow {
-            tag: matrix.tag_of(tid),
-            tag_no: tid.0,
-            range: Interval::new(lo, hi).expect("finite expression levels"),
-            average: avg,
-            std_dev: var.sqrt(),
-            extras: BTreeMap::new(),
-        });
-    }
+    let rows = tags
+        .iter()
+        .map(|&tid| aggregate_tags_row(matrix, tid))
+        .collect();
     SumyTable::new(name, rows)
+}
+
+/// The per-tag arithmetic of [`aggregate_tags`] — separate fold passes
+/// per statistic, which is *not* the same floating-point operation order
+/// as [`aggregate_row`]'s fused pass. Exposed (like `aggregate_row`) so
+/// sharded drivers reproduce the serial operator bit for bit. The matrix
+/// must have at least one library.
+pub fn aggregate_tags_row(matrix: &ExpressionMatrix, tid: TagId) -> SumyRow {
+    let n = matrix.n_libraries();
+    let values = matrix.tag_row(tid);
+    let lo = values.iter().cloned().fold(f64::INFINITY, f64::min);
+    let hi = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let avg = values.iter().sum::<f64>() / n as f64;
+    let var = values.iter().map(|v| (v - avg) * (v - avg)).sum::<f64>() / n as f64;
+    SumyRow {
+        tag: matrix.tag_of(tid),
+        tag_no: tid.0,
+        range: Interval::new(lo, hi).expect("finite expression levels"),
+        average: avg,
+        std_dev: var.sqrt(),
+        extras: BTreeMap::new(),
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,259 @@
+//! The sharded parallel drivers: byte-identical fan-out/merge versions of
+//! `aggregate`, `populate` (scan, columnar, indexed), and `mine`.
+//!
+//! Every driver follows the same shape: build a [`ShardPlan`] over the
+//! operator's natural axis, run one job per shard on the scoped pool
+//! ([`run_jobs`]), with each job executing the *serial* per-item code from
+//! `gea-core`, then merge in shard order. See each driver's comment for
+//! why its merge reproduces the serial result exactly — including the
+//! deterministic work counters in [`PopulateStats`].
+
+use std::time::Instant;
+
+use gea_cluster::ToleranceVector;
+use gea_core::mine::{materialize_cluster, mine_groups, MinedCluster, Miner};
+use gea_core::populate::{
+    columnar_prune_range, index_probe, library_satisfies, resolve_conditions, PopulateIndex,
+    PopulateStats,
+};
+use gea_core::sumy::{aggregate_row, aggregate_tags_row, SumyTable};
+use gea_core::{EnumTable, ExecConfig};
+use gea_relstore::index::intersect_row_lists;
+use gea_sage::library::LibraryId;
+use gea_sage::tag::TagId;
+use gea_sage::ExpressionMatrix;
+
+use crate::pool::run_jobs;
+use crate::shard::ShardPlan;
+use crate::ExecStats;
+
+/// Run one job per shard of `plan`, timing the whole parallel section and
+/// each job's busy time, and return the per-shard results in shard order
+/// plus the filled-in [`ExecStats`].
+fn run_sharded<T: Send>(
+    cfg: &ExecConfig,
+    plan: &ShardPlan,
+    job: impl Fn(usize, usize, usize) -> T + Sync,
+) -> (Vec<T>, ExecStats) {
+    let start = Instant::now();
+    let results = run_jobs(cfg.threads, plan.len(), |i| {
+        let (lo, hi) = plan.range(i);
+        let begin = Instant::now();
+        let out = job(i, lo, hi);
+        (out, begin.elapsed().as_micros() as u64)
+    });
+    let wall_us = start.elapsed().as_micros() as u64;
+    let busy_us = results.iter().map(|(_, b)| b).sum();
+    let outs = results.into_iter().map(|(out, _)| out).collect();
+    (
+        outs,
+        ExecStats {
+            shards: plan.len(),
+            wall_us,
+            busy_us,
+        },
+    )
+}
+
+/// Sharded [`gea_core::sumy::aggregate`]: partition the tag rows, compute
+/// each shard's rows with the serial per-tag arithmetic
+/// ([`aggregate_row`]), and concatenate in shard order. The concatenation
+/// is the serial row order, and `SumyTable::new`'s stable sort of unique
+/// tags maps equal inputs to equal outputs — byte-identical.
+pub fn aggregate_sharded(
+    name: &str,
+    matrix: &ExpressionMatrix,
+    cfg: &ExecConfig,
+) -> (SumyTable, ExecStats) {
+    assert!(
+        matrix.n_libraries() > 0,
+        "cannot aggregate an ENUM table with no libraries"
+    );
+    let plan = ShardPlan::new(matrix.n_tags(), cfg.shards);
+    let (shards, stats) = run_sharded(cfg, &plan, |_, lo, hi| {
+        (lo..hi)
+            .map(|t| aggregate_row(matrix, TagId(t as u32)))
+            .collect::<Vec<_>>()
+    });
+    let rows = shards.into_iter().flatten().collect();
+    (SumyTable::new(name, rows), stats)
+}
+
+/// Sharded [`gea_core::sumy::aggregate_tags`]: partition the *requested
+/// tag list* (not the matrix) into contiguous slices; each shard runs the
+/// serial [`aggregate_tags_row`] arithmetic over its slice.
+pub fn aggregate_tags_sharded(
+    name: &str,
+    matrix: &ExpressionMatrix,
+    tags: &[TagId],
+    cfg: &ExecConfig,
+) -> (SumyTable, ExecStats) {
+    assert!(
+        matrix.n_libraries() > 0,
+        "cannot aggregate an ENUM table with no libraries"
+    );
+    let plan = ShardPlan::new(tags.len(), cfg.shards);
+    let (shards, stats) = run_sharded(cfg, &plan, |_, lo, hi| {
+        tags[lo..hi]
+            .iter()
+            .map(|&tid| aggregate_tags_row(matrix, tid))
+            .collect::<Vec<_>>()
+    });
+    let rows = shards.into_iter().flatten().collect();
+    (SumyTable::new(name, rows), stats)
+}
+
+/// Sharded [`gea_core::populate::populate_scan`]: partition the libraries;
+/// each shard tests its range with the serial [`library_satisfies`] check
+/// (early exit per library, one comparison charged per evaluated
+/// condition). A library's qualification and comparison count depend only
+/// on its own cells, so concatenated hits are the serial hit order and
+/// summed shard comparisons equal the serial total.
+pub fn populate_scan_sharded(
+    sumy: &SumyTable,
+    table: &EnumTable,
+    cfg: &ExecConfig,
+) -> (Vec<LibraryId>, PopulateStats, ExecStats) {
+    let resolved = resolve_conditions(sumy, table);
+    let plan = ShardPlan::for_libraries(table, cfg.shards);
+    let (shards, exec) = run_sharded(cfg, &plan, |_, lo, hi| {
+        let mut comparisons = 0u64;
+        let hits: Vec<LibraryId> = (lo..hi)
+            .map(|l| LibraryId(l as u32))
+            .filter(|&lib| library_satisfies(table, &resolved, lib, None, &mut comparisons))
+            .collect();
+        (hits, comparisons)
+    });
+    let mut stats = PopulateStats {
+        candidates: table.n_libraries(),
+        ..PopulateStats::default()
+    };
+    let mut hits = Vec::new();
+    for (shard_hits, comparisons) in shards {
+        hits.extend(shard_hits);
+        stats.comparisons += comparisons;
+    }
+    (hits, stats, exec)
+}
+
+/// Sharded [`gea_core::populate::populate_columnar`]: partition the
+/// libraries; each shard runs the serial pruning loop
+/// ([`columnar_prune_range`]) over its range, stopping when *its*
+/// candidates empty. Pruning decisions are per-library, so each range
+/// survives exactly the libraries the global loop would; and since the
+/// global loop stops only when every range is empty, the serial
+/// rows-processed count is the maximum over shards — the merged
+/// comparison counter is therefore `max(rows) × n_libraries`, exactly the
+/// serial charge.
+pub fn populate_columnar_sharded(
+    sumy: &SumyTable,
+    table: &EnumTable,
+    cfg: &ExecConfig,
+) -> (Vec<LibraryId>, PopulateStats, ExecStats) {
+    let resolved = resolve_conditions(sumy, table);
+    let n = table.n_libraries();
+    let plan = ShardPlan::for_libraries(table, cfg.shards);
+    let (shards, exec) = run_sharded(cfg, &plan, |_, lo, hi| {
+        columnar_prune_range(&resolved, table, lo, hi)
+    });
+    let mut hits = Vec::new();
+    let mut max_rows = 0usize;
+    for (shard_hits, rows_processed) in shards {
+        hits.extend(shard_hits);
+        max_rows = max_rows.max(rows_processed);
+    }
+    let stats = PopulateStats {
+        candidates: n,
+        comparisons: (max_rows * n) as u64,
+        ..PopulateStats::default()
+    };
+    (hits, stats, exec)
+}
+
+/// Sharded [`gea_core::populate::populate_indexed`]: the index probe and
+/// candidate-list intersection stay serial (they are cheap and
+/// order-sensitive); the surviving candidate list is partitioned and
+/// verified in parallel with the serial per-candidate check. Falls back to
+/// [`populate_scan_sharded`] when no index hits, like the serial driver.
+pub fn populate_indexed_sharded(
+    sumy: &SumyTable,
+    table: &EnumTable,
+    index: &PopulateIndex,
+    cfg: &ExecConfig,
+) -> (Vec<LibraryId>, PopulateStats, ExecStats) {
+    let resolved = resolve_conditions(sumy, table);
+    let (hit_lists, covered) = index_probe(sumy, index);
+    let indexes_hit = hit_lists.len();
+    if indexes_hit == 0 {
+        return populate_scan_sharded(sumy, table, cfg);
+    }
+    let candidates = intersect_row_lists(hit_lists);
+    let mut stats = PopulateStats {
+        indexes_hit,
+        candidates: candidates.len(),
+        comparisons: 0,
+    };
+    let plan = ShardPlan::new(candidates.len(), cfg.shards);
+    let (shards, exec) = run_sharded(cfg, &plan, |_, lo, hi| {
+        let mut comparisons = 0u64;
+        let hits: Vec<LibraryId> = candidates[lo..hi]
+            .iter()
+            .map(|&r| LibraryId(r as u32))
+            .filter(|&lib| {
+                library_satisfies(table, &resolved, lib, Some(&covered), &mut comparisons)
+            })
+            .collect();
+        (hits, comparisons)
+    });
+    let mut hits = Vec::new();
+    for (shard_hits, comparisons) in shards {
+        hits.extend(shard_hits);
+        stats.comparisons += comparisons;
+    }
+    (hits, stats, exec)
+}
+
+/// Sharded [`gea_core::populate::populate`] (the macro-operation): a
+/// sharded scan followed by the same serial materialization of the result
+/// ENUM table.
+pub fn populate_sharded(
+    name: &str,
+    sumy: &SumyTable,
+    table: &EnumTable,
+    cfg: &ExecConfig,
+) -> (EnumTable, ExecStats) {
+    let (libs, _, exec) = populate_scan_sharded(sumy, table, cfg);
+    let restricted = table.with_libraries(name, &libs);
+    let tag_ids: Vec<TagId> = sumy
+        .tags()
+        .filter_map(|t| restricted.matrix.id_of(t))
+        .collect();
+    (restricted.select_tags(name, &tag_ids), exec)
+}
+
+/// Sharded [`gea_core::mine::mine`]: the clustering pass
+/// ([`mine_groups`]) stays serial — the greedy/k-means/agglomerative
+/// algorithms are iterative — but each found cluster's materialization
+/// (member submatrix selection plus compact-tag aggregation, the dominant
+/// cost at mining scale) is independent, so clusters are partitioned
+/// across the pool and concatenated in cluster order.
+pub fn mine_sharded(
+    table: &EnumTable,
+    base_name: &str,
+    miner: &Miner,
+    tolerance: Option<&ToleranceVector>,
+    cfg: &ExecConfig,
+) -> (Vec<MinedCluster>, ExecStats) {
+    let groups = mine_groups(table, miner, tolerance);
+    let plan = ShardPlan::new(groups.len(), cfg.shards);
+    let (shards, stats) = run_sharded(cfg, &plan, |_, lo, hi| {
+        groups[lo..hi]
+            .iter()
+            .enumerate()
+            .map(|(off, (records, attrs))| {
+                materialize_cluster(table, base_name, lo + off, records.clone(), attrs.clone())
+            })
+            .collect::<Vec<_>>()
+    });
+    (shards.into_iter().flatten().collect(), stats)
+}

@@ -1,0 +1,101 @@
+//! A hand-rolled scoped worker pool.
+//!
+//! The build is offline — no rayon — so parallel fan-out is a
+//! [`std::thread::scope`] with a shared atomic job counter: each worker
+//! repeatedly claims the next job index and runs it, which load-balances
+//! uneven shards without any channel per job. Results are returned in
+//! *job-index order* regardless of completion order, so callers get an
+//! order-stable reduction for free.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+
+/// Run `n_jobs` jobs (`job(i)` for `i in 0..n_jobs`) on up to `threads`
+/// workers and return the results indexed by job, i.e. `out[i] == job(i)`.
+///
+/// With `threads <= 1` or fewer than two jobs, runs inline on the calling
+/// thread — the parallel and serial paths execute the same `job` closure,
+/// so they are trivially identical. A panicking job propagates the panic
+/// to the caller (via the scope).
+pub fn run_jobs<T, F>(threads: usize, n_jobs: usize, job: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let workers = threads.max(1).min(n_jobs);
+    if workers <= 1 {
+        return (0..n_jobs).map(&job).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let (tx, rx) = mpsc::channel::<(usize, T)>();
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            let tx = tx.clone();
+            let next = &next;
+            let job = &job;
+            scope.spawn(move || loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n_jobs {
+                    break;
+                }
+                let out = job(i);
+                if tx.send((i, out)).is_err() {
+                    break;
+                }
+            });
+        }
+    });
+    drop(tx);
+    let mut slots: Vec<Option<T>> = (0..n_jobs).map(|_| None).collect();
+    for (i, out) in rx {
+        slots[i] = Some(out);
+    }
+    slots
+        .into_iter()
+        .map(|s| s.expect("every job index claimed exactly once"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_are_in_job_order() {
+        for threads in [1usize, 2, 4, 9] {
+            let out = run_jobs(threads, 37, |i| i * i);
+            assert_eq!(out, (0..37).map(|i| i * i).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn zero_jobs_is_empty() {
+        let out: Vec<usize> = run_jobs(4, 0, |i| i);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn uneven_jobs_all_run() {
+        // More workers than jobs, and jobs with very different costs.
+        let out = run_jobs(8, 3, |i| {
+            if i == 0 {
+                (0..200_000u64).sum::<u64>()
+            } else {
+                i as u64
+            }
+        });
+        assert_eq!(out[1], 1);
+        assert_eq!(out[2], 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "scoped thread panicked")]
+    fn job_panic_propagates() {
+        run_jobs(2, 8, |i| {
+            if i == 3 {
+                panic!("job three failed");
+            }
+            i
+        });
+    }
+}

@@ -1,0 +1,143 @@
+//! Session-level wrappers: the `GeaSession` macro operations with their
+//! parallelizable inner operators routed through the sharded drivers.
+//!
+//! Each wrapper reads the session's own [`ExecConfig`], runs the parallel
+//! section, notes an [`gea_core::ExecEvent`] on the session (which
+//! front-ends like `gea-server` drain into their `stats` counters), and
+//! hands the result to the *same* bookkeeping code the serial macro
+//! operation uses — so lineage, relational materialization, and naming
+//! are identical by construction, and the data is identical by the
+//! drivers' byte-identity contract.
+
+use gea_cluster::FascicleParams;
+use gea_core::mine::Miner;
+use gea_core::session::{ControlGroups, GeaError, GeaSession};
+use gea_sage::library::LibraryProperty;
+
+use crate::drivers::{aggregate_tags_sharded, mine_sharded};
+use crate::ExecStats;
+
+/// [`GeaSession::calculate_fascicles`] with the per-cluster
+/// materialization fanned across the session's executor. Byte-identical
+/// to the serial macro operation.
+pub fn calculate_fascicles_sharded(
+    session: &mut GeaSession,
+    dataset: &str,
+    out: &str,
+    width_fraction: f64,
+    params: &FascicleParams,
+) -> Result<Vec<String>, GeaError> {
+    let cfg = session.exec_config();
+    let table = session.enum_table(dataset)?.clone();
+    let tol = gea_core::mine::generate_metadata(&table, width_fraction);
+    let (clusters, stats) = mine_sharded(
+        &table,
+        out,
+        &Miner::Fascicles(params.clone()),
+        Some(&tol),
+        &cfg,
+    );
+    session.note_exec(stats.event("mine"));
+    session.install_mined_fascicles(dataset, width_fraction, params, &table, clusters)
+}
+
+/// [`GeaSession::form_control_groups`] with the three compact-tag
+/// aggregations routed through [`aggregate_tags_sharded`]. The wall/busy
+/// times of the three parallel sections are summed into one `aggregate`
+/// event.
+pub fn form_control_groups_sharded(
+    session: &mut GeaSession,
+    fascicle: &str,
+    property: LibraryProperty,
+) -> Result<ControlGroups, GeaError> {
+    let cfg = session.exec_config();
+    let mut total = ExecStats::default();
+    let result = session.form_control_groups_with(fascicle, property, |name, matrix, tags| {
+        let (sumy, stats) = aggregate_tags_sharded(name, matrix, tags, &cfg);
+        total.shards += stats.shards;
+        total.wall_us += stats.wall_us;
+        total.busy_us += stats.busy_us;
+        sumy
+    });
+    if total.shards > 0 {
+        session.note_exec(total.event("aggregate"));
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gea_core::ExecConfig;
+    use gea_sage::clean::CleaningConfig;
+    use gea_sage::generate::{generate, GeneratorConfig};
+    use gea_sage::TissueType;
+
+    fn sessions() -> (GeaSession, GeaSession) {
+        let (corpus, _) = generate(&GeneratorConfig::demo(77));
+        let serial = GeaSession::open(corpus.clone(), &CleaningConfig::default()).unwrap();
+        let sharded = GeaSession::open(corpus, &CleaningConfig::default()).unwrap();
+        (serial, sharded)
+    }
+
+    fn fascicle_params(s: &GeaSession) -> FascicleParams {
+        let n_tags = s.enum_table("Ebrain").unwrap().n_tags();
+        FascicleParams {
+            min_compact_attrs: n_tags * 7 / 10,
+            min_records: 3,
+            batch_size: 6,
+        }
+    }
+
+    #[test]
+    fn sharded_session_pipeline_matches_serial() {
+        let (mut serial, mut sharded) = sessions();
+        sharded.set_exec_config(ExecConfig {
+            threads: 4,
+            shards: 3,
+        });
+        for s in [&mut serial, &mut sharded] {
+            s.create_tissue_dataset("Ebrain", &TissueType::Brain)
+                .unwrap();
+        }
+        let params = fascicle_params(&serial);
+        let names_serial = serial
+            .calculate_fascicles("Ebrain", "brain", 0.10, &params)
+            .unwrap();
+        let names_sharded =
+            calculate_fascicles_sharded(&mut sharded, "Ebrain", "brain", 0.10, &params).unwrap();
+        assert_eq!(names_serial, names_sharded);
+        for name in &names_serial {
+            assert_eq!(serial.sumy(name).unwrap(), sharded.sumy(name).unwrap());
+            assert_eq!(
+                serial.enum_table(name).unwrap().matrix,
+                sharded.enum_table(name).unwrap().matrix
+            );
+        }
+        // Executor activity was noted on the sharded session only.
+        assert!(serial.drain_exec_events().is_empty());
+        let events = sharded.drain_exec_events();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].op, "mine");
+
+        // Control groups, where a pure fascicle exists.
+        for name in &names_serial {
+            let a = serial.form_control_groups(name, LibraryProperty::Cancer);
+            let b = form_control_groups_sharded(&mut sharded, name, LibraryProperty::Cancer);
+            match (a, b) {
+                (Ok(ga), Ok(gb)) => {
+                    assert_eq!(ga, gb);
+                    for n in [&ga.in_fascicle, &ga.outside_fascicle, &ga.contrast] {
+                        assert_eq!(serial.sumy(n).unwrap(), sharded.sumy(n).unwrap());
+                    }
+                    let events = sharded.drain_exec_events();
+                    assert_eq!(events.len(), 1);
+                    assert_eq!(events[0].op, "aggregate");
+                    return;
+                }
+                (Err(_), Err(_)) => continue,
+                (a, b) => panic!("serial/sharded disagreed: {a:?} vs {b:?}"),
+            }
+        }
+    }
+}

@@ -4,7 +4,7 @@
 //! gea-server [--addr HOST:PORT] [--workers N] [--queue N]
 //!            [--lock-timeout-ms MS] [--demo SEED]
 //!            [--cache-bytes N] [--session-budget N] [--idle-timeout-ms MS]
-//!            [--spill-dir PATH]
+//!            [--spill-dir PATH] [--threads N]
 //! ```
 //!
 //! `--demo SEED` pre-opens the session named `default` from a generated
@@ -14,7 +14,10 @@
 //! eviction, and `--idle-timeout-ms` evicts sessions no request has
 //! touched in that long. Without `--spill-dir`, evicted sessions answer
 //! `ERR EEVICTED` until re-opened; with it, they are persisted to PATH on
-//! eviction and restored transparently on their next use. Stop the server
+//! eviction and restored transparently on their next use. `--threads N`
+//! sizes the sharded executor for mine/populate/aggregate inside each
+//! session (0, the default, means available parallelism; 1 forces the
+//! serial path — results are byte-identical either way). Stop the server
 //! with the `shutdown` protocol command, SIGINT, or SIGTERM — all three
 //! drain in-flight requests (and spills) before exiting.
 
@@ -86,7 +89,8 @@ fn usage() -> ! {
     eprintln!(
         "usage: gea-server [--addr HOST:PORT] [--workers N] [--queue N] \
          [--lock-timeout-ms MS] [--demo SEED] [--cache-bytes N] \
-         [--session-budget N] [--idle-timeout-ms MS] [--spill-dir PATH]"
+         [--session-budget N] [--idle-timeout-ms MS] [--spill-dir PATH] \
+         [--threads N]"
     );
     std::process::exit(2);
 }
@@ -149,6 +153,13 @@ fn parse_args() -> (ServerConfig, Option<u64>) {
             "--spill-dir" => {
                 config.spill_dir = Some(std::path::PathBuf::from(value("--spill-dir")));
             }
+            "--threads" => match value("--threads").parse() {
+                Ok(n) => config.threads = n,
+                Err(e) => {
+                    eprintln!("bad --threads: {e}");
+                    usage()
+                }
+            },
             "--demo" => match value("--demo").parse() {
                 Ok(seed) => demo = Some(seed),
                 Err(e) => {
@@ -168,6 +179,7 @@ fn parse_args() -> (ServerConfig, Option<u64>) {
 
 fn main() {
     let (config, demo) = parse_args();
+    let threads = config.threads;
     let server = match Server::bind(config) {
         Ok(server) => server,
         Err(e) => {
@@ -178,8 +190,12 @@ fn main() {
     if let Some(seed) = demo {
         let (corpus, _) = generate(&GeneratorConfig::demo(seed));
         match GeaSession::open(corpus, &CleaningConfig::default()) {
-            Ok(session) => {
-                server.registry().open("default", session);
+            Ok(mut session) => {
+                session.set_exec_config(gea_core::session::ExecConfig::with_threads(threads));
+                let fingerprint = gea_core::persist::corpus_fingerprint(&session).ok();
+                server
+                    .registry()
+                    .open_with_fingerprint("default", session, fingerprint);
                 eprintln!("gea-server: opened demo session `default` (seed {seed})");
             }
             Err(e) => {

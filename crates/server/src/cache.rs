@@ -1,7 +1,7 @@
 //! Generation-stamped response cache for read-only GQL replies.
 //!
 //! Replies to cacheable read verbs are stored under the key
-//! `(entry id, generation, normalized command line)`. Because a session's
+//! `(scope, generation, normalized command line)`. Because a session's
 //! generation bumps on every write-lock acquisition
 //! ([`crate::registry::SessionEntry::generation`]), a cached reply is
 //! *structurally* invalidated by any write: the next lookup carries the
@@ -9,11 +9,19 @@
 //! lock on the hit path — a hit is a map probe under the cache's own
 //! mutex.
 //!
-//! The entry-id component (unique per [`crate::registry::SessionEntry`],
-//! never reused) guarantees a session that is closed, evicted, or
-//! replaced under the same name can never serve another incarnation's
-//! replies; [`ResponseCache::purge_entry`] additionally reclaims their
-//! budget eagerly.
+//! The scope component names *whose* replies a slot holds. The default
+//! scope, [`CacheScope::Entry`], carries the session's entry id (unique
+//! per [`crate::registry::SessionEntry`], never reused), which guarantees
+//! a session that is closed, evicted, or replaced under the same name can
+//! never serve another incarnation's replies;
+//! [`ResponseCache::purge_entry`] additionally reclaims their budget
+//! eagerly. [`CacheScope::Corpus`] instead carries a corpus fingerprint,
+//! letting *pristine* twin sessions (generation 0, identical corpus —
+//! e.g. two `open demo <seed>` sessions with the same seed) share each
+//! other's pure-read replies. Corpus-scoped slots are only ever written
+//! and read at generation 0, so a session that diverges (any write bumps
+//! its generation) silently stops matching them and falls back to its
+//! private entry scope.
 //!
 //! Capacity is a byte budget over command + reply text. Insertions over
 //! budget evict least-recently-hit slots first (stale generations are
@@ -26,9 +34,19 @@ use std::sync::Mutex;
 /// node, and allocation overhead).
 const SLOT_OVERHEAD: usize = 96;
 
+/// Namespace of a cache slot: who may hit it.
+#[derive(Debug, PartialEq, Eq, Hash, Clone, Copy)]
+pub enum CacheScope {
+    /// Private to one session incarnation, keyed by its registry entry id.
+    Entry(u64),
+    /// Shared across pristine sessions with an identical corpus, keyed by
+    /// the corpus fingerprint. Only used at generation 0.
+    Corpus(u64),
+}
+
 #[derive(PartialEq, Eq, Hash, Clone)]
 struct Key {
-    entry: u64,
+    scope: CacheScope,
     generation: u64,
     command: String,
 }
@@ -97,9 +115,9 @@ impl ResponseCache {
         self.budget > 0
     }
 
-    /// Look up the reply cached for `command` against session `entry` at
+    /// Look up the reply cached for `command` under `scope` at
     /// `generation`. A hit refreshes the slot's LRU stamp.
-    pub fn get(&self, entry: u64, generation: u64, command: &str) -> Option<String> {
+    pub fn get(&self, scope: CacheScope, generation: u64, command: &str) -> Option<String> {
         if self.budget == 0 {
             return None;
         }
@@ -107,7 +125,7 @@ impl ResponseCache {
         inner.clock += 1;
         let clock = inner.clock;
         let key = Key {
-            entry,
+            scope,
             generation,
             command: command.to_string(),
         };
@@ -123,7 +141,13 @@ impl ResponseCache {
     /// Store a reply, evicting least-recently-hit slots until it fits.
     /// Replies costing more than 1/4 of the budget are rejected at
     /// admission instead of churning the whole LRU to store them.
-    pub fn insert(&self, entry: u64, generation: u64, command: String, reply: String) -> Admission {
+    pub fn insert(
+        &self,
+        scope: CacheScope,
+        generation: u64,
+        command: String,
+        reply: String,
+    ) -> Admission {
         if self.budget == 0 {
             return Admission::Disabled;
         }
@@ -133,7 +157,7 @@ impl ResponseCache {
         }
         let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
         let key = Key {
-            entry,
+            scope,
             generation,
             command,
         };
@@ -162,14 +186,17 @@ impl ResponseCache {
         Admission::Stored { evicted }
     }
 
-    /// Drop every slot belonging to session `entry` (closed, evicted, or
-    /// replaced), returning how many were dropped.
+    /// Drop every *entry-scoped* slot belonging to session `entry`
+    /// (closed, evicted, or replaced), returning how many were dropped.
+    /// Corpus-scoped slots are deliberately left alone: they belong to
+    /// the corpus, not to any one session, and remain valid for future
+    /// pristine twins.
     pub fn purge_entry(&self, entry: u64) -> usize {
         let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
         let victims: Vec<(u64, Key)> = inner
             .map
             .iter()
-            .filter(|(k, _)| k.entry == entry)
+            .filter(|(k, _)| k.scope == CacheScope::Entry(entry))
             .map(|(k, slot)| (slot.stamp, k.clone()))
             .collect();
         let n = victims.len();
@@ -217,18 +244,22 @@ impl ResponseCache {
 mod tests {
     use super::*;
 
+    fn e(id: u64) -> CacheScope {
+        CacheScope::Entry(id)
+    }
+
     #[test]
     fn hit_miss_and_generation_invalidation() {
         let cache = ResponseCache::new(4096);
         assert!(cache.is_enabled());
-        assert_eq!(cache.get(1, 0, "lineage"), None);
-        cache.insert(1, 0, "lineage".into(), "node 0".into());
-        assert_eq!(cache.get(1, 0, "lineage"), Some("node 0".to_string()));
+        assert_eq!(cache.get(e(1), 0, "lineage"), None);
+        cache.insert(e(1), 0, "lineage".into(), "node 0".into());
+        assert_eq!(cache.get(e(1), 0, "lineage"), Some("node 0".to_string()));
         // A bumped generation is a structural miss; the old slot lingers
         // until LRU reclaims it but can never be served again.
-        assert_eq!(cache.get(1, 1, "lineage"), None);
+        assert_eq!(cache.get(e(1), 1, "lineage"), None);
         // Another session's entry id never collides.
-        assert_eq!(cache.get(2, 0, "lineage"), None);
+        assert_eq!(cache.get(e(2), 0, "lineage"), None);
         assert_eq!(cache.len(), 1);
         assert!(cache.bytes() > 0);
     }
@@ -241,19 +272,22 @@ mod tests {
         let cache = ResponseCache::new(4 * slot);
         for key in ["a", "b", "c", "d"] {
             assert_eq!(
-                cache.insert(1, 0, key.into(), "vvvvv".into()),
+                cache.insert(e(1), 0, key.into(), "vvvvv".into()),
                 Admission::Stored { evicted: 0 }
             );
         }
         // Touch "a" so "b" is the least recently used, then overflow.
-        assert!(cache.get(1, 0, "a").is_some());
+        assert!(cache.get(e(1), 0, "a").is_some());
         assert_eq!(
-            cache.insert(1, 0, "e".into(), "vvvvv".into()),
+            cache.insert(e(1), 0, "e".into(), "vvvvv".into()),
             Admission::Stored { evicted: 1 }
         );
-        assert!(cache.get(1, 0, "a").is_some(), "recently hit slot survives");
-        assert_eq!(cache.get(1, 0, "b"), None, "LRU slot evicted");
-        assert!(cache.get(1, 0, "e").is_some());
+        assert!(
+            cache.get(e(1), 0, "a").is_some(),
+            "recently hit slot survives"
+        );
+        assert_eq!(cache.get(e(1), 0, "b"), None, "LRU slot evicted");
+        assert!(cache.get(e(1), 0, "e").is_some());
     }
 
     #[test]
@@ -262,22 +296,22 @@ mod tests {
         // never evicts what is already there.
         let cache = ResponseCache::new(4096);
         assert_eq!(
-            cache.insert(1, 0, "small".into(), "v".into()),
+            cache.insert(e(1), 0, "small".into(), "v".into()),
             Admission::Stored { evicted: 0 }
         );
         assert_eq!(
-            cache.insert(1, 0, "big".into(), "x".repeat(2000)),
+            cache.insert(e(1), 0, "big".into(), "x".repeat(2000)),
             Admission::Rejected
         );
         assert_eq!(cache.len(), 1, "rejected reply must not be stored");
         assert!(
-            cache.get(1, 0, "small").is_some(),
+            cache.get(e(1), 0, "small").is_some(),
             "rejected reply must not evict residents"
         );
         // Exactly at the quarter boundary is still admitted.
         let fitting = 4096 / 4 - SLOT_OVERHEAD - 3;
         assert_eq!(
-            cache.insert(1, 0, "fit".into(), "z".repeat(fitting)),
+            cache.insert(e(1), 0, "fit".into(), "z".repeat(fitting)),
             Admission::Stored { evicted: 0 }
         );
     }
@@ -286,7 +320,7 @@ mod tests {
     fn oversize_and_disabled_are_no_ops() {
         let cache = ResponseCache::new(64);
         assert_eq!(
-            cache.insert(1, 0, "big".into(), "x".repeat(1000)),
+            cache.insert(e(1), 0, "big".into(), "x".repeat(1000)),
             Admission::Rejected
         );
         assert!(cache.is_empty());
@@ -294,23 +328,23 @@ mod tests {
         let off = ResponseCache::new(0);
         assert!(!off.is_enabled());
         assert_eq!(
-            off.insert(1, 0, "a".into(), "b".into()),
+            off.insert(e(1), 0, "a".into(), "b".into()),
             Admission::Disabled,
             "a disabled cache must not count rejections"
         );
-        assert_eq!(off.get(1, 0, "a"), None);
+        assert_eq!(off.get(e(1), 0, "a"), None);
         assert!(off.is_empty());
     }
 
     #[test]
     fn purge_drops_only_the_named_entry() {
         let cache = ResponseCache::new(4096);
-        cache.insert(1, 0, "a".into(), "1".into());
-        cache.insert(1, 3, "b".into(), "2".into());
-        cache.insert(2, 0, "a".into(), "3".into());
+        cache.insert(e(1), 0, "a".into(), "1".into());
+        cache.insert(e(1), 3, "b".into(), "2".into());
+        cache.insert(e(2), 0, "a".into(), "3".into());
         assert_eq!(cache.purge_entry(1), 2);
         assert_eq!(cache.len(), 1);
-        assert_eq!(cache.get(2, 0, "a"), Some("3".to_string()));
+        assert_eq!(cache.get(e(2), 0, "a"), Some("3".to_string()));
         assert_eq!(cache.purge_entry(99), 0);
     }
 
@@ -322,35 +356,51 @@ mod tests {
         let cache = ResponseCache::new(4 * slot);
         for key in ["a", "b", "c", "d"] {
             assert_eq!(
-                cache.insert(1, 0, key.into(), payload.clone()),
+                cache.insert(e(1), 0, key.into(), payload.clone()),
                 Admission::Stored { evicted: 0 }
             );
         }
         // Re-inserting "d" replaces its own slot; crediting it first means
         // nothing else needs to go.
         assert_eq!(
-            cache.insert(1, 0, "d".into(), payload),
+            cache.insert(e(1), 0, "d".into(), payload),
             Admission::Stored { evicted: 0 }
         );
-        assert!(cache.get(1, 0, "a").is_some(), "unrelated slot evicted");
-        assert!(cache.get(1, 0, "d").is_some());
+        assert!(cache.get(e(1), 0, "a").is_some(), "unrelated slot evicted");
+        assert!(cache.get(e(1), 0, "d").is_some());
         assert_eq!(cache.len(), 4);
     }
 
     #[test]
     fn reinsert_replaces_without_leaking_bytes() {
         let cache = ResponseCache::new(4096);
-        cache.insert(1, 0, "a".into(), "short".into());
+        cache.insert(e(1), 0, "a".into(), "short".into());
         let before = cache.bytes();
-        cache.insert(1, 0, "a".into(), "short".into());
+        cache.insert(e(1), 0, "a".into(), "short".into());
         assert_eq!(cache.bytes(), before, "double insert double-counted");
         assert_eq!(cache.len(), 1);
     }
 
     #[test]
+    fn corpus_scope_is_shared_and_survives_entry_purge() {
+        let cache = ResponseCache::new(4096);
+        let twin = CacheScope::Corpus(0xfeed);
+        // A corpus-scoped slot stored by one session hits for any twin —
+        // there is no entry id in the key at all.
+        cache.insert(twin, 0, "lineage".into(), "node 0".into());
+        assert_eq!(cache.get(twin, 0, "lineage"), Some("node 0".to_string()));
+        // It never collides with entry scopes, even on equal raw ids.
+        assert_eq!(cache.get(CacheScope::Entry(0xfeed), 0, "lineage"), None);
+        // Purging a session's entry slots leaves corpus slots alone.
+        cache.insert(e(7), 0, "gap g".into(), "x".into());
+        assert_eq!(cache.purge_entry(7), 1);
+        assert_eq!(cache.get(twin, 0, "lineage"), Some("node 0".to_string()));
+    }
+
+    #[test]
     fn gauges_render() {
         let cache = ResponseCache::new(512);
-        cache.insert(1, 0, "a".into(), "b".into());
+        cache.insert(e(1), 0, "a".into(), "b".into());
         let g = cache.render_gauges();
         assert!(g.contains("cache_entries 1"), "{g}");
         assert!(g.contains("cache_budget_bytes 512"), "{g}");

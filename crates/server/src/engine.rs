@@ -323,7 +323,10 @@ pub fn execute_write(session: &mut GeaSession, cmd: &GqlCommand) -> Result<Strin
             batch,
         } => {
             let n_tags = session.enum_table(dataset)?.n_tags();
-            let names = session.calculate_fascicles(
+            // Route through the sharded executor: byte-identical to the
+            // serial path, parallel across the session's ExecConfig.
+            let names = gea_exec::calculate_fascicles_sharded(
+                session,
                 dataset,
                 out,
                 0.10,
@@ -346,7 +349,8 @@ pub fn execute_write(session: &mut GeaSession, cmd: &GqlCommand) -> Result<Strin
             text
         }
         GqlCommand::Groups(fascicle) => {
-            let groups = session.form_control_groups(fascicle, LibraryProperty::Cancer)?;
+            let groups =
+                gea_exec::form_control_groups_sharded(session, fascicle, LibraryProperty::Cancer)?;
             format!(
                 "SUMY tables created:\n  in fascicle:      {}\n  outside fascicle: {}\n  contrast (normal): {}",
                 groups.in_fascicle, groups.outside_fascicle, groups.contrast
@@ -417,8 +421,11 @@ pub fn execute_write(session: &mut GeaSession, cmd: &GqlCommand) -> Result<Strin
             // round trip the thesis's DB2 persistence assumes. This is a
             // write: the whole session is replaced, so it runs under the
             // write lock and the generation bump invalidates every cached
-            // reply for this session.
+            // reply for this session. The exec configuration is runtime
+            // tuning, not session state: carry it across the swap.
+            let exec = session.exec_config();
             *session = gea_core::persist::load_session(std::path::Path::new(dir))?;
+            session.set_exec_config(exec);
             let mut out = format!(
                 "restored session from {dir}: {} table(s); operation history:\n",
                 session.database().len()

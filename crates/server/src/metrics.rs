@@ -71,6 +71,19 @@ impl CmdStat {
     }
 }
 
+/// Wall/busy accounting for one parallel operator, aggregated per op.
+#[derive(Debug, Clone, Default)]
+pub struct ExecOpStat {
+    /// Parallel executions observed.
+    pub count: u64,
+    /// Summed shard count across executions.
+    pub shards: u64,
+    /// Summed wall-clock time of the parallel sections, microseconds.
+    pub wall_us: u64,
+    /// Summed per-worker busy (CPU-proxy) time, microseconds.
+    pub cpu_us: u64,
+}
+
 /// The server's shared metrics sink.
 pub struct Metrics {
     started: Instant,
@@ -87,7 +100,11 @@ pub struct Metrics {
     sessions_spilled: AtomicU64,
     sessions_restored: AtomicU64,
     spill_errors: AtomicU64,
+    sessions_prefetched: AtomicU64,
+    exec_parallel_ops: AtomicU64,
+    exec_shards: AtomicU64,
     per_cmd: Mutex<BTreeMap<&'static str, CmdStat>>,
+    per_exec: Mutex<BTreeMap<&'static str, ExecOpStat>>,
 }
 
 impl Default for Metrics {
@@ -114,7 +131,11 @@ impl Metrics {
             sessions_spilled: AtomicU64::new(0),
             sessions_restored: AtomicU64::new(0),
             spill_errors: AtomicU64::new(0),
+            sessions_prefetched: AtomicU64::new(0),
+            exec_parallel_ops: AtomicU64::new(0),
+            exec_shards: AtomicU64::new(0),
             per_cmd: Mutex::new(BTreeMap::new()),
+            per_exec: Mutex::new(BTreeMap::new()),
         }
     }
 
@@ -183,6 +204,30 @@ impl Metrics {
     /// A spill or restore attempt failed (I/O error or corrupt snapshot).
     pub fn spill_error(&self) {
         self.spill_errors.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A spilled session's restore was kicked onto a background thread.
+    pub fn session_prefetched(&self) {
+        self.sessions_prefetched.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A sharded operator ran: `op` names it (`mine`, `populate`,
+    /// `aggregate`), `shards` is the fan-out, and `wall_us`/`cpu_us` are the
+    /// parallel section's wall-clock and summed per-worker busy time.
+    pub fn exec_op(&self, op: &'static str, shards: u64, wall_us: u64, cpu_us: u64) {
+        self.exec_parallel_ops.fetch_add(1, Ordering::Relaxed);
+        self.exec_shards.fetch_add(shards, Ordering::Relaxed);
+        let mut map = self.per_exec.lock().unwrap_or_else(|e| e.into_inner());
+        let stat = map.entry(op).or_default();
+        stat.count += 1;
+        stat.shards += shards;
+        stat.wall_us += wall_us;
+        stat.cpu_us += cpu_us;
+    }
+
+    /// Background restores kicked off so far.
+    pub fn sessions_prefetched(&self) -> u64 {
+        self.sessions_prefetched.load(Ordering::Relaxed)
     }
 
     /// Response-cache hits so far.
@@ -258,6 +303,31 @@ impl Metrics {
             "spill_errors {}",
             self.spill_errors.load(Ordering::Relaxed)
         );
+        let _ = writeln!(
+            out,
+            "sessions_prefetched {}",
+            self.sessions_prefetched.load(Ordering::Relaxed)
+        );
+        let _ = writeln!(
+            out,
+            "exec_parallel_ops {}",
+            self.exec_parallel_ops.load(Ordering::Relaxed)
+        );
+        let _ = writeln!(
+            out,
+            "exec_shards {}",
+            self.exec_shards.load(Ordering::Relaxed)
+        );
+        {
+            let execs = self.per_exec.lock().unwrap_or_else(|e| e.into_inner());
+            for (op, stat) in execs.iter() {
+                let _ = writeln!(
+                    out,
+                    "exec {op} count {} shards {} wall_us {} cpu_us {}",
+                    stat.count, stat.shards, stat.wall_us, stat.cpu_us
+                );
+            }
+        }
         let map = self.per_cmd.lock().unwrap_or_else(|e| e.into_inner());
         for (verb, stat) in map.iter() {
             let mean = stat.total_us.checked_div(stat.count).unwrap_or(0);
@@ -347,5 +417,27 @@ mod tests {
         assert!(text.contains("sessions_spilled 2"), "{text}");
         assert!(text.contains("sessions_restored 1"), "{text}");
         assert!(text.contains("spill_errors 1"), "{text}");
+    }
+
+    #[test]
+    fn prefetch_and_exec_counters_render() {
+        let m = Metrics::new();
+        m.session_prefetched();
+        m.exec_op("populate", 4, 120, 400);
+        m.exec_op("populate", 4, 80, 300);
+        m.exec_op("mine", 2, 50, 90);
+        assert_eq!(m.sessions_prefetched(), 1);
+        let text = m.render();
+        assert!(text.contains("sessions_prefetched 1"), "{text}");
+        assert!(text.contains("exec_parallel_ops 3"), "{text}");
+        assert!(text.contains("exec_shards 10"), "{text}");
+        assert!(
+            text.contains("exec populate count 2 shards 8 wall_us 200 cpu_us 700"),
+            "{text}"
+        );
+        assert!(
+            text.contains("exec mine count 1 shards 2 wall_us 50 cpu_us 90"),
+            "{text}"
+        );
     }
 }

@@ -133,6 +133,12 @@ pub struct SessionEntry {
     /// Refreshed on open and on every write release.
     approx_bytes: AtomicU64,
     last_used: Mutex<Instant>,
+    /// Fingerprint of the corpus the session was opened over, when known.
+    /// Lets the response cache share pure-read replies between pristine
+    /// (generation-0) sessions opened over an identical corpus. `None`
+    /// (restored or adopted sessions) simply opts the entry out of
+    /// sharing; correctness never depends on it being set.
+    corpus_fingerprint: Option<u64>,
 }
 
 /// A shared handle to one session entry.
@@ -140,6 +146,10 @@ pub type SharedSession = Arc<SessionEntry>;
 
 impl SessionEntry {
     fn new(session: GeaSession) -> SessionEntry {
+        SessionEntry::with_fingerprint(session, None)
+    }
+
+    fn with_fingerprint(session: GeaSession, corpus_fingerprint: Option<u64>) -> SessionEntry {
         let bytes = session.approx_bytes() as u64;
         SessionEntry {
             id: NEXT_ENTRY_ID.fetch_add(1, Ordering::Relaxed),
@@ -149,12 +159,19 @@ impl SessionEntry {
             generation: AtomicU64::new(0),
             approx_bytes: AtomicU64::new(bytes),
             last_used: Mutex::new(Instant::now()),
+            corpus_fingerprint,
         }
     }
 
     /// The entry's unique id (a cache-key component).
     pub fn id(&self) -> u64 {
         self.id
+    }
+
+    /// Fingerprint of the corpus this session was opened over, if the
+    /// opener computed one (see the field doc for what `None` means).
+    pub fn corpus_fingerprint(&self) -> Option<u64> {
+        self.corpus_fingerprint
     }
 
     /// Current generation: the number of write-lock acquisitions so far.
@@ -401,7 +418,18 @@ impl SessionRegistry {
     /// purge its cached replies. Connections still attached to a replaced
     /// session keep their `Arc` and finish against the old state.
     pub fn open(&self, name: &str, session: GeaSession) -> Option<SharedSession> {
-        let entry = Arc::new(SessionEntry::new(session));
+        self.open_with_fingerprint(name, session, None)
+    }
+
+    /// [`SessionRegistry::open`], additionally stamping the entry with the
+    /// corpus fingerprint so pristine twins can share cached replies.
+    pub fn open_with_fingerprint(
+        &self,
+        name: &str,
+        session: GeaSession,
+        corpus_fingerprint: Option<u64>,
+    ) -> Option<SharedSession> {
+        let entry = Arc::new(SessionEntry::with_fingerprint(session, corpus_fingerprint));
         let mut inner = self.inner.write().unwrap_or_else(|e| e.into_inner());
         inner.evicted.remove(name);
         inner.live.insert(name.to_string(), entry)

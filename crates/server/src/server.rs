@@ -37,16 +37,17 @@ use std::sync::{mpsc, Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use gea_core::persist;
-use gea_core::session::GeaSession;
+use gea_core::session::{ExecConfig, GeaSession};
 use gea_sage::clean::CleaningConfig;
 use gea_sage::generate::{generate, GeneratorConfig};
 
-use crate::cache::{Admission, ResponseCache};
+use crate::cache::{Admission, CacheScope, ResponseCache};
 use crate::engine::{self, EngineError};
 use crate::gql::{self, GqlCommand, Request, SessionCtl};
 use crate::metrics::Metrics;
 use crate::registry::{
-    Adopt, EvictReason, EvictionPolicy, Lookup, SessionRegistry, SharedSession, SpillRecord,
+    Adopt, EvictReason, EvictionPolicy, Lookup, SessionEntry, SessionRegistry, SharedSession,
+    SpillRecord,
 };
 use crate::wire;
 
@@ -76,6 +77,9 @@ pub struct ServerConfig {
     /// restore on next use. `None` keeps the drop-and-`EEVICTED`
     /// behavior.
     pub spill_dir: Option<PathBuf>,
+    /// Worker threads for sharded mine/populate/aggregate inside each
+    /// session (`gea-exec`); 0 means available parallelism.
+    pub threads: usize,
 }
 
 impl Default for ServerConfig {
@@ -89,6 +93,7 @@ impl Default for ServerConfig {
             session_budget: None,
             idle_timeout: None,
             spill_dir: None,
+            threads: 0,
         }
     }
 }
@@ -364,19 +369,46 @@ fn restore_spilled(
     name: &str,
     record: &SpillRecord,
 ) -> Result<SharedSession, EngineError> {
+    restore_spilled_inner(
+        &shared.registry,
+        &shared.metrics,
+        shared.config.threads,
+        name,
+        record,
+    )
+}
+
+/// The restore body, free of `Shared` so a detached prefetch thread (which
+/// owns only `Arc` clones of the registry and metrics) can run it too.
+fn restore_spilled_inner(
+    registry: &SessionRegistry,
+    metrics: &Metrics,
+    threads: usize,
+    name: &str,
+    record: &SpillRecord,
+) -> Result<SharedSession, EngineError> {
     match persist::load_session_verified(&record.path, record.fingerprint) {
-        Ok(session) => match shared.registry.adopt_restored(name, session, &record.path) {
-            Adopt::Installed(entry) => {
-                shared.metrics.session_restored();
-                persist::remove_spill(&record.path);
-                Ok(entry)
+        Ok(mut session) => {
+            session.set_exec_config(ExecConfig::with_threads(threads));
+            match registry.adopt_restored(name, session, &record.path) {
+                Adopt::Installed(entry) => {
+                    metrics.session_restored();
+                    persist::remove_spill(&record.path);
+                    Ok(entry)
+                }
+                Adopt::Existing(entry) => Ok(entry),
+                Adopt::Stale => Err(no_session(name)),
             }
-            Adopt::Existing(entry) => Ok(entry),
-            Adopt::Stale => Err(no_session(name)),
-        },
+        }
         Err(_) => {
-            shared.metrics.spill_error();
-            shared.registry.downgrade_spill(name, &record.path);
+            // A concurrent restore may have adopted the session and deleted
+            // the snapshot out from under this load. That is a success, not
+            // a broken spill: converge on the live entry.
+            if let Lookup::Found(entry) = registry.lookup(name) {
+                return Ok(entry);
+            }
+            metrics.spill_error();
+            registry.downgrade_spill(name, &record.path);
             Err(EngineError::new(
                 "EEVICTED",
                 format!(
@@ -385,6 +417,31 @@ fn restore_spilled(
                 ),
             ))
         }
+    }
+}
+
+/// Kick a spilled session's restore onto a detached background thread so
+/// `use` returns immediately; the first data request either finds the
+/// restored entry already live or falls back to the inline restore path
+/// (the two converge via [`SessionRegistry::adopt_restored`]). If the
+/// thread cannot be spawned, restore inline instead.
+fn prefetch_spilled(shared: &Shared, name: &str, record: &SpillRecord) -> Result<(), EngineError> {
+    let registry = Arc::clone(&shared.registry);
+    let metrics = Arc::clone(&shared.metrics);
+    let threads = shared.config.threads;
+    let name_owned = name.to_string();
+    let record_owned = record.clone();
+    let spawned = std::thread::Builder::new()
+        .name("gea-prefetch".to_string())
+        .spawn(move || {
+            let _ = restore_spilled_inner(&registry, &metrics, threads, &name_owned, &record_owned);
+        });
+    match spawned {
+        Ok(_) => {
+            shared.metrics.session_prefetched();
+            Ok(())
+        }
+        Err(_) => restore_spilled(shared, name, record).map(|_| ()),
     }
 }
 
@@ -538,8 +595,11 @@ fn session_ctl(
         SessionCtl::Use(name) => {
             match shared.registry.lookup(name) {
                 Lookup::Found(_) => {}
+                // Don't make `use` pay for the restore: kick it onto a
+                // background thread and let the first data request find
+                // the session already live (or restore inline itself).
                 Lookup::Spilled(record) => {
-                    restore_spilled(shared, name, &record)?;
+                    prefetch_spilled(shared, name, &record)?;
                 }
                 Lookup::Evicted(reason) => return Err(EngineError::evicted(name, reason)),
                 Lookup::Missing => return Err(no_session(name)),
@@ -588,9 +648,13 @@ fn install(
     shared: &Shared,
     current: &mut String,
     name: &str,
-    session: GeaSession,
+    mut session: GeaSession,
     dir: Option<&str>,
 ) -> String {
+    session.set_exec_config(ExecConfig::with_threads(shared.config.threads));
+    // Stamp the entry with its corpus fingerprint so pristine twins
+    // (same corpus, no writes yet) can share pure-read cache slots.
+    let fingerprint = persist::corpus_fingerprint(&session).ok();
     let report = session.cleaning_report().clone();
     let libs = session.base().n_libraries();
     // A fresh open supersedes any spilled state under the name; delete
@@ -598,7 +662,10 @@ fn install(
     if let Some(record) = shared.registry.take_spill(name) {
         persist::remove_spill(&record.path);
     }
-    if let Some(replaced) = shared.registry.open(name, session) {
+    if let Some(replaced) = shared
+        .registry
+        .open_with_fingerprint(name, session, fingerprint)
+    {
         shared.cache.purge_entry(replaced.id());
     }
     *current = name.to_string();
@@ -631,6 +698,18 @@ fn no_session(name: &str) -> EngineError {
     )
 }
 
+/// Which cache namespace a reply computed against `entry` at `generation`
+/// lives in. A *pristine* session (generation 0 — no write lock was ever
+/// acquired, so its state is exactly as opened) with a known corpus
+/// fingerprint shares the corpus-wide namespace with its twins; anything
+/// else stays private to the entry.
+fn cache_scope(entry: &SessionEntry, generation: u64) -> CacheScope {
+    match entry.corpus_fingerprint() {
+        Some(fp) if generation == 0 => CacheScope::Corpus(fp),
+        _ => CacheScope::Entry(entry.id()),
+    }
+}
+
 fn run_gql(cmd: &GqlCommand, current: &str, shared: &Shared) -> Result<String, EngineError> {
     let entry = match shared.registry.lookup(current) {
         Lookup::Found(entry) => entry,
@@ -646,7 +725,11 @@ fn run_gql(cmd: &GqlCommand, current: &str, shared: &Shared) -> Result<String, E
             // The hit path never touches the session lock: the reply was
             // computed under this generation, and serving it is
             // linearized at the instant of the generation load.
-            if let Some(reply) = shared.cache.get(entry.id(), entry.generation(), key) {
+            let generation = entry.generation();
+            if let Some(reply) = shared
+                .cache
+                .get(cache_scope(&entry, generation), generation, key)
+            {
                 // A hit is still session activity: refresh the idle stamp
                 // here, since this path never acquires the session lock.
                 entry.touch();
@@ -662,10 +745,12 @@ fn run_gql(cmd: &GqlCommand, current: &str, shared: &Shared) -> Result<String, E
         let result = engine::execute_read(&session, cmd);
         drop(session);
         if let (Some(key), Ok(reply)) = (key, &result) {
-            match shared
-                .cache
-                .insert(entry.id(), generation, key, reply.clone())
-            {
+            match shared.cache.insert(
+                cache_scope(&entry, generation),
+                generation,
+                key,
+                reply.clone(),
+            ) {
                 Admission::Stored { evicted } => shared.metrics.cache_evictions_add(evicted),
                 Admission::Rejected => shared.metrics.cache_rejected(),
                 Admission::Disabled => {}
@@ -675,9 +760,17 @@ fn run_gql(cmd: &GqlCommand, current: &str, shared: &Shared) -> Result<String, E
     } else {
         let mut session = entry.write_with_deadline(shared.config.lock_timeout)?;
         let result = engine::execute_write(&mut session, cmd);
+        // Drain while still holding the guard so a concurrent writer's
+        // events are never attributed to this request.
+        let events = session.drain_exec_events();
         // Release before enforcing: the guard's drop refreshes the
         // entry's size estimate with whatever this write grew it to.
         drop(session);
+        for ev in events {
+            shared
+                .metrics
+                .exec_op(ev.op, ev.shards as u64, ev.wall_us, ev.busy_us);
+        }
         enforce_budget(shared);
         result
     }

@@ -17,7 +17,10 @@ step() { printf '\n== %s ==\n' "$*"; }
 step "cargo build --release --workspace"
 cargo build --release --workspace
 
-step "thesis-scale pipeline (ignored tier-1, release)"
+step "thesis-scale pipeline, serial + sharded (ignored tier-1, release)"
+# Includes thesis_scale_pipeline_sharded: the sharded executor run side
+# by side with a serial session over the identical corpus, byte-identical
+# at full scale.
 cargo test --release --test thesis_scale -- --ignored --nocapture
 
 step "cache transparency battery (release)"
@@ -26,5 +29,12 @@ cargo test --release --test server_cache -- --nocapture
 step "spill transparency battery (release)"
 cargo test --release --test server_spill -- --nocapture
 cargo test --release --test server_spill -- --ignored --nocapture
+
+step "serial-vs-sharded speedup (release) -> BENCH_parallel.json"
+# Thesis-scale corpus, 4-way executor. Also re-verifies byte identity on
+# the timed runs and exits non-zero on a determinism failure. The JSON
+# records host_parallelism: ~1x speedup is expected on single-core
+# runners and is not a failure.
+cargo run --release -p gea-bench --bin parallel -- --threads 4
 
 printf '\nNightly lane passed.\n'

@@ -21,6 +21,13 @@ cargo build --release --workspace
 step "cargo test -q --workspace"
 cargo test -q --workspace
 
+# The gea-exec byte-identity contract, property-tested over randomized
+# corpora for every pinned shard/thread combination. Runs as part of the
+# workspace suite too; the explicit step keeps a determinism regression
+# from hiding inside a long test log.
+step "sharded-execution determinism property suite"
+cargo test -q --test exec_determinism
+
 step "cargo fmt --all --check"
 cargo fmt --all --check
 

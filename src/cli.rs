@@ -41,7 +41,17 @@ impl Cli {
             .ok_or_else(|| "ENOSESSION no session open; run `load-demo <seed>` first".to_string())
     }
 
-    fn open(&mut self, session: GeaSession, loaded_from: Option<&str>) -> String {
+    fn open(&mut self, mut session: GeaSession, loaded_from: Option<&str>) -> String {
+        // Mine/populate/aggregate route through the sharded executor
+        // (gea-exec) with the session default of available parallelism;
+        // GEA_THREADS=N overrides it (1 forces the serial path — results
+        // are byte-identical either way).
+        if let Some(n) = std::env::var("GEA_THREADS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+        {
+            session.set_exec_config(gea_core::session::ExecConfig::with_threads(n));
+        }
         let report = session.cleaning_report().clone();
         let libs = session.base().n_libraries();
         self.session = Some(session);

@@ -18,6 +18,8 @@
 //!   range indexing;
 //! * [`cluster`] — the Fascicles algorithm and baseline clusterers;
 //! * [`core`] — the GEA algebra, session, lineage and search operations;
+//! * [`exec`] — the sharded parallel execution engine (byte-identical
+//!   fan-out of `mine`/`populate`/`aggregate` over a scoped thread pool);
 //! * [`server`] — the GQL grammar and executor shared by the [`cli`]
 //!   interpreter, plus the concurrent TCP query server (`gea-server`) and
 //!   its client library (`gea-client`).
@@ -49,6 +51,7 @@ pub mod cli;
 
 pub use gea_cluster as cluster;
 pub use gea_core as core;
+pub use gea_exec as exec;
 pub use gea_relstore as relstore;
 pub use gea_sage as sage;
 pub use gea_server as server;

@@ -1,0 +1,182 @@
+//! The gea-exec determinism contract, as properties: every sharded driver
+//! is **byte-identical** to its serial counterpart for every tested shard
+//! count (1, 2, 3, 7 — including shard counts that don't divide the input
+//! and exceed the thread count) and thread count (1, 4), over randomized
+//! corpora. Work counters (`PopulateStats`) must match too, not just
+//! results — the sharded engine may not even *charge* differently.
+
+use proptest::prelude::*;
+
+use gea::cluster::FascicleParams;
+use gea::core::mine::{generate_metadata, mine, MinedCluster, Miner};
+use gea::core::populate::{
+    populate, populate_columnar, populate_indexed, populate_scan, PopulateIndex,
+};
+use gea::core::sumy::aggregate;
+use gea::core::{EnumTable, ExecConfig};
+use gea::exec::{
+    aggregate_sharded, mine_sharded, populate_columnar_sharded, populate_indexed_sharded,
+    populate_scan_sharded, populate_sharded,
+};
+use gea::sage::corpus::library_meta;
+use gea::sage::library::{LibraryId, NeoplasticState, TissueSource};
+use gea::sage::tag::{Tag, TagUniverse};
+use gea::sage::{ExpressionMatrix, TissueType};
+
+/// Every (shards, threads) combination the issue pins down.
+const GRID: &[(usize, usize)] = &[
+    (1, 1),
+    (2, 1),
+    (3, 1),
+    (7, 1),
+    (1, 4),
+    (2, 4),
+    (3, 4),
+    (7, 4),
+];
+
+fn exec(shards: usize, threads: usize) -> ExecConfig {
+    ExecConfig { threads, shards }
+}
+
+fn small_enum(values: Vec<Vec<f64>>) -> EnumTable {
+    let n_libs = values[0].len();
+    let universe =
+        TagUniverse::from_tags((0..values.len() as u32).map(|i| Tag::from_code(i * 53).unwrap()));
+    let libs = (0..n_libs)
+        .map(|i| {
+            library_meta(
+                &format!("L{i}"),
+                TissueType::Brain,
+                if i % 3 == 0 {
+                    NeoplasticState::Cancerous
+                } else {
+                    NeoplasticState::Normal
+                },
+                TissueSource::BulkTissue,
+            )
+        })
+        .collect();
+    EnumTable::new("E", ExpressionMatrix::from_rows(universe, libs, values))
+}
+
+fn matrix_values() -> impl Strategy<Value = Vec<Vec<f64>>> {
+    (1usize..12, 1usize..14).prop_flat_map(|(n_tags, n_libs)| {
+        prop::collection::vec(prop::collection::vec(0.0f64..100.0, n_libs), n_tags)
+    })
+}
+
+fn clusters_identical(a: &[MinedCluster], b: &[MinedCluster]) -> bool {
+    a.len() == b.len()
+        && a.iter().zip(b).all(|(x, y)| {
+            x.name == y.name
+                && x.libraries == y.libraries
+                && x.compact_tags == y.compact_tags
+                && x.sumy == y.sumy
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn aggregate_sharded_is_byte_identical(values in matrix_values()) {
+        let table = small_enum(values);
+        let serial = aggregate("s", &table.matrix);
+        for &(shards, threads) in GRID {
+            let (sharded, stats) = aggregate_sharded("s", &table.matrix, &exec(shards, threads));
+            prop_assert_eq!(&sharded, &serial, "shards={} threads={}", shards, threads);
+            prop_assert_eq!(stats.shards, shards.min(table.n_tags()).max(1));
+        }
+    }
+
+    #[test]
+    fn populate_sharded_is_byte_identical(
+        values in matrix_values(),
+        subset_mask in prop::collection::vec(any::<bool>(), 14),
+        m in 0usize..6,
+    ) {
+        let table = small_enum(values);
+        let ids: Vec<LibraryId> = table
+            .matrix
+            .library_ids()
+            .enumerate()
+            .filter(|(i, _)| subset_mask.get(*i).copied().unwrap_or(false))
+            .map(|(_, id)| id)
+            .collect();
+        prop_assume!(!ids.is_empty());
+        let sub = table.with_libraries("sub", &ids);
+        let sumy = aggregate("def", &sub.matrix);
+        let index = PopulateIndex::build_top_entropy(&table, m, 8);
+
+        let scan = populate_scan(&sumy, &table);
+        let columnar = populate_columnar(&sumy, &table);
+        let indexed = populate_indexed(&sumy, &table, &index);
+        let macro_op = populate("hits", &sumy, &table);
+
+        for &(shards, threads) in GRID {
+            let cfg = exec(shards, threads);
+            let (hits, stats, _) = populate_scan_sharded(&sumy, &table, &cfg);
+            prop_assert_eq!((hits, stats), scan.clone(), "scan shards={} threads={}", shards, threads);
+            let (hits, stats, _) = populate_columnar_sharded(&sumy, &table, &cfg);
+            prop_assert_eq!((hits, stats), columnar.clone(), "columnar shards={} threads={}", shards, threads);
+            let (hits, stats, _) = populate_indexed_sharded(&sumy, &table, &index, &cfg);
+            prop_assert_eq!((hits, stats), indexed.clone(), "indexed shards={} threads={}", shards, threads);
+            let (out, _) = populate_sharded("hits", &sumy, &table, &cfg);
+            prop_assert_eq!(&out, &macro_op, "populate shards={} threads={}", shards, threads);
+        }
+    }
+
+    #[test]
+    fn mine_sharded_is_byte_identical(
+        values in prop::collection::vec(prop::collection::vec(0.0f64..50.0, 6), 2usize..10),
+        frac in 0.05f64..0.4,
+        k in 1usize..3,
+    ) {
+        let table = small_enum(values);
+        let tol = generate_metadata(&table, frac);
+        let miner = Miner::Fascicles(FascicleParams {
+            min_compact_attrs: k,
+            min_records: 2,
+            batch_size: 3,
+        });
+        let serial = mine(&table, "m", &miner, Some(&tol));
+        for &(shards, threads) in GRID {
+            let (sharded, _) = mine_sharded(&table, "m", &miner, Some(&tol), &exec(shards, threads));
+            prop_assert!(
+                clusters_identical(&serial, &sharded),
+                "mine diverged at shards={} threads={}: {:?} vs {:?}",
+                shards, threads, serial, sharded
+            );
+        }
+    }
+}
+
+/// The k-means and hierarchical miners route through the same sharded
+/// materialization; pin them at a fixed corpus so all three algorithms
+/// stay covered.
+#[test]
+fn baseline_miners_shard_identically() {
+    let values: Vec<Vec<f64>> = (0..8)
+        .map(|t| (0..9).map(|l| ((t * 7 + l * 13) % 29) as f64).collect())
+        .collect();
+    let table = small_enum(values);
+    for miner in [
+        Miner::KMeans(gea::cluster::KMeansParams {
+            k: 3,
+            max_iters: 20,
+            seed: 9,
+        }),
+        Miner::Hierarchical { k: 3 },
+    ] {
+        let serial = mine(&table, "b", &miner, None);
+        for &(shards, threads) in GRID {
+            let (sharded, _) =
+                mine_sharded(&table, "b", &miner, None, &ExecConfig { threads, shards });
+            assert!(
+                clusters_identical(&serial, &sharded),
+                "{miner:?} diverged at shards={shards} threads={threads}"
+            );
+        }
+    }
+}

@@ -135,6 +135,85 @@ fn cache_is_transparent_over_randomized_interleavings() {
     plain_handle.shutdown();
 }
 
+/// Extract a numeric counter from a `stats` reply.
+fn counter(stats: &str, key: &str) -> u64 {
+    stats
+        .lines()
+        .find_map(|l| l.strip_prefix(&format!("{key} ")))
+        .unwrap_or_else(|| panic!("no {key} line in {stats:?}"))
+        .parse()
+        .unwrap()
+}
+
+/// Twin sessions opened from the same demo seed share a corpus: as long
+/// as both are pristine (no write ever ran), pure-read replies cached by
+/// one must be served to the other — keyed by corpus fingerprint, not
+/// session identity — and must survive the first twin closing. A write
+/// diverges a session from the corpus and must drop it out of the shared
+/// scope without affecting its twin.
+#[test]
+fn pristine_twin_sessions_share_cached_replies() {
+    let (mut client, handle) = spawn(config(8 * 1024 * 1024));
+
+    client.expect_ok("open a demo 99").expect("open a");
+    client.expect_ok("open b demo 99").expect("open b");
+    // A twin from a *different* corpus must never share.
+    client.expect_ok("open other demo 100").expect("open other");
+
+    client.expect_ok("use a").expect("use a");
+    let from_a = client.expect_ok("tissues").expect("tissues on a");
+    let hits_before = counter(&client.expect_ok("stats").unwrap(), "cache_hits");
+
+    // The same read on the pristine twin is a cross-session hit, and the
+    // reply is byte-identical to the one computed on `a`.
+    client.expect_ok("use b").expect("use b");
+    let from_b = client.expect_ok("tissues").expect("tissues on b");
+    assert_eq!(from_a, from_b);
+    let hits_after = counter(&client.expect_ok("stats").unwrap(), "cache_hits");
+    assert!(
+        hits_after > hits_before,
+        "twin read was not served from the shared cache ({hits_before} -> {hits_after})"
+    );
+
+    // A different corpus misses: the hit counter must not move.
+    client.expect_ok("use other").expect("use other");
+    let hits_before = counter(&client.expect_ok("stats").unwrap(), "cache_hits");
+    let _from_other = client.expect_ok("tissues").expect("tissues on other");
+    let hits_after = counter(&client.expect_ok("stats").unwrap(), "cache_hits");
+    assert_eq!(
+        hits_after, hits_before,
+        "different-seed twin shared a reply"
+    );
+
+    // Closing the twin that populated the cache must not strand `b`: the
+    // corpus-scoped entry belongs to the corpus, so `b` still hits.
+    client.expect_ok("close a").expect("close a");
+    client.expect_ok("use b").expect("use b");
+    let hits_before = counter(&client.expect_ok("stats").unwrap(), "cache_hits");
+    assert_eq!(client.expect_ok("tissues").unwrap(), from_b);
+    assert!(
+        counter(&client.expect_ok("stats").unwrap(), "cache_hits") > hits_before,
+        "corpus-scoped entry died with its originating session"
+    );
+
+    // A write diverges `b` from the pristine corpus; its replies must stop
+    // flowing through the shared scope (a later pristine twin would
+    // otherwise see post-write state) but stay correct.
+    client.expect_ok("dataset d brain").expect("write on b");
+    let diverged = client.expect_ok("tissues").expect("tissues after write");
+    assert_eq!(diverged, from_b, "tissues content changed by dataset");
+    // A fresh pristine twin still hits the original corpus-scoped entry.
+    client.expect_ok("open c demo 99").expect("open c");
+    let hits_before = counter(&client.expect_ok("stats").unwrap(), "cache_hits");
+    assert_eq!(client.expect_ok("tissues").unwrap(), from_b);
+    assert!(
+        counter(&client.expect_ok("stats").unwrap(), "cache_hits") > hits_before,
+        "new pristine twin missed the shared entry"
+    );
+
+    handle.shutdown();
+}
+
 #[test]
 fn eviction_round_trips_through_the_client() {
     let mut cfg = config(1024 * 1024);

@@ -206,6 +206,46 @@ fn save_load_round_trips_a_session_over_the_wire() {
     handle.shutdown();
 }
 
+/// `use` of a spilled name must not pay for the restore inline: it kicks
+/// the restore onto a background thread (counted as a prefetch), answers
+/// immediately, and the restore lands without any further request
+/// touching the session.
+#[test]
+fn use_of_spilled_session_prefetches_in_the_background() {
+    let (mut client, handle) = spawn(spill_config(temp_dir("prefetch")));
+
+    // The 1-byte budget spills the session as soon as `open` returns.
+    client.expect_ok("open p demo 42").expect("open");
+    let stats = client.expect_ok("stats").expect("stats");
+    assert!(stat(&stats, "sessions_spilled") >= 1, "{stats}");
+    assert_eq!(stat(&stats, "sessions_prefetched"), 0, "{stats}");
+
+    let msg = client.expect_ok("use p").expect("use answers immediately");
+    assert!(msg.contains("using session p"), "{msg}");
+    let stats = client.expect_ok("stats").expect("stats");
+    assert!(stat(&stats, "sessions_prefetched") >= 1, "{stats}");
+
+    // The restore completes with no session-bound request issued: only the
+    // background thread can be doing the work (`stats` never touches the
+    // session registry entry).
+    let mut restored = 0;
+    for _ in 0..200 {
+        restored = stat(&client.expect_ok("stats").unwrap(), "sessions_restored");
+        if restored >= 1 {
+            break;
+        }
+        thread::sleep(Duration::from_millis(25));
+    }
+    assert!(restored >= 1, "background prefetch never landed");
+
+    // And the prefetched session serves data correctly.
+    assert!(client.request("tissues").unwrap().is_ok());
+    let stats = client.expect_ok("stats").expect("stats");
+    assert_eq!(stat(&stats, "spill_errors"), 0, "{stats}");
+
+    handle.shutdown();
+}
+
 /// One randomized command, weighted toward reads with enough writes to
 /// keep the spill server churning through evict/restore cycles.
 fn random_command(rng: &mut SmallRng, iter: usize, step: usize, live: &mut Vec<String>) -> String {

@@ -8,6 +8,8 @@
 
 use gea::cluster::FascicleParams;
 use gea::core::session::GeaSession;
+use gea::core::ExecConfig;
+use gea::exec::{calculate_fascicles_sharded, form_control_groups_sharded};
 use gea::sage::clean::CleaningConfig;
 use gea::sage::generate::{generate, GeneratorConfig};
 use gea::sage::library::LibraryProperty;
@@ -111,4 +113,105 @@ fn thesis_scale_pipeline() {
         .create_gap("scale_gap", &groups.in_fascicle, &groups.contrast)
         .unwrap();
     assert!(!session.gap("scale_gap").unwrap().is_empty());
+}
+
+/// The same pipeline with mining and control-group aggregation routed
+/// through the `gea-exec` sharded drivers, run side by side with a serial
+/// session over the identical corpus: every intermediate (fascicle names,
+/// SUMY definitions, control groups, the final GAP table) must be
+/// byte-identical at thesis scale, not just on the unit corpora.
+#[test]
+#[ignore = "thesis-scale corpus; run with --release -- --ignored"]
+fn thesis_scale_pipeline_sharded() {
+    let (corpus, _) = generate(&GeneratorConfig::thesis_scale(42));
+    let mut serial = GeaSession::open(corpus.clone(), &CleaningConfig::default()).unwrap();
+    let mut sharded = GeaSession::open(corpus, &CleaningConfig::default()).unwrap();
+    sharded.set_exec_config(ExecConfig {
+        threads: 4,
+        shards: 4,
+    });
+
+    let deep: Vec<String> = serial
+        .corpus()
+        .iter()
+        .filter(|(_, l)| l.meta.tissue == TissueType::Brain && l.total_tags() >= 16_000)
+        .map(|(_, l)| l.meta.name.clone())
+        .collect();
+    let refs: Vec<&str> = deep.iter().map(|x| x.as_str()).collect();
+    for s in [&mut serial, &mut sharded] {
+        s.create_custom_dataset("deepBrain", &refs).unwrap();
+    }
+    let table = serial.enum_table("deepBrain").unwrap();
+    let n_tags = table.n_tags();
+    let n_cancer = table
+        .library_ids_where(|m| m.state == NeoplasticState::Cancerous)
+        .len();
+
+    // The same k sweep the serial pipeline test does, mined on both
+    // sessions; every sweep step must produce identical fascicles.
+    let mut fascicle: Option<String> = None;
+    for pct in [85, 80, 75, 70] {
+        let params = FascicleParams {
+            min_compact_attrs: n_tags * pct / 100,
+            min_records: 3,
+            batch_size: 6,
+        };
+        let base = format!("deep{pct}s");
+        let names_serial = serial
+            .calculate_fascicles("deepBrain", &base, 0.10, &params)
+            .unwrap();
+        let names_sharded =
+            calculate_fascicles_sharded(&mut sharded, "deepBrain", &base, 0.10, &params).unwrap();
+        assert_eq!(names_serial, names_sharded, "names diverged at pct {pct}");
+        for name in &names_serial {
+            assert_eq!(serial.sumy(name).unwrap(), sharded.sumy(name).unwrap());
+            assert_eq!(
+                serial.enum_table(name).unwrap().matrix,
+                sharded.enum_table(name).unwrap().matrix
+            );
+        }
+        // Only the sharded session noted executor activity. Mine shards
+        // across *clusters*, so the shard count is min(4, fascicles
+        // found) — at least one, not necessarily four.
+        assert!(serial.drain_exec_events().is_empty());
+        let events = sharded.drain_exec_events();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].op, "mine");
+        assert!(events[0].shards >= 1, "no mine shards recorded");
+
+        if fascicle.is_none() {
+            fascicle = names_serial
+                .iter()
+                .find(|f| {
+                    serial
+                        .purity_check(f)
+                        .map(|p| p.contains(&LibraryProperty::Cancer))
+                        .unwrap_or(false)
+                        && serial.fascicle(f).unwrap().members.len() < n_cancer
+                })
+                .cloned();
+        }
+        if fascicle.is_some() {
+            break;
+        }
+    }
+
+    // Finish the gap pipeline on a pure cancerous fascicle, both ways.
+    let fascicle = fascicle.expect("pure cancerous fascicle at scale");
+    let ga = serial
+        .form_control_groups(&fascicle, LibraryProperty::Cancer)
+        .unwrap();
+    let gb = form_control_groups_sharded(&mut sharded, &fascicle, LibraryProperty::Cancer).unwrap();
+    assert_eq!(ga, gb);
+    for n in [&ga.in_fascicle, &ga.outside_fascicle, &ga.contrast] {
+        assert_eq!(serial.sumy(n).unwrap(), sharded.sumy(n).unwrap());
+    }
+    for s in [&mut serial, &mut sharded] {
+        s.create_gap("scale_gap", &ga.in_fascicle, &ga.contrast)
+            .unwrap();
+    }
+    assert_eq!(
+        serial.gap("scale_gap").unwrap(),
+        sharded.gap("scale_gap").unwrap()
+    );
 }
