@@ -1,0 +1,164 @@
+//! The dataflow pass: definition/use bookkeeping over one linear script.
+//!
+//! Three hazards, all warnings (the engine would execute these scripts,
+//! they are just wasteful or misleading):
+//!
+//! * **dead assignment** — a table defined and never read before the
+//!   script ends;
+//! * **discarded by load** — a table defined and never read before a
+//!   `load`/`open` replaces the whole session, so the work is thrown away;
+//! * **stale export** — a table exported to CSV and then mutated, so the
+//!   file no longer reflects the session.
+//!
+//! Only *pure definitions* (dataset/custom/select/project/gap and the
+//! 3-argument populate) are tracked for deadness: verbs like `topgap` and
+//! `compare` print their result — creating the table is not their only
+//! effect — and machine-derived names (`groups` outputs, mined fascicles)
+//! were never typed by the user, so flagging them would be noise.
+
+use std::collections::BTreeMap;
+
+use crate::diag::Diagnostic;
+
+#[derive(Debug, Clone)]
+struct DefRecord {
+    line: usize,
+    read: bool,
+}
+
+/// Per-name definition/use state, fed by the analyzer as it walks the
+/// script.
+#[derive(Debug, Clone, Default)]
+pub struct Dataflow {
+    defs: BTreeMap<String, DefRecord>,
+    exports: BTreeMap<String, usize>,
+}
+
+impl Dataflow {
+    /// A tracked pure definition.
+    pub fn define(&mut self, line: usize, name: &str) {
+        self.defs
+            .insert(name.to_string(), DefRecord { line, read: false });
+    }
+
+    /// Any reference that consumes the name.
+    pub fn read(&mut self, name: &str) {
+        if let Some(rec) = self.defs.get_mut(name) {
+            rec.read = true;
+        }
+    }
+
+    /// `export <name> <path>`: counts as a read, and arms the stale-export
+    /// hazard for later mutations.
+    pub fn export(&mut self, line: usize, name: &str) {
+        self.read(name);
+        self.exports.insert(name.to_string(), line);
+    }
+
+    /// A mutation of `name` (delete). Warns if the name was exported
+    /// earlier — the CSV on disk no longer reflects the session.
+    pub fn mutated(&mut self, line: usize, name: &str) -> Option<Diagnostic> {
+        let at = self.exports.remove(name)?;
+        Some(Diagnostic::warning(
+            line,
+            "stale-export",
+            format!(
+                "{name:?} was exported at line {at}; this mutation makes the exported CSV stale"
+            ),
+        ))
+    }
+
+    /// Stop tracking a name (cascade delete removed it).
+    pub fn forget(&mut self, name: &str) {
+        self.defs.remove(name);
+        self.exports.remove(name);
+    }
+
+    /// The whole session is replaced (`load <dir>` or a re-`open`):
+    /// every definition not yet read was computed for nothing.
+    pub fn replaced(&mut self, line: usize, verb: &str) -> Vec<Diagnostic> {
+        let defs = std::mem::take(&mut self.defs);
+        self.exports.clear();
+        defs.into_iter()
+            .filter(|(_, rec)| !rec.read)
+            .map(|(name, rec)| {
+                Diagnostic::warning(
+                    rec.line,
+                    "discarded-by-load",
+                    format!(
+                        "{name:?} is never read before `{verb}` replaces the session at line {line}"
+                    ),
+                )
+            })
+            .collect()
+    }
+
+    /// End of script: definitions never read are dead assignments.
+    pub fn finish(&mut self) -> Vec<Diagnostic> {
+        std::mem::take(&mut self.defs)
+            .into_iter()
+            .filter(|(_, rec)| !rec.read)
+            .map(|(name, rec)| {
+                Diagnostic::warning(
+                    rec.line,
+                    "dead-assignment",
+                    format!("{name:?} is defined but never read"),
+                )
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unread_definitions_are_dead() {
+        let mut f = Dataflow::default();
+        f.define(1, "E");
+        f.define(2, "F");
+        f.read("E");
+        let dead = f.finish();
+        assert_eq!(dead.len(), 1);
+        assert_eq!(dead[0].line, 2);
+        assert_eq!(dead[0].code, "dead-assignment");
+    }
+
+    #[test]
+    fn load_discards_unread_work() {
+        let mut f = Dataflow::default();
+        f.define(1, "E");
+        f.define(2, "F");
+        f.read("F");
+        let lost = f.replaced(3, "load");
+        assert_eq!(lost.len(), 1);
+        assert_eq!(lost[0].line, 1);
+        assert_eq!(lost[0].code, "discarded-by-load");
+        // The replacement emptied the tracking: nothing is dead at finish.
+        assert!(f.finish().is_empty());
+    }
+
+    #[test]
+    fn export_then_mutate_is_stale() {
+        let mut f = Dataflow::default();
+        f.define(1, "G");
+        f.export(2, "G");
+        let d = f.mutated(3, "G").expect("stale export");
+        assert_eq!(d.code, "stale-export");
+        assert_eq!(d.line, 3);
+        // Export counted as a read: not dead. And the hazard fires once.
+        assert!(f.mutated(4, "G").is_none());
+        assert!(f.finish().is_empty());
+    }
+
+    #[test]
+    fn forget_drops_all_tracking() {
+        let mut f = Dataflow::default();
+        f.define(1, "E");
+        f.export(2, "E");
+        f.forget("E");
+        assert!(f.mutated(3, "E").is_none());
+        assert!(f.finish().is_empty());
+    }
+}

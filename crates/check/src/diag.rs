@@ -1,0 +1,213 @@
+//! Diagnostics: line-numbered, severity-tagged findings with a human
+//! rendering (`line N: error[code]: message`) and a machine rendering
+//! (one JSON object per line, hand-rolled — no serde in this workspace).
+
+use std::fmt;
+
+/// How bad a finding is. Errors make a script unrunnable (the engine
+/// would reject it); warnings flag suspicious-but-executable constructs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Suspicious but executable.
+    Warning,
+    /// The engine would reject this.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        })
+    }
+}
+
+/// One finding, anchored to a 1-based script line (for the server's
+/// `check` verb, the 1-based position in the `;`-separated pipeline).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// 1-based script line (or pipeline position).
+    pub line: usize,
+    /// Error or warning.
+    pub severity: Severity,
+    /// Stable machine-matchable code, e.g. `world-mismatch`.
+    pub code: &'static str,
+    /// Human explanation.
+    pub message: String,
+}
+
+impl Diagnostic {
+    /// An error finding.
+    pub fn error(line: usize, code: &'static str, message: impl Into<String>) -> Self {
+        Diagnostic {
+            line,
+            severity: Severity::Error,
+            code,
+            message: message.into(),
+        }
+    }
+
+    /// A warning finding.
+    pub fn warning(line: usize, code: &'static str, message: impl Into<String>) -> Self {
+        Diagnostic {
+            line,
+            severity: Severity::Warning,
+            code,
+            message: message.into(),
+        }
+    }
+
+    /// `line N: severity[code]: message`.
+    pub fn render(&self) -> String {
+        format!(
+            "line {}: {}[{}]: {}",
+            self.line, self.severity, self.code, self.message
+        )
+    }
+
+    /// One JSON object: `{"line":N,"severity":"…","code":"…","message":"…"}`.
+    pub fn render_machine(&self) -> String {
+        format!(
+            r#"{{"line":{},"severity":"{}","code":"{}","message":"{}"}}"#,
+            self.line,
+            self.severity,
+            json_escape(self.code),
+            json_escape(&self.message)
+        )
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// The analyzer's output: every finding plus how much it looked at.
+#[derive(Debug, Clone, Default)]
+pub struct CheckReport {
+    /// All findings, sorted by line.
+    pub diagnostics: Vec<Diagnostic>,
+    /// How many commands were analyzed.
+    pub commands: usize,
+}
+
+impl CheckReport {
+    /// Number of error-severity findings.
+    pub fn errors(&self) -> usize {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == Severity::Error)
+            .count()
+    }
+
+    /// Number of warning-severity findings.
+    pub fn warnings(&self) -> usize {
+        self.diagnostics.len() - self.errors()
+    }
+
+    /// No errors (warnings allowed): the script is safe to execute.
+    pub fn is_clean(&self) -> bool {
+        self.errors() == 0
+    }
+
+    /// One-line verdict, e.g. `checked 7 command(s): 2 error(s), 1 warning(s)`.
+    pub fn summary(&self) -> String {
+        if self.diagnostics.is_empty() {
+            format!("checked {} command(s): clean", self.commands)
+        } else {
+            format!(
+                "checked {} command(s): {} error(s), {} warning(s)",
+                self.commands,
+                self.errors(),
+                self.warnings()
+            )
+        }
+    }
+
+    /// Human rendering: the summary, then one line per finding.
+    pub fn render(&self) -> String {
+        let mut out = self.summary();
+        for d in &self.diagnostics {
+            out.push('\n');
+            out.push_str(&d.render());
+        }
+        out
+    }
+
+    /// Machine rendering: one JSON object per finding, one per line.
+    pub fn render_machine(&self) -> String {
+        let mut out = String::new();
+        for d in &self.diagnostics {
+            if !out.is_empty() {
+                out.push('\n');
+            }
+            out.push_str(&d.render_machine());
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_human_and_machine() {
+        let d = Diagnostic::error(3, "world-mismatch", "gap needs a SUMY but \"E\" is ENUM");
+        assert_eq!(
+            d.render(),
+            "line 3: error[world-mismatch]: gap needs a SUMY but \"E\" is ENUM"
+        );
+        assert_eq!(
+            d.render_machine(),
+            r#"{"line":3,"severity":"error","code":"world-mismatch","message":"gap needs a SUMY but \"E\" is ENUM"}"#
+        );
+    }
+
+    #[test]
+    fn report_counts_and_verdict() {
+        let mut r = CheckReport {
+            commands: 4,
+            ..Default::default()
+        };
+        assert!(r.is_clean());
+        assert_eq!(r.summary(), "checked 4 command(s): clean");
+        r.diagnostics
+            .push(Diagnostic::warning(1, "dead-assignment", "x"));
+        assert!(r.is_clean(), "warnings alone keep a script runnable");
+        r.diagnostics
+            .push(Diagnostic::error(2, "undefined-name", "y"));
+        assert!(!r.is_clean());
+        assert_eq!(r.errors(), 1);
+        assert_eq!(r.warnings(), 1);
+        assert_eq!(
+            r.summary(),
+            "checked 4 command(s): 1 error(s), 1 warning(s)"
+        );
+        assert_eq!(r.render_machine().lines().count(), 2);
+    }
+
+    #[test]
+    fn machine_rendering_escapes_controls() {
+        let d = Diagnostic::warning(1, "c", "tab\there \"quoted\" \\ back\nnewline");
+        let m = d.render_machine();
+        assert!(m.contains(r#"tab\there"#));
+        assert!(m.contains(r#"\"quoted\""#));
+        assert!(m.contains(r#"\\ back"#));
+        assert!(m.contains(r#"back\nnewline"#));
+        // The rendering itself stays one line.
+        assert_eq!(m.lines().count(), 1);
+    }
+}

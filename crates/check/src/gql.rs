@@ -45,11 +45,13 @@ GQL commands (thesis chapter 4's menus, served):
     lineage                             operation history             [Fig 4.18]
     cleaning                            cleaning report               [Fig 4.1]
     xprofiler <dataset>                 pooled cancer-vs-normal comparison  [sec 2.3.3]
+  static analysis
+    check <cmd> [; <cmd>]...            validate a pipeline against this session without running it
   persistence and admin
     export <name> <file.csv>            EXPORT a table to CSV
     comment <name> <text...>            annotate a lineage node
     delete <name> [--cascade]           drop contents / cascade       [Fig 4.18]
-    populate <name>                     re-materialize a truncated table (§4.4.2)
+    populate <name> [<sumy> <dataset>]  re-materialize (§4.4.2), or populate(SUMY, ENUM) -> ENUM
     save <dir>                          persist the full session (tables, lineage, snapshot)
     load <dir>                          restore a saved session in place (replaces current state)
     gen-corpus <seed> <dir>             write a demo corpus as SAGE text files
@@ -137,7 +139,8 @@ pub enum ShowKind {
     Sumy,
 }
 
-/// An algebra command executed against one session by [`crate::engine`].
+/// An algebra command executed against one session by the server's engine
+/// (`gea_server::engine`).
 #[derive(Debug, Clone, PartialEq)]
 pub enum GqlCommand {
     /// List tissue types.
@@ -270,8 +273,20 @@ pub enum GqlCommand {
         /// Cascade to derived tables.
         cascade: bool,
     },
-    /// Re-materialize a contents-only-deleted table.
-    Populate(String),
+    /// `populate <name>`: re-materialize a contents-only-deleted table
+    /// from its lineage (§4.4.2). `populate <name> <sumy> <dataset>`: the
+    /// thesis's populate operator — materialize the ENUM of `dataset`
+    /// libraries whose expression satisfies the SUMY's intensional
+    /// definition.
+    Populate {
+        /// New (or re-materialized) table name.
+        name: String,
+        /// `Some((sumy, dataset))` selects the operator form.
+        from: Option<(String, String)>,
+    },
+    /// Statically validate a `;`-separated pipeline against the session's
+    /// symbol table without executing any of it.
+    Check(Vec<GqlCommand>),
     /// Operation history.
     Lineage,
     /// Cleaning report.
@@ -290,11 +305,13 @@ impl GqlCommand {
     /// lock. (`save` and `export` touch the filesystem but not the
     /// session, so they are reads here; `load` *replaces* the session in
     /// place, so it is a write — it must bump the generation to invalidate
-    /// cached replies.)
+    /// cached replies. `check` analyzes but never mutates, so it is a
+    /// read.)
     pub fn is_read(&self) -> bool {
         matches!(
             self,
             GqlCommand::Tissues
+                | GqlCommand::Check(_)
                 | GqlCommand::Fascicles
                 | GqlCommand::Purity(_)
                 | GqlCommand::Show { .. }
@@ -436,7 +453,24 @@ impl GqlCommand {
                     join("delete", &[name])
                 }
             }
-            GqlCommand::Populate(name) => join("populate", &[name]),
+            GqlCommand::Populate { name, from: None } => join("populate", &[name]),
+            GqlCommand::Populate {
+                name,
+                from: Some((sumy, dataset)),
+            } => join("populate", &[name, sumy, dataset]),
+            GqlCommand::Check(cmds) => {
+                // The separator stays a bare `;` token so the canonical
+                // line re-splits into the same sub-commands.
+                let mut out = "check".to_string();
+                for (i, c) in cmds.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(" ;");
+                    }
+                    out.push(' ');
+                    out.push_str(&c.canonical());
+                }
+                out
+            }
             GqlCommand::Lineage => "lineage".to_string(),
             GqlCommand::Cleaning => "cleaning".to_string(),
             GqlCommand::Xprofiler(dataset) => join("xprofiler", &[dataset]),
@@ -467,7 +501,8 @@ impl GqlCommand {
             GqlCommand::Export { .. } => "export",
             GqlCommand::Comment { .. } => "comment",
             GqlCommand::Delete { .. } => "delete",
-            GqlCommand::Populate(_) => "populate",
+            GqlCommand::Populate { .. } => "populate",
+            GqlCommand::Check(_) => "check",
             GqlCommand::Lineage => "lineage",
             GqlCommand::Cleaning => "cleaning",
             GqlCommand::Xprofiler(_) => "xprofiler",
@@ -620,15 +655,29 @@ pub fn parse(line: &str) -> Result<Option<Request>, ParseError> {
                 dir: dir.to_string(),
             }
         }
-        "tissues" => Request::Gql(GqlCommand::Tissues),
+        other => match parse_gql(cmd, &args)? {
+            Some(gql) => Request::Gql(gql),
+            None => return Err(ParseError(format!("unknown command {other:?}; try `help`"))),
+        },
+    };
+    Ok(Some(req))
+}
+
+/// Parse one algebra (table-level) command. `Ok(None)` means the verb is
+/// not a GQL table command (it may still be a session/server verb handled
+/// by [`parse`]). Factored out of [`parse`] so the `check` verb can parse
+/// each sub-command of its `;`-separated pipeline with the same grammar.
+fn parse_gql(cmd: &str, args: &[&str]) -> Result<Option<GqlCommand>, ParseError> {
+    let gql = match cmd {
+        "tissues" => GqlCommand::Tissues,
         "dataset" => {
             let [name, tissue] = args[..] else {
                 return Err(usage("dataset <name> <tissue>"));
             };
-            Request::Gql(GqlCommand::Dataset {
+            GqlCommand::Dataset {
                 name: name.to_string(),
                 tissue: TissueType::parse(tissue),
-            })
+            }
         }
         "custom" => {
             let Some((&name, libs)) = args.split_first() else {
@@ -637,83 +686,83 @@ pub fn parse(line: &str) -> Result<Option<Request>, ParseError> {
             if libs.is_empty() {
                 return Err(ParseError("need at least one library".to_string()));
             }
-            Request::Gql(GqlCommand::Custom {
+            GqlCommand::Custom {
                 name: name.to_string(),
                 libraries: libs.iter().map(|s| s.to_string()).collect(),
-            })
+            }
         }
         "select" => {
-            let [name, dataset, libs @ ..] = &args[..] else {
+            let [name, dataset, libs @ ..] = args else {
                 return Err(usage("select <name> <dataset> <lib> [<lib>...]"));
             };
             if libs.is_empty() {
                 return Err(ParseError("need at least one library".to_string()));
             }
-            Request::Gql(GqlCommand::Select {
+            GqlCommand::Select {
                 name: name.to_string(),
                 dataset: dataset.to_string(),
                 libraries: libs.iter().map(|s| s.to_string()).collect(),
-            })
+            }
         }
         "project" => {
-            let [name, dataset, tags @ ..] = &args[..] else {
+            let [name, dataset, tags @ ..] = args else {
                 return Err(usage("project <name> <dataset> <tag> [<tag>...]"));
             };
             if tags.is_empty() {
                 return Err(ParseError("need at least one tag".to_string()));
             }
-            Request::Gql(GqlCommand::Project {
+            GqlCommand::Project {
                 name: name.to_string(),
                 dataset: dataset.to_string(),
                 tags: tags
                     .iter()
                     .map(|t| parse_tag(t))
                     .collect::<Result<_, _>>()?,
-            })
+            }
         }
         "mine" => {
             let [dataset, out, kpct, min, batch] = args[..] else {
                 return Err(usage("mine <dataset> <out> <k%> <min> <batch>"));
             };
-            Request::Gql(GqlCommand::Mine {
+            GqlCommand::Mine {
                 dataset: dataset.to_string(),
                 out: out.to_string(),
                 k_pct: parse_num("k%", kpct)?,
                 min_records: parse_num("min", min)?,
                 batch: parse_num("batch", batch)?,
-            })
+            }
         }
-        "fascicles" => Request::Gql(GqlCommand::Fascicles),
+        "fascicles" => GqlCommand::Fascicles,
         "purity" => {
             let [f] = args[..] else {
                 return Err(usage("purity <fascicle>"));
             };
-            Request::Gql(GqlCommand::Purity(f.to_string()))
+            GqlCommand::Purity(f.to_string())
         }
         "groups" => {
             let [f] = args[..] else {
                 return Err(usage("groups <fascicle>"));
             };
-            Request::Gql(GqlCommand::Groups(f.to_string()))
+            GqlCommand::Groups(f.to_string())
         }
         "gap" => {
             let [name, s1, s2] = args[..] else {
                 return Err(usage("gap <name> <sumy1> <sumy2>"));
             };
-            Request::Gql(GqlCommand::Gap {
+            GqlCommand::Gap {
                 name: name.to_string(),
                 sumy1: s1.to_string(),
                 sumy2: s2.to_string(),
-            })
+            }
         }
         "topgap" => {
             let [gap, x] = args[..] else {
                 return Err(usage("topgap <gap> <x>"));
             };
-            Request::Gql(GqlCommand::TopGap {
+            GqlCommand::TopGap {
                 gap: gap.to_string(),
                 x: parse_num("x", x)?,
-            })
+            }
         }
         "compare" => {
             let [name, g1, g2, op, query] = args[..] else {
@@ -731,16 +780,16 @@ pub fn parse(line: &str) -> Result<Option<Request>, ParseError> {
             let query = *CompareQuery::ALL
                 .get(qnum.wrapping_sub(1))
                 .ok_or_else(|| ParseError("query # must be 1-13".to_string()))?;
-            Request::Gql(GqlCommand::Compare {
+            GqlCommand::Compare {
                 name: name.to_string(),
                 g1: g1.to_string(),
                 g2: g2.to_string(),
                 op,
                 query,
-            })
+            }
         }
         "show" => {
-            let [kind, name, rest @ ..] = &args[..] else {
+            let [kind, name, rest @ ..] = args else {
                 return Err(usage("show gap|sumy <name> [n]"));
             };
             let kind = match *kind {
@@ -749,45 +798,45 @@ pub fn parse(line: &str) -> Result<Option<Request>, ParseError> {
                 other => return Err(ParseError(format!("unknown table kind {other:?}"))),
             };
             let n = rest.first().unwrap_or(&"10").parse().unwrap_or(10);
-            Request::Gql(GqlCommand::Show {
+            GqlCommand::Show {
                 kind,
                 name: name.to_string(),
                 n,
-            })
+            }
         }
         "plot" => {
             let [dataset, tag, fascicle] = args[..] else {
                 return Err(usage("plot <dataset> <tag> <fascicle>"));
             };
-            Request::Gql(GqlCommand::Plot {
+            GqlCommand::Plot {
                 dataset: dataset.to_string(),
                 tag: parse_tag(tag)?,
                 fascicle: fascicle.to_string(),
-            })
+            }
         }
         "library" => {
             let [key] = args[..] else {
                 return Err(usage("library <name|id>"));
             };
-            Request::Gql(GqlCommand::Library(key.to_string()))
+            GqlCommand::Library(key.to_string())
         }
         "tagfreq" => {
             let [dataset, tag] = args[..] else {
                 return Err(usage("tagfreq <dataset> <tag>"));
             };
-            Request::Gql(GqlCommand::TagFreq {
+            GqlCommand::TagFreq {
                 dataset: dataset.to_string(),
                 tag: parse_tag(tag)?,
-            })
+            }
         }
         "export" => {
             let [name, path] = args[..] else {
                 return Err(usage("export <name> <file.csv>"));
             };
-            Request::Gql(GqlCommand::Export {
+            GqlCommand::Export {
                 name: name.to_string(),
                 path: path.to_string(),
-            })
+            }
         }
         "comment" => {
             let Some((&name, words)) = args.split_first() else {
@@ -796,49 +845,79 @@ pub fn parse(line: &str) -> Result<Option<Request>, ParseError> {
             if words.is_empty() {
                 return Err(usage("comment <name> <text...>"));
             }
-            Request::Gql(GqlCommand::Comment {
+            GqlCommand::Comment {
                 name: name.to_string(),
                 text: words.join(" "),
-            })
+            }
         }
         "delete" => {
             let Some((&name, flags)) = args.split_first() else {
                 return Err(usage("delete <name> [--cascade]"));
             };
-            Request::Gql(GqlCommand::Delete {
+            GqlCommand::Delete {
                 name: name.to_string(),
                 cascade: flags.contains(&"--cascade"),
-            })
+            }
         }
-        "populate" => {
-            let [name] = args[..] else {
-                return Err(usage("populate <name>"));
-            };
-            Request::Gql(GqlCommand::Populate(name.to_string()))
+        "populate" => match args[..] {
+            [name] => GqlCommand::Populate {
+                name: name.to_string(),
+                from: None,
+            },
+            [name, sumy, dataset] => GqlCommand::Populate {
+                name: name.to_string(),
+                from: Some((sumy.to_string(), dataset.to_string())),
+            },
+            _ => return Err(usage("populate <name> [<sumy> <dataset>]")),
+        },
+        "check" => {
+            if args.is_empty() {
+                return Err(usage("check <cmd> [; <cmd>]..."));
+            }
+            let mut cmds = Vec::new();
+            for segment in args.split(|t| *t == ";") {
+                let Some((&sub, subargs)) = segment.split_first() else {
+                    return Err(ParseError(
+                        "check: empty command in pipeline (stray `;`)".to_string(),
+                    ));
+                };
+                if sub == "check" {
+                    return Err(ParseError("check cannot nest".to_string()));
+                }
+                match parse_gql(sub, subargs)? {
+                    Some(c) => cmds.push(c),
+                    None => {
+                        return Err(ParseError(format!(
+                            "check validates algebra commands only; {sub:?} is a session/server command"
+                        )))
+                    }
+                }
+            }
+            GqlCommand::Check(cmds)
         }
-        "lineage" => Request::Gql(GqlCommand::Lineage),
-        "cleaning" => Request::Gql(GqlCommand::Cleaning),
+        "lineage" => GqlCommand::Lineage,
+        "cleaning" => GqlCommand::Cleaning,
         "xprofiler" => {
             let [dataset] = args[..] else {
                 return Err(usage("xprofiler <dataset>"));
             };
-            Request::Gql(GqlCommand::Xprofiler(dataset.to_string()))
+            GqlCommand::Xprofiler(dataset.to_string())
         }
         "save" => {
             let [dir] = args[..] else {
                 return Err(usage("save <dir>"));
             };
-            Request::Gql(GqlCommand::Save(dir.to_string()))
+            GqlCommand::Save(dir.to_string())
         }
         "load" => {
             let [dir] = args[..] else {
                 return Err(usage("load <dir>"));
             };
-            Request::Gql(GqlCommand::Load(dir.to_string()))
+            GqlCommand::Load(dir.to_string())
         }
-        other => return Err(ParseError(format!("unknown command {other:?}; try `help`"))),
+        _ => return Ok(None),
     };
-    Ok(Some(req))
+    Ok(Some(gql))
 }
 
 #[cfg(test)]
@@ -910,6 +989,41 @@ mod tests {
         assert!(parse("open x demo notanumber").is_err());
         assert!(parse("compare a b c union 99").is_err());
         assert!(parse("topgap g notanumber").is_err());
+        assert!(parse("populate a b").is_err());
+        assert!(parse("populate a b c d").is_err());
+    }
+
+    #[test]
+    fn check_parses_pipelines_and_rejects_non_gql() {
+        match parse("check dataset E brain ; purity f_1").unwrap() {
+            Some(Request::Gql(GqlCommand::Check(cmds))) => {
+                assert_eq!(cmds.len(), 2);
+                assert!(matches!(cmds[0], GqlCommand::Dataset { .. }));
+                assert!(matches!(cmds[1], GqlCommand::Purity(_)));
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+        // A one-command pipeline needs no separator.
+        assert!(matches!(
+            parse("check tissues").unwrap(),
+            Some(Request::Gql(GqlCommand::Check(ref cmds))) if cmds.len() == 1
+        ));
+        assert!(parse("check").is_err());
+        assert!(parse("check dataset E brain ;").is_err());
+        assert!(parse("check ; tissues").is_err());
+        assert!(parse("check stats").is_err());
+        assert!(parse("check open s demo 42").is_err());
+        assert!(parse("check check tissues").is_err());
+        // A sub-command parse error surfaces as the pipeline's error.
+        assert!(parse("check mine E").is_err());
+        // `check` never mutates, so it is a cacheable read.
+        match parse("check tissues").unwrap() {
+            Some(Request::Gql(cmd)) => {
+                assert!(cmd.is_read());
+                assert!(cmd.is_cacheable());
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
     }
 
     #[test]
@@ -970,6 +1084,8 @@ mod tests {
             "delete g --cascade",
             "delete g",
             "populate g",
+            "populate P defS Eb",
+            "check dataset E brain ; purity f_1 ; comment g \"two words\"",
             "lineage",
             "cleaning",
             "xprofiler E",
@@ -1048,6 +1164,7 @@ mod tests {
             "tagfreq",
             "export",
             "comment",
+            "check",
             "delete",
             "populate",
             "lineage",

@@ -1,0 +1,121 @@
+//! The world-type lattice: every GQL name lives in one or more *worlds*
+//! (the 3W model's extensional/intensional split). `mine` output names are
+//! simultaneously an ENUM, a SUMY, and a fascicle record, so a name's
+//! static type is a *set* of worlds, and an operator's operand is
+//! well-typed when the set contains the world the operator consumes.
+
+use std::fmt;
+
+/// One world a name can live in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum World {
+    /// Extensional: a set of libraries with their full expression matrix.
+    Enum,
+    /// Intensional: per-tag aggregate conditions (the defining property).
+    Sumy,
+    /// Intensional: per-tag expression *gaps* between two SUMYs.
+    Gap,
+    /// A mined fascicle record (membership + compact tags).
+    Fascicle,
+}
+
+impl World {
+    const ALL: [World; 4] = [World::Enum, World::Sumy, World::Gap, World::Fascicle];
+
+    fn bit(self) -> u8 {
+        match self {
+            World::Enum => 1,
+            World::Sumy => 2,
+            World::Gap => 4,
+            World::Fascicle => 8,
+        }
+    }
+}
+
+impl fmt::Display for World {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            World::Enum => "ENUM",
+            World::Sumy => "SUMY",
+            World::Gap => "GAP",
+            World::Fascicle => "fascicle",
+        })
+    }
+}
+
+/// The set of worlds a name lives in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct WorldSet(u8);
+
+impl WorldSet {
+    /// No worlds.
+    pub const EMPTY: WorldSet = WorldSet(0);
+
+    /// The singleton set.
+    pub fn of(w: World) -> WorldSet {
+        WorldSet(w.bit())
+    }
+
+    /// This set plus `w`.
+    pub fn with(self, w: World) -> WorldSet {
+        WorldSet(self.0 | w.bit())
+    }
+
+    /// Membership.
+    pub fn contains(self, w: World) -> bool {
+        self.0 & w.bit() != 0
+    }
+
+    /// True when no world is present.
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// `ENUM+SUMY+fascicle`-style rendering for diagnostics.
+    pub fn describe(self) -> String {
+        if self.is_empty() {
+            return "nothing".to_string();
+        }
+        let mut out = String::new();
+        for w in World::ALL {
+            if self.contains(w) {
+                if !out.is_empty() {
+                    out.push('+');
+                }
+                out.push_str(&w.to_string());
+            }
+        }
+        out
+    }
+}
+
+impl From<World> for WorldSet {
+    fn from(w: World) -> WorldSet {
+        WorldSet::of(w)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_algebra() {
+        let ws = WorldSet::of(World::Enum).with(World::Fascicle);
+        assert!(ws.contains(World::Enum));
+        assert!(ws.contains(World::Fascicle));
+        assert!(!ws.contains(World::Gap));
+        assert!(!ws.is_empty());
+        assert!(WorldSet::EMPTY.is_empty());
+    }
+
+    #[test]
+    fn describe_is_stable() {
+        let mined = WorldSet::of(World::Fascicle)
+            .with(World::Sumy)
+            .with(World::Enum);
+        assert_eq!(mined.describe(), "ENUM+SUMY+fascicle");
+        assert_eq!(WorldSet::of(World::Gap).describe(), "GAP");
+        assert_eq!(WorldSet::EMPTY.describe(), "nothing");
+    }
+}

@@ -16,7 +16,7 @@ use gea_cluster::{FascicleParams, ToleranceVector};
 use gea_relstore::Database;
 use gea_sage::clean::{clean, CleaningConfig, CleaningReport};
 use gea_sage::corpus::SageCorpus;
-use gea_sage::library::LibraryProperty;
+use gea_sage::library::{LibraryId, LibraryProperty};
 use gea_sage::tag::Tag;
 use gea_sage::TissueType;
 
@@ -729,6 +729,73 @@ impl GeaSession {
         Ok(names)
     }
 
+    // ----- the populate operator (§3.3) ------------------------------------
+
+    /// The thesis's populate operator as a macro operation: materialize
+    /// the ENUM of `dataset` libraries whose expression satisfies every
+    /// per-tag condition of the SUMY, restricted to the SUMY's tags —
+    /// "the populate operator converts a cluster from its intensional/SUMY
+    /// form to its extensional/ENUM form".
+    pub fn populate_from_sumy(
+        &mut self,
+        name: &str,
+        sumy: &str,
+        dataset: &str,
+    ) -> Result<usize, GeaError> {
+        self.populate_from_sumy_with(name, sumy, dataset, |s, t| {
+            crate::populate::populate_scan(s, t).0
+        })
+    }
+
+    /// [`GeaSession::populate_from_sumy`] with a pluggable evaluation of
+    /// the populate operator, so `gea-exec` can route the scan through its
+    /// sharded drivers. The callback must return exactly what
+    /// [`crate::populate::populate_scan`] returns — the bookkeeping
+    /// (lineage, relational materialization, naming) is shared, so results
+    /// are identical by construction whenever the scan is.
+    pub fn populate_from_sumy_with(
+        &mut self,
+        name: &str,
+        sumy: &str,
+        dataset: &str,
+        populate_fn: impl FnOnce(&SumyTable, &EnumTable) -> Vec<LibraryId>,
+    ) -> Result<usize, GeaError> {
+        self.check_name_free(name)?;
+        let sumy_table = self.sumy(sumy)?.clone();
+        let table = self.enum_table(dataset)?.clone();
+        let libs = populate_fn(&sumy_table, &table);
+        let restricted = table.with_libraries(name, &libs);
+        let tag_ids: Vec<_> = sumy_table
+            .tags()
+            .filter_map(|t| restricted.matrix.id_of(t))
+            .collect();
+        let result = restricted.select_tags(name, &tag_ids);
+        if result.n_libraries() == 0 {
+            return Err(GeaError::EmptyGroup(format!("populate({sumy}, {dataset})")));
+        }
+        let parents: Vec<NodeId> = [sumy, dataset]
+            .iter()
+            .filter_map(|n| self.node(n))
+            .collect();
+        self.record_node(
+            name,
+            NodeKind::Enum,
+            "populate",
+            vec![
+                ("sumy".to_string(), sumy.to_string()),
+                ("dataset".to_string(), dataset.to_string()),
+            ],
+            &parents,
+        )?;
+        self.db.create_or_replace(
+            name,
+            enum_to_relation(&result).map_err(|e| GeaError::EmptyGroup(e.to_string()))?,
+        );
+        let hits = result.n_libraries();
+        self.enums.insert(name.to_string(), result);
+        Ok(hits)
+    }
+
     // ----- purity and control groups (§4.3.1.2 steps 4–5) ------------------
 
     /// The purity check without the bookkeeping: which properties all of a
@@ -1288,6 +1355,44 @@ mod tests {
         s.regenerate(&f).unwrap();
         // Unknown table errors.
         assert!(s.regenerate("ghost").is_err());
+    }
+
+    #[test]
+    fn populate_from_sumy_materializes_the_extension() {
+        let (mut s, truth) = session();
+        s.create_tissue_dataset("Ebrain", &TissueType::Brain)
+            .unwrap();
+        let fascicles = s
+            .calculate_fascicles("Ebrain", "brain", 0.10, &brain_params(&s, &truth))
+            .unwrap();
+        let f = fascicles[0].clone();
+        let hits = s.populate_from_sumy("P", &f, "Ebrain").unwrap();
+        assert!(hits > 0);
+        let p = s.enum_table("P").unwrap();
+        assert_eq!(p.n_libraries(), hits);
+        // The populated ENUM holds exactly the fascicle's members (the
+        // mine auto-populated its own extension from the same SUMY) and
+        // is restricted to the SUMY's tags.
+        let members = &s.fascicle(&f).unwrap().members;
+        for m in members {
+            assert!(p.libraries().iter().any(|l| &l.name == m), "{m} missing");
+        }
+        assert_eq!(p.n_tags(), s.sumy(&f).unwrap().len());
+        // Lineage records the operation with both parents; the relation
+        // is materialized and regenerable after a contents-only delete.
+        let node = s.lineage().find_by_name("P").unwrap();
+        assert_eq!(node.operation, "populate");
+        let before = s.database().get("P").unwrap().clone();
+        s.delete("P", false).unwrap();
+        s.regenerate("P").unwrap();
+        assert_eq!(s.database().get("P").unwrap(), &before);
+        // Name conflicts and missing inputs are rejected.
+        assert!(matches!(
+            s.populate_from_sumy("P", &f, "Ebrain"),
+            Err(GeaError::NameTaken(_))
+        ));
+        assert!(s.populate_from_sumy("Q", "ghost", "Ebrain").is_err());
+        assert!(s.populate_from_sumy("Q", &f, "ghost").is_err());
     }
 
     #[test]

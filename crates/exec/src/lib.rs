@@ -37,7 +37,9 @@ pub use drivers::{
 };
 pub use gea_core::session::{ExecConfig, ExecEvent};
 pub use pool::run_jobs;
-pub use session_ext::{calculate_fascicles_sharded, form_control_groups_sharded};
+pub use session_ext::{
+    calculate_fascicles_sharded, form_control_groups_sharded, populate_session_sharded,
+};
 pub use shard::ShardPlan;
 
 /// Wall/busy accounting for one sharded execution. `busy_us` sums the

@@ -14,7 +14,7 @@ use gea_core::mine::Miner;
 use gea_core::session::{ControlGroups, GeaError, GeaSession};
 use gea_sage::library::LibraryProperty;
 
-use crate::drivers::{aggregate_tags_sharded, mine_sharded};
+use crate::drivers::{aggregate_tags_sharded, mine_sharded, populate_scan_sharded};
 use crate::ExecStats;
 
 /// [`GeaSession::calculate_fascicles`] with the per-cluster
@@ -61,6 +61,29 @@ pub fn form_control_groups_sharded(
     });
     if total.shards > 0 {
         session.note_exec(total.event("aggregate"));
+    }
+    result
+}
+
+/// [`GeaSession::populate_from_sumy`] with the library scan routed through
+/// [`populate_scan_sharded`]. Byte-identical to the serial macro
+/// operation: the shard plan preserves library order, so the hit list —
+/// and everything the shared bookkeeping derives from it — is the same.
+pub fn populate_session_sharded(
+    session: &mut GeaSession,
+    name: &str,
+    sumy: &str,
+    dataset: &str,
+) -> Result<usize, GeaError> {
+    let cfg = session.exec_config();
+    let mut noted = None;
+    let result = session.populate_from_sumy_with(name, sumy, dataset, |s, t| {
+        let (libs, _pstats, exec) = populate_scan_sharded(s, t, &cfg);
+        noted = Some(exec);
+        libs
+    });
+    if let Some(stats) = noted {
+        session.note_exec(stats.event("populate"));
     }
     result
 }

@@ -249,6 +249,14 @@ pub fn execute_read(session: &GeaSession, cmd: &GqlCommand) -> Result<String, En
             }
             out
         }
+        GqlCommand::Check(cmds) => {
+            // Static analysis against this session's *live* name
+            // population. The command itself succeeds even when the
+            // pipeline has errors — the diagnostics are the payload; the
+            // session is never touched.
+            let seed = gea_check::SymbolSeed::from_session(session);
+            gea_check::check_pipeline(&seed, cmds).render()
+        }
         GqlCommand::Save(dir) => {
             gea_core::persist::save_session(session, std::path::Path::new(dir))?;
             format!(
@@ -412,9 +420,20 @@ pub fn execute_write(session: &mut GeaSession, cmd: &GqlCommand) -> Result<Strin
                 format!("contents of {name} dropped; metadata kept")
             }
         }
-        GqlCommand::Populate(name) => {
+        GqlCommand::Populate { name, from: None } => {
             session.regenerate(name)?;
             format!("re-materialized {name} from its lineage")
+        }
+        GqlCommand::Populate {
+            name,
+            from: Some((sumy, dataset)),
+        } => {
+            // The thesis's populate operator, routed through the sharded
+            // scan driver (byte-identical to the serial operator).
+            gea_exec::populate_session_sharded(session, name, sumy, dataset)?;
+            let total = session.enum_table(dataset)?.n_libraries();
+            let hits = session.enum_table(name)?.n_libraries();
+            format!("{name}: {hits} of {total} libraries in {dataset} satisfy {sumy}")
         }
         GqlCommand::Load(dir) => {
             // Restore the saved session *in place* — the `save`/`load`

@@ -9,8 +9,10 @@
 //! * [`gql`] — the **GEA Query Language**: a line-oriented textual grammar
 //!   covering the session algebra (`dataset`, `mine`, `populate`, `gap`,
 //!   `topgap`, `compare`, `select`/`project`, `lineage`, `delete`,
-//!   `save`/`load`, …). One parser serves every front-end: the `gea-cli`
-//!   REPL, scripts, and the wire protocol.
+//!   `save`/`load`, `check`, …). One parser serves every front-end: the
+//!   `gea-cli` REPL, scripts, and the wire protocol. The grammar (and the
+//!   static analyzer behind the `check` verb) lives in the `gea-check`
+//!   crate and is re-exported here for compatibility.
 //! * [`engine`] — the **executor**: runs a parsed command against a
 //!   session, split into a read path (`&GeaSession`, shareable under a read
 //!   lock) and a write path (`&mut GeaSession`).
@@ -43,7 +45,7 @@
 pub mod cache;
 pub mod client;
 pub mod engine;
-pub mod gql;
+pub use gea_check::gql;
 pub mod metrics;
 pub mod registry;
 pub mod server;

@@ -38,3 +38,33 @@ step "serial-vs-sharded speedup (release) -> BENCH_parallel.json"
 cargo run --release -p gea-bench --bin parallel -- --threads 4
 
 printf '\nNightly lane passed.\n'
+
+# ----- sanitizer / interpreter lanes (need extra nightly components; -----
+# ----- each skips gracefully when its toolchain isn't installed)     -----
+
+host_target="$(rustc -vV | sed -n 's/^host: //p')"
+
+step "ThreadSanitizer: server concurrency suite (nightly, -Zsanitizer=thread)"
+# The registry/cache/eviction machinery is the raciest code in the tree;
+# TSan needs a std rebuilt with instrumentation, hence nightly + rust-src.
+if rustup toolchain list 2>/dev/null | grep -q '^nightly' \
+    && rustup component list --toolchain nightly 2>/dev/null \
+        | grep -q '^rust-src (installed)$'; then
+    RUSTFLAGS="-Zsanitizer=thread" \
+        cargo +nightly test -Zbuild-std --target "$host_target" \
+        --test server_smoke --test server_cache
+else
+    echo "skipping: nightly toolchain with rust-src not installed"
+fi
+
+step "Miri: session persistence decoder (nightly)"
+# The save/load codec does the tree's manual byte-level decoding; run its
+# unit battery under Miri to pin down undefined behavior, not just wrong
+# answers.
+if cargo +nightly miri --version >/dev/null 2>&1; then
+    cargo +nightly miri test -p gea-core persist
+else
+    echo "skipping: cargo miri not installed"
+fi
+
+printf '\nSanitizer lanes done (or skipped).\n'

@@ -21,6 +21,16 @@ cargo build --release --workspace
 step "cargo test -q --workspace"
 cargo test -q --workspace
 
+# Static analysis over the checked-in example scripts: the runnable case
+# study must lint clean, and the deliberately ill-typed fixture must be
+# rejected — so the checker's gate provably fires in both directions.
+step "gea-check lint: example GQL scripts"
+./target/release/gea-cli --check examples/scripts/brain_case_study.gql
+if ./target/release/gea-cli --check examples/scripts/ill_typed.gql; then
+    echo "ill_typed.gql passed the checker but must be rejected" >&2
+    exit 1
+fi
+
 # The gea-exec byte-identity contract, property-tested over randomized
 # corpora for every pinned shard/thread combination. Runs as part of the
 # workspace suite too; the explicit step keeps a determinism regression

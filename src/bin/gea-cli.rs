@@ -10,20 +10,38 @@
 //! All modes frame replies like the wire protocol — `OK` then the payload,
 //! or `ERR <CODE> <message>` on stderr — so a transcript is directly
 //! comparable with a `gea-client` session. In the non-interactive modes
-//! the first error stops execution with a non-zero exit, making scripts
-//! safe to automate; `#`-prefixed lines are comments.
+//! the first error stops execution with a non-zero exit (reported with its
+//! `line N:` position), making scripts safe to automate; `#`-prefixed
+//! lines are comments.
+//!
+//! Static analysis (the `gea-check` crate) is wired in twice:
+//!
+//! * `gea-cli --check file.gql` lints a script without running it —
+//!   world-typing, dataflow, and parameter domains — exiting 1 if any
+//!   error-severity diagnostic fires (`--machine` emits JSON lines);
+//! * both batch modes pre-flight the whole script with the same analyzer
+//!   and refuse to execute one with static errors; `--no-preflight`
+//!   skips the gate. A clean script's output is byte-identical with and
+//!   without the gate — the analyzer never touches a session.
 
-use std::io::{self, BufRead, IsTerminal, Write};
+use std::io::{self, BufRead, IsTerminal, Read, Write};
 
 use gea::cli::Cli;
 
 fn usage() -> ! {
-    eprintln!("usage: gea-cli [--script file.gql]");
+    eprintln!("usage: gea-cli [--script file.gql] [--check file.gql [--machine]] [--no-preflight]");
     std::process::exit(2);
+}
+
+fn read_file(path: &str) -> io::Result<String> {
+    std::fs::read_to_string(path).map_err(|e| io::Error::new(e.kind(), format!("open {path}: {e}")))
 }
 
 fn main() -> io::Result<()> {
     let mut script: Option<String> = None;
+    let mut check: Option<String> = None;
+    let mut machine = false;
+    let mut preflight = true;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -31,27 +49,54 @@ fn main() -> io::Result<()> {
                 Some(path) => script = Some(path),
                 None => usage(),
             },
+            "--check" => match args.next() {
+                Some(path) => check = Some(path),
+                None => usage(),
+            },
+            "--machine" => machine = true,
+            "--no-preflight" => preflight = false,
             _ => usage(),
         }
     }
 
+    if let Some(path) = check {
+        let report = gea::check::check_script(&read_file(&path)?);
+        if machine {
+            let lines = report.render_machine();
+            if !lines.is_empty() {
+                println!("{lines}");
+            }
+        } else {
+            println!("{}", report.render());
+        }
+        std::process::exit(if report.is_clean() { 0 } else { 1 });
+    }
     if let Some(path) = script {
-        let file = std::fs::File::open(&path)
-            .map_err(|e| io::Error::new(e.kind(), format!("open {path}: {e}")))?;
-        return batch(io::BufReader::new(file));
+        return batch(&read_file(&path)?, preflight);
     }
     if !io::stdin().is_terminal() {
-        return batch(io::stdin().lock());
+        let mut text = String::new();
+        io::stdin().lock().read_to_string(&mut text)?;
+        return batch(&text, preflight);
     }
     interactive()
 }
 
-/// Run lines until EOF or the first error; errors exit non-zero so shell
-/// pipelines and CI notice.
-fn batch(reader: impl BufRead) -> io::Result<()> {
+/// Run a script until EOF or the first error; errors exit non-zero (with
+/// their 1-based script line) so shell pipelines and CI notice. Unless
+/// disabled, the static analyzer gates execution first: a script with
+/// static errors is refused before any command runs.
+fn batch(text: &str, preflight: bool) -> io::Result<()> {
+    if preflight {
+        let report = gea::check::check_script(text);
+        if !report.is_clean() {
+            eprintln!("{}", report.render());
+            eprintln!("preflight: static errors; rerun with --no-preflight to execute anyway");
+            std::process::exit(1);
+        }
+    }
     let mut cli = Cli::new();
-    for line in reader.lines() {
-        let line = line?;
+    for (idx, line) in text.lines().enumerate() {
         let trimmed = line.trim();
         if trimmed.is_empty() || trimmed.starts_with('#') {
             continue;
@@ -60,7 +105,7 @@ fn batch(reader: impl BufRead) -> io::Result<()> {
             Ok(Some(output)) => print_ok(&output),
             Ok(None) => return Ok(()),
             Err(e) => {
-                eprintln!("ERR {e}");
+                eprintln!("ERR line {}: {e}", idx + 1);
                 std::process::exit(1);
             }
         }

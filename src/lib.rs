@@ -20,6 +20,9 @@
 //! * [`core`] — the GEA algebra, session, lineage and search operations;
 //! * [`exec`] — the sharded parallel execution engine (byte-identical
 //!   fan-out of `mine`/`populate`/`aggregate` over a scoped thread pool);
+//! * [`check`] — the world-typed static analyzer for GQL scripts (and the
+//!   home of the GQL grammar itself), behind `gea-cli --check` and the
+//!   server's `check` verb;
 //! * [`server`] — the GQL grammar and executor shared by the [`cli`]
 //!   interpreter, plus the concurrent TCP query server (`gea-server`) and
 //!   its client library (`gea-client`).
@@ -49,6 +52,7 @@
 
 pub mod cli;
 
+pub use gea_check as check;
 pub use gea_cluster as cluster;
 pub use gea_core as core;
 pub use gea_exec as exec;

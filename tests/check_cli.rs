@@ -1,0 +1,186 @@
+//! End-to-end tests of the static-analysis wiring in `gea-cli`:
+//! `--check` linting (human and machine renderings), the batch pre-flight
+//! gate (refuses ill-typed scripts, transparent for clean ones), and
+//! line-anchored executor errors in batch mode.
+
+use std::io::Write;
+use std::path::Path;
+use std::process::{Command, Output, Stdio};
+
+fn gea_cli() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_gea-cli"))
+}
+
+fn example(name: &str) -> String {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("examples/scripts")
+        .join(name)
+        .display()
+        .to_string()
+}
+
+fn run_stdin(args: &[&str], input: &str) -> Output {
+    let mut child = gea_cli()
+        .args(args)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn gea-cli");
+    child
+        .stdin
+        .as_mut()
+        .expect("stdin")
+        .write_all(input.as_bytes())
+        .expect("write script");
+    child.wait_with_output().expect("gea-cli output")
+}
+
+fn stdout(out: &Output) -> String {
+    String::from_utf8(out.stdout.clone()).expect("utf-8 stdout")
+}
+
+fn stderr(out: &Output) -> String {
+    String::from_utf8(out.stderr.clone()).expect("utf-8 stderr")
+}
+
+#[test]
+fn check_flags_every_defect_class_in_the_fixture() {
+    let out = gea_cli()
+        .args(["--check", &example("ill_typed.gql")])
+        .output()
+        .expect("run --check");
+    assert_eq!(out.status.code(), Some(1), "static errors must exit 1");
+    let text = stdout(&out);
+    for code in [
+        "mine-required",
+        "undefined-name",
+        "world-mismatch",
+        "redefinition",
+        "param-domain",
+        "dead-assignment",
+    ] {
+        assert!(
+            text.contains(&format!("[{code}]")),
+            "missing {code} in:\n{text}"
+        );
+    }
+    // Diagnostics are anchored to 1-based script lines.
+    assert!(text.contains("line 13: error[mine-required]"), "{text}");
+    assert!(text.contains("line 28: warning[dead-assignment]"), "{text}");
+}
+
+#[test]
+fn check_passes_the_case_study() {
+    let out = gea_cli()
+        .args(["--check", &example("brain_case_study.gql")])
+        .output()
+        .expect("run --check");
+    assert!(out.status.success(), "clean script must exit 0");
+    assert!(stdout(&out).contains("clean"), "{}", stdout(&out));
+}
+
+#[test]
+fn machine_rendering_is_json_lines() {
+    let out = gea_cli()
+        .args(["--check", &example("ill_typed.gql"), "--machine"])
+        .output()
+        .expect("run --check --machine");
+    assert_eq!(out.status.code(), Some(1));
+    let text = stdout(&out);
+    assert!(!text.trim().is_empty());
+    for line in text.lines() {
+        assert!(
+            line.starts_with(r#"{"line":"#) && line.ends_with('}'),
+            "not a JSON object line: {line}"
+        );
+        assert!(line.contains(r#""severity":"#), "{line}");
+        assert!(line.contains(r#""code":"#), "{line}");
+        assert!(line.contains(r#""message":"#), "{line}");
+    }
+}
+
+#[test]
+fn preflight_refuses_static_errors_and_no_preflight_overrides() {
+    // Gated: refused before any command executes.
+    let out = gea_cli()
+        .args(["--script", &example("ill_typed.gql")])
+        .output()
+        .expect("run gated");
+    assert_eq!(out.status.code(), Some(1));
+    assert!(
+        out.stdout.is_empty(),
+        "nothing may execute: {}",
+        stdout(&out)
+    );
+    let err = stderr(&out);
+    assert!(err.contains("preflight"), "{err}");
+    assert!(err.contains("error[world-mismatch]"), "{err}");
+
+    // Ungated: runs until the first runtime failure, anchored to its line.
+    let out = gea_cli()
+        .args(["--script", &example("ill_typed.gql"), "--no-preflight"])
+        .output()
+        .expect("run ungated");
+    assert_eq!(out.status.code(), Some(1));
+    assert!(
+        stderr(&out).contains("ERR line 13:"),
+        "runtime errors carry script lines: {}",
+        stderr(&out)
+    );
+    assert!(!out.stdout.is_empty(), "lines before the failure ran");
+}
+
+#[test]
+fn gate_is_transparent_for_clean_scripts() {
+    let script = "load-demo 42\ndataset Eb brain\ntissues\nlineage\n";
+    let gated = run_stdin(&[], script);
+    let ungated = run_stdin(&["--no-preflight"], script);
+    assert!(gated.status.success(), "{}", stderr(&gated));
+    assert!(ungated.status.success(), "{}", stderr(&ungated));
+    assert_eq!(
+        stdout(&gated),
+        stdout(&ungated),
+        "the pre-flight gate must not change a clean script's output"
+    );
+    assert!(stdout(&gated).contains("Eb"));
+}
+
+#[test]
+fn case_study_executes_byte_identically_with_and_without_the_gate() {
+    let path = example("brain_case_study.gql");
+    let gated = gea_cli()
+        .args(["--script", &path])
+        .output()
+        .expect("run gated");
+    let ungated = gea_cli()
+        .args(["--script", &path, "--no-preflight"])
+        .output()
+        .expect("run ungated");
+    assert!(gated.status.success(), "{}", stderr(&gated));
+    assert!(ungated.status.success(), "{}", stderr(&ungated));
+    assert_eq!(gated.stdout, ungated.stdout);
+    // The full pipeline really ran: mined fascicle, control-group gaps,
+    // a hand-invoked populate, and lineage provenance all reported.
+    let text = stdout(&gated);
+    for needle in ["f_1", "g1_5", "(populate)", "raw union"] {
+        assert!(text.contains(needle), "missing {needle} in:\n{text}");
+    }
+}
+
+#[test]
+fn batch_errors_without_static_cause_still_carry_lines() {
+    // Statically clean (checker cannot know mine yields too few records
+    // at k% = 100 with a huge min), but fails at runtime: the error is
+    // anchored to the failing script line.
+    let script = "load-demo 42\ndataset Eb brain\nmine Eb f 100 19 6\npurity f_1\n";
+    let check = run_stdin(&["--check", "/dev/stdin"], script);
+    assert!(check.status.success(), "{}", stdout(&check));
+    let out = run_stdin(&[], script);
+    assert_eq!(out.status.code(), Some(1));
+    assert!(
+        stderr(&out).contains("ERR line 4:"),
+        "expected a line-4 runtime error: {}",
+        stderr(&out)
+    );
+}

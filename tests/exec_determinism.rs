@@ -152,6 +152,58 @@ proptest! {
     }
 }
 
+/// The GQL `populate <name> <sumy> <dataset>` verb routes through the
+/// sharded populate driver via the engine: a serial session and a
+/// many-threads/odd-shards session running the same command sequence must
+/// produce byte-identical replies and byte-identical materialized tables.
+#[test]
+fn gql_populate_is_byte_identical_across_executors() {
+    use gea::core::session::GeaSession;
+    use gea::sage::clean::CleaningConfig;
+    use gea::sage::generate::{generate, GeneratorConfig};
+    use gea::server::engine;
+    use gea::server::gql::{parse, Request};
+
+    let (corpus, _) = generate(&GeneratorConfig::demo(42));
+    let mut serial = GeaSession::open(corpus.clone(), &CleaningConfig::default()).unwrap();
+    serial.set_exec_config(ExecConfig::serial());
+    let mut sharded = GeaSession::open(corpus, &CleaningConfig::default()).unwrap();
+    sharded.set_exec_config(ExecConfig {
+        threads: 4,
+        shards: 3,
+    });
+
+    // On demo seed 42 the 50% mine deterministically yields fascicle f_1.
+    let script = ["dataset Eb brain", "mine Eb f 50 3 6", "populate P f_1 Eb"];
+    for line in script {
+        let Some(Request::Gql(cmd)) = parse(line).unwrap() else {
+            panic!("{line:?} is not an algebra command");
+        };
+        let a = engine::execute(&mut serial, &cmd).unwrap_or_else(|e| panic!("{line:?}: {e}"));
+        let b = engine::execute(&mut sharded, &cmd).unwrap_or_else(|e| panic!("{line:?}: {e}"));
+        assert_eq!(a, b, "engine reply diverged on {line:?}");
+    }
+    for name in ["Eb", "f_1", "P"] {
+        assert_eq!(
+            serial.enum_table(name).unwrap().matrix,
+            sharded.enum_table(name).unwrap().matrix,
+            "table {name} diverged"
+        );
+    }
+    // The populated ENUM is the fascicle's extension: same libraries,
+    // restricted to the SUMY's tags.
+    let p = serial.enum_table("P").unwrap();
+    assert!(p.n_libraries() >= serial.enum_table("f_1").unwrap().n_libraries());
+    // Both sessions routed the verb through the exec engine — a
+    // `populate` event was noted regardless of the executor shape.
+    for session in [&mut serial, &mut sharded] {
+        assert!(session
+            .drain_exec_events()
+            .iter()
+            .any(|e| e.op == "populate"));
+    }
+}
+
 /// The k-means and hierarchical miners route through the same sharded
 /// materialization; pin them at a fixed corpus so all three algorithms
 /// stay covered.

@@ -1,0 +1,209 @@
+//! Parser fuzz battery for the GQL grammar: the parser must never panic —
+//! not on arbitrary strings, not on mutated or truncated real commands —
+//! and every command it does accept must round-trip through its canonical
+//! spelling to the same parse (the response cache keys on `canonical()`,
+//! so a non-fixpoint canonicalization would split or alias cache entries).
+
+use proptest::prelude::*;
+
+use gea::server::gql::{parse, tokenize, Request};
+
+/// A corpus of valid spellings covering every verb and arm of the grammar,
+/// used as mutation seeds: bit-flipped, spliced, and truncated variants of
+/// *almost-valid* input exercise far deeper parse paths than pure noise.
+const SEEDS: &[&str] = &[
+    "help",
+    "quit",
+    "ping",
+    "stats",
+    "shutdown",
+    "gen-corpus 42 /tmp/corpus",
+    "load-demo 42",
+    "load-dir /tmp/corpus",
+    "open shared demo 42",
+    "open shared dir /tmp/corpus",
+    "use shared",
+    "close shared",
+    "sessions",
+    "tissues",
+    "cleaning",
+    "lineage",
+    "library 3",
+    "library SAGE_brain_C00",
+    "dataset Ebrain brain",
+    "custom C SAGE_brain_C00 SAGE_brain_C01",
+    "select S Ebrain SAGE_brain_C00",
+    "project P Ebrain SAGE_brain_C00",
+    "mine Ebrain f 50 3 6",
+    "fascicles",
+    "purity f_1",
+    "groups f_1",
+    "gap g1 f_1CancerFasTbl f_1NormalTable",
+    "topgap g1 5",
+    "compare cmp g1 g2 intersect 2",
+    "compare cmp g1 g2 union 13",
+    "compare cmp g1 g2 difference 4",
+    "show gap g1 3",
+    "show sumy f_1 5",
+    "plot Ebrain f_1",
+    "tagfreq SAGE TTTTTTTTTT",
+    "xprofiler Ebrain",
+    "export g1 /tmp/g1.csv",
+    "comment g1 \"two words\"",
+    "comment g1 \"an escaped \\\" quote\"",
+    "delete g1",
+    "delete --cascade Ebrain",
+    "populate P",
+    "populate P f_1 Ebrain",
+    "save /tmp/session",
+    "load /tmp/session",
+    "check dataset E brain ; mine E f 50 3 6 ; purity f_1",
+    "check comment g1 \"quoted ; separator\"",
+];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Pure noise: any printable-ASCII string (quotes, backslashes, and
+    /// `;` included), parsed, never panics.
+    #[test]
+    fn parser_never_panics_on_arbitrary_strings(line in "[ -~]{0,120}") {
+        let _ = parse(&line);
+        let _ = tokenize(&line);
+    }
+
+    /// Arbitrary bytes (through lossy UTF-8): never panics, even with
+    /// embedded NULs, replacement chars, and control bytes.
+    #[test]
+    fn parser_never_panics_on_arbitrary_bytes(
+        bytes in prop::collection::vec(any::<u8>(), 0..120),
+    ) {
+        let line = String::from_utf8_lossy(&bytes);
+        let _ = parse(&line);
+        let _ = tokenize(&line);
+    }
+
+    /// Mutated real commands: substitute one byte, splice two seeds, or
+    /// truncate — almost-valid input must degrade to `Err`, never panic.
+    #[test]
+    fn parser_never_panics_on_mutated_commands(
+        idx in 0usize..SEEDS.len(),
+        other in 0usize..SEEDS.len(),
+        pos in 0usize..128,
+        byte in any::<u8>(),
+        cut in 0usize..128,
+    ) {
+        let seed = SEEDS[idx];
+
+        // One-byte substitution.
+        let mut bytes = seed.as_bytes().to_vec();
+        let p = pos % bytes.len().max(1);
+        if p < bytes.len() {
+            bytes[p] = byte;
+        }
+        let _ = parse(&String::from_utf8_lossy(&bytes));
+
+        // Truncation (at a char boundary; the corpus is ASCII).
+        let cut = cut % (seed.len() + 1);
+        let _ = parse(&seed[..cut]);
+
+        // Splice: head of one seed, tail of another.
+        let tail = SEEDS[other];
+        let spliced = format!("{} {}", &seed[..cut], &tail[tail.len() - tail.len().min(cut)..]);
+        let _ = parse(&spliced);
+    }
+
+    /// Every accepted command round-trips: `parse → canonical → parse`
+    /// yields the same command, and `canonical` is a fixpoint.
+    #[test]
+    fn accepted_commands_round_trip_canonically(idx in 0usize..SEEDS.len()) {
+        if let Ok(Some(Request::Gql(cmd))) = parse(SEEDS[idx]) {
+            let canon = cmd.canonical();
+            let reparsed = match parse(&canon) {
+                Ok(Some(Request::Gql(c))) => c,
+                other => {
+                    return Err(TestCaseError::fail(format!(
+                        "canonical {canon:?} did not re-parse: {other:?}"
+                    )))
+                }
+            };
+            prop_assert_eq!(&reparsed, &cmd, "round-trip changed the command");
+            prop_assert_eq!(reparsed.canonical(), canon, "canonical is not a fixpoint");
+        }
+    }
+
+    /// Whitespace never changes meaning: padding between tokens of any
+    /// accepted command re-parses to the same canonical spelling.
+    #[test]
+    fn token_padding_is_meaningless(
+        idx in 0usize..SEEDS.len(),
+        pad in prop::collection::vec(1usize..4, 0..24),
+    ) {
+        let seed = SEEDS[idx];
+        if seed.contains('"') {
+            // Quoted arguments preserve interior spacing by design.
+            return Ok(());
+        }
+        if let Ok(Some(Request::Gql(cmd))) = parse(seed) {
+            let mut padded = String::new();
+            for (i, tok) in seed.split_whitespace().enumerate() {
+                let n = pad.get(i).copied().unwrap_or(1);
+                if i > 0 {
+                    padded.push_str(&" ".repeat(n));
+                }
+                padded.push_str(tok);
+            }
+            let reparsed = match parse(&padded) {
+                Ok(Some(Request::Gql(c))) => c,
+                other => {
+                    return Err(TestCaseError::fail(format!(
+                        "padded {padded:?} did not re-parse: {other:?}"
+                    )))
+                }
+            };
+            prop_assert_eq!(reparsed.canonical(), cmd.canonical());
+        }
+    }
+}
+
+/// The seed corpus really covers the grammar: every GQL verb in `HELP`
+/// appears, so the mutation battery reaches every arm.
+#[test]
+fn seed_corpus_covers_every_verb() {
+    let verbs: std::collections::BTreeSet<&str> = SEEDS
+        .iter()
+        .filter_map(|s| s.split_whitespace().next())
+        .collect();
+    for verb in [
+        "help",
+        "quit",
+        "dataset",
+        "custom",
+        "select",
+        "project",
+        "mine",
+        "fascicles",
+        "purity",
+        "groups",
+        "gap",
+        "topgap",
+        "compare",
+        "show",
+        "plot",
+        "library",
+        "tagfreq",
+        "xprofiler",
+        "export",
+        "comment",
+        "delete",
+        "populate",
+        "lineage",
+        "cleaning",
+        "tissues",
+        "save",
+        "load",
+        "check",
+    ] {
+        assert!(verbs.contains(verb), "no seed exercises {verb:?}");
+    }
+}

@@ -207,6 +207,72 @@ fn sessions_are_isolated_and_closable() {
     serving.join().expect("server thread");
 }
 
+/// The `check` verb validates a pipeline against the *live* session's
+/// symbol table without mutating it: a table created over the wire
+/// resolves, a fresh session rejects the same reference, and checking a
+/// pipeline that "defines" names leaves them free for real commands.
+#[test]
+fn check_verb_validates_against_the_live_session() {
+    let server = Server::bind(ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 2,
+        queue_depth: 4,
+        lock_timeout: Duration::from_secs(30),
+        ..ServerConfig::default()
+    })
+    .expect("bind");
+    let addr = server.local_addr();
+    let handle = server.handle();
+    let serving = thread::spawn(move || server.run().expect("serve"));
+
+    let mut a = GeaClient::connect(addr).unwrap();
+    a.request("open live demo 42").unwrap().expect("open live");
+    a.request("dataset Eb brain").unwrap().expect("dataset");
+
+    // Eb exists in this session, so referencing it checks clean…
+    let reply = a
+        .request("check comment Eb \"exists here\"")
+        .unwrap()
+        .expect("check against live session");
+    assert!(reply.contains("clean"), "{reply}");
+
+    // …while a fresh session flags the same reference as undefined.
+    let mut b = GeaClient::connect(addr).unwrap();
+    b.request("open fresh demo 7").unwrap().expect("open fresh");
+    let reply = b
+        .request("check comment Eb \"not here\"")
+        .unwrap()
+        .expect("check against fresh session");
+    assert!(reply.contains("error[undefined-name]"), "{reply}");
+    assert!(reply.contains("line 1:"), "{reply}");
+
+    // World typing uses the live table's world: Eb is an ENUM, not a SUMY.
+    let reply = a
+        .request("check gap g Eb Eb")
+        .unwrap()
+        .expect("check world mismatch");
+    assert!(reply.contains("error[world-mismatch]"), "{reply}");
+
+    // A multi-command pipeline is checked as a whole — definitions made
+    // inside the check are visible to later commands of the pipeline…
+    let reply = a
+        .request("check dataset X brain ; comment X \"pipeline-local\"")
+        .unwrap()
+        .expect("check pipeline");
+    assert!(reply.contains("clean"), "{reply}");
+
+    // …but never leak into the session: `check` is a pure read, so X is
+    // still free for a real command, and the generation never moved.
+    let sessions = a.request("sessions").unwrap().expect("sessions");
+    assert_eq!(generation_of(&sessions, "live"), 1, "{sessions}");
+    a.request("dataset X brain")
+        .unwrap()
+        .expect("X must still be free after check");
+
+    handle.shutdown();
+    serving.join().expect("server thread");
+}
+
 /// The session generation listed by `sessions`, for session `name`.
 fn generation_of(sessions_reply: &str, name: &str) -> u64 {
     sessions_reply
