@@ -1,0 +1,77 @@
+//! Emit `BENCH_mine_backends.json`: serial-vs-sharded comparison of every
+//! registry mining backend (`fascicles`, `isa`, `simplex`) on the
+//! thesis-scale synthetic corpus.
+//!
+//! ```text
+//! mine_backends [--fast] [--threads N] [--out PATH]
+//! ```
+//!
+//! `--fast` runs the seconds-scale CI shape; `--threads` overrides the
+//! sharded worker count (default 4); `--out` overrides the output path
+//! (default `BENCH_mine_backends.json` in the working directory). Exits
+//! non-zero if any backend's sharded driver output differs from serial —
+//! the bench doubles as an end-to-end determinism check on real workload
+//! data.
+
+use gea_bench::mine_backends::{run, to_json, MineBackendsConfig};
+
+fn usage() -> ! {
+    eprintln!("usage: mine_backends [--fast] [--threads N] [--out PATH]");
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut cfg = MineBackendsConfig::default();
+    let mut out_path = String::from("BENCH_mine_backends.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        match flag.as_str() {
+            "--fast" => {
+                let threads = cfg.threads;
+                cfg = MineBackendsConfig::fast();
+                cfg.threads = threads;
+            }
+            "--threads" => match args.next().map(|v| v.parse()) {
+                Some(Ok(n)) => cfg.threads = n,
+                _ => usage(),
+            },
+            "--out" => match args.next() {
+                Some(p) => out_path = p,
+                None => usage(),
+            },
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown flag {other:?}");
+                usage()
+            }
+        }
+    }
+
+    eprintln!(
+        "mine_backends: {} tags x {} libs, {} threads, {} reps (host parallelism {})",
+        cfg.n_tags,
+        cfg.n_libs,
+        cfg.threads,
+        cfg.repetitions,
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    );
+    let rows = run(&cfg);
+    for r in &rows {
+        eprintln!(
+            "mine_backends: {:>9}  serial {:8.1} ms  sharded {:8.1} ms  speedup {:5.2}x  clusters {:>3}  identical {}",
+            r.backend, r.serial_ms, r.sharded_ms, r.speedup, r.clusters, r.identical
+        );
+    }
+    let json = to_json(&cfg, &rows);
+    if let Err(e) = std::fs::write(&out_path, &json) {
+        eprintln!("mine_backends: writing {out_path}: {e}");
+        std::process::exit(1);
+    }
+    eprintln!("mine_backends: wrote {out_path}");
+    if !rows.iter().all(|r| r.identical) {
+        eprintln!("mine_backends: DETERMINISM FAILURE — sharded output differs from serial");
+        std::process::exit(1);
+    }
+}

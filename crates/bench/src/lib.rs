@@ -8,6 +8,7 @@
 #![warn(missing_docs)]
 
 pub mod baselines;
+pub mod mine_backends;
 pub mod parallel;
 pub mod populate_experiment;
 pub mod workloads;

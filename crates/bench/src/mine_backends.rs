@@ -1,0 +1,263 @@
+//! Mining-backend comparison behind `BENCH_mine_backends.json`.
+//!
+//! Runs every registry backend — `fascicles`, `isa`, `simplex` — over the
+//! same thesis-scale synthetic corpus, first through the serial
+//! `MineBackend::mine` path and then through its `gea-exec` sharded
+//! driver, recording wall times, the speedup, the cluster count, and
+//! whether the sharded output was byte-identical to the serial one. Like
+//! `BENCH_parallel.json`, the identity column doubles as an end-to-end
+//! determinism check on real workload data: the nightly CI run fails if
+//! any backend's sharded driver diverges.
+
+use std::time::Instant;
+
+use gea_cluster::FascicleParams;
+use gea_core::mine::{generate_metadata, mine, MinedCluster, Miner};
+use gea_core::ExecConfig;
+use gea_exec::{isa_mine_sharded, mine_sharded, simplex_mine_sharded};
+use gea_mine::isa::IsaParams;
+use gea_mine::simplex::SimplexParams;
+use gea_mine::{backend, resolve_params, MineInput, ParamValue, ResolvedParams};
+
+use crate::workloads::populate_workload;
+
+/// Shape of the backend-comparison experiment.
+#[derive(Debug, Clone)]
+pub struct MineBackendsConfig {
+    /// Tags in the mined corpus.
+    pub n_tags: usize,
+    /// Libraries in the mined corpus.
+    pub n_libs: usize,
+    /// Clustered member libraries planted by the workload generator.
+    pub n_members: usize,
+    /// Member window width (cluster-tightness knob).
+    pub member_width: f64,
+    /// Worker threads for the sharded runs (serial runs always use 1).
+    pub threads: usize,
+    /// Timed repetitions per backend; the minimum wall time is kept.
+    pub repetitions: usize,
+    /// RNG seed for the synthetic corpus.
+    pub seed: u64,
+}
+
+impl Default for MineBackendsConfig {
+    fn default() -> MineBackendsConfig {
+        MineBackendsConfig {
+            n_tags: 6_000,
+            n_libs: 100,
+            n_members: 5,
+            member_width: 0.75,
+            threads: 4,
+            repetitions: 3,
+            seed: 2002,
+        }
+    }
+}
+
+impl MineBackendsConfig {
+    /// A seconds-scale variant for CI smoke runs.
+    pub fn fast() -> MineBackendsConfig {
+        MineBackendsConfig {
+            n_tags: 800,
+            n_libs: 60,
+            n_members: 4,
+            member_width: 0.7,
+            threads: 4,
+            repetitions: 1,
+            seed: 7,
+        }
+    }
+}
+
+/// One backend's serial-vs-sharded measurement.
+#[derive(Debug, Clone)]
+pub struct BackendRow {
+    /// Registry backend name.
+    pub backend: &'static str,
+    /// Serial wall time, milliseconds (minimum over repetitions).
+    pub serial_ms: f64,
+    /// Sharded wall time, milliseconds (minimum over repetitions).
+    pub sharded_ms: f64,
+    /// `serial_ms / sharded_ms`.
+    pub speedup: f64,
+    /// Clusters the backend mined (serial == sharded when `identical`).
+    pub clusters: usize,
+    /// Whether the sharded result equalled the serial result exactly.
+    pub identical: bool,
+}
+
+fn time_min<T>(repetitions: usize, mut f: impl FnMut() -> T) -> (T, f64) {
+    let mut best = f64::INFINITY;
+    let mut out = None;
+    for _ in 0..repetitions.max(1) {
+        let start = Instant::now();
+        out = Some(f());
+        best = best.min(start.elapsed().as_secs_f64() * 1e3);
+    }
+    (out.unwrap(), best)
+}
+
+fn clusters_identical(a: &[MinedCluster], b: &[MinedCluster]) -> bool {
+    a.len() == b.len()
+        && a.iter().zip(b).all(|(x, y)| {
+            x.name == y.name
+                && x.libraries == y.libraries
+                && x.compact_tags == y.compact_tags
+                && x.sumy == y.sumy
+        })
+}
+
+fn resolved_for(name: &str, given: &[(String, ParamValue)]) -> ResolvedParams {
+    let b = backend(name).expect("registry backend");
+    resolve_params(b.params(), given).expect("bench params in domain")
+}
+
+/// Run the experiment: one [`BackendRow`] per registry backend, sharded
+/// runs at `cfg.threads` workers with one shard per worker.
+pub fn run(cfg: &MineBackendsConfig) -> Vec<BackendRow> {
+    let exec = ExecConfig::with_threads(cfg.threads.max(1));
+    let w = populate_workload(
+        cfg.n_tags,
+        cfg.n_libs,
+        cfg.n_members,
+        cfg.member_width,
+        cfg.seed,
+    );
+    let table = &w.table;
+    let mut rows = Vec::new();
+
+    // fascicles: the historic path (serial `mine` vs `mine_sharded`).
+    let tol = generate_metadata(table, gea_mine::WIDTH_FRACTION);
+    let miner = Miner::Fascicles(FascicleParams {
+        min_compact_attrs: cfg.n_tags / 2,
+        min_records: 2,
+        batch_size: 6,
+    });
+    let (serial, serial_ms) =
+        time_min(cfg.repetitions, || mine(table, "bench", &miner, Some(&tol)));
+    let (sharded, sharded_ms) = time_min(cfg.repetitions, || {
+        mine_sharded(table, "bench", &miner, Some(&tol), &exec)
+    });
+    rows.push(BackendRow {
+        backend: "fascicles",
+        serial_ms,
+        sharded_ms,
+        speedup: serial_ms / sharded_ms.max(1e-9),
+        clusters: serial.len(),
+        identical: clusters_identical(&serial, &sharded.0),
+    });
+
+    // isa: seed fan-out. Loose thresholds so modules survive on the
+    // synthetic corpus and the fan-out has real work per seed.
+    let isa_given = vec![
+        ("seeds".to_string(), ParamValue::UInt(32)),
+        ("t_tags".to_string(), ParamValue::Float(1.0)),
+        ("t_libs".to_string(), ParamValue::Float(1.0)),
+    ];
+    let resolved = resolved_for("isa", &isa_given);
+    let isa = backend("isa").unwrap();
+    let (serial, serial_ms) = time_min(cfg.repetitions, || {
+        isa.mine(&MineInput {
+            table,
+            base_name: "bench",
+            params: &resolved,
+        })
+    });
+    let params = IsaParams::from_resolved(&resolved);
+    let (sharded, sharded_ms) = time_min(cfg.repetitions, || {
+        isa_mine_sharded(table, "bench", &params, &exec)
+    });
+    rows.push(BackendRow {
+        backend: "isa",
+        serial_ms,
+        sharded_ms,
+        speedup: serial_ms / sharded_ms.max(1e-9),
+        clusters: serial.len(),
+        identical: clusters_identical(&serial, &sharded.0),
+    });
+
+    // simplex: per-round assignment fan-out.
+    let spx_given = vec![("k".to_string(), ParamValue::UInt(4))];
+    let resolved = resolved_for("simplex", &spx_given);
+    let simplex = backend("simplex").unwrap();
+    let (serial, serial_ms) = time_min(cfg.repetitions, || {
+        simplex.mine(&MineInput {
+            table,
+            base_name: "bench",
+            params: &resolved,
+        })
+    });
+    let params = SimplexParams::from_resolved(&resolved);
+    let (sharded, sharded_ms) = time_min(cfg.repetitions, || {
+        simplex_mine_sharded(table, "bench", &params, &exec)
+    });
+    rows.push(BackendRow {
+        backend: "simplex",
+        serial_ms,
+        sharded_ms,
+        speedup: serial_ms / sharded_ms.max(1e-9),
+        clusters: serial.len(),
+        identical: clusters_identical(&serial, &sharded.0),
+    });
+
+    rows
+}
+
+/// Render the rows as the `BENCH_mine_backends.json` document.
+pub fn to_json(cfg: &MineBackendsConfig, rows: &[BackendRow]) -> String {
+    let host = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let mut out = String::from("{\n");
+    out.push_str("  \"experiment\": \"mine_backends\",\n");
+    out.push_str(&format!("  \"host_parallelism\": {host},\n"));
+    out.push_str(&format!("  \"threads\": {},\n", cfg.threads));
+    out.push_str(&format!(
+        "  \"corpus\": {{\"n_tags\": {}, \"n_libs\": {}, \"n_members\": {}, \"member_width\": {}, \"seed\": {}}},\n",
+        cfg.n_tags, cfg.n_libs, cfg.n_members, cfg.member_width, cfg.seed
+    ));
+    out.push_str("  \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"backend\": \"{}\", \"serial_ms\": {:.3}, \"sharded_ms\": {:.3}, \"speedup\": {:.3}, \"clusters\": {}, \"identical\": {}}}{}\n",
+            r.backend,
+            r.serial_ms,
+            r.sharded_ms,
+            r.speedup,
+            r.clusters,
+            r.identical,
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fast_run_is_identical_and_renders() {
+        let cfg = MineBackendsConfig {
+            n_tags: 150,
+            n_libs: 20,
+            n_members: 3,
+            member_width: 0.7,
+            threads: 2,
+            repetitions: 1,
+            seed: 11,
+        };
+        let rows = run(&cfg);
+        assert_eq!(rows.len(), 3);
+        assert!(
+            rows.iter().all(|r| r.identical),
+            "sharded != serial: {rows:?}"
+        );
+        let json = to_json(&cfg, &rows);
+        for name in ["fascicles", "isa", "simplex"] {
+            assert!(json.contains(&format!("\"backend\": \"{name}\"")), "{json}");
+        }
+        assert!(!json.contains("identical\": false"));
+    }
+}

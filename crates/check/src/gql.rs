@@ -9,6 +9,7 @@
 use std::fmt;
 
 use gea_core::compare::{CompareOp, CompareQuery};
+use gea_mine::ParamValue;
 use gea_sage::{Tag, TissueType};
 
 /// The command reference printed by `help` (the thesis chapter 4 menus plus
@@ -31,6 +32,7 @@ GQL commands (thesis chapter 4's menus, served):
     project <name> <dataset> <tag> [<tag>...]  pi_tags(dataset)
   mining and gaps
     mine <dataset> <out> <k%> <min> <batch>   calculate fascicles     [Fig 4.6]
+    mine <dataset> <out> with <algo> [key=val ...]   pluggable backends: fascicles, isa, simplex
     fascicles                           list mined fascicles
     purity <fascicle>                   purity check                  [Fig 4.8]
     groups <fascicle>                   form control-group SUMYs      [Fig 4.7]
@@ -189,6 +191,23 @@ pub enum GqlCommand {
         min_records: usize,
         /// Candidate batch size.
         batch: usize,
+    },
+    /// Calculate clusters with a named `gea-mine` backend
+    /// (`mine <dataset> <out> with <algo> [key=val ...]`). The classic
+    /// positional form and `with fascicles` both parse to [`Mine`];
+    /// this variant only carries the new backends.
+    ///
+    /// [`Mine`]: GqlCommand::Mine
+    MineWith {
+        /// Source data set.
+        dataset: String,
+        /// Output name prefix.
+        out: String,
+        /// Backend registry name (`isa`, `simplex`).
+        algo: String,
+        /// Explicit `key=val` overrides, sorted by key (unmentioned keys
+        /// take the backend's defaults at execution time).
+        params: Vec<(String, ParamValue)>,
     },
     /// List mined fascicles.
     Fascicles,
@@ -407,6 +426,18 @@ impl GqlCommand {
                     &batch.to_string(),
                 ],
             ),
+            GqlCommand::MineWith {
+                dataset,
+                out,
+                algo,
+                params,
+            } => {
+                let rendered: Vec<String> =
+                    params.iter().map(|(k, v)| format!("{k}={v}")).collect();
+                let mut args: Vec<&str> = vec![dataset, out, "with", algo];
+                args.extend(rendered.iter().map(|s| s.as_str()));
+                join("mine", &args)
+            }
             GqlCommand::Fascicles => "fascicles".to_string(),
             GqlCommand::Purity(f) => join("purity", &[f]),
             GqlCommand::Groups(f) => join("groups", &[f]),
@@ -487,7 +518,7 @@ impl GqlCommand {
             GqlCommand::Custom { .. } => "custom",
             GqlCommand::Select { .. } => "select",
             GqlCommand::Project { .. } => "project",
-            GqlCommand::Mine { .. } => "mine",
+            GqlCommand::Mine { .. } | GqlCommand::MineWith { .. } => "mine",
             GqlCommand::Fascicles => "fascicles",
             GqlCommand::Purity(_) => "purity",
             GqlCommand::Groups(_) => "groups",
@@ -587,6 +618,69 @@ fn parse_tag(token: &str) -> Result<Tag, ParseError> {
     token
         .parse()
         .map_err(|e| ParseError(format!("bad tag: {e}")))
+}
+
+/// Parse `mine <dataset> <out> with <algo> [key=val ...]`. The backend
+/// name and parameter *types* are checked here against the `gea-mine`
+/// registry (unknown backends, unknown keys, duplicates, and non-numeric
+/// values are parse errors); parameter *ranges* are the analyzer's and
+/// engine's job. `with fascicles` desugars to the classic positional
+/// [`GqlCommand::Mine`], so the bare verb and the sugared form share one
+/// canonical spelling, one cache key, and one execution path.
+fn parse_mine_with(
+    dataset: &str,
+    out: &str,
+    algo: &str,
+    tokens: &[&str],
+) -> Result<GqlCommand, ParseError> {
+    let Some(backend) = gea_mine::backend(algo) else {
+        return Err(ParseError(format!(
+            "unknown mining backend {algo:?} (available: {})",
+            gea_mine::backend_names()
+        )));
+    };
+    let specs = backend.params();
+    let mut params: Vec<(String, ParamValue)> = Vec::new();
+    for token in tokens {
+        let Some((key, value)) = token.split_once('=') else {
+            return Err(ParseError(format!(
+                "expected key=val after `with {algo}`, got {token:?}"
+            )));
+        };
+        let Some(spec) = specs.iter().find(|s| s.key == key) else {
+            let known: Vec<&str> = specs.iter().map(|s| s.key).collect();
+            return Err(ParseError(format!(
+                "backend {} has no parameter {key:?} (expected: {})",
+                backend.name(),
+                known.join(", ")
+            )));
+        };
+        if params.iter().any(|(k, _)| k == key) {
+            return Err(ParseError(format!("duplicate parameter {key:?}")));
+        }
+        let value = spec
+            .domain
+            .parse_token(value)
+            .map_err(|e| ParseError(format!("parameter {key}: {e}")))?;
+        params.push((key.to_string(), value));
+    }
+    params.sort_by(|a, b| a.0.cmp(&b.0));
+    if backend.name() == "fascicles" {
+        let resolved = gea_mine::resolve_params(specs, &params).map_err(ParseError)?;
+        return Ok(GqlCommand::Mine {
+            dataset: dataset.to_string(),
+            out: out.to_string(),
+            k_pct: resolved.uint("k_pct") as usize,
+            min_records: resolved.uint("min_records") as usize,
+            batch: resolved.uint("batch") as usize,
+        });
+    }
+    Ok(GqlCommand::MineWith {
+        dataset: dataset.to_string(),
+        out: out.to_string(),
+        algo: backend.name().to_string(),
+        params,
+    })
 }
 
 /// Parse one request line. `Ok(None)` means the line was blank.
@@ -721,15 +815,22 @@ fn parse_gql(cmd: &str, args: &[&str]) -> Result<Option<GqlCommand>, ParseError>
             }
         }
         "mine" => {
-            let [dataset, out, kpct, min, batch] = args[..] else {
-                return Err(usage("mine <dataset> <out> <k%> <min> <batch>"));
-            };
-            GqlCommand::Mine {
-                dataset: dataset.to_string(),
-                out: out.to_string(),
-                k_pct: parse_num("k%", kpct)?,
-                min_records: parse_num("min", min)?,
-                batch: parse_num("batch", batch)?,
+            if args.get(2).copied() == Some("with") {
+                let [dataset, out, _with, algo, params @ ..] = args else {
+                    return Err(usage("mine <dataset> <out> with <algo> [key=val ...]"));
+                };
+                parse_mine_with(dataset, out, algo, params)?
+            } else {
+                let [dataset, out, kpct, min, batch] = args[..] else {
+                    return Err(usage("mine <dataset> <out> <k%> <min> <batch>"));
+                };
+                GqlCommand::Mine {
+                    dataset: dataset.to_string(),
+                    out: out.to_string(),
+                    k_pct: parse_num("k%", kpct)?,
+                    min_records: parse_num("min", min)?,
+                    batch: parse_num("batch", batch)?,
+                }
             }
         }
         "fascicles" => GqlCommand::Fascicles,
@@ -964,6 +1065,34 @@ mod tests {
                 ..
             }))
         ));
+        // `with fascicles` is sugar for the classic positional verb:
+        // identical command, identical canonical spelling.
+        assert_eq!(
+            parse("mine E f with fascicles").unwrap(),
+            parse("mine E f 50 3 6").unwrap()
+        );
+        assert_eq!(
+            parse("mine E f with fascicles k_pct=70 min_records=2 batch=4").unwrap(),
+            parse("mine E f 70 2 4").unwrap()
+        );
+        // The new backends carry their overrides sorted by key.
+        match parse("mine E f with isa t_tags=2.5 seeds=4").unwrap() {
+            Some(Request::Gql(GqlCommand::MineWith {
+                ref algo,
+                ref params,
+                ..
+            })) => {
+                assert_eq!(algo, "isa");
+                assert_eq!(
+                    params,
+                    &vec![
+                        ("seeds".to_string(), ParamValue::UInt(4)),
+                        ("t_tags".to_string(), ParamValue::Float(2.5)),
+                    ]
+                );
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
         assert!(matches!(
             parse("delete g --cascade").unwrap(),
             Some(Request::Gql(GqlCommand::Delete { cascade: true, .. }))
@@ -985,6 +1114,13 @@ mod tests {
     #[test]
     fn errors_are_parse_errors() {
         assert!(parse("mine").is_err());
+        assert!(parse("mine E f with").is_err());
+        assert!(parse("mine E f with pca").is_err());
+        assert!(parse("mine E f with isa bogus=1").is_err());
+        assert!(parse("mine E f with isa seeds").is_err());
+        assert!(parse("mine E f with isa seeds=abc").is_err());
+        assert!(parse("mine E f with isa t_tags=NaN").is_err());
+        assert!(parse("mine E f with isa seeds=2 seeds=3").is_err());
         assert!(parse("bogus").is_err());
         assert!(parse("open x demo notanumber").is_err());
         assert!(parse("compare a b c union 99").is_err());
@@ -1045,6 +1181,8 @@ mod tests {
         }
         for line in [
             "mine E f 50 3 6",
+            "mine E f with isa",
+            "mine E f with simplex k=2",
             "dataset E brain",
             "populate t",
             "comment t x",
@@ -1069,6 +1207,9 @@ mod tests {
             "select S E l1",
             "project P E AAAAAAAAAA",
             "mine E f 50 3 6",
+            "mine E f with isa",
+            "mine E f with isa seeds=4 t_tags=2.5",
+            "mine E f with simplex k=2 zero_repl=0.25",
             "fascicles",
             "purity f_1",
             "groups f_1",
@@ -1125,6 +1266,7 @@ mod tests {
             "save dir",
             "load dir",
             "mine E f 50 3 6",
+            "mine E f with isa seeds=4",
             "topgap g 5",
             "comment g x",
             "dataset E brain",

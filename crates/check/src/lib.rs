@@ -50,6 +50,10 @@ pub struct Analyzer {
     quit_at: Option<usize>,
     warned_unreachable: bool,
     warned_no_session: bool,
+    /// `save` targets seen so far (path → first line), for path-collision
+    /// checking. Deliberately *not* reset when the script opens a new
+    /// session: the collision is on the filesystem, not in the session.
+    saved_paths: std::collections::BTreeMap<String, usize>,
 }
 
 impl Analyzer {
@@ -65,6 +69,7 @@ impl Analyzer {
             quit_at: None,
             warned_unreachable: false,
             warned_no_session: false,
+            saved_paths: std::collections::BTreeMap::new(),
         }
     }
 
@@ -275,8 +280,20 @@ impl Analyzer {
             GqlCommand::Tissues
             | GqlCommand::Lineage
             | GqlCommand::Cleaning
-            | GqlCommand::Library(_)
-            | GqlCommand::Save(_) => {}
+            | GqlCommand::Library(_) => {}
+            GqlCommand::Save(dir) => {
+                if let Some(&prev) = self.saved_paths.get(dir) {
+                    self.push(Diagnostic::warning(
+                        line,
+                        "save-collision",
+                        format!(
+                            "`save {dir}` overwrites the snapshot saved at line {prev}; the earlier state is lost"
+                        ),
+                    ));
+                } else {
+                    self.saved_paths.insert(dir.clone(), line);
+                }
+            }
             GqlCommand::Dataset { name, tissue } => {
                 if let TissueType::Custom(t) = tissue {
                     self.push(Diagnostic::warning(
@@ -365,6 +382,62 @@ impl Analyzer {
                         "param-domain",
                         "batch = 0 mines nothing",
                     ));
+                }
+                if let Some(prev) = self.symbols.note_mine(line, out, dataset) {
+                    self.push(Diagnostic::warning(
+                        line,
+                        "redefinition",
+                        format!(
+                            "`mine … {out}` already ran at line {prev}; identically-numbered fascicle names will conflict"
+                        ),
+                    ));
+                }
+            }
+            GqlCommand::MineWith {
+                dataset,
+                out,
+                algo,
+                params,
+            } => {
+                self.read_as(line, dataset, World::Enum, "mine");
+                // The parser only accepts registered backends and typed
+                // keys; the *ranges* are validated here, per the backend's
+                // published schema.
+                match gea_mine::backend(algo) {
+                    Some(backend) => {
+                        for (key, value) in params {
+                            let Some(spec) =
+                                backend.params().iter().find(|s| s.key == key.as_str())
+                            else {
+                                self.push(Diagnostic::error(
+                                    line,
+                                    "param-domain",
+                                    format!("backend {algo} has no parameter {key:?}"),
+                                ));
+                                continue;
+                            };
+                            if !spec.domain.contains(value) {
+                                self.push(Diagnostic::error(
+                                    line,
+                                    "param-domain",
+                                    format!(
+                                        "{key} = {value} out of domain for `with {algo}` ({})",
+                                        spec.domain.describe()
+                                    ),
+                                ));
+                            }
+                        }
+                    }
+                    None => {
+                        self.push(Diagnostic::error(
+                            line,
+                            "param-domain",
+                            format!(
+                                "unknown mining backend {algo:?} (available: {})",
+                                gea_mine::backend_names()
+                            ),
+                        ));
+                    }
                 }
                 if let Some(prev) = self.symbols.note_mine(line, out, dataset) {
                     self.push(Diagnostic::warning(
@@ -537,7 +610,22 @@ impl Analyzer {
                     true,
                 );
             }
-            GqlCommand::Load(_) => {
+            GqlCommand::Load(dir) => {
+                // Only meaningful when the script saves at all: a script
+                // restoring externally-produced snapshots is fine, but one
+                // that saves under some paths and loads a different one
+                // has probably misspelled the path.
+                if !self.saved_paths.is_empty() && !self.saved_paths.contains_key(dir) {
+                    let saved: Vec<&str> = self.saved_paths.keys().map(|s| s.as_str()).collect();
+                    self.push(Diagnostic::warning(
+                        line,
+                        "load-unsaved",
+                        format!(
+                            "`load {dir}` restores a path this script never saved (saved: {})",
+                            saved.join(", ")
+                        ),
+                    ));
+                }
                 let lost = self.flow.replaced(line, "load");
                 self.diags.extend(lost);
                 self.symbols.enter_open_world();
@@ -747,6 +835,91 @@ mod tests {
             codes(&report),
             vec![("discarded-by-load", 2, Severity::Warning)]
         );
+    }
+
+    #[test]
+    fn mine_with_is_world_typed_and_domain_checked() {
+        // The `with` form reads an ENUM like bare mine, and registers the
+        // prefix so purity on its numbered outputs resolves.
+        let report = check_script(
+            "load-demo 1\n\
+             dataset E brain\n\
+             mine E f with isa seeds=4\n\
+             purity f_1\n\
+             export E e.csv\n",
+        );
+        assert!(report.is_clean(), "{report:?}");
+        // Mining a SUMY world is a world-type error.
+        let report = check_script(
+            "load-demo 1\n\
+             dataset E brain\n\
+             mine E f 50 3 6\n\
+             groups f_1\n\
+             mine f_1CancerFasTbl g with simplex\n\
+             export E e.csv\n",
+        );
+        assert_eq!(error_codes(&report), vec!["world-mismatch"]);
+        // Out-of-domain values parse (the type is right) but are flagged.
+        let report = check_script(
+            "load-demo 1\n\
+             dataset E brain\n\
+             mine E f with isa seeds=0\n\
+             mine E g with simplex k=0 max_iters=0\n\
+             export E e.csv\n",
+        );
+        assert_eq!(
+            error_codes(&report),
+            vec!["param-domain", "param-domain", "param-domain"]
+        );
+        // Reusing a prefix across backends still warns.
+        let report = check_script(
+            "load-demo 1\n\
+             dataset E brain\n\
+             mine E f 50 3 6\n\
+             mine E f with isa\n\
+             export E e.csv\n",
+        );
+        assert_eq!(codes(&report), vec![("redefinition", 4, Severity::Warning)]);
+    }
+
+    #[test]
+    fn save_collisions_and_unsaved_loads_are_warnings() {
+        // Two saves to one path: the first snapshot is clobbered.
+        let report = check_script(
+            "load-demo 1\n\
+             dataset E brain\n\
+             save /tmp/a\n\
+             dataset F brain\n\
+             save /tmp/a\n\
+             export F f.csv\n\
+             export E e.csv\n",
+        );
+        assert!(report.is_clean());
+        assert_eq!(
+            codes(&report),
+            vec![("save-collision", 5, Severity::Warning)]
+        );
+        // Loading a path the script never saved (while it does save) is
+        // probably a typo.
+        let report = check_script(
+            "load-demo 1\n\
+             dataset E brain\n\
+             export E e.csv\n\
+             save /tmp/a\n\
+             load /tmp/b\n",
+        );
+        assert!(report.is_clean());
+        assert_eq!(codes(&report), vec![("load-unsaved", 5, Severity::Warning)]);
+        // Save-then-load of the same path is the intended round trip.
+        let report = check_script(
+            "load-demo 1\n\
+             dataset E brain\n\
+             export E e.csv\n\
+             save /tmp/a\n\
+             load /tmp/a\n",
+        );
+        assert!(report.is_clean());
+        assert!(codes(&report).is_empty(), "{report:?}");
     }
 
     #[test]

@@ -186,9 +186,15 @@ impl ApproxMem for FascicleRecord {
         string_bytes(&self.name)
             + string_bytes(&self.dataset)
             + string_bytes(&self.sumy_name)
+            + string_bytes(&self.backend)
             + self.members.iter().map(|m| string_bytes(m)).sum::<usize>()
             + self.compact_tags.len() * 4
             + self.purity.len()
+            + self
+                .params
+                .iter()
+                .map(|(k, v)| string_bytes(k) + string_bytes(v))
+                .sum::<usize>()
     }
 }
 

@@ -397,7 +397,18 @@ pub fn describe_node(node: &LineageNode) -> String {
 pub const SNAPSHOT_FILE: &str = "session.gea";
 
 const SNAPSHOT_MAGIC: &[u8; 4] = b"GEAS";
-const SNAPSHOT_VERSION: u32 = 1;
+/// Snapshot format history:
+///
+/// * **v1** — raw body; fascicle records carry no mining provenance.
+/// * **v2** — body is LZSS-compressed ([`lz_compress`]); fascicle records
+///   append the mining backend name and its resolved parameters.
+///
+/// Writers always emit the newest version; the loader accepts both, so
+/// pre-backend snapshots keep restoring (their fascicles report backend
+/// `"fascicles"` with no parameters).
+const SNAPSHOT_VERSION: u32 = 2;
+/// Oldest snapshot version the loader still accepts.
+const SNAPSHOT_MIN_VERSION: u32 = 1;
 /// Strings in the snapshot are capped at 1 MiB, matching the corpus binary
 /// format's own cap.
 const MAX_STR: usize = 1 << 20;
@@ -412,6 +423,140 @@ fn fnv1a(bytes: &[u8]) -> u64 {
         hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
     }
     hash
+}
+
+// ----- LZSS body compression (snapshot v2) --------------------------------
+//
+// Dependency-free and fully deterministic: the encoder keeps a single-slot
+// table of the most recent position of every 3-byte prefix, so identical
+// input always yields identical output (a requirement — the snapshot
+// fingerprint is computed over the *stored* bytes, and re-spilling an
+// unchanged session must reproduce the same fingerprint).
+//
+// Stream layout: `u64 LE raw_len`, then token groups. Each group is one
+// flag byte followed by up to eight tokens, LSB first; a clear bit is a
+// literal byte, a set bit is a match of `u16 LE offset` (distance back,
+// 1..=65535) and `u8 len-3` (match length 3..=258).
+
+const LZ_MIN_MATCH: usize = 3;
+const LZ_MAX_MATCH: usize = 258;
+const LZ_MAX_OFFSET: usize = 65535;
+/// A 3-byte match token can emit at most 258 bytes, so even ignoring flag
+/// bytes a stream cannot expand more than 86×. A claimed raw length beyond
+/// this bound is corruption, rejected before any allocation.
+const LZ_MAX_EXPANSION: usize = 128;
+
+fn lz_key(buf: &[u8], i: usize) -> u32 {
+    u32::from_le_bytes([buf[i], buf[i + 1], buf[i + 2], 0])
+}
+
+fn lz_compress(raw: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(raw.len() / 2 + 16);
+    put_u64(&mut out, raw.len() as u64);
+    let mut table: std::collections::HashMap<u32, usize> = std::collections::HashMap::new();
+    let mut i = 0;
+    while i < raw.len() {
+        let flag_pos = out.len();
+        out.push(0);
+        let mut flags = 0u8;
+        let mut bit = 0;
+        while bit < 8 && i < raw.len() {
+            let mut emitted = false;
+            if i + LZ_MIN_MATCH <= raw.len() {
+                let key = lz_key(raw, i);
+                if let Some(&prev) = table.get(&key) {
+                    let offset = i - prev;
+                    if offset <= LZ_MAX_OFFSET {
+                        let limit = (raw.len() - i).min(LZ_MAX_MATCH);
+                        let mut len = 0;
+                        while len < limit && raw[prev + len] == raw[i + len] {
+                            len += 1;
+                        }
+                        if len >= LZ_MIN_MATCH {
+                            flags |= 1 << bit;
+                            out.extend_from_slice(&(offset as u16).to_le_bytes());
+                            out.push((len - LZ_MIN_MATCH) as u8);
+                            // Refresh the table for every covered position
+                            // so long runs keep finding nearby matches.
+                            let stop = (i + len).min(raw.len().saturating_sub(LZ_MIN_MATCH - 1));
+                            for j in i..stop {
+                                table.insert(lz_key(raw, j), j);
+                            }
+                            i += len;
+                            emitted = true;
+                        }
+                    }
+                }
+                if !emitted {
+                    table.insert(key, i);
+                }
+            }
+            if !emitted {
+                out.push(raw[i]);
+                i += 1;
+            }
+            bit += 1;
+        }
+        out[flag_pos] = flags;
+    }
+    out
+}
+
+/// Bounds-checked LZSS inflate: every malformed stream — truncated tokens,
+/// zero or out-of-window offsets, an implausible claimed length, trailing
+/// garbage — yields [`PersistError::Malformed`], never a panic and never an
+/// attacker-controlled allocation.
+fn lz_inflate(data: &[u8]) -> Result<Vec<u8>, PersistError> {
+    let mut cur = Cur::new(data);
+    let raw_len = cur.u64("compressed body length")?;
+    let raw_len = usize::try_from(raw_len)
+        .map_err(|_| malformed(format!("compressed body length {raw_len} implausible")))?;
+    match cur.remaining().checked_mul(LZ_MAX_EXPANSION) {
+        Some(cap) if raw_len <= cap => {}
+        _ => {
+            return Err(malformed(format!(
+                "compressed body claims {raw_len} bytes from {} stored",
+                cur.remaining()
+            )))
+        }
+    }
+    let mut out = Vec::with_capacity(raw_len);
+    while out.len() < raw_len {
+        let flags = cur.u8("lz flag byte")?;
+        let mut bit = 0;
+        while bit < 8 && out.len() < raw_len {
+            if flags & (1 << bit) != 0 {
+                let offset = u16::from_le_bytes(cur.take(2, "lz match offset")?.try_into().unwrap())
+                    as usize;
+                let len = cur.u8("lz match length")? as usize + LZ_MIN_MATCH;
+                if offset == 0 || offset > out.len() {
+                    return Err(malformed(format!(
+                        "lz match offset {offset} outside {}-byte window",
+                        out.len()
+                    )));
+                }
+                if out.len() + len > raw_len {
+                    return Err(malformed("lz match overruns declared body length"));
+                }
+                // Byte-at-a-time: matches may overlap their own output.
+                let start = out.len() - offset;
+                for j in 0..len {
+                    let b = out[start + j];
+                    out.push(b);
+                }
+            } else {
+                out.push(cur.u8("lz literal")?);
+            }
+            bit += 1;
+        }
+    }
+    if !cur.done() {
+        return Err(malformed(format!(
+            "{} trailing bytes after compressed body",
+            cur.remaining()
+        )));
+    }
+    Ok(out)
 }
 
 fn put_u8(out: &mut Vec<u8>, v: u8) {
@@ -761,7 +906,7 @@ fn read_gap_table(cur: &mut Cur) -> Result<GapTable, PersistError> {
     Ok(GapTable::new(&name, columns, rows))
 }
 
-fn put_fascicle(out: &mut Vec<u8>, rec: &FascicleRecord) {
+fn put_fascicle(out: &mut Vec<u8>, rec: &FascicleRecord, version: u32) {
     put_str(out, &rec.name);
     put_str(out, &rec.dataset);
     put_u32(out, rec.members.len() as u32);
@@ -777,9 +922,17 @@ fn put_fascicle(out: &mut Vec<u8>, rec: &FascicleRecord) {
     for &p in &rec.purity {
         put_u8(out, property_code(p));
     }
+    if version >= 2 {
+        put_str(out, &rec.backend);
+        put_u32(out, rec.params.len() as u32);
+        for (k, v) in &rec.params {
+            put_str(out, k);
+            put_str(out, v);
+        }
+    }
 }
 
-fn read_fascicle(cur: &mut Cur) -> Result<FascicleRecord, PersistError> {
+fn read_fascicle(cur: &mut Cur, version: u32) -> Result<FascicleRecord, PersistError> {
     let name = cur.str_("fascicle name")?;
     let dataset = cur.str_("fascicle dataset")?;
     let n_members = cur.u32("fascicle member count")? as usize;
@@ -801,6 +954,22 @@ fn read_fascicle(cur: &mut Cur) -> Result<FascicleRecord, PersistError> {
     for _ in 0..n_props {
         purity.push(parse_property_code(cur.u8("fascicle purity")?)?);
     }
+    // v1 snapshots predate pluggable backends: everything they mined came
+    // from the original Fascicles path.
+    let (backend, params) = if version >= 2 {
+        let backend = cur.str_("fascicle backend")?;
+        let n_params = cur.u32("fascicle param count")? as usize;
+        cur.ensure_elems(n_params, 8, "fascicle param")?;
+        let mut params = Vec::with_capacity(n_params);
+        for _ in 0..n_params {
+            let k = cur.str_("fascicle param key")?;
+            let v = cur.str_("fascicle param value")?;
+            params.push((k, v));
+        }
+        (backend, params)
+    } else {
+        ("fascicles".to_string(), Vec::new())
+    };
     Ok(FascicleRecord {
         name,
         dataset,
@@ -808,6 +977,8 @@ fn read_fascicle(cur: &mut Cur) -> Result<FascicleRecord, PersistError> {
         compact_tags,
         sumy_name,
         purity,
+        backend,
+        params,
     })
 }
 
@@ -857,7 +1028,7 @@ fn read_report(cur: &mut Cur) -> Result<CleaningReport, PersistError> {
     })
 }
 
-fn encode_session(session: &GeaSession) -> Result<Vec<u8>, PersistError> {
+fn encode_session(session: &GeaSession, version: u32) -> Result<Vec<u8>, PersistError> {
     let mut out = Vec::new();
     put_report(&mut out, session.cleaning_report());
     let mut corpus_blob = Vec::new();
@@ -878,7 +1049,7 @@ fn encode_session(session: &GeaSession) -> Result<Vec<u8>, PersistError> {
     }
     put_u32(&mut out, session.fascicle_records().len() as u32);
     for rec in session.fascicle_records().values() {
-        put_fascicle(&mut out, rec);
+        put_fascicle(&mut out, rec, version);
     }
     let db = session.database();
     put_u32(&mut out, db.len() as u32);
@@ -916,7 +1087,7 @@ pub fn corpus_fingerprint(session: &GeaSession) -> Result<u64, PersistError> {
     Ok(fnv1a(&out))
 }
 
-fn decode_session(body: &[u8]) -> Result<SessionSnapshot, PersistError> {
+fn decode_session(body: &[u8], version: u32) -> Result<SessionSnapshot, PersistError> {
     let mut cur = Cur::new(body);
     let report = read_report(&mut cur)?;
     let corpus_blob = cur.blob("corpus blob")?;
@@ -948,7 +1119,7 @@ fn decode_session(body: &[u8]) -> Result<SessionSnapshot, PersistError> {
     cur.ensure_elems(n_fascicles, 16, "fascicle map entry")?;
     let mut fascicles = std::collections::BTreeMap::new();
     for _ in 0..n_fascicles {
-        let rec = read_fascicle(&mut cur)?;
+        let rec = read_fascicle(&mut cur, version)?;
         fascicles.insert(rec.name.clone(), rec);
     }
     let n_tables = cur.u32("db table count")? as usize;
@@ -996,7 +1167,11 @@ fn decode_session(body: &[u8]) -> Result<SessionSnapshot, PersistError> {
 }
 
 fn write_snapshot_file(session: &GeaSession, path: &Path) -> Result<u64, PersistError> {
-    let body = encode_session(session)?;
+    let raw = encode_session(session, SNAPSHOT_VERSION)?;
+    let body = lz_compress(&raw);
+    // The fingerprint covers the *stored* (compressed) bytes, so integrity
+    // is checked before any decompression of untrusted input — and it only
+    // holds because `lz_compress` is deterministic.
     let fingerprint = fnv1a(&body);
     let mut out = Vec::with_capacity(body.len() + 16);
     out.extend_from_slice(SNAPSHOT_MAGIC);
@@ -1024,7 +1199,7 @@ fn load_session_checked(dir: &Path, expected: Option<u64>) -> Result<GeaSession,
         return Err(malformed("bad magic; not a GEA session snapshot"));
     }
     let version = cur.u32("snapshot version")?;
-    if version != SNAPSHOT_VERSION {
+    if !(SNAPSHOT_MIN_VERSION..=SNAPSHOT_VERSION).contains(&version) {
         return Err(malformed(format!("unsupported snapshot version {version}")));
     }
     let stored = cur.u64("snapshot fingerprint")?;
@@ -1039,7 +1214,13 @@ fn load_session_checked(dir: &Path, expected: Option<u64>) -> Result<GeaSession,
             )));
         }
     }
-    Ok(GeaSession::from_snapshot(decode_session(body)?))
+    // v1 stored the body raw; v2 compresses it.
+    let snapshot = if version >= 2 {
+        decode_session(&lz_inflate(body)?, version)?
+    } else {
+        decode_session(body, version)?
+    };
+    Ok(GeaSession::from_snapshot(snapshot))
 }
 
 /// Restore a full [`GeaSession`] from a directory written by
@@ -1380,6 +1561,104 @@ mod tests {
         ));
         fs::remove_file(&path).unwrap();
         assert!(matches!(load_session(&dir), Err(PersistError::Io(_))));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn lz_roundtrip_is_lossless_and_deterministic() {
+        let cases: Vec<Vec<u8>> = vec![
+            Vec::new(),
+            vec![7],
+            b"abcabcabcabcabcabc".to_vec(),
+            vec![0u8; 10_000],
+            (0..=255u8).cycle().take(4096).collect(),
+            b"no repeats here: qwertyuiop".to_vec(),
+            // Overlapping match territory: run-length data.
+            [b"aaaaab".as_slice(), &[b'a'; 500], b"tail".as_slice()].concat(),
+        ];
+        for raw in &cases {
+            let c1 = lz_compress(raw);
+            let c2 = lz_compress(raw);
+            assert_eq!(c1, c2, "compression must be deterministic");
+            assert_eq!(&lz_inflate(&c1).unwrap(), raw, "roundtrip lost data");
+        }
+        // Redundant data actually shrinks.
+        let zeros = lz_compress(&vec![0u8; 10_000]);
+        assert!(zeros.len() < 1_000, "10k zeros stored as {}", zeros.len());
+    }
+
+    #[test]
+    fn lz_inflate_rejects_garbage_without_panicking() {
+        // Truncated header, implausible raw_len, bad offsets, overruns.
+        assert!(lz_inflate(&[]).is_err());
+        assert!(lz_inflate(&[1, 2, 3]).is_err());
+        let mut huge = Vec::new();
+        put_u64(&mut huge, u64::MAX);
+        assert!(lz_inflate(&huge).is_err());
+        let mut claims_much = Vec::new();
+        put_u64(&mut claims_much, 1_000_000);
+        claims_much.push(0);
+        claims_much.push(b'x');
+        assert!(lz_inflate(&claims_much).is_err());
+        // A match token pointing before the start of output.
+        let mut bad_offset = Vec::new();
+        put_u64(&mut bad_offset, 10);
+        bad_offset.push(0b0000_0001); // first token is a match
+        bad_offset.extend_from_slice(&5u16.to_le_bytes());
+        bad_offset.push(0);
+        assert!(lz_inflate(&bad_offset).is_err());
+        // Fuzz-ish: corrupt every byte of a valid stream in turn.
+        let valid = lz_compress(b"the quick brown fox jumps over the lazy dog, twice over");
+        for i in 0..valid.len() {
+            let mut evil = valid.clone();
+            evil[i] ^= 0xff;
+            let _ = lz_inflate(&evil); // must not panic
+        }
+    }
+
+    #[test]
+    fn v1_snapshots_still_load() {
+        let session = rich_session();
+        let dir = temp_dir("v1compat");
+        fs::create_dir_all(&dir).unwrap();
+        // Hand-write a version-1 snapshot: raw (uncompressed) body in the
+        // v1 fascicle layout, fingerprint over the raw bytes.
+        let body = encode_session(&session, 1).unwrap();
+        let mut out = Vec::new();
+        out.extend_from_slice(SNAPSHOT_MAGIC);
+        put_u32(&mut out, 1);
+        put_u64(&mut out, fnv1a(&body));
+        out.extend_from_slice(&body);
+        fs::write(dir.join(SNAPSHOT_FILE), &out).unwrap();
+
+        let restored = load_session(&dir).unwrap();
+        // Everything except backend provenance round-trips; v1 records
+        // restore with the legacy backend tag and no parameters.
+        assert_eq!(restored.base(), session.base());
+        assert_eq!(restored.enum_tables(), session.enum_tables());
+        assert_eq!(
+            restored.fascicle_records().keys().collect::<Vec<_>>(),
+            session.fascicle_records().keys().collect::<Vec<_>>()
+        );
+        for rec in restored.fascicle_records().values() {
+            assert_eq!(rec.backend, "fascicles");
+            assert!(rec.params.is_empty());
+        }
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn v2_snapshots_carry_backend_provenance() {
+        let session = rich_session();
+        let dir = temp_dir("v2prov");
+        save_session(&session, &dir).unwrap();
+        let restored = load_session(&dir).unwrap();
+        for (name, rec) in restored.fascicle_records() {
+            let orig = &session.fascicle_records()[name];
+            assert_eq!(rec.backend, orig.backend, "{name}: backend lost");
+            assert_eq!(rec.params, orig.params, "{name}: params lost");
+            assert!(!rec.backend.is_empty());
+        }
         fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -167,6 +167,12 @@ pub struct FascicleRecord {
     pub sumy_name: String,
     /// Purity results, filled in by [`GeaSession::purity_check`].
     pub purity: Vec<LibraryProperty>,
+    /// Mining backend that produced it (`fascicles`, `isa`, `simplex`).
+    /// Snapshots written before backends existed restore as `fascicles`.
+    pub backend: String,
+    /// Backend parameters as rendered `(key, value)` pairs — the full
+    /// provenance needed to reproduce the mine that made this fascicle.
+    pub params: Vec<(String, String)>,
 }
 
 /// Names of the three control-group SUMY tables of §4.3.1.2 steps 4–5.
@@ -673,6 +679,55 @@ impl GeaSession {
         table: &EnumTable,
         clusters: Vec<MinedCluster>,
     ) -> Result<Vec<String>, GeaError> {
+        let lineage_params = vec![
+            ("tissue_dataset".to_string(), dataset.to_string()),
+            (
+                "compact_attrs".to_string(),
+                params.min_compact_attrs.to_string(),
+            ),
+            ("width_fraction".to_string(), width_fraction.to_string()),
+            ("batch".to_string(), params.batch_size.to_string()),
+            ("min_size".to_string(), params.min_records.to_string()),
+        ];
+        let backend_params = vec![
+            (
+                "compact_attrs".to_string(),
+                params.min_compact_attrs.to_string(),
+            ),
+            ("width_fraction".to_string(), width_fraction.to_string()),
+            ("batch".to_string(), params.batch_size.to_string()),
+            ("min_size".to_string(), params.min_records.to_string()),
+        ];
+        self.install_mined_clusters(
+            dataset,
+            "Fascicles",
+            lineage_params,
+            "fascicles",
+            backend_params,
+            table,
+            clusters,
+        )
+    }
+
+    /// Backend-generic form of [`GeaSession::install_mined_fascicles`]:
+    /// the same bookkeeping (lineage node, ENUM/SUMY materialization,
+    /// relational table, fascicle record), parameterized over the lineage
+    /// operation label and the backend provenance recorded on each
+    /// fascicle. `gea-exec`'s backend drivers (`isa`, `simplex`) call
+    /// this directly; the Fascicles path delegates here with its historic
+    /// labels, so its lineage and tables are byte-identical to before the
+    /// backend subsystem existed.
+    #[allow(clippy::too_many_arguments)]
+    pub fn install_mined_clusters(
+        &mut self,
+        dataset: &str,
+        operation: &str,
+        lineage_params: Vec<(String, String)>,
+        backend: &str,
+        backend_params: Vec<(String, String)>,
+        table: &EnumTable,
+        clusters: Vec<MinedCluster>,
+    ) -> Result<Vec<String>, GeaError> {
         let parent = self.node(dataset).ok_or_else(|| GeaError::NotFound {
             kind: "ENUM",
             name: dataset.to_string(),
@@ -680,21 +735,11 @@ impl GeaSession {
         let mut names = Vec::with_capacity(clusters.len());
         for cluster in clusters {
             self.check_name_free(&cluster.name)?;
-            let lineage_params = vec![
-                ("tissue_dataset".to_string(), dataset.to_string()),
-                (
-                    "compact_attrs".to_string(),
-                    params.min_compact_attrs.to_string(),
-                ),
-                ("width_fraction".to_string(), width_fraction.to_string()),
-                ("batch".to_string(), params.batch_size.to_string()),
-                ("min_size".to_string(), params.min_records.to_string()),
-            ];
             self.record_node(
                 &cluster.name,
                 NodeKind::Fascicle,
-                "Fascicles",
-                lineage_params,
+                operation,
+                lineage_params.clone(),
                 &[parent],
             )?;
             // The fascicle's ENUM identity: member libraries × compact tags.
@@ -716,6 +761,8 @@ impl GeaSession {
                     .collect(),
                 sumy_name: cluster.name.clone(),
                 purity: Vec::new(),
+                backend: backend.to_string(),
+                params: backend_params.clone(),
             };
             self.db.create_or_replace(
                 &cluster.name,

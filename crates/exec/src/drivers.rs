@@ -18,6 +18,10 @@ use gea_core::populate::{
 };
 use gea_core::sumy::{aggregate_row, aggregate_tags_row, SumyTable};
 use gea_core::{EnumTable, ExecConfig};
+use gea_mine::isa::{converge_seed, dedupe_modules, IsaParams, IsaScores};
+use gea_mine::simplex::{
+    assign_range, clr_embed, groups_from_assignment, kmedoids_with, SimplexParams,
+};
 use gea_relstore::index::intersect_row_lists;
 use gea_sage::library::LibraryId;
 use gea_sage::tag::TagId;
@@ -256,4 +260,67 @@ pub fn mine_sharded(
             .collect::<Vec<_>>()
     });
     (shards.into_iter().flatten().collect(), stats)
+}
+
+/// Sharded [`gea_mine::IsaBackend`]: the z-scored views are built once
+/// (read-only, shared), the *seed range* is partitioned, and each shard
+/// iterates its seeds with the serial [`converge_seed`]. Seeds never
+/// interact, so concatenating the per-shard module lists in shard order is
+/// the serial seed order; the shared [`dedupe_modules`] then collapses
+/// duplicates identically — byte-identical to `IsaBackend::mine`.
+pub fn isa_mine_sharded(
+    table: &EnumTable,
+    base_name: &str,
+    params: &IsaParams,
+    cfg: &ExecConfig,
+) -> (Vec<MinedCluster>, ExecStats) {
+    let scores = IsaScores::build(table);
+    let plan = ShardPlan::new(params.seeds, cfg.shards);
+    let (shards, stats) = run_sharded(cfg, &plan, |_, lo, hi| {
+        (lo..hi)
+            .map(|seed| converge_seed(&scores, seed, params.seeds, params))
+            .collect::<Vec<_>>()
+    });
+    let modules: Vec<_> = shards.into_iter().flatten().collect();
+    let groups = dedupe_modules(modules);
+    let clusters = groups
+        .into_iter()
+        .enumerate()
+        .map(|(i, (records, attrs))| materialize_cluster(table, base_name, i, records, attrs))
+        .collect();
+    (clusters, stats)
+}
+
+/// Sharded [`gea_mine::SimplexBackend`]: medoid initialization and updates
+/// stay serial (they are `O(k·n)` over a handful of medoids and
+/// tie-sensitive); the `O(n·k)` assignment step — [`assign_range`]'s
+/// documented shard seam — is partitioned over the point range each
+/// round. Per-point nearest-medoid decisions are independent, so the
+/// concatenation equals `assign_range(.., 0, n)` comparison for
+/// comparison, and the whole k-medoids trajectory is byte-identical to
+/// the serial `SimplexBackend::mine`. The returned stats sum every
+/// assignment round's parallel section.
+pub fn simplex_mine_sharded(
+    table: &EnumTable,
+    base_name: &str,
+    params: &SimplexParams,
+    cfg: &ExecConfig,
+) -> (Vec<MinedCluster>, ExecStats) {
+    let points = clr_embed(table, params.zero_repl);
+    let plan = ShardPlan::new(points.len(), cfg.shards);
+    let mut total = ExecStats::default();
+    let (assign, medoids) = kmedoids_with(&points, params.k, params.max_iters, |pts, meds| {
+        let (shards, stats) = run_sharded(cfg, &plan, |_, lo, hi| assign_range(pts, meds, lo, hi));
+        total.shards = stats.shards;
+        total.wall_us += stats.wall_us;
+        total.busy_us += stats.busy_us;
+        shards.into_iter().flatten().collect()
+    });
+    let groups = groups_from_assignment(table.n_tags(), medoids.len(), &assign);
+    let clusters = groups
+        .into_iter()
+        .enumerate()
+        .map(|(i, (records, attrs))| materialize_cluster(table, base_name, i, records, attrs))
+        .collect();
+    (clusters, total)
 }

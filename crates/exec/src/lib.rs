@@ -32,13 +32,15 @@ pub mod session_ext;
 pub mod shard;
 
 pub use drivers::{
-    aggregate_sharded, aggregate_tags_sharded, mine_sharded, populate_columnar_sharded,
-    populate_indexed_sharded, populate_scan_sharded, populate_sharded,
+    aggregate_sharded, aggregate_tags_sharded, isa_mine_sharded, mine_sharded,
+    populate_columnar_sharded, populate_indexed_sharded, populate_scan_sharded, populate_sharded,
+    simplex_mine_sharded,
 };
 pub use gea_core::session::{ExecConfig, ExecEvent};
 pub use pool::run_jobs;
 pub use session_ext::{
-    calculate_fascicles_sharded, form_control_groups_sharded, populate_session_sharded,
+    calculate_fascicles_sharded, form_control_groups_sharded, mine_with_backend_sharded,
+    populate_session_sharded,
 };
 pub use shard::ShardPlan;
 

@@ -12,9 +12,15 @@
 use gea_cluster::FascicleParams;
 use gea_core::mine::Miner;
 use gea_core::session::{ControlGroups, GeaError, GeaSession};
+use gea_mine::isa::IsaParams;
+use gea_mine::simplex::SimplexParams;
+use gea_mine::{MineBackend, ResolvedParams};
 use gea_sage::library::LibraryProperty;
 
-use crate::drivers::{aggregate_tags_sharded, mine_sharded, populate_scan_sharded};
+use crate::drivers::{
+    aggregate_tags_sharded, isa_mine_sharded, mine_sharded, populate_scan_sharded,
+    simplex_mine_sharded,
+};
 use crate::ExecStats;
 
 /// [`GeaSession::calculate_fascicles`] with the per-cluster
@@ -39,6 +45,82 @@ pub fn calculate_fascicles_sharded(
     );
     session.note_exec(stats.event("mine"));
     session.install_mined_fascicles(dataset, width_fraction, params, &table, clusters)
+}
+
+/// Run a registry [`MineBackend`] over `dataset` through the sharded
+/// drivers and install the results as fascicles, recording backend
+/// provenance (`backend.name()` plus the resolved parameters) on every
+/// fascicle record. The lineage operation label is the backend name in
+/// title case (`isa` → `ISA`, `simplex` → `Simplex`), so mined tables of
+/// different algorithms are distinguishable in `lineage` output.
+///
+/// The `fascicles` backend routes through
+/// [`calculate_fascicles_sharded`]'s historic path, keeping its lineage
+/// byte-identical to the pre-backend toolkit; `isa` and `simplex` run
+/// their dedicated sharded drivers ([`isa_mine_sharded`],
+/// [`simplex_mine_sharded`]), each byte-identical to the serial
+/// `MineBackend::mine` for every shard × thread configuration.
+pub fn mine_with_backend_sharded(
+    session: &mut GeaSession,
+    dataset: &str,
+    out: &str,
+    backend: &dyn MineBackend,
+    params: &ResolvedParams,
+) -> Result<Vec<String>, GeaError> {
+    let cfg = session.exec_config();
+    match backend.name() {
+        "fascicles" => {
+            let n_tags = session.enum_table(dataset)?.n_tags();
+            let fp = FascicleParams {
+                min_compact_attrs: n_tags * params.uint("k_pct") as usize / 100,
+                min_records: params.uint("min_records") as usize,
+                batch_size: params.uint("batch") as usize,
+            };
+            calculate_fascicles_sharded(session, dataset, out, gea_mine::WIDTH_FRACTION, &fp)
+        }
+        "isa" => {
+            let table = session.enum_table(dataset)?.clone();
+            let (clusters, stats) =
+                isa_mine_sharded(&table, out, &IsaParams::from_resolved(params), &cfg);
+            session.note_exec(stats.event("mine"));
+            install_backend_clusters(session, dataset, "ISA", backend, params, &table, clusters)
+        }
+        "simplex" => {
+            let table = session.enum_table(dataset)?.clone();
+            let (clusters, stats) =
+                simplex_mine_sharded(&table, out, &SimplexParams::from_resolved(params), &cfg);
+            session.note_exec(stats.event("mine"));
+            install_backend_clusters(
+                session, dataset, "Simplex", backend, params, &table, clusters,
+            )
+        }
+        other => Err(GeaError::NotFound {
+            kind: "mining backend",
+            name: other.to_string(),
+        }),
+    }
+}
+
+fn install_backend_clusters(
+    session: &mut GeaSession,
+    dataset: &str,
+    operation: &str,
+    backend: &dyn MineBackend,
+    params: &ResolvedParams,
+    table: &gea_core::EnumTable,
+    clusters: Vec<gea_core::mine::MinedCluster>,
+) -> Result<Vec<String>, GeaError> {
+    let mut lineage_params = vec![("tissue_dataset".to_string(), dataset.to_string())];
+    lineage_params.extend(params.to_strings());
+    session.install_mined_clusters(
+        dataset,
+        operation,
+        lineage_params,
+        backend.name(),
+        params.to_strings(),
+        table,
+        clusters,
+    )
 }
 
 /// [`GeaSession::form_control_groups`] with the three compact-tag

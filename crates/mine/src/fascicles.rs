@@ -1,0 +1,70 @@
+//! The thesis's Fascicles miner, wrapped as mining backend #1. The
+//! algorithm itself stays in `gea-core`/`gea-cluster`; this adapter only
+//! maps the schema (`k_pct`/`min_records`/`batch`) onto [`FascicleParams`]
+//! exactly the way the engine's bare `mine` verb always has: the compact
+//! floor is `n_tags × k_pct / 100` and the tolerance metadata uses the
+//! fixed 10 % width fraction. `mine … with fascicles` therefore desugars
+//! to the classic path with byte-identical results.
+
+use gea_cluster::FascicleParams;
+use gea_core::mine::{generate_metadata, mine, MinedCluster, Miner};
+
+use crate::{MineBackend, MineInput, ParamDomain, ParamSpec, ParamValue};
+
+/// Width fraction the engine has always used for `mine`'s tolerance
+/// metadata (thesis §4.3).
+pub const WIDTH_FRACTION: f64 = 0.10;
+
+/// Backend #1: the thesis's Fascicles algorithm.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FasciclesBackend;
+
+/// Parameter schema shared with the GQL grammar (the bare `mine` verb's
+/// positional `<k%> <min> <batch>` map onto these keys).
+pub const FASCICLES_PARAMS: &[ParamSpec] = &[
+    ParamSpec {
+        key: "k_pct",
+        domain: ParamDomain::UInt { min: 1, max: 100 },
+        default: ParamValue::UInt(50),
+        help: "compact-attribute floor as a percentage of the tag count",
+    },
+    ParamSpec {
+        key: "min_records",
+        domain: ParamDomain::UInt {
+            min: 1,
+            max: 1 << 20,
+        },
+        default: ParamValue::UInt(3),
+        help: "minimum member libraries per fascicle",
+    },
+    ParamSpec {
+        key: "batch",
+        domain: ParamDomain::UInt {
+            min: 1,
+            max: 1 << 20,
+        },
+        default: ParamValue::UInt(6),
+        help: "candidate batch size for the greedy search",
+    },
+];
+
+impl MineBackend for FasciclesBackend {
+    fn name(&self) -> &'static str {
+        "fascicles"
+    }
+
+    fn params(&self) -> &'static [ParamSpec] {
+        FASCICLES_PARAMS
+    }
+
+    fn mine(&self, input: &MineInput<'_>) -> Vec<MinedCluster> {
+        let k_pct = input.params.uint("k_pct") as usize;
+        let miner = Miner::Fascicles(FascicleParams {
+            min_compact_attrs: input.table.n_tags() * k_pct / 100,
+            min_records: input.params.uint("min_records") as usize,
+            batch_size: input.params.uint("batch") as usize,
+        });
+        let tolerance = generate_metadata(input.table, WIDTH_FRACTION);
+        mine(input.table, input.base_name, &miner, Some(&tolerance))
+    }
+}

@@ -1,0 +1,265 @@
+//! Simplex-space clustering of SAGE count compositions (after Simcluster,
+//! Vêncio et al. 2007): libraries live on the simplex (only tag
+//! *proportions* carry signal, not sequencing depth), where the principled
+//! metric is Aitchison's distance — the Euclidean distance between
+//! centered log-ratio (clr) transforms. Zero counts are smoothed away by
+//! an additive replacement `zero_repl` before taking logs.
+//!
+//! Clustering is k-medoids in clr space, written to be **deterministic
+//! with no RNG at all** (unlike the seeded k-means baseline in
+//! `gea-cluster`): the first medoid is the 1-medoid optimum, later
+//! medoids are greedy farthest points, and every arg-min/arg-max breaks
+//! ties toward the lowest index. The assignment step — the `O(n·k)` hot
+//! loop — is expressed as a range function so `gea-exec` can shard it
+//! per medoid assignment without changing a single comparison.
+
+use gea_cluster::distance::euclidean;
+use gea_core::EnumTable;
+
+use crate::ResolvedParams;
+
+/// Resolved simplex parameters (see [`crate::SimplexBackend`] for the
+/// schema).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimplexParams {
+    /// Number of medoids (clamped to the library count).
+    pub k: usize,
+    /// Cap on medoid-update rounds.
+    pub max_iters: usize,
+    /// Additive zero-replacement constant applied to every count before
+    /// the log-ratio transform. Must be strictly positive.
+    pub zero_repl: f64,
+}
+
+impl SimplexParams {
+    /// Extract from a resolved parameter set (panics on schema mismatch —
+    /// impossible for params resolved against [`crate::SimplexBackend`]).
+    pub fn from_resolved(p: &ResolvedParams) -> SimplexParams {
+        SimplexParams {
+            k: p.uint("k") as usize,
+            max_iters: p.uint("max_iters") as usize,
+            zero_repl: p.float("zero_repl"),
+        }
+    }
+}
+
+/// Additive zero replacement: shift every component by `alpha` so the
+/// composition is strictly positive and log-transformable.
+pub fn zero_replace(x: &[f64], alpha: f64) -> Vec<f64> {
+    x.iter().map(|v| v + alpha).collect()
+}
+
+/// Centered log-ratio transform of a strictly positive composition:
+/// `clr(x)_i = ln x_i − mean_j ln x_j`. Closure (rescaling to unit sum)
+/// cancels in the subtraction, so counts can be passed directly.
+pub fn clr(x: &[f64]) -> Vec<f64> {
+    debug_assert!(x.iter().all(|&v| v > 0.0), "clr needs positive parts");
+    let logs: Vec<f64> = x.iter().map(|v| v.ln()).collect();
+    let mean = logs.iter().sum::<f64>() / logs.len().max(1) as f64;
+    logs.iter().map(|l| l - mean).collect()
+}
+
+/// Aitchison distance between two strictly positive compositions: the
+/// Euclidean distance of their clr transforms. Scale-invariant in each
+/// argument, permutation- and perturbation-invariant as a metric.
+pub fn aitchison(a: &[f64], b: &[f64]) -> f64 {
+    euclidean(&clr(a), &clr(b))
+}
+
+/// Embed every library of `table` into clr space: smooth its count column
+/// with `zero_repl`, then clr-transform. Row `l` is library `l`.
+pub fn clr_embed(table: &EnumTable, zero_repl: f64) -> Vec<Vec<f64>> {
+    table
+        .matrix
+        .library_ids()
+        .map(|l| clr(&zero_replace(&table.matrix.library_column(l), zero_repl)))
+        .collect()
+}
+
+/// Deterministic medoid seeding: the first medoid is the point minimizing
+/// total distance to all points (the exact 1-medoid solution); each later
+/// medoid is the point farthest from its nearest existing medoid. All
+/// ties break toward the lowest index.
+pub fn init_medoids(points: &[Vec<f64>], k: usize) -> Vec<usize> {
+    let n = points.len();
+    if n == 0 || k == 0 {
+        return Vec::new();
+    }
+    let mut best = 0;
+    let mut best_total = f64::INFINITY;
+    for i in 0..n {
+        let total: f64 = points.iter().map(|p| euclidean(&points[i], p)).sum();
+        if total < best_total {
+            best_total = total;
+            best = i;
+        }
+    }
+    let mut medoids = vec![best];
+    let mut nearest: Vec<f64> = points.iter().map(|p| euclidean(p, &points[best])).collect();
+    while medoids.len() < k.min(n) {
+        let mut far = 0;
+        let mut far_d = f64::NEG_INFINITY;
+        for (i, &d) in nearest.iter().enumerate() {
+            if !medoids.contains(&i) && d > far_d {
+                far_d = d;
+                far = i;
+            }
+        }
+        medoids.push(far);
+        for (i, d) in nearest.iter_mut().enumerate() {
+            *d = d.min(euclidean(&points[i], &points[far]));
+        }
+    }
+    medoids
+}
+
+/// Assign points `lo..hi` to their nearest medoid (ties toward the
+/// lower medoid index). This is the shardable hot loop: the sharded
+/// driver calls it per range, the serial path with `0..n`.
+pub fn assign_range(points: &[Vec<f64>], medoids: &[usize], lo: usize, hi: usize) -> Vec<usize> {
+    (lo..hi)
+        .map(|i| {
+            let mut best = 0;
+            let mut best_d = f64::INFINITY;
+            for (c, &m) in medoids.iter().enumerate() {
+                let d = euclidean(&points[i], &points[m]);
+                if d < best_d {
+                    best_d = d;
+                    best = c;
+                }
+            }
+            best
+        })
+        .collect()
+}
+
+/// Recompute each cluster's medoid: the member minimizing the summed
+/// distance to its co-members (ties toward the lowest index; an emptied
+/// cluster keeps its previous medoid so `k` never silently shrinks).
+pub fn update_medoids(points: &[Vec<f64>], medoids: &[usize], assign: &[usize]) -> Vec<usize> {
+    medoids
+        .iter()
+        .enumerate()
+        .map(|(c, &old)| {
+            let members: Vec<usize> = (0..points.len()).filter(|&i| assign[i] == c).collect();
+            let mut best = old;
+            let mut best_total = f64::INFINITY;
+            for &i in &members {
+                let total: f64 = members
+                    .iter()
+                    .map(|&j| euclidean(&points[i], &points[j]))
+                    .sum();
+                if total < best_total {
+                    best_total = total;
+                    best = i;
+                }
+            }
+            best
+        })
+        .collect()
+}
+
+/// k-medoids with a pluggable assignment step. `assign_all` must be
+/// observationally identical to `assign_range(points, medoids, 0, n)` —
+/// the sharded driver passes a fan-out that satisfies this by
+/// construction, so serial and sharded runs agree byte-for-byte.
+pub fn kmedoids_with(
+    points: &[Vec<f64>],
+    k: usize,
+    max_iters: usize,
+    mut assign_all: impl FnMut(&[Vec<f64>], &[usize]) -> Vec<usize>,
+) -> (Vec<usize>, Vec<usize>) {
+    if points.is_empty() {
+        return (Vec::new(), Vec::new());
+    }
+    let mut medoids = init_medoids(points, k.max(1));
+    let mut assign = assign_all(points, &medoids);
+    for _ in 0..max_iters {
+        let next = update_medoids(points, &medoids, &assign);
+        if next == medoids {
+            break;
+        }
+        medoids = next;
+        assign = assign_all(points, &medoids);
+    }
+    (assign, medoids)
+}
+
+/// Convert an assignment into mining groups: one `(libraries, tags)` pair
+/// per non-empty cluster in medoid order. Like the k-means/hierarchical
+/// baselines, every tag is reported compact — the simplex metric has no
+/// per-tag compactness notion.
+pub fn groups_from_assignment(
+    n_tags: usize,
+    n_medoids: usize,
+    assign: &[usize],
+) -> Vec<(Vec<usize>, Vec<usize>)> {
+    let all_tags: Vec<usize> = (0..n_tags).collect();
+    (0..n_medoids)
+        .filter_map(|c| {
+            let members: Vec<usize> = (0..assign.len()).filter(|&i| assign[i] == c).collect();
+            if members.is_empty() {
+                None
+            } else {
+                Some((members, all_tags.clone()))
+            }
+        })
+        .collect()
+}
+
+/// Run simplex clustering end to end over a table, serially. Returns
+/// `(libraries, tags)` groups ready for materialization.
+pub fn mine_groups(table: &EnumTable, params: &SimplexParams) -> Vec<(Vec<usize>, Vec<usize>)> {
+    let points = clr_embed(table, params.zero_repl);
+    let (assign, medoids) = kmedoids_with(&points, params.k, params.max_iters, |pts, meds| {
+        assign_range(pts, meds, 0, pts.len())
+    });
+    groups_from_assignment(table.n_tags(), medoids.len(), &assign)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aitchison_is_scale_invariant() {
+        let a = vec![1.0, 2.0, 3.0];
+        let b = vec![3.0, 1.0, 1.0];
+        let scaled: Vec<f64> = a.iter().map(|v| v * 7.0).collect();
+        assert!((aitchison(&a, &b) - aitchison(&scaled, &b)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn kmedoids_separates_two_blobs() {
+        // Two tight compositions far apart on the simplex.
+        let mut points = Vec::new();
+        for i in 0..4 {
+            points.push(clr(&[100.0 + i as f64, 1.0, 1.0]));
+        }
+        for i in 0..4 {
+            points.push(clr(&[1.0, 100.0 + i as f64, 1.0]));
+        }
+        let (assign, medoids) =
+            kmedoids_with(&points, 2, 20, |p, m| assign_range(p, m, 0, p.len()));
+        assert_eq!(medoids.len(), 2);
+        assert!(assign[..4].iter().all(|&c| c == assign[0]));
+        assert!(assign[4..].iter().all(|&c| c == assign[4]));
+        assert_ne!(assign[0], assign[4]);
+    }
+
+    #[test]
+    fn k_is_clamped_to_point_count() {
+        let points = vec![clr(&[1.0, 2.0]), clr(&[5.0, 1.0])];
+        let (assign, medoids) =
+            kmedoids_with(&points, 10, 20, |p, m| assign_range(p, m, 0, p.len()));
+        assert_eq!(medoids.len(), 2);
+        assert_eq!(assign.len(), 2);
+    }
+
+    #[test]
+    fn empty_input_yields_no_clusters() {
+        let (assign, medoids) = kmedoids_with(&[], 3, 10, |p, m| assign_range(p, m, 0, p.len()));
+        assert!(assign.is_empty() && medoids.is_empty());
+        assert!(groups_from_assignment(4, 0, &[]).is_empty());
+    }
+}

@@ -356,6 +356,43 @@ pub fn execute_write(session: &mut GeaSession, cmd: &GqlCommand) -> Result<Strin
             }
             text
         }
+        GqlCommand::MineWith {
+            dataset,
+            out,
+            algo,
+            params,
+        } => {
+            // Pluggable mining backends (`with isa`, `with simplex`, …):
+            // look the algorithm up in the gea-mine registry, resolve the
+            // key=value parameters against its typed schema, and run the
+            // backend's sharded driver. (`with fascicles` never reaches
+            // here — the parser desugars it to the bare `Mine` arm above,
+            // keeping that path byte-identical to the historic toolkit.)
+            let backend = gea_mine::backend(algo).ok_or_else(|| {
+                EngineError::new(
+                    "EQUERY",
+                    format!(
+                        "unknown mining backend {algo:?}; available: {}",
+                        gea_mine::backend_names()
+                    ),
+                )
+            })?;
+            let resolved = gea_mine::resolve_params(backend.params(), params)
+                .map_err(|e| EngineError::new("EQUERY", e))?;
+            let names =
+                gea_exec::mine_with_backend_sharded(session, dataset, out, backend, &resolved)?;
+            let mut text = format!("{} cluster(s) via {algo}:\n", names.len());
+            for f in names {
+                let r = session.fascicle(&f).unwrap();
+                let _ = writeln!(
+                    text,
+                    "  {f}: {} libraries, {} compact tags",
+                    r.members.len(),
+                    r.compact_tags.len()
+                );
+            }
+            text
+        }
         GqlCommand::Groups(fascicle) => {
             let groups =
                 gea_exec::form_control_groups_sharded(session, fascicle, LibraryProperty::Cancer)?;

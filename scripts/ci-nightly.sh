@@ -37,6 +37,12 @@ step "serial-vs-sharded speedup (release) -> BENCH_parallel.json"
 # runners and is not a failure.
 cargo run --release -p gea-bench --bin parallel -- --threads 4
 
+step "mining-backend comparison (release) -> BENCH_mine_backends.json"
+# Every registry backend (fascicles/isa/simplex), serial vs its sharded
+# driver on the same corpus. Exits non-zero if any backend's sharded
+# output diverges from serial.
+cargo run --release -p gea-bench --bin mine_backends -- --threads 4
+
 printf '\nNightly lane passed.\n'
 
 # ----- sanitizer / interpreter lanes (need extra nightly components; -----

@@ -26,17 +26,21 @@ cargo test -q --workspace
 # rejected — so the checker's gate provably fires in both directions.
 step "gea-check lint: example GQL scripts"
 ./target/release/gea-cli --check examples/scripts/brain_case_study.gql
+./target/release/gea-cli --check examples/scripts/mine_backends.gql
 if ./target/release/gea-cli --check examples/scripts/ill_typed.gql; then
     echo "ill_typed.gql passed the checker but must be rejected" >&2
     exit 1
 fi
 
 # The gea-exec byte-identity contract, property-tested over randomized
-# corpora for every pinned shard/thread combination. Runs as part of the
-# workspace suite too; the explicit step keeps a determinism regression
-# from hiding inside a long test log.
+# corpora for every pinned shard/thread combination — including the
+# isa/simplex mining-backend drivers — plus the backend subsystem's
+# end-to-end suite (engine routing, `with fascicles` sugar equivalence,
+# provenance through save/spill/load). Runs as part of the workspace
+# suite too; the explicit step keeps a determinism regression from
+# hiding inside a long test log.
 step "sharded-execution determinism property suite"
-cargo test -q --test exec_determinism
+cargo test -q --test exec_determinism --test mine_backends
 
 step "cargo fmt --all --check"
 cargo fmt --all --check

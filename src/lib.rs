@@ -18,6 +18,10 @@
 //!   range indexing;
 //! * [`cluster`] — the Fascicles algorithm and baseline clusterers;
 //! * [`core`] — the GEA algebra, session, lineage and search operations;
+//! * [`mine`] — the pluggable mining-backend subsystem: the
+//!   [`MineBackend`](gea_mine::MineBackend) trait, its typed parameter
+//!   schemas, and the `fascicles`/`isa`/`simplex` registry behind GQL's
+//!   `mine … with <algo>`;
 //! * [`exec`] — the sharded parallel execution engine (byte-identical
 //!   fan-out of `mine`/`populate`/`aggregate` over a scoped thread pool);
 //! * [`check`] — the world-typed static analyzer for GQL scripts (and the
@@ -56,6 +60,7 @@ pub use gea_check as check;
 pub use gea_cluster as cluster;
 pub use gea_core as core;
 pub use gea_exec as exec;
+pub use gea_mine as mine;
 pub use gea_relstore as relstore;
 pub use gea_sage as sage;
 pub use gea_server as server;

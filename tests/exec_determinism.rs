@@ -15,9 +15,12 @@ use gea::core::populate::{
 use gea::core::sumy::aggregate;
 use gea::core::{EnumTable, ExecConfig};
 use gea::exec::{
-    aggregate_sharded, mine_sharded, populate_columnar_sharded, populate_indexed_sharded,
-    populate_scan_sharded, populate_sharded,
+    aggregate_sharded, isa_mine_sharded, mine_sharded, populate_columnar_sharded,
+    populate_indexed_sharded, populate_scan_sharded, populate_sharded, simplex_mine_sharded,
 };
+use gea::mine::isa::IsaParams;
+use gea::mine::simplex::SimplexParams;
+use gea::mine::{backend, resolve_params, MineInput, ParamValue};
 use gea::sage::corpus::library_meta;
 use gea::sage::library::{LibraryId, NeoplasticState, TissueSource};
 use gea::sage::tag::{Tag, TagUniverse};
@@ -146,6 +149,62 @@ proptest! {
             prop_assert!(
                 clusters_identical(&serial, &sharded),
                 "mine diverged at shards={} threads={}: {:?} vs {:?}",
+                shards, threads, serial, sharded
+            );
+        }
+    }
+
+    /// The ISA backend's sharded driver (seed-range fan-out) against the
+    /// serial `MineBackend::mine`, over the full shard × thread grid.
+    #[test]
+    fn isa_sharded_is_byte_identical(
+        values in matrix_values(),
+        seeds in 1u64..9,
+        t_tags in 0.3f64..2.0,
+        t_libs in 0.3f64..2.0,
+    ) {
+        let table = small_enum(values);
+        let isa = backend("isa").unwrap();
+        let given = vec![
+            ("seeds".to_string(), ParamValue::UInt(seeds)),
+            ("t_tags".to_string(), ParamValue::Float(t_tags)),
+            ("t_libs".to_string(), ParamValue::Float(t_libs)),
+        ];
+        let resolved = resolve_params(isa.params(), &given).unwrap();
+        let serial = isa.mine(&MineInput { table: &table, base_name: "m", params: &resolved });
+        let params = IsaParams::from_resolved(&resolved);
+        for &(shards, threads) in GRID {
+            let (sharded, _) = isa_mine_sharded(&table, "m", &params, &exec(shards, threads));
+            prop_assert!(
+                clusters_identical(&serial, &sharded),
+                "isa diverged at shards={} threads={}: {:?} vs {:?}",
+                shards, threads, serial, sharded
+            );
+        }
+    }
+
+    /// The simplex backend's sharded driver (per-round assignment
+    /// fan-out) against the serial `MineBackend::mine`, over the grid.
+    #[test]
+    fn simplex_sharded_is_byte_identical(
+        values in matrix_values(),
+        k in 1u64..5,
+        zero_repl in 0.05f64..2.0,
+    ) {
+        let table = small_enum(values);
+        let simplex = backend("simplex").unwrap();
+        let given = vec![
+            ("k".to_string(), ParamValue::UInt(k)),
+            ("zero_repl".to_string(), ParamValue::Float(zero_repl)),
+        ];
+        let resolved = resolve_params(simplex.params(), &given).unwrap();
+        let serial = simplex.mine(&MineInput { table: &table, base_name: "m", params: &resolved });
+        let params = SimplexParams::from_resolved(&resolved);
+        for &(shards, threads) in GRID {
+            let (sharded, _) = simplex_mine_sharded(&table, "m", &params, &exec(shards, threads));
+            prop_assert!(
+                clusters_identical(&serial, &sharded),
+                "simplex diverged at shards={} threads={}: {:?} vs {:?}",
                 shards, threads, serial, sharded
             );
         }
