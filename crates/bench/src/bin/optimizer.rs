@@ -1,0 +1,66 @@
+//! Emit `BENCH_optimizer.json`: rewrites applied, cache hit-rate delta
+//! from key unification, and end-to-end latency (optimized vs literal
+//! serial) on the shipped example scripts.
+//!
+//! ```text
+//! optimizer [--fast] [--seed N] [--out PATH]
+//! ```
+//!
+//! `--fast` runs a single repetition (the CI shape); `--out` overrides
+//! the output path (default `BENCH_optimizer.json` in the working
+//! directory). Exits non-zero if any optimized transcript differs from
+//! literal serial execution — the bench doubles as an end-to-end
+//! equivalence check on the real example scripts.
+
+use gea_bench::optimizer::{run, to_json, OptimizerConfig};
+
+fn usage() -> ! {
+    eprintln!("usage: optimizer [--fast] [--seed N] [--out PATH]");
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut cfg = OptimizerConfig::default();
+    let mut out_path = String::from("BENCH_optimizer.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        match flag.as_str() {
+            "--fast" => cfg.repetitions = OptimizerConfig::fast().repetitions,
+            "--seed" => match args.next().map(|v| v.parse()) {
+                Some(Ok(n)) => cfg.seed = n,
+                _ => usage(),
+            },
+            "--out" => match args.next() {
+                Some(p) => out_path = p,
+                None => usage(),
+            },
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown flag {other:?}");
+                usage()
+            }
+        }
+    }
+
+    eprintln!(
+        "optimizer: seed {}, {} repetition(s)",
+        cfg.seed, cfg.repetitions
+    );
+    let rows = run(&cfg);
+    for r in &rows {
+        eprintln!(
+            "optimizer: {:>17}  {:>2} cmds  {} rewrites  serial {:8.1} ms  optimized {:8.1} ms  speedup {:5.2}x  hit-rate delta {:+.4}  identical {}",
+            r.script, r.commands, r.rewrites, r.serial_ms, r.optimized_ms, r.speedup, r.hit_rate_delta, r.identical
+        );
+    }
+    let json = to_json(&cfg, &rows);
+    if let Err(e) = std::fs::write(&out_path, &json) {
+        eprintln!("optimizer: writing {out_path}: {e}");
+        std::process::exit(1);
+    }
+    eprintln!("optimizer: wrote {out_path}");
+    if !rows.iter().all(|r| r.identical) {
+        eprintln!("optimizer: EQUIVALENCE FAILURE — optimized transcript differs from serial");
+        std::process::exit(1);
+    }
+}

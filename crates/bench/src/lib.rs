@@ -9,6 +9,7 @@
 
 pub mod baselines;
 pub mod mine_backends;
+pub mod optimizer;
 pub mod parallel;
 pub mod populate_experiment;
 pub mod workloads;

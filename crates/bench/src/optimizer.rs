@@ -1,0 +1,245 @@
+//! The optimizer experiment behind `BENCH_optimizer.json`: what `gea-opt`
+//! buys on the shipped example scripts.
+//!
+//! Three measurements per script:
+//!
+//! * **rewrites** — how many plan rewrites fire (fusions + self-compare
+//!   fast paths);
+//! * **end-to-end latency** — wall-clock of executing the script's GQL
+//!   commands on a fresh demo session, literal serial vs optimized plan,
+//!   continue-on-error (the REPL/server mode). The bench doubles as an
+//!   equivalence check: the two transcripts (and post-run lineage) must be
+//!   byte-identical or the run fails;
+//! * **cache hit-rate delta** — a lint workload model: every command is
+//!   `check`-linted twice, once as written and once in its algebraically
+//!   canonical spelling (as a normalizing client would). Baseline keys
+//!   (`canonical()`) treat the spellings as distinct entries; unified keys
+//!   ([`gea_opt::cache_key`]) share one. The delta is the hit-rate gain
+//!   from key unification — zero for scripts with no canonicalizable
+//!   command, positive as soon as one appears.
+
+use std::collections::BTreeSet;
+use std::time::Instant;
+
+use gea_check::gql::{parse, GqlCommand, Request};
+use gea_core::session::GeaSession;
+use gea_sage::clean::CleaningConfig;
+use gea_sage::generate::{generate, GeneratorConfig};
+use gea_server::{engine, optexec};
+
+/// Experiment shape.
+#[derive(Debug, Clone)]
+pub struct OptimizerConfig {
+    /// Demo-corpus seed the sessions open from.
+    pub seed: u64,
+    /// Timed repetitions per arm; the minimum is reported.
+    pub repetitions: usize,
+}
+
+impl Default for OptimizerConfig {
+    fn default() -> OptimizerConfig {
+        OptimizerConfig {
+            seed: 42,
+            repetitions: 3,
+        }
+    }
+}
+
+impl OptimizerConfig {
+    /// The seconds-scale CI shape: a single repetition.
+    pub fn fast() -> OptimizerConfig {
+        OptimizerConfig {
+            repetitions: 1,
+            ..OptimizerConfig::default()
+        }
+    }
+}
+
+/// One script's measurements.
+#[derive(Debug)]
+pub struct ScriptRow {
+    /// Script name (file stem under `examples/scripts/`).
+    pub script: &'static str,
+    /// GQL commands executed (session-control lines excluded).
+    pub commands: usize,
+    /// Rewrites the optimizer applied to the pipeline.
+    pub rewrites: usize,
+    /// Literal serial execution, best-of-N wall-clock.
+    pub serial_ms: f64,
+    /// Optimized-plan execution, best-of-N wall-clock.
+    pub optimized_ms: f64,
+    /// `serial_ms / optimized_ms`.
+    pub speedup: f64,
+    /// Whether the two transcripts (and lineage) were byte-identical.
+    pub identical: bool,
+    /// Lint-workload cache hit rate with plain `canonical()` keys.
+    pub baseline_hit_rate: f64,
+    /// Lint-workload cache hit rate with unified optimizer keys.
+    pub unified_hit_rate: f64,
+    /// `unified_hit_rate - baseline_hit_rate`.
+    pub hit_rate_delta: f64,
+}
+
+/// The scripts under test, embedded so the bench binary is relocatable.
+pub const SCRIPTS: &[(&str, &str)] = &[
+    (
+        "brain_case_study",
+        include_str!("../../../examples/scripts/brain_case_study.gql"),
+    ),
+    (
+        "optimizer_demo",
+        include_str!("../../../examples/scripts/optimizer_demo.gql"),
+    ),
+];
+
+/// The GQL commands of a script (comments and session-control lines are
+/// not part of the measured pipeline).
+pub fn script_commands(text: &str) -> Vec<GqlCommand> {
+    text.lines()
+        .filter_map(|l| match parse(l.trim()) {
+            Ok(Some(Request::Gql(cmd))) => Some(cmd),
+            _ => None,
+        })
+        .collect()
+}
+
+fn open_session(seed: u64) -> GeaSession {
+    let (corpus, _) = generate(&GeneratorConfig::demo(seed));
+    GeaSession::open(corpus, &CleaningConfig::default()).expect("demo session")
+}
+
+fn transcript(outputs: &optexec::StepOutputs) -> Vec<String> {
+    outputs
+        .iter()
+        .map(|(i, r)| match r {
+            Ok(reply) => format!("{i} OK {reply}"),
+            Err(e) => format!("{i} ERR {} {}", e.code, e.message),
+        })
+        .collect()
+}
+
+fn lineage(session: &GeaSession) -> String {
+    engine::execute_read(session, &GqlCommand::Lineage).unwrap_or_default()
+}
+
+/// Hit rate of the lint workload under one key scheme: each command is
+/// linted as written and again in its canonical algebraic spelling; a
+/// repeat key is a hit.
+fn lint_hit_rate(cmds: &[GqlCommand], key: impl Fn(&GqlCommand) -> String) -> f64 {
+    let mut seen = BTreeSet::new();
+    let mut hits = 0usize;
+    let mut total = 0usize;
+    for cmd in cmds {
+        for spelling in [cmd.clone(), gea_opt::canonicalize_cmd(cmd)] {
+            let k = key(&GqlCommand::Check(vec![spelling]));
+            total += 1;
+            if !seen.insert(k) {
+                hits += 1;
+            }
+        }
+    }
+    if total == 0 {
+        0.0
+    } else {
+        hits as f64 / total as f64
+    }
+}
+
+/// Run the experiment over every embedded script.
+pub fn run(cfg: &OptimizerConfig) -> Vec<ScriptRow> {
+    let mut rows = Vec::new();
+    for (name, text) in SCRIPTS {
+        let cmds = script_commands(text);
+        let plan = gea_opt::optimize(&cmds);
+
+        let mut serial_ms = f64::MAX;
+        let mut optimized_ms = f64::MAX;
+        let mut identical = true;
+        for _ in 0..cfg.repetitions.max(1) {
+            let mut plain = open_session(cfg.seed);
+            let start = Instant::now();
+            let want: optexec::StepOutputs = cmds
+                .iter()
+                .enumerate()
+                .map(|(i, c)| (i, engine::execute(&mut plain, c)))
+                .collect();
+            serial_ms = serial_ms.min(start.elapsed().as_secs_f64() * 1e3);
+
+            let mut opt = open_session(cfg.seed);
+            let start = Instant::now();
+            let got = optexec::run_plan(&mut opt, &plan, false);
+            optimized_ms = optimized_ms.min(start.elapsed().as_secs_f64() * 1e3);
+
+            identical &= transcript(&want) == transcript(&got) && lineage(&plain) == lineage(&opt);
+        }
+
+        let baseline = lint_hit_rate(&cmds, |c| c.canonical());
+        let unified = lint_hit_rate(&cmds, gea_opt::cache_key);
+        rows.push(ScriptRow {
+            script: name,
+            commands: cmds.len(),
+            rewrites: plan.rewrites.len(),
+            serial_ms,
+            optimized_ms,
+            speedup: serial_ms / optimized_ms.max(1e-9),
+            identical,
+            baseline_hit_rate: baseline,
+            unified_hit_rate: unified,
+            hit_rate_delta: unified - baseline,
+        });
+    }
+    rows
+}
+
+/// Render the rows as the `BENCH_optimizer.json` document.
+pub fn to_json(cfg: &OptimizerConfig, rows: &[ScriptRow]) -> String {
+    let mut out = String::from("{\n");
+    out.push_str("  \"experiment\": \"optimizer\",\n");
+    out.push_str(&format!("  \"seed\": {},\n", cfg.seed));
+    out.push_str(&format!("  \"repetitions\": {},\n", cfg.repetitions));
+    out.push_str("  \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"script\": \"{}\", \"commands\": {}, \"rewrites\": {}, \
+             \"serial_ms\": {:.3}, \"optimized_ms\": {:.3}, \"speedup\": {:.3}, \
+             \"identical\": {}, \"baseline_hit_rate\": {:.4}, \
+             \"unified_hit_rate\": {:.4}, \"hit_rate_delta\": {:.4}}}{}\n",
+            r.script,
+            r.commands,
+            r.rewrites,
+            r.serial_ms,
+            r.optimized_ms,
+            r.speedup,
+            r.identical,
+            r.baseline_hit_rate,
+            r.unified_hit_rate,
+            r.hit_rate_delta,
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fast_run_is_identical_and_renders() {
+        let cfg = OptimizerConfig::fast();
+        let rows = run(&cfg);
+        assert_eq!(rows.len(), SCRIPTS.len());
+        assert!(rows.iter().all(|r| r.identical), "{rows:?}");
+        // The demo script is the one engineered to rewrite heavily and to
+        // contain a canonicalizable spelling (union-of-self), so key
+        // unification must gain hit rate there.
+        let demo = rows.iter().find(|r| r.script == "optimizer_demo").unwrap();
+        assert!(demo.rewrites >= 5, "{demo:?}");
+        assert!(demo.hit_rate_delta > 0.0, "{demo:?}");
+        let json = to_json(&cfg, &rows);
+        for (name, _) in SCRIPTS {
+            assert!(json.contains(&format!("\"script\": \"{name}\"")), "{json}");
+        }
+    }
+}

@@ -183,6 +183,63 @@ pub fn compare_gaps(
     Some(combined.select(name, |r| query.matches(r)))
 }
 
+/// The optimizer's probe-free fast path for `compare(g, g, op, query)` —
+/// a comparison of a GAP table with itself.
+///
+/// Exactly equivalent to [`compare_gaps`]`(name, g, g, op, query)` without
+/// building the second operand view or binary-searching `row_for`:
+///
+/// * **Union ≡ Intersect on self.** Every tag matches itself (`GapTable`
+///   construction asserts tag uniqueness), so `gap_union`'s second loop
+///   (tags only in the second operand) contributes nothing and both ops
+///   produce the input rows with their gap columns doubled — the same
+///   qualified column set, in the same sorted row order.
+/// * **Difference on self is empty.** Every tag of the first operand occurs
+///   in the second, so `gap_minus` keeps nothing; the result still carries
+///   the first operand's (unqualified) columns.
+///
+/// Returns `None` exactly when [`compare_gaps`] would: the query does not
+/// apply to the op. Audited for byte-identical downstream output in
+/// `tests/opt_audit.rs`.
+pub fn compare_gaps_self(
+    name: &str,
+    g: &GapTable,
+    op: CompareOp,
+    query: CompareQuery,
+) -> Option<GapTable> {
+    if !query.applies_to(op) {
+        return None;
+    }
+    let combined = match op {
+        CompareOp::Difference => GapTable::new(name, g.columns.clone(), Vec::new()),
+        CompareOp::Union | CompareOp::Intersect => {
+            // combined_columns(g, g): both operands qualify as the same
+            // source table.
+            let mut columns = Vec::with_capacity(g.columns.len() * 2);
+            for _ in 0..2 {
+                for c in &g.columns {
+                    columns.push(format!("{}.{}", g.name, c));
+                }
+            }
+            let rows = g
+                .rows()
+                .iter()
+                .map(|r| {
+                    let mut gaps = r.gaps.clone();
+                    gaps.extend_from_slice(&r.gaps);
+                    GapRow {
+                        tag: r.tag,
+                        tag_no: r.tag_no,
+                        gaps,
+                    }
+                })
+                .collect();
+            GapTable::new(name, columns, rows)
+        }
+    };
+    Some(combined.select(name, |r| query.matches(r)))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -375,6 +432,30 @@ mod tests {
     fn all_queries_have_descriptions() {
         for q in CompareQuery::ALL {
             assert!(!q.description().is_empty());
+        }
+    }
+
+    #[test]
+    fn self_fast_path_matches_general_compare_for_every_op_and_query() {
+        let (brain, _) = brain_and_breast();
+        for op in [
+            CompareOp::Union,
+            CompareOp::Intersect,
+            CompareOp::Difference,
+        ] {
+            for q in CompareQuery::ALL {
+                let slow = compare_gaps("c", &brain, &brain, op, q);
+                let fast = compare_gaps_self("c", &brain, op, q);
+                match (slow, fast) {
+                    (None, None) => {}
+                    (Some(s), Some(f)) => {
+                        assert_eq!(s.name, f.name, "{op:?} {q:?}");
+                        assert_eq!(s.columns, f.columns, "{op:?} {q:?}");
+                        assert_eq!(s.rows(), f.rows(), "{op:?} {q:?}");
+                    }
+                    (s, f) => panic!("{op:?} {q:?}: applicability diverged: {s:?} vs {f:?}"),
+                }
+            }
         }
     }
 }

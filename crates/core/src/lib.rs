@@ -54,7 +54,7 @@ pub mod sumy;
 pub mod topgap;
 pub mod xprofiler;
 
-pub use compare::{CompareOp, CompareQuery};
+pub use compare::{compare_gaps, compare_gaps_self, CompareOp, CompareQuery};
 pub use enum_table::EnumTable;
 pub use gap::{diff, GapTable};
 pub use interval::{AllenRelation, Interval};

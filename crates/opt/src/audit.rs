@@ -1,0 +1,229 @@
+//! Shape enumeration and tombstone application for the rule audit.
+//!
+//! The ruler recipe: enumerate small term shapes, run every candidate rule
+//! through an observational-equivalence oracle, ship survivors, keep the
+//! refuted candidates as tombstones with a test proving they stay refuted.
+//! The oracle itself lives in `tests/opt_audit.rs` (wire-level byte identity
+//! against unoptimized serial execution); this module owns the enumeration
+//! so the `#[test]` battery and the nightly bench bin share one shape set.
+
+use crate::{TOMB_COMMUTE_COMPARE, TOMB_DROP_SELF_MINUS, TOMB_HOIST_SELECT};
+use gea_check::gql::GqlCommand;
+use gea_core::{CompareOp, CompareQuery};
+
+/// Query numbers exercised by the kick-tires audit tier: one per
+/// `matches()` equivalence class that is applicable to every op (1, 2, 5)
+/// plus one union/intersect-only query (7) to hit the applicability error
+/// path under `difference`.
+pub const KICK_TIRES_QUERIES: &[usize] = &[1, 2, 5, 7];
+
+/// Thesis query by menu number (1–13).
+pub fn query_by_number(n: usize) -> CompareQuery {
+    CompareQuery::ALL[n - 1]
+}
+
+/// The query numbers for an audit tier: the kick-tires subset, or all 13.
+pub fn audit_queries(full: bool) -> Vec<usize> {
+    if full {
+        (1..=13).collect()
+    } else {
+        KICK_TIRES_QUERIES.to_vec()
+    }
+}
+
+/// Enumerate every self-compare shape over one GAP table: all three ops ×
+/// the tier's queries, each writing to a fresh `{prefix}_{op}_{q}` name.
+/// Inapplicable (op, query) pairs are included on purpose — the fast path
+/// must reproduce the `EQUERY` error byte-for-byte too.
+pub fn enumerate_self_compares(gap: &str, prefix: &str, full: bool) -> Vec<GqlCommand> {
+    let mut out = Vec::new();
+    for (op_name, op) in [
+        ("u", CompareOp::Union),
+        ("i", CompareOp::Intersect),
+        ("d", CompareOp::Difference),
+    ] {
+        for q in audit_queries(full) {
+            out.push(GqlCommand::Compare {
+                name: format!("{prefix}_{op_name}{q}"),
+                g1: gap.to_string(),
+                g2: gap.to_string(),
+                op,
+                query: query_by_number(q),
+            });
+        }
+    }
+    out
+}
+
+/// Apply a tombstoned rule *on purpose*, so the oracle can prove it wrong.
+///
+/// Returns the transformed pipeline, or `None` when the rule's pattern does
+/// not occur. The transformation is the rewrite the tombstone would have
+/// performed had it shipped:
+///
+/// * [`TOMB_COMMUTE_COMPARE`] swaps the operands of every two-operand
+///   `compare`;
+/// * [`TOMB_DROP_SELF_MINUS`] deletes every `compare N G G difference q`;
+/// * [`TOMB_HOIST_SELECT`] rewrites `populate P S D ; select X P L` into
+///   `select X D L ; populate P S X` (selection hoisted above populate).
+pub fn apply_tombstone(rule: &str, cmds: &[GqlCommand]) -> Option<Vec<GqlCommand>> {
+    let mut out: Vec<GqlCommand> = Vec::with_capacity(cmds.len());
+    let mut applied = false;
+    match rule {
+        TOMB_COMMUTE_COMPARE => {
+            for c in cmds {
+                match c {
+                    GqlCommand::Compare {
+                        name,
+                        g1,
+                        g2,
+                        op,
+                        query,
+                    } if g1 != g2 => {
+                        applied = true;
+                        out.push(GqlCommand::Compare {
+                            name: name.clone(),
+                            g1: g2.clone(),
+                            g2: g1.clone(),
+                            op: *op,
+                            query: *query,
+                        });
+                    }
+                    other => out.push(other.clone()),
+                }
+            }
+        }
+        TOMB_DROP_SELF_MINUS => {
+            for c in cmds {
+                match c {
+                    GqlCommand::Compare {
+                        g1,
+                        g2,
+                        op: CompareOp::Difference,
+                        ..
+                    } if g1 == g2 => applied = true,
+                    other => out.push(other.clone()),
+                }
+            }
+        }
+        TOMB_HOIST_SELECT => {
+            let mut i = 0;
+            while i < cmds.len() {
+                if i + 1 < cmds.len() {
+                    if let (
+                        GqlCommand::Populate {
+                            name,
+                            from: Some((sumy, dataset)),
+                        },
+                        GqlCommand::Select {
+                            name: select_name,
+                            dataset: select_src,
+                            libraries,
+                        },
+                    ) = (&cmds[i], &cmds[i + 1])
+                    {
+                        if select_src == name {
+                            applied = true;
+                            out.push(GqlCommand::Select {
+                                name: select_name.clone(),
+                                dataset: dataset.clone(),
+                                libraries: libraries.clone(),
+                            });
+                            out.push(GqlCommand::Populate {
+                                name: name.clone(),
+                                from: Some((sumy.clone(), select_name.clone())),
+                            });
+                            i += 2;
+                            continue;
+                        }
+                    }
+                }
+                out.push(cmds[i].clone());
+                i += 1;
+            }
+        }
+        _ => return None,
+    }
+    applied.then_some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_enumeration_scales_with_tier() {
+        let kick = enumerate_self_compares("g", "k", false);
+        let full = enumerate_self_compares("g", "f", true);
+        assert_eq!(kick.len(), 3 * KICK_TIRES_QUERIES.len());
+        assert_eq!(full.len(), 3 * 13);
+        // Fresh result names, no collisions.
+        let names: std::collections::BTreeSet<_> = full
+            .iter()
+            .map(|c| match c {
+                GqlCommand::Compare { name, .. } => name.clone(),
+                other => panic!("{other:?}"),
+            })
+            .collect();
+        assert_eq!(names.len(), full.len());
+    }
+
+    #[test]
+    fn tombstones_apply_their_documented_transformations() {
+        let swap = apply_tombstone(
+            TOMB_COMMUTE_COMPARE,
+            &[GqlCommand::Compare {
+                name: "c".into(),
+                g1: "a".into(),
+                g2: "b".into(),
+                op: CompareOp::Union,
+                query: query_by_number(7),
+            }],
+        )
+        .unwrap();
+        assert!(matches!(
+            &swap[0],
+            GqlCommand::Compare { g1, g2, .. } if g1 == "b" && g2 == "a"
+        ));
+
+        let dropped = apply_tombstone(
+            TOMB_DROP_SELF_MINUS,
+            &[
+                GqlCommand::Tissues,
+                GqlCommand::Compare {
+                    name: "c".into(),
+                    g1: "g".into(),
+                    g2: "g".into(),
+                    op: CompareOp::Difference,
+                    query: query_by_number(4),
+                },
+            ],
+        )
+        .unwrap();
+        assert_eq!(dropped, vec![GqlCommand::Tissues]);
+
+        let hoisted = apply_tombstone(
+            TOMB_HOIST_SELECT,
+            &[
+                GqlCommand::Populate {
+                    name: "P".into(),
+                    from: Some(("S".into(), "D".into())),
+                },
+                GqlCommand::Select {
+                    name: "X".into(),
+                    dataset: "P".into(),
+                    libraries: vec!["l1".into()],
+                },
+            ],
+        )
+        .unwrap();
+        assert!(matches!(&hoisted[0], GqlCommand::Select { dataset, .. } if dataset == "D"));
+        assert!(matches!(&hoisted[1], GqlCommand::Populate { from: Some((_, d)), .. } if d == "X"));
+    }
+
+    #[test]
+    fn tombstones_without_a_matching_pattern_return_none() {
+        assert!(apply_tombstone(TOMB_COMMUTE_COMPARE, &[GqlCommand::Tissues]).is_none());
+        assert!(apply_tombstone("not-a-rule", &[GqlCommand::Tissues]).is_none());
+    }
+}

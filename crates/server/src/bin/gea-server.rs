@@ -4,7 +4,7 @@
 //! gea-server [--addr HOST:PORT] [--workers N] [--queue N]
 //!            [--lock-timeout-ms MS] [--demo SEED]
 //!            [--cache-bytes N] [--session-budget N] [--idle-timeout-ms MS]
-//!            [--spill-dir PATH] [--threads N]
+//!            [--spill-dir PATH] [--threads N] [--no-opt]
 //! ```
 //!
 //! `--demo SEED` pre-opens the session named `default` from a generated
@@ -17,7 +17,10 @@
 //! eviction and restored transparently on their next use. `--threads N`
 //! sizes the sharded executor for mine/populate/aggregate inside each
 //! session (0, the default, means available parallelism; 1 forces the
-//! serial path — results are byte-identical either way). Stop the server
+//! serial path — results are byte-identical either way). `--no-opt`
+//! disables the algebraic optimizer (`gea-opt`): commands execute
+//! literally and response-cache keys fall back to the plain canonical
+//! spelling instead of the rewrite-normalized one. Stop the server
 //! with the `shutdown` protocol command, SIGINT, or SIGTERM — all three
 //! drain in-flight requests (and spills) before exiting.
 
@@ -90,7 +93,7 @@ fn usage() -> ! {
         "usage: gea-server [--addr HOST:PORT] [--workers N] [--queue N] \
          [--lock-timeout-ms MS] [--demo SEED] [--cache-bytes N] \
          [--session-budget N] [--idle-timeout-ms MS] [--spill-dir PATH] \
-         [--threads N]"
+         [--threads N] [--no-opt]"
     );
     std::process::exit(2);
 }
@@ -160,6 +163,7 @@ fn parse_args() -> (ServerConfig, Option<u64>) {
                     usage()
                 }
             },
+            "--no-opt" => config.optimize = false,
             "--demo" => match value("--demo").parse() {
                 Ok(seed) => demo = Some(seed),
                 Err(e) => {

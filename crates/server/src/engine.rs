@@ -303,12 +303,7 @@ pub fn execute_write(session: &mut GeaSession, cmd: &GqlCommand) -> Result<Strin
         } => {
             let libs: Vec<&str> = libraries.iter().map(|s| s.as_str()).collect();
             session.select_dataset_libraries(name, dataset, &libs)?;
-            let t = session.enum_table(name)?;
-            format!(
-                "{name}: {} of {} libraries kept",
-                t.n_libraries(),
-                session.enum_table(dataset)?.n_libraries()
-            )
+            render_select_created(session, name, dataset)?
         }
         GqlCommand::Project {
             name,
@@ -403,33 +398,11 @@ pub fn execute_write(session: &mut GeaSession, cmd: &GqlCommand) -> Result<Strin
         }
         GqlCommand::Gap { name, sumy1, sumy2 } => {
             session.create_gap(name, sumy1, sumy2)?;
-            let g = session.gap(name).unwrap();
-            format!(
-                "{name}: {} tags, {} non-NULL gaps",
-                g.len(),
-                g.drop_null_gaps("tmp").len()
-            )
+            render_gap_created(session, name)
         }
         GqlCommand::TopGap { gap, x } => {
             let top = session.calculate_top_gap(gap, *x, TopGapOrder::LargestMagnitude)?;
-            let mut out = format!("{top}:\n");
-            let mut rows = session.gap(&top).unwrap().rows().to_vec();
-            rows.sort_by(|a, b| {
-                b.gap()
-                    .unwrap_or(0.0)
-                    .abs()
-                    .total_cmp(&a.gap().unwrap_or(0.0).abs())
-            });
-            for r in rows {
-                let _ = writeln!(
-                    out,
-                    "  {}_({})  {:+.2}",
-                    r.tag,
-                    r.tag_no,
-                    r.gap().unwrap_or(f64::NAN)
-                );
-            }
-            out
+            render_topgap_created(session, &top)
         }
         GqlCommand::Compare {
             name,
@@ -439,11 +412,7 @@ pub fn execute_write(session: &mut GeaSession, cmd: &GqlCommand) -> Result<Strin
             query,
         } => {
             session.compare_gaps(name, g1, g2, *op, *query)?;
-            format!(
-                "{name}: {} tags ({})",
-                session.gap(name).unwrap().len(),
-                query.description()
-            )
+            render_compare_created(session, name, *query)
         }
         GqlCommand::Comment { name, text } => {
             session.comment(name, text)?;
@@ -468,9 +437,7 @@ pub fn execute_write(session: &mut GeaSession, cmd: &GqlCommand) -> Result<Strin
             // The thesis's populate operator, routed through the sharded
             // scan driver (byte-identical to the serial operator).
             gea_exec::populate_session_sharded(session, name, sumy, dataset)?;
-            let total = session.enum_table(dataset)?.n_libraries();
-            let hits = session.enum_table(name)?.n_libraries();
-            format!("{name}: {hits} of {total} libraries in {dataset} satisfy {sumy}")
+            render_populate_created(session, name, sumy, dataset)?
         }
         GqlCommand::Load(dir) => {
             // Restore the saved session *in place* — the `save`/`load`
@@ -492,6 +459,89 @@ pub fn execute_write(session: &mut GeaSession, cmd: &GqlCommand) -> Result<Strin
         read => return execute_read(session, read),
     };
     Ok(out)
+}
+
+// ---------------------------------------------------------------------------
+// Shared success-reply rendering
+//
+// These helpers are the single source of the engine's reply text for the
+// commands the optimizer can rewrite or fuse. `optexec` calls the same
+// functions after running a fast-path step, so optimized replies are
+// byte-identical to literal execution *by construction* (and the rule audit
+// re-proves it empirically).
+// ---------------------------------------------------------------------------
+
+/// Reply for a just-created GAP table (`gap` command).
+pub(crate) fn render_gap_created(session: &GeaSession, name: &str) -> String {
+    let g = session.gap(name).unwrap();
+    format!(
+        "{name}: {} tags, {} non-NULL gaps",
+        g.len(),
+        g.drop_null_gaps("tmp").len()
+    )
+}
+
+/// Reply for a just-derived top-gap table (`topgap` command).
+pub(crate) fn render_topgap_created(session: &GeaSession, top: &str) -> String {
+    let mut out = format!("{top}:\n");
+    let mut rows = session.gap(top).unwrap().rows().to_vec();
+    rows.sort_by(|a, b| {
+        b.gap()
+            .unwrap_or(0.0)
+            .abs()
+            .total_cmp(&a.gap().unwrap_or(0.0).abs())
+    });
+    for r in rows {
+        let _ = writeln!(
+            out,
+            "  {}_({})  {:+.2}",
+            r.tag,
+            r.tag_no,
+            r.gap().unwrap_or(f64::NAN)
+        );
+    }
+    out
+}
+
+/// Reply for a just-created comparison result (`compare` command).
+pub(crate) fn render_compare_created(
+    session: &GeaSession,
+    name: &str,
+    query: gea_core::CompareQuery,
+) -> String {
+    format!(
+        "{name}: {} tags ({})",
+        session.gap(name).unwrap().len(),
+        query.description()
+    )
+}
+
+/// Reply for a just-created library selection (`select` command).
+pub(crate) fn render_select_created(
+    session: &GeaSession,
+    name: &str,
+    dataset: &str,
+) -> Result<String, EngineError> {
+    let t = session.enum_table(name)?;
+    Ok(format!(
+        "{name}: {} of {} libraries kept",
+        t.n_libraries(),
+        session.enum_table(dataset)?.n_libraries()
+    ))
+}
+
+/// Reply for a just-populated ENUM table (`populate` operator form).
+pub(crate) fn render_populate_created(
+    session: &GeaSession,
+    name: &str,
+    sumy: &str,
+    dataset: &str,
+) -> Result<String, EngineError> {
+    let total = session.enum_table(dataset)?.n_libraries();
+    let hits = session.enum_table(name)?.n_libraries();
+    Ok(format!(
+        "{name}: {hits} of {total} libraries in {dataset} satisfy {sumy}"
+    ))
 }
 
 /// Shared purity rendering: the engine's read path uses

@@ -47,6 +47,7 @@ pub mod client;
 pub mod engine;
 pub use gea_check::gql;
 pub mod metrics;
+pub mod optexec;
 pub mod registry;
 pub mod server;
 pub mod wire;

@@ -96,6 +96,8 @@ pub struct Metrics {
     cache_misses: AtomicU64,
     cache_evictions: AtomicU64,
     cache_rejected: AtomicU64,
+    opt_rewrites: AtomicU64,
+    opt_key_unified: AtomicU64,
     sessions_evicted: AtomicU64,
     sessions_spilled: AtomicU64,
     sessions_restored: AtomicU64,
@@ -127,6 +129,8 @@ impl Metrics {
             cache_misses: AtomicU64::new(0),
             cache_evictions: AtomicU64::new(0),
             cache_rejected: AtomicU64::new(0),
+            opt_rewrites: AtomicU64::new(0),
+            opt_key_unified: AtomicU64::new(0),
             sessions_evicted: AtomicU64::new(0),
             sessions_spilled: AtomicU64::new(0),
             sessions_restored: AtomicU64::new(0),
@@ -184,6 +188,22 @@ impl Metrics {
     /// A reply was refused at cache admission for being oversized.
     pub fn cache_rejected(&self) {
         self.cache_rejected.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// The optimizer rewrote a command onto a fast-path step.
+    pub fn opt_rewrite(&self) {
+        self.opt_rewrites.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A cacheable command's canonical cache key differed from its literal
+    /// spelling — algebraically-equal commands unified onto one slot.
+    pub fn opt_key_unified(&self) {
+        self.opt_key_unified.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Optimizer rewrites applied so far.
+    pub fn opt_rewrites(&self) -> u64 {
+        self.opt_rewrites.load(Ordering::Relaxed)
     }
 
     /// `n` sessions were evicted by the registry's policy.
@@ -282,6 +302,12 @@ impl Metrics {
             out,
             "cache_rejected {}",
             self.cache_rejected.load(Ordering::Relaxed)
+        );
+        let _ = writeln!(out, "opt_rewrites {}", self.opt_rewrites());
+        let _ = writeln!(
+            out,
+            "opt_key_unified {}",
+            self.opt_key_unified.load(Ordering::Relaxed)
         );
         let _ = writeln!(
             out,
@@ -417,6 +443,18 @@ mod tests {
         assert!(text.contains("sessions_spilled 2"), "{text}");
         assert!(text.contains("sessions_restored 1"), "{text}");
         assert!(text.contains("spill_errors 1"), "{text}");
+    }
+
+    #[test]
+    fn optimizer_counters_render() {
+        let m = Metrics::new();
+        m.opt_rewrite();
+        m.opt_rewrite();
+        m.opt_key_unified();
+        assert_eq!(m.opt_rewrites(), 2);
+        let text = m.render();
+        assert!(text.contains("opt_rewrites 2"), "{text}");
+        assert!(text.contains("opt_key_unified 1"), "{text}");
     }
 
     #[test]

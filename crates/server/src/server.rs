@@ -45,6 +45,7 @@ use crate::cache::{Admission, CacheScope, ResponseCache};
 use crate::engine::{self, EngineError};
 use crate::gql::{self, GqlCommand, Request, SessionCtl};
 use crate::metrics::Metrics;
+use crate::optexec;
 use crate::registry::{
     Adopt, EvictReason, EvictionPolicy, Lookup, SessionEntry, SessionRegistry, SharedSession,
     SpillRecord,
@@ -80,6 +81,10 @@ pub struct ServerConfig {
     /// Worker threads for sharded mine/populate/aggregate inside each
     /// session (`gea-exec`); 0 means available parallelism.
     pub threads: usize,
+    /// Run the algebraic optimizer (`gea-opt`): fast-path rewrites on the
+    /// write path and canonical (algebra-unified) response-cache keys.
+    /// `false` executes and caches every command literally.
+    pub optimize: bool,
 }
 
 impl Default for ServerConfig {
@@ -94,6 +99,7 @@ impl Default for ServerConfig {
             idle_timeout: None,
             spill_dir: None,
             threads: 0,
+            optimize: true,
         }
     }
 }
@@ -720,7 +726,21 @@ fn run_gql(cmd: &GqlCommand, current: &str, shared: &Shared) -> Result<String, E
         Lookup::Missing => return Err(no_session(current)),
     };
     if cmd.is_read() {
-        let key = cmd.is_cacheable().then(|| cmd.canonical());
+        // The cache key is the command's *canonical* spelling. With the
+        // optimizer on, canonicalization runs through gea-opt, so
+        // algebraically-equal commands (whose replies the rule audit
+        // proves byte-identical) unify onto one slot.
+        let key = cmd.is_cacheable().then(|| {
+            if shared.config.optimize {
+                let key = gea_opt::cache_key(cmd);
+                if key != cmd.canonical() {
+                    shared.metrics.opt_key_unified();
+                }
+                key
+            } else {
+                cmd.canonical()
+            }
+        });
         if let Some(key) = &key {
             // The hit path never touches the session lock: the reply was
             // computed under this generation, and serving it is
@@ -758,8 +778,21 @@ fn run_gql(cmd: &GqlCommand, current: &str, shared: &Shared) -> Result<String, E
         }
         result
     } else {
+        // Single-command rewrite: the wire protocol carries one command
+        // per request, so only gea-opt's non-fusing rules can fire here.
+        let rewritten = shared
+            .config
+            .optimize
+            .then(|| gea_opt::rewrite_command(0, cmd))
+            .flatten();
         let mut session = entry.write_with_deadline(shared.config.lock_timeout)?;
-        let result = engine::execute_write(&mut session, cmd);
+        let result = match &rewritten {
+            Some((step, _)) => {
+                shared.metrics.opt_rewrite();
+                optexec::run_rewritten(&mut session, step)
+            }
+            None => engine::execute_write(&mut session, cmd),
+        };
         // Drain while still holding the guard so a concurrent writer's
         // events are never attributed to this request.
         let events = session.drain_exec_events();

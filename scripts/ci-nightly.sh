@@ -43,6 +43,18 @@ step "mining-backend comparison (release) -> BENCH_mine_backends.json"
 # output diverges from serial.
 cargo run --release -p gea-bench --bin mine_backends -- --threads 4
 
+step "optimizer rule audit, full enumeration (release)"
+# The complete small-term enumeration over three randomized corpora on
+# the full shard/thread grid: every shipped rule byte-identical to
+# serial at the wire, every tombstoned non-rule still refuted.
+GEA_OPT_AUDIT=full cargo run --release --bin gea-opt-audit
+
+step "optimizer experiment (release) -> BENCH_optimizer.json"
+# Rewrites fired x cache hit-rate delta from key unification x
+# end-to-end latency on the brain case study and the optimizer demo.
+# Exits non-zero if any optimized transcript diverges from serial.
+cargo run --release -p gea-bench --bin optimizer
+
 printf '\nNightly lane passed.\n'
 
 # ----- sanitizer / interpreter lanes (need extra nightly components; -----

@@ -27,10 +27,38 @@ cargo test -q --workspace
 step "gea-check lint: example GQL scripts"
 ./target/release/gea-cli --check examples/scripts/brain_case_study.gql
 ./target/release/gea-cli --check examples/scripts/mine_backends.gql
+./target/release/gea-cli --check examples/scripts/optimizer_demo.gql
 if ./target/release/gea-cli --check examples/scripts/ill_typed.gql; then
     echo "ill_typed.gql passed the checker but must be rejected" >&2
     exit 1
 fi
+
+# Every well-typed example script must also survive the optimizer's
+# planner (syntactic canonicalization + rewrite detection, no session),
+# and the demo script's plan must name every shipped rule — so a rule
+# that silently stops firing breaks the gate, not just the docs.
+step "gea-opt plan: example GQL scripts"
+for script in examples/scripts/*.gql; do
+    [ "$script" = "examples/scripts/ill_typed.gql" ] && continue
+    ./target/release/gea-cli --plan "$script" > /dev/null
+done
+demo_plan="$(./target/release/gea-cli --plan examples/scripts/optimizer_demo.gql)"
+echo "$demo_plan"
+for rule in self-union-intersect self-intersect-double self-minus-empty \
+            fuse-gap-topgap fuse-populate-select; do
+    if ! grep -q "$rule" <<< "$demo_plan"; then
+        echo "optimizer_demo.gql plan no longer fires rule '$rule'" >&2
+        exit 1
+    fi
+done
+
+# Kick-tires tier of the rule audit: every shipped rewrite rule proved
+# observationally equivalent to literal serial execution (wire replies +
+# lineage) on the pinned shard/thread grid, and every tombstoned
+# non-rule proved still refuted. The nightly lane runs the full
+# enumeration; this tier keeps the oracle itself from rotting.
+step "gea-opt rule audit (kick-tires)"
+./target/release/gea-opt-audit --kick-tires
 
 # The gea-exec byte-identity contract, property-tested over randomized
 # corpora for every pinned shard/thread combination — including the

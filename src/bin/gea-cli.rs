@@ -23,13 +23,23 @@
 //!   and refuse to execute one with static errors; `--no-preflight`
 //!   skips the gate. A clean script's output is byte-identical with and
 //!   without the gate — the analyzer never touches a session.
+//!
+//! The algebraic optimizer (the `gea-opt` crate) sits between the two:
+//! batch pipelines and single commands are rewritten (self-compare fast
+//! paths, adjacent-step fusion) before execution, with wire output
+//! byte-identical to literal execution — `--no-opt` is the escape hatch,
+//! and `gea-cli --plan file.gql` prints which rewrites would fire, one
+//! per line, without executing anything.
 
 use std::io::{self, BufRead, IsTerminal, Read, Write};
 
 use gea::cli::Cli;
 
 fn usage() -> ! {
-    eprintln!("usage: gea-cli [--script file.gql] [--check file.gql [--machine]] [--no-preflight]");
+    eprintln!(
+        "usage: gea-cli [--script file.gql] [--check file.gql [--machine]] \
+         [--plan file.gql] [--no-preflight] [--no-opt]"
+    );
     std::process::exit(2);
 }
 
@@ -40,8 +50,10 @@ fn read_file(path: &str) -> io::Result<String> {
 fn main() -> io::Result<()> {
     let mut script: Option<String> = None;
     let mut check: Option<String> = None;
+    let mut plan: Option<String> = None;
     let mut machine = false;
     let mut preflight = true;
+    let mut optimize = true;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -53,12 +65,27 @@ fn main() -> io::Result<()> {
                 Some(path) => check = Some(path),
                 None => usage(),
             },
+            "--plan" => match args.next() {
+                Some(path) => plan = Some(path),
+                None => usage(),
+            },
             "--machine" => machine = true,
             "--no-preflight" => preflight = false,
+            "--no-opt" => optimize = false,
             _ => usage(),
         }
     }
 
+    if let Some(path) = plan {
+        match gea::cli::plan_script(&read_file(&path)?) {
+            Ok(report) => println!("{report}"),
+            Err(e) => {
+                eprintln!("ERR {e}");
+                std::process::exit(1);
+            }
+        }
+        return Ok(());
+    }
     if let Some(path) = check {
         let report = gea::check::check_script(&read_file(&path)?);
         if machine {
@@ -72,21 +99,21 @@ fn main() -> io::Result<()> {
         std::process::exit(if report.is_clean() { 0 } else { 1 });
     }
     if let Some(path) = script {
-        return batch(&read_file(&path)?, preflight);
+        return batch(&read_file(&path)?, preflight, optimize);
     }
     if !io::stdin().is_terminal() {
         let mut text = String::new();
         io::stdin().lock().read_to_string(&mut text)?;
-        return batch(&text, preflight);
+        return batch(&text, preflight, optimize);
     }
-    interactive()
+    interactive(optimize)
 }
 
 /// Run a script until EOF or the first error; errors exit non-zero (with
 /// their 1-based script line) so shell pipelines and CI notice. Unless
 /// disabled, the static analyzer gates execution first: a script with
 /// static errors is refused before any command runs.
-fn batch(text: &str, preflight: bool) -> io::Result<()> {
+fn batch(text: &str, preflight: bool, optimize: bool) -> io::Result<()> {
     if preflight {
         let report = gea::check::check_script(text);
         if !report.is_clean() {
@@ -96,16 +123,12 @@ fn batch(text: &str, preflight: bool) -> io::Result<()> {
         }
     }
     let mut cli = Cli::new();
-    for (idx, line) in text.lines().enumerate() {
-        let trimmed = line.trim();
-        if trimmed.is_empty() || trimmed.starts_with('#') {
-            continue;
-        }
-        match cli.execute(trimmed) {
-            Ok(Some(output)) => print_ok(&output),
-            Ok(None) => return Ok(()),
+    cli.set_optimize(optimize);
+    for (line_no, outcome) in cli.run_script(text) {
+        match outcome {
+            Ok(output) => print_ok(&output),
             Err(e) => {
-                eprintln!("ERR line {}: {e}", idx + 1);
+                eprintln!("ERR line {line_no}: {e}");
                 std::process::exit(1);
             }
         }
@@ -113,8 +136,9 @@ fn batch(text: &str, preflight: bool) -> io::Result<()> {
     Ok(())
 }
 
-fn interactive() -> io::Result<()> {
+fn interactive(optimize: bool) -> io::Result<()> {
     let mut cli = Cli::new();
+    cli.set_optimize(optimize);
     let stdin = io::stdin();
     let mut stdout = io::stdout();
     println!("GEA — Gene Expression Analyzer. Type `help` for commands.");

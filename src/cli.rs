@@ -12,15 +12,17 @@
 //!
 //! Run it interactively with `cargo run --release --bin gea-cli`.
 
+use gea_check::SymbolSeed;
 use gea_core::session::GeaSession;
 use gea_sage::clean::CleaningConfig;
 use gea_sage::generate::{generate, GeneratorConfig};
-use gea_server::engine;
-use gea_server::gql::{self, Request, SessionCtl};
+use gea_server::gql::{self, GqlCommand, Request, SessionCtl};
+use gea_server::{engine, optexec};
 
 /// The interpreter state: an optional open session.
 pub struct Cli {
     session: Option<GeaSession>,
+    optimize: bool,
 }
 
 impl Default for Cli {
@@ -30,9 +32,21 @@ impl Default for Cli {
 }
 
 impl Cli {
-    /// Create an interpreter with no session.
+    /// Create an interpreter with no session. The algebraic optimizer
+    /// (`gea-opt`) is on by default; `set_optimize(false)` is the
+    /// `--no-opt` escape hatch.
     pub fn new() -> Cli {
-        Cli { session: None }
+        Cli {
+            session: None,
+            optimize: true,
+        }
+    }
+
+    /// Enable or disable the algebraic optimizer. Off, every command
+    /// executes literally; on, rewritable commands take the fast path —
+    /// with byte-identical replies either way (see `tests/opt_audit.rs`).
+    pub fn set_optimize(&mut self, on: bool) {
+        self.optimize = on;
     }
 
     fn session(&mut self) -> Result<&mut GeaSession, String> {
@@ -111,12 +125,148 @@ impl Cli {
                 );
             }
             Request::Gql(cmd) => {
+                let optimize = self.optimize;
                 let session = self.session()?;
-                engine::execute(session, &cmd).map_err(|e| format!("{} {}", e.code, e.message))?
+                let rewritten = optimize
+                    .then(|| gea_opt::rewrite_command(0, &cmd))
+                    .flatten();
+                let result = match &rewritten {
+                    Some((step, _)) => optexec::run_rewritten(session, step),
+                    None => engine::execute(session, &cmd),
+                };
+                result.map_err(|e| format!("{} {}", e.code, e.message))?
             }
         };
         Ok(Some(out))
     }
+
+    /// Flush a pending GQL pipeline through the optimizer (when enabled)
+    /// and the plan executor, mapping within-pipeline indices back to
+    /// 1-based source lines. Returns `false` when the script must halt
+    /// (batch semantics: first error stops execution).
+    fn flush_pipeline(
+        &mut self,
+        pending: &mut Vec<(usize, GqlCommand)>,
+        out: &mut Vec<(usize, Result<String, String>)>,
+    ) -> bool {
+        if pending.is_empty() {
+            return true;
+        }
+        let optimize = self.optimize;
+        let session = match self.session() {
+            Ok(s) => s,
+            Err(e) => {
+                out.push((pending[0].0, Err(e)));
+                pending.clear();
+                return false;
+            }
+        };
+        let cmds: Vec<GqlCommand> = pending.iter().map(|(_, c)| c.clone()).collect();
+        let plan = if optimize {
+            gea_opt::optimize_checked(&SymbolSeed::from_session(session), &cmds)
+        } else {
+            gea_opt::Plan::identity(&cmds)
+        };
+        let results = optexec::run_plan(session, &plan, true);
+        let halted = results.last().is_some_and(|(_, r)| r.is_err());
+        for (i, r) in results {
+            out.push((
+                pending[i].0,
+                r.map_err(|e| format!("{} {}", e.code, e.message)),
+            ));
+        }
+        pending.clear();
+        !halted
+    }
+
+    /// Execute a whole script in batch mode (first error halts).
+    /// Consecutive GQL commands form a pipeline that runs through the
+    /// optimizer as a unit — fusions only fire across adjacent commands —
+    /// while session-control lines execute singly between pipelines.
+    /// Returns `(1-based source line, outcome)` pairs in source order; on
+    /// a halt the last entry carries the error.
+    pub fn run_script(&mut self, text: &str) -> Vec<(usize, Result<String, String>)> {
+        let mut out = Vec::new();
+        let mut pending: Vec<(usize, GqlCommand)> = Vec::new();
+        for (idx, raw) in text.lines().enumerate() {
+            let n = idx + 1;
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            match gql::parse(line) {
+                Ok(Some(Request::Gql(cmd))) => pending.push((n, cmd)),
+                Ok(Some(Request::Quit)) => {
+                    self.flush_pipeline(&mut pending, &mut out);
+                    return out;
+                }
+                Ok(None) => {}
+                Ok(Some(_)) => {
+                    if !self.flush_pipeline(&mut pending, &mut out) {
+                        return out;
+                    }
+                    match self.execute(line) {
+                        Ok(Some(reply)) => out.push((n, Ok(reply))),
+                        Ok(None) => return out,
+                        Err(e) => {
+                            out.push((n, Err(e)));
+                            return out;
+                        }
+                    }
+                }
+                Err(e) => {
+                    self.flush_pipeline(&mut pending, &mut out);
+                    out.push((n, Err(format!("EPARSE {e}"))));
+                    return out;
+                }
+            }
+        }
+        self.flush_pipeline(&mut pending, &mut out);
+        out
+    }
+}
+
+/// Plan a script without executing it: parse, group consecutive GQL
+/// commands into pipelines, run the (purely syntactic) optimizer over
+/// each, and render every rewrite with its source line. This is the
+/// `gea-cli --plan` view used by CI to lint example scripts through the
+/// optimizer; it needs no session.
+pub fn plan_script(text: &str) -> Result<String, String> {
+    let mut lines = Vec::new();
+    let mut pending: Vec<(usize, GqlCommand)> = Vec::new();
+    let mut total = 0usize;
+    fn flush(pending: &mut Vec<(usize, GqlCommand)>, lines: &mut Vec<String>, total: &mut usize) {
+        if pending.is_empty() {
+            return;
+        }
+        let cmds: Vec<GqlCommand> = pending.iter().map(|(_, c)| c.clone()).collect();
+        let plan = gea_opt::optimize(&cmds);
+        for rw in &plan.rewrites {
+            lines.push(format!(
+                "line {}: {} {}",
+                pending[rw.index].0, rw.rule, rw.detail
+            ));
+            *total += 1;
+        }
+        pending.clear();
+    }
+    for (idx, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        match gql::parse(line) {
+            Ok(Some(Request::Gql(cmd))) => pending.push((idx + 1, cmd)),
+            Ok(_) => flush(&mut pending, &mut lines, &mut total),
+            Err(e) => return Err(format!("line {}: EPARSE {e}", idx + 1)),
+        }
+    }
+    flush(&mut pending, &mut lines, &mut total);
+    lines.push(format!(
+        "{total} rewrite{} planned",
+        if total == 1 { "" } else { "s" }
+    ));
+    Ok(lines.join("\n"))
 }
 
 #[cfg(test)]
@@ -296,6 +446,94 @@ mod tests {
         assert!(out.contains("operation history"));
         assert!(out.contains("Eb"));
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn batch_scripts_are_equivalent_with_and_without_the_optimizer() {
+        let script = "load-demo 42\n\
+             dataset Eb brain\n\
+             mine Eb f 50 3 6\n\
+             groups f_1\n\
+             # fusion candidate: adjacent gap + topgap\n\
+             gap ga f_1CancerFasTbl f_1NormalTable\n\
+             topgap ga 5\n\
+             compare cd ga ga difference 4\n\
+             show gap ga_5 3\n";
+        let mut plain = Cli::new();
+        plain.set_optimize(false);
+        let want = plain.run_script(script);
+        let mut opt = Cli::new();
+        let got = opt.run_script(script);
+        assert_eq!(want, got);
+        assert!(want.iter().all(|(_, r)| r.is_ok()), "{want:?}");
+        // The rewrites really fired on the optimized side.
+        let plan = plan_script(script).unwrap();
+        assert!(plan.contains(gea_opt::RULE_FUSE_GAP_TOPGAP), "{plan}");
+        assert!(plan.contains(gea_opt::RULE_SELF_MINUS), "{plan}");
+        // And the worlds agree afterwards.
+        assert_eq!(plain.execute("lineage"), opt.execute("lineage"));
+    }
+
+    #[test]
+    fn batch_halts_at_the_first_error_with_its_source_line() {
+        let script = "load-demo 42\n\
+             dataset Eb brain\n\
+             gap g missing1 missing2\n\
+             tissues\n";
+        let mut cli = Cli::new();
+        let out = cli.run_script(script);
+        assert_eq!(out.len(), 3, "{out:?}");
+        let (line, last) = out.last().unwrap();
+        assert_eq!(*line, 3);
+        let err = last.as_ref().unwrap_err();
+        assert!(err.starts_with("ENOTFOUND"), "{err}");
+    }
+
+    #[test]
+    fn run_script_without_a_session_reports_enosession() {
+        let mut cli = Cli::new();
+        let out = cli.run_script("tissues\n");
+        assert_eq!(out.len(), 1);
+        assert!(out[0].1.as_ref().unwrap_err().starts_with("ENOSESSION"));
+    }
+
+    #[test]
+    fn plan_script_reports_rewrites_without_a_session() {
+        let plan = plan_script(
+            "gap g a b\ntopgap g 5\ncompare c g g union 2\n# comment\npopulate P s D\nselect S P L1\n",
+        )
+        .unwrap();
+        assert!(plan.contains("line 1: fuse-gap-topgap"), "{plan}");
+        assert!(plan.contains("line 3: self-union-intersect"), "{plan}");
+        assert!(plan.contains("line 5: fuse-populate-select"), "{plan}");
+        assert!(plan.ends_with("3 rewrites planned"), "{plan}");
+        assert!(plan_script("gap g\n").is_err());
+        assert_eq!(plan_script("tissues\n").unwrap(), "0 rewrites planned");
+    }
+
+    #[test]
+    fn interactive_rewrites_preserve_single_command_replies() {
+        let mut plain = Cli::new();
+        plain.set_optimize(false);
+        let mut opt = Cli::new();
+        for cli in [&mut plain, &mut opt] {
+            run(cli, "load-demo 42");
+            run(cli, "dataset Eb brain");
+            run(cli, "mine Eb f 50 3 6");
+            run(cli, "groups f_1");
+            run(cli, "gap ga f_1CancerFasTbl f_1NormalTable");
+        }
+        // Self-difference succeeds; self-union errors (duplicate qualified
+        // columns) — byte-identical replies either way.
+        assert_eq!(
+            plain.execute("compare cd ga ga difference 4"),
+            opt.execute("compare cd ga ga difference 4")
+        );
+        assert_eq!(
+            plain.execute("compare cu ga ga union 2"),
+            opt.execute("compare cu ga ga union 2")
+        );
+        assert_eq!(plain.execute("lineage"), opt.execute("lineage"));
     }
 
     #[test]

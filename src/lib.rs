@@ -27,6 +27,9 @@
 //! * [`check`] — the world-typed static analyzer for GQL scripts (and the
 //!   home of the GQL grammar itself), behind `gea-cli --check` and the
 //!   server's `check` verb;
+//! * [`opt`] — the equivalence-tested algebraic optimizer: rewrite rules
+//!   audited for wire-level byte identity (ruler-style), plan fusion, and
+//!   canonical ResponseCache keys;
 //! * [`server`] — the GQL grammar and executor shared by the [`cli`]
 //!   interpreter, plus the concurrent TCP query server (`gea-server`) and
 //!   its client library (`gea-client`).
@@ -54,6 +57,7 @@
 //! binary for the reproduction of every table and figure in the thesis's
 //! evaluation.
 
+pub mod audit;
 pub mod cli;
 
 pub use gea_check as check;
@@ -61,6 +65,7 @@ pub use gea_cluster as cluster;
 pub use gea_core as core;
 pub use gea_exec as exec;
 pub use gea_mine as mine;
+pub use gea_opt as opt;
 pub use gea_relstore as relstore;
 pub use gea_sage as sage;
 pub use gea_server as server;

@@ -3,6 +3,12 @@
 //! and every command it does accept must round-trip through its canonical
 //! spelling to the same parse (the response cache keys on `canonical()`,
 //! so a non-fixpoint canonicalization would split or alias cache entries).
+//!
+//! The optimizer's algebraic canonicalization (`gea::opt`) rides the same
+//! battery: whatever the parser accepts — including mutated and truncated
+//! spellings — `canonicalize_cmd`/`cache_key`/`optimize` must not panic,
+//! and canonicalization must be a fixpoint (optimized cache keys would
+//! otherwise split or alias entries, breaking cross-spelling unification).
 
 use proptest::prelude::*;
 
@@ -129,6 +135,49 @@ proptest! {
             };
             prop_assert_eq!(&reparsed, &cmd, "round-trip changed the command");
             prop_assert_eq!(reparsed.canonical(), canon, "canonical is not a fixpoint");
+        }
+    }
+
+    /// Optimizer canonicalization over the same mutation battery the
+    /// parser endures: noise, one-byte substitutions, and truncations that
+    /// happen to parse must canonicalize without panicking, the
+    /// canonicalization must be a fixpoint, and the cache key must be
+    /// invariant under it.
+    #[test]
+    fn canonicalization_never_panics_and_is_a_fixpoint(
+        idx in 0usize..SEEDS.len(),
+        pos in 0usize..128,
+        byte in any::<u8>(),
+        cut in 0usize..128,
+        noise in "[ -~]{0,120}",
+    ) {
+        let seed = SEEDS[idx];
+        let mut bytes = seed.as_bytes().to_vec();
+        let p = pos % bytes.len().max(1);
+        if p < bytes.len() {
+            bytes[p] = byte;
+        }
+        let mutated = String::from_utf8_lossy(&bytes).into_owned();
+        let truncated = &seed[..cut % (seed.len() + 1)];
+        for line in [seed, mutated.as_str(), truncated, noise.as_str()] {
+            if let Ok(Some(Request::Gql(cmd))) = parse(line) {
+                let canon = gea::opt::canonicalize_cmd(&cmd);
+                prop_assert_eq!(
+                    gea::opt::canonicalize_cmd(&canon),
+                    canon.clone(),
+                    "canonicalize is not a fixpoint for {:?}",
+                    line
+                );
+                let key = gea::opt::cache_key(&cmd);
+                prop_assert_eq!(
+                    gea::opt::cache_key(&canon),
+                    key,
+                    "cache key not invariant under canonicalization for {:?}",
+                    line
+                );
+                // Planning whatever parses must never panic either.
+                let _ = gea::opt::optimize(std::slice::from_ref(&cmd));
+            }
         }
     }
 

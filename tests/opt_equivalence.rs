@@ -1,0 +1,222 @@
+//! Differential equivalence battery for the optimizer: randomized
+//! multi-verb GQL scripts over randomized corpora, executed twice —
+//! optimized and `--no-opt` — must produce byte-identical wire output,
+//! including the lineage-visible world state afterwards. One battery runs
+//! at the batch-pipeline level (where fusion fires), one over two live
+//! TCP servers (where single-command rewrites and canonical cache keys
+//! fire), and one proves cache-key unification: two algebraically-equal
+//! spellings of a command share a single cache entry, with the hit
+//! counted.
+
+use std::thread;
+use std::time::Duration;
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use gea::cli::Cli;
+use gea_server::{GeaClient, Server, ServerConfig};
+
+const ROUNDS_PER_CORPUS: usize = 6;
+const STEPS_PER_ROUND: usize = 10;
+
+fn spawn(optimize: bool, cache_bytes: usize) -> (GeaClient, gea_server::server::ServerHandle) {
+    let config = ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 2,
+        queue_depth: 4,
+        lock_timeout: Duration::from_secs(30),
+        cache_bytes,
+        optimize,
+        ..ServerConfig::default()
+    };
+    let server = Server::bind(config).expect("bind");
+    let addr = server.local_addr();
+    let handle = server.handle();
+    thread::spawn(move || server.run().expect("serve"));
+    (GeaClient::connect(addr).expect("connect"), handle)
+}
+
+/// One randomized GQL step. Most draws yield a single command; the fusion
+/// draws yield adjacent pairs so the batch optimizer has something to
+/// fuse. Errors (name conflicts, inapplicable queries, unknown names) are
+/// drawn on purpose — equivalence covers error replies too.
+fn random_steps(rng: &mut SmallRng, round: usize, step: usize) -> Vec<String> {
+    let ops = ["union", "intersect", "difference"];
+    let op = ops[rng.gen_range(0..ops.len())];
+    let q = rng.gen_range(1..14usize);
+    let n = format!("t{round}_{step}");
+    match rng.gen_range(0..10u32) {
+        // Self-compares: the three single-command rewrite rules, queries
+        // drawn from the full menu (difference + 6..13 errs EQUERY).
+        0 | 1 => vec![format!("compare {n} ga ga {op} {q}")],
+        2 => vec![format!("compare {n} gb gb {op} {q}")],
+        // Two-operand compare: must never be rewritten (commutation is
+        // tombstoned).
+        3 => vec![format!("compare {n} ga gb {op} {q}")],
+        // Fusion pair: gap + topgap on the fresh name.
+        4 | 5 => vec![
+            format!("gap {n} f_1CancerFasTbl f_1NormalTable"),
+            format!("topgap {n} {}", rng.gen_range(1..6usize)),
+        ],
+        // Fusion pair with a phase-1 conflict: `ga` always exists.
+        6 => vec![
+            "gap ga f_1CancerFasTbl f_1NormalTable".to_string(),
+            format!("topgap ga {}", rng.gen_range(1..4usize)),
+        ],
+        // World probes.
+        7 => vec!["show gap ga 3".to_string()],
+        8 => vec!["lineage".to_string()],
+        // Unknown-name errors.
+        _ => vec![format!("topgap nosuch_{n} 3")],
+    }
+}
+
+/// The batch-level differential: the same randomized scripts through two
+/// interpreters, optimizer on vs off, on the same corpus. Every reply —
+/// including errors and batch truncation points — must match, and so must
+/// the lineage afterwards.
+#[test]
+fn randomized_batch_scripts_match_with_and_without_the_optimizer() {
+    for corpus_seed in [42u64, 7] {
+        let mut plain = Cli::new();
+        plain.set_optimize(false);
+        let mut opt = Cli::new();
+        let prelude = format!(
+            "load-demo {corpus_seed}\n\
+             dataset Eb brain\n\
+             mine Eb f 50 3 6\n\
+             groups f_1\n\
+             gap ga f_1CancerFasTbl f_1NormalTable\n\
+             gap gb f_1CancerFasTbl f_1CanNotInFasTbl\n"
+        );
+        assert_eq!(plain.run_script(&prelude), opt.run_script(&prelude));
+
+        let mut rng = SmallRng::seed_from_u64(0x0717_0000 + corpus_seed);
+        for round in 0..ROUNDS_PER_CORPUS {
+            let mut script = String::new();
+            for step in 0..STEPS_PER_ROUND {
+                for line in random_steps(&mut rng, round, step) {
+                    script.push_str(&line);
+                    script.push('\n');
+                }
+            }
+            let want = plain.run_script(&script);
+            let got = opt.run_script(&script);
+            assert_eq!(want, got, "corpus {corpus_seed} round {round}:\n{script}");
+        }
+        // World state (the `stats`-visible lineage) agrees at the end.
+        assert_eq!(plain.execute("lineage"), opt.execute("lineage"));
+        assert_eq!(plain.execute("cleaning"), opt.execute("cleaning"));
+    }
+}
+
+/// The wire-level differential: the same single-command stream against an
+/// optimizing server and a `--no-opt` server. Self-compare rewrites and
+/// canonical cache keys are live on one side only; every reply must still
+/// match byte-for-byte.
+#[test]
+fn optimized_server_replies_match_unoptimized_server() {
+    let (mut opt, opt_handle) = spawn(true, 8 * 1024 * 1024);
+    let (mut plain, plain_handle) = spawn(false, 8 * 1024 * 1024);
+    for client in [&mut opt, &mut plain] {
+        client.expect_ok("open eq demo 42").expect("open");
+        client.expect_ok("dataset Eb brain").expect("dataset");
+        client.expect_ok("mine Eb f 50 3 6").expect("mine");
+        client.expect_ok("groups f_1").expect("groups");
+        client
+            .expect_ok("gap ga f_1CancerFasTbl f_1NormalTable")
+            .expect("gap ga");
+        client
+            .expect_ok("gap gb f_1CancerFasTbl f_1CanNotInFasTbl")
+            .expect("gap gb");
+    }
+
+    let mut rng = SmallRng::seed_from_u64(0xEC_41);
+    let mut compared = 0usize;
+    for round in 0..4 {
+        for step in 0..STEPS_PER_ROUND {
+            for line in random_steps(&mut rng, round, step) {
+                let a = opt.request(&line).expect("opt transport");
+                let b = plain.request(&line).expect("plain transport");
+                assert_eq!(a, b, "replies diverged on {line:?}");
+                compared += 1;
+            }
+        }
+    }
+    assert!(compared > 0);
+    assert_eq!(
+        opt.expect_ok("lineage").unwrap(),
+        plain.expect_ok("lineage").unwrap()
+    );
+    // The comparison is only meaningful if rewrites actually fired.
+    let stats = opt.expect_ok("stats").expect("stats");
+    let rewrites: u64 = counter(&stats, "opt_rewrites");
+    assert!(rewrites > 0, "no rewrites fired on the optimizing server");
+    let plain_stats = plain.expect_ok("stats").expect("stats");
+    assert_eq!(counter(&plain_stats, "opt_rewrites"), 0);
+
+    opt_handle.shutdown();
+    plain_handle.shutdown();
+}
+
+fn counter(stats: &str, key: &str) -> u64 {
+    stats
+        .lines()
+        .find_map(|l| l.strip_prefix(&format!("{key} ")))
+        .unwrap_or_else(|| panic!("no {key} line in {stats:?}"))
+        .parse()
+        .unwrap()
+}
+
+/// Cache-key unification: `check compare c ga ga union 2` and
+/// `check compare c ga ga intersect 2` are algebraically equal (the
+/// self-union rewrite), so on an optimizing server the second spelling
+/// must be served from the first one's cache entry — one stored entry,
+/// one hit, and the unification counted in `stats`.
+#[test]
+fn algebraically_equal_commands_share_one_cache_entry() {
+    let union_spelling = "check compare c ga ga union 2";
+    let intersect_spelling = "check compare c ga ga intersect 2";
+
+    // Ground truth first: an unoptimized server answers both spellings
+    // byte-identically, so serving one from the other's entry is sound.
+    let (mut plain, plain_handle) = spawn(false, 8 * 1024 * 1024);
+    plain.expect_ok("open truth demo 42").expect("open");
+    let a = plain.expect_ok(union_spelling).expect("union check");
+    let b = plain
+        .expect_ok(intersect_spelling)
+        .expect("intersect check");
+    assert_eq!(a, b, "spellings are not observationally equal");
+    // Without the optimizer the two spellings are distinct cache keys:
+    // two misses, no unification.
+    let stats = plain.expect_ok("stats").expect("stats");
+    assert_eq!(counter(&stats, "cache_hits"), 0);
+    assert_eq!(counter(&stats, "opt_key_unified"), 0);
+    plain_handle.shutdown();
+
+    let (mut opt, opt_handle) = spawn(true, 8 * 1024 * 1024);
+    opt.expect_ok("open eq demo 42").expect("open");
+    let hits0 = counter(&opt.expect_ok("stats").unwrap(), "cache_hits");
+    let first = opt.expect_ok(union_spelling).expect("first spelling");
+    let misses_after_first = counter(&opt.expect_ok("stats").unwrap(), "cache_misses");
+    let second = opt.expect_ok(intersect_spelling).expect("second spelling");
+    assert_eq!(first, second);
+    assert_eq!(first, a, "optimizing server disagrees with ground truth");
+    let stats = opt.expect_ok("stats").expect("stats");
+    assert_eq!(
+        counter(&stats, "cache_hits"),
+        hits0 + 1,
+        "second spelling did not hit the first one's entry: {stats}"
+    );
+    assert_eq!(
+        counter(&stats, "cache_misses"),
+        misses_after_first,
+        "second spelling missed — keys were not unified: {stats}"
+    );
+    assert!(
+        counter(&stats, "opt_key_unified") >= 1,
+        "unification not counted: {stats}"
+    );
+    opt_handle.shutdown();
+}

@@ -214,6 +214,67 @@ fn pristine_twin_sessions_share_cached_replies() {
     handle.shutdown();
 }
 
+/// Admission-policy baseline — documents the gap, does not fix it.
+/// Admission today is size-only: any reply whose bytes (plus key and slot
+/// overhead) fit in `budget / 4` is stored, and eviction is pure LRU. A
+/// single cold scan of distinct reads therefore evicts the hottest entry
+/// in the cache — there is no scan resistance and no frequency-based
+/// admission. A future policy (e.g. a TinyLFU-style filter) should flip
+/// the `misses` assertion below; this test is the before picture it will
+/// be measured against.
+#[test]
+fn admission_baseline_has_no_thrash_protection() {
+    let (mut client, handle) = spawn(config(4 * 1024));
+    client.expect_ok("open adm demo 42").expect("open");
+
+    // Prime the hot entry and prove it hits.
+    let tissues = client.expect_ok("tissues").expect("prime");
+    let hits = counter(&client.expect_ok("stats").unwrap(), "cache_hits");
+    assert_eq!(client.expect_ok("tissues").unwrap(), tissues);
+    assert_eq!(
+        counter(&client.expect_ok("stats").unwrap(), "cache_hits"),
+        hits + 1,
+        "hot entry did not hit before the scan"
+    );
+
+    // A one-pass cold scan: each reply is individually small enough to be
+    // admitted, and collectively they overflow the 4 KiB budget.
+    for i in 0..21 {
+        client
+            .expect_ok(&format!("library {i}"))
+            .expect("scan read");
+    }
+    let stats = client.expect_ok("stats").expect("stats");
+    assert!(
+        counter(&stats, "cache_evictions") > 0,
+        "scan did not pressure the cache: {stats}"
+    );
+
+    // The hot entry was evicted by the scan: the next read misses (and
+    // recomputes the identical reply).
+    let misses = counter(&stats, "cache_misses");
+    assert_eq!(client.expect_ok("tissues").unwrap(), tissues);
+    assert_eq!(
+        counter(&client.expect_ok("stats").unwrap(), "cache_misses"),
+        misses + 1,
+        "scan resistance appeared — update the admission baseline"
+    );
+
+    // The only admission control is the size gate: an entry whose key
+    // alone exceeds budget/4 is rejected outright (the reply is still
+    // computed and correct).
+    let rejected = counter(&client.expect_ok("stats").unwrap(), "cache_rejected");
+    let oversized = format!("check {}", vec!["tissues"; 300].join(" ; "));
+    client.expect_ok(&oversized).expect("oversized check");
+    assert_eq!(
+        counter(&client.expect_ok("stats").unwrap(), "cache_rejected"),
+        rejected + 1,
+        "oversized entry was not size-rejected"
+    );
+
+    handle.shutdown();
+}
+
 #[test]
 fn eviction_round_trips_through_the_client() {
     let mut cfg = config(1024 * 1024);
