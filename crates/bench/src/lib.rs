@@ -8,6 +8,7 @@
 #![warn(missing_docs)]
 
 pub mod baselines;
+pub mod hotpath;
 pub mod mine_backends;
 pub mod optimizer;
 pub mod parallel;

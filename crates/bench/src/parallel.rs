@@ -95,17 +95,27 @@ pub struct ParallelRow {
     pub identical: bool,
 }
 
-/// Time `f` over `repetitions` runs, returning the last result and the
-/// minimum wall time in milliseconds.
-fn time_min<T>(repetitions: usize, mut f: impl FnMut() -> T) -> (T, f64) {
-    let mut best = f64::INFINITY;
-    let mut out = None;
+/// Time `a` and `b` over interleaved repetitions (A B A B …), returning
+/// each side's last result and minimum wall time in milliseconds. The
+/// interleaving keeps the comparison honest: in back-to-back blocks,
+/// whichever side ran second inherited a warmed cache and a settled
+/// allocator from the first.
+fn time_pair<A, B>(
+    repetitions: usize,
+    mut a: impl FnMut() -> A,
+    mut b: impl FnMut() -> B,
+) -> ((A, f64), (B, f64)) {
+    let (mut best_a, mut best_b) = (f64::INFINITY, f64::INFINITY);
+    let (mut out_a, mut out_b) = (None, None);
     for _ in 0..repetitions.max(1) {
         let start = Instant::now();
-        out = Some(f());
-        best = best.min(start.elapsed().as_secs_f64() * 1e3);
+        out_a = Some(a());
+        best_a = best_a.min(start.elapsed().as_secs_f64() * 1e3);
+        let start = Instant::now();
+        out_b = Some(b());
+        best_b = best_b.min(start.elapsed().as_secs_f64() * 1e3);
     }
-    (out.unwrap(), best)
+    ((out_a.unwrap(), best_a), (out_b.unwrap(), best_b))
 }
 
 fn row(
@@ -152,10 +162,11 @@ pub fn run(cfg: &ParallelConfig) -> Vec<ParallelRow> {
 
     let mut rows = Vec::new();
 
-    let (serial_pop, serial_ms) = time_min(cfg.repetitions, || populate("hits", &sumy, &w.table));
-    let (sharded_pop, sharded_ms) = time_min(cfg.repetitions, || {
-        populate_sharded("hits", &sumy, &w.table, &exec)
-    });
+    let ((serial_pop, serial_ms), (sharded_pop, sharded_ms)) = time_pair(
+        cfg.repetitions,
+        || populate("hits", &sumy, &w.table),
+        || populate_sharded("hits", &sumy, &w.table, &exec),
+    );
     rows.push(row(
         "populate",
         sharded_pop.1.shards,
@@ -164,10 +175,11 @@ pub fn run(cfg: &ParallelConfig) -> Vec<ParallelRow> {
         serial_pop == sharded_pop.0,
     ));
 
-    let (serial_agg, serial_ms) = time_min(cfg.repetitions, || aggregate("agg", &w.table.matrix));
-    let (sharded_agg, sharded_ms) = time_min(cfg.repetitions, || {
-        aggregate_sharded("agg", &w.table.matrix, &exec)
-    });
+    let ((serial_agg, serial_ms), (sharded_agg, sharded_ms)) = time_pair(
+        cfg.repetitions,
+        || aggregate("agg", &w.table.matrix),
+        || aggregate_sharded("agg", &w.table.matrix, &exec),
+    );
     rows.push(row(
         "aggregate",
         sharded_agg.1.shards,
@@ -189,12 +201,11 @@ pub fn run(cfg: &ParallelConfig) -> Vec<ParallelRow> {
         min_records: 2,
         batch_size: 6,
     });
-    let (serial_mine, serial_ms) = time_min(cfg.repetitions, || {
-        mine(&mw.table, "bench", &miner, Some(&tol))
-    });
-    let (sharded_mine, sharded_ms) = time_min(cfg.repetitions, || {
-        mine_sharded(&mw.table, "bench", &miner, Some(&tol), &exec)
-    });
+    let ((serial_mine, serial_ms), (sharded_mine, sharded_ms)) = time_pair(
+        cfg.repetitions,
+        || mine(&mw.table, "bench", &miner, Some(&tol)),
+        || mine_sharded(&mw.table, "bench", &miner, Some(&tol), &exec),
+    );
     rows.push(row(
         "mine",
         sharded_mine.1.shards,

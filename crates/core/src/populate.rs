@@ -138,12 +138,43 @@ pub fn columnar_prune_range(
     lo_lib: usize,
     hi_lib: usize,
 ) -> (Vec<LibraryId>, usize) {
+    let mut candidates = Vec::new();
+    let rows_processed = columnar_prune_with(resolved, table, lo_lib, hi_lib, &mut candidates);
+    let hits = candidates
+        .into_iter()
+        .map(|l| LibraryId((lo_lib + l as usize) as u32))
+        .collect();
+    (hits, rows_processed)
+}
+
+/// The allocation-reusing core of [`columnar_prune_range`]: fills
+/// `candidates` with the surviving library offsets *relative to `lo_lib`*
+/// (ascending) and returns the number of condition rows processed.
+///
+/// The candidate set is a selection vector, not a byte mask: each
+/// condition row compacts the survivors in place with a branchless
+/// write-cursor, so a row's cost is proportional to the *current*
+/// candidate count instead of the full range width — once the first few
+/// conditions have pruned the range, the remaining tens of thousands of
+/// condition rows touch a handful of cells each instead of branching over
+/// every library's dead flag. Survivor order (ascending), the early-empty
+/// break, the implicit-zero handling for absent tags, and the
+/// rows-processed count are exactly the original mask loop's; `candidates`
+/// is cleared before use so pooled scratch buffers can be handed in
+/// dirty (`gea-exec`'s per-shard scratch pool does).
+pub fn columnar_prune_with(
+    resolved: &[(Option<TagId>, f64, f64)],
+    table: &EnumTable,
+    lo_lib: usize,
+    hi_lib: usize,
+    candidates: &mut Vec<u32>,
+) -> usize {
     let n = hi_lib - lo_lib;
-    let mut alive: Vec<bool> = vec![true; n];
-    let mut alive_count = n;
+    candidates.clear();
+    candidates.extend(0..n as u32);
     let mut rows_processed = 0usize;
     for &(tid, lo, hi) in resolved {
-        if alive_count == 0 {
+        if candidates.is_empty() {
             break;
         }
         // Fetching the physical row touches every library's cell.
@@ -151,32 +182,27 @@ pub fn columnar_prune_range(
         match tid {
             Some(tid) => {
                 let row = &table.matrix.tag_row(tid)[lo_lib..hi_lib];
-                for (l, flag) in alive.iter_mut().enumerate() {
-                    if *flag {
-                        let v = row[l];
-                        if v < lo || v > hi {
-                            *flag = false;
-                            alive_count -= 1;
-                        }
-                    }
+                let mut write = 0usize;
+                for read in 0..candidates.len() {
+                    let l = candidates[read];
+                    let v = row[l as usize];
+                    candidates[write] = l;
+                    // Same predicate as the library-at-a-time check
+                    // (`library_satisfies`), kept in rejection form so any
+                    // exotic value orders identically.
+                    write += usize::from(!(v < lo || v > hi));
                 }
+                candidates.truncate(write);
             }
             None => {
                 // Implicit zero for every library.
                 if lo > 0.0 || hi < 0.0 {
-                    alive.fill(false);
-                    alive_count = 0;
+                    candidates.clear();
                 }
             }
         }
     }
-    let hits = alive
-        .into_iter()
-        .enumerate()
-        .filter(|&(_, a)| a)
-        .map(|(l, _)| LibraryId((lo_lib + l) as u32))
-        .collect();
-    (hits, rows_processed)
+    rows_processed
 }
 
 /// A set of sorted range indexes over chosen tags of one ENUM table.
@@ -303,14 +329,44 @@ pub fn index_probe(
 /// The populate() macro-operation: evaluate and materialize the result as a
 /// named ENUM table over the SUMY's tags ("the populate operator converts a
 /// cluster from its intensional/SUMY form to its extensional/ENUM form").
+/// Qualification runs through the columnar pruning kernel — it returns
+/// exactly the scan's hit list (same predicate, same ascending order;
+/// property-tested) while touching only surviving candidates per
+/// condition row.
 pub fn populate(name: &str, sumy: &SumyTable, table: &EnumTable) -> EnumTable {
-    let (libs, _) = populate_scan(sumy, table);
-    let restricted = table.with_libraries(name, &libs);
+    let (libs, _) = populate_columnar(sumy, table);
+    materialize_populate(name, sumy, table, &libs)
+}
+
+/// Materialize a populate() result: restrict `table` to the qualifying
+/// `libs`, then to the SUMY's tags. Shared by the serial macro-operation,
+/// the session bookkeeping, and the sharded driver so the result table is
+/// identical by construction on every path.
+///
+/// When the SUMY covers *every* tag of the table in row order — the common
+/// `populate(aggregate(E'), E)` closure, where the SUMY was aggregated from
+/// a same-universe table — the tag restriction is the identity: filtering a
+/// sorted universe with a keep-everything predicate rebuilds the same
+/// universe, and copying every row in order rebuilds the same value block.
+/// That copy is pure overhead at 25k–30k conditions, so it is skipped.
+pub fn materialize_populate(
+    name: &str,
+    sumy: &SumyTable,
+    table: &EnumTable,
+    libs: &[LibraryId],
+) -> EnumTable {
+    let restricted = table.with_libraries(name, libs);
     let tag_ids: Vec<TagId> = sumy
         .tags()
         .filter_map(|t| restricted.matrix.id_of(t))
         .collect();
-    restricted.select_tags(name, &tag_ids)
+    let identity = tag_ids.len() == restricted.matrix.n_tags()
+        && tag_ids.iter().enumerate().all(|(i, t)| t.index() == i);
+    if identity {
+        restricted
+    } else {
+        restricted.select_tags(name, &tag_ids)
+    }
 }
 
 #[cfg(test)]

@@ -803,16 +803,18 @@ impl GeaSession {
         dataset: &str,
     ) -> Result<usize, GeaError> {
         self.populate_from_sumy_with(name, sumy, dataset, |s, t| {
-            crate::populate::populate_scan(s, t).0
+            crate::populate::populate_columnar(s, t).0
         })
     }
 
     /// [`GeaSession::populate_from_sumy`] with a pluggable evaluation of
     /// the populate operator, so `gea-exec` can route the scan through its
-    /// sharded drivers. The callback must return exactly what
-    /// [`crate::populate::populate_scan`] returns — the bookkeeping
-    /// (lineage, relational materialization, naming) is shared, so results
-    /// are identical by construction whenever the scan is.
+    /// sharded drivers. The callback must return exactly the hit list
+    /// [`crate::populate::populate_scan`] returns (the columnar pruning
+    /// kernel and the sharded drivers all do — same predicate, same
+    /// ascending order) — the bookkeeping (lineage, relational
+    /// materialization, naming) is shared, so results are identical by
+    /// construction whenever the hits are.
     pub fn populate_from_sumy_with(
         &mut self,
         name: &str,
@@ -824,12 +826,7 @@ impl GeaSession {
         let sumy_table = self.sumy(sumy)?.clone();
         let table = self.enum_table(dataset)?.clone();
         let libs = populate_fn(&sumy_table, &table);
-        let restricted = table.with_libraries(name, &libs);
-        let tag_ids: Vec<_> = sumy_table
-            .tags()
-            .filter_map(|t| restricted.matrix.id_of(t))
-            .collect();
-        let result = restricted.select_tags(name, &tag_ids);
+        let result = crate::populate::materialize_populate(name, &sumy_table, &table, &libs);
         if result.n_libraries() == 0 {
             return Err(GeaError::EmptyGroup(format!("populate({sumy}, {dataset})")));
         }

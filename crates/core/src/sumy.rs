@@ -43,10 +43,19 @@ pub struct SumyTable {
 impl SumyTable {
     /// Build from rows; they are sorted by tag and must not contain
     /// duplicate tags.
+    ///
+    /// The common producers ([`aggregate`], the sharded drivers' shard-order
+    /// concatenation) emit rows already in tag order because the tag
+    /// universe assigns ids in sorted order — one strictly-ascending pass
+    /// then proves both sortedness and uniqueness at once, and the stable
+    /// sort (with its scratch buffer and row moves) is skipped entirely.
     pub fn new(name: &str, mut rows: Vec<SumyRow>) -> SumyTable {
-        rows.sort_by_key(|r| r.tag);
-        for pair in rows.windows(2) {
-            assert_ne!(pair[0].tag, pair[1].tag, "duplicate tag in SUMY table");
+        let sorted_unique = rows.windows(2).all(|pair| pair[0].tag < pair[1].tag);
+        if !sorted_unique {
+            rows.sort_by_key(|r| r.tag);
+            for pair in rows.windows(2) {
+                assert_ne!(pair[0].tag, pair[1].tag, "duplicate tag in SUMY table");
+            }
         }
         SumyTable {
             name: name.to_string(),
@@ -134,13 +143,188 @@ impl SumyTable {
 /// `matrix` must already be restricted to the cluster's libraries; every
 /// tag of the matrix becomes a SUMY row.
 pub fn aggregate(name: &str, matrix: &ExpressionMatrix) -> SumyTable {
-    let n = matrix.n_libraries();
-    assert!(n > 0, "cannot aggregate an ENUM table with no libraries");
-    let rows = matrix
-        .tag_ids()
-        .map(|tid| aggregate_row(matrix, tid))
-        .collect();
-    SumyTable::new(name, rows)
+    assert!(
+        matrix.n_libraries() > 0,
+        "cannot aggregate an ENUM table with no libraries"
+    );
+    SumyTable::new(name, aggregate_rows_range(matrix, 0, matrix.n_tags()))
+}
+
+/// How many tag rows the blocked kernels interleave. The per-tag
+/// accumulation chains (`min`/`max`/`+`) are latency-bound and strictly
+/// sequential per tag — interleaving independent tags' chains keeps the
+/// FPU pipeline full without reordering any single tag's operations, so
+/// the blocked kernels stay bit-identical to the scalar reference.
+const LANES: usize = 4;
+
+/// One fused min/max/sum pass over a contiguous tag row — the exact
+/// accumulation order of the scalar reference ([`reference::aggregate_row`]).
+#[inline(always)]
+fn fused_min_max_sum(values: &[f64]) -> (f64, f64, f64) {
+    let mut lo = f64::INFINITY;
+    let mut hi = f64::NEG_INFINITY;
+    let mut sum = 0.0;
+    for &v in values {
+        lo = lo.min(v);
+        hi = hi.max(v);
+        sum += v;
+    }
+    (lo, hi, sum)
+}
+
+/// The variance pass: sum of squared deviations from `avg`, in row order.
+#[inline(always)]
+fn squared_deviation_sum(values: &[f64], avg: f64) -> f64 {
+    let mut acc = 0.0;
+    for &v in values {
+        acc += (v - avg) * (v - avg);
+    }
+    acc
+}
+
+/// [`fused_min_max_sum`] over four equal-length rows at once. Each row's
+/// accumulator chain is untouched — the lanes are independent tags — so
+/// lane `l` returns exactly `fused_min_max_sum(r_l)`.
+#[inline(always)]
+#[allow(clippy::needless_range_loop)]
+fn fused_block(r0: &[f64], r1: &[f64], r2: &[f64], r3: &[f64]) -> [(f64, f64, f64); LANES] {
+    let len = r0.len();
+    assert!(r1.len() == len && r2.len() == len && r3.len() == len);
+    let mut lo = [f64::INFINITY; LANES];
+    let mut hi = [f64::NEG_INFINITY; LANES];
+    let mut sum = [0.0; LANES];
+    for i in 0..len {
+        let v = [r0[i], r1[i], r2[i], r3[i]];
+        for l in 0..LANES {
+            lo[l] = lo[l].min(v[l]);
+            hi[l] = hi[l].max(v[l]);
+            sum[l] += v[l];
+        }
+    }
+    [
+        (lo[0], hi[0], sum[0]),
+        (lo[1], hi[1], sum[1]),
+        (lo[2], hi[2], sum[2]),
+        (lo[3], hi[3], sum[3]),
+    ]
+}
+
+/// [`squared_deviation_sum`] over four rows at once, one mean per lane.
+#[inline(always)]
+#[allow(clippy::needless_range_loop)]
+fn squared_deviation_block(
+    r0: &[f64],
+    r1: &[f64],
+    r2: &[f64],
+    r3: &[f64],
+    avg: [f64; LANES],
+) -> [f64; LANES] {
+    let len = r0.len();
+    assert!(r1.len() == len && r2.len() == len && r3.len() == len);
+    let mut acc = [0.0; LANES];
+    for i in 0..len {
+        let v = [r0[i], r1[i], r2[i], r3[i]];
+        for l in 0..LANES {
+            let d = v[l] - avg[l];
+            acc[l] += d * d;
+        }
+    }
+    acc
+}
+
+/// The blocked columnar kernel behind [`aggregate`], [`aggregate_tags`]
+/// and `gea-exec`'s shards: aggregate `count` tags (`tid_at(0..count)`),
+/// interleaving [`LANES`] contiguous tag rows per pass.
+fn aggregate_rows_with(
+    matrix: &ExpressionMatrix,
+    tid_at: impl Fn(usize) -> TagId,
+    count: usize,
+) -> Vec<SumyRow> {
+    let mut out = Vec::with_capacity(count);
+    aggregate_rows_sink(matrix, tid_at, count, |row| out.push(row));
+    out
+}
+
+/// Sink-shaped core of the blocked kernel: emit each finished row through
+/// `sink` instead of collecting. `gea-exec` uses this to write shard rows
+/// straight into their final positions in one preallocated output,
+/// skipping the per-shard staging vectors and the merge copy.
+fn aggregate_rows_sink(
+    matrix: &ExpressionMatrix,
+    tid_at: impl Fn(usize) -> TagId,
+    count: usize,
+    mut sink: impl FnMut(SumyRow),
+) {
+    let nf = matrix.n_libraries() as f64;
+    let mut i = 0;
+    while i + LANES <= count {
+        let t = [tid_at(i), tid_at(i + 1), tid_at(i + 2), tid_at(i + 3)];
+        let r = [
+            matrix.tag_row(t[0]),
+            matrix.tag_row(t[1]),
+            matrix.tag_row(t[2]),
+            matrix.tag_row(t[3]),
+        ];
+        let stats = fused_block(r[0], r[1], r[2], r[3]);
+        let avg = [
+            stats[0].2 / nf,
+            stats[1].2 / nf,
+            stats[2].2 / nf,
+            stats[3].2 / nf,
+        ];
+        let sq = squared_deviation_block(r[0], r[1], r[2], r[3], avg);
+        for l in 0..LANES {
+            let (lo, hi, _) = stats[l];
+            sink(SumyRow {
+                tag: matrix.tag_of(t[l]),
+                tag_no: t[l].0,
+                range: Interval::new(lo, hi).expect("finite expression levels"),
+                average: avg[l],
+                std_dev: (sq[l] / nf).sqrt(),
+                extras: BTreeMap::new(),
+            });
+        }
+        i += LANES;
+    }
+    while i < count {
+        sink(aggregate_row(matrix, tid_at(i)));
+        i += 1;
+    }
+}
+
+/// Aggregate the contiguous tag-id block `[lo, hi)` with the blocked
+/// kernel. The serial operator is this helper over `[0, n_tags)`; sharded
+/// drivers (`gea-exec`) run it per shard range — same per-tag operation
+/// order either way, hence bit-identical results.
+pub fn aggregate_rows_range(matrix: &ExpressionMatrix, lo: usize, hi: usize) -> Vec<SumyRow> {
+    aggregate_rows_with(matrix, |i| TagId((lo + i) as u32), hi - lo)
+}
+
+/// [`aggregate_rows_range`] emitting rows through `sink` instead of
+/// collecting — same kernel, same order, zero staging allocation.
+pub fn aggregate_rows_range_with(
+    matrix: &ExpressionMatrix,
+    lo: usize,
+    hi: usize,
+    sink: impl FnMut(SumyRow),
+) {
+    aggregate_rows_sink(matrix, |i| TagId((lo + i) as u32), hi - lo, sink);
+}
+
+/// Aggregate an explicit tag list with the blocked kernel (the
+/// [`aggregate_tags`] axis, sliced by sharded drivers).
+pub fn aggregate_tag_rows(matrix: &ExpressionMatrix, tags: &[TagId]) -> Vec<SumyRow> {
+    aggregate_rows_with(matrix, |i| tags[i], tags.len())
+}
+
+/// [`aggregate_tag_rows`] emitting rows through `sink` instead of
+/// collecting.
+pub fn aggregate_tag_rows_with(
+    matrix: &ExpressionMatrix,
+    tags: &[TagId],
+    sink: impl FnMut(SumyRow),
+) {
+    aggregate_rows_sink(matrix, |i| tags[i], tags.len(), sink);
 }
 
 /// The per-tag arithmetic of [`aggregate`]: one fused min/max/sum pass
@@ -151,16 +335,9 @@ pub fn aggregate(name: &str, matrix: &ExpressionMatrix) -> SumyTable {
 pub fn aggregate_row(matrix: &ExpressionMatrix, tid: TagId) -> SumyRow {
     let n = matrix.n_libraries();
     let values = matrix.tag_row(tid);
-    let mut lo = f64::INFINITY;
-    let mut hi = f64::NEG_INFINITY;
-    let mut sum = 0.0;
-    for &v in values {
-        lo = lo.min(v);
-        hi = hi.max(v);
-        sum += v;
-    }
+    let (lo, hi, sum) = fused_min_max_sum(values);
     let avg = sum / n as f64;
-    let var = values.iter().map(|v| (v - avg) * (v - avg)).sum::<f64>() / n as f64;
+    let var = squared_deviation_sum(values, avg) / n as f64;
     SumyRow {
         tag: matrix.tag_of(tid),
         tag_no: tid.0,
@@ -192,7 +369,19 @@ impl ExtraAggregate {
     pub fn column_name(&self) -> String {
         match self {
             ExtraAggregate::Median => "median".to_string(),
-            ExtraAggregate::Percentile(q) => format!("p{:02.0}", q * 100.0),
+            // Integral percentages keep the canonical zero-padded form
+            // ("p25"); everything else renders the exact value ("p5.4"),
+            // which f64's shortest-roundtrip Display keeps injective —
+            // the old `{:02.0}` rounding collapsed q=0.054 and q=0.056
+            // into the same column name.
+            ExtraAggregate::Percentile(q) => {
+                let p = q * 100.0;
+                if p.fract() == 0.0 && (0.0..=100.0).contains(&p) {
+                    format!("p{:02}", p as u32)
+                } else {
+                    format!("p{p}")
+                }
+            }
             ExtraAggregate::Sum => "sum".to_string(),
             ExtraAggregate::ExpressingLibraries => "expressing".to_string(),
         }
@@ -243,34 +432,75 @@ pub fn aggregate_with_extras(
 /// control-group SUMY tables, which "contain only the compact attributes of
 /// the fascicle" (§4.3.1.2 steps 4–5).
 pub fn aggregate_tags(name: &str, matrix: &ExpressionMatrix, tags: &[TagId]) -> SumyTable {
-    let n = matrix.n_libraries();
-    assert!(n > 0, "cannot aggregate an ENUM table with no libraries");
-    let rows = tags
-        .iter()
-        .map(|&tid| aggregate_tags_row(matrix, tid))
-        .collect();
-    SumyTable::new(name, rows)
+    assert!(
+        matrix.n_libraries() > 0,
+        "cannot aggregate an ENUM table with no libraries"
+    );
+    SumyTable::new(name, aggregate_tag_rows(matrix, tags))
 }
 
-/// The per-tag arithmetic of [`aggregate_tags`] — separate fold passes
-/// per statistic, which is *not* the same floating-point operation order
-/// as [`aggregate_row`]'s fused pass. Exposed (like `aggregate_row`) so
-/// sharded drivers reproduce the serial operator bit for bit. The matrix
-/// must have at least one library.
+/// The per-tag arithmetic of [`aggregate_tags`]. Historically this ran
+/// four separate fold passes per statistic
+/// ([`reference::aggregate_tags_row`]); the fused two-pass kernel is
+/// bit-identical to it because fusing only interleaves the *independent*
+/// min/max/sum accumulator chains — each chain still sees the same values
+/// in the same order. Exposed (like [`aggregate_row`]) so sharded drivers
+/// reproduce the serial operator bit for bit.
 pub fn aggregate_tags_row(matrix: &ExpressionMatrix, tid: TagId) -> SumyRow {
-    let n = matrix.n_libraries();
-    let values = matrix.tag_row(tid);
-    let lo = values.iter().cloned().fold(f64::INFINITY, f64::min);
-    let hi = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
-    let avg = values.iter().sum::<f64>() / n as f64;
-    let var = values.iter().map(|v| (v - avg) * (v - avg)).sum::<f64>() / n as f64;
-    SumyRow {
-        tag: matrix.tag_of(tid),
-        tag_no: tid.0,
-        range: Interval::new(lo, hi).expect("finite expression levels"),
-        average: avg,
-        std_dev: var.sqrt(),
-        extras: BTreeMap::new(),
+    aggregate_row(matrix, tid)
+}
+
+/// The pre-change scalar kernels, kept verbatim as the bit-identity
+/// oracle: `tests/kernel_props.rs` pins the fused/blocked kernels (and the
+/// sharded drivers built on them) to these reference implementations for
+/// randomized matrices, so any accidental reassociation of a per-tag
+/// accumulation chain fails loudly.
+#[doc(hidden)]
+pub mod reference {
+    use super::*;
+
+    /// `aggregate_row` as originally shipped: fused min/max/sum pass,
+    /// then a variance pass via iterator sum.
+    pub fn aggregate_row(matrix: &ExpressionMatrix, tid: TagId) -> SumyRow {
+        let n = matrix.n_libraries();
+        let values = matrix.tag_row(tid);
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        let mut sum = 0.0;
+        for &v in values {
+            lo = lo.min(v);
+            hi = hi.max(v);
+            sum += v;
+        }
+        let avg = sum / n as f64;
+        let var = values.iter().map(|v| (v - avg) * (v - avg)).sum::<f64>() / n as f64;
+        SumyRow {
+            tag: matrix.tag_of(tid),
+            tag_no: tid.0,
+            range: Interval::new(lo, hi).expect("finite expression levels"),
+            average: avg,
+            std_dev: var.sqrt(),
+            extras: BTreeMap::new(),
+        }
+    }
+
+    /// `aggregate_tags_row` as originally shipped: one fold pass per
+    /// statistic (min, max, sum, then squared deviations).
+    pub fn aggregate_tags_row(matrix: &ExpressionMatrix, tid: TagId) -> SumyRow {
+        let n = matrix.n_libraries();
+        let values = matrix.tag_row(tid);
+        let lo = values.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let avg = values.iter().sum::<f64>() / n as f64;
+        let var = values.iter().map(|v| (v - avg) * (v - avg)).sum::<f64>() / n as f64;
+        SumyRow {
+            tag: matrix.tag_of(tid),
+            tag_no: tid.0,
+            range: Interval::new(lo, hi).expect("finite expression levels"),
+            average: avg,
+            std_dev: var.sqrt(),
+            extras: BTreeMap::new(),
+        }
     }
 }
 
@@ -393,6 +623,79 @@ mod tests {
         // Values 0, 1, 2, 3: one zero.
         assert_eq!(g.extras["expressing"], 3.0);
         assert_eq!(g.extras["median"], 1.0);
+    }
+
+    #[test]
+    fn percentile_column_names_are_collision_free() {
+        // Canonical integral names keep their zero-padded form.
+        assert_eq!(ExtraAggregate::Percentile(0.25).column_name(), "p25");
+        assert_eq!(ExtraAggregate::Percentile(0.5).column_name(), "p50");
+        assert_eq!(ExtraAggregate::Percentile(0.05).column_name(), "p05");
+        assert_eq!(ExtraAggregate::Percentile(1.0).column_name(), "p100");
+        // The old `{:02.0}` rounding mapped these to the same name.
+        let a = ExtraAggregate::Percentile(0.054).column_name();
+        let b = ExtraAggregate::Percentile(0.056).column_name();
+        assert_ne!(a, b, "distinct quantiles collided: {a}");
+        assert_eq!(a, "p5.4");
+        assert!(b.starts_with("p5.6"), "unexpected name {b}");
+        // Dense nearby quantiles all stay distinct.
+        let names: std::collections::HashSet<String> = (0..100)
+            .map(|i| ExtraAggregate::Percentile(0.05 + i as f64 * 1e-4).column_name())
+            .collect();
+        assert_eq!(names.len(), 100);
+    }
+
+    #[test]
+    fn blocked_kernel_matches_scalar_reference() {
+        // A shape that exercises both the 4-lane blocks and the scalar
+        // tail (7 tags = one block + 3), with awkward values.
+        // Distinct tags, lexicographically ascending in i, so row i is
+        // universe tag id i.
+        let universe = TagUniverse::from_tags((0..7usize).map(|i| {
+            let mut s = String::new();
+            s.push(['A', 'C', 'G', 'T'][i / 4]);
+            s.push(['A', 'C', 'G', 'T'][i % 4]);
+            s.push_str("AAAAAAAA");
+            s.parse().unwrap()
+        }));
+        let libs = (0..5)
+            .map(|i| {
+                library_meta(
+                    &format!("L{i}"),
+                    TissueType::Brain,
+                    NeoplasticState::Normal,
+                    TissueSource::BulkTissue,
+                )
+            })
+            .collect();
+        let rows: Vec<Vec<f64>> = (0..7)
+            .map(|t| {
+                (0..5)
+                    .map(|l| ((t * 31 + l * 17) % 23) as f64 * 0.1 + 0.01 * t as f64)
+                    .collect()
+            })
+            .collect();
+        let m = ExpressionMatrix::from_rows(universe, libs, rows);
+        let blocked = aggregate_rows_range(&m, 0, 7);
+        for (i, row) in blocked.iter().enumerate() {
+            let want = reference::aggregate_row(&m, TagId(i as u32));
+            assert_eq!(row, &want, "tag {i} diverged from the reference");
+            let want_tags = reference::aggregate_tags_row(&m, TagId(i as u32));
+            assert_eq!(row, &want_tags, "tag {i} diverged from the fold reference");
+        }
+    }
+
+    #[test]
+    fn sumy_new_sorts_unsorted_rows() {
+        // The sorted fast path must not change behaviour for unsorted
+        // input: rows still come out tag-sorted, duplicates still panic.
+        let mut rows = aggregate("t", &matrix()).rows().to_vec();
+        rows.reverse();
+        let table = SumyTable::new("r", rows);
+        let tags: Vec<Tag> = table.tags().collect();
+        let mut sorted = tags.clone();
+        sorted.sort();
+        assert_eq!(tags, sorted);
     }
 
     #[test]

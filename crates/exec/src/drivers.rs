@@ -8,15 +8,17 @@
 //! why its merge reproduces the serial result exactly — including the
 //! deterministic work counters in [`PopulateStats`].
 
+use std::mem::MaybeUninit;
+use std::sync::Mutex;
 use std::time::Instant;
 
 use gea_cluster::ToleranceVector;
 use gea_core::mine::{materialize_cluster, mine_groups, MinedCluster, Miner};
 use gea_core::populate::{
-    columnar_prune_range, index_probe, library_satisfies, resolve_conditions, PopulateIndex,
-    PopulateStats,
+    columnar_prune_with, index_probe, library_satisfies, materialize_populate, resolve_conditions,
+    PopulateIndex, PopulateStats,
 };
-use gea_core::sumy::{aggregate_row, aggregate_tags_row, SumyTable};
+use gea_core::sumy::{aggregate_rows_range_with, aggregate_tag_rows_with, SumyRow, SumyTable};
 use gea_core::{EnumTable, ExecConfig};
 use gea_mine::isa::{converge_seed, dedupe_modules, IsaParams, IsaScores};
 use gea_mine::simplex::{
@@ -28,19 +30,30 @@ use gea_sage::tag::TagId;
 use gea_sage::ExpressionMatrix;
 
 use crate::pool::run_jobs;
+use crate::scratch::ScratchPool;
 use crate::shard::ShardPlan;
 use crate::ExecStats;
 
 /// Run one job per shard of `plan`, timing the whole parallel section and
 /// each job's busy time, and return the per-shard results in shard order
 /// plus the filled-in [`ExecStats`].
+///
+/// The worker count is clamped to the host's parallelism: these jobs are
+/// pure compute, so oversubscribing a smaller host buys nothing but
+/// context switches — on a 1-core runner a 4-thread config now runs the
+/// shards inline instead of paying the scheduler to interleave them.
+/// Results are byte-identical at any worker count (that is the crate's
+/// contract), so the clamp is invisible except in wall time.
 fn run_sharded<T: Send>(
     cfg: &ExecConfig,
     plan: &ShardPlan,
     job: impl Fn(usize, usize, usize) -> T + Sync,
 ) -> (Vec<T>, ExecStats) {
+    let hw = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
     let start = Instant::now();
-    let results = run_jobs(cfg.threads, plan.len(), |i| {
+    let results = run_jobs(cfg.threads.min(hw), plan.len(), |i| {
         let (lo, hi) = plan.range(i);
         let begin = Instant::now();
         let out = job(i, lo, hi);
@@ -59,11 +72,76 @@ fn run_sharded<T: Send>(
     )
 }
 
+/// Concatenate per-shard row vectors in shard order without growth
+/// reallocations: one exact-capacity allocation, then a move-extend per
+/// shard. (The old `flatten().collect()` merge could not size the output
+/// up front, so it grew — and re-copied — the accumulated rows.) Used by
+/// the cluster-materialization drivers; the aggregate drivers go one step
+/// further and skip the merge entirely ([`fill_rows_sharded`]).
+fn merge_shards<T>(shards: Vec<Vec<T>>) -> Vec<T> {
+    let total = shards.iter().map(Vec::len).sum();
+    let mut out = Vec::with_capacity(total);
+    for shard in shards {
+        out.extend(shard);
+    }
+    out
+}
+
+/// Fan a row-producing kernel over `plan`, each shard writing its rows
+/// straight into its disjoint slice of one exact-capacity output vector.
+/// This *is* the shard merge for the aggregate drivers: per-shard staging
+/// vectors and the final move of every row are gone — the allocation and
+/// copy that used to eat the sharded `aggregate` win on small hosts.
+///
+/// `fill(lo, hi, sink)` must emit exactly `hi - lo` rows, in order, for
+/// the plan range `[lo, hi)`. Each shard's slice is split off the
+/// vector's spare capacity up front behind its own (never contended)
+/// mutex, so the parallel writes are all safe code; the one `unsafe` is
+/// the final `set_len`, sound because the slices partition `[0, total)`
+/// and every job is checked to have filled its slice before the pool
+/// joins. If a job panics, the panic propagates with the vector still at
+/// length zero — rows written so far leak; they are not double-dropped.
+fn fill_rows_sharded(
+    cfg: &ExecConfig,
+    plan: &ShardPlan,
+    total: usize,
+    fill: impl Fn(usize, usize, &mut dyn FnMut(SumyRow)) + Sync,
+) -> (Vec<SumyRow>, ExecStats) {
+    let mut out: Vec<SumyRow> = Vec::with_capacity(total);
+    let stats = {
+        let mut spare = &mut out.spare_capacity_mut()[..total];
+        let mut parts: Vec<Mutex<&mut [MaybeUninit<SumyRow>]>> = Vec::with_capacity(plan.len());
+        for i in 0..plan.len() {
+            let (lo, hi) = plan.range(i);
+            let (head, tail) = spare.split_at_mut(hi - lo);
+            parts.push(Mutex::new(head));
+            spare = tail;
+        }
+        let (_, stats) = run_sharded(cfg, plan, |i, lo, hi| {
+            let mut part = parts[i].lock().expect("shard output slice poisoned");
+            let mut next = 0usize;
+            fill(lo, hi, &mut |row| {
+                part[next] = MaybeUninit::new(row);
+                next += 1;
+            });
+            assert_eq!(next, hi - lo, "kernel row count diverged from shard range");
+        });
+        stats
+    };
+    // SAFETY: the shard slices partition the first `total` slots, every
+    // job filled its whole slice (asserted above), and `run_sharded`
+    // joined all jobs before returning.
+    unsafe { out.set_len(total) };
+    (out, stats)
+}
+
 /// Sharded [`gea_core::sumy::aggregate`]: partition the tag rows, compute
-/// each shard's rows with the serial per-tag arithmetic
-/// ([`aggregate_row`]), and concatenate in shard order. The concatenation
-/// is the serial row order, and `SumyTable::new`'s stable sort of unique
-/// tags maps equal inputs to equal outputs — byte-identical.
+/// each shard's rows with the blocked columnar kernel
+/// ([`aggregate_rows_range_with`] — the same kernel, and therefore the
+/// same per-tag operation order, as the serial operator), writing them
+/// in place in shard order ([`fill_rows_sharded`]). The assembled vector
+/// is the serial row order, and `SumyTable::new` maps equal inputs to
+/// equal outputs — byte-identical.
 pub fn aggregate_sharded(
     name: &str,
     matrix: &ExpressionMatrix,
@@ -74,18 +152,16 @@ pub fn aggregate_sharded(
         "cannot aggregate an ENUM table with no libraries"
     );
     let plan = ShardPlan::new(matrix.n_tags(), cfg.shards);
-    let (shards, stats) = run_sharded(cfg, &plan, |_, lo, hi| {
-        (lo..hi)
-            .map(|t| aggregate_row(matrix, TagId(t as u32)))
-            .collect::<Vec<_>>()
+    let (rows, stats) = fill_rows_sharded(cfg, &plan, matrix.n_tags(), |lo, hi, sink| {
+        aggregate_rows_range_with(matrix, lo, hi, sink)
     });
-    let rows = shards.into_iter().flatten().collect();
     (SumyTable::new(name, rows), stats)
 }
 
 /// Sharded [`gea_core::sumy::aggregate_tags`]: partition the *requested
 /// tag list* (not the matrix) into contiguous slices; each shard runs the
-/// serial [`aggregate_tags_row`] arithmetic over its slice.
+/// blocked kernel ([`aggregate_tag_rows_with`]) over its slice, writing
+/// in place like [`aggregate_sharded`].
 pub fn aggregate_tags_sharded(
     name: &str,
     matrix: &ExpressionMatrix,
@@ -97,13 +173,9 @@ pub fn aggregate_tags_sharded(
         "cannot aggregate an ENUM table with no libraries"
     );
     let plan = ShardPlan::new(tags.len(), cfg.shards);
-    let (shards, stats) = run_sharded(cfg, &plan, |_, lo, hi| {
-        tags[lo..hi]
-            .iter()
-            .map(|&tid| aggregate_tags_row(matrix, tid))
-            .collect::<Vec<_>>()
+    let (rows, stats) = fill_rows_sharded(cfg, &plan, tags.len(), |lo, hi, sink| {
+        aggregate_tag_rows_with(matrix, &tags[lo..hi], sink)
     });
-    let rows = shards.into_iter().flatten().collect();
     (SumyTable::new(name, rows), stats)
 }
 
@@ -157,8 +229,16 @@ pub fn populate_columnar_sharded(
     let resolved = resolve_conditions(sumy, table);
     let n = table.n_libraries();
     let plan = ShardPlan::for_libraries(table, cfg.shards);
+    let scratch: ScratchPool<Vec<u32>> = ScratchPool::new();
     let (shards, exec) = run_sharded(cfg, &plan, |_, lo, hi| {
-        columnar_prune_range(&resolved, table, lo, hi)
+        let mut candidates = scratch.take();
+        let rows_processed = columnar_prune_with(&resolved, table, lo, hi, &mut candidates);
+        let hits: Vec<LibraryId> = candidates
+            .iter()
+            .map(|&l| LibraryId((lo + l as usize) as u32))
+            .collect();
+        scratch.put(candidates);
+        (hits, rows_processed)
     });
     let mut hits = Vec::new();
     let mut max_rows = 0usize;
@@ -217,22 +297,18 @@ pub fn populate_indexed_sharded(
     (hits, stats, exec)
 }
 
-/// Sharded [`gea_core::populate::populate`] (the macro-operation): a
-/// sharded scan followed by the same serial materialization of the result
-/// ENUM table.
+/// Sharded [`gea_core::populate::populate`] (the macro-operation): the
+/// sharded columnar pruning (matching the serial macro's evaluation
+/// strategy — identical hits either way) followed by the same serial
+/// materialization ([`materialize_populate`]) of the result ENUM table.
 pub fn populate_sharded(
     name: &str,
     sumy: &SumyTable,
     table: &EnumTable,
     cfg: &ExecConfig,
 ) -> (EnumTable, ExecStats) {
-    let (libs, _, exec) = populate_scan_sharded(sumy, table, cfg);
-    let restricted = table.with_libraries(name, &libs);
-    let tag_ids: Vec<TagId> = sumy
-        .tags()
-        .filter_map(|t| restricted.matrix.id_of(t))
-        .collect();
-    (restricted.select_tags(name, &tag_ids), exec)
+    let (libs, _, exec) = populate_columnar_sharded(sumy, table, cfg);
+    (materialize_populate(name, sumy, table, &libs), exec)
 }
 
 /// Sharded [`gea_core::mine::mine`]: the clustering pass
@@ -259,7 +335,7 @@ pub fn mine_sharded(
             })
             .collect::<Vec<_>>()
     });
-    (shards.into_iter().flatten().collect(), stats)
+    (merge_shards(shards), stats)
 }
 
 /// Sharded [`gea_mine::IsaBackend`]: the z-scored views are built once

@@ -28,6 +28,7 @@
 
 pub mod drivers;
 pub mod pool;
+pub mod scratch;
 pub mod session_ext;
 pub mod shard;
 
@@ -38,6 +39,7 @@ pub use drivers::{
 };
 pub use gea_core::session::{ExecConfig, ExecEvent};
 pub use pool::run_jobs;
+pub use scratch::ScratchPool;
 pub use session_ext::{
     calculate_fascicles_sharded, form_control_groups_sharded, mine_with_backend_sharded,
     populate_session_sharded,

@@ -1,0 +1,94 @@
+//! A tiny lock-striped-enough scratch-buffer pool for shard jobs.
+//!
+//! Several drivers need a per-job working buffer (candidate selection
+//! vectors, hit staging) whose size is data-dependent but stable across
+//! jobs. Allocating one per job puts an allocator round trip on every
+//! shard; a [`ScratchPool`] lets each job check a buffer out, reuse its
+//! capacity, and return it — the pool holds at most one buffer per
+//! concurrent worker, so the steady-state allocation count is the worker
+//! count, not the shard count.
+//!
+//! The pool hands buffers out *dirty*: consumers must clear or overwrite
+//! them (the kernels in `gea-core` that accept scratch, e.g.
+//! `columnar_prune_with`, clear on entry). Determinism is unaffected —
+//! a buffer's capacity never influences results.
+
+use std::sync::Mutex;
+
+/// A pool of reusable scratch values (typically `Vec<T>`s whose capacity
+/// is worth keeping warm).
+#[derive(Debug, Default)]
+pub struct ScratchPool<T> {
+    slots: Mutex<Vec<T>>,
+}
+
+impl<T: Default> ScratchPool<T> {
+    /// An empty pool.
+    pub fn new() -> ScratchPool<T> {
+        ScratchPool {
+            slots: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Check a scratch value out: a previously returned one (contents
+    /// unspecified) if available, `T::default()` otherwise.
+    pub fn take(&self) -> T {
+        self.slots
+            .lock()
+            .expect("scratch pool poisoned")
+            .pop()
+            .unwrap_or_default()
+    }
+
+    /// Return a scratch value for reuse by later jobs.
+    pub fn put(&self, value: T) {
+        self.slots
+            .lock()
+            .expect("scratch pool poisoned")
+            .push(value);
+    }
+
+    /// How many buffers are parked in the pool (for tests/metrics).
+    pub fn parked(&self) -> usize {
+        self.slots.lock().expect("scratch pool poisoned").len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn take_reuses_returned_capacity() {
+        let pool: ScratchPool<Vec<u32>> = ScratchPool::new();
+        let mut v = pool.take();
+        assert!(v.is_empty());
+        v.reserve(1024);
+        let cap = v.capacity();
+        pool.put(v);
+        assert_eq!(pool.parked(), 1);
+        let v2 = pool.take();
+        assert!(v2.capacity() >= cap, "capacity was not kept warm");
+        assert_eq!(pool.parked(), 0);
+    }
+
+    #[test]
+    fn concurrent_take_put_is_safe() {
+        let pool: ScratchPool<Vec<u32>> = ScratchPool::new();
+        std::thread::scope(|s| {
+            for t in 0..4 {
+                let pool = &pool;
+                s.spawn(move || {
+                    for i in 0..100 {
+                        let mut v = pool.take();
+                        v.clear();
+                        v.push(t * 1000 + i);
+                        assert_eq!(v.len(), 1);
+                        pool.put(v);
+                    }
+                });
+            }
+        });
+        assert!(pool.parked() >= 1 && pool.parked() <= 4);
+    }
+}

@@ -18,7 +18,7 @@ use gea_mine::{MineBackend, ResolvedParams};
 use gea_sage::library::LibraryProperty;
 
 use crate::drivers::{
-    aggregate_tags_sharded, isa_mine_sharded, mine_sharded, populate_scan_sharded,
+    aggregate_tags_sharded, isa_mine_sharded, mine_sharded, populate_columnar_sharded,
     simplex_mine_sharded,
 };
 use crate::ExecStats;
@@ -147,10 +147,11 @@ pub fn form_control_groups_sharded(
     result
 }
 
-/// [`GeaSession::populate_from_sumy`] with the library scan routed through
-/// [`populate_scan_sharded`]. Byte-identical to the serial macro
-/// operation: the shard plan preserves library order, so the hit list —
-/// and everything the shared bookkeeping derives from it — is the same.
+/// [`GeaSession::populate_from_sumy`] with library qualification routed
+/// through [`populate_columnar_sharded`] (the same pruning kernel the
+/// serial macro operation uses). Byte-identical to the serial path: the
+/// shard plan preserves library order, so the hit list — and everything
+/// the shared bookkeeping derives from it — is the same.
 pub fn populate_session_sharded(
     session: &mut GeaSession,
     name: &str,
@@ -160,7 +161,7 @@ pub fn populate_session_sharded(
     let cfg = session.exec_config();
     let mut noted = None;
     let result = session.populate_from_sumy_with(name, sumy, dataset, |s, t| {
-        let (libs, _pstats, exec) = populate_scan_sharded(s, t, &cfg);
+        let (libs, _pstats, exec) = populate_columnar_sharded(s, t, &cfg);
         noted = Some(exec);
         libs
     });

@@ -25,7 +25,17 @@
 //!
 //! Capacity is a byte budget over command + reply text. Insertions over
 //! budget evict least-recently-hit slots first (stale generations are
-//! never hit again, so they age out fastest).
+//! never hit again, so they age out fastest) — but eviction is guarded by
+//! a **scan-resistant admission filter** ([`FrequencySketch`], a
+//! TinyLFU-style count-min sketch of access frequencies): an insertion
+//! that would evict a slot whose command is accessed *more often* than
+//! the newcomer is rejected instead. A burst of one-off commands (a
+//! client iterating `library 0`, `library 1`, … once each) therefore
+//! churns only against itself; the hot replies it would have flushed
+//! under plain LRU keep hitting. Frequencies are keyed on
+//! `(scope, command)` with the generation deliberately excluded, so a
+//! command's popularity survives write invalidations and the recomputed
+//! reply re-admits immediately.
 
 use std::collections::{BTreeMap, HashMap};
 use std::sync::Mutex;
@@ -60,7 +70,85 @@ struct Slot {
     stamp: u64,
 }
 
-#[derive(Default)]
+/// Counters per sketch row (power of two; 16 index bits available per
+/// row from one 64-bit hash).
+const SKETCH_WIDTH: usize = 1024;
+/// Independent counter rows; an item's estimate is the minimum over its
+/// row counters, so hash collisions only ever *overstate* a frequency.
+const SKETCH_ROWS: usize = 4;
+/// Recorded accesses between aging passes. Halving all counters keeps
+/// estimates a sliding window of recent popularity instead of an
+/// all-time tally (yesterday's hot command must not shadow today's).
+const SKETCH_SAMPLE_LIMIT: u32 = 10 * SKETCH_WIDTH as u32;
+
+/// A TinyLFU-style count-min sketch over `(scope, command)` access
+/// frequencies: 4 rows of `u8` counters, saturating increments, periodic
+/// halving. Fixed 4 KiB footprint, no allocations after construction, no
+/// external dependencies.
+struct FrequencySketch {
+    counters: Vec<u8>,
+    samples: u32,
+}
+
+impl FrequencySketch {
+    fn new() -> FrequencySketch {
+        FrequencySketch {
+            counters: vec![0; SKETCH_ROWS * SKETCH_WIDTH],
+            samples: 0,
+        }
+    }
+
+    fn index(row: usize, hash: u64) -> usize {
+        row * SKETCH_WIDTH + ((hash >> (16 * row)) as usize & (SKETCH_WIDTH - 1))
+    }
+
+    /// Count one access.
+    fn record(&mut self, hash: u64) {
+        self.samples += 1;
+        if self.samples >= SKETCH_SAMPLE_LIMIT {
+            self.age();
+        }
+        for row in 0..SKETCH_ROWS {
+            let c = &mut self.counters[Self::index(row, hash)];
+            *c = c.saturating_add(1);
+        }
+    }
+
+    /// Estimated access count (an upper bound; exact absent collisions).
+    fn estimate(&self, hash: u64) -> u8 {
+        (0..SKETCH_ROWS)
+            .map(|row| self.counters[Self::index(row, hash)])
+            .min()
+            .unwrap_or(0)
+    }
+
+    fn age(&mut self) {
+        for c in &mut self.counters {
+            *c >>= 1;
+        }
+        self.samples /= 2;
+    }
+}
+
+/// FNV-1a over the scope and command. The generation is deliberately
+/// excluded — see the module doc.
+fn freq_hash(scope: CacheScope, command: &str) -> u64 {
+    const PRIME: u64 = 0x100_0000_01b3;
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let (tag, id) = match scope {
+        CacheScope::Entry(id) => (1u8, id),
+        CacheScope::Corpus(id) => (2u8, id),
+    };
+    h = (h ^ tag as u64).wrapping_mul(PRIME);
+    for b in id.to_le_bytes() {
+        h = (h ^ b as u64).wrapping_mul(PRIME);
+    }
+    for &b in command.as_bytes() {
+        h = (h ^ b as u64).wrapping_mul(PRIME);
+    }
+    h
+}
+
 struct Inner {
     map: HashMap<Key, Slot>,
     /// LRU index: stamp -> key, mirroring `map`. The first entry is the
@@ -69,6 +157,21 @@ struct Inner {
     order: BTreeMap<u64, Key>,
     bytes: usize,
     clock: u64,
+    /// Access-frequency sketch feeding the scan-resistant admission
+    /// decision on over-budget inserts.
+    sketch: FrequencySketch,
+}
+
+impl Default for Inner {
+    fn default() -> Inner {
+        Inner {
+            map: HashMap::new(),
+            order: BTreeMap::new(),
+            bytes: 0,
+            clock: 0,
+            sketch: FrequencySketch::new(),
+        }
+    }
 }
 
 /// The outcome of a cache insertion attempt.
@@ -116,12 +219,15 @@ impl ResponseCache {
     }
 
     /// Look up the reply cached for `command` under `scope` at
-    /// `generation`. A hit refreshes the slot's LRU stamp.
+    /// `generation`. A hit refreshes the slot's LRU stamp. Every lookup —
+    /// hit or miss — records an access in the frequency sketch, which is
+    /// what lets a popular command out-rank a one-off scan at admission.
     pub fn get(&self, scope: CacheScope, generation: u64, command: &str) -> Option<String> {
         if self.budget == 0 {
             return None;
         }
         let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        inner.sketch.record(freq_hash(scope, command));
         inner.clock += 1;
         let clock = inner.clock;
         let key = Key {
@@ -138,9 +244,12 @@ impl ResponseCache {
         Some(reply)
     }
 
-    /// Store a reply, evicting least-recently-hit slots until it fits.
-    /// Replies costing more than 1/4 of the budget are rejected at
-    /// admission instead of churning the whole LRU to store them.
+    /// Store a reply, evicting least-recently-hit slots until it fits —
+    /// unless a would-be victim's command is accessed more often than the
+    /// newcomer, in which case the newcomer is rejected instead (scan
+    /// resistance; see the module doc). Replies costing more than 1/4 of
+    /// the budget are rejected at admission instead of churning the whole
+    /// LRU to store them.
     pub fn insert(
         &self,
         scope: CacheScope,
@@ -156,6 +265,9 @@ impl ResponseCache {
             return Admission::Rejected;
         }
         let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        let hash = freq_hash(scope, &command);
+        inner.sketch.record(hash);
+        let newcomer = inner.sketch.estimate(hash);
         let key = Key {
             scope,
             generation,
@@ -168,15 +280,39 @@ impl ResponseCache {
             inner.bytes -= old.cost;
             inner.order.remove(&old.stamp);
         }
-        let mut evicted = 0;
-        while inner.bytes + cost > self.budget {
-            let Some((_, oldest)) = inner.order.pop_first() else {
+        // Choose victims least-recently-hit first, but admit only if the
+        // newcomer's access frequency matches or beats every victim's:
+        // one slot whose command out-ranks the newcomer vetoes the whole
+        // insertion, and nothing is evicted. Ties go to the newcomer, so
+        // equally cold traffic still behaves like plain LRU. Note that a
+        // *stale-generation twin* of the newcomer (same scope and command,
+        // older generation — dead weight, since generations only move
+        // forward) shares the newcomer's frequency hash, so it always ties
+        // and can always be reclaimed; a hot command's own reinserts sweep
+        // out its previous generations.
+        let mut victims: Vec<(u64, Key)> = Vec::new();
+        let mut freed = 0usize;
+        for (&stamp, victim) in inner.order.iter() {
+            if inner.bytes - freed + cost <= self.budget {
                 break;
-            };
-            if let Some(slot) = inner.map.remove(&oldest) {
+            }
+            if inner
+                .sketch
+                .estimate(freq_hash(victim.scope, &victim.command))
+                > newcomer
+            {
+                return Admission::Rejected;
+            }
+            freed += inner.map[victim].cost;
+            victims.push((stamp, victim.clone()));
+        }
+        let mut evicted = 0;
+        for (stamp, victim) in victims {
+            if let Some(slot) = inner.map.remove(&victim) {
                 inner.bytes -= slot.cost;
                 evicted += 1;
             }
+            inner.order.remove(&stamp);
         }
         inner.clock += 1;
         let stamp = inner.clock;
@@ -395,6 +531,90 @@ mod tests {
         cache.insert(e(7), 0, "gap g".into(), "x".into());
         assert_eq!(cache.purge_entry(7), 1);
         assert_eq!(cache.get(twin, 0, "lineage"), Some("node 0".to_string()));
+    }
+
+    #[test]
+    fn hot_slots_survive_a_cold_scan() {
+        // Mirrors the server's miss path per command: a lookup (miss)
+        // followed by an insert, so every once-seen scan key carries a
+        // frequency of 2 while the primed-and-hit resident carries 4.
+        let payload = "v".repeat(20);
+        let slot = SLOT_OVERHEAD + 3 + payload.len();
+        let cache = ResponseCache::new(4 * slot);
+
+        assert_eq!(cache.get(e(1), 0, "hot"), None);
+        cache.insert(e(1), 0, "hot".into(), payload.clone());
+        for _ in 0..2 {
+            assert!(cache.get(e(1), 0, "hot").is_some());
+        }
+
+        // One-pass cold scan, 3x the budget: the first keys fill the free
+        // space, the rest would have to evict the hot slot — and lose the
+        // frequency contest against it instead.
+        let mut rejected = 0;
+        for i in 0..12 {
+            let key = format!("s{i:02}");
+            assert_eq!(cache.get(e(1), 0, &key), None);
+            if cache.insert(e(1), 0, key, payload.clone()) == Admission::Rejected {
+                rejected += 1;
+            }
+        }
+        assert!(rejected > 0, "over-budget scan was fully admitted");
+        assert!(
+            cache.get(e(1), 0, "hot").is_some(),
+            "hot slot was thrashed by a one-pass scan"
+        );
+    }
+
+    #[test]
+    fn popularity_survives_generation_bumps() {
+        // The frequency hash excludes the generation, so a write
+        // invalidation does not reset a command's standing: the recomputed
+        // reply re-admits immediately (sweeping out its own stale slot)
+        // and resists a scan from its first post-write insert.
+        let payload = "v".repeat(20);
+        let slot = SLOT_OVERHEAD + 3 + payload.len();
+        let cache = ResponseCache::new(4 * slot);
+
+        assert_eq!(cache.get(e(1), 0, "hot"), None);
+        cache.insert(e(1), 0, "hot".into(), payload.clone());
+        for _ in 0..2 {
+            assert!(cache.get(e(1), 0, "hot").is_some());
+        }
+        // Fill the remaining budget with once-seen keys.
+        for key in ["c00", "c01", "c02"] {
+            assert_eq!(cache.get(e(1), 0, key), None);
+            assert_eq!(
+                cache.insert(e(1), 0, key.into(), payload.clone()),
+                Admission::Stored { evicted: 0 }
+            );
+        }
+
+        // A write bumps the generation; the re-read misses structurally
+        // and the recomputed reply is re-inserted under generation 1. The
+        // gen-0 slot is the LRU victim and ties with its own twin, so the
+        // insert reclaims it rather than being vetoed by it.
+        assert_eq!(cache.get(e(1), 1, "hot"), None);
+        assert_eq!(
+            cache.insert(e(1), 1, "hot".into(), payload.clone()),
+            Admission::Stored { evicted: 1 }
+        );
+        assert!(cache.get(e(1), 1, "hot").is_some());
+
+        // And it still out-ranks a fresh cold scan.
+        let mut rejected = 0;
+        for i in 0..8 {
+            let key = format!("d{i:02}");
+            assert_eq!(cache.get(e(1), 1, &key), None);
+            if cache.insert(e(1), 1, key, payload.clone()) == Admission::Rejected {
+                rejected += 1;
+            }
+        }
+        assert!(rejected > 0, "post-bump scan was fully admitted");
+        assert!(
+            cache.get(e(1), 1, "hot").is_some(),
+            "generation bump reset the command's scan resistance"
+        );
     }
 
     #[test]

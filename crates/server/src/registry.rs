@@ -9,12 +9,17 @@
 //! computed under generation *g* is valid exactly as long as the entry's
 //! generation is still *g*.
 //!
-//! Lock acquisition takes a deadline. Waiters park on a condvar gate (no
-//! polling): every guard release notifies the gate, and a waiter whose
-//! deadline passes first turns into a clean `ERR ETIMEOUT` instead of an
-//! unbounded stall. The gate is writer-preferring — new readers also wait
-//! behind a queued writer, so a steady stream of overlapping reads cannot
-//! starve a mutator to its deadline.
+//! Lock acquisition takes a deadline. Waiters park on condvar gates (no
+//! polling): every guard release wakes exactly the class of waiters that
+//! could now be admitted, and a waiter whose deadline passes first turns
+//! into a clean `ERR ETIMEOUT` instead of an unbounded stall. The gate is
+//! writer-preferring — new readers also wait behind a queued writer, so a
+//! steady stream of overlapping reads cannot starve a mutator to its
+//! deadline — and the handoff is deterministic: queued writers are
+//! admitted in FIFO arrival order (a ticket queue, so a later writer can
+//! never overtake an earlier one no matter how the scheduler wakes
+//! threads), and a release wakes the writer queue before any parked
+//! reader herd; readers flow again only once the queue drains.
 //!
 //! The registry also enforces an [`EvictionPolicy`]: per-session idle
 //! timestamps and approximate memory accounting (via
@@ -31,7 +36,7 @@
 //! the generation the snapshot saw — otherwise the stale snapshot is
 //! abandoned and the session stays live.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::ops::{Deref, DerefMut};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -104,16 +109,22 @@ impl EvictionPolicy {
 /// reader/writer critical sections. The inner `RwLock` is only ever
 /// acquired by admitted threads, so it never blocks.
 ///
-/// Admission is writer-preferring: new readers also hold off while a
-/// writer is *queued* (`waiting_writers > 0`), so continuous overlapping
-/// read traffic cannot keep `readers` above zero forever and starve a
-/// writer to its deadline.
+/// Admission is writer-preferring: new readers also hold off while any
+/// writer is *queued*, so continuous overlapping read traffic cannot keep
+/// `readers` above zero forever and starve a writer to its deadline.
+/// Among writers the handoff is FIFO: each parked writer takes a ticket,
+/// and only the queue's front ticket is admissible — so which writer wins
+/// a release is decided by arrival order, not by which thread the
+/// scheduler happens to wake first.
 #[derive(Default)]
 struct Gate {
     readers: u32,
     writer: bool,
-    /// Writers parked waiting for admission.
-    waiting_writers: u32,
+    /// Parked writers' tickets in arrival order; only the front is
+    /// admissible. A writer that times out removes its own ticket.
+    writer_queue: VecDeque<u64>,
+    /// Ticket source for `writer_queue`.
+    next_ticket: u64,
 }
 
 static NEXT_ENTRY_ID: AtomicU64 = AtomicU64::new(1);
@@ -126,7 +137,13 @@ pub struct SessionEntry {
     /// entry's replies.
     id: u64,
     gate: Mutex<Gate>,
-    released: Condvar,
+    /// Parked writers wait here; signalled whenever the queue's front
+    /// writer may have become admissible.
+    writer_turn: Condvar,
+    /// Parked readers wait here; signalled only once no writer is inside
+    /// *and* the writer queue has drained — the deterministic handoff
+    /// order is queued writers first, reader herds after.
+    reader_turn: Condvar,
     data: RwLock<GeaSession>,
     /// Bumped on every write-lock acquisition.
     generation: AtomicU64,
@@ -154,7 +171,8 @@ impl SessionEntry {
         SessionEntry {
             id: NEXT_ENTRY_ID.fetch_add(1, Ordering::Relaxed),
             gate: Mutex::new(Gate::default()),
-            released: Condvar::new(),
+            writer_turn: Condvar::new(),
+            reader_turn: Condvar::new(),
             data: RwLock::new(session),
             generation: AtomicU64::new(0),
             approx_bytes: AtomicU64::new(bytes),
@@ -221,7 +239,7 @@ impl SessionEntry {
     ) -> Result<SessionReadGuard<'_>, EngineError> {
         let deadline = Instant::now() + timeout;
         let mut gate = self.gate.lock().unwrap_or_else(|e| e.into_inner());
-        while gate.writer || gate.waiting_writers > 0 {
+        while gate.writer || !gate.writer_queue.is_empty() {
             let Some(left) = deadline
                 .checked_duration_since(Instant::now())
                 .filter(|d| !d.is_zero())
@@ -229,7 +247,7 @@ impl SessionEntry {
                 return Err(timeout_err("read", timeout));
             };
             gate = self
-                .released
+                .reader_turn
                 .wait_timeout(gate, left)
                 .unwrap_or_else(|e| e.into_inner())
                 .0;
@@ -246,35 +264,46 @@ impl SessionEntry {
     }
 
     /// Acquire the exclusive write guard, parking until admitted or
-    /// `timeout` elapses. Bumps the generation **at acquisition**, so any
-    /// cached reply stamped with an earlier generation is invalid from
-    /// this point on, before the writer mutates anything.
+    /// `timeout` elapses. Writers are admitted strictly in arrival order
+    /// (the gate's ticket queue). Bumps the generation **at acquisition**,
+    /// so any cached reply stamped with an earlier generation is invalid
+    /// from this point on, before the writer mutates anything.
     pub fn write_with_deadline(
         &self,
         timeout: Duration,
     ) -> Result<SessionWriteGuard<'_>, EngineError> {
         let deadline = Instant::now() + timeout;
         let mut gate = self.gate.lock().unwrap_or_else(|e| e.into_inner());
-        gate.waiting_writers += 1;
-        while gate.writer || gate.readers > 0 {
+        let ticket = gate.next_ticket;
+        gate.next_ticket += 1;
+        gate.writer_queue.push_back(ticket);
+        while gate.writer || gate.readers > 0 || gate.writer_queue.front() != Some(&ticket) {
             let Some(left) = deadline
                 .checked_duration_since(Instant::now())
                 .filter(|d| !d.is_zero())
             else {
-                gate.waiting_writers -= 1;
+                let was_front = gate.writer_queue.front() == Some(&ticket);
+                gate.writer_queue.retain(|&t| t != ticket);
+                let drained = gate.writer_queue.is_empty();
                 drop(gate);
-                // Readers held off by this queued writer may be admissible
-                // again.
-                self.released.notify_all();
+                if drained {
+                    // Readers held off by this queued writer may be
+                    // admissible again.
+                    self.reader_turn.notify_all();
+                } else if was_front {
+                    // The queue has a new front writer; let it re-check.
+                    self.writer_turn.notify_all();
+                }
                 return Err(timeout_err("write", timeout));
             };
             gate = self
-                .released
+                .writer_turn
                 .wait_timeout(gate, left)
                 .unwrap_or_else(|e| e.into_inner())
                 .0;
         }
-        gate.waiting_writers -= 1;
+        let front = gate.writer_queue.pop_front();
+        debug_assert_eq!(front, Some(ticket));
         gate.writer = true;
         drop(gate);
         self.generation.fetch_add(1, Ordering::AcqRel);
@@ -316,8 +345,13 @@ impl Drop for SessionReadGuard<'_> {
         drop(self.inner.take());
         let mut gate = self.entry.gate.lock().unwrap_or_else(|e| e.into_inner());
         gate.readers = gate.readers.saturating_sub(1);
+        // Only a drained read side can admit anyone, and then only the
+        // queue's front writer: readers never wait on other readers.
+        let wake_writers = gate.readers == 0 && !gate.writer_queue.is_empty();
         drop(gate);
-        self.entry.released.notify_all();
+        if wake_writers {
+            self.entry.writer_turn.notify_all();
+        }
     }
 }
 
@@ -351,8 +385,15 @@ impl Drop for SessionWriteGuard<'_> {
         }
         let mut gate = self.entry.gate.lock().unwrap_or_else(|e| e.into_inner());
         gate.writer = false;
+        // Deterministic handoff: the writer queue is served before any
+        // parked reader herd, and readers are woken only once it drains.
+        let writers_waiting = !gate.writer_queue.is_empty();
         drop(gate);
-        self.entry.released.notify_all();
+        if writers_waiting {
+            self.entry.writer_turn.notify_all();
+        } else {
+            self.entry.reader_turn.notify_all();
+        }
     }
 }
 
@@ -863,6 +904,65 @@ mod tests {
         assert!(shared
             .read_with_deadline(Duration::from_millis(100))
             .is_ok());
+    }
+
+    #[test]
+    fn writer_handoff_is_fifo_and_beats_reader_herds() {
+        // Regression test for the old single-condvar gate: releasing a
+        // guard woke *every* waiter, and whichever parked writer the
+        // scheduler ran first won the lock — so under load writers were
+        // admitted in scheduler order, not arrival order. Provoke that
+        // race repeatedly: with the ticket queue the admission order is
+        // deterministic (earlier writer first, reader herd strictly
+        // after the queue drains) on every round.
+        for round in 0..10 {
+            let reg = SessionRegistry::new();
+            reg.open("a", demo_session());
+            let shared = reg.get("a").unwrap();
+            let order: Arc<Mutex<Vec<String>>> = Arc::new(Mutex::new(Vec::new()));
+            let held = shared.read_with_deadline(Duration::from_secs(1)).unwrap();
+
+            let mut threads = Vec::new();
+            for writer in ["w1", "w2"] {
+                let entry = Arc::clone(&shared);
+                let order = Arc::clone(&order);
+                threads.push(std::thread::spawn(move || {
+                    let g = entry.write_with_deadline(Duration::from_secs(10)).unwrap();
+                    order.lock().unwrap().push(writer.to_string());
+                    std::thread::sleep(Duration::from_millis(2));
+                    drop(g);
+                }));
+                // Park w1 before w2 takes its ticket, so arrival order is
+                // the one the queue must preserve.
+                std::thread::sleep(Duration::from_millis(30));
+            }
+            // A herd of readers arrives while both writers are queued.
+            for r in 0..6 {
+                let entry = Arc::clone(&shared);
+                let order = Arc::clone(&order);
+                threads.push(std::thread::spawn(move || {
+                    let g = entry.read_with_deadline(Duration::from_secs(10)).unwrap();
+                    order.lock().unwrap().push(format!("r{r}"));
+                    drop(g);
+                }));
+            }
+            std::thread::sleep(Duration::from_millis(30));
+            drop(held);
+            for t in threads {
+                t.join().expect("waiter thread");
+            }
+            let order = order.lock().unwrap();
+            assert_eq!(order.len(), 8);
+            assert_eq!(
+                &order[..2],
+                ["w1", "w2"],
+                "round {round}: writers admitted out of arrival order: {order:?}"
+            );
+            assert!(
+                order[2..].iter().all(|o| o.starts_with('r')),
+                "round {round}: a reader was admitted before the writer queue drained: {order:?}"
+            );
+        }
     }
 
     #[test]

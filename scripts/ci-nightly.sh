@@ -37,6 +37,12 @@ step "serial-vs-sharded speedup (release) -> BENCH_parallel.json"
 # runners and is not a failure.
 cargo run --release -p gea-bench --bin parallel -- --threads 4
 
+step "hot-path kernel trajectories (release) -> BENCH_aggregate.json, BENCH_populate.json"
+# Full tier: thesis-scale corpus, interleaved repetitions, one JSON per
+# operator recording the scalar-reference -> blocked -> sharded
+# trajectory with its bit-identity verdicts.
+cargo run --release -p gea-bench --bin hotpath -- --full --threads 4
+
 step "mining-backend comparison (release) -> BENCH_mine_backends.json"
 # Every registry backend (fascicles/isa/simplex), serial vs its sharded
 # driver on the same corpus. Exits non-zero if any backend's sharded
@@ -54,6 +60,12 @@ step "optimizer experiment (release) -> BENCH_optimizer.json"
 # end-to-end latency on the brain case study and the optimizer demo.
 # Exits non-zero if any optimized transcript diverges from serial.
 cargo run --release -p gea-bench --bin optimizer
+
+step "archive BENCH_*.json"
+# Keep a dated copy of every emitted measurement so the perf trajectory
+# across nightlies stays reconstructible from the working tree.
+mkdir -p bench-archive/"$(date +%F)"
+cp BENCH_*.json bench-archive/"$(date +%F)"/
 
 printf '\nNightly lane passed.\n'
 

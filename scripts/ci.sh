@@ -70,6 +70,14 @@ step "gea-opt rule audit (kick-tires)"
 step "sharded-execution determinism property suite"
 cargo test -q --test exec_determinism --test mine_backends
 
+# Kick-tires tier of the hot-path kernel bench: the aggregate and
+# populate perf trajectories (scalar reference -> blocked kernel ->
+# sharded driver) re-verified bit-identical on a seconds-scale corpus.
+# No timing gate — wall times on a loaded CI host prove nothing; the
+# nightly lane runs the full tier and records the numbers.
+step "hot-path kernel identity (kick-tires)"
+cargo run --release -p gea-bench --bin hotpath -- --kick-tires
+
 step "cargo fmt --all --check"
 cargo fmt --all --check
 
