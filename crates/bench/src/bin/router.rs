@@ -1,0 +1,85 @@
+//! Emit `BENCH_router.json`: `gea-router` latency/throughput per op
+//! class over loopback backends, byte-identity-gated against a direct
+//! single-server reference on both a synthetic workload and the shipped
+//! example scripts.
+//!
+//! ```text
+//! router [--fast | --smoke] [--out PATH]
+//! ```
+//!
+//! `--fast` runs the seconds-scale CI shape (arms for 1 and 2 backends,
+//! one repetition); `--smoke` runs the 2-backend arm only and writes no
+//! JSON — the byte-identity gate alone, for tier-1 CI; `--out` overrides
+//! the output path (default `BENCH_router.json` in the working
+//! directory). Every mode exits non-zero if any router arm's transcript
+//! diverges from the single-server reference.
+
+use gea_bench::router::{run, to_json, RouterBenchConfig};
+
+fn usage() -> ! {
+    eprintln!("usage: router [--fast | --smoke] [--out PATH]");
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut cfg = RouterBenchConfig::default();
+    let mut smoke = false;
+    let mut out_path = String::from("BENCH_router.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        match flag.as_str() {
+            "--fast" => cfg = RouterBenchConfig::fast(),
+            "--smoke" => {
+                smoke = true;
+                cfg = RouterBenchConfig {
+                    backend_counts: vec![2],
+                    repetitions: 1,
+                    ..RouterBenchConfig::default()
+                };
+            }
+            "--out" => match args.next() {
+                Some(p) => out_path = p,
+                None => usage(),
+            },
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown flag {other:?}");
+                usage()
+            }
+        }
+    }
+
+    eprintln!(
+        "router: arms for {:?} backend(s), {} rep(s) (host parallelism {})",
+        cfg.backend_counts,
+        cfg.repetitions,
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    );
+    let arms = run(&cfg);
+    for arm in &arms {
+        for op in &arm.ops {
+            eprintln!(
+                "router: {:>9}  {:>11}  {:3} ops  mean {:8.2} ms  {:8.1} ops/s",
+                arm.label, op.op, op.count, op.mean_ms, op.ops_per_sec
+            );
+        }
+        eprintln!(
+            "router: {:>9}  workload identical {}  scripts identical {}",
+            arm.label, arm.workload_identical, arm.scripts_identical
+        );
+    }
+    if !smoke {
+        let json = to_json(&cfg, &arms);
+        if let Err(e) = std::fs::write(&out_path, &json) {
+            eprintln!("router: writing {out_path}: {e}");
+            std::process::exit(1);
+        }
+        eprintln!("router: wrote {out_path}");
+    }
+    if !arms.iter().all(|a| a.identical()) {
+        eprintln!("router: DETERMINISM FAILURE — router transcript diverged from single server");
+        std::process::exit(1);
+    }
+}

@@ -12,6 +12,7 @@ pub mod hotpath;
 pub mod mine_backends;
 pub mod optimizer;
 pub mod parallel;
+pub mod router;
 pub mod populate_experiment;
 pub mod workloads;
 

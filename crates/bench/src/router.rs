@@ -1,0 +1,376 @@
+//! The router experiment behind `BENCH_router.json`: what `gea-router`
+//! costs and guarantees over loopback backends.
+//!
+//! Two measurements per arm (direct single server, then the router over
+//! 1, 2, … backends):
+//!
+//! * **per-op latency/throughput** — a synthetic workload covering every
+//!   routed verb class (session control, extensional builds, scattered
+//!   mines, aggregation, populate, reads), timed per request over the
+//!   wire;
+//! * **byte identity** — the workload transcript *and* the shipped
+//!   example scripts replayed over the wire must match the direct
+//!   single-server reference reply-for-reply. The bench doubles as the
+//!   router's end-to-end determinism gate on real scripts, and any run
+//!   exits non-zero on divergence.
+//!
+//! Everything binds `127.0.0.1:0`, so runs never collide on ports.
+
+use std::net::SocketAddr;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use gea_router::{Router, RouterConfig, RouterHandle};
+use gea_server::{GeaClient, Server, ServerConfig, ServerHandle};
+
+/// Experiment shape.
+#[derive(Debug, Clone)]
+pub struct RouterBenchConfig {
+    /// Demo-corpus seed every session opens from.
+    pub seed: u64,
+    /// Router arms to measure: one arm per backend count.
+    pub backend_counts: Vec<usize>,
+    /// Workload repetitions per arm (each in a fresh session).
+    pub repetitions: usize,
+}
+
+impl Default for RouterBenchConfig {
+    fn default() -> RouterBenchConfig {
+        RouterBenchConfig {
+            seed: 42,
+            backend_counts: vec![1, 2, 3],
+            repetitions: 3,
+        }
+    }
+}
+
+impl RouterBenchConfig {
+    /// The seconds-scale CI shape: one repetition, two arms.
+    pub fn fast() -> RouterBenchConfig {
+        RouterBenchConfig {
+            backend_counts: vec![1, 2],
+            repetitions: 1,
+            ..RouterBenchConfig::default()
+        }
+    }
+}
+
+/// The example scripts replayed over the wire for the identity check,
+/// embedded so the bench binary is relocatable.
+pub const SCRIPTS: &[(&str, &str)] = &[
+    (
+        "brain_case_study",
+        include_str!("../../../examples/scripts/brain_case_study.gql"),
+    ),
+    (
+        "mine_backends",
+        include_str!("../../../examples/scripts/mine_backends.gql"),
+    ),
+];
+
+/// One op class's timing within one arm.
+#[derive(Debug)]
+pub struct OpRow {
+    /// Verb class (`mine`, `aggregate`, `read`, …).
+    pub op: &'static str,
+    /// Requests timed across all repetitions.
+    pub count: usize,
+    /// Total wall-clock across those requests.
+    pub total_ms: f64,
+    /// `total_ms / count`.
+    pub mean_ms: f64,
+    /// `count / total` in requests per second.
+    pub ops_per_sec: f64,
+}
+
+/// One arm's measurements.
+#[derive(Debug)]
+pub struct ArmRow {
+    /// `direct` for the single-server reference, `router-N` otherwise.
+    pub label: String,
+    /// Backends behind the arm (1 for `direct`).
+    pub backends: usize,
+    /// Whether requests traverse `gea-router`.
+    pub via_router: bool,
+    /// Whether the synthetic workload transcript matched the reference.
+    pub workload_identical: bool,
+    /// Whether every example-script transcript matched the reference.
+    pub scripts_identical: bool,
+    /// Per-op-class timings.
+    pub ops: Vec<OpRow>,
+}
+
+impl ArmRow {
+    /// Both identity checks passed.
+    pub fn identical(&self) -> bool {
+        self.workload_identical && self.scripts_identical
+    }
+}
+
+/// The synthetic workload: one command per routed verb class, in a
+/// fresh per-repetition session so repetitions never collide on names.
+fn workload(rep: usize, seed: u64) -> Vec<(&'static str, String)> {
+    vec![
+        ("session", format!("open w{rep} demo {seed}")),
+        ("extensional", "dataset E brain".to_string()),
+        ("mine", "mine E a 50 3 6".to_string()),
+        ("aggregate", "groups a_1".to_string()),
+        (
+            "extensional",
+            "gap g a_1CancerFasTbl a_1NormalTable".to_string(),
+        ),
+        ("read", "topgap g 5".to_string()),
+        ("read", "show sumy a_1CancerFasTbl 3".to_string()),
+        ("read", "fascicles".to_string()),
+        (
+            "mine",
+            "mine E m with isa seeds=6 t_tags=0.8 t_libs=0.8".to_string(),
+        ),
+        ("populate", "populate P a_1CancerFasTbl E".to_string()),
+        ("read", "lineage".to_string()),
+    ]
+}
+
+/// A script's wire-sendable lines: comments and blanks dropped (the
+/// server sends no reply for them), the front-end `load-demo` spelled as
+/// its wire equivalent in a per-script session.
+fn wire_lines(idx: usize, text: &str) -> Vec<String> {
+    text.lines()
+        .filter_map(|l| {
+            let l = l.trim();
+            if l.is_empty() || l.starts_with('#') {
+                return None;
+            }
+            Some(match l.strip_prefix("load-demo ") {
+                Some(seed) => format!("open smoke{idx} demo {seed}"),
+                None => l.to_string(),
+            })
+        })
+        .collect()
+}
+
+/// Canonical transcript entry for one reply.
+fn fmt_reply(reply: &gea_server::wire::Reply) -> String {
+    match reply {
+        Ok(payload) => format!("OK\n{payload}"),
+        Err((code, message)) => format!("ERR {code} {message}"),
+    }
+}
+
+/// One backend fleet plus (optionally) a router in front, with the
+/// address a client should talk to.
+struct Fixture {
+    servers: Vec<(ServerHandle, JoinHandle<()>)>,
+    router: Option<(RouterHandle, JoinHandle<()>)>,
+    addr: SocketAddr,
+}
+
+impl Fixture {
+    fn direct() -> Fixture {
+        let (addr, handle, join) = spawn_server();
+        Fixture {
+            servers: vec![(handle, join)],
+            router: None,
+            addr,
+        }
+    }
+
+    fn routed(backends: usize) -> Fixture {
+        let servers: Vec<(SocketAddr, ServerHandle, JoinHandle<()>)> =
+            (0..backends).map(|_| spawn_server()).collect();
+        let router = Router::bind(RouterConfig {
+            addr: "127.0.0.1:0".to_string(),
+            backends: servers.iter().map(|(a, _, _)| a.to_string()).collect(),
+            ..RouterConfig::default()
+        })
+        .expect("bind router");
+        let addr = router.local_addr();
+        let handle = router.handle();
+        let join = std::thread::spawn(move || router.run().expect("serve router"));
+        Fixture {
+            servers: servers.into_iter().map(|(_, h, j)| (h, j)).collect(),
+            router: Some((handle, join)),
+            addr,
+        }
+    }
+
+    fn shutdown(self) {
+        if let Some((handle, join)) = self.router {
+            handle.shutdown();
+            join.join().expect("router thread");
+        }
+        for (handle, join) in self.servers {
+            handle.shutdown();
+            join.join().expect("server thread");
+        }
+    }
+}
+
+fn spawn_server() -> (SocketAddr, ServerHandle, JoinHandle<()>) {
+    let server = Server::bind(ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        lock_timeout: Duration::from_secs(120),
+        ..ServerConfig::default()
+    })
+    .expect("bind backend");
+    let addr = server.local_addr();
+    let handle = server.handle();
+    let join = std::thread::spawn(move || server.run().expect("serve backend"));
+    (addr, handle, join)
+}
+
+/// Run the synthetic workload and the example scripts against `addr`,
+/// returning (per-op timings, workload transcript, script transcripts).
+fn drive(
+    addr: SocketAddr,
+    cfg: &RouterBenchConfig,
+) -> (Vec<OpRow>, Vec<String>, Vec<Vec<String>>) {
+    let mut client = GeaClient::connect(addr).expect("connect");
+    // (class, count, total seconds) in first-seen order, so every arm
+    // reports op classes in the same stable order.
+    let mut classes: Vec<(&'static str, usize, f64)> = Vec::new();
+    let mut transcript = Vec::new();
+    for rep in 0..cfg.repetitions.max(1) {
+        for (class, line) in workload(rep, cfg.seed) {
+            let start = Instant::now();
+            let reply = client.request(&line).expect("workload request");
+            let elapsed = start.elapsed().as_secs_f64();
+            transcript.push(fmt_reply(&reply));
+            match classes.iter_mut().find(|(c, _, _)| *c == class) {
+                Some((_, n, secs)) => {
+                    *n += 1;
+                    *secs += elapsed;
+                }
+                None => classes.push((class, 1, elapsed)),
+            }
+        }
+    }
+    let scripts = SCRIPTS
+        .iter()
+        .enumerate()
+        .map(|(idx, (_, text))| {
+            wire_lines(idx, text)
+                .iter()
+                .map(|line| fmt_reply(&client.request(line).expect("script request")))
+                .collect()
+        })
+        .collect();
+    let ops = classes
+        .into_iter()
+        .map(|(op, count, secs)| OpRow {
+            op,
+            count,
+            total_ms: secs * 1e3,
+            mean_ms: secs * 1e3 / count as f64,
+            ops_per_sec: count as f64 / secs.max(1e-9),
+        })
+        .collect();
+    (ops, transcript, scripts)
+}
+
+/// Run the experiment: the direct reference arm, then one router arm per
+/// configured backend count, each compared reply-for-reply against the
+/// reference.
+pub fn run(cfg: &RouterBenchConfig) -> Vec<ArmRow> {
+    let fixture = Fixture::direct();
+    let (ref_ops, ref_workload, ref_scripts) = drive(fixture.addr, cfg);
+    fixture.shutdown();
+    let mut arms = vec![ArmRow {
+        label: "direct".to_string(),
+        backends: 1,
+        via_router: false,
+        workload_identical: true,
+        scripts_identical: true,
+        ops: ref_ops,
+    }];
+    for &n in &cfg.backend_counts {
+        let fixture = Fixture::routed(n);
+        let (ops, workload, scripts) = drive(fixture.addr, cfg);
+        fixture.shutdown();
+        arms.push(ArmRow {
+            label: format!("router-{n}"),
+            backends: n,
+            via_router: true,
+            workload_identical: workload == ref_workload,
+            scripts_identical: scripts == ref_scripts,
+            ops,
+        });
+    }
+    arms
+}
+
+/// Render the arms as the `BENCH_router.json` document.
+pub fn to_json(cfg: &RouterBenchConfig, arms: &[ArmRow]) -> String {
+    let mut out = String::from("{\n");
+    out.push_str("  \"experiment\": \"router\",\n");
+    out.push_str(&format!("  \"seed\": {},\n", cfg.seed));
+    out.push_str(&format!("  \"repetitions\": {},\n", cfg.repetitions));
+    out.push_str(&format!(
+        "  \"host_parallelism\": {},\n",
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    ));
+    out.push_str("  \"arms\": [\n");
+    for (i, arm) in arms.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"label\": \"{}\", \"backends\": {}, \"via_router\": {}, \
+             \"workload_identical\": {}, \"scripts_identical\": {}, \"ops\": [\n",
+            arm.label, arm.backends, arm.via_router, arm.workload_identical, arm.scripts_identical
+        ));
+        for (j, op) in arm.ops.iter().enumerate() {
+            out.push_str(&format!(
+                "      {{\"op\": \"{}\", \"count\": {}, \"total_ms\": {:.3}, \
+                 \"mean_ms\": {:.3}, \"ops_per_sec\": {:.1}}}{}\n",
+                op.op,
+                op.count,
+                op.total_ms,
+                op.mean_ms,
+                op.ops_per_sec,
+                if j + 1 < arm.ops.len() { "," } else { "" }
+            ));
+        }
+        out.push_str(&format!(
+            "    ]}}{}\n",
+            if i + 1 < arms.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_backend_arm_is_identical_and_renders() {
+        let cfg = RouterBenchConfig {
+            backend_counts: vec![1],
+            repetitions: 1,
+            ..RouterBenchConfig::default()
+        };
+        let arms = run(&cfg);
+        assert_eq!(arms.len(), 2);
+        assert!(arms.iter().all(|a| a.identical()), "{arms:?}");
+        let routed = &arms[1];
+        assert!(routed.via_router);
+        // Every workload verb class was timed at least once.
+        for class in ["session", "extensional", "mine", "aggregate", "populate", "read"] {
+            assert!(
+                routed.ops.iter().any(|o| o.op == class && o.count > 0),
+                "missing op class {class}"
+            );
+        }
+        let json = to_json(&cfg, &arms);
+        assert!(json.contains("\"label\": \"direct\""), "{json}");
+        assert!(json.contains("\"label\": \"router-1\""), "{json}");
+        assert!(json.contains("\"scripts_identical\": true"), "{json}");
+    }
+
+    #[test]
+    fn wire_lines_strip_comments_and_respell_load_demo() {
+        let lines = wire_lines(1, "# c\n\nload-demo 7\nmine E f 50 3 6\n");
+        assert_eq!(lines, vec!["open smoke1 demo 7", "mine E f 50 3 6"]);
+    }
+}

@@ -35,6 +35,8 @@ pub struct Diagnostic {
     pub code: &'static str,
     /// Human explanation.
     pub message: String,
+    /// Optional actionable hint, e.g. a nearest-name suggestion.
+    pub help: Option<String>,
 }
 
 impl Diagnostic {
@@ -45,6 +47,7 @@ impl Diagnostic {
             severity: Severity::Error,
             code,
             message: message.into(),
+            help: None,
         }
     }
 
@@ -55,26 +58,45 @@ impl Diagnostic {
             severity: Severity::Warning,
             code,
             message: message.into(),
+            help: None,
         }
     }
 
-    /// `line N: severity[code]: message`.
-    pub fn render(&self) -> String {
-        format!(
-            "line {}: {}[{}]: {}",
-            self.line, self.severity, self.code, self.message
-        )
+    /// Attach an actionable hint (rendered as an indented `help:` line).
+    pub fn with_help(mut self, help: impl Into<String>) -> Self {
+        self.help = Some(help.into());
+        self
     }
 
-    /// One JSON object: `{"line":N,"severity":"…","code":"…","message":"…"}`.
+    /// `line N: severity[code]: message`, plus an indented `help:` line
+    /// when a hint is attached.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "line {}: {}[{}]: {}",
+            self.line, self.severity, self.code, self.message
+        );
+        if let Some(help) = &self.help {
+            out.push_str("\n  help: ");
+            out.push_str(help);
+        }
+        out
+    }
+
+    /// One JSON object: `{"line":N,"severity":"…","code":"…","message":"…"}`,
+    /// with a `"help"` key when a hint is attached.
     pub fn render_machine(&self) -> String {
-        format!(
-            r#"{{"line":{},"severity":"{}","code":"{}","message":"{}"}}"#,
+        let mut out = format!(
+            r#"{{"line":{},"severity":"{}","code":"{}","message":"{}""#,
             self.line,
             self.severity,
             json_escape(self.code),
             json_escape(&self.message)
-        )
+        );
+        if let Some(help) = &self.help {
+            out.push_str(&format!(r#","help":"{}""#, json_escape(help)));
+        }
+        out.push('}');
+        out
     }
 }
 
@@ -197,6 +219,24 @@ mod tests {
             "checked 4 command(s): 1 error(s), 1 warning(s)"
         );
         assert_eq!(r.render_machine().lines().count(), 2);
+    }
+
+    #[test]
+    fn help_renders_in_both_formats() {
+        let d = Diagnostic::error(2, "undefined-name", "purity: no name \"f_9\"")
+            .with_help("did you mean \"f_1\"?");
+        assert_eq!(
+            d.render(),
+            "line 2: error[undefined-name]: purity: no name \"f_9\"\n  help: did you mean \"f_1\"?"
+        );
+        assert_eq!(
+            d.render_machine(),
+            r#"{"line":2,"severity":"error","code":"undefined-name","message":"purity: no name \"f_9\"","help":"did you mean \"f_1\"?"}"#
+        );
+        // The JSON stays one line even with a help key attached.
+        assert_eq!(d.render_machine().lines().count(), 1);
+        // Without a hint the key is absent, keeping old consumers stable.
+        assert!(!Diagnostic::error(1, "c", "m").render_machine().contains("help"));
     }
 
     #[test]

@@ -216,11 +216,17 @@ impl Analyzer {
                 "world-mismatch",
                 format!("{verb} needs a {want} but {name:?} is {}", ws.describe()),
             )),
-            None => self.push(Diagnostic::error(
-                line,
-                "undefined-name",
-                format!("{verb}: no {want} named {name:?} exists at this point"),
-            )),
+            None => {
+                let mut d = Diagnostic::error(
+                    line,
+                    "undefined-name",
+                    format!("{verb}: no {want} named {name:?} exists at this point"),
+                );
+                if let Some(near) = self.symbols.nearest(name, Some(want)) {
+                    d = d.with_help(format!("did you mean {near:?}?"));
+                }
+                self.push(d);
+            }
         }
     }
 
@@ -234,11 +240,15 @@ impl Analyzer {
             self.symbols.materialize_implicit(name);
             self.flow.read(name);
         } else {
-            self.push(Diagnostic::error(
+            let mut d = Diagnostic::error(
                 line,
                 "undefined-name",
                 format!("{verb}: {name:?} is not defined at this point"),
-            ));
+            );
+            if let Some(near) = self.symbols.nearest(name, None) {
+                d = d.with_help(format!("did you mean {near:?}?"));
+            }
+            self.push(d);
         }
     }
 
@@ -712,6 +722,54 @@ mod tests {
         );
         assert_eq!(report.diagnostics[0].line, 2);
         assert!(!report.is_clean());
+    }
+
+    #[test]
+    fn near_miss_references_get_a_suggestion() {
+        // `Brain` typo'd as `Brian` (distance 2): the undefined-name
+        // error carries a help hint in both renderings.
+        let report = check_script("load-demo 1\ndataset Brain brain\nexport Brian b.csv\n");
+        assert_eq!(error_codes(&report), vec!["undefined-name"]);
+        let d = report
+            .diagnostics
+            .iter()
+            .find(|d| d.code == "undefined-name")
+            .unwrap();
+        assert_eq!(d.help.as_deref(), Some("did you mean \"Brain\"?"));
+        assert!(d.render().contains("\n  help: did you mean \"Brain\"?"));
+        assert!(d
+            .render_machine()
+            .contains(r#""help":"did you mean \"Brain\"?""#));
+        // World-filtered path: a typo'd gap name suggests the real GAP.
+        let report = check_script(
+            "load-demo 1\n\
+             dataset E brain\n\
+             mine E f 50 3 6\n\
+             groups f_1\n\
+             gap g f_1CancerFasTbl f_1NormalTable\n\
+             topgap gg 5\n",
+        );
+        assert_eq!(error_codes(&report), vec!["undefined-name"]);
+        let d = report
+            .diagnostics
+            .iter()
+            .find(|d| d.code == "undefined-name")
+            .unwrap();
+        assert_eq!(d.help.as_deref(), Some("did you mean \"g\"?"));
+    }
+
+    #[test]
+    fn far_miss_references_get_no_suggestion() {
+        let report = check_script("load-demo 1\ndataset E brain\nexport Nothing n.csv\n");
+        assert_eq!(error_codes(&report), vec!["undefined-name"]);
+        let d = report
+            .diagnostics
+            .iter()
+            .find(|d| d.code == "undefined-name")
+            .unwrap();
+        assert_eq!(d.help, None, "no in-world name within distance 2");
+        assert!(!d.render().contains("help:"));
+        assert!(!d.render_machine().contains("help"));
     }
 
     #[test]

@@ -216,6 +216,32 @@ impl SymbolTable {
             .map(|r| r.line)
     }
 
+    /// The closest defined name to `name` within Levenshtein distance 2,
+    /// for "did you mean …?" hints on undefined-name diagnostics. When
+    /// `want` is given, only names living in that world are candidates,
+    /// so a typo'd SUMY reference never suggests an ENUM it couldn't use
+    /// anyway. Ties go to the lexicographically smallest candidate.
+    pub fn nearest(&self, name: &str, want: Option<World>) -> Option<String> {
+        let mut best: Option<(usize, &str)> = None;
+        for (cand, info) in &self.symbols {
+            if cand == name {
+                continue;
+            }
+            if let Some(w) = want {
+                if !info.worlds.contains(w) {
+                    continue;
+                }
+            }
+            let Some(d) = levenshtein_within(name, cand, 2) else {
+                continue;
+            };
+            if best.map_or(true, |(bd, _)| d < bd) {
+                best = Some((d, cand));
+            }
+        }
+        best.map(|(_, cand)| cand.to_string())
+    }
+
     /// `delete --cascade`: drop the name and everything derived from it.
     /// Returns every removed name so the dataflow pass can stop tracking
     /// them.
@@ -235,6 +261,34 @@ impl SymbolTable {
             .retain(|_, rec| !removed.contains(&rec.dataset));
         removed
     }
+}
+
+/// Levenshtein distance between `a` and `b` if it is at most `max`,
+/// else `None`. Banded single-row dynamic program: a length gap beyond
+/// `max` short-circuits, and a row whose minimum exceeds `max` aborts.
+fn levenshtein_within(a: &str, b: &str, max: usize) -> Option<usize> {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    if a.len().abs_diff(b.len()) > max {
+        return None;
+    }
+    let mut row: Vec<usize> = (0..=b.len()).collect();
+    for (i, ca) in a.iter().enumerate() {
+        let mut prev_diag = row[0];
+        row[0] = i + 1;
+        let mut row_min = row[0];
+        for (j, cb) in b.iter().enumerate() {
+            let cost = if ca == cb { 0 } else { 1 };
+            let next = (prev_diag + cost).min(row[j] + 1).min(row[j + 1] + 1);
+            prev_diag = row[j + 1];
+            row[j + 1] = next;
+            row_min = row_min.min(next);
+        }
+        if row_min > max {
+            return None;
+        }
+    }
+    (row[b.len()] <= max).then_some(row[b.len()])
 }
 
 #[cfg(test)]
@@ -297,6 +351,35 @@ mod tests {
         assert!(t.lookup("G").is_none());
         assert!(t.lookup("Other").is_some());
         assert!(t.lookup("SAGE").is_some());
+    }
+
+    #[test]
+    fn levenshtein_band_matches_and_bails() {
+        assert_eq!(levenshtein_within("gap", "gap", 2), Some(0));
+        assert_eq!(levenshtein_within("brian", "brain", 2), Some(2));
+        assert_eq!(levenshtein_within("f_1", "f_2", 2), Some(1));
+        assert_eq!(levenshtein_within("abc", "xyz", 2), None);
+        assert_eq!(levenshtein_within("short", "muchlongername", 2), None);
+        assert_eq!(levenshtein_within("", "ab", 2), Some(2));
+    }
+
+    #[test]
+    fn nearest_suggests_within_distance_two_in_the_right_world() {
+        let mut t = SymbolTable::fresh();
+        t.define(1, "Expr", World::Enum.into(), &["SAGE"]);
+        t.define(2, "ExprSumy", World::Sumy.into(), &["Expr"]);
+        // A one-edit typo finds the ENUM, not the SUMY living further away.
+        assert_eq!(t.nearest("Exqr", Some(World::Enum)), Some("Expr".into()));
+        // World filtering: the same typo asked for as a SUMY has no
+        // candidate within distance 2 ("ExprSumy" is 5 edits away).
+        assert_eq!(t.nearest("Exqr", Some(World::Sumy)), None);
+        // Unfiltered lookup may suggest any world.
+        assert_eq!(t.nearest("Expq", None), Some("Expr".into()));
+        // Nothing remotely close: no hint at all.
+        assert_eq!(t.nearest("zzzzzz", None), None);
+        // Ties break to the lexicographically smallest candidate.
+        t.define(3, "Exp1", World::Enum.into(), &["SAGE"]);
+        assert_eq!(t.nearest("Exp", Some(World::Enum)), Some("Exp1".into()));
     }
 
     #[test]

@@ -64,10 +64,13 @@ pub use mem::ApproxMem;
 pub use mine::{materialize_cluster, mine, mine_groups, MinedCluster, Miner};
 pub use persist::{
     corpus_fingerprint, load_results, load_session, load_session_verified, remove_spill,
-    save_results, save_session, spill_session, PersistError, SpillFile,
+    save_results, save_session, session_from_snapshot_bytes, snapshot_to_bytes, spill_session,
+    PersistError, SpillFile,
 };
 pub use populate::{populate, populate_columnar, populate_indexed, populate_scan, PopulateIndex};
-pub use session::{ControlGroups, ExecConfig, ExecEvent, GeaError, GeaSession, SessionSnapshot};
+pub use session::{
+    ControlGroupInputs, ControlGroups, ExecConfig, ExecEvent, GeaError, GeaSession, SessionSnapshot,
+};
 pub use sumy::{aggregate, aggregate_with_extras, ExtraAggregate, SumyTable};
 pub use topgap::{top_gaps, TopGapOrder};
 pub use xprofiler::{compare_pools, XProfilerResult, XProfilerRow};

@@ -1166,7 +1166,13 @@ fn decode_session(body: &[u8], version: u32) -> Result<SessionSnapshot, PersistE
     })
 }
 
-fn write_snapshot_file(session: &GeaSession, path: &Path) -> Result<u64, PersistError> {
+/// Serialize a session into the exact byte stream a `session.gea` snapshot
+/// file holds (magic, version, fingerprint header, compressed body), plus
+/// the body fingerprint. This is the wire form of a session: front-ends
+/// that migrate sessions between processes (the shard router's rebalance
+/// path) ship these bytes and install them with
+/// [`session_from_snapshot_bytes`], reusing the spill format end to end.
+pub fn snapshot_to_bytes(session: &GeaSession) -> Result<(Vec<u8>, u64), PersistError> {
     let raw = encode_session(session, SNAPSHOT_VERSION)?;
     let body = lz_compress(&raw);
     // The fingerprint covers the *stored* (compressed) bytes, so integrity
@@ -1178,22 +1184,19 @@ fn write_snapshot_file(session: &GeaSession, path: &Path) -> Result<u64, Persist
     put_u32(&mut out, SNAPSHOT_VERSION);
     put_u64(&mut out, fingerprint);
     out.extend_from_slice(&body);
-    fs::write(path, &out)?;
-    Ok(fingerprint)
+    Ok((out, fingerprint))
 }
 
-/// Save the *complete* session state into `dir`: the browsable CSV +
-/// lineage layer of [`save_results`], plus the fidelity-complete binary
-/// snapshot ([`SNAPSHOT_FILE`]) that [`load_session`] restores from.
-/// Returns the snapshot's fingerprint.
-pub fn save_session(session: &GeaSession, dir: &Path) -> Result<u64, PersistError> {
-    save_results(session, dir)?;
-    write_snapshot_file(session, &dir.join(SNAPSHOT_FILE))
-}
-
-fn load_session_checked(dir: &Path, expected: Option<u64>) -> Result<GeaSession, PersistError> {
-    let bytes = fs::read(dir.join(SNAPSHOT_FILE))?;
-    let mut cur = Cur::new(&bytes);
+/// Decode a session from snapshot bytes ([`snapshot_to_bytes`] output or a
+/// `session.gea` file read whole). Verification matches the file path
+/// exactly: magic, supported version, stored-vs-computed fingerprint, and
+/// — when `expected` is given — the fingerprint the sender advertised, so
+/// a truncated or substituted transfer is detected before adoption.
+pub fn session_from_snapshot_bytes(
+    bytes: &[u8],
+    expected: Option<u64>,
+) -> Result<GeaSession, PersistError> {
+    let mut cur = Cur::new(bytes);
     let magic = cur.take(4, "snapshot magic")?;
     if magic != SNAPSHOT_MAGIC {
         return Err(malformed("bad magic; not a GEA session snapshot"));
@@ -1221,6 +1224,26 @@ fn load_session_checked(dir: &Path, expected: Option<u64>) -> Result<GeaSession,
         decode_session(body, version)?
     };
     Ok(GeaSession::from_snapshot(snapshot))
+}
+
+fn write_snapshot_file(session: &GeaSession, path: &Path) -> Result<u64, PersistError> {
+    let (out, fingerprint) = snapshot_to_bytes(session)?;
+    fs::write(path, &out)?;
+    Ok(fingerprint)
+}
+
+/// Save the *complete* session state into `dir`: the browsable CSV +
+/// lineage layer of [`save_results`], plus the fidelity-complete binary
+/// snapshot ([`SNAPSHOT_FILE`]) that [`load_session`] restores from.
+/// Returns the snapshot's fingerprint.
+pub fn save_session(session: &GeaSession, dir: &Path) -> Result<u64, PersistError> {
+    save_results(session, dir)?;
+    write_snapshot_file(session, &dir.join(SNAPSHOT_FILE))
+}
+
+fn load_session_checked(dir: &Path, expected: Option<u64>) -> Result<GeaSession, PersistError> {
+    let bytes = fs::read(dir.join(SNAPSHOT_FILE))?;
+    session_from_snapshot_bytes(&bytes, expected)
 }
 
 /// Restore a full [`GeaSession`] from a directory written by

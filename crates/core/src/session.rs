@@ -187,6 +187,28 @@ pub struct ControlGroups {
     pub contrast: String,
 }
 
+/// The side-effect-free inputs of the `formSUM` macro operation
+/// ([`GeaSession::form_control_groups`]): the three result names, the
+/// compact-tag ids within the source data set, and the three library
+/// selections the SUMY aggregations run over. Computed under `&self`, so
+/// shard-scoped front-ends (the router's scatter verbs) can evaluate any
+/// tag range of the aggregations under a shared read lock and hand the
+/// merged rows back to [`GeaSession::form_control_groups_with`].
+#[derive(Debug, Clone)]
+pub struct ControlGroupInputs {
+    /// The three result-table names.
+    pub names: ControlGroups,
+    /// Compact-tag ids within the *data set* matrix, in record order.
+    pub compact_ids: Vec<gea_sage::tag::TagId>,
+    /// Fascicle members selected out of the data set (the temporary
+    /// selection the in-fascicle SUMY aggregates over; never installed).
+    pub in_members: EnumTable,
+    /// ENUM₂: same property, outside the fascicle.
+    pub outside: EnumTable,
+    /// ENUM₃: the contrasting property.
+    pub contrast: EnumTable,
+}
+
 /// The complete state of a [`GeaSession`], decomposed into owned parts —
 /// the unit of persistence for `gea_core::persist`'s full-fidelity
 /// snapshot format. Everything a session holds is here except the
@@ -889,21 +911,17 @@ impl GeaSession {
         self.form_control_groups_with(fascicle, property, aggregate_tags)
     }
 
-    /// [`GeaSession::form_control_groups`] with a pluggable aggregator.
-    /// The serial path passes [`aggregate_tags`]; `gea-exec` passes its
-    /// sharded equivalent (byte-identical output, parallel evaluation).
-    /// The aggregator sees `(table name, matrix, compact tag ids)` exactly
-    /// as `aggregate_tags` would.
-    pub fn form_control_groups_with(
-        &mut self,
+    /// Compute the side-effect-free inputs of the `formSUM` macro operation:
+    /// result-table names, the compact-tag ids within the data-set matrix,
+    /// and the three library selections (in-fascicle, outside, contrast).
+    /// Performs every validation `formSUM` does (purity, free names,
+    /// non-empty groups) but installs nothing, so distributed executors can
+    /// aggregate the selections shard-by-shard before committing results.
+    pub fn control_group_inputs(
+        &self,
         fascicle: &str,
         property: LibraryProperty,
-        mut aggregate: impl FnMut(
-            &str,
-            &gea_sage::ExpressionMatrix,
-            &[gea_sage::tag::TagId],
-        ) -> SumyTable,
-    ) -> Result<ControlGroups, GeaError> {
+    ) -> Result<ControlGroupInputs, GeaError> {
         let record = self.fascicle(fascicle)?.clone();
         let fas_enum = self.enum_table(fascicle)?.clone();
         if !fas_enum.is_pure(property) {
@@ -951,8 +969,40 @@ impl GeaSession {
             }
         }
 
-        // SUMY tables over the compact tags only.
         let in_members = dataset.select_libraries("tmp", |m| members.contains(m.name.as_str()));
+        Ok(ControlGroupInputs {
+            names,
+            compact_ids,
+            in_members,
+            outside,
+            contrast,
+        })
+    }
+
+    /// [`GeaSession::form_control_groups`] with a pluggable aggregator.
+    /// The serial path passes [`aggregate_tags`]; `gea-exec` passes its
+    /// sharded equivalent (byte-identical output, parallel evaluation).
+    /// The aggregator sees `(table name, matrix, compact tag ids)` exactly
+    /// as `aggregate_tags` would.
+    pub fn form_control_groups_with(
+        &mut self,
+        fascicle: &str,
+        property: LibraryProperty,
+        mut aggregate: impl FnMut(
+            &str,
+            &gea_sage::ExpressionMatrix,
+            &[gea_sage::tag::TagId],
+        ) -> SumyTable,
+    ) -> Result<ControlGroups, GeaError> {
+        let ControlGroupInputs {
+            names,
+            compact_ids,
+            in_members,
+            outside,
+            contrast,
+        } = self.control_group_inputs(fascicle, property)?;
+
+        // SUMY tables over the compact tags only.
         let sumy_in = aggregate(&names.in_fascicle, &in_members.matrix, &compact_ids);
         let sumy_out = aggregate(&names.outside_fascicle, &outside.matrix, &compact_ids);
         let sumy_contrast = aggregate(&names.contrast, &contrast.matrix, &compact_ids);

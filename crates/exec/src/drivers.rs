@@ -78,7 +78,12 @@ fn run_sharded<T: Send>(
 /// up front, so it grew — and re-copied — the accumulated rows.) Used by
 /// the cluster-materialization drivers; the aggregate drivers go one step
 /// further and skip the merge entirely ([`fill_rows_sharded`]).
-fn merge_shards<T>(shards: Vec<Vec<T>>) -> Vec<T> {
+///
+/// Public because this *is* the determinism seam: concatenation in
+/// shard-index order equals serial iteration order, whether the shards
+/// were computed by this process's pool or shipped back from remote
+/// backends (`gea-router` scatter/gather reuses it unchanged).
+pub fn merge_shards<T>(shards: Vec<Vec<T>>) -> Vec<T> {
     let total = shards.iter().map(Vec::len).sum();
     let mut out = Vec::with_capacity(total);
     for shard in shards {

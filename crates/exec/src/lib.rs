@@ -27,15 +27,20 @@
 #![warn(missing_docs)]
 
 pub mod drivers;
+pub mod parts;
 pub mod pool;
 pub mod scratch;
 pub mod session_ext;
 pub mod shard;
 
 pub use drivers::{
-    aggregate_sharded, aggregate_tags_sharded, isa_mine_sharded, mine_sharded,
+    aggregate_sharded, aggregate_tags_sharded, isa_mine_sharded, merge_shards, mine_sharded,
     populate_columnar_sharded, populate_indexed_sharded, populate_scan_sharded, populate_sharded,
     simplex_mine_sharded,
+};
+pub use parts::{
+    aggregate_rows_part, isa_clusters_from_modules, isa_modules_part, mine_clusters_part,
+    populate_hits_part,
 };
 pub use gea_core::session::{ExecConfig, ExecEvent};
 pub use pool::run_jobs;

@@ -1,0 +1,195 @@
+//! Shard-scoped partial computations for cross-process scatter/gather.
+//!
+//! `gea-router` partitions a macro operation across N `gea-server`
+//! backends with the *same* [`ShardPlan`] the in-process drivers use:
+//! backend *i* of *k* computes shard *i*'s partial with the functions
+//! here (the exact per-item serial kernels from `gea-core`), ships the
+//! partial back, and the router concatenates the k partials in shard
+//! order with [`merge_shards`](crate::drivers::merge_shards). Because
+//! each function evaluates precisely the range `ShardPlan::range(i)`
+//! with the serial code, the concatenation is byte-identical to the
+//! serial operator — the same argument (and the same plan arithmetic)
+//! as the in-process sharded drivers, lifted across process boundaries.
+//!
+//! One subtlety: [`ShardPlan::new`] clamps the shard count to the item
+//! count, so when an operation has fewer items than backends the plan is
+//! *shorter* than `k`. Every function here returns an **empty partial**
+//! for shard indexes at or past `plan.len()` — a backend asked for shard
+//! 2 of 3 over a 2-group mine contributes nothing, exactly as if the
+//! serial loop had never reached it.
+
+use gea_cluster::ToleranceVector;
+use gea_core::mine::{materialize_cluster, mine_groups, MinedCluster, Miner};
+use gea_core::populate::{columnar_prune_with, resolve_conditions};
+use gea_core::sumy::{aggregate_tag_rows_with, SumyRow, SumyTable};
+use gea_core::EnumTable;
+use gea_mine::isa::{converge_seed, dedupe_modules, IsaModule, IsaParams, IsaScores};
+use gea_sage::library::LibraryId;
+use gea_sage::tag::TagId;
+use gea_sage::ExpressionMatrix;
+
+use crate::shard::ShardPlan;
+
+/// Resolve shard `i` of `k` over `n` items, honouring the plan clamp:
+/// `None` when the plan is shorter than `k` and this shard got no items.
+fn plan_range(n: usize, shard: usize, shards: usize) -> Option<(usize, usize)> {
+    let plan = ShardPlan::new(n, shards);
+    if shard >= plan.len() {
+        return None;
+    }
+    Some(plan.range(shard))
+}
+
+/// Shard `shard` of `shards` of a `mine` run: the clustering pass
+/// ([`mine_groups`]) is recomputed serially — it is iterative and cheap,
+/// and rerunning it on every backend is what keeps the group list (and
+/// therefore the shard boundaries) identical everywhere — then only this
+/// shard's slice of clusters is materialized, mirroring
+/// [`mine_sharded`](crate::drivers::mine_sharded)'s per-shard job.
+pub fn mine_clusters_part(
+    table: &EnumTable,
+    base_name: &str,
+    miner: &Miner,
+    tolerance: Option<&ToleranceVector>,
+    shard: usize,
+    shards: usize,
+) -> Vec<MinedCluster> {
+    let groups = mine_groups(table, miner, tolerance);
+    let Some((lo, hi)) = plan_range(groups.len(), shard, shards) else {
+        return Vec::new();
+    };
+    groups[lo..hi]
+        .iter()
+        .enumerate()
+        .map(|(off, (records, attrs))| {
+            materialize_cluster(table, base_name, lo + off, records.clone(), attrs.clone())
+        })
+        .collect()
+}
+
+/// Shard `shard` of `shards` of an ISA run: the z-scored views are built
+/// locally (deterministic from the table), the seed range is partitioned,
+/// and each seed converges with the serial [`converge_seed`] — the same
+/// job [`isa_mine_sharded`](crate::drivers::isa_mine_sharded) runs.
+/// Gather with [`isa_clusters_from_modules`] after concatenating the
+/// per-shard module lists in shard order.
+pub fn isa_modules_part(
+    table: &EnumTable,
+    params: &IsaParams,
+    shard: usize,
+    shards: usize,
+) -> Vec<Option<IsaModule>> {
+    let scores = IsaScores::build(table);
+    let Some((lo, hi)) = plan_range(params.seeds, shard, shards) else {
+        return Vec::new();
+    };
+    (lo..hi)
+        .map(|seed| converge_seed(&scores, seed, params.seeds, params))
+        .collect()
+}
+
+/// The gather half of a scattered ISA run: dedupe the seed-order module
+/// list (the serial seed order, by the shard-order concatenation) and
+/// materialize the surviving clusters — identical to the tail of
+/// [`isa_mine_sharded`](crate::drivers::isa_mine_sharded).
+pub fn isa_clusters_from_modules(
+    table: &EnumTable,
+    base_name: &str,
+    modules: Vec<Option<IsaModule>>,
+) -> Vec<MinedCluster> {
+    dedupe_modules(modules)
+        .into_iter()
+        .enumerate()
+        .map(|(i, (records, attrs))| materialize_cluster(table, base_name, i, records, attrs))
+        .collect()
+}
+
+/// Shard `shard` of `shards` of a `populate` qualification: the library
+/// axis is partitioned and this range is pruned with the serial columnar
+/// kernel, exactly like
+/// [`populate_columnar_sharded`](crate::drivers::populate_columnar_sharded)'s
+/// per-shard job. Hits come back in library order within the shard, so
+/// shard-order concatenation is the serial hit order.
+pub fn populate_hits_part(
+    sumy: &SumyTable,
+    table: &EnumTable,
+    shard: usize,
+    shards: usize,
+) -> Vec<LibraryId> {
+    let resolved = resolve_conditions(sumy, table);
+    let plan = ShardPlan::for_libraries(table, shards);
+    if shard >= plan.len() {
+        return Vec::new();
+    }
+    let (lo, hi) = plan.range(shard);
+    let mut candidates = Vec::new();
+    columnar_prune_with(&resolved, table, lo, hi, &mut candidates);
+    candidates
+        .iter()
+        .map(|&l| LibraryId((lo + l as usize) as u32))
+        .collect()
+}
+
+/// Shard `shard` of `shards` of a compact-tag aggregation: the requested
+/// tag list is partitioned and this slice runs the blocked columnar
+/// kernel, exactly like
+/// [`aggregate_tags_sharded`](crate::drivers::aggregate_tags_sharded)'s
+/// per-shard fill.
+pub fn aggregate_rows_part(
+    matrix: &ExpressionMatrix,
+    tags: &[TagId],
+    shard: usize,
+    shards: usize,
+) -> Vec<SumyRow> {
+    let Some((lo, hi)) = plan_range(tags.len(), shard, shards) else {
+        return Vec::new();
+    };
+    let mut rows = Vec::with_capacity(hi - lo);
+    aggregate_tag_rows_with(matrix, &tags[lo..hi], &mut |row| rows.push(row));
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::drivers::merge_shards;
+    use gea_core::session::GeaSession;
+    use gea_core::sumy::aggregate_tags;
+    use gea_sage::clean::CleaningConfig;
+    use gea_sage::generate::{generate, GeneratorConfig};
+    use gea_sage::TissueType;
+
+    fn demo_session() -> GeaSession {
+        let (corpus, _) = generate(&GeneratorConfig::demo(42));
+        let mut s = GeaSession::open(corpus, &CleaningConfig::default()).unwrap();
+        s.create_tissue_dataset("Ebrain", &TissueType::Brain)
+            .unwrap();
+        s
+    }
+
+    #[test]
+    fn aggregate_parts_concatenate_to_serial_rows() {
+        let s = demo_session();
+        let table = s.enum_table("Ebrain").unwrap();
+        let tags: Vec<TagId> = (0..table.n_tags()).map(|t| TagId(t as u32)).collect();
+        let serial = aggregate_tags("x", &table.matrix, &tags);
+        for k in [1usize, 2, 3, 7, 1000] {
+            let parts: Vec<Vec<SumyRow>> = (0..k)
+                .map(|i| aggregate_rows_part(&table.matrix, &tags, i, k))
+                .collect();
+            let merged = SumyTable::new("x", merge_shards(parts));
+            assert_eq!(serial, merged, "k={k}");
+        }
+    }
+
+    #[test]
+    fn oversized_shard_index_is_empty() {
+        let s = demo_session();
+        let table = s.enum_table("Ebrain").unwrap();
+        // 2 tags over 5 shards: the plan clamps to 2; shards 2..5 get nothing.
+        let tags = [TagId(0), TagId(1)];
+        assert!(!aggregate_rows_part(&table.matrix, &tags, 0, 5).is_empty());
+        assert!(aggregate_rows_part(&table.matrix, &tags, 2, 5).is_empty());
+        assert!(aggregate_rows_part(&table.matrix, &tags, 4, 5).is_empty());
+    }
+}

@@ -1,0 +1,1097 @@
+//! # gea-router — a distributed shard router over `gea-server` backends
+//!
+//! One front end speaking the exact GQL line protocol, fanned out over N
+//! `gea-server` backends. The deployment model is **replication plus
+//! scatter**: every active backend holds an identical replica of every
+//! session (writes are broadcast in a fixed order), and the expensive
+//! scan-shaped verbs — `mine`, `populate <name> <sumy> <dataset>`, and
+//! `groups` — are *scattered*: each backend computes one contiguous
+//! stable-order shard of the work (`ShardPlan` semantics, via the
+//! server's `xpart` verb), the router gathers the partial blobs in shard
+//! order, and every backend then applies the identical merged result
+//! (`xapply`), which reuses `gea_exec::merge_shards` — the same seam the
+//! in-process sharded drivers use. Because the merge is concatenation of
+//! contiguous stable-order ranges, the gathered result is byte-identical
+//! to a single process executing the command serially, for **any** number
+//! of backends.
+//!
+//! Routing table:
+//!
+//! * **Reads** (`show`, `gap` algebra, `check`, `lineage`, `stats`, …) go
+//!   to a session-affine *home* backend (FNV-1a of the session name over
+//!   the currently-healthy active set) — replicas are identical, so any
+//!   one of them answers with the same bytes.
+//! * **Writes** that are not scattered (table algebra, `open`, `load`,
+//!   `delete`, simplex mining, …) are broadcast to every healthy active
+//!   backend under a per-session router lock; the reply from the lowest
+//!   slot is relayed.
+//! * **Scatterable writes** run the `xpart`/`xstage`/`xapply` protocol
+//!   described above when more than one healthy backend is active.
+//! * Unparseable lines are forwarded raw to the home backend so parse
+//!   errors are byte-identical too.
+//!
+//! Failure model: any transport error marks the backend down pool-wide,
+//! and a scatter whose compute phase loses a backend aborts with a single
+//! `ERR EBACKEND` — the compute phase is read-only, so nothing was
+//! mutated anywhere. A down backend is probed with exponential backoff
+//! and re-admitted only after every known session has been re-replicated
+//! onto it from a healthy source (`xsnapshot`/`xadopt`, the same snapshot
+//! format the spill path uses, with the same generation-drift refusal).
+//!
+//! The `rebalance <k>` admin verb grows or shrinks the active prefix at
+//! runtime, shipping session snapshots to newly activated backends under
+//! a topology write-lock; `backends` lists per-backend health.
+
+mod backend;
+
+pub use backend::BackendPool;
+use backend::{probe, BackendConn};
+
+use std::collections::{BTreeSet, HashMap};
+use std::io::Read;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::mpsc::{self, Receiver, SyncSender, TrySendError};
+use std::sync::{Arc, Mutex, RwLock};
+use std::time::Duration;
+
+use gea_server::gql::{self, GqlCommand, Request, SessionCtl};
+use gea_server::wire::{self, Reply};
+use gea_server::xcodec;
+
+/// Router tuning knobs.
+#[derive(Debug, Clone)]
+pub struct RouterConfig {
+    /// Bind address for the client-facing listener (port 0 picks an
+    /// ephemeral port).
+    pub addr: String,
+    /// Backend `gea-server` addresses, in shard order. Order is identity:
+    /// shard *i* of a scatter always runs on backend *i*.
+    pub backends: Vec<String>,
+    /// How many backends (a prefix of `backends`) start active; 0 means
+    /// all of them. `rebalance <k>` changes this at runtime.
+    pub active: usize,
+    /// Worker threads — the concurrent-client ceiling.
+    pub workers: usize,
+    /// Accepted connections that may wait for a free worker before new
+    /// ones are refused with `EBUSY`.
+    pub queue_depth: usize,
+    /// Health-probe cadence for down backends (and liveness checks on up
+    /// ones).
+    pub health_interval: Duration,
+    /// Per-backend TCP connect timeout.
+    pub connect_timeout: Duration,
+}
+
+impl Default for RouterConfig {
+    fn default() -> RouterConfig {
+        RouterConfig {
+            addr: "127.0.0.1:7787".to_string(),
+            backends: Vec::new(),
+            active: 0,
+            workers: 4,
+            queue_depth: 16,
+            health_interval: Duration::from_millis(500),
+            connect_timeout: Duration::from_secs(2),
+        }
+    }
+}
+
+/// A handle for stopping a running router from another thread.
+#[derive(Clone)]
+pub struct RouterHandle {
+    flag: Arc<AtomicBool>,
+    addr: SocketAddr,
+}
+
+impl RouterHandle {
+    /// Request shutdown and wake the acceptor.
+    pub fn shutdown(&self) {
+        self.flag.store(true, Ordering::SeqCst);
+        let _ = TcpStream::connect(self.addr);
+    }
+
+    /// Whether shutdown has been requested.
+    pub fn is_shutting_down(&self) -> bool {
+        self.flag.load(Ordering::SeqCst)
+    }
+}
+
+/// State shared by every client handler and the health thread.
+struct RouterShared {
+    pool: BackendPool,
+    /// Backends `[0, active)` participate in routing; the rest are warm
+    /// standbys until `rebalance` admits them.
+    active: AtomicUsize,
+    /// Session names the router has seen succeed (`open`/`use`); the set
+    /// a re-admitted backend must be resynced with.
+    sessions: Mutex<BTreeSet<String>>,
+    /// Per-session write serialization: broadcasts to replicas must land
+    /// in one global order per session or the replicas diverge.
+    locks: Mutex<HashMap<String, Arc<Mutex<()>>>>,
+    /// Topology lock: handlers performing replicated writes hold `read`;
+    /// resync/rebalance hold `write` so no write can slip past a backend
+    /// between its resync and its re-admission.
+    topo: RwLock<()>,
+    config: RouterConfig,
+    shutdown: Arc<AtomicBool>,
+}
+
+impl RouterShared {
+    fn session_lock(&self, name: &str) -> Arc<Mutex<()>> {
+        let mut locks = self.locks.lock().unwrap_or_else(|e| e.into_inner());
+        Arc::clone(
+            locks
+                .entry(name.to_string())
+                .or_insert_with(|| Arc::new(Mutex::new(()))),
+        )
+    }
+
+    /// Indices of healthy backends in the active prefix, in shard order.
+    fn healthy_actives(&self) -> Vec<usize> {
+        let a = self
+            .active
+            .load(Ordering::SeqCst)
+            .clamp(1, self.pool.len().max(1));
+        (0..a.min(self.pool.len()))
+            .filter(|&i| self.pool.is_up(i))
+            .collect()
+    }
+
+    fn note_session(&self, name: &str) {
+        self.sessions
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .insert(name.to_string());
+    }
+
+    fn forget_session(&self, name: &str) {
+        self.sessions
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .remove(name);
+    }
+}
+
+/// A bound, not-yet-running router.
+pub struct Router {
+    listener: TcpListener,
+    shutdown: Arc<AtomicBool>,
+    shared: Arc<RouterShared>,
+}
+
+impl Router {
+    /// Bind the client-facing listener. No thread is spawned until
+    /// [`Router::run`]; backends are not contacted yet.
+    pub fn bind(config: RouterConfig) -> std::io::Result<Router> {
+        if config.backends.is_empty() {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                "router needs at least one backend",
+            ));
+        }
+        let listener = TcpListener::bind(&config.addr)?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let n = config.backends.len();
+        let active = if config.active == 0 {
+            n
+        } else {
+            config.active.min(n)
+        };
+        let shared = Arc::new(RouterShared {
+            pool: BackendPool::new(&config.backends),
+            active: AtomicUsize::new(active),
+            sessions: Mutex::new(BTreeSet::new()),
+            locks: Mutex::new(HashMap::new()),
+            topo: RwLock::new(()),
+            config,
+            shutdown: Arc::clone(&shutdown),
+        });
+        Ok(Router {
+            listener,
+            shutdown,
+            shared,
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.listener
+            .local_addr()
+            .expect("bound listener has an address")
+    }
+
+    /// A shutdown handle to stop the router from another thread.
+    pub fn handle(&self) -> RouterHandle {
+        RouterHandle {
+            flag: Arc::clone(&self.shutdown),
+            addr: self.local_addr(),
+        }
+    }
+
+    /// Serve until shutdown is requested. Blocks the calling thread; the
+    /// worker pool and the health thread are joined before returning.
+    pub fn run(self) -> std::io::Result<()> {
+        let Router {
+            listener,
+            shutdown,
+            shared,
+        } = self;
+        let workers = shared.config.workers.max(1);
+        let (tx, rx): (SyncSender<TcpStream>, Receiver<TcpStream>) =
+            mpsc::sync_channel(shared.config.queue_depth);
+        let rx = Arc::new(Mutex::new(rx));
+        let mut pool = Vec::with_capacity(workers + 1);
+        for i in 0..workers {
+            let rx = Arc::clone(&rx);
+            let shared = Arc::clone(&shared);
+            pool.push(
+                std::thread::Builder::new()
+                    .name(format!("gea-router-worker-{i}"))
+                    .spawn(move || loop {
+                        let stream = {
+                            let guard = rx.lock().unwrap_or_else(|e| e.into_inner());
+                            guard.recv()
+                        };
+                        let Ok(stream) = stream else { break };
+                        let _ = serve_connection(stream, &shared);
+                    })?,
+            );
+        }
+        {
+            let shared = Arc::clone(&shared);
+            pool.push(
+                std::thread::Builder::new()
+                    .name("gea-router-health".to_string())
+                    .spawn(move || health_loop(&shared))?,
+            );
+        }
+
+        for stream in listener.incoming() {
+            if shutdown.load(Ordering::SeqCst) {
+                break;
+            }
+            let stream = match stream {
+                Ok(s) => s,
+                Err(_) => continue,
+            };
+            match tx.try_send(stream) {
+                Ok(()) => {}
+                Err(TrySendError::Full(mut stream)) => {
+                    let _ =
+                        wire::write_err(&mut stream, "EBUSY", "router saturated; try again later");
+                }
+                Err(TrySendError::Disconnected(_)) => break,
+            }
+        }
+        shutdown.store(true, Ordering::SeqCst);
+        drop(tx);
+        for worker in pool {
+            let _ = worker.join();
+        }
+        Ok(())
+    }
+}
+
+/// FNV-1a over the session name: the stable hash behind home-backend
+/// affinity.
+fn fnv1a(s: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in s.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Whether this command is worth scattering: the scan-shaped verbs whose
+/// per-shard kernels the server exposes via `xpart`. Simplex mining is
+/// deterministic but its per-seed convergence is not contiguous-range
+/// shaped, so it replicates via plain broadcast instead.
+fn scatterable(cmd: &GqlCommand) -> bool {
+    match cmd {
+        GqlCommand::Mine { .. } | GqlCommand::Groups(_) => true,
+        GqlCommand::Populate { from, .. } => from.is_some(),
+        GqlCommand::MineWith { algo, .. } => algo == "isa",
+        _ => false,
+    }
+}
+
+/// What the connection loop does after answering a request.
+enum After {
+    Continue,
+    CloseConnection,
+    StopRouter,
+}
+
+/// How a transport-level backend loss renders to the client: one coded
+/// error, never a hang or a partial reply.
+fn ebackend(msg: impl Into<String>) -> Reply {
+    Err(("EBACKEND".to_string(), msg.into()))
+}
+
+/// How often a worker blocked on an idle connection re-checks the
+/// shutdown flag (mirrors the server).
+const READ_POLL: Duration = Duration::from_millis(250);
+
+/// Requests longer than this are malformed (mirrors the server).
+const MAX_LINE: usize = 64 * 1024;
+
+/// Raw bytes staged per `xstage` line: hex doubles it and the verb prefix
+/// rides along, so this keeps every staging line under the server's
+/// 64 KiB line ceiling.
+const RAW_CHUNK: usize = 24 * 1024;
+
+/// Hex characters shipped per `xstage` line when relaying an already-hex
+/// snapshot (must stay even so byte boundaries are preserved).
+const HEX_CHUNK: usize = 48 * 1024;
+
+fn serve_connection(mut stream: TcpStream, shared: &Arc<RouterShared>) -> std::io::Result<()> {
+    let mut writer = stream.try_clone()?;
+    stream.set_read_timeout(Some(READ_POLL))?;
+    let mut pending: Vec<u8> = Vec::new();
+    let mut chunk = [0u8; 4096];
+    // The client's current session, mirroring what a single server's
+    // connection state would be: updated only when `open`/`use` succeeds.
+    let mut current = "default".to_string();
+    // Lazily-established connections to each backend, owned by this
+    // handler so backend-side per-connection state (current session,
+    // staging buffer) is never shared across clients.
+    let mut conns: Vec<Option<BackendConn>> = (0..shared.pool.len()).map(|_| None).collect();
+    loop {
+        let line = loop {
+            if let Some(pos) = pending.iter().position(|&b| b == b'\n') {
+                let raw: Vec<u8> = pending.drain(..=pos).collect();
+                break String::from_utf8_lossy(&raw).into_owned();
+            }
+            if pending.len() > MAX_LINE {
+                wire::write_err(&mut writer, "EPARSE", "request line too long")?;
+                return Ok(());
+            }
+            match stream.read(&mut chunk) {
+                Ok(0) => return Ok(()),
+                Ok(n) => pending.extend_from_slice(&chunk[..n]),
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                    ) =>
+                {
+                    if shared.shutdown.load(Ordering::SeqCst) {
+                        return Ok(());
+                    }
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        };
+        let line = line.trim_end_matches(['\n', '\r']).to_string();
+
+        // Router admin verbs, answered locally (they are not GQL).
+        let mut fields = line.split_whitespace();
+        match fields.next() {
+            Some("backends") if fields.next().is_none() => {
+                wire::write_ok(&mut writer, &render_backends(shared))?;
+                continue;
+            }
+            Some("rebalance") => {
+                let arg = fields.next();
+                let reply = match (arg, fields.next()) {
+                    (Some(k), None) => match k.parse::<usize>() {
+                        Ok(k) => rebalance(shared, k),
+                        Err(_) => Err((
+                            "EPARSE".to_string(),
+                            "usage: rebalance <active-backends>".to_string(),
+                        )),
+                    },
+                    _ => Err((
+                        "EPARSE".to_string(),
+                        "usage: rebalance <active-backends>".to_string(),
+                    )),
+                };
+                write_reply(&mut writer, reply)?;
+                continue;
+            }
+            _ => {}
+        }
+
+        let (reply, after) = route(&line, &mut current, &mut conns, shared);
+        if let Some(reply) = reply {
+            write_reply(&mut writer, reply)?;
+        }
+        match after {
+            After::Continue => {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    return Ok(());
+                }
+            }
+            After::CloseConnection => return Ok(()),
+            After::StopRouter => {
+                shared.shutdown.store(true, Ordering::SeqCst);
+                if let Ok(addr) = writer.local_addr() {
+                    let _ = TcpStream::connect(addr);
+                }
+                return Ok(());
+            }
+        }
+    }
+}
+
+fn write_reply(writer: &mut TcpStream, reply: Reply) -> std::io::Result<()> {
+    match reply {
+        Ok(payload) => wire::write_ok(writer, &payload),
+        Err((code, msg)) => wire::write_err(writer, &code, &msg),
+    }
+}
+
+fn render_backends(shared: &RouterShared) -> String {
+    let active = shared.active.load(Ordering::SeqCst);
+    (0..shared.pool.len())
+        .map(|i| {
+            format!(
+                "{i}: {} {}{}",
+                shared.pool.addr(i),
+                if shared.pool.is_up(i) { "up" } else { "down" },
+                if i >= active { " (standby)" } else { "" },
+            )
+        })
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+/// Route one client line. Returns `None` for lines that get no reply
+/// (blank/comment, matching the server's behavior).
+fn route(
+    line: &str,
+    current: &mut String,
+    conns: &mut [Option<BackendConn>],
+    shared: &RouterShared,
+) -> (Option<Reply>, After) {
+    let req = match gql::parse(line) {
+        Ok(None) => return (None, After::Continue),
+        Ok(Some(req)) => req,
+        // Forward unparseable lines raw to the home backend: its parser
+        // produces the byte-identical EPARSE reply.
+        Err(_) => return (Some(forward_home(line, current, conns, shared, false)), After::Continue),
+    };
+    match req {
+        Request::Help => (Some(Ok(gql::HELP.to_string())), After::Continue),
+        Request::Ping => (Some(Ok("pong".to_string())), After::Continue),
+        Request::Quit => (Some(Ok("bye".to_string())), After::CloseConnection),
+        Request::Shutdown => {
+            // Stop the whole deployment: backends first, then this router.
+            let _t = shared.topo.read().unwrap_or_else(|e| e.into_inner());
+            for i in shared.healthy_actives() {
+                if let Ok(conn) = ensure_conn(conns, shared, i) {
+                    let _ = conn.request("shutdown");
+                }
+            }
+            (Some(Ok("shutting down".to_string())), After::StopRouter)
+        }
+        // Server-wide or filesystem-touching one-shots: one copy suffices
+        // and the reply is identical to a single server's.
+        Request::Stats | Request::GenCorpus { .. } => (
+            Some(forward_home(line, current, conns, shared, false)),
+            After::Continue,
+        ),
+        Request::Session(ctl) => (
+            Some(session_ctl(line, &ctl, current, conns, shared)),
+            After::Continue,
+        ),
+        Request::Gql(cmd) => {
+            if cmd.is_read() {
+                (
+                    Some(forward_home(line, current, conns, shared, true)),
+                    After::Continue,
+                )
+            } else {
+                (
+                    Some(write_cmd(line, &cmd, current, conns, shared)),
+                    After::Continue,
+                )
+            }
+        }
+    }
+}
+
+/// Establish (or reuse) this handler's connection to backend `i`. A
+/// connect failure marks the backend down pool-wide.
+fn ensure_conn<'a>(
+    conns: &'a mut [Option<BackendConn>],
+    shared: &RouterShared,
+    i: usize,
+) -> Result<&'a mut BackendConn, ()> {
+    let admission = shared.pool.admissions(i);
+    // A connection from before the backend's last re-admission points at
+    // a dead socket (the backend restarted); drop it instead of letting
+    // the first request after re-admission fail on it.
+    if conns[i]
+        .as_ref()
+        .is_some_and(|conn| conn.admission != admission)
+    {
+        conns[i] = None;
+    }
+    if conns[i].is_none() {
+        match BackendConn::connect(shared.pool.addr(i), shared.config.connect_timeout) {
+            Ok(mut conn) => {
+                conn.admission = admission;
+                conns[i] = Some(conn);
+            }
+            Err(_) => {
+                shared.pool.mark_down(i);
+                return Err(());
+            }
+        }
+    }
+    Ok(conns[i].as_mut().expect("just ensured"))
+}
+
+/// One request on backend `i`, with transport failures downgrading the
+/// backend pool-wide and poisoning this handler's connection to it.
+fn request_on(
+    conns: &mut [Option<BackendConn>],
+    shared: &RouterShared,
+    i: usize,
+    line: &str,
+) -> Result<Reply, ()> {
+    let conn = ensure_conn(conns, shared, i)?;
+    match conn.request(line) {
+        Ok(reply) => Ok(reply),
+        Err(_) => {
+            conns[i] = None;
+            shared.pool.mark_down(i);
+            Err(())
+        }
+    }
+}
+
+/// Align backend `i`'s server-side current session with the client's.
+/// Returns the engine's error reply if the `use` itself fails (which is
+/// byte-identical to what the data command would have answered on a
+/// single server, since both render `no_session(current)`).
+fn align_session(
+    conns: &mut [Option<BackendConn>],
+    shared: &RouterShared,
+    i: usize,
+    current: &str,
+) -> Result<Option<Reply>, ()> {
+    {
+        let conn = ensure_conn(conns, shared, i)?;
+        if conn.session == current {
+            return Ok(None);
+        }
+    }
+    match request_on(conns, shared, i, &format!("use {current}"))? {
+        Ok(_) => {
+            if let Some(conn) = conns[i].as_mut() {
+                conn.session = current.to_string();
+            }
+            Ok(None)
+        }
+        Err(e) => Ok(Some(Err(e))),
+    }
+}
+
+/// Forward one line to the session-affine home backend, optionally
+/// aligning the backend connection's current session first.
+fn forward_home(
+    line: &str,
+    current: &str,
+    conns: &mut [Option<BackendConn>],
+    shared: &RouterShared,
+    align: bool,
+) -> Reply {
+    let healthy = shared.healthy_actives();
+    if healthy.is_empty() {
+        return ebackend("no healthy backend available");
+    }
+    let i = healthy[(fnv1a(current) % healthy.len() as u64) as usize];
+    if align {
+        match align_session(conns, shared, i, current) {
+            Ok(None) => {}
+            Ok(Some(err)) => return err,
+            Err(()) => {
+                return ebackend(format!("backend {} unreachable", shared.pool.addr(i)))
+            }
+        }
+    }
+    match request_on(conns, shared, i, line) {
+        Ok(reply) => reply,
+        Err(()) => ebackend(format!("backend {} unreachable", shared.pool.addr(i))),
+    }
+}
+
+/// Session-registry control: broadcast to every healthy active backend so
+/// the replicas' registries stay identical, tracking which sessions exist
+/// and where each backend connection is attached.
+fn session_ctl(
+    line: &str,
+    ctl: &SessionCtl,
+    current: &mut String,
+    conns: &mut [Option<BackendConn>],
+    shared: &RouterShared,
+) -> Reply {
+    let target = match ctl {
+        SessionCtl::OpenDemo { name, .. } | SessionCtl::OpenDir { name, .. } => name.clone(),
+        SessionCtl::Use(name) | SessionCtl::Close(name) => name.clone(),
+        // `sessions` is a read over identical registries: home answers.
+        SessionCtl::List => return forward_home(line, current, conns, shared, false),
+    };
+    let _t = shared.topo.read().unwrap_or_else(|e| e.into_inner());
+    let _g = shared.session_lock(&target);
+    let _guard = _g.lock().unwrap_or_else(|e| e.into_inner());
+    let healthy = shared.healthy_actives();
+    if healthy.is_empty() {
+        return ebackend("no healthy backend available");
+    }
+    let attaches = matches!(
+        ctl,
+        SessionCtl::OpenDemo { .. } | SessionCtl::OpenDir { .. } | SessionCtl::Use(_)
+    );
+    let mut relay: Option<Reply> = None;
+    for i in healthy {
+        match request_on(conns, shared, i, line) {
+            Ok(reply) => {
+                if reply.is_ok() && attaches {
+                    if let Some(conn) = conns[i].as_mut() {
+                        conn.session = target.clone();
+                    }
+                }
+                if relay.is_none() {
+                    relay = Some(reply);
+                }
+            }
+            Err(()) => {}
+        }
+    }
+    let Some(reply) = relay else {
+        return ebackend("no healthy backend available");
+    };
+    if reply.is_ok() {
+        match ctl {
+            SessionCtl::OpenDemo { .. } | SessionCtl::OpenDir { .. } | SessionCtl::Use(_) => {
+                shared.note_session(&target);
+                *current = target;
+            }
+            SessionCtl::Close(_) => shared.forget_session(&target),
+            SessionCtl::List => {}
+        }
+    }
+    reply
+}
+
+/// A non-read GQL command: scatter it if it is scan-shaped and more than
+/// one healthy backend is active, otherwise broadcast the raw line so
+/// every replica executes it identically.
+fn write_cmd(
+    line: &str,
+    cmd: &GqlCommand,
+    current: &str,
+    conns: &mut [Option<BackendConn>],
+    shared: &RouterShared,
+) -> Reply {
+    let _t = shared.topo.read().unwrap_or_else(|e| e.into_inner());
+    let _g = shared.session_lock(current);
+    let _guard = _g.lock().unwrap_or_else(|e| e.into_inner());
+    let healthy = shared.healthy_actives();
+    if healthy.is_empty() {
+        return ebackend("no healthy backend available");
+    }
+    // Align every participating backend connection up front; an alignment
+    // error is the engine's own (byte-identical) reply.
+    for &i in &healthy {
+        match align_session(conns, shared, i, current) {
+            Ok(None) => {}
+            Ok(Some(err)) => return err,
+            Err(()) => {
+                return ebackend(format!(
+                    "backend {} unreachable",
+                    shared.pool.addr(i)
+                ))
+            }
+        }
+    }
+    if healthy.len() > 1 && scatterable(cmd) {
+        scatter(cmd, conns, shared, &healthy)
+    } else {
+        broadcast_raw(line, conns, shared, &healthy)
+    }
+}
+
+/// Broadcast one raw line to the given backends in slot order, relaying
+/// the first surviving reply (replicas are identical, so every survivor
+/// answers the same bytes).
+fn broadcast_raw(
+    line: &str,
+    conns: &mut [Option<BackendConn>],
+    shared: &RouterShared,
+    slots: &[usize],
+) -> Reply {
+    let mut relay: Option<Reply> = None;
+    for &i in slots {
+        if let Ok(reply) = request_on(conns, shared, i, line) {
+            if relay.is_none() {
+                relay = Some(reply);
+            }
+        }
+    }
+    relay.unwrap_or_else(|| ebackend("no healthy backend available"))
+}
+
+/// The scatter/gather protocol: each backend computes one contiguous
+/// shard of the command (`xpart`, read-only), the router frames the
+/// partial blobs in shard order, and every backend installs the identical
+/// merged result (`xstage` + `xapply`).
+fn scatter(
+    cmd: &GqlCommand,
+    conns: &mut [Option<BackendConn>],
+    shared: &RouterShared,
+    healthy: &[usize],
+) -> Reply {
+    let canonical = cmd.canonical();
+    let k = healthy.len();
+
+    // Compute phase: one shard per backend, in parallel. This phase only
+    // reads, so a lost backend aborts the whole command with nothing
+    // mutated anywhere.
+    let mut taken: Vec<(usize, BackendConn)> = Vec::with_capacity(k);
+    for &i in healthy {
+        match ensure_conn(conns, shared, i) {
+            Ok(_) => taken.push((i, conns[i].take().expect("just ensured"))),
+            Err(()) => {
+                // Put already-taken conns back before failing.
+                for (j, conn) in taken {
+                    conns[j] = Some(conn);
+                }
+                return ebackend(format!("backend {} unreachable", shared.pool.addr(i)));
+            }
+        }
+    }
+    let results: Vec<std::io::Result<Reply>> = std::thread::scope(|s| {
+        let handles: Vec<_> = taken
+            .iter_mut()
+            .enumerate()
+            .map(|(slot, (_i, conn))| {
+                let line = format!("xpart {slot} {k} :: {canonical}");
+                s.spawn(move || conn.request(&line))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| {
+                h.join()
+                    .unwrap_or_else(|_| Err(std::io::Error::other("scatter thread panicked")))
+            })
+            .collect()
+    });
+    let mut lost: Option<usize> = None;
+    for ((i, conn), res) in taken.into_iter().zip(&results) {
+        if res.is_ok() {
+            conns[i] = Some(conn);
+        } else {
+            shared.pool.mark_down(i);
+            lost.get_or_insert(i);
+        }
+    }
+    if let Some(i) = lost {
+        return ebackend(format!(
+            "backend {} lost mid-scatter; no partial results were applied",
+            shared.pool.addr(i)
+        ));
+    }
+    // An engine error is deterministic across identical replicas: relay
+    // the lowest slot's.
+    let mut blobs: Vec<Vec<u8>> = Vec::with_capacity(k);
+    for res in &results {
+        match res.as_ref().expect("transport losses handled above") {
+            Err((code, msg)) => return Err((code.clone(), msg.clone())),
+            Ok(payload) => match xcodec::hex_decode(payload.trim()) {
+                Ok(blob) => blobs.push(blob),
+                Err(e) => return ebackend(format!("malformed scatter partial: {e}")),
+            },
+        }
+    }
+    let staged = xcodec::frame(&blobs);
+
+    // Apply phase: every replica installs the same merged result. A
+    // backend lost here is re-synced by the health thread on
+    // re-admission, so survivors may proceed.
+    let mut relay: Option<Reply> = None;
+    for &i in healthy {
+        if conns[i].is_none() {
+            continue;
+        }
+        let applied = apply_on(conns, shared, i, &staged, k, &canonical);
+        if let Some(reply) = applied {
+            if relay.is_none() {
+                relay = Some(reply);
+            }
+        }
+    }
+    relay.unwrap_or_else(|| ebackend("all backends lost during scatter apply"))
+}
+
+/// Stage the framed shard blobs on backend `i` and apply the merge.
+/// `None` means the backend was lost at the transport level.
+fn apply_on(
+    conns: &mut [Option<BackendConn>],
+    shared: &RouterShared,
+    i: usize,
+    staged: &[u8],
+    k: usize,
+    canonical: &str,
+) -> Option<Reply> {
+    match request_on(conns, shared, i, "xreset") {
+        Ok(Ok(_)) => {}
+        Ok(Err(e)) => return Some(Err(e)),
+        Err(()) => return None,
+    }
+    for chunk in staged.chunks(RAW_CHUNK) {
+        let line = format!("xstage {}", xcodec::hex_encode(chunk));
+        match request_on(conns, shared, i, &line) {
+            Ok(Ok(_)) => {}
+            Ok(Err(e)) => return Some(Err(e)),
+            Err(()) => return None,
+        }
+    }
+    match request_on(conns, shared, i, &format!("xapply {k} :: {canonical}")) {
+        Ok(reply) => Some(reply),
+        Err(()) => None,
+    }
+}
+
+/// `rebalance <k>`: resize the active prefix. Growing ships every known
+/// session to the newly admitted backends (snapshot under generation
+/// check → stage → adopt), refusing on generation drift exactly like the
+/// spill path does; shrinking just narrows the prefix.
+fn rebalance(shared: &RouterShared, k: usize) -> Reply {
+    let n = shared.pool.len();
+    if k < 1 || k > n {
+        return Err((
+            "EQUERY".to_string(),
+            format!("rebalance: active backends must be between 1 and {n}"),
+        ));
+    }
+    let cur = shared.active.load(Ordering::SeqCst);
+    if k > cur {
+        // Exclude all replicated writes while the new backends catch up.
+        let _t = shared.topo.write().unwrap_or_else(|e| e.into_inner());
+        let source = match (0..cur).find(|&i| shared.pool.is_up(i)) {
+            Some(i) => i,
+            None => return ebackend("no healthy backend to rebalance from"),
+        };
+        let names: Vec<String> = shared
+            .sessions
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .iter()
+            .cloned()
+            .collect();
+        for i in cur..k {
+            if let Err(e) = sync_backend(shared, source, i, &names) {
+                return Err(e);
+            }
+            shared.pool.mark_up(i);
+        }
+        shared.active.store(k, Ordering::SeqCst);
+    } else {
+        shared.active.store(k, Ordering::SeqCst);
+    }
+    Ok(format!("rebalanced to {k} active backend(s)"))
+}
+
+/// Replicate `names` from backend `source` onto backend `target` over
+/// fresh connections, with the spill path's generation-drift refusal.
+fn sync_backend(
+    shared: &RouterShared,
+    source: usize,
+    target: usize,
+    names: &[String],
+) -> Result<(), (String, String)> {
+    let timeout = shared.config.connect_timeout;
+    let lost = |i: usize| {
+        (
+            "EBACKEND".to_string(),
+            format!("backend {} unreachable", shared.pool.addr(i)),
+        )
+    };
+    let mut src = BackendConn::connect(shared.pool.addr(source), timeout).map_err(|_| {
+        shared.pool.mark_down(source);
+        lost(source)
+    })?;
+    let mut tgt =
+        BackendConn::connect(shared.pool.addr(target), timeout).map_err(|_| lost(target))?;
+    for name in names {
+        let snap = match src
+            .request(&format!("xsnapshot {name}"))
+            .map_err(|_| lost(source))?
+        {
+            // The session evaporated (closed behind our back): not an
+            // error, just nothing to ship.
+            Err((code, _)) if code == "ENOSESSION" => {
+                shared.forget_session(name);
+                continue;
+            }
+            Err(e) => return Err(e),
+            Ok(payload) => payload,
+        };
+        let (header, hex) = snap
+            .split_once('\n')
+            .ok_or_else(|| ("EBACKEND".to_string(), "malformed snapshot reply".to_string()))?;
+        let mut parts = header.split_whitespace();
+        let (generation, fingerprint) = match (parts.next(), parts.next()) {
+            (Some(g), Some(f)) => (g.to_string(), f.to_string()),
+            _ => return Err(("EBACKEND".to_string(), "malformed snapshot reply".to_string())),
+        };
+        tgt.request("xreset")
+            .map_err(|_| lost(target))?
+            .map_err(|e| e)?;
+        for chunk in hex.as_bytes().chunks(HEX_CHUNK) {
+            let chunk = std::str::from_utf8(chunk).expect("hex is ASCII");
+            tgt.request(&format!("xstage {chunk}"))
+                .map_err(|_| lost(target))?
+                .map_err(|e| e)?;
+        }
+        tgt.request(&format!("xadopt {name} {fingerprint}"))
+            .map_err(|_| lost(target))?
+            .map_err(|e| e)?;
+        // Generation drift check: if the source moved while we shipped,
+        // the snapshot is stale — refuse, exactly like a spill whose
+        // entry advanced between snapshot and commit.
+        let gen_now = src
+            .request(&format!("xgen {name}"))
+            .map_err(|_| lost(source))?
+            .map_err(|e| e)?;
+        if gen_now.trim() != generation {
+            return Err((
+                "ECONFLICT".to_string(),
+                format!("session {name} changed during rebalance; retry"),
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// The health thread: probe down backends with exponential backoff and
+/// re-admit them only after a full resync; verify up backends are still
+/// answering.
+/// Sleep `total`, but wake early (within ~100ms) if shutdown is raised so
+/// a long health interval never delays [`Router::run`]'s join.
+fn sleep_interruptible(shared: &RouterShared, total: Duration) {
+    let mut left = total;
+    while left > Duration::ZERO && !shared.shutdown.load(Ordering::SeqCst) {
+        let step = left.min(Duration::from_millis(100));
+        std::thread::sleep(step);
+        left = left.saturating_sub(step);
+    }
+}
+
+fn health_loop(shared: &RouterShared) {
+    let interval = shared.config.health_interval;
+    while !shared.shutdown.load(Ordering::SeqCst) {
+        sleep_interruptible(shared, interval);
+        let active = shared.active.load(Ordering::SeqCst);
+        for i in 0..shared.pool.len() {
+            if shared.shutdown.load(Ordering::SeqCst) {
+                return;
+            }
+            if shared.pool.is_up(i) {
+                // Standby backends are not probed; active ones get a
+                // liveness check so a silent death is noticed even with
+                // no client traffic.
+                if i < active && !probe(shared.pool.addr(i), shared.config.connect_timeout) {
+                    shared.pool.mark_down(i);
+                }
+                continue;
+            }
+            if !shared.pool.due_for_probe(i) {
+                continue;
+            }
+            if !probe(shared.pool.addr(i), shared.config.connect_timeout) {
+                shared.pool.note_probe_failure(i, interval);
+                continue;
+            }
+            // Alive again: resync every known session before re-admitting,
+            // holding the topology lock so no write slips into the gap
+            // between resync and re-admission.
+            let _t = shared.topo.write().unwrap_or_else(|e| e.into_inner());
+            let source = (0..shared.pool.len())
+                .filter(|&j| j != i && j < active)
+                .find(|&j| shared.pool.is_up(j));
+            let resynced = match source {
+                None => true, // nothing healthy to diverge from
+                Some(src) => {
+                    let names: Vec<String> = shared
+                        .sessions
+                        .lock()
+                        .unwrap_or_else(|e| e.into_inner())
+                        .iter()
+                        .cloned()
+                        .collect();
+                    sync_backend(shared, src, i, &names).is_ok()
+                }
+            };
+            if resynced {
+                shared.pool.mark_up(i);
+            } else {
+                shared.pool.note_probe_failure(i, interval);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scatterable_covers_exactly_the_scan_shaped_verbs() {
+        assert!(scatterable(&GqlCommand::Mine {
+            dataset: "d".into(),
+            out: "f".into(),
+            k_pct: 10,
+            min_records: 2,
+            batch: 8,
+        }));
+        assert!(scatterable(&GqlCommand::Groups("f_1".into())));
+        assert!(scatterable(&GqlCommand::Populate {
+            name: "t".into(),
+            from: Some(("s".into(), "d".into())),
+        }));
+        // Lineage re-materialization has no per-shard kernel.
+        assert!(!scatterable(&GqlCommand::Populate {
+            name: "t".into(),
+            from: None,
+        }));
+        assert!(scatterable(&GqlCommand::MineWith {
+            dataset: "d".into(),
+            out: "m".into(),
+            algo: "isa".into(),
+            params: vec![],
+        }));
+        // Simplex replicates via broadcast instead.
+        assert!(!scatterable(&GqlCommand::MineWith {
+            dataset: "d".into(),
+            out: "m".into(),
+            algo: "simplex".into(),
+            params: vec![],
+        }));
+        assert!(!scatterable(&GqlCommand::Lineage));
+    }
+
+    #[test]
+    fn home_affinity_is_stable_and_in_range() {
+        for n in 1..=5u64 {
+            let h = (fnv1a("default") % n) as usize;
+            assert!(h < n as usize);
+            assert_eq!(h, (fnv1a("default") % n) as usize);
+        }
+        // Different sessions can land on different homes (not a strict
+        // requirement, but the hash must at least not be constant).
+        let spread: std::collections::BTreeSet<u64> = ["a", "b", "c", "d", "e", "f"]
+            .iter()
+            .map(|s| fnv1a(s) % 4)
+            .collect();
+        assert!(spread.len() > 1);
+    }
+}

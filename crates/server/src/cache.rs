@@ -70,54 +70,84 @@ struct Slot {
     stamp: u64,
 }
 
-/// Counters per sketch row (power of two; 16 index bits available per
-/// row from one 64-bit hash).
-const SKETCH_WIDTH: usize = 1024;
+/// Smallest counters-per-row width the sketch will use (the historical
+/// fixed size: 4 KiB of counters).
+const SKETCH_MIN_WIDTH: usize = 1024;
+/// Largest width: each row's index draws 16 bits from the 64-bit hash,
+/// so a row can address at most 2^16 counters.
+const SKETCH_MAX_WIDTH: usize = 65_536;
 /// Independent counter rows; an item's estimate is the minimum over its
 /// row counters, so hash collisions only ever *overstate* a frequency.
 const SKETCH_ROWS: usize = 4;
-/// Recorded accesses between aging passes. Halving all counters keeps
-/// estimates a sliding window of recent popularity instead of an
-/// all-time tally (yesterday's hot command must not shadow today's).
-const SKETCH_SAMPLE_LIMIT: u32 = 10 * SKETCH_WIDTH as u32;
+/// Assumed bytes per cached slot when sizing the sketch from the cache
+/// budget: the sketch should track about as many distinct keys as the
+/// cache can hold slots, and command + reply text for typical GQL replies
+/// lands around a KiB.
+const SKETCH_BYTES_PER_SLOT: usize = 1024;
 
 /// A TinyLFU-style count-min sketch over `(scope, command)` access
 /// frequencies: 4 rows of `u8` counters, saturating increments, periodic
-/// halving. Fixed 4 KiB footprint, no allocations after construction, no
-/// external dependencies.
+/// halving. No allocations after construction, no external dependencies.
+///
+/// The width scales with the cache budget (`--cache-bytes`): a fixed
+/// 1024-counter row serves a few-MiB cache fine, but a large budget holds
+/// many more distinct keys than the row can separate, and the admission
+/// filter degrades into coin flips between colliding hot sets. The aging
+/// sample limit scales with the width so bigger sketches keep the same
+/// sliding-window behavior, and a counter saturating at `u8::MAX`
+/// triggers an immediate aging pass — a pinned counter can no longer
+/// rank two hot keys, halving restores the resolution.
 struct FrequencySketch {
     counters: Vec<u8>,
+    /// Counters per row; a power of two in
+    /// [`SKETCH_MIN_WIDTH`, `SKETCH_MAX_WIDTH`].
+    width: usize,
     samples: u32,
+    /// Recorded accesses between aging passes (10× width).
+    sample_limit: u32,
 }
 
 impl FrequencySketch {
-    fn new() -> FrequencySketch {
+    /// A sketch sized for a cache of `budget` bytes: one counter per
+    /// expected slot, rounded up to a power of two and clamped.
+    fn for_budget(budget: usize) -> FrequencySketch {
+        let width = (budget / SKETCH_BYTES_PER_SLOT)
+            .next_power_of_two()
+            .clamp(SKETCH_MIN_WIDTH, SKETCH_MAX_WIDTH);
         FrequencySketch {
-            counters: vec![0; SKETCH_ROWS * SKETCH_WIDTH],
+            counters: vec![0; SKETCH_ROWS * width],
+            width,
             samples: 0,
+            sample_limit: 10 * width as u32,
         }
     }
 
-    fn index(row: usize, hash: u64) -> usize {
-        row * SKETCH_WIDTH + ((hash >> (16 * row)) as usize & (SKETCH_WIDTH - 1))
+    fn index(&self, row: usize, hash: u64) -> usize {
+        row * self.width + ((hash >> (16 * row)) as usize & (self.width - 1))
     }
 
     /// Count one access.
     fn record(&mut self, hash: u64) {
         self.samples += 1;
-        if self.samples >= SKETCH_SAMPLE_LIMIT {
+        if self.samples >= self.sample_limit {
+            self.age();
+        }
+        // A saturated counter has stopped ranking: two keys pinned at the
+        // ceiling compare equal no matter how their popularity differs.
+        // Halve everything to restore resolution before counting.
+        if (0..SKETCH_ROWS).any(|row| self.counters[self.index(row, hash)] == u8::MAX) {
             self.age();
         }
         for row in 0..SKETCH_ROWS {
-            let c = &mut self.counters[Self::index(row, hash)];
-            *c = c.saturating_add(1);
+            let i = self.index(row, hash);
+            self.counters[i] = self.counters[i].saturating_add(1);
         }
     }
 
     /// Estimated access count (an upper bound; exact absent collisions).
     fn estimate(&self, hash: u64) -> u8 {
         (0..SKETCH_ROWS)
-            .map(|row| self.counters[Self::index(row, hash)])
+            .map(|row| self.counters[self.index(row, hash)])
             .min()
             .unwrap_or(0)
     }
@@ -162,14 +192,14 @@ struct Inner {
     sketch: FrequencySketch,
 }
 
-impl Default for Inner {
-    fn default() -> Inner {
+impl Inner {
+    fn new(budget: usize) -> Inner {
         Inner {
             map: HashMap::new(),
             order: BTreeMap::new(),
             bytes: 0,
             clock: 0,
-            sketch: FrequencySketch::new(),
+            sketch: FrequencySketch::for_budget(budget),
         }
     }
 }
@@ -209,7 +239,7 @@ impl ResponseCache {
     pub fn new(budget: usize) -> ResponseCache {
         ResponseCache {
             budget,
-            inner: Mutex::new(Inner::default()),
+            inner: Mutex::new(Inner::new(budget)),
         }
     }
 
@@ -624,5 +654,74 @@ mod tests {
         let g = cache.render_gauges();
         assert!(g.contains("cache_entries 1"), "{g}");
         assert!(g.contains("cache_budget_bytes 512"), "{g}");
+    }
+
+    #[test]
+    fn sketch_width_scales_with_budget() {
+        // Small budgets keep the historical 1024-counter rows; the width
+        // then tracks budget / 1 KiB as a power of two, capped by the 16
+        // index bits available per row.
+        assert_eq!(FrequencySketch::for_budget(0).width, 1024);
+        assert_eq!(FrequencySketch::for_budget(512 * 1024).width, 1024);
+        assert_eq!(FrequencySketch::for_budget(8 * 1024 * 1024).width, 8192);
+        assert_eq!(FrequencySketch::for_budget(3 * 1024 * 1024).width, 4096);
+        assert_eq!(FrequencySketch::for_budget(1 << 30).width, 65_536);
+        for budget in [0, 4096, 1 << 20, 1 << 26, 1 << 30] {
+            let s = FrequencySketch::for_budget(budget);
+            assert!(s.width.is_power_of_two());
+            assert_eq!(s.sample_limit, 10 * s.width as u32);
+            assert_eq!(s.counters.len(), SKETCH_ROWS * s.width);
+        }
+    }
+
+    #[test]
+    fn large_budget_sketch_keeps_hot_sets_separable() {
+        // A 64 MiB cache sees far more distinct keys than a 1024-counter
+        // row can separate. With the width scaled to the budget, a large
+        // one-off scan must not inflate cold keys into the hot keys'
+        // frequency range: every hot key must still out-rank every scan
+        // key at admission time.
+        let mut sketch = FrequencySketch::for_budget(64 * 1024 * 1024);
+        assert_eq!(sketch.width, 65_536);
+        let hot: Vec<u64> = (0..100)
+            .map(|i| freq_hash(CacheScope::Entry(1), &format!("hot{i}")))
+            .collect();
+        let scan: Vec<u64> = (0..5000)
+            .map(|i| freq_hash(CacheScope::Entry(1), &format!("scan{i}")))
+            .collect();
+        for h in &hot {
+            for _ in 0..10 {
+                sketch.record(*h);
+            }
+        }
+        for s in &scan {
+            sketch.record(*s);
+        }
+        let min_hot = hot.iter().map(|h| sketch.estimate(*h)).min().unwrap();
+        let max_scan = scan.iter().map(|s| sketch.estimate(*s)).max().unwrap();
+        assert!(
+            min_hot > max_scan,
+            "hot set no longer separable: min hot estimate {min_hot} <= max scan estimate {max_scan}"
+        );
+    }
+
+    #[test]
+    fn saturated_counter_triggers_aging() {
+        let mut sketch = FrequencySketch::for_budget(0);
+        let h = freq_hash(CacheScope::Entry(1), "pinned");
+        // Drive one key's counters to the u8 ceiling; the next record on
+        // that key must halve the sketch instead of comparing two pinned
+        // keys as equals forever.
+        for _ in 0..(u8::MAX as usize) {
+            sketch.record(h);
+        }
+        let before = sketch.estimate(h);
+        sketch.record(h);
+        let after = sketch.estimate(h);
+        assert!(
+            after < before,
+            "no aging pass on saturation: {before} -> {after}"
+        );
+        assert!(after >= u8::MAX / 2, "aging should halve, not reset to zero");
     }
 }

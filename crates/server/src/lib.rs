@@ -51,6 +51,8 @@ pub mod optexec;
 pub mod registry;
 pub mod server;
 pub mod wire;
+pub mod xcodec;
+mod xverb;
 
 pub use cache::{Admission, ResponseCache};
 pub use client::GeaClient;

@@ -116,7 +116,13 @@ impl EvictionPolicy {
 /// and only the queue's front ticket is admissible — so which writer wins
 /// a release is decided by arrival order, not by which thread the
 /// scheduler happens to wake first.
-#[derive(Default)]
+///
+/// Writer preference is itself bounded: a continuous chain of queued
+/// writers would otherwise park readers until their deadline. After
+/// [`Gate::admit_every`] consecutive writer→writer handoffs made with
+/// readers waiting, the release admits the *waiting reader cohort* (a
+/// snapshot of `waiting_readers`, so late-arriving readers cannot extend
+/// the break indefinitely) before the next queued writer runs.
 struct Gate {
     readers: u32,
     writer: bool,
@@ -125,6 +131,36 @@ struct Gate {
     writer_queue: VecDeque<u64>,
     /// Ticket source for `writer_queue`.
     next_ticket: u64,
+    /// Readers currently parked on `reader_turn`.
+    waiting_readers: u32,
+    /// Consecutive writer→writer handoffs made while readers were
+    /// waiting; reset whenever a reader is admitted.
+    writer_handoffs: u32,
+    /// Remaining admissions in the current anti-starvation break: while
+    /// nonzero, readers may enter despite queued writers (each admission
+    /// or reader timeout consumes one), and queued writers hold off.
+    reader_break: u32,
+    /// The starvation bound K: the reader cohort is admitted after every
+    /// K writer handoffs made over waiting readers.
+    admit_every: u32,
+}
+
+/// Default starvation bound for [`Gate::admit_every`].
+const DEFAULT_READER_ADMIT_EVERY: u32 = 4;
+
+impl Default for Gate {
+    fn default() -> Gate {
+        Gate {
+            readers: 0,
+            writer: false,
+            writer_queue: VecDeque::new(),
+            next_ticket: 0,
+            waiting_readers: 0,
+            writer_handoffs: 0,
+            reader_break: 0,
+            admit_every: DEFAULT_READER_ADMIT_EVERY,
+        }
+    }
 }
 
 static NEXT_ENTRY_ID: AtomicU64 = AtomicU64::new(1);
@@ -213,6 +249,17 @@ impl SessionEntry {
             .elapsed()
     }
 
+    /// Set the reader-starvation bound K for this entry: the waiting
+    /// reader cohort is admitted after every K consecutive writer
+    /// handoffs made over parked readers (default 4; clamped to at
+    /// least 1).
+    pub fn set_reader_admit_every(&self, k: u32) {
+        self.gate
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .admit_every = k.max(1);
+    }
+
     /// Whether a request currently holds the lock (either side).
     pub fn is_busy(&self) -> bool {
         let gate = self.gate.lock().unwrap_or_else(|e| e.into_inner());
@@ -239,21 +286,46 @@ impl SessionEntry {
     ) -> Result<SessionReadGuard<'_>, EngineError> {
         let deadline = Instant::now() + timeout;
         let mut gate = self.gate.lock().unwrap_or_else(|e| e.into_inner());
-        while gate.writer || !gate.writer_queue.is_empty() {
+        let mut parked = false;
+        while gate.writer || (!gate.writer_queue.is_empty() && gate.reader_break == 0) {
             let Some(left) = deadline
                 .checked_duration_since(Instant::now())
                 .filter(|d| !d.is_zero())
             else {
+                if parked {
+                    gate.waiting_readers = gate.waiting_readers.saturating_sub(1);
+                    // A break slot reserved for this reader must not
+                    // outlive it, or queued writers would stall on a
+                    // break nobody is left to consume.
+                    gate.reader_break = gate.reader_break.saturating_sub(1);
+                }
                 return Err(timeout_err("read", timeout));
             };
+            if !parked {
+                parked = true;
+                gate.waiting_readers += 1;
+            }
             gate = self
                 .reader_turn
                 .wait_timeout(gate, left)
                 .unwrap_or_else(|e| e.into_inner())
                 .0;
         }
+        if parked {
+            gate.waiting_readers = gate.waiting_readers.saturating_sub(1);
+        }
+        if gate.reader_break > 0 {
+            gate.reader_break -= 1;
+        }
+        // A reader got through: any writer-handoff chain is broken.
+        gate.writer_handoffs = 0;
         gate.readers += 1;
+        let break_over = gate.reader_break == 0;
         drop(gate);
+        if !break_over {
+            // More cohort members may still be parked; keep waking them.
+            self.reader_turn.notify_all();
+        }
         self.touch();
         // Admitted: no writer is inside, so the inner lock cannot block.
         let inner = self.data.read().unwrap_or_else(|e| e.into_inner());
@@ -277,7 +349,11 @@ impl SessionEntry {
         let ticket = gate.next_ticket;
         gate.next_ticket += 1;
         gate.writer_queue.push_back(ticket);
-        while gate.writer || gate.readers > 0 || gate.writer_queue.front() != Some(&ticket) {
+        while gate.writer
+            || gate.readers > 0
+            || gate.reader_break > 0
+            || gate.writer_queue.front() != Some(&ticket)
+        {
             let Some(left) = deadline
                 .checked_duration_since(Instant::now())
                 .filter(|d| !d.is_zero())
@@ -386,8 +462,22 @@ impl Drop for SessionWriteGuard<'_> {
         let mut gate = self.entry.gate.lock().unwrap_or_else(|e| e.into_inner());
         gate.writer = false;
         // Deterministic handoff: the writer queue is served before any
-        // parked reader herd, and readers are woken only once it drains.
+        // parked reader herd — but only up to the starvation bound. After
+        // `admit_every` consecutive writer→writer handoffs made over
+        // waiting readers, the waiting cohort is admitted first.
         let writers_waiting = !gate.writer_queue.is_empty();
+        if writers_waiting && gate.waiting_readers > 0 {
+            gate.writer_handoffs += 1;
+            if gate.writer_handoffs >= gate.admit_every.max(1) {
+                gate.writer_handoffs = 0;
+                gate.reader_break = gate.waiting_readers;
+                drop(gate);
+                self.entry.reader_turn.notify_all();
+                return;
+            }
+        } else {
+            gate.writer_handoffs = 0;
+        }
         drop(gate);
         if writers_waiting {
             self.entry.writer_turn.notify_all();
@@ -961,6 +1051,64 @@ mod tests {
             assert!(
                 order[2..].iter().all(|o| o.starts_with('r')),
                 "round {round}: a reader was admitted before the writer queue drained: {order:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn reader_cohort_is_admitted_after_k_writer_handoffs() {
+        // The starvation bound on writer preference: with K = 2, a chain
+        // of six queued writers must not run to completion over parked
+        // readers — after two writer→writer handoffs the waiting reader
+        // cohort is admitted, then the chain resumes.
+        for round in 0..10 {
+            let reg = SessionRegistry::new();
+            reg.open("a", demo_session());
+            let shared = reg.get("a").unwrap();
+            shared.set_reader_admit_every(2);
+            let order: Arc<Mutex<Vec<String>>> = Arc::new(Mutex::new(Vec::new()));
+            let held = shared.write_with_deadline(Duration::from_secs(1)).unwrap();
+
+            let mut threads = Vec::new();
+            for w in 1..=6 {
+                let entry = Arc::clone(&shared);
+                let order = Arc::clone(&order);
+                threads.push(std::thread::spawn(move || {
+                    let g = entry.write_with_deadline(Duration::from_secs(10)).unwrap();
+                    order.lock().unwrap().push(format!("w{w}"));
+                    std::thread::sleep(Duration::from_millis(2));
+                    drop(g);
+                }));
+                std::thread::sleep(Duration::from_millis(20));
+            }
+            for r in 0..2 {
+                let entry = Arc::clone(&shared);
+                let order = Arc::clone(&order);
+                threads.push(std::thread::spawn(move || {
+                    let g = entry.read_with_deadline(Duration::from_secs(10)).unwrap();
+                    order.lock().unwrap().push(format!("r{r}"));
+                    drop(g);
+                }));
+            }
+            // Let both readers park behind the queued writers.
+            std::thread::sleep(Duration::from_millis(30));
+            drop(held);
+            for t in threads {
+                t.join().expect("waiter thread");
+            }
+            let order = order.lock().unwrap();
+            assert_eq!(order.len(), 8, "round {round}: {order:?}");
+            // The held guard's release over parked readers is handoff #1,
+            // w1's release is handoff #2 — so the cohort runs after w1.
+            assert_eq!(order[0], "w1", "round {round}: {order:?}");
+            assert!(
+                order[1].starts_with('r') && order[2].starts_with('r'),
+                "round {round}: reader cohort not admitted after 2 handoffs: {order:?}"
+            );
+            assert_eq!(
+                &order[3..],
+                ["w2", "w3", "w4", "w5", "w6"],
+                "round {round}: writer chain did not resume in order: {order:?}"
             );
         }
     }

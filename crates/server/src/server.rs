@@ -136,14 +136,14 @@ impl ServerHandle {
     }
 }
 
-/// Everything a worker needs to answer requests; shared across the pool
-/// and the eviction sweeper.
-struct Shared {
-    registry: Arc<SessionRegistry>,
-    metrics: Arc<Metrics>,
-    cache: ResponseCache,
-    config: ServerConfig,
-    shutdown: Arc<AtomicBool>,
+/// Everything a worker needs to answer requests; shared across the pool,
+/// the eviction sweeper, and the backend-verb handler (`crate::xverb`).
+pub(crate) struct Shared {
+    pub(crate) registry: Arc<SessionRegistry>,
+    pub(crate) metrics: Arc<Metrics>,
+    pub(crate) cache: ResponseCache,
+    pub(crate) config: ServerConfig,
+    pub(crate) shutdown: Arc<AtomicBool>,
 }
 
 impl Shared {
@@ -476,6 +476,9 @@ fn serve_connection(mut stream: TcpStream, shared: &Shared) -> std::io::Result<(
     let mut chunk = [0u8; 4096];
     // Each connection is attached to one named session; `use` switches it.
     let mut current = "default".to_string();
+    // Staging buffer for the backend verbs (`xstage`/`xapply`/`xadopt`):
+    // per-connection, so concurrent routers never interleave payloads.
+    let mut staged: Vec<u8> = Vec::new();
     loop {
         let line = loop {
             if let Some(pos) = pending.iter().position(|&b| b == b'\n') {
@@ -506,6 +509,21 @@ fn serve_connection(mut stream: TcpStream, shared: &Shared) -> std::io::Result<(
             }
         };
         let started = Instant::now();
+        // Backend verbs (the router's scatter/rebalance plane) bypass the
+        // GQL grammar; `xprofiler` and friends fall through to it.
+        if let Some((verb, result)) = crate::xverb::handle(&line, &mut staged, &current, shared) {
+            shared
+                .metrics
+                .record(verb, started.elapsed(), result.is_ok());
+            match result {
+                Ok(payload) => wire::write_ok(&mut writer, &payload)?,
+                Err(e) => wire::write_err(&mut writer, e.code, &e.message)?,
+            }
+            if shared.shutdown.load(Ordering::SeqCst) {
+                return Ok(());
+            }
+            continue;
+        }
         let req = match gql::parse(&line) {
             Ok(None) => continue,
             Ok(Some(req)) => req,
@@ -689,7 +707,7 @@ fn install(
     )
 }
 
-fn enforce_budget(shared: &Shared) {
+pub(crate) fn enforce_budget(shared: &Shared) {
     let policy = EvictionPolicy {
         session_budget: shared.config.session_budget,
         idle_timeout: None,
@@ -716,15 +734,21 @@ fn cache_scope(entry: &SessionEntry, generation: u64) -> CacheScope {
     }
 }
 
-fn run_gql(cmd: &GqlCommand, current: &str, shared: &Shared) -> Result<String, EngineError> {
-    let entry = match shared.registry.lookup(current) {
-        Lookup::Found(entry) => entry,
+/// Resolve a session name to its live entry, transparently restoring a
+/// spilled session; shared by the GQL path and the backend verbs.
+pub(crate) fn live_entry(shared: &Shared, name: &str) -> Result<SharedSession, EngineError> {
+    match shared.registry.lookup(name) {
+        Lookup::Found(entry) => Ok(entry),
         // The transparent slow path: a spilled session is restored from
         // disk and the request proceeds against the fresh entry.
-        Lookup::Spilled(record) => restore_spilled(shared, current, &record)?,
-        Lookup::Evicted(reason) => return Err(EngineError::evicted(current, reason)),
-        Lookup::Missing => return Err(no_session(current)),
-    };
+        Lookup::Spilled(record) => restore_spilled(shared, name, &record),
+        Lookup::Evicted(reason) => Err(EngineError::evicted(name, reason)),
+        Lookup::Missing => Err(no_session(name)),
+    }
+}
+
+fn run_gql(cmd: &GqlCommand, current: &str, shared: &Shared) -> Result<String, EngineError> {
+    let entry = live_entry(shared, current)?;
     if cmd.is_read() {
         // The cache key is the command's *canonical* spelling. With the
         // optimizer on, canonicalization runs through gea-opt, so

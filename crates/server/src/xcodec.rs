@@ -1,0 +1,447 @@
+//! Binary codecs for the scatter/gather (`x*`) backend verbs.
+//!
+//! A router scattering a macro operation across backends needs each
+//! backend's *partial result* shipped back over the line protocol and
+//! re-fed to the applying backend. Partials are encoded here as compact
+//! little-endian binary (strings as length-prefixed UTF-8, `f64` via
+//! `to_bits` so every float round-trips bit-exactly), hex-armored onto
+//! the single-line wire. The router treats the blobs as opaque: its only
+//! codec work is [`frame`]/[`unframe`] — concatenating per-shard blobs
+//! in shard order with `u32` length prefixes — plus the hex armor.
+//!
+//! Bit-exact `f64` transport matters: the whole distributed design rests
+//! on byte-identical replies, and a decimal round-trip of a standard
+//! deviation would be the one place the bits could drift.
+
+use std::collections::BTreeMap;
+
+use gea_core::mine::MinedCluster;
+use gea_core::sumy::{SumyRow, SumyTable};
+use gea_core::Interval;
+use gea_mine::isa::IsaModule;
+use gea_sage::library::LibraryId;
+use gea_sage::tag::{Tag, TagId};
+
+/// A decode failure: the blob did not match the expected shape.
+pub type CodecError = String;
+
+/// Hex-armor bytes for single-line transport.
+pub fn hex_encode(bytes: &[u8]) -> String {
+    let mut out = String::with_capacity(bytes.len() * 2);
+    for b in bytes {
+        out.push_str(&format!("{b:02x}"));
+    }
+    out
+}
+
+/// Decode hex armor produced by [`hex_encode`].
+pub fn hex_decode(s: &str) -> Result<Vec<u8>, CodecError> {
+    let s = s.trim();
+    if s.len() % 2 != 0 {
+        return Err("odd-length hex blob".to_string());
+    }
+    let mut out = Vec::with_capacity(s.len() / 2);
+    let bytes = s.as_bytes();
+    for pair in bytes.chunks(2) {
+        let hi = hex_nibble(pair[0])?;
+        let lo = hex_nibble(pair[1])?;
+        out.push((hi << 4) | lo);
+    }
+    Ok(out)
+}
+
+fn hex_nibble(b: u8) -> Result<u8, CodecError> {
+    match b {
+        b'0'..=b'9' => Ok(b - b'0'),
+        b'a'..=b'f' => Ok(b - b'a' + 10),
+        b'A'..=b'F' => Ok(b - b'A' + 10),
+        other => Err(format!("bad hex byte {other:#04x}")),
+    }
+}
+
+/// Concatenate blobs in shard order, each prefixed with its `u32` length.
+/// The frame order **is** the merge order: `xapply` decodes the blobs in
+/// sequence and hands them to `gea_exec::merge_shards` unchanged.
+pub fn frame(blobs: &[Vec<u8>]) -> Vec<u8> {
+    let total: usize = blobs.iter().map(|b| 4 + b.len()).sum();
+    let mut out = Vec::with_capacity(total);
+    for blob in blobs {
+        put_u32(&mut out, blob.len() as u32);
+        out.extend_from_slice(blob);
+    }
+    out
+}
+
+/// Split a [`frame`]d byte stream back into its blobs, in order.
+pub fn unframe(bytes: &[u8]) -> Result<Vec<Vec<u8>>, CodecError> {
+    let mut cur = Cur::new(bytes);
+    let mut out = Vec::new();
+    while !cur.done() {
+        let len = cur.u32()? as usize;
+        out.push(cur.take(len)?.to_vec());
+    }
+    Ok(out)
+}
+
+// --- primitive writers -----------------------------------------------------
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_f64(out: &mut Vec<u8>, v: f64) {
+    put_u64(out, v.to_bits());
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_u32(out, s.len() as u32);
+    out.extend_from_slice(s.as_bytes());
+}
+
+// --- primitive reader ------------------------------------------------------
+
+struct Cur<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cur<'a> {
+    fn new(bytes: &'a [u8]) -> Cur<'a> {
+        Cur { bytes, pos: 0 }
+    }
+
+    fn done(&self) -> bool {
+        self.pos == self.bytes.len()
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], CodecError> {
+        if self.bytes.len() - self.pos < n {
+            return Err("truncated blob".to_string());
+        }
+        let s = &self.bytes[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u32(&mut self) -> Result<u32, CodecError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, CodecError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn f64(&mut self) -> Result<f64, CodecError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    fn string(&mut self) -> Result<String, CodecError> {
+        let n = self.u32()? as usize;
+        String::from_utf8(self.take(n)?.to_vec()).map_err(|_| "non-UTF-8 string".to_string())
+    }
+
+    fn finish(self) -> Result<(), CodecError> {
+        if self.done() {
+            Ok(())
+        } else {
+            Err("trailing bytes after blob".to_string())
+        }
+    }
+}
+
+// --- SUMY rows -------------------------------------------------------------
+
+fn put_row(out: &mut Vec<u8>, row: &SumyRow) {
+    put_u32(out, row.tag.code());
+    put_u32(out, row.tag_no);
+    put_f64(out, row.range.lo());
+    put_f64(out, row.range.hi());
+    put_f64(out, row.average);
+    put_f64(out, row.std_dev);
+    put_u32(out, row.extras.len() as u32);
+    for (k, v) in &row.extras {
+        put_str(out, k);
+        put_f64(out, *v);
+    }
+}
+
+fn read_row(cur: &mut Cur) -> Result<SumyRow, CodecError> {
+    let tag = Tag::from_code(cur.u32()?).ok_or("tag code out of range")?;
+    let tag_no = cur.u32()?;
+    let lo = cur.f64()?;
+    let hi = cur.f64()?;
+    let range = Interval::new(lo, hi).map_err(|e| format!("bad interval: {e}"))?;
+    let average = cur.f64()?;
+    let std_dev = cur.f64()?;
+    let n_extras = cur.u32()? as usize;
+    let mut extras = BTreeMap::new();
+    for _ in 0..n_extras {
+        let k = cur.string()?;
+        let v = cur.f64()?;
+        extras.insert(k, v);
+    }
+    Ok(SumyRow {
+        tag,
+        tag_no,
+        range,
+        average,
+        std_dev,
+        extras,
+    })
+}
+
+fn put_rows(out: &mut Vec<u8>, rows: &[SumyRow]) {
+    put_u32(out, rows.len() as u32);
+    for row in rows {
+        put_row(out, row);
+    }
+}
+
+fn read_rows(cur: &mut Cur) -> Result<Vec<SumyRow>, CodecError> {
+    let n = cur.u32()? as usize;
+    let mut rows = Vec::with_capacity(n);
+    for _ in 0..n {
+        rows.push(read_row(cur)?);
+    }
+    Ok(rows)
+}
+
+/// Encode the three per-shard row vectors of a scattered `groups`
+/// aggregation (in-fascicle, outside, contrast — in the exact order the
+/// serial aggregator is called).
+pub fn encode_rows3(rows: &[Vec<SumyRow>; 3]) -> Vec<u8> {
+    let mut out = Vec::new();
+    for part in rows {
+        put_rows(&mut out, part);
+    }
+    out
+}
+
+/// Decode a blob produced by [`encode_rows3`].
+pub fn decode_rows3(bytes: &[u8]) -> Result<[Vec<SumyRow>; 3], CodecError> {
+    let mut cur = Cur::new(bytes);
+    let a = read_rows(&mut cur)?;
+    let b = read_rows(&mut cur)?;
+    let c = read_rows(&mut cur)?;
+    cur.finish()?;
+    Ok([a, b, c])
+}
+
+// --- mined clusters --------------------------------------------------------
+
+/// Encode a shard's materialized clusters (`mine` scatter partial).
+pub fn encode_clusters(clusters: &[MinedCluster]) -> Vec<u8> {
+    let mut out = Vec::new();
+    put_u32(&mut out, clusters.len() as u32);
+    for c in clusters {
+        put_str(&mut out, &c.name);
+        put_u32(&mut out, c.libraries.len() as u32);
+        for l in &c.libraries {
+            put_u32(&mut out, l.0);
+        }
+        put_u32(&mut out, c.compact_tags.len() as u32);
+        for t in &c.compact_tags {
+            put_u32(&mut out, t.0);
+        }
+        put_str(&mut out, &c.sumy.name);
+        put_rows(&mut out, c.sumy.rows());
+    }
+    out
+}
+
+/// Decode a blob produced by [`encode_clusters`].
+pub fn decode_clusters(bytes: &[u8]) -> Result<Vec<MinedCluster>, CodecError> {
+    let mut cur = Cur::new(bytes);
+    let n = cur.u32()? as usize;
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        let name = cur.string()?;
+        let n_libs = cur.u32()? as usize;
+        let mut libraries = Vec::with_capacity(n_libs);
+        for _ in 0..n_libs {
+            libraries.push(LibraryId(cur.u32()?));
+        }
+        let n_tags = cur.u32()? as usize;
+        let mut compact_tags = Vec::with_capacity(n_tags);
+        for _ in 0..n_tags {
+            compact_tags.push(TagId(cur.u32()?));
+        }
+        let sumy_name = cur.string()?;
+        let rows = read_rows(&mut cur)?;
+        out.push(MinedCluster {
+            name,
+            libraries,
+            compact_tags,
+            sumy: SumyTable::new(&sumy_name, rows),
+        });
+    }
+    cur.finish()?;
+    Ok(out)
+}
+
+// --- ISA modules -----------------------------------------------------------
+
+/// Encode a shard's converged-seed results (`mine … with isa` partial).
+/// `None` seeds are kept in place: the gather-side dedupe consumes the
+/// full seed-order list, exactly like the in-process driver.
+pub fn encode_modules(modules: &[Option<IsaModule>]) -> Vec<u8> {
+    let mut out = Vec::new();
+    put_u32(&mut out, modules.len() as u32);
+    for m in modules {
+        match m {
+            None => out.push(0),
+            Some(m) => {
+                out.push(1);
+                put_u32(&mut out, m.libs.len() as u32);
+                for &l in &m.libs {
+                    put_u64(&mut out, l as u64);
+                }
+                put_u32(&mut out, m.tags.len() as u32);
+                for &t in &m.tags {
+                    put_u64(&mut out, t as u64);
+                }
+                out.push(m.converged as u8);
+            }
+        }
+    }
+    out
+}
+
+/// Decode a blob produced by [`encode_modules`].
+pub fn decode_modules(bytes: &[u8]) -> Result<Vec<Option<IsaModule>>, CodecError> {
+    let mut cur = Cur::new(bytes);
+    let n = cur.u32()? as usize;
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        let flag = cur.take(1)?[0];
+        if flag == 0 {
+            out.push(None);
+            continue;
+        }
+        let n_libs = cur.u32()? as usize;
+        let mut libs = Vec::with_capacity(n_libs);
+        for _ in 0..n_libs {
+            libs.push(cur.u64()? as usize);
+        }
+        let n_tags = cur.u32()? as usize;
+        let mut tags = Vec::with_capacity(n_tags);
+        for _ in 0..n_tags {
+            tags.push(cur.u64()? as usize);
+        }
+        let converged = cur.take(1)?[0] != 0;
+        out.push(Some(IsaModule {
+            libs,
+            tags,
+            converged,
+        }));
+    }
+    cur.finish()?;
+    Ok(out)
+}
+
+// --- populate hits ---------------------------------------------------------
+
+/// Encode a shard's qualifying libraries (`populate` scatter partial).
+pub fn encode_libs(libs: &[LibraryId]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(4 + libs.len() * 4);
+    put_u32(&mut out, libs.len() as u32);
+    for l in libs {
+        put_u32(&mut out, l.0);
+    }
+    out
+}
+
+/// Decode a blob produced by [`encode_libs`].
+pub fn decode_libs(bytes: &[u8]) -> Result<Vec<LibraryId>, CodecError> {
+    let mut cur = Cur::new(bytes);
+    let n = cur.u32()? as usize;
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        out.push(LibraryId(cur.u32()?));
+    }
+    cur.finish()?;
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(tag_no: u32) -> SumyRow {
+        let mut extras = BTreeMap::new();
+        extras.insert("median".to_string(), 1.5);
+        SumyRow {
+            tag: Tag::from_code(tag_no).unwrap(),
+            tag_no,
+            range: Interval::new(-1.25, 7.5).unwrap(),
+            average: 0.1 + f64::EPSILON,
+            std_dev: 2.0f64.sqrt(),
+            extras,
+        }
+    }
+
+    #[test]
+    fn hex_roundtrip() {
+        let bytes: Vec<u8> = (0..=255).collect();
+        assert_eq!(hex_decode(&hex_encode(&bytes)).unwrap(), bytes);
+        assert!(hex_decode("0g").is_err());
+        assert!(hex_decode("abc").is_err());
+    }
+
+    #[test]
+    fn frame_roundtrip() {
+        let blobs = vec![vec![1u8, 2, 3], Vec::new(), vec![9u8; 100]];
+        assert_eq!(unframe(&frame(&blobs)).unwrap(), blobs);
+        assert!(unframe(&[1, 2, 3]).is_err());
+    }
+
+    #[test]
+    fn clusters_roundtrip_bit_exact() {
+        let clusters = vec![MinedCluster {
+            name: "brain_1".to_string(),
+            libraries: vec![LibraryId(0), LibraryId(7)],
+            compact_tags: vec![TagId(3), TagId(12)],
+            sumy: SumyTable::new("brain_1", vec![row(3), row(12)]),
+        }];
+        let decoded = decode_clusters(&encode_clusters(&clusters)).unwrap();
+        assert_eq!(decoded.len(), 1);
+        assert_eq!(decoded[0].name, clusters[0].name);
+        assert_eq!(decoded[0].libraries, clusters[0].libraries);
+        assert_eq!(decoded[0].compact_tags, clusters[0].compact_tags);
+        assert_eq!(decoded[0].sumy, clusters[0].sumy);
+        // std_dev must round-trip to the exact same bits.
+        assert_eq!(
+            decoded[0].sumy.rows()[0].std_dev.to_bits(),
+            clusters[0].sumy.rows()[0].std_dev.to_bits()
+        );
+    }
+
+    #[test]
+    fn modules_and_libs_and_rows3_roundtrip() {
+        let modules = vec![
+            None,
+            Some(IsaModule {
+                libs: vec![1, 5, 9],
+                tags: vec![0, 2],
+                converged: true,
+            }),
+        ];
+        let back = decode_modules(&encode_modules(&modules)).unwrap();
+        assert_eq!(back.len(), 2);
+        assert!(back[0].is_none());
+        let m = back[1].as_ref().unwrap();
+        assert_eq!((m.libs.clone(), m.tags.clone(), m.converged), (vec![1, 5, 9], vec![0, 2], true));
+
+        let libs = vec![LibraryId(3), LibraryId(11)];
+        assert_eq!(decode_libs(&encode_libs(&libs)).unwrap(), libs);
+
+        let rows3 = [vec![row(1)], Vec::new(), vec![row(2), row(4)]];
+        let back3 = decode_rows3(&encode_rows3(&rows3)).unwrap();
+        assert_eq!(back3, rows3);
+        assert!(decode_rows3(&encode_libs(&libs)).is_err());
+    }
+}

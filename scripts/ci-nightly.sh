@@ -55,6 +55,14 @@ step "optimizer rule audit, full enumeration (release)"
 # serial at the wire, every tombstoned non-rule still refuted.
 GEA_OPT_AUDIT=full cargo run --release --bin gea-opt-audit
 
+step "router experiment (release) -> BENCH_router.json"
+# gea-router over 1/2/3 loopback backends vs a direct single server:
+# per-op-class latency and throughput, with every router arm's workload
+# and example-script transcripts byte-identity-gated against the direct
+# reference. Exits non-zero on any divergence. Scatter speedups need
+# multi-core runners; the JSON records host_parallelism for that reason.
+cargo run --release -p gea-bench --bin router
+
 step "optimizer experiment (release) -> BENCH_optimizer.json"
 # Rewrites fired x cache hit-rate delta from key unification x
 # end-to-end latency on the brain case study and the optimizer demo.

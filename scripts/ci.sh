@@ -78,6 +78,13 @@ cargo test -q --test exec_determinism --test mine_backends
 step "hot-path kernel identity (kick-tires)"
 cargo run --release -p gea-bench --bin hotpath -- --kick-tires
 
+# The distributed front end's byte-identity gate: a 2-backend loopback
+# router fleet replays a synthetic workload covering every routed verb
+# class plus the example scripts, and every reply must match a direct
+# single-server run byte for byte. Exits non-zero on any divergence.
+step "router loopback smoke: 2 backends byte-identical to a single server"
+cargo run --release -p gea-bench --bin router -- --smoke
+
 step "cargo fmt --all --check"
 cargo fmt --all --check
 

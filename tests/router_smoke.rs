@@ -1,0 +1,174 @@
+//! Degradation-path smoke tests for `gea-router`: a backend killed under
+//! the router surfaces one coded `ERR EBACKEND` (no hang, no partial
+//! reply) and leaves every replica unmutated; a restarted backend is
+//! re-admitted by the health thread only after a full session resync, and
+//! participates in scatters again with byte-identical replica state.
+
+use std::net::SocketAddr;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use gea_router::{Router, RouterConfig, RouterHandle};
+use gea_server::{GeaClient, Server, ServerConfig, ServerHandle};
+
+fn spawn_backend_at(addr: &str) -> (SocketAddr, ServerHandle, JoinHandle<()>) {
+    let server = Server::bind(ServerConfig {
+        addr: addr.to_string(),
+        lock_timeout: Duration::from_secs(120),
+        ..ServerConfig::default()
+    })
+    .expect("bind backend");
+    let addr = server.local_addr();
+    let handle = server.handle();
+    let join = std::thread::spawn(move || server.run().expect("serve backend"));
+    (addr, handle, join)
+}
+
+fn spawn_router(
+    backends: Vec<String>,
+    health_interval: Duration,
+) -> (SocketAddr, RouterHandle, JoinHandle<()>) {
+    let router = Router::bind(RouterConfig {
+        addr: "127.0.0.1:0".to_string(),
+        backends,
+        health_interval,
+        connect_timeout: Duration::from_millis(500),
+        ..RouterConfig::default()
+    })
+    .expect("bind router");
+    let addr = router.local_addr();
+    let handle = router.handle();
+    let join = std::thread::spawn(move || router.run().expect("serve router"));
+    (addr, handle, join)
+}
+
+fn wait_until(what: &str, deadline: Duration, mut cond: impl FnMut() -> bool) {
+    let start = Instant::now();
+    while start.elapsed() < deadline {
+        if cond() {
+            return;
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    panic!("timed out waiting for {what}");
+}
+
+/// A backend dying under the router fails the in-flight scatter with a
+/// single `ERR EBACKEND` — the compute phase is read-only, so no replica
+/// applied anything — and the survivors keep serving.
+#[test]
+fn backend_killed_mid_scatter_surfaces_one_ebackend() {
+    let (addr_a, handle_a, join_a) = spawn_backend_at("127.0.0.1:0");
+    let (addr_b, handle_b, join_b) = spawn_backend_at("127.0.0.1:0");
+    // A huge health interval: the *request path* must discover the loss
+    // and fail fast, with no health thread to clean up after it.
+    let (router_addr, router_handle, router_join) = spawn_router(
+        vec![addr_a.to_string(), addr_b.to_string()],
+        Duration::from_secs(3600),
+    );
+
+    let mut client = GeaClient::connect(router_addr).expect("connect client");
+    client.expect_ok("open s demo 42").expect("open session");
+    client.expect_ok("dataset E brain").expect("dataset");
+
+    // Kill backend B with the router still believing it is up.
+    handle_b.shutdown();
+    join_b.join().expect("backend b thread");
+
+    // The scatter discovers the loss: exactly one coded error, the
+    // connection survives, and nothing was applied anywhere.
+    let reply = client.request("mine E a 50 3 6").expect("no hang");
+    let (code, msg) = reply.expect_err("scatter against a dead backend must fail");
+    assert_eq!(code, "EBACKEND", "{msg}");
+
+    let fascicles = client.expect_ok("fascicles").expect("read after failure");
+    assert!(
+        !fascicles.contains("a_1"),
+        "aborted scatter leaked partial state: {fascicles}"
+    );
+
+    // The failure marked B down, so the retry runs on the survivor alone
+    // and succeeds.
+    let mined = client.expect_ok("mine E a 50 3 6").expect("retry on survivor");
+    assert!(mined.contains("fascicle"), "{mined}");
+    let listing = client.expect_ok("backends").expect("health listing");
+    assert!(listing.contains("down"), "{listing}");
+
+    router_handle.shutdown();
+    router_join.join().expect("router thread");
+    handle_a.shutdown();
+    join_a.join().expect("backend a thread");
+}
+
+/// A restarted backend is probed back to life, resynced (every known
+/// session shipped as a snapshot), and re-admitted: scatters include it
+/// again and its replica is byte-identical to the survivor's.
+#[test]
+fn restarted_backend_is_readmitted_with_identical_state() {
+    let (addr_a, handle_a, join_a) = spawn_backend_at("127.0.0.1:0");
+    let (addr_b, handle_b, join_b) = spawn_backend_at("127.0.0.1:0");
+    let (router_addr, router_handle, router_join) = spawn_router(
+        vec![addr_a.to_string(), addr_b.to_string()],
+        Duration::from_millis(100),
+    );
+
+    let mut client = GeaClient::connect(router_addr).expect("connect client");
+    client.expect_ok("open s demo 42").expect("open session");
+    client.expect_ok("dataset E brain").expect("dataset");
+    client.expect_ok("mine E a 50 3 6").expect("mine over both");
+
+    // Kill B; the health thread notices within its probe interval.
+    handle_b.shutdown();
+    join_b.join().expect("backend b thread");
+    wait_until("health thread to mark the backend down", Duration::from_secs(10), || {
+        client
+            .expect_ok("backends")
+            .is_ok_and(|listing| listing.contains("down"))
+    });
+
+    // Writes keep landing while B is gone; B must learn them on return.
+    client.expect_ok("groups a_1").expect("groups on survivor");
+    client
+        .expect_ok("gap g a_1CancerFasTbl a_1NormalTable")
+        .expect("gap on survivor");
+
+    // Restart B on the same address; re-admission requires the resync to
+    // have completed, not just the probe to succeed.
+    let (_, handle_b2, join_b2) = spawn_backend_at(&addr_b.to_string());
+    wait_until("restarted backend to be re-admitted", Duration::from_secs(30), || {
+        client
+            .expect_ok("backends")
+            .is_ok_and(|listing| !listing.contains("down"))
+    });
+
+    // A scatter now spans both backends again and must succeed first try
+    // (stale pre-restart connections are invalidated by the admission
+    // stamp, not by a sacrificial failure).
+    let mined = client
+        .expect_ok("mine E m with isa seeds=6 t_tags=0.8 t_libs=0.8")
+        .expect("scatter after re-admission");
+    assert!(mined.contains("cluster"), "{mined}");
+
+    // Bypass the router: both replicas must answer the same bytes for the
+    // resynced session, including its full lineage.
+    let mut direct_a = GeaClient::connect(addr_a).expect("connect backend a");
+    let mut direct_b = GeaClient::connect(addr_b).expect("connect backend b");
+    for probe in [
+        "use s",
+        "fascicles",
+        "show sumy a_1CancerFasTbl 3",
+        "show gap g 3",
+        "lineage",
+    ] {
+        let a = direct_a.request(probe).expect("backend a answers");
+        let b = direct_b.request(probe).expect("backend b answers");
+        assert_eq!(a, b, "replicas diverged on {probe:?}");
+    }
+
+    router_handle.shutdown();
+    router_join.join().expect("router thread");
+    handle_a.shutdown();
+    join_a.join().expect("backend a thread");
+    handle_b2.shutdown();
+    join_b2.join().expect("backend b2 thread");
+}
