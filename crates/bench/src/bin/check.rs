@@ -1,0 +1,176 @@
+//! Static-analysis latency bench: the full `gea-check` analysis —
+//! diagnostics plus the abstract cost interpretation — timed over every
+//! checked-in example script.
+//!
+//! ```text
+//! check [--reps N] [--scripts DIR] [--out-dir PATH]
+//! ```
+//!
+//! Analysis is the server's pre-flight gate (`check`, `--max-cost`) and
+//! the CLI's lint path, so its latency is a user-facing number: this
+//! writes one `BENCH_check.json` row per script recording commands
+//! analyzed, diagnostics produced, and the median wall time of the
+//! complete pass. The run double-checks the analyzer's verdicts while it
+//! times them (the case study must be clean, the ill-typed fixture must
+//! not be) so a broken analyzer cannot post a fast number.
+
+use std::time::Instant;
+
+use gea_check::{cost_script, CostModel, CostSeed};
+
+struct Row {
+    script: String,
+    commands: usize,
+    diagnostics: usize,
+    clean: bool,
+    wall_us: f64,
+    reps: usize,
+}
+
+fn usage() -> ! {
+    eprintln!("usage: check [--reps N] [--scripts DIR] [--out-dir PATH]");
+    std::process::exit(2);
+}
+
+/// One full analysis pass: diagnostics, then (on a clean script, exactly
+/// as `--check --cost` and the server's budget gate do) the abstract
+/// cost interpretation.
+fn analyze(text: &str) -> (usize, usize, bool, u64) {
+    let report = gea_check::check_script(text);
+    let clean = report.is_clean();
+    let mut sink = 0u64;
+    if clean {
+        let cost = cost_script(
+            &CostModel::default_coefficients(),
+            &CostSeed::script_default(),
+            text,
+        );
+        sink = cost.total;
+    }
+    (report.commands, report.diagnostics.len(), clean, sink)
+}
+
+fn median(samples: &mut [f64]) -> f64 {
+    samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    samples[samples.len() / 2]
+}
+
+fn main() {
+    let mut reps = 25usize;
+    let mut scripts_dir = String::from("examples/scripts");
+    let mut out_dir = String::from(".");
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        match flag.as_str() {
+            "--reps" => match args.next().map(|v| v.parse()) {
+                Some(Ok(n)) if n > 0 => reps = n,
+                _ => usage(),
+            },
+            "--scripts" => match args.next() {
+                Some(d) => scripts_dir = d,
+                None => usage(),
+            },
+            "--out-dir" => match args.next() {
+                Some(p) => out_dir = p,
+                None => usage(),
+            },
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown flag {other:?}");
+                usage()
+            }
+        }
+    }
+
+    let mut paths: Vec<_> = match std::fs::read_dir(&scripts_dir) {
+        Ok(entries) => entries
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .filter(|p| p.extension().is_some_and(|e| e == "gql"))
+            .collect(),
+        Err(e) => {
+            eprintln!("check: reading {scripts_dir}: {e}");
+            std::process::exit(1);
+        }
+    };
+    paths.sort();
+    if paths.is_empty() {
+        eprintln!("check: no .gql scripts under {scripts_dir}");
+        std::process::exit(1);
+    }
+
+    let mut rows = Vec::new();
+    let mut sink = 0u64;
+    for path in &paths {
+        let name = path.file_name().unwrap_or_default().to_string_lossy();
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("check: reading {}: {e}", path.display());
+                std::process::exit(1);
+            }
+        };
+        // Warm-up pass also yields the verdict the timing loop re-checks.
+        let (commands, diagnostics, clean, s) = analyze(&text);
+        sink = sink.wrapping_add(s);
+        let mut samples = Vec::with_capacity(reps);
+        for _ in 0..reps {
+            let t0 = Instant::now();
+            let (_, _, c, s) = analyze(&text);
+            let us = t0.elapsed().as_secs_f64() * 1e6;
+            assert_eq!(c, clean, "analyzer verdict flapped on {name}");
+            sink = sink.wrapping_add(s);
+            samples.push(us);
+        }
+        let wall_us = median(&mut samples);
+        eprintln!(
+            "check: {name:>26}  {commands:>3} command(s)  {diagnostics:>2} diagnostic(s)  \
+             {}  {wall_us:9.1} us/pass",
+            if clean { "clean" } else { "dirty" }
+        );
+        rows.push(Row {
+            script: name.into_owned(),
+            commands,
+            diagnostics,
+            clean,
+            wall_us,
+            reps,
+        });
+    }
+
+    // Verdict gate: timing a broken analyzer is worse than no number.
+    let verdict = |n: &str| rows.iter().find(|r| r.script == n).map(|r| r.clean);
+    if verdict("brain_case_study.gql") == Some(false) {
+        eprintln!("check: brain_case_study.gql must analyze clean");
+        std::process::exit(1);
+    }
+    if verdict("ill_typed.gql") == Some(true) {
+        eprintln!("check: ill_typed.gql must analyze dirty");
+        std::process::exit(1);
+    }
+
+    let mut out = String::from("{\n");
+    out.push_str("  \"experiment\": \"check_analysis_latency\",\n");
+    out.push_str(&format!("  \"scripts_dir\": \"{scripts_dir}\",\n"));
+    out.push_str(&format!("  \"cost_sink\": {sink},\n"));
+    out.push_str("  \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"script\": \"{}\", \"commands\": {}, \"diagnostics\": {}, \
+             \"clean\": {}, \"wall_us\": {:.1}, \"reps\": {}}}{}\n",
+            r.script,
+            r.commands,
+            r.diagnostics,
+            r.clean,
+            r.wall_us,
+            r.reps,
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    let path = format!("{out_dir}/BENCH_check.json");
+    if let Err(e) = std::fs::write(&path, out) {
+        eprintln!("check: writing {path}: {e}");
+        std::process::exit(1);
+    }
+    eprintln!("check: wrote {path}");
+}

@@ -12,8 +12,8 @@ pub mod hotpath;
 pub mod mine_backends;
 pub mod optimizer;
 pub mod parallel;
-pub mod router;
 pub mod populate_experiment;
+pub mod router;
 pub mod workloads;
 
 pub use populate_experiment::{table_3_2, Table32Config, Table32Row};

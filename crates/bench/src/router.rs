@@ -221,10 +221,7 @@ fn spawn_server() -> (SocketAddr, ServerHandle, JoinHandle<()>) {
 
 /// Run the synthetic workload and the example scripts against `addr`,
 /// returning (per-op timings, workload transcript, script transcripts).
-fn drive(
-    addr: SocketAddr,
-    cfg: &RouterBenchConfig,
-) -> (Vec<OpRow>, Vec<String>, Vec<Vec<String>>) {
+fn drive(addr: SocketAddr, cfg: &RouterBenchConfig) -> (Vec<OpRow>, Vec<String>, Vec<Vec<String>>) {
     let mut client = GeaClient::connect(addr).expect("connect");
     // (class, count, total seconds) in first-seen order, so every arm
     // reports op classes in the same stable order.
@@ -356,7 +353,14 @@ mod tests {
         let routed = &arms[1];
         assert!(routed.via_router);
         // Every workload verb class was timed at least once.
-        for class in ["session", "extensional", "mine", "aggregate", "populate", "read"] {
+        for class in [
+            "session",
+            "extensional",
+            "mine",
+            "aggregate",
+            "populate",
+            "read",
+        ] {
             assert!(
                 routed.ops.iter().any(|o| o.op == class && o.count > 0),
                 "missing op class {class}"

@@ -23,6 +23,33 @@ impl fmt::Display for Severity {
     }
 }
 
+/// A mechanical rewrite of the diagnosed line that `gea-cli --check
+/// --fix` can apply. Fixes are token-level so the fixer never has to
+/// re-serialize a whole command: the line is re-tokenized, the edit is
+/// applied if its guard still matches, and the line is re-rendered with
+/// canonical quoting.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Fix {
+    /// Replace every argument token equal to `from` with `to` (the verb
+    /// token is never touched). Used for nearest-name suggestions.
+    ReplaceName {
+        /// The misspelled name.
+        from: String,
+        /// The suggested name.
+        to: String,
+    },
+    /// Replace the token at `index` (0 = the verb) with `with`, but only
+    /// if it still equals `from`. Used for domain clamps.
+    ReplaceToken {
+        /// Token position on the line.
+        index: usize,
+        /// Expected current spelling (the guard).
+        from: String,
+        /// Replacement spelling.
+        with: String,
+    },
+}
+
 /// One finding, anchored to a 1-based script line (for the server's
 /// `check` verb, the 1-based position in the `;`-separated pipeline).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -37,6 +64,8 @@ pub struct Diagnostic {
     pub message: String,
     /// Optional actionable hint, e.g. a nearest-name suggestion.
     pub help: Option<String>,
+    /// Optional mechanical rewrite `--fix` can apply.
+    pub fix: Option<Fix>,
 }
 
 impl Diagnostic {
@@ -48,6 +77,7 @@ impl Diagnostic {
             code,
             message: message.into(),
             help: None,
+            fix: None,
         }
     }
 
@@ -59,12 +89,19 @@ impl Diagnostic {
             code,
             message: message.into(),
             help: None,
+            fix: None,
         }
     }
 
     /// Attach an actionable hint (rendered as an indented `help:` line).
     pub fn with_help(mut self, help: impl Into<String>) -> Self {
         self.help = Some(help.into());
+        self
+    }
+
+    /// Attach a mechanical rewrite for `--fix`.
+    pub fn with_fix(mut self, fix: Fix) -> Self {
+        self.fix = Some(fix);
         self
     }
 
@@ -94,6 +131,15 @@ impl Diagnostic {
         );
         if let Some(help) = &self.help {
             out.push_str(&format!(r#","help":"{}""#, json_escape(help)));
+        }
+        if let Some(fix) = &self.fix {
+            let described = match fix {
+                Fix::ReplaceName { from, to } => format!("replace {from:?} with {to:?}"),
+                Fix::ReplaceToken { index, from, with } => {
+                    format!("replace token {index} ({from:?}) with {with:?}")
+                }
+            };
+            out.push_str(&format!(r#","fix":"{}""#, json_escape(&described)));
         }
         out.push('}');
         out
@@ -236,7 +282,9 @@ mod tests {
         // The JSON stays one line even with a help key attached.
         assert_eq!(d.render_machine().lines().count(), 1);
         // Without a hint the key is absent, keeping old consumers stable.
-        assert!(!Diagnostic::error(1, "c", "m").render_machine().contains("help"));
+        assert!(!Diagnostic::error(1, "c", "m")
+            .render_machine()
+            .contains("help"));
     }
 
     #[test]

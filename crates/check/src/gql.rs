@@ -321,38 +321,22 @@ pub enum GqlCommand {
 impl GqlCommand {
     /// Whether the command only reads the session. Read commands run under
     /// a shared read lock on the server; everything else takes the write
-    /// lock. (`save` and `export` touch the filesystem but not the
-    /// session, so they are reads here; `load` *replaces* the session in
-    /// place, so it is a write — it must bump the generation to invalidate
-    /// cached replies. `check` analyzes but never mutates, so it is a
-    /// read.)
+    /// lock. Delegates to the verb-effect table ([`crate::effects`]), the
+    /// single source of truth for verb classification — `save` and
+    /// `export` touch the filesystem but not the session, so they are
+    /// reads here; `load` *replaces* the session in place, so it is a
+    /// write; `check` analyzes but never mutates, so it is a read.
     pub fn is_read(&self) -> bool {
-        matches!(
-            self,
-            GqlCommand::Tissues
-                | GqlCommand::Check(_)
-                | GqlCommand::Fascicles
-                | GqlCommand::Purity(_)
-                | GqlCommand::Show { .. }
-                | GqlCommand::Plot { .. }
-                | GqlCommand::Library(_)
-                | GqlCommand::TagFreq { .. }
-                | GqlCommand::Export { .. }
-                | GqlCommand::Lineage
-                | GqlCommand::Cleaning
-                | GqlCommand::Xprofiler(_)
-                | GqlCommand::Save(_)
-        )
+        crate::effects::EffectTable::of(self).is_read()
     }
 
     /// Whether the command's reply may be served from the server's
-    /// response cache. Cacheable commands are the pure reads: they touch
-    /// nothing but the session, so at a fixed session generation their
-    /// reply is a pure function of the command line. `save` and `export`
-    /// are reads for locking purposes but touch the filesystem, whose
-    /// state the generation does not cover, so they always execute.
+    /// response cache: the pure deterministic reads, per the verb-effect
+    /// table. `save` and `export` are reads for locking purposes but
+    /// touch the filesystem, whose state the session generation does not
+    /// cover, so they always execute.
     pub fn is_cacheable(&self) -> bool {
-        self.is_read() && !matches!(self, GqlCommand::Export { .. } | GqlCommand::Save(_))
+        crate::effects::EffectTable::of(self).is_cacheable()
     }
 
     /// The normalized command line: the canonical spelling that parses

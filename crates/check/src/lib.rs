@@ -21,13 +21,21 @@
 //! against a live session's actual name population with
 //! [`check_pipeline`] and a [`SymbolSeed`].
 
+pub mod cost;
 pub mod dataflow;
 pub mod diag;
+pub mod effects;
+pub mod fix;
 pub mod gql;
 pub mod symbols;
 pub mod world;
 
+pub use cost::{
+    cost_pipeline, cost_script, CommandCost, CostModel, CostReport, CostSeed, Interval,
+};
 pub use diag::{CheckReport, Diagnostic, Severity};
+pub use effects::{Effect, EffectTable, Scatter, VerbEffect};
+pub use fix::{fix_script, FixOutcome};
 pub use symbols::{SymbolSeed, SymbolTable};
 pub use world::{World, WorldSet};
 
@@ -50,6 +58,11 @@ pub struct Analyzer {
     quit_at: Option<usize>,
     warned_unreachable: bool,
     warned_no_session: bool,
+    /// True when analyzing a pipeline *fragment* against a live session
+    /// (the server `check` verb). A fragment's definitions outlive the
+    /// analysis — they would land in the session and stay readable — so
+    /// the end-of-script dead-assignment flush must not fire on them.
+    fragment: bool,
     /// `save` targets seen so far (path → first line), for path-collision
     /// checking. Deliberately *not* reset when the script opens a new
     /// session: the collision is on the filesystem, not in the session.
@@ -69,6 +82,7 @@ impl Analyzer {
             quit_at: None,
             warned_unreachable: false,
             warned_no_session: false,
+            fragment: false,
             saved_paths: std::collections::BTreeMap::new(),
         }
     }
@@ -79,6 +93,7 @@ impl Analyzer {
         Analyzer {
             symbols: SymbolTable::seeded(seed),
             session_open: true,
+            fragment: true,
             ..Analyzer::for_script()
         }
     }
@@ -142,10 +157,15 @@ impl Analyzer {
         self.command(line, cmd);
     }
 
-    /// Run the end-of-script dataflow flush and produce the report.
+    /// Run the end-of-script dataflow flush and produce the report. For a
+    /// session fragment the flush is skipped: the checked pipeline's
+    /// definitions would persist in the live session, so "defined but
+    /// never read *within the fragment*" is not a defect.
     pub fn finish(mut self) -> CheckReport {
-        let dead = self.flow.finish();
-        self.diags.extend(dead);
+        if !self.fragment {
+            let dead = self.flow.finish();
+            self.diags.extend(dead);
+        }
         self.diags.sort_by_key(|d| d.line);
         CheckReport {
             diagnostics: self.diags,
@@ -224,6 +244,10 @@ impl Analyzer {
                 );
                 if let Some(near) = self.symbols.nearest(name, Some(want)) {
                     d = d.with_help(format!("did you mean {near:?}?"));
+                    d = d.with_fix(diag::Fix::ReplaceName {
+                        from: name.to_string(),
+                        to: near,
+                    });
                 }
                 self.push(d);
             }
@@ -247,6 +271,10 @@ impl Analyzer {
             );
             if let Some(near) = self.symbols.nearest(name, None) {
                 d = d.with_help(format!("did you mean {near:?}?"));
+                d = d.with_fix(diag::Fix::ReplaceName {
+                    from: name.to_string(),
+                    to: near,
+                });
             }
             self.push(d);
         }
@@ -365,13 +393,20 @@ impl Analyzer {
             } => {
                 self.read_as(line, dataset, World::Enum, "mine");
                 if *k_pct > 100 {
-                    self.push(Diagnostic::error(
-                        line,
-                        "param-domain",
-                        format!(
-                            "k% = {k_pct}: a compactness threshold above 100% of the data set's tags can never be met"
-                        ),
-                    ));
+                    self.push(
+                        Diagnostic::error(
+                            line,
+                            "param-domain",
+                            format!(
+                                "k% = {k_pct}: a compactness threshold above 100% of the data set's tags can never be met"
+                            ),
+                        )
+                        .with_fix(diag::Fix::ReplaceToken {
+                            index: 3,
+                            from: k_pct.to_string(),
+                            with: "100".to_string(),
+                        }),
+                    );
                 } else if *k_pct == 0 {
                     self.push(Diagnostic::warning(
                         line,
@@ -380,18 +415,28 @@ impl Analyzer {
                     ));
                 }
                 if *min_records == 0 {
-                    self.push(Diagnostic::error(
-                        line,
-                        "param-domain",
-                        "min = 0: a fascicle needs at least one record",
-                    ));
+                    self.push(
+                        Diagnostic::error(
+                            line,
+                            "param-domain",
+                            "min = 0: a fascicle needs at least one record",
+                        )
+                        .with_fix(diag::Fix::ReplaceToken {
+                            index: 4,
+                            from: "0".to_string(),
+                            with: "1".to_string(),
+                        }),
+                    );
                 }
                 if *batch == 0 {
-                    self.push(Diagnostic::error(
-                        line,
-                        "param-domain",
-                        "batch = 0 mines nothing",
-                    ));
+                    self.push(
+                        Diagnostic::error(line, "param-domain", "batch = 0 mines nothing")
+                            .with_fix(diag::Fix::ReplaceToken {
+                                index: 5,
+                                from: "0".to_string(),
+                                with: "1".to_string(),
+                            }),
+                    );
                 }
                 if let Some(prev) = self.symbols.note_mine(line, out, dataset) {
                     self.push(Diagnostic::warning(
@@ -501,11 +546,14 @@ impl Analyzer {
             GqlCommand::TopGap { gap, x } => {
                 self.read_as(line, gap, World::Gap, "topgap");
                 if *x == 0 {
-                    self.push(Diagnostic::error(
-                        line,
-                        "param-domain",
-                        "topgap 0 selects no gaps",
-                    ));
+                    self.push(
+                        Diagnostic::error(line, "param-domain", "topgap 0 selects no gaps")
+                            .with_fix(diag::Fix::ReplaceToken {
+                                index: 2,
+                                from: "0".to_string(),
+                                with: "1".to_string(),
+                            }),
+                    );
                 } else {
                     self.define(
                         line,
@@ -1090,6 +1138,65 @@ mod tests {
             .diagnostics
             .iter()
             .any(|d| d.code == "export-path" && d.line == 4));
+    }
+
+    #[test]
+    fn session_fragment_definitions_do_not_false_positive() {
+        // `check dataset X brain ; mine X b 50 3 6` against a live
+        // session: X is defined only inside the checked pipeline. It must
+        // neither collide with anything nor be flagged dead — if the
+        // pipeline ran, X would persist in the session for later use.
+        let seed = SymbolSeed::default();
+        let report = check_pipeline(
+            &seed,
+            &[
+                GqlCommand::Dataset {
+                    name: "X".into(),
+                    tissue: TissueType::Brain,
+                },
+                GqlCommand::Mine {
+                    dataset: "X".into(),
+                    out: "b".into(),
+                    k_pct: 50,
+                    min_records: 3,
+                    batch: 6,
+                },
+            ],
+        );
+        assert!(report.is_clean(), "{}", report.render());
+        assert!(report.diagnostics.is_empty(), "{}", report.render());
+        // A definition the fragment never reads is equally fine.
+        let report = check_pipeline(
+            &seed,
+            &[GqlCommand::Dataset {
+                name: "X".into(),
+                tissue: TissueType::Brain,
+            }],
+        );
+        assert!(report.diagnostics.is_empty(), "{}", report.render());
+        // Redefinition *within* the fragment is still an error, anchored
+        // at the first definition's pipeline position.
+        let report = check_pipeline(
+            &seed,
+            &[
+                GqlCommand::Dataset {
+                    name: "X".into(),
+                    tissue: TissueType::Brain,
+                },
+                GqlCommand::Dataset {
+                    name: "X".into(),
+                    tissue: TissueType::Breast,
+                },
+            ],
+        );
+        assert_eq!(error_codes(&report), vec!["redefinition"]);
+        assert!(report.diagnostics[0].message.contains("line 1"));
+        // Whole-script analysis keeps the dead-assignment flush.
+        let script = check_script("load-demo 1\ndataset X brain\n");
+        assert_eq!(
+            codes(&script),
+            vec![("dead-assignment", 2, Severity::Warning)]
+        );
     }
 
     #[test]

@@ -235,7 +235,7 @@ impl SymbolTable {
             let Some(d) = levenshtein_within(name, cand, 2) else {
                 continue;
             };
-            if best.map_or(true, |(bd, _)| d < bd) {
+            if best.is_none_or(|(bd, _)| d < bd) {
                 best = Some((d, cand));
             }
         }

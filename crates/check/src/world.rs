@@ -22,7 +22,7 @@ pub enum World {
 impl World {
     const ALL: [World; 4] = [World::Enum, World::Sumy, World::Gap, World::Fascicle];
 
-    fn bit(self) -> u8 {
+    const fn bit(self) -> u8 {
         match self {
             World::Enum => 1,
             World::Sumy => 2,
@@ -52,22 +52,22 @@ impl WorldSet {
     pub const EMPTY: WorldSet = WorldSet(0);
 
     /// The singleton set.
-    pub fn of(w: World) -> WorldSet {
+    pub const fn of(w: World) -> WorldSet {
         WorldSet(w.bit())
     }
 
     /// This set plus `w`.
-    pub fn with(self, w: World) -> WorldSet {
+    pub const fn with(self, w: World) -> WorldSet {
         WorldSet(self.0 | w.bit())
     }
 
     /// Membership.
-    pub fn contains(self, w: World) -> bool {
+    pub const fn contains(self, w: World) -> bool {
         self.0 & w.bit() != 0
     }
 
     /// True when no world is present.
-    pub fn is_empty(self) -> bool {
+    pub const fn is_empty(self) -> bool {
         self.0 == 0
     }
 

@@ -844,6 +844,20 @@ impl GeaSession {
         dataset: &str,
         populate_fn: impl FnOnce(&SumyTable, &EnumTable) -> Vec<LibraryId>,
     ) -> Result<usize, GeaError> {
+        self.populate_from_sumy_traced(name, sumy, dataset, None, populate_fn)
+    }
+
+    /// [`GeaSession::populate_from_sumy_with`] with an optional optimizer
+    /// rule name recorded as a lineage param (`optimizer`), the same
+    /// wire-invisible annotation the compare/fusion fast paths leave.
+    pub fn populate_from_sumy_traced(
+        &mut self,
+        name: &str,
+        sumy: &str,
+        dataset: &str,
+        optimizer: Option<&str>,
+        populate_fn: impl FnOnce(&SumyTable, &EnumTable) -> Vec<LibraryId>,
+    ) -> Result<usize, GeaError> {
         self.check_name_free(name)?;
         let sumy_table = self.sumy(sumy)?.clone();
         let table = self.enum_table(dataset)?.clone();
@@ -856,16 +870,14 @@ impl GeaSession {
             .iter()
             .filter_map(|n| self.node(n))
             .collect();
-        self.record_node(
-            name,
-            NodeKind::Enum,
-            "populate",
-            vec![
-                ("sumy".to_string(), sumy.to_string()),
-                ("dataset".to_string(), dataset.to_string()),
-            ],
-            &parents,
-        )?;
+        let mut params = vec![
+            ("sumy".to_string(), sumy.to_string()),
+            ("dataset".to_string(), dataset.to_string()),
+        ];
+        if let Some(rule) = optimizer {
+            params.push(("optimizer".to_string(), rule.to_string()));
+        }
+        self.record_node(name, NodeKind::Enum, "populate", params, &parents)?;
         self.db.create_or_replace(
             name,
             enum_to_relation(&result).map_err(|e| GeaError::EmptyGroup(e.to_string()))?,

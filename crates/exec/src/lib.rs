@@ -38,11 +38,11 @@ pub use drivers::{
     populate_columnar_sharded, populate_indexed_sharded, populate_scan_sharded, populate_sharded,
     simplex_mine_sharded,
 };
+pub use gea_core::session::{ExecConfig, ExecEvent};
 pub use parts::{
     aggregate_rows_part, isa_clusters_from_modules, isa_modules_part, mine_clusters_part,
     populate_hits_part,
 };
-pub use gea_core::session::{ExecConfig, ExecEvent};
 pub use pool::run_jobs;
 pub use scratch::ScratchPool;
 pub use session_ext::{

@@ -57,7 +57,7 @@ use std::time::Duration;
 
 use gea_server::gql::{self, GqlCommand, Request, SessionCtl};
 use gea_server::wire::{self, Reply};
-use gea_server::xcodec;
+use gea_server::{xcodec, EffectTable};
 
 /// Router tuning knobs.
 #[derive(Debug, Clone)]
@@ -305,16 +305,14 @@ fn fnv1a(s: &str) -> u64 {
 }
 
 /// Whether this command is worth scattering: the scan-shaped verbs whose
-/// per-shard kernels the server exposes via `xpart`. Simplex mining is
-/// deterministic but its per-seed convergence is not contiguous-range
-/// shaped, so it replicates via plain broadcast instead.
+/// per-shard kernels the server exposes via `xpart`. The classification
+/// is NOT maintained here — it is the `scatter` column of the one
+/// verb-effect table `gea-check` exports ([`EffectTable`]), with the
+/// form-dependent resolution (`populate` with a from-clause, `mine with
+/// isa` but not simplex) applied by `EffectTable::of`. The exhaustiveness
+/// test in `gea-check` guarantees a new verb cannot land without a row.
 fn scatterable(cmd: &GqlCommand) -> bool {
-    match cmd {
-        GqlCommand::Mine { .. } | GqlCommand::Groups(_) => true,
-        GqlCommand::Populate { from, .. } => from.is_some(),
-        GqlCommand::MineWith { algo, .. } => algo == "isa",
-        _ => false,
-    }
+    EffectTable::of(cmd).scatterable
 }
 
 /// What the connection loop does after answering a request.
@@ -472,7 +470,12 @@ fn route(
         Ok(Some(req)) => req,
         // Forward unparseable lines raw to the home backend: its parser
         // produces the byte-identical EPARSE reply.
-        Err(_) => return (Some(forward_home(line, current, conns, shared, false)), After::Continue),
+        Err(_) => {
+            return (
+                Some(forward_home(line, current, conns, shared, false)),
+                After::Continue,
+            )
+        }
     };
     match req {
         Request::Help => (Some(Ok(gql::HELP.to_string())), After::Continue),
@@ -499,7 +502,11 @@ fn route(
             After::Continue,
         ),
         Request::Gql(cmd) => {
-            if cmd.is_read() {
+            // Affine reads vs replicated writes, decided by the same
+            // verb-effect table that drives `scatterable` and the server's
+            // cache admission: a read never mutates the session, so any
+            // identical replica (the session's home backend) answers it.
+            if EffectTable::of(&cmd).is_read() {
                 (
                     Some(forward_home(line, current, conns, shared, true)),
                     After::Continue,
@@ -610,9 +617,7 @@ fn forward_home(
         match align_session(conns, shared, i, current) {
             Ok(None) => {}
             Ok(Some(err)) => return err,
-            Err(()) => {
-                return ebackend(format!("backend {} unreachable", shared.pool.addr(i)))
-            }
+            Err(()) => return ebackend(format!("backend {} unreachable", shared.pool.addr(i))),
         }
     }
     match request_on(conns, shared, i, line) {
@@ -650,18 +655,15 @@ fn session_ctl(
     );
     let mut relay: Option<Reply> = None;
     for i in healthy {
-        match request_on(conns, shared, i, line) {
-            Ok(reply) => {
-                if reply.is_ok() && attaches {
-                    if let Some(conn) = conns[i].as_mut() {
-                        conn.session = target.clone();
-                    }
-                }
-                if relay.is_none() {
-                    relay = Some(reply);
+        if let Ok(reply) = request_on(conns, shared, i, line) {
+            if reply.is_ok() && attaches {
+                if let Some(conn) = conns[i].as_mut() {
+                    conn.session = target.clone();
                 }
             }
-            Err(()) => {}
+            if relay.is_none() {
+                relay = Some(reply);
+            }
         }
     }
     let Some(reply) = relay else {
@@ -703,12 +705,7 @@ fn write_cmd(
         match align_session(conns, shared, i, current) {
             Ok(None) => {}
             Ok(Some(err)) => return err,
-            Err(()) => {
-                return ebackend(format!(
-                    "backend {} unreachable",
-                    shared.pool.addr(i)
-                ))
-            }
+            Err(()) => return ebackend(format!("backend {} unreachable", shared.pool.addr(i))),
         }
     }
     if healthy.len() > 1 && scatterable(cmd) {
@@ -854,10 +851,7 @@ fn apply_on(
             Err(()) => return None,
         }
     }
-    match request_on(conns, shared, i, &format!("xapply {k} :: {canonical}")) {
-        Ok(reply) => Some(reply),
-        Err(()) => None,
-    }
+    request_on(conns, shared, i, &format!("xapply {k} :: {canonical}")).ok()
 }
 
 /// `rebalance <k>`: resize the active prefix. Growing ships every known
@@ -888,9 +882,7 @@ fn rebalance(shared: &RouterShared, k: usize) -> Reply {
             .cloned()
             .collect();
         for i in cur..k {
-            if let Err(e) = sync_backend(shared, source, i, &names) {
-                return Err(e);
-            }
+            sync_backend(shared, source, i, &names)?;
             shared.pool.mark_up(i);
         }
         shared.active.store(k, Ordering::SeqCst);
@@ -935,33 +927,36 @@ fn sync_backend(
             Err(e) => return Err(e),
             Ok(payload) => payload,
         };
-        let (header, hex) = snap
-            .split_once('\n')
-            .ok_or_else(|| ("EBACKEND".to_string(), "malformed snapshot reply".to_string()))?;
+        let (header, hex) = snap.split_once('\n').ok_or_else(|| {
+            (
+                "EBACKEND".to_string(),
+                "malformed snapshot reply".to_string(),
+            )
+        })?;
         let mut parts = header.split_whitespace();
         let (generation, fingerprint) = match (parts.next(), parts.next()) {
             (Some(g), Some(f)) => (g.to_string(), f.to_string()),
-            _ => return Err(("EBACKEND".to_string(), "malformed snapshot reply".to_string())),
+            _ => {
+                return Err((
+                    "EBACKEND".to_string(),
+                    "malformed snapshot reply".to_string(),
+                ))
+            }
         };
-        tgt.request("xreset")
-            .map_err(|_| lost(target))?
-            .map_err(|e| e)?;
+        tgt.request("xreset").map_err(|_| lost(target))??;
         for chunk in hex.as_bytes().chunks(HEX_CHUNK) {
             let chunk = std::str::from_utf8(chunk).expect("hex is ASCII");
             tgt.request(&format!("xstage {chunk}"))
-                .map_err(|_| lost(target))?
-                .map_err(|e| e)?;
+                .map_err(|_| lost(target))??;
         }
         tgt.request(&format!("xadopt {name} {fingerprint}"))
-            .map_err(|_| lost(target))?
-            .map_err(|e| e)?;
+            .map_err(|_| lost(target))??;
         // Generation drift check: if the source moved while we shipped,
         // the snapshot is stale — refuse, exactly like a spill whose
         // entry advanced between snapshot and commit.
         let gen_now = src
             .request(&format!("xgen {name}"))
-            .map_err(|_| lost(source))?
-            .map_err(|e| e)?;
+            .map_err(|_| lost(source))??;
         if gen_now.trim() != generation {
             return Err((
                 "ECONFLICT".to_string(),
@@ -1077,6 +1072,18 @@ mod tests {
             params: vec![],
         }));
         assert!(!scatterable(&GqlCommand::Lineage));
+        // The classification is the effect table's scatter column, not a
+        // router-local list: every row claiming "never scatters" must
+        // refuse, and only scatter-capable rows may ever pass.
+        for row in EffectTable::rows() {
+            if row.scatter == gea_server::Scatter::Never {
+                assert!(
+                    EffectTable::row(row.verb).is_some(),
+                    "{} lost its row",
+                    row.verb
+                );
+            }
+        }
     }
 
     #[test]

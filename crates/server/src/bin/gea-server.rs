@@ -4,7 +4,7 @@
 //! gea-server [--addr HOST:PORT] [--workers N] [--queue N]
 //!            [--lock-timeout-ms MS] [--demo SEED]
 //!            [--cache-bytes N] [--session-budget N] [--idle-timeout-ms MS]
-//!            [--spill-dir PATH] [--threads N] [--no-opt]
+//!            [--spill-dir PATH] [--threads N] [--no-opt] [--max-cost UNITS]
 //! ```
 //!
 //! `--demo SEED` pre-opens the session named `default` from a generated
@@ -20,7 +20,10 @@
 //! serial path — results are byte-identical either way). `--no-opt`
 //! disables the algebraic optimizer (`gea-opt`): commands execute
 //! literally and response-cache keys fall back to the plain canonical
-//! spelling instead of the rewrite-normalized one. Stop the server
+//! spelling instead of the rewrite-normalized one. `--max-cost UNITS`
+//! enables the static budget gate: commands whose predicted cost (the
+//! `gea-check` abstract cost model over the session's live table sizes)
+//! exceeds UNITS answer `ERR EBUDGET` before execution. Stop the server
 //! with the `shutdown` protocol command, SIGINT, or SIGTERM — all three
 //! drain in-flight requests (and spills) before exiting.
 
@@ -93,7 +96,7 @@ fn usage() -> ! {
         "usage: gea-server [--addr HOST:PORT] [--workers N] [--queue N] \
          [--lock-timeout-ms MS] [--demo SEED] [--cache-bytes N] \
          [--session-budget N] [--idle-timeout-ms MS] [--spill-dir PATH] \
-         [--threads N] [--no-opt]"
+         [--threads N] [--no-opt] [--max-cost UNITS]"
     );
     std::process::exit(2);
 }
@@ -164,6 +167,13 @@ fn parse_args() -> (ServerConfig, Option<u64>) {
                 }
             },
             "--no-opt" => config.optimize = false,
+            "--max-cost" => match value("--max-cost").parse() {
+                Ok(n) => config.max_cost = Some(n),
+                Err(e) => {
+                    eprintln!("bad --max-cost: {e}");
+                    usage()
+                }
+            },
             "--demo" => match value("--demo").parse() {
                 Ok(seed) => demo = Some(seed),
                 Err(e) => {

@@ -722,6 +722,9 @@ mod tests {
             after < before,
             "no aging pass on saturation: {before} -> {after}"
         );
-        assert!(after >= u8::MAX / 2, "aging should halve, not reset to zero");
+        assert!(
+            after >= u8::MAX / 2,
+            "aging should halve, not reset to zero"
+        );
     }
 }

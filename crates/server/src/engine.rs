@@ -253,9 +253,22 @@ pub fn execute_read(session: &GeaSession, cmd: &GqlCommand) -> Result<String, En
             // Static analysis against this session's *live* name
             // population. The command itself succeeds even when the
             // pipeline has errors — the diagnostics are the payload; the
-            // session is never touched.
+            // session is never touched. A clean pipeline's reply also
+            // carries the predicted row counts and cost per command,
+            // seeded from the session's real table sizes (the built-in
+            // coefficients, not host-local bench calibration, so every
+            // replica of this session answers byte-identically).
             let seed = gea_check::SymbolSeed::from_session(session);
-            gea_check::check_pipeline(&seed, cmds).render()
+            let report = gea_check::check_pipeline(&seed, cmds);
+            let mut out = report.render();
+            if report.is_clean() {
+                let cost_seed = gea_check::CostSeed::from_session(session);
+                let model = gea_check::CostModel::default_coefficients();
+                let cost = gea_check::cost_pipeline(&model, &cost_seed, cmds);
+                out.push('\n');
+                out.push_str(&cost.render());
+            }
+            out
         }
         GqlCommand::Save(dir) => {
             gea_core::persist::save_session(session, std::path::Path::new(dir))?;

@@ -46,6 +46,7 @@ pub mod cache;
 pub mod client;
 pub mod engine;
 pub use gea_check::gql;
+pub use gea_check::{Effect, EffectTable, Scatter, VerbEffect};
 pub mod metrics;
 pub mod optexec;
 pub mod registry;

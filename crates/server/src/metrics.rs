@@ -96,6 +96,7 @@ pub struct Metrics {
     cache_misses: AtomicU64,
     cache_evictions: AtomicU64,
     cache_rejected: AtomicU64,
+    budget_rejected: AtomicU64,
     opt_rewrites: AtomicU64,
     opt_key_unified: AtomicU64,
     sessions_evicted: AtomicU64,
@@ -129,6 +130,7 @@ impl Metrics {
             cache_misses: AtomicU64::new(0),
             cache_evictions: AtomicU64::new(0),
             cache_rejected: AtomicU64::new(0),
+            budget_rejected: AtomicU64::new(0),
             opt_rewrites: AtomicU64::new(0),
             opt_key_unified: AtomicU64::new(0),
             sessions_evicted: AtomicU64::new(0),
@@ -188,6 +190,12 @@ impl Metrics {
     /// A reply was refused at cache admission for being oversized.
     pub fn cache_rejected(&self) {
         self.cache_rejected.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A command was rejected by the `--max-cost` budget gate before
+    /// execution (`EBUDGET`).
+    pub fn budget_rejected(&self) {
+        self.budget_rejected.fetch_add(1, Ordering::Relaxed);
     }
 
     /// The optimizer rewrote a command onto a fast-path step.
@@ -302,6 +310,11 @@ impl Metrics {
             out,
             "cache_rejected {}",
             self.cache_rejected.load(Ordering::Relaxed)
+        );
+        let _ = writeln!(
+            out,
+            "budget_rejected {}",
+            self.budget_rejected.load(Ordering::Relaxed)
         );
         let _ = writeln!(out, "opt_rewrites {}", self.opt_rewrites());
         let _ = writeln!(
@@ -451,10 +464,12 @@ mod tests {
         m.opt_rewrite();
         m.opt_rewrite();
         m.opt_key_unified();
+        m.budget_rejected();
         assert_eq!(m.opt_rewrites(), 2);
         let text = m.render();
         assert!(text.contains("opt_rewrites 2"), "{text}");
         assert!(text.contains("opt_key_unified 1"), "{text}");
+        assert!(text.contains("budget_rejected 1"), "{text}");
     }
 
     #[test]

@@ -35,6 +35,16 @@
 //! which commits only if the entry is still the same one, unlocked, and at
 //! the generation the snapshot saw — otherwise the stale snapshot is
 //! abandoned and the session stays live.
+//!
+//! LOCK ORDER: registry map mutex -> entry gate mutex -> entry session RwLock; never two entries at once; atomics, cache, and metrics are lock-free and safe under any guard.
+//!
+//! The line above is canonical. `scripts/lint-invariants.sh` requires every
+//! other lock-order comment in the server and router sources to quote it
+//! verbatim, so the ordering documented at an acquisition site can never
+//! drift from what this module actually implements. The map mutex is held
+//! only long enough to clone the entry `Arc` (never across a gate wait),
+//! and eviction re-takes the map *after* dropping the entry guard — the
+//! two-phase spill commit exists precisely to make that safe.
 
 use std::collections::{HashMap, VecDeque};
 use std::ops::{Deref, DerefMut};

@@ -27,6 +27,12 @@
 //!   against the name restores it from disk under a fresh registry entry
 //!   — the client never sees `EEVICTED` unless the spill file itself is
 //!   unreadable.
+//!
+//! Every lock this module takes follows the registry's discipline
+//! (canonical copy in [`crate::registry`], kept in sync by
+//! `scripts/lint-invariants.sh`):
+//!
+//! LOCK ORDER: registry map mutex -> entry gate mutex -> entry session RwLock; never two entries at once; atomics, cache, and metrics are lock-free and safe under any guard.
 
 use std::io::Read;
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -85,6 +91,10 @@ pub struct ServerConfig {
     /// write path and canonical (algebra-unified) response-cache keys.
     /// `false` executes and caches every command literally.
     pub optimize: bool,
+    /// Static cost budget in `gea-check` abstract units: commands whose
+    /// predicted cost exceeds it are rejected with `EBUDGET` before
+    /// execution. `None` disables the gate.
+    pub max_cost: Option<u64>,
 }
 
 impl Default for ServerConfig {
@@ -100,6 +110,7 @@ impl Default for ServerConfig {
             spill_dir: None,
             threads: 0,
             optimize: true,
+            max_cost: None,
         }
     }
 }
@@ -747,6 +758,38 @@ pub(crate) fn live_entry(shared: &Shared, name: &str) -> Result<SharedSession, E
     }
 }
 
+/// The `--max-cost` admission gate: predict the command's cost against
+/// the session's *live* cardinalities (`gea-check`'s abstract cost
+/// domain) and reject statically-over-budget work with `EBUDGET` before
+/// any of it runs. Runs under the session lock so the seed is a
+/// consistent snapshot; cache hits bypass the gate — a cached reply
+/// costs nothing to serve. The coefficients are the model's built-in
+/// defaults, never host-local bench calibration, so identical replicas
+/// reject identically.
+fn enforce_max_cost(
+    shared: &Shared,
+    session: &gea_core::session::GeaSession,
+    cmd: &GqlCommand,
+) -> Result<(), EngineError> {
+    let Some(max) = shared.config.max_cost else {
+        return Ok(());
+    };
+    let seed = gea_check::CostSeed::from_session(session);
+    let model = gea_check::CostModel::default_coefficients();
+    let report = gea_check::cost_pipeline(&model, &seed, std::slice::from_ref(cmd));
+    if report.total > max {
+        shared.metrics.budget_rejected();
+        return Err(EngineError::new(
+            "EBUDGET",
+            format!(
+                "predicted cost {} units exceeds --max-cost {max}",
+                report.total
+            ),
+        ));
+    }
+    Ok(())
+}
+
 fn run_gql(cmd: &GqlCommand, current: &str, shared: &Shared) -> Result<String, EngineError> {
     let entry = live_entry(shared, current)?;
     if cmd.is_read() {
@@ -783,6 +826,7 @@ fn run_gql(cmd: &GqlCommand, current: &str, shared: &Shared) -> Result<String, E
             shared.metrics.cache_miss();
         }
         let session = entry.read_with_deadline(shared.config.lock_timeout)?;
+        enforce_max_cost(shared, &session, cmd)?;
         // Writers are excluded while the read guard is held, so this
         // generation is the one the reply is computed under.
         let generation = entry.generation();
@@ -810,6 +854,7 @@ fn run_gql(cmd: &GqlCommand, current: &str, shared: &Shared) -> Result<String, E
             .then(|| gea_opt::rewrite_command(0, cmd))
             .flatten();
         let mut session = entry.write_with_deadline(shared.config.lock_timeout)?;
+        enforce_max_cost(shared, &session, cmd)?;
         let result = match &rewritten {
             Some((step, _)) => {
                 shared.metrics.opt_rewrite();
@@ -934,6 +979,35 @@ mod tests {
         let stats = client.expect_ok("stats").unwrap();
         assert!(!stats.contains("cache_hits 0\n"), "{stats}");
         assert!(stats.contains("sessions_evicted 0"), "{stats}");
+        handle.shutdown();
+        join.join().unwrap();
+    }
+
+    #[test]
+    fn max_cost_rejects_over_budget_commands_with_ebudget() {
+        let mut config = test_config();
+        // A demo corpus has a few dozen libraries, so `mine` (cost ~
+        // libraries x batch x weight) blows a 100-unit budget while
+        // `lineage` (cost 1) stays under it.
+        config.max_cost = Some(100);
+        let (addr, handle, join) = spawn_server(config);
+        let mut client = GeaClient::connect(addr).expect("connect");
+        client.expect_ok("open tiny demo 42").expect("open");
+        client
+            .expect_ok("dataset E brain")
+            .expect("cheap write runs");
+        client.expect_ok("lineage").expect("cheap read runs");
+        let err = client.request("mine E f 50 3 6").unwrap().unwrap_err();
+        assert_eq!(err.0, "EBUDGET", "{err:?}");
+        // The rejection names the predicted cost and the configured cap.
+        assert!(err.1.contains("predicted cost"), "{err:?}");
+        assert!(err.1.contains("--max-cost 100"), "{err:?}");
+        // Nothing executed: the session still has no fascicles…
+        let err2 = client.request("purity f_1").unwrap().unwrap_err();
+        assert_ne!(err2.0, "EBUDGET", "purity itself is cheap: {err2:?}");
+        // …and the gate's counter ticked.
+        let stats = client.expect_ok("stats").unwrap();
+        assert!(stats.contains("budget_rejected 1"), "{stats}");
         handle.shutdown();
         join.join().unwrap();
     }

@@ -37,7 +37,7 @@ pub fn hex_encode(bytes: &[u8]) -> String {
 /// Decode hex armor produced by [`hex_encode`].
 pub fn hex_decode(s: &str) -> Result<Vec<u8>, CodecError> {
     let s = s.trim();
-    if s.len() % 2 != 0 {
+    if !s.len().is_multiple_of(2) {
         return Err("odd-length hex blob".to_string());
     }
     let mut out = Vec::with_capacity(s.len() / 2);
@@ -434,7 +434,10 @@ mod tests {
         assert_eq!(back.len(), 2);
         assert!(back[0].is_none());
         let m = back[1].as_ref().unwrap();
-        assert_eq!((m.libs.clone(), m.tags.clone(), m.converged), (vec![1, 5, 9], vec![0, 2], true));
+        assert_eq!(
+            (m.libs.clone(), m.tags.clone(), m.converged),
+            (vec![1, 5, 9], vec![0, 2], true)
+        );
 
         let libs = vec![LibraryId(3), LibraryId(11)];
         assert_eq!(decode_libs(&encode_libs(&libs)).unwrap(), libs);

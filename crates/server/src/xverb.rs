@@ -231,10 +231,7 @@ fn xapply(
     let (head, text) = rest
         .split_once(" :: ")
         .ok_or_else(|| eparse("usage: xapply <k> :: <command>"))?;
-    let shards: usize = head
-        .trim()
-        .parse()
-        .map_err(|_| eparse("bad shard count"))?;
+    let shards: usize = head.trim().parse().map_err(|_| eparse("bad shard count"))?;
     let cmd = parse_command(text)?;
     let bytes = std::mem::take(staged);
     let blobs = xcodec::unframe(&bytes).map_err(eparse)?;
@@ -280,7 +277,8 @@ fn apply_merged(
                 min_records: *min_records,
                 batch_size: *batch,
             };
-            let names = session.install_mined_fascicles(dataset, 0.10, &params, &table, clusters)?;
+            let names =
+                session.install_mined_fascicles(dataset, 0.10, &params, &table, clusters)?;
             Ok(render_mined(session, &names, None))
         }
         GqlCommand::MineWith {
@@ -336,10 +334,13 @@ fn apply_merged(
             // contrast — the exact order the partials were encoded in.
             let mut merged: VecDeque<Vec<SumyRow>> =
                 triple.into_iter().map(gea_exec::merge_shards).collect();
-            let groups =
-                session.form_control_groups_with(fascicle, LibraryProperty::Cancer, |name, _, _| {
+            let groups = session.form_control_groups_with(
+                fascicle,
+                LibraryProperty::Cancer,
+                |name, _, _| {
                     SumyTable::new(name, merged.pop_front().expect("three aggregator calls"))
-                })?;
+                },
+            )?;
             Ok(format!(
                 "SUMY tables created:\n  in fascicle:      {}\n  outside fascicle: {}\n  contrast (normal): {}",
                 groups.in_fascicle, groups.outside_fascicle, groups.contrast

@@ -69,6 +69,14 @@ step "optimizer experiment (release) -> BENCH_optimizer.json"
 # Exits non-zero if any optimized transcript diverges from serial.
 cargo run --release -p gea-bench --bin optimizer
 
+step "static-analysis latency (release) -> BENCH_check.json"
+# The full gea-check pass (diagnostics + abstract cost interpretation)
+# timed over every example script — the latency the server's pre-flight
+# gate and `--max-cost` budget check add to each request. Re-verifies
+# the analyzer's clean/dirty verdicts on the fixtures while timing, so
+# a broken analyzer cannot post a fast number.
+cargo run --release -p gea-bench --bin check
+
 step "archive BENCH_*.json"
 # Keep a dated copy of every emitted measurement so the perf trajectory
 # across nightlies stays reconstructible from the working tree.

@@ -33,6 +33,18 @@ if ./target/release/gea-cli --check examples/scripts/ill_typed.gql; then
     exit 1
 fi
 
+# The --fix rewriter, pinned byte-for-byte: repairing the dirty fixture
+# must reproduce the committed golden exactly, and running it on an
+# already-clean script must leave the file untouched.
+step "gea-check --fix: dirty fixture matches golden, clean script untouched"
+mkdir -p target/fix-gate
+cp examples/scripts/fix_dirty.gql target/fix-gate/fix_dirty.gql
+./target/release/gea-cli --check target/fix-gate/fix_dirty.gql --fix
+diff -u examples/scripts/fix_dirty.golden.gql target/fix-gate/fix_dirty.gql
+cp examples/scripts/brain_case_study.gql target/fix-gate/clean.gql
+./target/release/gea-cli --check target/fix-gate/clean.gql --fix
+cmp examples/scripts/brain_case_study.gql target/fix-gate/clean.gql
+
 # Every well-typed example script must also survive the optimizer's
 # planner (syntactic canonicalization + rewrite detection, no session),
 # and the demo script's plan must name every shipped rule — so a rule
@@ -45,7 +57,7 @@ done
 demo_plan="$(./target/release/gea-cli --plan examples/scripts/optimizer_demo.gql)"
 echo "$demo_plan"
 for rule in self-union-intersect self-intersect-double self-minus-empty \
-            fuse-gap-topgap fuse-populate-select; do
+            fuse-gap-topgap fuse-populate-select populate-access-path; do
     if ! grep -q "$rule" <<< "$demo_plan"; then
         echo "optimizer_demo.gql plan no longer fires rule '$rule'" >&2
         exit 1
@@ -84,6 +96,12 @@ cargo run --release -p gea-bench --bin hotpath -- --kick-tires
 # single-server run byte for byte. Exits non-zero on any divergence.
 step "router loopback smoke: 2 backends byte-identical to a single server"
 cargo run --release -p gea-bench --bin router -- --smoke
+
+# Hot-path invariants: unwrap()/expect( stays within the per-file budget
+# in scripts/lint-allowlist.txt (ratcheted both ways), and every
+# lock-order comment quotes the canonical line in registry.rs verbatim.
+step "invariant lints (panic budget + lock-order sync)"
+scripts/lint-invariants.sh
 
 step "cargo fmt --all --check"
 cargo fmt --all --check

@@ -1,0 +1,99 @@
+#!/usr/bin/env bash
+# Invariant lints for the server/router hot paths, run by scripts/ci.sh.
+#
+# 1. unwrap()/expect( ban in non-test code under crates/server/src and
+#    crates/router/src. A worker thread that panics takes its connection
+#    (and possibly a poisoned lock) with it, so every panic site on the
+#    request path must be deliberate and budgeted in
+#    scripts/lint-allowlist.txt. The budget ratchets both ways: counts
+#    above it fail (new panic site), counts below it fail too (lower the
+#    budget so removed sites cannot creep back).
+#
+# 2. Lock-ordering comments stay in sync with the registry. The canonical
+#    "LOCK ORDER:" line lives in crates/server/src/registry.rs; every
+#    other occurrence in the server/router sources must quote it verbatim,
+#    so the discipline documented at an acquisition site can never drift
+#    from the one the registry implements.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+allowlist="scripts/lint-allowlist.txt"
+fail=0
+
+# Count unwrap()/expect( occurrences before the first #[cfg(test)].
+nontest_panics() {
+    awk '
+        /#\[cfg\(test\)\]/ { exit }
+        {
+            n = gsub(/unwrap\(\)/, "")
+            n += gsub(/expect\(/, "")
+            c += n
+        }
+        END { print c + 0 }
+    ' "$1"
+}
+
+budget_for() {
+    awk -v f="$1" '$1 !~ /^#/ && $2 == f { print $1; found = 1 }
+                   END { if (!found) print "-" }' "$allowlist"
+}
+
+for file in crates/server/src/*.rs crates/server/src/bin/*.rs crates/router/src/*.rs; do
+    n="$(nontest_panics "$file")"
+    budget="$(budget_for "$file")"
+    if [ "$budget" = "-" ]; then
+        if [ "$n" -gt 0 ]; then
+            echo "lint: $file has $n unwrap()/expect( site(s) in non-test code but no budget in $allowlist" >&2
+            fail=1
+        fi
+    elif [ "$n" -gt "$budget" ]; then
+        echo "lint: $file has $n unwrap()/expect( site(s) in non-test code, budget is $budget — remove the new panic site" >&2
+        fail=1
+    elif [ "$n" -lt "$budget" ]; then
+        echo "lint: $file is down to $n unwrap()/expect( site(s), budget is $budget — ratchet $allowlist down" >&2
+        fail=1
+    fi
+done
+
+# Every budgeted file must still exist (a rename would silently retire
+# its budget).
+while read -r budget file; do
+    case "$budget" in '#'*|'') continue ;; esac
+    if [ ! -f "$file" ]; then
+        echo "lint: $allowlist budgets missing file $file" >&2
+        fail=1
+    fi
+done < "$allowlist"
+
+# Lock-order comments: one canonical line in registry.rs, quoted verbatim
+# everywhere else it appears.
+canon="$(grep -h 'LOCK ORDER:' crates/server/src/registry.rs | sed 's|^.*LOCK ORDER:|LOCK ORDER:|' | sed 's/[[:space:]]*$//')"
+if [ "$(printf '%s\n' "$canon" | wc -l)" -ne 1 ] || [ -z "$canon" ]; then
+    echo "lint: crates/server/src/registry.rs must contain exactly one canonical 'LOCK ORDER:' line" >&2
+    exit 1
+fi
+refs=0
+for file in crates/server/src/*.rs crates/server/src/bin/*.rs crates/router/src/*.rs; do
+    [ "$file" = "crates/server/src/registry.rs" ] && continue
+    while IFS= read -r line; do
+        refs=$((refs + 1))
+        norm="$(printf '%s' "$line" | sed 's|^.*LOCK ORDER:|LOCK ORDER:|' | sed 's/[[:space:]]*$//')"
+        if [ "$norm" != "$canon" ]; then
+            echo "lint: $file quotes a stale lock order:" >&2
+            echo "    found:     $norm" >&2
+            echo "    canonical: $canon" >&2
+            fail=1
+        fi
+    done < <(grep -h 'LOCK ORDER:' "$file" || true)
+done
+if [ "$refs" -eq 0 ]; then
+    echo "lint: no file outside registry.rs quotes the canonical 'LOCK ORDER:' line" >&2
+    fail=1
+fi
+
+if [ "$fail" -ne 0 ]; then
+    echo "invariant lints FAILED" >&2
+    exit 1
+fi
+echo "invariant lints passed ($refs lock-order reference(s), $(grep -c '^[0-9]' "$allowlist") budgeted file(s))"

@@ -18,7 +18,13 @@
 //!
 //! * `gea-cli --check file.gql` lints a script without running it —
 //!   world-typing, dataflow, and parameter domains — exiting 1 if any
-//!   error-severity diagnostic fires (`--machine` emits JSON lines);
+//!   error-severity diagnostic fires (`--machine` emits JSON lines).
+//!   `--cost` appends the abstract cost interpretation (predicted row
+//!   intervals and cost units per command, coefficients calibrated from
+//!   `BENCH_*.json` when present); `--fix` mechanically applies the
+//!   analyzer's suggestions (nearest-name replacements, parameter-domain
+//!   clamps) to fixpoint, rewriting the file in place, and comments out
+//!   error lines it cannot repair;
 //! * both batch modes pre-flight the whole script with the same analyzer
 //!   and refuse to execute one with static errors; `--no-preflight`
 //!   skips the gate. A clean script's output is byte-identical with and
@@ -37,7 +43,7 @@ use gea::cli::Cli;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: gea-cli [--script file.gql] [--check file.gql [--machine]] \
+        "usage: gea-cli [--script file.gql] [--check file.gql [--machine] [--cost] [--fix]] \
          [--plan file.gql] [--no-preflight] [--no-opt]"
     );
     std::process::exit(2);
@@ -52,6 +58,8 @@ fn main() -> io::Result<()> {
     let mut check: Option<String> = None;
     let mut plan: Option<String> = None;
     let mut machine = false;
+    let mut cost = false;
+    let mut fix = false;
     let mut preflight = true;
     let mut optimize = true;
     let mut args = std::env::args().skip(1);
@@ -70,6 +78,8 @@ fn main() -> io::Result<()> {
                 None => usage(),
             },
             "--machine" => machine = true,
+            "--cost" => cost = true,
+            "--fix" => fix = true,
             "--no-preflight" => preflight = false,
             "--no-opt" => optimize = false,
             _ => usage(),
@@ -87,7 +97,23 @@ fn main() -> io::Result<()> {
         return Ok(());
     }
     if let Some(path) = check {
-        let report = gea::check::check_script(&read_file(&path)?);
+        let mut text = read_file(&path)?;
+        let report = if fix {
+            let outcome = gea::check::fix_script(&text);
+            if outcome.changed {
+                std::fs::write(&path, &outcome.text)?;
+                for applied in &outcome.applied {
+                    eprintln!("fix: {applied}");
+                }
+                eprintln!("fix: rewrote {path} ({} analyzer rounds)", outcome.rounds);
+            } else {
+                eprintln!("fix: {path} is already clean; file untouched");
+            }
+            text = outcome.text;
+            outcome.report
+        } else {
+            gea::check::check_script(&text)
+        };
         if machine {
             let lines = report.render_machine();
             if !lines.is_empty() {
@@ -95,6 +121,13 @@ fn main() -> io::Result<()> {
             }
         } else {
             println!("{}", report.render());
+        }
+        if cost && report.is_clean() {
+            // Calibrate the per-verb coefficients from any BENCH_*.json in
+            // the working directory; silently falls back to the defaults.
+            let model = gea::check::CostModel::calibrated(std::path::Path::new("."));
+            let seed = gea::check::CostSeed::script_default();
+            println!("{}", gea::check::cost_script(&model, &seed, &text).render());
         }
         std::process::exit(if report.is_clean() { 0 } else { 1 });
     }

@@ -201,6 +201,100 @@ fn router_matches_single_server_over_1_2_3_backends() {
     ref_join.join().expect("reference backend thread");
 }
 
+/// Satellite of the effect/cost-table work: `check` is classified by the
+/// verb-effect table as a pure, cacheable read, so the router forwards it
+/// to the session's home backend — but *every* replica must be able to
+/// answer it with the same bytes, including the appended cost section
+/// (whose seed is the session's live table sizes). This queries each
+/// backend directly, bypassing the router's affinity, and also proves the
+/// analysis mutates nothing: the lineage view of every replica is
+/// byte-identical before and after the checks.
+#[test]
+fn check_diagnostics_are_byte_identical_on_every_backend_and_mutate_nothing() {
+    let prelude = [
+        "open s demo 42",
+        "use s",
+        "dataset E brain",
+        "mine E a 50 3 6",
+        "groups a_1",
+    ];
+    let checks = [
+        // Clean pipeline: diagnostics plus the predicted-cost section.
+        "check gap g a_1CancerFasTbl a_1NormalTable ; topgap g 3",
+        // Clean pipeline over names the check itself defines.
+        "check dataset X brain ; mine X b 50 3 6 ; purity b_1",
+        // Error diagnostics: undefined names against the live session.
+        "check purity nope ; groups also_nope",
+        // Parameter-domain diagnostics (k% > 100, min_records = 0).
+        "check mine E big 150 0 6",
+    ];
+
+    let mut backends = Vec::new();
+    let mut handles = Vec::new();
+    let mut joins = Vec::new();
+    for _ in 0..3 {
+        let (addr, handle, join) = spawn_backend();
+        backends.push(addr);
+        handles.push(handle);
+        joins.push(join);
+    }
+    let (router_addr, router_handle, router_join) =
+        spawn_router(backends.iter().map(|a| a.to_string()).collect(), 0);
+
+    // Replicate a session with real tables onto every backend.
+    let mut routed = Transcript::connect(router_addr);
+    routed.run(&prelude);
+
+    // Each backend answers the same checks directly, with identical
+    // lineage on both sides of the analysis.
+    let mut check_replies: Vec<String> = Vec::new();
+    let mut lineages: Vec<String> = Vec::new();
+    for &addr in &backends {
+        let mut direct = Transcript::connect(addr);
+        direct.send("use s");
+        direct.text.clear();
+        direct.send("lineage");
+        let lineage_before = std::mem::take(&mut direct.text);
+        direct.run(&checks);
+        let replies = std::mem::take(&mut direct.text);
+        direct.send("lineage");
+        assert_eq!(
+            lineage_before, direct.text,
+            "check mutated a replica on {addr}"
+        );
+        check_replies.push(replies);
+        lineages.push(lineage_before);
+    }
+    for (i, reply) in check_replies.iter().enumerate() {
+        assert_eq!(
+            reply, &check_replies[0],
+            "check diagnostics diverged between backend 0 and backend {i}"
+        );
+        assert_eq!(
+            lineages[i], lineages[0],
+            "replica lineage diverged between backend 0 and backend {i}"
+        );
+    }
+    // The clean pipelines surfaced the cost interpretation; the dirty
+    // ones surfaced diagnostics without one.
+    assert!(
+        check_replies[0].contains("predicted cost"),
+        "{}",
+        check_replies[0]
+    );
+    assert!(check_replies[0].contains("error[undefined-name]"));
+    assert!(check_replies[0].contains("error[param-domain]"));
+
+    router_handle.shutdown();
+    router_join.join().expect("router thread");
+    for handle in &handles {
+        handle.shutdown();
+    }
+    for join in joins {
+        join.join().expect("backend thread");
+    }
+}
+
 #[test]
 fn rebalance_2_to_3_preserves_byte_identity() {
     let before = main_script();

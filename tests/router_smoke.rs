@@ -89,7 +89,9 @@ fn backend_killed_mid_scatter_surfaces_one_ebackend() {
 
     // The failure marked B down, so the retry runs on the survivor alone
     // and succeeds.
-    let mined = client.expect_ok("mine E a 50 3 6").expect("retry on survivor");
+    let mined = client
+        .expect_ok("mine E a 50 3 6")
+        .expect("retry on survivor");
     assert!(mined.contains("fascicle"), "{mined}");
     let listing = client.expect_ok("backends").expect("health listing");
     assert!(listing.contains("down"), "{listing}");
@@ -120,11 +122,15 @@ fn restarted_backend_is_readmitted_with_identical_state() {
     // Kill B; the health thread notices within its probe interval.
     handle_b.shutdown();
     join_b.join().expect("backend b thread");
-    wait_until("health thread to mark the backend down", Duration::from_secs(10), || {
-        client
-            .expect_ok("backends")
-            .is_ok_and(|listing| listing.contains("down"))
-    });
+    wait_until(
+        "health thread to mark the backend down",
+        Duration::from_secs(10),
+        || {
+            client
+                .expect_ok("backends")
+                .is_ok_and(|listing| listing.contains("down"))
+        },
+    );
 
     // Writes keep landing while B is gone; B must learn them on return.
     client.expect_ok("groups a_1").expect("groups on survivor");
@@ -135,11 +141,15 @@ fn restarted_backend_is_readmitted_with_identical_state() {
     // Restart B on the same address; re-admission requires the resync to
     // have completed, not just the probe to succeed.
     let (_, handle_b2, join_b2) = spawn_backend_at(&addr_b.to_string());
-    wait_until("restarted backend to be re-admitted", Duration::from_secs(30), || {
-        client
-            .expect_ok("backends")
-            .is_ok_and(|listing| !listing.contains("down"))
-    });
+    wait_until(
+        "restarted backend to be re-admitted",
+        Duration::from_secs(30),
+        || {
+            client
+                .expect_ok("backends")
+                .is_ok_and(|listing| !listing.contains("down"))
+        },
+    );
 
     // A scatter now spans both backends again and must succeed first try
     // (stale pre-restart connections are invalidated by the admission
